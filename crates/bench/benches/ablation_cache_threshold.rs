@@ -1,0 +1,98 @@
+//! Ablation A3: the cache-resident piece target as a stop condition.
+//!
+//! The paper observes that "once columns are cracked enough such that
+//! pieces fit into the CPU caches, performance does not further improve by
+//! extra index refinement", and uses that as the stop condition of its
+//! ranking model. This bench refines one column to different average piece
+//! sizes and measures query latency, showing the diminishing returns, and
+//! then compares the tuning effort spent with and without the stop
+//! condition.
+
+use std::time::Instant;
+
+use holistic_bench::{scale, uniform_column};
+use holistic_core::{Database, HolisticConfig, IdleBudget, IndexingStrategy, Query};
+
+fn main() {
+    let n = scale();
+    println!("Ablation A3: refinement benefit vs average piece size (N={n})\n");
+    latency_vs_piece_size(n);
+    stop_condition_effort(n);
+}
+
+fn latency_vs_piece_size(n: usize) {
+    let values = uniform_column(n, 5);
+    let mut db = Database::new(
+        HolisticConfig::default().with_seed(5),
+        IndexingStrategy::Holistic,
+    );
+    let t = db.create_table("r", vec![("a", values)]).unwrap();
+    let col = db.column_id(t, "a").unwrap();
+    println!(
+        "{:>14} {:>12} {:>22}",
+        "avg piece", "pieces", "avg query latency (µs)"
+    );
+    // Progressively refine and measure a fixed probe set after each step.
+    let mut actions_so_far = 0u64;
+    for &target_actions in &[0u64, 8, 32, 128, 512, 2048, 8192] {
+        let delta = target_actions - actions_so_far;
+        if delta > 0 {
+            db.warm_column(col, delta).unwrap();
+            actions_so_far = target_actions;
+        }
+        // Measure with queries that do not shift the piece size much
+        // (repeated narrow probes over a fixed set of ranges).
+        let probes = 64;
+        let start = Instant::now();
+        for i in 0..probes {
+            let lo = 1 + (i as i64 * 9973) % (n as i64 - n as i64 / 100);
+            db.execute(&Query::range(col, lo, lo + n as i64 / 100)).unwrap();
+        }
+        let avg_latency = start.elapsed().as_micros() as f64 / f64::from(probes);
+        let pieces = db.piece_count(col).max(1);
+        println!(
+            "{:>14.0} {:>12} {:>22.1}",
+            n as f64 / pieces as f64,
+            pieces,
+            avg_latency
+        );
+    }
+    println!();
+}
+
+fn stop_condition_effort(n: usize) {
+    println!("Idle-tuning effort until convergence, with and without the cache-size stop condition:");
+    println!(
+        "{:>24} {:>16} {:>16}",
+        "cache_piece_target", "actions spent", "tuning time (ms)"
+    );
+    for &(label, target) in &[
+        ("L2-sized (128Ki values)", 128 * 1024usize),
+        ("tiny (1Ki values)", 1024usize),
+    ] {
+        let values = uniform_column(n, 6);
+        let mut config = HolisticConfig::default().with_seed(6);
+        config.cache_piece_target = target;
+        let mut db = Database::new(config, IndexingStrategy::Holistic);
+        let t = db.create_table("r", vec![("a", values)]).unwrap();
+        let col = db.column_id(t, "a").unwrap();
+        db.execute(&Query::range(col, 1, 1 + n as i64 / 100)).unwrap();
+        // Give effectively unlimited idle time and let the stop condition
+        // decide when tuning is done.
+        let mut total_actions = 0u64;
+        for _ in 0..1000 {
+            let report = db.run_idle(IdleBudget::Actions(256));
+            total_actions += report.actions_applied;
+            if report.converged {
+                break;
+            }
+        }
+        println!(
+            "{:>24} {:>16} {:>16.1}",
+            label,
+            total_actions,
+            db.metrics().tuning_time().as_secs_f64() * 1e3
+        );
+    }
+    println!("(a smaller target keeps refining long after queries stop getting faster)");
+}

@@ -1,0 +1,99 @@
+//! Ablation A2: how should idle actions be distributed over columns?
+//!
+//! The paper sketches a ranking scheme that weights columns by their
+//! frequency in the workload and by how far their pieces still are from the
+//! cache-resident target. This bench compares that ranking model against
+//! two simpler policies (uniform round-robin over all columns, and a single
+//! random column per action) on a skewed workload where one column receives
+//! 80% of the queries.
+
+use holistic_bench::{build_database, replay_session, scale};
+use holistic_core::{Database, HolisticConfig, IdleBudget, IndexingStrategy, Query};
+use holistic_storage::ColumnId;
+use holistic_workload::{QueryGenerator, RangeQuery, UniformRangeGenerator, WorkloadEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const COLUMNS: usize = 5;
+const HOT_FRACTION: f64 = 0.8;
+
+fn skewed_events(n: usize, queries: usize, seed: u64) -> Vec<WorkloadEvent> {
+    let mut generator = UniformRangeGenerator::new(0, 1, n as i64 + 1, 0.01);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..queries)
+        .map(|_| {
+            let mut q = generator.next_query(&mut rng);
+            q.column = if rng.gen_bool(HOT_FRACTION) {
+                0
+            } else {
+                rng.gen_range(1..COLUMNS)
+            };
+            WorkloadEvent::Query(q)
+        })
+        .collect()
+}
+
+/// Warms up statistics with a prefix of the workload so the ranking model
+/// has knowledge to work with, then spends the idle budget per policy.
+fn run_policy(
+    name: &str,
+    n: usize,
+    events: &[WorkloadEvent],
+    budget: u64,
+    apply: impl Fn(&mut Database, &[ColumnId], u64),
+) -> (String, std::time::Duration) {
+    let (mut db, cols) = build_database(
+        IndexingStrategy::Holistic,
+        HolisticConfig::default(),
+        COLUMNS,
+        n,
+    );
+    // Observation prefix: 10% of the workload, executed before the idle time.
+    let prefix = events.len() / 10;
+    for event in &events[..prefix] {
+        if let WorkloadEvent::Query(RangeQuery { column, lo, hi }) = event {
+            db.execute(&Query::range(cols[*column], *lo, *hi)).unwrap();
+        }
+    }
+    db.reset_metrics();
+    apply(&mut db, &cols, budget);
+    let outcome = replay_session(&mut db, &cols, &events[prefix..], false);
+    (name.to_string(), outcome.total_query_time)
+}
+
+fn main() {
+    let n = (scale() / 4).max(10_000);
+    let queries = 500;
+    let budget = 600u64;
+    println!(
+        "Ablation A2: idle-action ranking policy — {COLUMNS} columns of {n} values, \
+         80% of {queries} queries hit column 0, idle budget {budget} actions"
+    );
+    let events = skewed_events(n, queries, 3);
+
+    let results = vec![
+        run_policy("ranking-model", n, &events, budget, |db, _cols, b| {
+            db.run_idle(IdleBudget::Actions(b));
+        }),
+        run_policy("round-robin", n, &events, budget, |db, cols, b| {
+            for i in 0..b {
+                let col = cols[(i as usize) % cols.len()];
+                db.warm_column(col, 1).unwrap();
+            }
+        }),
+        run_policy("random-column", n, &events, budget, |db, cols, b| {
+            let mut rng = StdRng::seed_from_u64(77);
+            for _ in 0..b {
+                let col = cols[rng.gen_range(0..cols.len())];
+                db.warm_column(col, 1).unwrap();
+            }
+        }),
+        run_policy("no-idle-work", n, &events, 0, |_db, _cols, _b| {}),
+    ];
+
+    println!("{:>16} {:>18}", "policy", "query time (ms)");
+    for (name, total) in &results {
+        println!("{:>16} {:>18.2}", name, total.as_secs_f64() * 1e3);
+    }
+    println!("(the frequency-aware ranking model should be at least as good as round-robin, and all should beat doing nothing)");
+}

@@ -1,0 +1,64 @@
+//! Ablation A1: spread the idle budget over many partial indexes vs
+//! concentrate it on one column at a time.
+//!
+//! Section 3 of the paper argues that with an unknown amount of idle time it
+//! is better to "spread the resources across multiple indexes, instead of
+//! concentrating on only one index at a time" (e.g. 20 indexes at 5% each
+//! rather than one index at 100%). This bench gives both policies the same
+//! action budget and then runs a round-robin workload over all columns.
+
+use holistic_bench::{build_database, print_totals, replay_session, scale};
+use holistic_core::{HolisticConfig, IndexingStrategy};
+use holistic_workload::{ArrivalModel, RoundRobinColumns, SessionBuilder, UniformRangeGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const COLUMNS: usize = 8;
+
+fn main() {
+    let n = (scale() / 4).max(10_000);
+    let queries = 400;
+    let budget: u64 = 800; // total refinement actions granted a priori
+    println!(
+        "Ablation A1: spread vs concentrate — {COLUMNS} columns of {n} values, \
+         {budget} a-priori refinement actions, {queries} round-robin queries"
+    );
+
+    let inner = UniformRangeGenerator::new(0, 1, n as i64 + 1, 0.01);
+    let mut generator = RoundRobinColumns::new(inner, COLUMNS);
+    let mut rng = StdRng::seed_from_u64(11);
+    let events =
+        SessionBuilder::new(ArrivalModel::Steady).build(&mut generator, queries, &mut rng);
+
+    // Concentrate: all actions go to the first column.
+    let (mut concentrate_db, cols) = build_database(
+        IndexingStrategy::Holistic,
+        HolisticConfig::default(),
+        COLUMNS,
+        n,
+    );
+    concentrate_db.warm_column(cols[0], budget).expect("warm");
+    let mut concentrate = replay_session(&mut concentrate_db, &cols, &events, false);
+    concentrate.strategy = "concentrate".to_string();
+
+    // Spread: the same budget divided equally over all columns.
+    let (mut spread_db, spread_cols) = build_database(
+        IndexingStrategy::Holistic,
+        HolisticConfig::default(),
+        COLUMNS,
+        n,
+    );
+    for &c in &spread_cols {
+        spread_db
+            .warm_column(c, budget / COLUMNS as u64)
+            .expect("warm");
+    }
+    let mut spread = replay_session(&mut spread_db, &spread_cols, &events, false);
+    spread.strategy = "spread".to_string();
+
+    let outcomes = vec![concentrate, spread];
+    print_totals("A1: spread vs concentrate", &outcomes);
+    let ratio = outcomes[0].total_query_time.as_secs_f64()
+        / outcomes[1].total_query_time.as_secs_f64().max(1e-9);
+    println!("concentrate / spread total-time ratio: {ratio:.2}x (spread should win on round-robin workloads)");
+}

@@ -1,0 +1,95 @@
+//! Exp1 / Figure 3: gains of holistic indexing during a query sequence on a
+//! single column, for different amounts of idle time (X = 10, 100, 1000
+//! refinement actions per idle window).
+//!
+//! Paper setup: one column of 10^8 uniform integers, 10^4 queries of 1%
+//! selectivity at random positions, an idle window before the first query
+//! and another one every 100 queries. Offline indexing can only exploit the
+//! idle time before the first query; if the full sort is not finished by
+//! then, the first query waits for it. Cracking ignores idle time entirely.
+//!
+//! Scaled-down defaults (override with HOLISTIC_SCALE / HOLISTIC_QUERIES):
+//! 10^6 values, 10^3 queries.
+
+use std::time::{Duration, Instant};
+
+use holistic_bench::{
+    build_database, print_series, print_totals, query_count, replay_session, scale,
+};
+use holistic_core::{HolisticConfig, IndexingStrategy};
+use holistic_offline::WorkloadSummary;
+use holistic_workload::{
+    ArrivalModel, IdleWindow, SessionBuilder, UniformRangeGenerator, WorkloadEvent,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = scale();
+    let queries = query_count();
+    println!("Exp1 (Figure 3 / Table 2): single column, N={n}, {queries} queries, selectivity 1%");
+    for &x in &[10u64, 100, 1000] {
+        run_for_x(n, queries, x);
+    }
+}
+
+fn run_for_x(n: usize, queries: usize, x: u64) {
+    // One shared workload trace so every strategy answers exactly the same
+    // queries with exactly the same idle windows.
+    let mut generator = UniformRangeGenerator::new(0, 1, n as i64 + 1, 0.01);
+    let mut rng = StdRng::seed_from_u64(42 + x);
+    let events = SessionBuilder::new(ArrivalModel::PeriodicIdle { every: 100, actions: x })
+        .with_initial_idle(IdleWindow::Actions(x))
+        .build(&mut generator, queries, &mut rng);
+
+    // --- Holistic: exploits every idle window. -------------------------
+    let (mut holistic_db, cols) =
+        build_database(IndexingStrategy::Holistic, HolisticConfig::default(), 1, n);
+    let holistic = replay_session(&mut holistic_db, &cols, &events, true);
+    // The wall-clock duration of the first idle window defines T_init, the
+    // a-priori idle time every strategy is granted.
+    let t_init = estimate_initial_idle(&holistic, &events);
+
+    // --- Scan: cannot exploit idle time. --------------------------------
+    let (mut scan_db, scan_cols) =
+        build_database(IndexingStrategy::ScanOnly, HolisticConfig::default(), 1, n);
+    let scan = replay_session(&mut scan_db, &scan_cols, &events, false);
+
+    // --- Adaptive (database cracking): idle windows are wasted. ---------
+    let (mut crack_db, crack_cols) =
+        build_database(IndexingStrategy::Adaptive, HolisticConfig::default(), 1, n);
+    let cracking = replay_session(&mut crack_db, &crack_cols, &events, false);
+
+    // --- Offline: full sort, but only T_init of it is free. -------------
+    let (mut offline_db, offline_cols) =
+        build_database(IndexingStrategy::Offline, HolisticConfig::default(), 1, n);
+    let mut summary = WorkloadSummary::new();
+    summary.declare(offline_cols[0], queries as u64, 0.01);
+    let build_start = Instant::now();
+    let report = offline_db.prepare_offline(&summary, None);
+    let t_sort = build_start.elapsed();
+    assert_eq!(report.built.len(), 1);
+    if t_sort > t_init {
+        offline_db.charge_pending_penalty(t_sort - t_init);
+    }
+    let offline = replay_session(&mut offline_db, &offline_cols, &events, false);
+
+    let outcomes = vec![scan, offline, cracking, holistic];
+    print_series(
+        &format!("Figure 3, X={x} (T_init≈{:.1} ms, T_sort≈{:.1} ms)",
+                 t_init.as_secs_f64() * 1e3, t_sort.as_secs_f64() * 1e3),
+        &outcomes,
+    );
+    print_totals(&format!("Table 2 column X={x}"), &outcomes);
+}
+
+/// Wall-clock length of the initial idle window of a holistic run: the
+/// tuning time divided by the number of idle windows in the trace (all
+/// windows carry the same action budget in this experiment).
+fn estimate_initial_idle(
+    outcome: &holistic_bench::RunOutcome,
+    events: &[WorkloadEvent],
+) -> Duration {
+    let idle_windows = events.iter().filter(|e| e.is_idle()).count().max(1) as u32;
+    outcome.tuning_time / idle_windows
+}

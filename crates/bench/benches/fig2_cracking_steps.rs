@@ -1,0 +1,61 @@
+//! Figure 2: adaptive indexing (database cracking) illustrated — how the
+//! physical organization of a column evolves with every query.
+//!
+//! The paper's Figure 2 shows a small column being cracked by two queries.
+//! This bench reproduces that picture on a small column and then reports how
+//! the piece count and average piece size evolve over a longer query
+//! sequence on a realistic column size.
+
+use holistic_cracking::CrackerColumn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("Figure 2: adaptive indexing — column state after successive queries\n");
+    small_illustration();
+    piece_evolution();
+}
+
+fn small_illustration() {
+    let values = vec![13, 16, 4, 9, 2, 12, 7, 1, 19, 3, 14, 11, 8, 6];
+    println!("initial column: {values:?}");
+    let mut cracker = CrackerColumn::from_values(values);
+    for &(lo, hi) in &[(5i64, 11i64), (8, 14)] {
+        let range = cracker.crack_select(lo, hi);
+        println!("\nafter query  select * where {lo} <= A < {hi}   (result: positions {range:?})");
+        println!("  data:   {:?}", cracker.data());
+        for (i, piece) in cracker.pieces().iter().enumerate() {
+            println!(
+                "  piece {i}: positions [{}, {})  values [{}, {})",
+                piece.start,
+                piece.end,
+                piece.lo.map_or("-inf".to_string(), |v| v.to_string()),
+                piece.hi.map_or("+inf".to_string(), |v| v.to_string()),
+            );
+        }
+    }
+}
+
+fn piece_evolution() {
+    let n = 1_000_000usize;
+    let mut rng = StdRng::seed_from_u64(99);
+    let values: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=n as i64)).collect();
+    let mut cracker = CrackerColumn::from_values(values);
+    println!("\nPiece evolution over a 1%-selectivity query sequence (N={n}):");
+    println!("{:>8} {:>12} {:>18}", "queries", "pieces", "avg piece size");
+    let mut executed = 0u32;
+    for &checkpoint in &[1u32, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+        while executed < checkpoint {
+            let lo = rng.gen_range(1..=(n as i64 - n as i64 / 100).max(1));
+            let hi = lo + n as i64 / 100;
+            let _ = cracker.crack_select(lo, hi);
+            executed += 1;
+        }
+        println!(
+            "{:>8} {:>12} {:>18.0}",
+            executed,
+            cracker.piece_count(),
+            cracker.avg_piece_len()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the partitioning kernels: the cost of a
+//! single crack pass vs a full sort, which is the asymmetry the whole
+//! adaptive-indexing argument rests on (one crack pass is O(n), a full sort
+//! is O(n log n) and pays off only after many queries).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use holistic_cracking::{crack_in_three, crack_in_two};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dataset(n: usize) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..n).map(|_| rng.gen_range(1..=n as i64)).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crack_kernels");
+    for &n in &[100_000usize, 1_000_000] {
+        let data = dataset(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("crack_in_two", n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| black_box(crack_in_two(&mut d, n as i64 / 2)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("crack_in_three", n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| black_box(crack_in_three(&mut d, n as i64 / 3, 2 * n as i64 / 3)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("full_sort", n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    d.sort_unstable();
+                    black_box(d.len())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(benches);

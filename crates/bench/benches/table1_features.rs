@@ -1,0 +1,56 @@
+//! Table 1: features of offline, online, adaptive and holistic indexing.
+//!
+//! This regenerates the paper's qualitative feature matrix from the
+//! engine's own capability descriptions, so the claims stay tied to code.
+
+use holistic_core::{strategy_timeline, IndexingStrategy};
+
+fn mark(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
+}
+
+fn main() {
+    println!("Table 1: features of offline, online, adaptive and holistic indexing\n");
+    println!(
+        "{:<10} {:>22} {:>24} {:>26} {:>22} {:>10}",
+        "Indexing",
+        "stat. analysis a-priori",
+        "idle time a-priori",
+        "idle time during workload",
+        "incremental indexing",
+        "workload"
+    );
+    for strategy in [
+        IndexingStrategy::Offline,
+        IndexingStrategy::Online,
+        IndexingStrategy::Adaptive,
+        IndexingStrategy::Holistic,
+    ] {
+        let f = strategy.features();
+        println!(
+            "{:<10} {:>22} {:>24} {:>26} {:>22} {:>10}",
+            strategy.name(),
+            mark(f.statistical_analysis_a_priori),
+            mark(f.exploits_idle_time_a_priori),
+            mark(f.exploits_idle_time_during_workload),
+            mark(f.incremental_indexing),
+            f.workload.to_string()
+        );
+    }
+
+    println!("\nLifecycle timelines (Figure 1 companion):");
+    for strategy in IndexingStrategy::all() {
+        println!("  {}:", strategy.name());
+        for phase in strategy_timeline(strategy) {
+            println!(
+                "    [{}] {}",
+                if phase.during_workload { "during" } else { "before" },
+                phase.label
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Table 2: overall gains of holistic indexing in total time for the Exp1
+//! workload, for X ∈ {10, 100, 1000} refinement actions per idle window.
+//!
+//! The paper reports (for 10^8 values, 10^4 queries):
+//!
+//! | Indexing | X=10   | X=100  | X=1000 |
+//! |----------|--------|--------|--------|
+//! | Scan     | 6746 s | 6746 s | 6746 s |
+//! | Offline  | 28.5 s | 28.5 s | 28.5 s |
+//! | Adaptive | 13 s   | 13 s   | 13 s   |
+//! | Holistic | 7.3 s  | 3.6 s  | 1.6 s  |
+//!
+//! At the scaled-down default size the absolute numbers are smaller, but the
+//! ordering (Scan ≫ Offline > Adaptive > Holistic) and the trend that
+//! holistic improves as X grows are expected to hold.
+
+use std::time::{Duration, Instant};
+
+use holistic_bench::{build_database, query_count, replay_session, scale};
+use holistic_core::{HolisticConfig, IndexingStrategy};
+use holistic_offline::WorkloadSummary;
+use holistic_workload::{ArrivalModel, IdleWindow, SessionBuilder, UniformRangeGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = scale();
+    let queries = query_count();
+    println!("Table 2: total time to run {queries} queries over one column of {n} values");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "Indexing", "X=10", "X=100", "X=1000"
+    );
+    let xs = [10u64, 100, 1000];
+    let mut rows: Vec<(&str, Vec<Duration>)> = vec![
+        ("Scan", Vec::new()),
+        ("Offline", Vec::new()),
+        ("Adaptive", Vec::new()),
+        ("Holistic", Vec::new()),
+    ];
+    for &x in &xs {
+        let totals = totals_for_x(n, queries, x);
+        for (row, total) in rows.iter_mut().zip(totals) {
+            row.1.push(total);
+        }
+    }
+    for (name, totals) in &rows {
+        print!("{name:>10}");
+        for t in totals {
+            print!(" {:>13.1}s", t.as_secs_f64());
+        }
+        println!();
+    }
+    println!("(query response time only, as in the paper: idle/tuning time is free by definition)");
+}
+
+/// Returns total query time for (scan, offline, adaptive, holistic).
+fn totals_for_x(n: usize, queries: usize, x: u64) -> [Duration; 4] {
+    let mut generator = UniformRangeGenerator::new(0, 1, n as i64 + 1, 0.01);
+    let mut rng = StdRng::seed_from_u64(7 + x);
+    let events = SessionBuilder::new(ArrivalModel::PeriodicIdle { every: 100, actions: x })
+        .with_initial_idle(IdleWindow::Actions(x))
+        .build(&mut generator, queries, &mut rng);
+
+    let (mut holistic_db, cols) =
+        build_database(IndexingStrategy::Holistic, HolisticConfig::default(), 1, n);
+    let holistic = replay_session(&mut holistic_db, &cols, &events, true);
+    let idle_windows = events.iter().filter(|e| e.is_idle()).count().max(1) as u32;
+    let t_init = holistic.tuning_time / idle_windows;
+
+    let (mut scan_db, scan_cols) =
+        build_database(IndexingStrategy::ScanOnly, HolisticConfig::default(), 1, n);
+    let scan = replay_session(&mut scan_db, &scan_cols, &events, false);
+
+    let (mut crack_db, crack_cols) =
+        build_database(IndexingStrategy::Adaptive, HolisticConfig::default(), 1, n);
+    let adaptive = replay_session(&mut crack_db, &crack_cols, &events, false);
+
+    let (mut offline_db, offline_cols) =
+        build_database(IndexingStrategy::Offline, HolisticConfig::default(), 1, n);
+    let mut summary = WorkloadSummary::new();
+    summary.declare(offline_cols[0], queries as u64, 0.01);
+    let start = Instant::now();
+    offline_db.prepare_offline(&summary, None);
+    let t_sort = start.elapsed();
+    if t_sort > t_init {
+        offline_db.charge_pending_penalty(t_sort - t_init);
+    }
+    let offline = replay_session(&mut offline_db, &offline_cols, &events, false);
+
+    [
+        scan.total_query_time,
+        offline.total_query_time,
+        adaptive.total_query_time,
+        holistic.total_query_time,
+    ]
+}

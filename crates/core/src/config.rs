@@ -1,0 +1,119 @@
+//! Kernel configuration.
+
+use holistic_cracking::CrackPolicy;
+
+/// Configuration of the holistic indexing kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HolisticConfig {
+    /// Piece size (in values) below which further refinement of a cracked
+    /// column no longer improves query latency — the paper's observation
+    /// that refinement stops paying off once pieces fit in the CPU cache.
+    pub cache_piece_target: usize,
+    /// A value range of a column is considered *hot* once at least this many
+    /// queries have cracked it; hot ranges receive extra refinement during
+    /// query processing (the paper's "No Time" case).
+    pub hot_range_query_threshold: u64,
+    /// Number of auxiliary random cracks applied to a hot range per query.
+    pub boost_cracks_per_query: u64,
+    /// Queries per epoch for the online-indexing machinery.
+    pub epoch_length: u64,
+    /// Whether cracker columns carry row ids (needed for projections of
+    /// other attributes; costs one extra u32 per value and slightly slower
+    /// cracking).
+    pub keep_rowids: bool,
+    /// Cracking policy used by the adaptive and holistic select operators.
+    pub crack_policy: CrackPolicy,
+    /// Seed for the kernel's random number generator (auxiliary refinement
+    /// actions, stochastic cracking). Fixed by default for reproducibility.
+    pub rng_seed: u64,
+    /// Number of histogram buckets used to track hot value ranges.
+    pub hot_range_buckets: usize,
+}
+
+impl Default for HolisticConfig {
+    fn default() -> Self {
+        HolisticConfig {
+            // 4096 i64 values = 32 KiB, i.e. an L1-data-cache-resident piece:
+            // the boundary pieces a select touches are then effectively free
+            // to re-partition, which is where the paper observes refinement
+            // stops paying off.
+            cache_piece_target: 4096,
+            hot_range_query_threshold: 8,
+            boost_cracks_per_query: 2,
+            epoch_length: 100,
+            keep_rowids: false,
+            crack_policy: CrackPolicy::Standard,
+            rng_seed: 0x5EED_CAFE,
+            hot_range_buckets: 64,
+        }
+    }
+}
+
+impl HolisticConfig {
+    /// A configuration suitable for small unit-test datasets: the cache
+    /// target is lowered so that refinement decisions are still meaningful
+    /// on columns of a few thousand values.
+    #[must_use]
+    pub fn for_testing() -> Self {
+        HolisticConfig {
+            cache_piece_target: 64,
+            hot_range_query_threshold: 3,
+            boost_cracks_per_query: 2,
+            epoch_length: 10,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the cracking policy.
+    #[must_use]
+    pub fn with_crack_policy(mut self, policy: CrackPolicy) -> Self {
+        self.crack_policy = policy;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Enables or disables row-id payloads in cracker columns.
+    #[must_use]
+    pub fn with_rowids(mut self, keep: bool) -> Self {
+        self.keep_rowids = keep;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = HolisticConfig::default();
+        assert!(c.cache_piece_target > 0);
+        assert!(c.epoch_length > 0);
+        assert!(c.hot_range_buckets > 0);
+        assert_eq!(c.crack_policy, CrackPolicy::Standard);
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = HolisticConfig::default()
+            .with_crack_policy(CrackPolicy::Mdd1r)
+            .with_seed(42)
+            .with_rowids(true);
+        assert_eq!(c.crack_policy, CrackPolicy::Mdd1r);
+        assert_eq!(c.rng_seed, 42);
+        assert!(c.keep_rowids);
+    }
+
+    #[test]
+    fn testing_config_shrinks_thresholds() {
+        let c = HolisticConfig::for_testing();
+        assert!(c.cache_piece_target < HolisticConfig::default().cache_piece_target);
+        assert!(c.epoch_length < HolisticConfig::default().epoch_length);
+    }
+}

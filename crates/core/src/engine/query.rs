@@ -1,0 +1,142 @@
+//! Query and result types of the engine.
+
+use std::time::Duration;
+
+use holistic_storage::{ColumnId, Value};
+
+/// A range select-project query:
+/// `SELECT A FROM R WHERE A >= lo AND A < hi` (the paper's query template).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// The column the predicate applies to.
+    pub column: ColumnId,
+    /// Inclusive lower bound.
+    pub lo: Value,
+    /// Exclusive upper bound.
+    pub hi: Value,
+    /// Whether the qualifying values should be materialized in the result
+    /// (`false` answers with count and sum only, which is what the paper's
+    /// select-project measurement needs).
+    pub materialize: bool,
+}
+
+impl Query {
+    /// A count/sum range query (no materialization).
+    #[must_use]
+    pub fn range(column: ColumnId, lo: Value, hi: Value) -> Self {
+        Query {
+            column,
+            lo,
+            hi,
+            materialize: false,
+        }
+    }
+
+    /// A range query that materializes the qualifying values.
+    #[must_use]
+    pub fn range_materialized(column: ColumnId, lo: Value, hi: Value) -> Self {
+        Query {
+            column,
+            lo,
+            hi,
+            materialize: true,
+        }
+    }
+
+    /// Whether the predicate is empty by construction.
+    #[must_use]
+    pub fn is_empty_range(&self) -> bool {
+        self.hi <= self.lo
+    }
+}
+
+/// The access path the planner chose for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Full column scan.
+    Scan,
+    /// Binary search on a full sorted index.
+    FullIndex,
+    /// Adaptive (cracking) select.
+    Crack,
+}
+
+impl AccessPath {
+    /// Short stable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AccessPath::Scan => "scan",
+            AccessPath::FullIndex => "index",
+            AccessPath::Crack => "crack",
+        }
+    }
+}
+
+/// The result of one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Number of qualifying rows.
+    pub count: u64,
+    /// Sum of the qualifying values.
+    pub sum: i128,
+    /// The qualifying values, if materialization was requested.
+    pub values: Option<Vec<Value>>,
+    /// The access path the planner used.
+    pub path: AccessPath,
+    /// Wall-clock latency of the query.
+    pub latency: Duration,
+}
+
+impl QueryResult {
+    /// Mean of the qualifying values, if any.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_storage::TableId;
+
+    fn col() -> ColumnId {
+        ColumnId::new(TableId(0), 0)
+    }
+
+    #[test]
+    fn query_constructors() {
+        let q = Query::range(col(), 1, 10);
+        assert!(!q.materialize);
+        assert!(!q.is_empty_range());
+        let m = Query::range_materialized(col(), 5, 5);
+        assert!(m.materialize);
+        assert!(m.is_empty_range());
+    }
+
+    #[test]
+    fn access_path_names() {
+        assert_eq!(AccessPath::Scan.name(), "scan");
+        assert_eq!(AccessPath::FullIndex.name(), "index");
+        assert_eq!(AccessPath::Crack.name(), "crack");
+    }
+
+    #[test]
+    fn result_mean() {
+        let r = QueryResult {
+            count: 4,
+            sum: 20,
+            values: None,
+            path: AccessPath::Scan,
+            latency: Duration::ZERO,
+        };
+        assert_eq!(r.mean(), Some(5.0));
+        let empty = QueryResult { count: 0, sum: 0, ..r };
+        assert_eq!(empty.mean(), None);
+    }
+}

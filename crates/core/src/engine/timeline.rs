@@ -1,0 +1,129 @@
+//! Qualitative timelines of when each strategy does its tuning work
+//! (the paper's Figure 1).
+
+use crate::strategy::IndexingStrategy;
+
+/// One phase of a strategy's lifecycle relative to the query workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelinePhase {
+    /// Human-readable label of the phase.
+    pub label: &'static str,
+    /// Whether the phase happens while queries are being processed
+    /// (as opposed to before the workload starts).
+    pub during_workload: bool,
+    /// Whether the phase consumes idle time productively.
+    pub exploits_idle: bool,
+}
+
+/// Returns the ordered phases of a strategy's tuning lifecycle.
+#[must_use]
+pub fn strategy_timeline(strategy: IndexingStrategy) -> Vec<TimelinePhase> {
+    match strategy {
+        IndexingStrategy::ScanOnly => vec![TimelinePhase {
+            label: "query processing (full scans, idle time wasted)",
+            during_workload: true,
+            exploits_idle: false,
+        }],
+        IndexingStrategy::Offline => vec![
+            TimelinePhase {
+                label: "a-priori workload analysis",
+                during_workload: false,
+                exploits_idle: true,
+            },
+            TimelinePhase {
+                label: "full index building before the first query",
+                during_workload: false,
+                exploits_idle: true,
+            },
+            TimelinePhase {
+                label: "query processing (idle windows wasted)",
+                during_workload: true,
+                exploits_idle: false,
+            },
+        ],
+        IndexingStrategy::Online => vec![
+            TimelinePhase {
+                label: "continuous monitoring",
+                during_workload: true,
+                exploits_idle: false,
+            },
+            TimelinePhase {
+                label: "periodic physical-design re-evaluation (epochs)",
+                during_workload: true,
+                exploits_idle: true,
+            },
+            TimelinePhase {
+                label: "full index builds interleaved with queries",
+                during_workload: true,
+                exploits_idle: true,
+            },
+        ],
+        IndexingStrategy::Adaptive => vec![
+            TimelinePhase {
+                label: "incremental cracking inside select operators",
+                during_workload: true,
+                exploits_idle: false,
+            },
+            TimelinePhase {
+                label: "idle windows wasted (no statistics, no background work)",
+                during_workload: true,
+                exploits_idle: false,
+            },
+        ],
+        IndexingStrategy::Holistic => vec![
+            TimelinePhase {
+                label: "continuous monitoring and statistics",
+                during_workload: true,
+                exploits_idle: false,
+            },
+            TimelinePhase {
+                label: "incremental cracking inside select operators",
+                during_workload: true,
+                exploits_idle: false,
+            },
+            TimelinePhase {
+                label: "auxiliary refinement during every idle window",
+                during_workload: true,
+                exploits_idle: true,
+            },
+            TimelinePhase {
+                label: "a-priori refinement spread over all candidate columns",
+                during_workload: false,
+                exploits_idle: true,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_strategy_has_a_timeline() {
+        for s in IndexingStrategy::all() {
+            assert!(!strategy_timeline(s).is_empty());
+        }
+    }
+
+    #[test]
+    fn only_idle_aware_strategies_exploit_idle_time() {
+        let exploits = |s: IndexingStrategy| {
+            strategy_timeline(s).iter().any(|p| p.exploits_idle)
+        };
+        assert!(!exploits(IndexingStrategy::ScanOnly));
+        assert!(!exploits(IndexingStrategy::Adaptive));
+        assert!(exploits(IndexingStrategy::Offline));
+        assert!(exploits(IndexingStrategy::Online));
+        assert!(exploits(IndexingStrategy::Holistic));
+    }
+
+    #[test]
+    fn holistic_exploits_idle_during_the_workload() {
+        let phases = strategy_timeline(IndexingStrategy::Holistic);
+        assert!(phases.iter().any(|p| p.during_workload && p.exploits_idle));
+        // Offline only exploits idle time before the workload.
+        let offline = strategy_timeline(IndexingStrategy::Offline);
+        assert!(!offline.iter().any(|p| p.during_workload && p.exploits_idle));
+    }
+}

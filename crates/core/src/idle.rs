@@ -1,0 +1,136 @@
+//! Idle-time budgets and reports.
+//!
+//! The paper measures idle time in two interchangeable ways: as wall-clock
+//! time, and as "the time needed to apply X random index refinement
+//! actions" (the `X` knob of Exp1). [`IdleBudget`] supports both, so the
+//! engine can be driven either by a workload trace that grants action
+//! budgets or by a background thread that hands out real time slices.
+
+use std::time::Duration;
+
+use holistic_storage::ColumnId;
+
+/// How much idle time the tuner may spend right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleBudget {
+    /// Apply at most this many auxiliary refinement actions.
+    Actions(u64),
+    /// Spend at most this much wall-clock time.
+    Duration(Duration),
+}
+
+impl IdleBudget {
+    /// A zero budget (nothing may be done).
+    #[must_use]
+    pub fn zero() -> Self {
+        IdleBudget::Actions(0)
+    }
+
+    /// Whether the budget is trivially empty.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        match self {
+            IdleBudget::Actions(a) => *a == 0,
+            IdleBudget::Duration(d) => d.is_zero(),
+        }
+    }
+}
+
+impl From<holistic_workload_idle::IdleWindowLike> for IdleBudget {
+    fn from(value: holistic_workload_idle::IdleWindowLike) -> Self {
+        match value {
+            holistic_workload_idle::IdleWindowLike::Actions(a) => IdleBudget::Actions(a),
+            holistic_workload_idle::IdleWindowLike::Micros(m) => {
+                IdleBudget::Duration(Duration::from_micros(m))
+            }
+        }
+    }
+}
+
+/// A minimal mirror of the workload crate's idle-window type, so the core
+/// crate does not need to depend on the workload crate (which is a
+/// dev-/bench-side concern). The benches convert between the two.
+pub mod holistic_workload_idle {
+    /// Idle window expressed as either actions or microseconds.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum IdleWindowLike {
+        /// Enough idle time for this many refinement actions.
+        Actions(u64),
+        /// A wall-clock budget in microseconds.
+        Micros(u64),
+    }
+}
+
+/// What an idle-time tuning pass accomplished.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IdleReport {
+    /// Auxiliary refinement actions applied.
+    pub actions_applied: u64,
+    /// Distinct columns that received at least one action.
+    pub columns_touched: Vec<ColumnId>,
+    /// Wall-clock time spent tuning.
+    pub elapsed: Duration,
+    /// Whether tuning stopped because nothing further was worth refining
+    /// (every known column is below the cache-piece target).
+    pub converged: bool,
+}
+
+impl IdleReport {
+    /// Merges another report into this one (for accumulating across
+    /// multiple idle windows).
+    pub fn absorb(&mut self, other: &IdleReport) {
+        self.actions_applied += other.actions_applied;
+        for c in &other.columns_touched {
+            if !self.columns_touched.contains(c) {
+                self.columns_touched.push(*c);
+            }
+        }
+        self.elapsed += other.elapsed;
+        self.converged = other.converged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_storage::TableId;
+
+    #[test]
+    fn zero_budget_detection() {
+        assert!(IdleBudget::zero().is_zero());
+        assert!(IdleBudget::Actions(0).is_zero());
+        assert!(!IdleBudget::Actions(5).is_zero());
+        assert!(IdleBudget::Duration(Duration::ZERO).is_zero());
+        assert!(!IdleBudget::Duration(Duration::from_millis(1)).is_zero());
+    }
+
+    #[test]
+    fn idle_window_conversion() {
+        let a: IdleBudget = holistic_workload_idle::IdleWindowLike::Actions(7).into();
+        assert_eq!(a, IdleBudget::Actions(7));
+        let d: IdleBudget = holistic_workload_idle::IdleWindowLike::Micros(1500).into();
+        assert_eq!(d, IdleBudget::Duration(Duration::from_micros(1500)));
+    }
+
+    #[test]
+    fn absorb_accumulates_reports() {
+        let col = ColumnId::new(TableId(0), 1);
+        let mut a = IdleReport {
+            actions_applied: 3,
+            columns_touched: vec![col],
+            elapsed: Duration::from_micros(10),
+            converged: false,
+        };
+        let b = IdleReport {
+            actions_applied: 2,
+            columns_touched: vec![col, ColumnId::new(TableId(0), 2)],
+            elapsed: Duration::from_micros(5),
+            converged: true,
+        };
+        a.absorb(&b);
+        assert_eq!(a.actions_applied, 5);
+        assert_eq!(a.columns_touched.len(), 2);
+        assert_eq!(a.elapsed, Duration::from_micros(15));
+        assert!(a.converged);
+    }
+}

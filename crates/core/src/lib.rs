@@ -1,0 +1,74 @@
+//! # holistic-core
+//!
+//! The holistic indexing kernel: offline, online and adaptive indexing
+//! unified in one engine, as envisioned by *Holistic Indexing: Offline,
+//! Online and Adaptive Indexing in the Same Kernel* (SIGMOD 2012 PhD
+//! Symposium).
+//!
+//! Holistic indexing combines the strengths of the three automated indexing
+//! approaches while avoiding their weaknesses:
+//!
+//! * like **adaptive indexing** (database cracking) it reacts instantly:
+//!   indexes are partial and incremental and are refined as a side effect of
+//!   every query;
+//! * like **online indexing** it monitors the workload continuously and
+//!   keeps statistics about which columns and value ranges are hot;
+//! * like **offline indexing** it exploits workload knowledge and idle time
+//!   — but instead of building a few full indexes it spreads the idle budget
+//!   over *many partial indexes* with cheap random refinement actions,
+//!   guided by a cost model that knows when further refinement stops paying
+//!   off (pieces that fit in the CPU cache).
+//!
+//! The central type is [`Database`]: a small column-store engine whose
+//! select operators implement all the indexing strategies of the paper
+//! ([`IndexingStrategy`]) side by side, so they can be compared under
+//! identical workloads. The holistic machinery lives in [`stats`]
+//! (continuous statistics), [`ranking`] (which column deserves the next
+//! refinement action), [`idle`] (idle-time budgets and the tuning executor)
+//! and [`background`] (a thread that detects idle time and tunes
+//! autonomously).
+//!
+//! ```
+//! use holistic_core::{Database, HolisticConfig, IndexingStrategy, Query, IdleBudget};
+//!
+//! // `for_testing()` lowers the cache-resident piece target so that idle
+//! // refinement is still worthwhile on this small example column.
+//! let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+//! let table = db.create_table("r", vec![("a", (0..10_000).rev().collect())]).unwrap();
+//! let col = db.column_id(table, "a").unwrap();
+//!
+//! // Queries crack the column incrementally…
+//! let result = db.execute(&Query::range(col, 1_000, 1_100)).unwrap();
+//! assert_eq!(result.count, 100);
+//!
+//! // …and idle time is spent refining the hottest columns further.
+//! let report = db.run_idle(IdleBudget::Actions(32));
+//! assert!(report.actions_applied > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod background;
+pub mod config;
+pub mod engine;
+pub mod idle;
+pub mod metrics;
+pub mod ranking;
+pub mod stats;
+pub mod strategy;
+
+pub use background::BackgroundTuner;
+pub use config::HolisticConfig;
+pub use engine::query::{AccessPath, Query, QueryResult};
+pub use engine::timeline::{strategy_timeline, TimelinePhase};
+pub use engine::Database;
+pub use idle::{IdleBudget, IdleReport};
+pub use metrics::{EngineMetrics, QueryRecord};
+pub use ranking::RankingModel;
+pub use stats::{ColumnActivity, KernelStatistics};
+pub use strategy::{IndexingStrategy, StrategyFeatures};
+
+pub use holistic_cracking::CrackPolicy;
+pub use holistic_offline::CostModel;
+pub use holistic_storage::{ColumnId, TableId, Value};

@@ -1,0 +1,194 @@
+//! Per-query metrics and cumulative timing.
+//!
+//! The paper's figures plot *cumulative response time* over the query
+//! sequence; the engine therefore records, for every executed query, the
+//! wall-clock latency, the access path taken and the column touched, plus
+//! the time spent on tuning (idle-time refinement, offline builds) so the
+//! benches can attribute every microsecond.
+
+use std::time::Duration;
+
+use holistic_storage::ColumnId;
+
+use crate::engine::query::AccessPath;
+
+/// The record of one executed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRecord {
+    /// Position of the query in the execution sequence (0-based).
+    pub sequence: u64,
+    /// The column the query touched.
+    pub column: ColumnId,
+    /// The access path the planner chose.
+    pub path: AccessPath,
+    /// Wall-clock latency of the query.
+    pub latency: Duration,
+    /// Number of qualifying rows.
+    pub result_count: u64,
+}
+
+/// Engine-wide metrics.
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    queries: Vec<QueryRecord>,
+    tuning_time: Duration,
+    offline_build_time: Duration,
+    auxiliary_actions: u64,
+}
+
+impl EngineMetrics {
+    /// Creates an empty metrics store.
+    #[must_use]
+    pub fn new() -> Self {
+        EngineMetrics::default()
+    }
+
+    /// Records one executed query.
+    pub fn record_query(&mut self, record: QueryRecord) {
+        self.queries.push(record);
+    }
+
+    /// Adds time spent on idle-time tuning.
+    pub fn add_tuning_time(&mut self, d: Duration, actions: u64) {
+        self.tuning_time += d;
+        self.auxiliary_actions += actions;
+    }
+
+    /// Adds time spent building full (offline/online) indexes.
+    pub fn add_build_time(&mut self, d: Duration) {
+        self.offline_build_time += d;
+    }
+
+    /// All query records, in execution order.
+    #[must_use]
+    pub fn queries(&self) -> &[QueryRecord] {
+        &self.queries
+    }
+
+    /// Number of executed queries.
+    #[must_use]
+    pub fn query_count(&self) -> u64 {
+        self.queries.len() as u64
+    }
+
+    /// Total query latency so far.
+    #[must_use]
+    pub fn total_query_time(&self) -> Duration {
+        self.queries.iter().map(|q| q.latency).sum()
+    }
+
+    /// Cumulative query latency after each query, in microseconds — the
+    /// series the paper's Figures 3 and 4 plot on the y-axis.
+    #[must_use]
+    pub fn cumulative_micros(&self) -> Vec<u128> {
+        let mut acc = 0u128;
+        self.queries
+            .iter()
+            .map(|q| {
+                acc += q.latency.as_micros();
+                acc
+            })
+            .collect()
+    }
+
+    /// Time spent on idle-time tuning.
+    #[must_use]
+    pub fn tuning_time(&self) -> Duration {
+        self.tuning_time
+    }
+
+    /// Time spent building full indexes.
+    #[must_use]
+    pub fn build_time(&self) -> Duration {
+        self.offline_build_time
+    }
+
+    /// Auxiliary refinement actions applied so far.
+    #[must_use]
+    pub fn auxiliary_actions(&self) -> u64 {
+        self.auxiliary_actions
+    }
+
+    /// How many queries used each access path: `(scan, full index, crack)`.
+    #[must_use]
+    pub fn path_breakdown(&self) -> (u64, u64, u64) {
+        let mut scan = 0;
+        let mut index = 0;
+        let mut crack = 0;
+        for q in &self.queries {
+            match q.path {
+                AccessPath::Scan => scan += 1,
+                AccessPath::FullIndex => index += 1,
+                AccessPath::Crack => crack += 1,
+            }
+        }
+        (scan, index, crack)
+    }
+
+    /// Clears all recorded metrics (e.g. between benchmark phases).
+    pub fn reset(&mut self) {
+        self.queries.clear();
+        self.tuning_time = Duration::ZERO;
+        self.offline_build_time = Duration::ZERO;
+        self.auxiliary_actions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_storage::TableId;
+
+    fn record(seq: u64, micros: u64, path: AccessPath) -> QueryRecord {
+        QueryRecord {
+            sequence: seq,
+            column: ColumnId::new(TableId(0), 0),
+            path,
+            latency: Duration::from_micros(micros),
+            result_count: 10,
+        }
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = EngineMetrics::new();
+        assert_eq!(m.query_count(), 0);
+        assert_eq!(m.total_query_time(), Duration::ZERO);
+        assert!(m.cumulative_micros().is_empty());
+        assert_eq!(m.path_breakdown(), (0, 0, 0));
+    }
+
+    #[test]
+    fn cumulative_series_is_monotone_and_correct() {
+        let mut m = EngineMetrics::new();
+        m.record_query(record(0, 100, AccessPath::Scan));
+        m.record_query(record(1, 50, AccessPath::Crack));
+        m.record_query(record(2, 25, AccessPath::FullIndex));
+        assert_eq!(m.cumulative_micros(), vec![100, 150, 175]);
+        assert_eq!(m.total_query_time(), Duration::from_micros(175));
+        assert_eq!(m.query_count(), 3);
+        assert_eq!(m.path_breakdown(), (1, 1, 1));
+    }
+
+    #[test]
+    fn tuning_and_build_time_accumulate() {
+        let mut m = EngineMetrics::new();
+        m.add_tuning_time(Duration::from_micros(30), 5);
+        m.add_tuning_time(Duration::from_micros(20), 7);
+        m.add_build_time(Duration::from_millis(2));
+        assert_eq!(m.tuning_time(), Duration::from_micros(50));
+        assert_eq!(m.auxiliary_actions(), 12);
+        assert_eq!(m.build_time(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = EngineMetrics::new();
+        m.record_query(record(0, 1, AccessPath::Scan));
+        m.add_tuning_time(Duration::from_micros(5), 1);
+        m.reset();
+        assert_eq!(m.query_count(), 0);
+        assert_eq!(m.tuning_time(), Duration::ZERO);
+        assert_eq!(m.auxiliary_actions(), 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Continuous kernel statistics.
+//!
+//! Holistic indexing keeps its statistics *inside* the kernel and up to date
+//! at all times: every select operator reports the column and value range it
+//! touched, every refinement action reports the new piece counts. The
+//! ranking model (see [`crate::ranking`]) reads these statistics to answer
+//! the paper's key question: *"if we detect a couple of idle milliseconds,
+//! on which column should we apply a random crack action?"* — and the
+//! hot-range detector answers the companion question for the "No Time"
+//! case: *which value ranges deserve extra refinement right now, during
+//! query processing.*
+
+use std::collections::BTreeMap;
+
+use holistic_offline::WorkloadSummary;
+use holistic_storage::{ColumnId, Value};
+
+/// Per-column activity statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnActivity {
+    /// Queries that touched this column.
+    pub queries: u64,
+    /// Auxiliary (idle-time or boost) refinement actions applied.
+    pub auxiliary_actions: u64,
+    /// Number of pieces the column's cracker index currently has
+    /// (1 means "completely unindexed or fully sorted single piece").
+    pub piece_count: usize,
+    /// Average piece length of the cracker column.
+    pub avg_piece_len: f64,
+    /// Number of values in the column.
+    pub column_len: usize,
+    /// Domain seen in predicates: smallest lower bound.
+    pub predicate_min: Option<Value>,
+    /// Domain seen in predicates: largest upper bound.
+    pub predicate_max: Option<Value>,
+    /// Histogram of predicate hits over the predicate domain, used to find
+    /// hot ranges. Bucket `i` counts queries whose range overlapped bucket
+    /// `i` of `[predicate_min, predicate_max)`.
+    hot_buckets: Vec<u64>,
+}
+
+impl ColumnActivity {
+    fn new(buckets: usize) -> Self {
+        ColumnActivity {
+            queries: 0,
+            auxiliary_actions: 0,
+            piece_count: 1,
+            avg_piece_len: 0.0,
+            column_len: 0,
+            predicate_min: None,
+            predicate_max: None,
+            hot_buckets: vec![0; buckets.max(1)],
+        }
+    }
+
+    /// Number of queries whose predicate overlapped the bucket containing
+    /// the value range `[lo, hi)` (maximum over the overlapped buckets).
+    #[must_use]
+    pub fn hot_hits(&self, lo: Value, hi: Value) -> u64 {
+        let (Some(pmin), Some(pmax)) = (self.predicate_min, self.predicate_max) else {
+            return 0;
+        };
+        if pmax <= pmin || hi <= lo {
+            return 0;
+        }
+        let span = (pmax - pmin) as f64;
+        let n = self.hot_buckets.len();
+        let to_bucket = |v: Value| -> usize {
+            let rel = ((v - pmin) as f64 / span * n as f64).floor() as isize;
+            rel.clamp(0, n as isize - 1) as usize
+        };
+        let b_lo = to_bucket(lo.max(pmin));
+        let b_hi = to_bucket((hi - 1).min(pmax));
+        self.hot_buckets[b_lo..=b_hi].iter().copied().max().unwrap_or(0)
+    }
+
+    fn record_predicate(&mut self, lo: Value, hi: Value) {
+        // Grow the tracked predicate domain first, then bump the buckets the
+        // range overlaps. Growing the domain does not rescale old buckets —
+        // hot-range detection only needs to be approximately right and the
+        // domain stabilizes after the first handful of queries.
+        self.predicate_min = Some(self.predicate_min.map_or(lo, |m| m.min(lo)));
+        self.predicate_max = Some(self.predicate_max.map_or(hi, |m| m.max(hi)));
+        let (pmin, pmax) = (
+            self.predicate_min.expect("set above"),
+            self.predicate_max.expect("set above"),
+        );
+        if pmax <= pmin || hi <= lo {
+            return;
+        }
+        let span = (pmax - pmin) as f64;
+        let n = self.hot_buckets.len();
+        let to_bucket = |v: Value| -> usize {
+            let rel = ((v - pmin) as f64 / span * n as f64).floor() as isize;
+            rel.clamp(0, n as isize - 1) as usize
+        };
+        let b_lo = to_bucket(lo);
+        let b_hi = to_bucket(hi - 1);
+        for b in &mut self.hot_buckets[b_lo..=b_hi] {
+            *b += 1;
+        }
+    }
+}
+
+/// The kernel-wide statistics store.
+#[derive(Debug, Clone)]
+pub struct KernelStatistics {
+    columns: BTreeMap<ColumnId, ColumnActivity>,
+    summary: WorkloadSummary,
+    total_queries: u64,
+    hot_range_buckets: usize,
+}
+
+impl KernelStatistics {
+    /// Creates an empty statistics store with the given number of hot-range
+    /// buckets per column.
+    #[must_use]
+    pub fn new(hot_range_buckets: usize) -> Self {
+        KernelStatistics {
+            columns: BTreeMap::new(),
+            summary: WorkloadSummary::new(),
+            total_queries: 0,
+            hot_range_buckets: hot_range_buckets.max(1),
+        }
+    }
+
+    /// Registers a column with its size (idempotent; updates the size).
+    pub fn register_column(&mut self, id: ColumnId, len: usize) {
+        let buckets = self.hot_range_buckets;
+        let entry = self
+            .columns
+            .entry(id)
+            .or_insert_with(|| ColumnActivity::new(buckets));
+        entry.column_len = len;
+        if entry.avg_piece_len == 0.0 {
+            entry.avg_piece_len = len as f64;
+        }
+    }
+
+    /// Records an executed query and its selectivity.
+    pub fn record_query(&mut self, id: ColumnId, lo: Value, hi: Value, selectivity: f64) {
+        let buckets = self.hot_range_buckets;
+        let entry = self
+            .columns
+            .entry(id)
+            .or_insert_with(|| ColumnActivity::new(buckets));
+        entry.queries += 1;
+        entry.record_predicate(lo, hi);
+        self.summary.record_query(id, selectivity, lo, hi);
+        self.total_queries += 1;
+    }
+
+    /// Records the effect of refinement on a column (new piece statistics).
+    pub fn record_refinement(&mut self, id: ColumnId, piece_count: usize, avg_piece_len: f64) {
+        let buckets = self.hot_range_buckets;
+        let entry = self
+            .columns
+            .entry(id)
+            .or_insert_with(|| ColumnActivity::new(buckets));
+        entry.piece_count = piece_count;
+        entry.avg_piece_len = avg_piece_len;
+    }
+
+    /// Records auxiliary refinement actions applied to a column.
+    pub fn record_auxiliary_actions(&mut self, id: ColumnId, actions: u64) {
+        let buckets = self.hot_range_buckets;
+        let entry = self
+            .columns
+            .entry(id)
+            .or_insert_with(|| ColumnActivity::new(buckets));
+        entry.auxiliary_actions += actions;
+    }
+
+    /// Activity for a column, if it has been seen.
+    #[must_use]
+    pub fn column(&self, id: ColumnId) -> Option<&ColumnActivity> {
+        self.columns.get(&id)
+    }
+
+    /// All known columns with their activity.
+    pub fn columns(&self) -> impl Iterator<Item = (ColumnId, &ColumnActivity)> {
+        self.columns.iter().map(|(id, a)| (*id, a))
+    }
+
+    /// Total number of recorded queries.
+    #[must_use]
+    pub fn total_queries(&self) -> u64 {
+        self.total_queries
+    }
+
+    /// Fraction of recorded queries touching `id`.
+    #[must_use]
+    pub fn frequency(&self, id: ColumnId) -> f64 {
+        if self.total_queries == 0 {
+            return 0.0;
+        }
+        self.columns
+            .get(&id)
+            .map_or(0.0, |a| a.queries as f64 / self.total_queries as f64)
+    }
+
+    /// The accumulated workload summary (feedable to the offline advisor).
+    #[must_use]
+    pub fn summary(&self) -> &WorkloadSummary {
+        &self.summary
+    }
+
+    /// Whether the value range `[lo, hi)` of column `id` is hot: at least
+    /// `threshold` queries have already cracked this region.
+    #[must_use]
+    pub fn is_hot_range(&self, id: ColumnId, lo: Value, hi: Value, threshold: u64) -> bool {
+        self.columns
+            .get(&id)
+            .map_or(false, |a| a.hot_hits(lo, hi) >= threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_storage::TableId;
+
+    fn col(i: u32) -> ColumnId {
+        ColumnId::new(TableId(0), i)
+    }
+
+    #[test]
+    fn register_and_record_queries() {
+        let mut s = KernelStatistics::new(16);
+        s.register_column(col(0), 1000);
+        assert_eq!(s.column(col(0)).unwrap().column_len, 1000);
+        assert_eq!(s.column(col(0)).unwrap().avg_piece_len, 1000.0);
+        s.record_query(col(0), 10, 20, 0.01);
+        s.record_query(col(1), 0, 5, 0.005);
+        assert_eq!(s.total_queries(), 2);
+        assert_eq!(s.column(col(0)).unwrap().queries, 1);
+        assert!((s.frequency(col(0)) - 0.5).abs() < 1e-9);
+        assert_eq!(s.summary().total_queries(), 2);
+        assert_eq!(s.columns().count(), 2);
+    }
+
+    #[test]
+    fn refinement_updates_piece_statistics() {
+        let mut s = KernelStatistics::new(16);
+        s.register_column(col(0), 1000);
+        s.record_refinement(col(0), 8, 125.0);
+        s.record_auxiliary_actions(col(0), 5);
+        let a = s.column(col(0)).unwrap();
+        assert_eq!(a.piece_count, 8);
+        assert_eq!(a.avg_piece_len, 125.0);
+        assert_eq!(a.auxiliary_actions, 5);
+    }
+
+    #[test]
+    fn hot_range_detection_requires_repeated_hits() {
+        let mut s = KernelStatistics::new(32);
+        s.register_column(col(0), 100_000);
+        // Establish the predicate domain with two far-apart queries.
+        s.record_query(col(0), 0, 100, 0.001);
+        s.record_query(col(0), 99_000, 100_000, 0.001);
+        assert!(!s.is_hot_range(col(0), 50_000, 50_100, 3));
+        // Hammer one region.
+        for _ in 0..5 {
+            s.record_query(col(0), 50_000, 50_100, 0.001);
+        }
+        assert!(s.is_hot_range(col(0), 50_000, 50_100, 3));
+        assert!(s.is_hot_range(col(0), 50_010, 50_050, 3));
+        // A region nobody queries stays cold.
+        assert!(!s.is_hot_range(col(0), 10_000, 10_100, 3));
+        // Unknown columns are never hot.
+        assert!(!s.is_hot_range(col(9), 0, 10, 1));
+    }
+
+    #[test]
+    fn degenerate_predicates_do_not_poison_statistics() {
+        let mut s = KernelStatistics::new(8);
+        s.record_query(col(0), 10, 10, 0.0);
+        s.record_query(col(0), 20, 5, 0.0);
+        assert_eq!(s.column(col(0)).unwrap().queries, 2);
+        assert!(!s.is_hot_range(col(0), 0, 100, 1));
+    }
+
+    #[test]
+    fn frequency_of_unknown_column_is_zero() {
+        let s = KernelStatistics::new(8);
+        assert_eq!(s.frequency(col(3)), 0.0);
+        assert_eq!(s.total_queries(), 0);
+    }
+}

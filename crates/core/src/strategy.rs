@@ -1,0 +1,192 @@
+//! Indexing strategies and their qualitative features (the paper's Table 1).
+
+use std::fmt;
+
+/// The indexing strategy a [`crate::Database`] uses for its select operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexingStrategy {
+    /// No indexing at all: every select is a full scan.
+    ScanOnly,
+    /// Offline indexing: full indexes built a priori from workload
+    /// knowledge (possibly limited by the available a-priori idle time);
+    /// queries use them when present and scan otherwise.
+    Offline,
+    /// Online indexing: continuous monitoring, epoch-based re-evaluation,
+    /// full indexes built/dropped while the workload runs.
+    Online,
+    /// Adaptive indexing: database cracking triggered only by queries.
+    Adaptive,
+    /// Holistic indexing: cracking during queries *plus* statistics-driven
+    /// refinement during idle time and hot-range boosting.
+    Holistic,
+}
+
+impl IndexingStrategy {
+    /// All strategies, in the order the paper lists them.
+    #[must_use]
+    pub fn all() -> [IndexingStrategy; 5] {
+        [
+            IndexingStrategy::ScanOnly,
+            IndexingStrategy::Offline,
+            IndexingStrategy::Online,
+            IndexingStrategy::Adaptive,
+            IndexingStrategy::Holistic,
+        ]
+    }
+
+    /// Short stable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexingStrategy::ScanOnly => "scan",
+            IndexingStrategy::Offline => "offline",
+            IndexingStrategy::Online => "online",
+            IndexingStrategy::Adaptive => "adaptive",
+            IndexingStrategy::Holistic => "holistic",
+        }
+    }
+
+    /// The qualitative feature matrix row for this strategy (Table 1 of the
+    /// paper). `ScanOnly` has no row in the paper; it reports all-false.
+    #[must_use]
+    pub fn features(&self) -> StrategyFeatures {
+        match self {
+            IndexingStrategy::ScanOnly => StrategyFeatures {
+                statistical_analysis_a_priori: false,
+                exploits_idle_time_a_priori: false,
+                exploits_idle_time_during_workload: false,
+                incremental_indexing: false,
+                workload: WorkloadKind::Static,
+            },
+            IndexingStrategy::Offline => StrategyFeatures {
+                statistical_analysis_a_priori: true,
+                exploits_idle_time_a_priori: true,
+                exploits_idle_time_during_workload: false,
+                incremental_indexing: false,
+                workload: WorkloadKind::Static,
+            },
+            IndexingStrategy::Online => StrategyFeatures {
+                statistical_analysis_a_priori: true,
+                exploits_idle_time_a_priori: false,
+                exploits_idle_time_during_workload: true,
+                incremental_indexing: false,
+                workload: WorkloadKind::Dynamic,
+            },
+            IndexingStrategy::Adaptive => StrategyFeatures {
+                statistical_analysis_a_priori: false,
+                exploits_idle_time_a_priori: false,
+                exploits_idle_time_during_workload: false,
+                incremental_indexing: true,
+                workload: WorkloadKind::Dynamic,
+            },
+            IndexingStrategy::Holistic => StrategyFeatures {
+                statistical_analysis_a_priori: true,
+                exploits_idle_time_a_priori: true,
+                exploits_idle_time_during_workload: true,
+                incremental_indexing: true,
+                workload: WorkloadKind::Dynamic,
+            },
+        }
+    }
+}
+
+impl fmt::Display for IndexingStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The workload environment a strategy targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Stable, known-ahead-of-time workloads.
+    Static,
+    /// Changing, unpredictable workloads.
+    Dynamic,
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadKind::Static => f.write_str("static"),
+            WorkloadKind::Dynamic => f.write_str("dynamic"),
+        }
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrategyFeatures {
+    /// Statistical analysis of the workload before execution.
+    pub statistical_analysis_a_priori: bool,
+    /// Exploitation of idle time before the workload starts.
+    pub exploits_idle_time_a_priori: bool,
+    /// Exploitation of idle time that appears during workload execution.
+    pub exploits_idle_time_during_workload: bool,
+    /// Incremental (partial) indexing rather than full index builds.
+    pub incremental_indexing: bool,
+    /// Target workload environment.
+    pub workload: WorkloadKind,
+}
+
+impl StrategyFeatures {
+    /// Number of supported features (out of the four boolean columns).
+    #[must_use]
+    pub fn supported_count(&self) -> usize {
+        usize::from(self.statistical_analysis_a_priori)
+            + usize::from(self.exploits_idle_time_a_priori)
+            + usize::from(self.exploits_idle_time_during_workload)
+            + usize::from(self.incremental_indexing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_matches_the_paper() {
+        // Offline: analysis + a-priori idle time, but nothing during the
+        // workload and no incremental indexing.
+        let offline = IndexingStrategy::Offline.features();
+        assert!(offline.statistical_analysis_a_priori);
+        assert!(offline.exploits_idle_time_a_priori);
+        assert!(!offline.exploits_idle_time_during_workload);
+        assert!(!offline.incremental_indexing);
+        assert_eq!(offline.workload, WorkloadKind::Static);
+        // Online: analysis + idle time during workload execution.
+        let online = IndexingStrategy::Online.features();
+        assert!(online.statistical_analysis_a_priori);
+        assert!(!online.exploits_idle_time_a_priori);
+        assert!(online.exploits_idle_time_during_workload);
+        assert!(!online.incremental_indexing);
+        // Adaptive: only incremental indexing.
+        let adaptive = IndexingStrategy::Adaptive.features();
+        assert_eq!(adaptive.supported_count(), 1);
+        assert!(adaptive.incremental_indexing);
+        // Holistic: everything.
+        let holistic = IndexingStrategy::Holistic.features();
+        assert_eq!(holistic.supported_count(), 4);
+        assert_eq!(holistic.workload, WorkloadKind::Dynamic);
+    }
+
+    #[test]
+    fn holistic_dominates_every_other_strategy() {
+        let holistic = IndexingStrategy::Holistic.features();
+        for strategy in IndexingStrategy::all() {
+            let f = strategy.features();
+            assert!(
+                holistic.supported_count() >= f.supported_count(),
+                "{strategy} supports more features than holistic"
+            );
+        }
+    }
+
+    #[test]
+    fn names_and_display_are_stable() {
+        assert_eq!(IndexingStrategy::ScanOnly.name(), "scan");
+        assert_eq!(IndexingStrategy::Holistic.to_string(), "holistic");
+        assert_eq!(WorkloadKind::Dynamic.to_string(), "dynamic");
+        assert_eq!(IndexingStrategy::all().len(), 5);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests at the engine level: on arbitrary data and query
+//! sequences, every indexing strategy returns the answers a scan would, and
+//! idle-time refinement never changes any answer.
+
+use proptest::prelude::*;
+
+use holistic_core::{Database, HolisticConfig, IdleBudget, IndexingStrategy, Query};
+
+fn reference_count(values: &[i64], lo: i64, hi: i64) -> u64 {
+    values.iter().filter(|&&v| v >= lo && v < hi).count() as u64
+}
+
+fn make_db(strategy: IndexingStrategy, values: Vec<i64>) -> (Database, holistic_core::ColumnId) {
+    let mut db = Database::new(HolisticConfig::for_testing(), strategy);
+    let t = db.create_table("r", vec![("a", values)]).unwrap();
+    let col = db.column_id(t, "a").unwrap();
+    (db, col)
+}
+
+prop_compose! {
+    fn arb_values()(values in prop::collection::vec(-2000i64..2000, 0..500)) -> Vec<i64> {
+        values
+    }
+}
+
+prop_compose! {
+    fn arb_queries()(queries in prop::collection::vec((-2100i64..2100, 0i64..500), 1..25))
+        -> Vec<(i64, i64)>
+    {
+        queries.into_iter().map(|(lo, w)| (lo, lo + w)).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_strategy_is_scan_equivalent(values in arb_values(), queries in arb_queries()) {
+        for strategy in IndexingStrategy::all() {
+            let (mut db, col) = make_db(strategy, values.clone());
+            for &(lo, hi) in &queries {
+                let result = db.execute(&Query::range(col, lo, hi)).unwrap();
+                prop_assert_eq!(
+                    result.count,
+                    reference_count(&values, lo, hi),
+                    "strategy {} wrong on [{}, {})", strategy, lo, hi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idle_refinement_never_changes_answers(
+        values in arb_values(),
+        queries in arb_queries(),
+        idle_actions in 0u64..300,
+    ) {
+        let (mut db, col) = make_db(IndexingStrategy::Holistic, values.clone());
+        for &(lo, hi) in &queries {
+            let before = db.execute(&Query::range(col, lo, hi)).unwrap().count;
+            db.run_idle(IdleBudget::Actions(idle_actions));
+            let after = db.execute(&Query::range(col, lo, hi)).unwrap().count;
+            prop_assert_eq!(before, after);
+            prop_assert_eq!(before, reference_count(&values, lo, hi));
+        }
+    }
+
+    #[test]
+    fn materialized_results_match_the_filtered_base_data(
+        values in arb_values(),
+        lo in -2100i64..2100,
+        width in 0i64..800,
+    ) {
+        let hi = lo + width;
+        let (mut db, col) = make_db(IndexingStrategy::Holistic, values.clone());
+        let result = db.execute(&Query::range_materialized(col, lo, hi)).unwrap();
+        let mut got = result.values.unwrap();
+        got.sort_unstable();
+        let mut expected: Vec<i64> = values.into_iter().filter(|&v| v >= lo && v < hi).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}

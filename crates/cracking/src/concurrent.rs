@@ -1,0 +1,258 @@
+//! Concurrency control for adaptive indexing.
+//!
+//! Cracking turns read-only selects into structural modifications, so some
+//! form of concurrency control is needed even for read-only workloads
+//! (Graefe, Halim, Idreos, Kuno, Manegold — PVLDB 2012). The scheme here is
+//! the pragmatic one used in practice: a per-column reader/writer latch.
+//! A select whose bounds are already resolved by the cracker index is a pure
+//! read and only takes the shared latch; a select that has to crack (or an
+//! idle-time refinement action) takes the exclusive latch for the duration
+//! of the partitioning pass. Because cracking touches exactly one column,
+//! queries on different columns never contend.
+
+use std::ops::Range;
+
+use parking_lot::RwLock;
+use rand::Rng;
+
+use holistic_storage::Column;
+
+use crate::cracker::CrackerColumn;
+use crate::Value;
+
+/// Counters describing how often the fast (shared) path could be used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatchStats {
+    /// Selects answered under the shared latch (no cracking needed).
+    pub shared_selects: u64,
+    /// Selects that had to take the exclusive latch to crack.
+    pub exclusive_selects: u64,
+    /// Auxiliary refinement actions (always exclusive).
+    pub refinements: u64,
+}
+
+/// A cracker column protected by a reader/writer latch.
+#[derive(Debug)]
+pub struct ConcurrentCrackerColumn {
+    inner: RwLock<CrackerColumn>,
+    stats: RwLock<LatchStats>,
+}
+
+impl ConcurrentCrackerColumn {
+    /// Wraps an existing cracker column.
+    #[must_use]
+    pub fn new(column: CrackerColumn) -> Self {
+        ConcurrentCrackerColumn {
+            inner: RwLock::new(column),
+            stats: RwLock::new(LatchStats::default()),
+        }
+    }
+
+    /// Creates a latch-protected cracker column from raw values.
+    #[must_use]
+    pub fn from_values(values: Vec<Value>) -> Self {
+        Self::new(CrackerColumn::from_values(values))
+    }
+
+    /// Creates a latch-protected cracker column by copying a base column.
+    #[must_use]
+    pub fn from_column(column: &Column, with_rowids: bool) -> Self {
+        Self::new(CrackerColumn::from_column(column, with_rowids))
+    }
+
+    /// Number of values in the column.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the column is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Current number of pieces.
+    #[must_use]
+    pub fn piece_count(&self) -> usize {
+        self.inner.read().piece_count()
+    }
+
+    /// Latch-usage statistics.
+    #[must_use]
+    pub fn latch_stats(&self) -> LatchStats {
+        *self.stats.read()
+    }
+
+    /// Counts the values in `[lo, hi)`, cracking if necessary.
+    pub fn count(&self, lo: Value, hi: Value) -> u64 {
+        let r = self.select_range(lo, hi);
+        (r.end - r.start) as u64
+    }
+
+    /// Materializes the values in `[lo, hi)`, cracking if necessary.
+    pub fn materialize(&self, lo: Value, hi: Value) -> Vec<Value> {
+        // Fast path under the shared latch.
+        {
+            let guard = self.inner.read();
+            if let Some(range) = guard.select_if_resolved(lo, hi) {
+                self.stats.write().shared_selects += 1;
+                return guard.view(range).to_vec();
+            }
+        }
+        let mut guard = self.inner.write();
+        let range = guard.crack_select(lo, hi);
+        self.stats.write().exclusive_selects += 1;
+        guard.view(range).to_vec()
+    }
+
+    /// Resolves the position range for `[lo, hi)`, cracking if necessary.
+    ///
+    /// Note the returned range is only meaningful relative to the column
+    /// state at the time of the call; concurrent refinements do not move
+    /// values across resolved boundaries, so counts stay stable, but callers
+    /// that need the values should use [`ConcurrentCrackerColumn::materialize`].
+    pub fn select_range(&self, lo: Value, hi: Value) -> Range<usize> {
+        {
+            let guard = self.inner.read();
+            if let Some(range) = guard.select_if_resolved(lo, hi) {
+                self.stats.write().shared_selects += 1;
+                return range;
+            }
+        }
+        let mut guard = self.inner.write();
+        let range = guard.crack_select(lo, hi);
+        self.stats.write().exclusive_selects += 1;
+        range
+    }
+
+    /// Applies one auxiliary random refinement action under the exclusive
+    /// latch. Returns `true` if the action introduced a new piece.
+    pub fn random_crack<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        let mut guard = self.inner.write();
+        self.stats.write().refinements += 1;
+        guard.random_crack(rng)
+    }
+
+    /// Runs a closure with shared access to the underlying cracker column.
+    pub fn with_read<T>(&self, f: impl FnOnce(&CrackerColumn) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Validates the underlying cracker-column invariants.
+    #[must_use]
+    pub fn validate(&self) -> bool {
+        self.inner.read().validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn data(n: usize) -> Vec<Value> {
+        (0..n as Value).map(|i| (i * 7919) % (n as Value)).collect()
+    }
+
+    fn scan_count(values: &[Value], lo: Value, hi: Value) -> u64 {
+        values.iter().filter(|&&v| v >= lo && v < hi).count() as u64
+    }
+
+    #[test]
+    fn single_threaded_counts_match_scan() {
+        let values = data(1000);
+        let c = ConcurrentCrackerColumn::from_values(values.clone());
+        for &(lo, hi) in &[(0, 100), (100, 350), (900, 1000), (500, 400)] {
+            assert_eq!(c.count(lo, hi), scan_count(&values, lo, hi));
+        }
+        assert!(c.validate());
+        assert!(c.latch_stats().exclusive_selects >= 3);
+    }
+
+    #[test]
+    fn repeated_query_uses_shared_path() {
+        let values = data(1000);
+        let c = ConcurrentCrackerColumn::from_values(values);
+        let _ = c.count(100, 200);
+        let exclusive_before = c.latch_stats().exclusive_selects;
+        let _ = c.count(100, 200);
+        let stats = c.latch_stats();
+        assert_eq!(stats.exclusive_selects, exclusive_before);
+        assert!(stats.shared_selects >= 1);
+    }
+
+    #[test]
+    fn materialize_returns_only_qualifying_values() {
+        let values = data(500);
+        let c = ConcurrentCrackerColumn::from_values(values.clone());
+        let got = c.materialize(50, 150);
+        assert_eq!(got.len() as u64, scan_count(&values, 50, 150));
+        assert!(got.iter().all(|&v| (50..150).contains(&v)));
+        // Second call takes the shared path and returns the same multiset.
+        let mut again = c.materialize(50, 150);
+        let mut first = got.clone();
+        again.sort_unstable();
+        first.sort_unstable();
+        assert_eq!(again, first);
+    }
+
+    #[test]
+    fn concurrent_queries_and_refinements_are_correct() {
+        let n = 20_000;
+        let values = data(n);
+        let expected: Vec<(Value, Value, u64)> = (0..16)
+            .map(|i| {
+                let lo = (i * 1000) % (n as Value);
+                let hi = lo + 500;
+                (lo, hi, scan_count(&values, lo, hi))
+            })
+            .collect();
+        let column = Arc::new(ConcurrentCrackerColumn::from_values(values));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let column = Arc::clone(&column);
+            let expected = expected.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(t);
+                for round in 0..8 {
+                    for &(lo, hi, want) in &expected {
+                        assert_eq!(column.count(lo, hi), want, "thread {t} round {round}");
+                    }
+                    // Interleave idle-time style refinements.
+                    for _ in 0..5 {
+                        column.random_crack(&mut rng);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        assert!(column.validate());
+        assert!(column.piece_count() > 16);
+        let stats = column.latch_stats();
+        assert!(stats.refinements == 4 * 8 * 5);
+        assert!(stats.shared_selects > 0, "expected some shared-path selects");
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = ConcurrentCrackerColumn::from_values(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.count(0, 10), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(!c.random_crack(&mut rng));
+    }
+
+    #[test]
+    fn with_read_exposes_column_state() {
+        let c = ConcurrentCrackerColumn::from_values(data(100));
+        let _ = c.count(10, 20);
+        let pieces = c.with_read(|col| col.piece_count());
+        assert!(pieces >= 2);
+    }
+}

@@ -1,0 +1,485 @@
+//! The cracker column: the query-facing, incrementally reorganized copy of a
+//! base column.
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use holistic_storage::Column;
+
+use crate::index::PieceIndex;
+use crate::kernels::{
+    crack_in_three, crack_in_three_with_rowids, crack_in_two, crack_in_two_with_rowids,
+};
+use crate::piece::Piece;
+use crate::{RowId, Value};
+
+/// A cracker column.
+///
+/// Created as a copy of a base column the first time the column is queried
+/// (or eagerly by the holistic kernel's idle-time tuner), then physically
+/// reorganized a little more by every range select and by every auxiliary
+/// refinement action. The accompanying [`PieceIndex`] records the boundaries
+/// produced so far.
+///
+/// When `rowids` are kept, the original row of every value is carried along
+/// through all reorganizations, so projections of other attributes remain
+/// possible after cracking (the column-store tuple-reconstruction path).
+#[derive(Debug, Clone)]
+pub struct CrackerColumn {
+    data: Vec<Value>,
+    rowids: Option<Vec<RowId>>,
+    index: PieceIndex,
+    cracks_performed: u64,
+}
+
+impl CrackerColumn {
+    /// Creates a cracker column from raw values, without row ids.
+    #[must_use]
+    pub fn from_values(values: Vec<Value>) -> Self {
+        let len = values.len();
+        CrackerColumn {
+            data: values,
+            rowids: None,
+            index: PieceIndex::new(len),
+            cracks_performed: 0,
+        }
+    }
+
+    /// Creates a cracker column from raw values, carrying row ids
+    /// `0..values.len()` for tuple reconstruction.
+    #[must_use]
+    pub fn from_values_with_rowids(values: Vec<Value>) -> Self {
+        let len = values.len();
+        CrackerColumn {
+            rowids: Some((0..len as u32).collect()),
+            data: values,
+            index: PieceIndex::new(len),
+            cracks_performed: 0,
+        }
+    }
+
+    /// Creates a cracker column by copying a base [`Column`].
+    #[must_use]
+    pub fn from_column(column: &Column, with_rowids: bool) -> Self {
+        if with_rowids {
+            Self::from_values_with_rowids(column.values().to_vec())
+        } else {
+            Self::from_values(column.values().to_vec())
+        }
+    }
+
+    /// Number of values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the column is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The (cracked) value array.
+    #[must_use]
+    pub fn data(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// The row ids aligned with [`CrackerColumn::data`], if kept.
+    #[must_use]
+    pub fn rowids(&self) -> Option<&[RowId]> {
+        self.rowids.as_deref()
+    }
+
+    /// The cracker index.
+    #[must_use]
+    pub fn index(&self) -> &PieceIndex {
+        &self.index
+    }
+
+    /// Number of pieces the column is currently partitioned into.
+    #[must_use]
+    pub fn piece_count(&self) -> usize {
+        self.index.piece_count()
+    }
+
+    /// Average piece length.
+    #[must_use]
+    pub fn avg_piece_len(&self) -> f64 {
+        self.index.avg_piece_len()
+    }
+
+    /// Total number of crack (partitioning) actions performed so far,
+    /// counting both query-driven and auxiliary (idle-time) cracks.
+    #[must_use]
+    pub fn cracks_performed(&self) -> u64 {
+        self.cracks_performed
+    }
+
+    /// All pieces.
+    #[must_use]
+    pub fn pieces(&self) -> &[Piece] {
+        self.index.pieces()
+    }
+
+    /// Cracks the column so that values `>= v` start at the returned
+    /// position, performing at most one partitioning pass over one piece.
+    pub fn crack_at(&mut self, v: Value) -> usize {
+        let Some(idx) = self.index.find_piece_for_value(v) else {
+            return 0;
+        };
+        if let Some(pos) = self.index.resolved_boundary(v) {
+            return pos;
+        }
+        let p = self.index.piece(idx);
+        if p.sorted {
+            // No data movement needed: binary search and record the boundary.
+            let off = self.data[p.start..p.end].partition_point(|&x| x < v);
+            let pos = p.start + off;
+            self.index.split(idx, pos, v);
+            return pos;
+        }
+        let off = match &mut self.rowids {
+            Some(rowids) => crack_in_two_with_rowids(
+                &mut self.data[p.start..p.end],
+                &mut rowids[p.start..p.end],
+                v,
+            ),
+            None => crack_in_two(&mut self.data[p.start..p.end], v),
+        };
+        let pos = p.start + off;
+        self.index.split(idx, pos, v);
+        self.cracks_performed += 1;
+        pos
+    }
+
+    /// Answers the range select `[lo, hi)` adaptively: cracks the pieces the
+    /// bounds fall into (at most two partitioning passes, or a single
+    /// three-way pass when both bounds share a piece) and returns the
+    /// contiguous position range holding the qualifying values.
+    pub fn crack_select(&mut self, lo: Value, hi: Value) -> Range<usize> {
+        if hi <= lo || self.data.is_empty() {
+            return 0..0;
+        }
+        let lo_idx = self.index.find_piece_for_value(lo);
+        let hi_idx = self.index.find_piece_for_value(hi);
+        let lo_resolved = self.index.resolved_boundary(lo).is_some();
+        let hi_resolved = self.index.resolved_boundary(hi).is_some();
+        if let (Some(a), Some(b)) = (lo_idx, hi_idx) {
+            if a == b && !lo_resolved && !hi_resolved && !self.index.piece(a).sorted {
+                // Both bounds land in the same unsorted piece: one pass.
+                let p = self.index.piece(a);
+                let (off_a, off_b) = match &mut self.rowids {
+                    Some(rowids) => crack_in_three_with_rowids(
+                        &mut self.data[p.start..p.end],
+                        &mut rowids[p.start..p.end],
+                        lo,
+                        hi,
+                    ),
+                    None => crack_in_three(&mut self.data[p.start..p.end], lo, hi),
+                };
+                let abs_a = p.start + off_a;
+                let abs_b = p.start + off_b;
+                self.index.split(a, abs_a, lo);
+                let idx_for_hi = self
+                    .index
+                    .find_piece_for_value(hi)
+                    .expect("non-empty index");
+                self.index.split(idx_for_hi, abs_b, hi);
+                self.cracks_performed += 1;
+                return abs_a..abs_b;
+            }
+        }
+        let start = self.crack_at(lo);
+        let end = self.crack_at(hi);
+        start..end
+    }
+
+    /// Like [`CrackerColumn::crack_select`] but only returns the number of
+    /// qualifying values.
+    pub fn crack_count(&mut self, lo: Value, hi: Value) -> u64 {
+        let r = self.crack_select(lo, hi);
+        (r.end - r.start) as u64
+    }
+
+    /// Returns the values in a position range previously produced by
+    /// [`CrackerColumn::crack_select`].
+    #[must_use]
+    pub fn view(&self, range: Range<usize>) -> &[Value] {
+        &self.data[range]
+    }
+
+    /// Returns the row ids in a position range, if row ids are kept.
+    #[must_use]
+    pub fn rowids_in(&self, range: Range<usize>) -> Option<&[RowId]> {
+        self.rowids.as_ref().map(|r| &r[range])
+    }
+
+    /// Answers `[lo, hi)` *without* reorganizing anything, if the cracker
+    /// index already resolves both bounds. Used by the concurrent wrapper's
+    /// read-only fast path.
+    #[must_use]
+    pub fn select_if_resolved(&self, lo: Value, hi: Value) -> Option<Range<usize>> {
+        if hi <= lo {
+            return Some(0..0);
+        }
+        let start = self.index.resolved_boundary(lo)?;
+        let end = self.index.resolved_boundary(hi)?;
+        Some(start..end)
+    }
+
+    /// Applies one *auxiliary refinement action*: picks a random position,
+    /// uses its value as a pivot and cracks the piece it lives in.
+    ///
+    /// This is the unit of idle-time work in the paper ("apply X random
+    /// index refinement actions"): cheap, always safe, and each action makes
+    /// some future query on this column cheaper. Returns `true` if the
+    /// action introduced a new piece (an action can be a no-op if the chosen
+    /// pivot happens to already be a boundary or the piece is degenerate).
+    pub fn random_crack<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        if self.data.is_empty() {
+            return false;
+        }
+        let pos = rng.gen_range(0..self.data.len());
+        let pivot = self.data[pos];
+        let before = self.index.piece_count();
+        self.crack_at(pivot);
+        self.index.piece_count() > before
+    }
+
+    /// Applies one auxiliary refinement action restricted to the value range
+    /// `[lo, hi)` — used for hot-range boosting during query processing.
+    ///
+    /// Returns `true` if a new piece was introduced.
+    pub fn random_crack_in_range<R: Rng + ?Sized>(
+        &mut self,
+        lo: Value,
+        hi: Value,
+        rng: &mut R,
+    ) -> bool {
+        if self.data.is_empty() || hi <= lo {
+            return false;
+        }
+        let pivot = rng.gen_range(lo..hi);
+        let before = self.index.piece_count();
+        self.crack_at(pivot);
+        self.index.piece_count() > before
+    }
+
+    /// Applies `actions` auxiliary refinement actions and returns how many
+    /// of them introduced a new piece.
+    pub fn random_cracks<R: Rng + ?Sized>(&mut self, actions: u64, rng: &mut R) -> u64 {
+        let mut effective = 0;
+        for _ in 0..actions {
+            if self.random_crack(rng) {
+                effective += 1;
+            }
+        }
+        effective
+    }
+
+    /// Fully sorts the column (and row ids), collapsing the piece index to a
+    /// single sorted piece. This is what offline indexing does with enough
+    /// idle time; exposed here so the kernels can share one representation.
+    pub fn sort_fully(&mut self) {
+        match &mut self.rowids {
+            Some(rowids) => {
+                let mut pairs: Vec<(Value, RowId)> = self
+                    .data
+                    .iter()
+                    .copied()
+                    .zip(rowids.iter().copied())
+                    .collect();
+                pairs.sort_unstable();
+                for (i, (v, r)) in pairs.into_iter().enumerate() {
+                    self.data[i] = v;
+                    rowids[i] = r;
+                }
+            }
+            None => self.data.sort_unstable(),
+        }
+        self.index = PieceIndex::new_sorted(self.data.len());
+    }
+
+    /// Validates the cracker-column invariants (piece index consistent with
+    /// the data, row ids aligned). Intended for tests and debug assertions.
+    #[must_use]
+    pub fn validate(&self) -> bool {
+        if let Some(rowids) = &self.rowids {
+            if rowids.len() != self.data.len() {
+                return false;
+            }
+        }
+        self.index.validate(&self.data)
+    }
+
+    /// (Internal) mutable access for the updates module.
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<Value>, Option<&mut Vec<RowId>>, &mut PieceIndex) {
+        (&mut self.data, self.rowids.as_mut(), &mut self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Vec<Value> {
+        vec![13, 16, 4, 9, 2, 12, 7, 1, 19, 3, 14, 11, 8, 6]
+    }
+
+    fn scan_count(values: &[Value], lo: Value, hi: Value) -> u64 {
+        values.iter().filter(|&&v| v >= lo && v < hi).count() as u64
+    }
+
+    #[test]
+    fn first_select_returns_correct_range() {
+        let mut c = CrackerColumn::from_values(sample());
+        let r = c.crack_select(5, 12);
+        let count = (r.end - r.start) as u64;
+        assert_eq!(count, scan_count(&sample(), 5, 12));
+        assert!(c.view(r).iter().all(|&v| (5..12).contains(&v)));
+        assert!(c.validate());
+        assert!(c.piece_count() >= 2);
+        assert!(c.cracks_performed() >= 1);
+    }
+
+    #[test]
+    fn repeated_selects_stay_correct_and_refine() {
+        let mut c = CrackerColumn::from_values(sample());
+        let queries = [(5, 12), (1, 4), (10, 20), (0, 25), (7, 8), (13, 14)];
+        for &(lo, hi) in &queries {
+            let r = c.crack_select(lo, hi);
+            assert_eq!((r.end - r.start) as u64, scan_count(&sample(), lo, hi));
+            assert!(c.validate(), "invariants violated after query [{lo},{hi})");
+        }
+        assert!(c.piece_count() > 2);
+    }
+
+    #[test]
+    fn crack_count_matches_scan() {
+        let mut c = CrackerColumn::from_values(sample());
+        assert_eq!(c.crack_count(3, 10), scan_count(&sample(), 3, 10));
+        assert_eq!(c.crack_count(100, 200), 0);
+        assert_eq!(c.crack_count(9, 2), 0);
+    }
+
+    #[test]
+    fn empty_column_is_handled() {
+        let mut c = CrackerColumn::from_values(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.crack_select(1, 10), 0..0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!c.random_crack(&mut rng));
+        assert!(c.validate());
+    }
+
+    #[test]
+    fn rowids_follow_their_values() {
+        let values = sample();
+        let mut c = CrackerColumn::from_values_with_rowids(values.clone());
+        let r = c.crack_select(5, 12);
+        let ids = c.rowids_in(r.clone()).expect("rowids kept");
+        for (&v, &id) in c.view(r).iter().zip(ids) {
+            assert_eq!(values[id as usize], v, "rowid must still address its value");
+        }
+        assert!(c.validate());
+    }
+
+    #[test]
+    fn from_column_copies_base_data() {
+        let base = Column::from_values("a", sample());
+        let mut c = CrackerColumn::from_column(&base, true);
+        assert_eq!(c.len(), base.len());
+        let r = c.crack_select(2, 9);
+        assert_eq!((r.end - r.start) as u64, base.scan_count(2, 9));
+        // Base column untouched.
+        assert_eq!(base.values(), &sample()[..]);
+    }
+
+    #[test]
+    fn select_if_resolved_only_after_cracking() {
+        let mut c = CrackerColumn::from_values(sample());
+        assert!(c.select_if_resolved(5, 12).is_none());
+        let r = c.crack_select(5, 12);
+        assert_eq!(c.select_if_resolved(5, 12), Some(r));
+        assert!(c.select_if_resolved(5, 13).is_none());
+        assert_eq!(c.select_if_resolved(12, 5), Some(0..0));
+    }
+
+    #[test]
+    fn random_cracks_increase_pieces() {
+        let mut c = CrackerColumn::from_values((0..1000).rev().collect());
+        let mut rng = StdRng::seed_from_u64(42);
+        let effective = c.random_cracks(50, &mut rng);
+        assert!(effective > 10, "expected most random actions to split, got {effective}");
+        assert!(c.piece_count() > 10);
+        assert!(c.validate());
+        // Queries remain correct after arbitrary refinement.
+        let r = c.crack_select(100, 200);
+        assert_eq!((r.end - r.start), 100);
+    }
+
+    #[test]
+    fn random_crack_in_range_only_touches_that_range() {
+        let mut c = CrackerColumn::from_values((0..1000).collect());
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            c.random_crack_in_range(400, 500, &mut rng);
+        }
+        assert!(c.validate());
+        // All introduced boundaries fall inside [400, 500].
+        for p in c.pieces() {
+            if let Some(lo) = p.lo {
+                assert!((400..=500).contains(&lo) || lo == 0);
+            }
+        }
+        assert!(!c.random_crack_in_range(10, 10, &mut rng));
+    }
+
+    #[test]
+    fn sort_fully_yields_single_sorted_piece_and_fast_selects() {
+        let mut c = CrackerColumn::from_values_with_rowids(sample());
+        c.sort_fully();
+        assert_eq!(c.piece_count(), 1);
+        assert!(c.pieces()[0].sorted);
+        assert!(c.data().windows(2).all(|w| w[0] <= w[1]));
+        assert!(c.validate());
+        let cracks_before = c.cracks_performed();
+        let r = c.crack_select(5, 12);
+        assert_eq!((r.end - r.start) as u64, scan_count(&sample(), 5, 12));
+        // Selecting on a sorted column must not move data.
+        assert_eq!(c.cracks_performed(), cracks_before);
+        // Row ids still address their values after the sort.
+        let ids = c.rowids_in(r.clone()).unwrap();
+        for (&v, &id) in c.view(r).iter().zip(ids) {
+            assert_eq!(sample()[id as usize], v);
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_data_stays_correct() {
+        let values: Vec<Value> = std::iter::repeat([5, 5, 7, 7, 7, 9]).take(20).flatten().collect();
+        let mut c = CrackerColumn::from_values(values.clone());
+        for &(lo, hi) in &[(5, 6), (7, 8), (5, 8), (6, 7), (9, 10), (0, 100)] {
+            let r = c.crack_select(lo, hi);
+            assert_eq!((r.end - r.start) as u64, scan_count(&values, lo, hi));
+            assert!(c.validate());
+        }
+    }
+
+    #[test]
+    fn boundary_value_queries() {
+        let values: Vec<Value> = (0..100).collect();
+        let mut c = CrackerColumn::from_values(values.clone());
+        // Bounds equal to min / max / beyond.
+        assert_eq!(c.crack_count(0, 100), 100);
+        assert_eq!(c.crack_count(-50, 0), 0);
+        assert_eq!(c.crack_count(99, 99), 0);
+        assert_eq!(c.crack_count(99, 1000), 1);
+        assert!(c.validate());
+    }
+}

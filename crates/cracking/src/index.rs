@@ -1,0 +1,449 @@
+//! The cracker index: an ordered table of [`Piece`]s describing how far a
+//! cracker column has been partitioned.
+//!
+//! MonetDB implements this as an AVL tree keyed on crack values; an ordered
+//! vector of pieces provides the same O(log P) lookup (P = number of pieces)
+//! with better cache behaviour and much simpler invariants, at the cost of
+//! O(P) splits — irrelevant in practice because P is small compared to the
+//! column (cracking stops paying off once pieces fit in the CPU cache, as
+//! the paper's cost model observes).
+
+use crate::piece::Piece;
+use crate::Value;
+
+/// The cracker index: an ordered, contiguous list of pieces covering
+/// positions `[0, len)` of a cracker column.
+///
+/// Invariants (checked by [`PieceIndex::validate`]):
+/// * pieces are contiguous and cover exactly `[0, len)`;
+/// * pieces are non-empty (unless the column itself is empty);
+/// * value bounds are consistent: `pieces[i].hi == pieces[i+1].lo`
+///   whenever both are known, the first piece has `lo = None` or a bound
+///   that under-approximates the minimum, and bounds never contradict the
+///   data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PieceIndex {
+    pieces: Vec<Piece>,
+    len: usize,
+}
+
+impl PieceIndex {
+    /// Creates an index with a single unbounded piece covering `[0, len)`.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        let pieces = if len == 0 {
+            Vec::new()
+        } else {
+            vec![Piece::unbounded(0, len)]
+        };
+        PieceIndex { pieces, len }
+    }
+
+    /// Creates an index with a single piece covering `[0, len)` that is
+    /// flagged as fully sorted. Used after a full (offline) sort, so
+    /// subsequent selects resolve boundaries with binary search instead of
+    /// data movement.
+    #[must_use]
+    pub fn new_sorted(len: usize) -> Self {
+        let pieces = if len == 0 {
+            Vec::new()
+        } else {
+            vec![Piece {
+                start: 0,
+                end: len,
+                lo: None,
+                hi: None,
+                sorted: true,
+            }]
+        };
+        PieceIndex { pieces, len }
+    }
+
+    /// Number of positions covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the indexed column is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pieces.
+    #[must_use]
+    pub fn piece_count(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// All pieces, in positional (== value) order.
+    #[must_use]
+    pub fn pieces(&self) -> &[Piece] {
+        &self.pieces
+    }
+
+    /// The piece at index `idx`.
+    #[must_use]
+    pub fn piece(&self, idx: usize) -> Piece {
+        self.pieces[idx]
+    }
+
+    /// Average piece length (`len / piece_count`), or 0 for an empty column.
+    #[must_use]
+    pub fn avg_piece_len(&self) -> f64 {
+        if self.pieces.is_empty() {
+            0.0
+        } else {
+            self.len as f64 / self.pieces.len() as f64
+        }
+    }
+
+    /// Length of the largest piece, or 0 for an empty column.
+    #[must_use]
+    pub fn max_piece_len(&self) -> usize {
+        self.pieces.iter().map(Piece::len).max().unwrap_or(0)
+    }
+
+    /// Index of the piece that would hold value `v`.
+    ///
+    /// Returns the first piece whose exclusive upper bound is greater than
+    /// `v` (the last piece for values beyond every bound). For an empty
+    /// column there is no piece and `None` is returned.
+    #[must_use]
+    pub fn find_piece_for_value(&self, v: Value) -> Option<usize> {
+        if self.pieces.is_empty() {
+            return None;
+        }
+        let idx = self
+            .pieces
+            .partition_point(|p| p.hi.map_or(false, |hi| hi <= v));
+        Some(idx.min(self.pieces.len() - 1))
+    }
+
+    /// Index of the piece containing position `pos`.
+    #[must_use]
+    pub fn find_piece_for_position(&self, pos: usize) -> Option<usize> {
+        if pos >= self.len {
+            return None;
+        }
+        let idx = self.pieces.partition_point(|p| p.end <= pos);
+        Some(idx)
+    }
+
+    /// Records a crack of piece `idx` at absolute position `split_pos` with
+    /// pivot value `pivot`: positions `[start, split_pos)` hold values
+    /// `< pivot`, positions `[split_pos, end)` hold values `>= pivot`.
+    ///
+    /// If the split lands on the piece's start or end, no new piece is
+    /// created; the existing piece's value bound is tightened instead, which
+    /// still records the knowledge that `pivot` is a resolved boundary.
+    ///
+    /// Returns `true` if a new piece was created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds or `split_pos` lies outside the piece.
+    pub fn split(&mut self, idx: usize, split_pos: usize, pivot: Value) -> bool {
+        let p = self.pieces[idx];
+        assert!(
+            split_pos >= p.start && split_pos <= p.end,
+            "split position {split_pos} outside piece [{}, {})",
+            p.start,
+            p.end
+        );
+        if split_pos == p.start {
+            // Every value in the piece is >= pivot: tighten the lower bound.
+            let new_lo = Some(p.lo.map_or(pivot, |lo| lo.max(pivot)));
+            self.pieces[idx].lo = new_lo;
+            false
+        } else if split_pos == p.end {
+            // Every value in the piece is < pivot: tighten the upper bound.
+            let new_hi = Some(p.hi.map_or(pivot, |hi| hi.min(pivot)));
+            self.pieces[idx].hi = new_hi;
+            false
+        } else {
+            let left = Piece {
+                start: p.start,
+                end: split_pos,
+                lo: p.lo,
+                hi: Some(pivot),
+                sorted: p.sorted,
+            };
+            let right = Piece {
+                start: split_pos,
+                end: p.end,
+                lo: Some(pivot),
+                hi: p.hi,
+                sorted: p.sorted,
+            };
+            self.pieces[idx] = left;
+            self.pieces.insert(idx + 1, right);
+            true
+        }
+    }
+
+    /// Returns the resolved boundary position for value `v`, if the index
+    /// already knows where values `>= v` begin without any data movement.
+    #[must_use]
+    pub fn resolved_boundary(&self, v: Value) -> Option<usize> {
+        let idx = self.find_piece_for_value(v)?;
+        let p = self.pieces[idx];
+        match p.lo {
+            Some(lo) if v <= lo => Some(p.start),
+            _ => {
+                // A value beyond the last piece's (known) upper bound starts
+                // after the end of the column.
+                if idx == self.pieces.len() - 1 {
+                    if let Some(hi) = p.hi {
+                        if v >= hi {
+                            return Some(p.end);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Grows the covered range by `extra` positions, extending the last
+    /// piece (or creating one for a previously empty index). Used when
+    /// pending inserts are merged into the cracker column.
+    pub fn grow(&mut self, extra: usize) {
+        if extra == 0 {
+            return;
+        }
+        let new_len = self.len + extra;
+        if let Some(last) = self.pieces.last_mut() {
+            last.end = new_len;
+            // The appended values may violate the last piece's bounds; the
+            // caller (ripple insertion) is responsible for placing values in
+            // admissible pieces, so bounds stay as they are.
+        } else {
+            self.pieces.push(Piece::unbounded(0, new_len));
+        }
+        self.len = new_len;
+    }
+
+    /// Shrinks the covered range by `removed` positions from the end,
+    /// shrinking (and possibly removing) trailing pieces. Used when pending
+    /// deletes are merged.
+    pub fn shrink(&mut self, removed: usize) {
+        let new_len = self.len.saturating_sub(removed);
+        while let Some(last) = self.pieces.last_mut() {
+            if last.start >= new_len {
+                self.pieces.pop();
+            } else {
+                last.end = new_len;
+                break;
+            }
+        }
+        self.len = new_len;
+    }
+
+    /// (Internal) direct access to the piece table for the ripple
+    /// insert/delete algorithms in the updates module.
+    pub(crate) fn pieces_mut(&mut self) -> &mut Vec<Piece> {
+        &mut self.pieces
+    }
+
+    /// Removes empty pieces (produced by ripple deletion) while keeping the
+    /// remaining pieces contiguous.
+    pub(crate) fn drop_empty_pieces(&mut self) {
+        self.pieces.retain(|p| !p.is_empty());
+        if self.pieces.is_empty() && self.len > 0 {
+            self.pieces.push(Piece::unbounded(0, self.len));
+        }
+    }
+
+    /// (Internal) overrides the covered length after the updates module has
+    /// adjusted piece extents directly.
+    pub(crate) fn set_len(&mut self, len: usize) {
+        self.len = len;
+        if len == 0 {
+            self.pieces.clear();
+        }
+    }
+
+    /// Checks all structural invariants against the cracked data.
+    #[must_use]
+    pub fn validate(&self, data: &[Value]) -> bool {
+        if data.len() != self.len {
+            return false;
+        }
+        if self.pieces.is_empty() {
+            return self.len == 0;
+        }
+        if self.pieces[0].start != 0 || self.pieces.last().expect("non-empty").end != self.len {
+            return false;
+        }
+        for w in self.pieces.windows(2) {
+            if w[0].end != w[1].start {
+                return false;
+            }
+            if let (Some(hi), Some(lo)) = (w[0].hi, w[1].lo) {
+                if hi > lo {
+                    return false;
+                }
+            }
+        }
+        self.pieces.iter().all(|p| !p.is_empty() && p.validate(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_index_single_unbounded_piece() {
+        let idx = PieceIndex::new(10);
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx.piece_count(), 1);
+        assert_eq!(idx.avg_piece_len(), 10.0);
+        assert_eq!(idx.max_piece_len(), 10);
+        assert!(!idx.is_empty());
+        let data = vec![5; 10];
+        assert!(idx.validate(&data));
+    }
+
+    #[test]
+    fn empty_index_has_no_pieces() {
+        let idx = PieceIndex::new(0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.piece_count(), 0);
+        assert_eq!(idx.find_piece_for_value(5), None);
+        assert_eq!(idx.find_piece_for_position(0), None);
+        assert!(idx.validate(&[]));
+    }
+
+    #[test]
+    fn split_creates_pieces_with_bounds() {
+        // data conceptually cracked at 50: [10, 20, 30 | 60, 70]
+        let mut idx = PieceIndex::new(5);
+        assert!(idx.split(0, 3, 50));
+        assert_eq!(idx.piece_count(), 2);
+        let p0 = idx.piece(0);
+        let p1 = idx.piece(1);
+        assert_eq!((p0.start, p0.end, p0.lo, p0.hi), (0, 3, None, Some(50)));
+        assert_eq!((p1.start, p1.end, p1.lo, p1.hi), (3, 5, Some(50), None));
+        let data = vec![10, 20, 30, 60, 70];
+        assert!(idx.validate(&data));
+    }
+
+    #[test]
+    fn split_at_edges_tightens_bounds_without_new_piece() {
+        let mut idx = PieceIndex::new(4);
+        // Everything >= 5: split position == start
+        assert!(!idx.split(0, 0, 5));
+        assert_eq!(idx.piece_count(), 1);
+        assert_eq!(idx.piece(0).lo, Some(5));
+        // Everything < 100: split position == end
+        assert!(!idx.split(0, 4, 100));
+        assert_eq!(idx.piece_count(), 1);
+        assert_eq!(idx.piece(0).hi, Some(100));
+        // Bounds only ever tighten.
+        assert!(!idx.split(0, 0, 3));
+        assert_eq!(idx.piece(0).lo, Some(5));
+        assert!(!idx.split(0, 4, 200));
+        assert_eq!(idx.piece(0).hi, Some(100));
+    }
+
+    #[test]
+    fn find_piece_for_value_uses_bounds() {
+        let mut idx = PieceIndex::new(10);
+        idx.split(0, 4, 100);
+        idx.split(1, 7, 200);
+        // pieces: [0,4) <100, [4,7) [100,200), [7,10) >=200
+        assert_eq!(idx.find_piece_for_value(50), Some(0));
+        assert_eq!(idx.find_piece_for_value(100), Some(1));
+        assert_eq!(idx.find_piece_for_value(150), Some(1));
+        assert_eq!(idx.find_piece_for_value(200), Some(2));
+        assert_eq!(idx.find_piece_for_value(10_000), Some(2));
+        assert_eq!(idx.find_piece_for_value(-5), Some(0));
+    }
+
+    #[test]
+    fn find_piece_for_position_walks_extents() {
+        let mut idx = PieceIndex::new(10);
+        idx.split(0, 4, 100);
+        assert_eq!(idx.find_piece_for_position(0), Some(0));
+        assert_eq!(idx.find_piece_for_position(3), Some(0));
+        assert_eq!(idx.find_piece_for_position(4), Some(1));
+        assert_eq!(idx.find_piece_for_position(9), Some(1));
+        assert_eq!(idx.find_piece_for_position(10), None);
+    }
+
+    #[test]
+    fn resolved_boundary_detects_known_pivots() {
+        let mut idx = PieceIndex::new(10);
+        assert_eq!(idx.resolved_boundary(100), None);
+        idx.split(0, 4, 100);
+        assert_eq!(idx.resolved_boundary(100), Some(4));
+        assert_eq!(idx.resolved_boundary(50), None);
+        // Smaller than every known bound of piece 0? piece 0 has lo None, so unknown.
+        assert_eq!(idx.resolved_boundary(-5), None);
+        // Beyond the last piece's known upper bound.
+        idx.split(1, 10, 500);
+        assert_eq!(idx.resolved_boundary(600), Some(10));
+    }
+
+    #[test]
+    fn split_preserves_sorted_flag() {
+        let mut idx = PieceIndex::new(6);
+        // mark the single piece sorted
+        let mut p = idx.piece(0);
+        p.sorted = true;
+        idx = PieceIndex {
+            pieces: vec![p],
+            len: 6,
+        };
+        idx.split(0, 3, 10);
+        assert!(idx.piece(0).sorted);
+        assert!(idx.piece(1).sorted);
+    }
+
+    #[test]
+    fn grow_and_shrink_adjust_extents() {
+        let mut idx = PieceIndex::new(5);
+        idx.split(0, 2, 10);
+        idx.grow(3);
+        assert_eq!(idx.len(), 8);
+        assert_eq!(idx.piece(idx.piece_count() - 1).end, 8);
+        idx.shrink(4);
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.piece_count(), 2);
+        assert_eq!(idx.piece(1).end, 4);
+        // shrinking past a whole piece removes it
+        idx.shrink(3);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.piece_count(), 1);
+    }
+
+    #[test]
+    fn grow_on_empty_index_creates_piece() {
+        let mut idx = PieceIndex::new(0);
+        idx.grow(4);
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.piece_count(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_indexes() {
+        let mut idx = PieceIndex::new(5);
+        idx.split(0, 3, 50);
+        let data_ok = vec![10, 20, 30, 60, 70];
+        let data_bad = vec![10, 20, 99, 60, 70];
+        assert!(idx.validate(&data_ok));
+        assert!(!idx.validate(&data_bad));
+        assert!(!idx.validate(&data_ok[..4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside piece")]
+    fn split_outside_piece_panics() {
+        let mut idx = PieceIndex::new(5);
+        idx.split(0, 3, 50);
+        idx.split(0, 4, 20);
+    }
+}

@@ -1,0 +1,259 @@
+//! In-place partitioning kernels.
+//!
+//! These are the physical reorganization primitives of database cracking:
+//! `crack_in_two` splits a piece around one pivot (used when a query bound
+//! falls into a piece), `crack_in_three` splits a piece around two pivots in
+//! a single pass (used when both bounds of a range query fall into the same
+//! piece). Both exist in a plain form and in a form that permutes a parallel
+//! row-id array, which is what enables tuple reconstruction (projections of
+//! other attributes) after cracking.
+
+use crate::{RowId, Value};
+
+/// Partitions `data` in place so that all values `< pivot` precede all
+/// values `>= pivot`. Returns the index of the first value `>= pivot`
+/// (equivalently, the number of values `< pivot`).
+pub fn crack_in_two(data: &mut [Value], pivot: Value) -> usize {
+    if data.is_empty() {
+        return 0;
+    }
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    while lo < hi {
+        if data[lo] < pivot {
+            lo += 1;
+        } else {
+            hi -= 1;
+            data.swap(lo, hi);
+        }
+    }
+    lo
+}
+
+/// Like [`crack_in_two`], but keeps a parallel `rowids` array aligned with
+/// the values (every swap is mirrored).
+///
+/// # Panics
+///
+/// Panics if `data` and `rowids` have different lengths.
+pub fn crack_in_two_with_rowids(data: &mut [Value], rowids: &mut [RowId], pivot: Value) -> usize {
+    assert_eq!(data.len(), rowids.len(), "values and rowids must be aligned");
+    if data.is_empty() {
+        return 0;
+    }
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    while lo < hi {
+        if data[lo] < pivot {
+            lo += 1;
+        } else {
+            hi -= 1;
+            data.swap(lo, hi);
+            rowids.swap(lo, hi);
+        }
+    }
+    lo
+}
+
+/// Partitions `data` in place into three regions in a single pass:
+/// values `< lo`, values in `[lo, hi)`, and values `>= hi`.
+///
+/// Returns `(a, b)` such that `data[..a] < lo`, `lo <= data[a..b] < hi`, and
+/// `data[b..] >= hi`.
+///
+/// If `hi <= lo` the middle region is empty and the call degenerates to a
+/// single [`crack_in_two`] at `lo` (all values `>= lo` are also `>= hi`
+/// only when `hi <= lo` holds for them, so we simply partition at `lo` and
+/// report an empty middle).
+pub fn crack_in_three(data: &mut [Value], lo: Value, hi: Value) -> (usize, usize) {
+    if hi <= lo {
+        let a = crack_in_two(data, lo);
+        return (a, a);
+    }
+    // Dutch-national-flag style three-way partition.
+    let mut lt = 0usize; // data[..lt] < lo
+    let mut i = 0usize; // data[lt..i] in [lo, hi)
+    let mut gt = data.len(); // data[gt..] >= hi
+    while i < gt {
+        let v = data[i];
+        if v < lo {
+            data.swap(i, lt);
+            lt += 1;
+            i += 1;
+        } else if v >= hi {
+            gt -= 1;
+            data.swap(i, gt);
+        } else {
+            i += 1;
+        }
+    }
+    (lt, gt)
+}
+
+/// Like [`crack_in_three`], but keeps a parallel `rowids` array aligned.
+///
+/// # Panics
+///
+/// Panics if `data` and `rowids` have different lengths.
+pub fn crack_in_three_with_rowids(
+    data: &mut [Value],
+    rowids: &mut [RowId],
+    lo: Value,
+    hi: Value,
+) -> (usize, usize) {
+    assert_eq!(data.len(), rowids.len(), "values and rowids must be aligned");
+    if hi <= lo {
+        let a = crack_in_two_with_rowids(data, rowids, lo);
+        return (a, a);
+    }
+    let mut lt = 0usize;
+    let mut i = 0usize;
+    let mut gt = data.len();
+    while i < gt {
+        let v = data[i];
+        if v < lo {
+            data.swap(i, lt);
+            rowids.swap(i, lt);
+            lt += 1;
+            i += 1;
+        } else if v >= hi {
+            gt -= 1;
+            data.swap(i, gt);
+            rowids.swap(i, gt);
+        } else {
+            i += 1;
+        }
+    }
+    (lt, gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_partitioned_two(data: &[Value], split: usize, pivot: Value) {
+        assert!(data[..split].iter().all(|&v| v < pivot), "left side violated");
+        assert!(data[split..].iter().all(|&v| v >= pivot), "right side violated");
+    }
+
+    fn assert_partitioned_three(data: &[Value], a: usize, b: usize, lo: Value, hi: Value) {
+        assert!(data[..a].iter().all(|&v| v < lo), "first region violated");
+        assert!(
+            data[a..b].iter().all(|&v| v >= lo && v < hi),
+            "middle region violated"
+        );
+        assert!(data[b..].iter().all(|&v| v >= hi), "last region violated");
+    }
+
+    #[test]
+    fn crack_in_two_basic() {
+        let mut data = vec![5, 1, 9, 3, 7, 3, 0, 10];
+        let orig = {
+            let mut d = data.clone();
+            d.sort_unstable();
+            d
+        };
+        let split = crack_in_two(&mut data, 5);
+        assert_eq!(split, 4);
+        assert_partitioned_two(&data, split, 5);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "multiset must be preserved");
+    }
+
+    #[test]
+    fn crack_in_two_extremes() {
+        let mut data = vec![3, 1, 2];
+        assert_eq!(crack_in_two(&mut data, i64::MIN), 0);
+        assert_eq!(crack_in_two(&mut data, 100), 3);
+        let mut empty: Vec<Value> = vec![];
+        assert_eq!(crack_in_two(&mut empty, 5), 0);
+        let mut single = vec![7];
+        assert_eq!(crack_in_two(&mut single, 7), 0);
+        assert_eq!(crack_in_two(&mut single, 8), 1);
+    }
+
+    #[test]
+    fn crack_in_two_all_equal_values() {
+        let mut data = vec![4; 10];
+        assert_eq!(crack_in_two(&mut data, 4), 0);
+        assert_eq!(crack_in_two(&mut data, 5), 10);
+    }
+
+    #[test]
+    fn crack_in_two_with_rowids_keeps_pairs_aligned() {
+        let mut data = vec![50, 10, 90, 30];
+        let mut rowids: Vec<RowId> = vec![0, 1, 2, 3];
+        let pairs_before: Vec<(Value, RowId)> =
+            data.iter().copied().zip(rowids.iter().copied()).collect();
+        let split = crack_in_two_with_rowids(&mut data, &mut rowids, 40);
+        assert_partitioned_two(&data, split, 40);
+        let mut pairs_after: Vec<(Value, RowId)> =
+            data.iter().copied().zip(rowids.iter().copied()).collect();
+        let mut expected = pairs_before;
+        expected.sort_unstable();
+        pairs_after.sort_unstable();
+        assert_eq!(pairs_after, expected, "value/rowid pairs must survive cracking");
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn crack_in_two_with_rowids_rejects_mismatched_lengths() {
+        let mut data = vec![1, 2];
+        let mut rowids: Vec<RowId> = vec![0];
+        let _ = crack_in_two_with_rowids(&mut data, &mut rowids, 1);
+    }
+
+    #[test]
+    fn crack_in_three_basic() {
+        let mut data = vec![5, 1, 9, 3, 7, 3, 0, 10, 4, 6];
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        let (a, b) = crack_in_three(&mut data, 3, 7);
+        assert_partitioned_three(&data, a, b, 3, 7);
+        assert_eq!(b - a, 5); // 5, 3, 3, 4, 6
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn crack_in_three_degenerate_range() {
+        let mut data = vec![5, 1, 9, 3];
+        let (a, b) = crack_in_three(&mut data, 6, 6);
+        assert_eq!(a, b);
+        assert!(data[..a].iter().all(|&v| v < 6));
+        assert!(data[a..].iter().all(|&v| v >= 6));
+        let (a, b) = crack_in_three(&mut data, 8, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crack_in_three_whole_range() {
+        let mut data = vec![2, 9, 4];
+        let (a, b) = crack_in_three(&mut data, i64::MIN, i64::MAX);
+        assert_eq!(a, 0);
+        assert_eq!(b, 3);
+    }
+
+    #[test]
+    fn crack_in_three_with_rowids_keeps_pairs_aligned() {
+        let mut data = vec![50, 10, 90, 30, 70, 20];
+        let mut rowids: Vec<RowId> = (0..6).collect();
+        let mut expected: Vec<(Value, RowId)> =
+            data.iter().copied().zip(rowids.iter().copied()).collect();
+        let (a, b) = crack_in_three_with_rowids(&mut data, &mut rowids, 25, 75);
+        assert_partitioned_three(&data, a, b, 25, 75);
+        let mut pairs: Vec<(Value, RowId)> =
+            data.iter().copied().zip(rowids.iter().copied()).collect();
+        pairs.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn crack_in_three_empty_input() {
+        let mut data: Vec<Value> = vec![];
+        assert_eq!(crack_in_three(&mut data, 1, 5), (0, 0));
+    }
+}

@@ -1,0 +1,57 @@
+//! # holistic-cracking
+//!
+//! Adaptive indexing (database cracking) for the holistic indexing kernel.
+//!
+//! Database cracking (Idreos, Kersten, Manegold — CIDR 2007) builds indexes
+//! *partially and incrementally as a side effect of query processing*: the
+//! first query on a column copies it into a **cracker column**; every range
+//! select physically reorganizes ("cracks") the pieces its bounds fall into,
+//! so that qualifying values become contiguous; a **cracker index** records
+//! the piece boundaries. With more queries the column becomes more and more
+//! ordered and selects approach index performance, without ever paying the
+//! up-front cost of a full sort.
+//!
+//! This crate provides the full adaptive-indexing substrate the paper's
+//! holistic kernel builds on:
+//!
+//! * [`kernels`] — the in-place partitioning kernels (`crack_in_two`,
+//!   `crack_in_three`), with and without row-id payloads.
+//! * [`piece`] / [`index`] — pieces and the cracker (piece) index.
+//! * [`cracker`] — [`CrackerColumn`]: the query-facing cracked copy of a
+//!   base column, including *random refinement actions* (the building block
+//!   of the paper's idle-time tuning).
+//! * [`stochastic`] — stochastic cracking variants (DDC, DDR, MDD1R) for
+//!   robustness against adversarial (e.g. sequential) workloads.
+//! * [`merging`] — adaptive merging, the partition/merge-style alternative.
+//! * [`updates`] — cracking under updates: pending insert/delete buffers
+//!   merged into the cracker column with ripple insertion/deletion.
+//! * [`concurrent`] — a latch-protected cracker column usable from multiple
+//!   threads (reads share, cracking takes the write latch).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod concurrent;
+pub mod cracker;
+pub mod index;
+pub mod kernels;
+pub mod merging;
+pub mod piece;
+pub mod sideways;
+pub mod stochastic;
+pub mod updates;
+
+pub use concurrent::ConcurrentCrackerColumn;
+pub use cracker::CrackerColumn;
+pub use index::PieceIndex;
+pub use kernels::{crack_in_three, crack_in_two};
+pub use merging::AdaptiveMergingIndex;
+pub use piece::Piece;
+pub use sideways::{CrackerMap, MapSet};
+pub use stochastic::CrackPolicy;
+pub use updates::UpdatableCrackerColumn;
+
+/// Value type cracked by this crate (re-exported from the storage layer).
+pub use holistic_storage::Value;
+/// Row identifier type (re-exported from the storage layer).
+pub use holistic_storage::RowId;

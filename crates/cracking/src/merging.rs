@@ -1,0 +1,271 @@
+//! Adaptive merging: the partition/merge-style alternative to cracking.
+//!
+//! Adaptive merging (Graefe & Kuno, EDBT 2010) performs the heavy work up
+//! front in a different way than cracking: the column is split into runs
+//! that are each sorted once (like the first pass of an external merge
+//! sort); every query then *merges* the qualifying key ranges out of the
+//! runs into a final, fully sorted index. Ranges that have been merged once
+//! are served directly from the final index; the runs shrink monotonically.
+//!
+//! The paper cites this family ("partition-merge -like logic", [9, 14]) as
+//! one of the adaptive-indexing flavours a holistic kernel should be able to
+//! host, and it is the natural comparison point for the ablation benches.
+
+use crate::Value;
+
+/// Statistics describing how much work adaptive merging has done so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// Values moved from runs into the final index so far.
+    pub values_merged: u64,
+    /// Number of queries answered.
+    pub queries: u64,
+    /// Values compared/inspected while answering queries (work proxy).
+    pub values_touched: u64,
+}
+
+/// An adaptive-merging index over one column.
+#[derive(Debug, Clone)]
+pub struct AdaptiveMergingIndex {
+    /// Sorted runs still holding un-merged values.
+    runs: Vec<Vec<Value>>,
+    /// The final index: values merged so far, kept sorted.
+    merged: Vec<Value>,
+    /// Value ranges `[lo, hi)` that are fully covered by `merged`.
+    covered: Vec<(Value, Value)>,
+    stats: MergeStats,
+}
+
+impl AdaptiveMergingIndex {
+    /// Builds the initial run structure: the input is chopped into runs of
+    /// `run_size` values and each run is sorted (the "partition" phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run_size == 0`.
+    #[must_use]
+    pub fn new(values: &[Value], run_size: usize) -> Self {
+        assert!(run_size > 0, "run size must be positive");
+        let mut runs: Vec<Vec<Value>> = values
+            .chunks(run_size)
+            .map(|chunk| {
+                let mut run = chunk.to_vec();
+                run.sort_unstable();
+                run
+            })
+            .collect();
+        runs.retain(|r| !r.is_empty());
+        AdaptiveMergingIndex {
+            runs,
+            merged: Vec::new(),
+            covered: Vec::new(),
+            stats: MergeStats::default(),
+        }
+    }
+
+    /// Number of runs still holding values.
+    #[must_use]
+    pub fn run_count(&self) -> usize {
+        self.runs.iter().filter(|r| !r.is_empty()).count()
+    }
+
+    /// Number of values already merged into the final index.
+    #[must_use]
+    pub fn merged_len(&self) -> usize {
+        self.merged.len()
+    }
+
+    /// Work statistics.
+    #[must_use]
+    pub fn stats(&self) -> MergeStats {
+        self.stats
+    }
+
+    /// Whether the value range `[lo, hi)` is already fully served by the
+    /// final index (no run access needed).
+    #[must_use]
+    pub fn is_covered(&self, lo: Value, hi: Value) -> bool {
+        if hi <= lo {
+            return true;
+        }
+        // Merge-coalesce the covered ranges lazily at query time instead of
+        // maintaining a canonical interval set.
+        let mut ranges: Vec<(Value, Value)> = self.covered.clone();
+        ranges.sort_unstable();
+        let mut cursor = lo;
+        for (a, b) in ranges {
+            if b <= cursor {
+                continue;
+            }
+            if a > cursor {
+                return false;
+            }
+            cursor = cursor.max(b);
+            if cursor >= hi {
+                return true;
+            }
+        }
+        cursor >= hi
+    }
+
+    /// Answers the range query `[lo, hi)`, returning the qualifying values
+    /// in sorted order. Values that had not been merged yet are moved out of
+    /// their runs into the final index as a side effect.
+    pub fn query(&mut self, lo: Value, hi: Value) -> Vec<Value> {
+        self.stats.queries += 1;
+        if hi <= lo {
+            return Vec::new();
+        }
+        if !self.is_covered(lo, hi) {
+            // Drain qualifying values from every run into the final index.
+            let mut harvested: Vec<Value> = Vec::new();
+            for run in &mut self.runs {
+                let start = run.partition_point(|&v| v < lo);
+                let end = run.partition_point(|&v| v < hi);
+                if end > start {
+                    harvested.extend(run.drain(start..end));
+                }
+                self.stats.values_touched += 2 * (run.len().max(1) as u64).ilog2() as u64 + 1;
+            }
+            self.stats.values_merged += harvested.len() as u64;
+            if !harvested.is_empty() {
+                harvested.sort_unstable();
+                let merged = std::mem::take(&mut self.merged);
+                self.merged = merge_sorted(merged, harvested);
+            }
+            self.covered.push((lo, hi));
+        }
+        let start = self.merged.partition_point(|&v| v < lo);
+        let end = self.merged.partition_point(|&v| v < hi);
+        self.stats.values_touched += (end - start) as u64;
+        self.merged[start..end].to_vec()
+    }
+
+    /// Counts the qualifying values for `[lo, hi)` (merging as a side effect).
+    pub fn query_count(&mut self, lo: Value, hi: Value) -> u64 {
+        self.query(lo, hi).len() as u64
+    }
+
+    /// Whether every value has been merged into the final index.
+    #[must_use]
+    pub fn fully_merged(&self) -> bool {
+        self.runs.iter().all(Vec::is_empty)
+    }
+}
+
+/// Merges two sorted vectors into one sorted vector.
+fn merge_sorted(a: Vec<Value>, b: Vec<Value>) -> Vec<Value> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<Value> {
+        vec![42, 7, 19, 3, 88, 23, 51, 64, 5, 91, 30, 12, 77, 1, 60, 45]
+    }
+
+    fn scan_sorted(values: &[Value], lo: Value, hi: Value) -> Vec<Value> {
+        let mut out: Vec<Value> = values.iter().copied().filter(|&v| v >= lo && v < hi).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn initial_partition_creates_sorted_runs() {
+        let idx = AdaptiveMergingIndex::new(&data(), 4);
+        assert_eq!(idx.run_count(), 4);
+        assert_eq!(idx.merged_len(), 0);
+        assert!(!idx.fully_merged());
+    }
+
+    #[test]
+    fn query_matches_scan_and_merges() {
+        let values = data();
+        let mut idx = AdaptiveMergingIndex::new(&values, 4);
+        let result = idx.query(10, 60);
+        assert_eq!(result, scan_sorted(&values, 10, 60));
+        assert_eq!(idx.merged_len(), result.len());
+        assert!(idx.is_covered(10, 60));
+        assert!(idx.is_covered(20, 30));
+        assert!(!idx.is_covered(0, 100));
+        // Repeated query is served from the final index and stays correct.
+        let again = idx.query(10, 60);
+        assert_eq!(again, result);
+        assert_eq!(idx.stats().queries, 2);
+    }
+
+    #[test]
+    fn overlapping_queries_do_not_duplicate_values() {
+        let values = data();
+        let mut idx = AdaptiveMergingIndex::new(&values, 4);
+        let _ = idx.query(10, 60);
+        let r = idx.query(40, 80);
+        assert_eq!(r, scan_sorted(&values, 40, 80));
+        let r = idx.query(0, 100);
+        assert_eq!(r, scan_sorted(&values, 0, 100));
+        assert!(idx.fully_merged());
+        assert_eq!(idx.merged_len(), values.len());
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges() {
+        let mut idx = AdaptiveMergingIndex::new(&data(), 8);
+        assert!(idx.query(50, 50).is_empty());
+        assert!(idx.query(80, 20).is_empty());
+        assert_eq!(idx.query_count(1000, 2000), 0);
+        assert!(idx.is_covered(9, 3));
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut idx = AdaptiveMergingIndex::new(&[], 16);
+        assert_eq!(idx.run_count(), 0);
+        assert!(idx.fully_merged());
+        assert!(idx.query(0, 10).is_empty());
+    }
+
+    #[test]
+    fn coverage_coalesces_adjacent_ranges() {
+        let values: Vec<Value> = (0..100).collect();
+        let mut idx = AdaptiveMergingIndex::new(&values, 10);
+        let _ = idx.query(0, 30);
+        let _ = idx.query(30, 60);
+        assert!(idx.is_covered(0, 60));
+        assert!(idx.is_covered(10, 55));
+        assert!(!idx.is_covered(0, 61));
+    }
+
+    #[test]
+    fn merge_work_decreases_over_time() {
+        let values: Vec<Value> = (0..10_000).rev().collect();
+        let mut idx = AdaptiveMergingIndex::new(&values, 1000);
+        let _ = idx.query(0, 5000);
+        let merged_after_first = idx.stats().values_merged;
+        let _ = idx.query(1000, 4000); // fully covered, no new merge work
+        assert_eq!(idx.stats().values_merged, merged_after_first);
+        let _ = idx.query(0, 10_000);
+        assert_eq!(idx.stats().values_merged, 10_000);
+        assert!(idx.fully_merged());
+    }
+
+    #[test]
+    #[should_panic(expected = "run size must be positive")]
+    fn zero_run_size_panics() {
+        let _ = AdaptiveMergingIndex::new(&[1, 2, 3], 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Pieces: contiguous, value-bounded regions of a cracker column.
+
+use crate::Value;
+
+/// A piece of a cracker column.
+///
+/// The piece covers positions `[start, end)` of the cracked array and is
+/// guaranteed to only contain values `v` with `lo <= v < hi`, where `None`
+/// bounds mean "unbounded". Physical order of pieces equals value order:
+/// every value in a piece is smaller than every value in the next piece.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Piece {
+    /// First position covered by the piece (inclusive).
+    pub start: usize,
+    /// One past the last position covered by the piece (exclusive).
+    pub end: usize,
+    /// Inclusive lower bound on values in the piece, `None` = unbounded.
+    pub lo: Option<Value>,
+    /// Exclusive upper bound on values in the piece, `None` = unbounded.
+    pub hi: Option<Value>,
+    /// Whether the piece is known to be internally sorted.
+    pub sorted: bool,
+}
+
+impl Piece {
+    /// Creates a piece spanning `[start, end)` with unbounded value range.
+    #[must_use]
+    pub fn unbounded(start: usize, end: usize) -> Self {
+        Piece {
+            start,
+            end,
+            lo: None,
+            hi: None,
+            sorted: false,
+        }
+    }
+
+    /// Number of positions covered by the piece.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the piece covers no positions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether a value can live in this piece according to its bounds.
+    #[must_use]
+    pub fn admits(&self, v: Value) -> bool {
+        self.lo.map_or(true, |lo| v >= lo) && self.hi.map_or(true, |hi| v < hi)
+    }
+
+    /// Checks that every value in `data[start..end]` respects the bounds.
+    #[must_use]
+    pub fn validate(&self, data: &[Value]) -> bool {
+        if self.end > data.len() || self.start > self.end {
+            return false;
+        }
+        let slice = &data[self.start..self.end];
+        if !slice.iter().all(|&v| self.admits(v)) {
+            return false;
+        }
+        if self.sorted && !slice.windows(2).all(|w| w[0] <= w[1]) {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_piece_admits_anything() {
+        let p = Piece::unbounded(0, 10);
+        assert_eq!(p.len(), 10);
+        assert!(!p.is_empty());
+        assert!(p.admits(i64::MIN));
+        assert!(p.admits(0));
+        assert!(p.admits(i64::MAX));
+    }
+
+    #[test]
+    fn bounds_are_half_open() {
+        let p = Piece {
+            start: 0,
+            end: 4,
+            lo: Some(10),
+            hi: Some(20),
+            sorted: false,
+        };
+        assert!(p.admits(10));
+        assert!(p.admits(19));
+        assert!(!p.admits(20));
+        assert!(!p.admits(9));
+    }
+
+    #[test]
+    fn validate_checks_values_and_extent() {
+        let data = vec![12, 15, 11, 19];
+        let good = Piece {
+            start: 0,
+            end: 4,
+            lo: Some(10),
+            hi: Some(20),
+            sorted: false,
+        };
+        assert!(good.validate(&data));
+        let bad_bound = Piece {
+            lo: Some(13),
+            ..good
+        };
+        assert!(!bad_bound.validate(&data));
+        let bad_extent = Piece {
+            end: 5,
+            ..good
+        };
+        assert!(!bad_extent.validate(&data));
+    }
+
+    #[test]
+    fn validate_checks_sortedness_flag() {
+        let data = vec![1, 3, 2];
+        let p = Piece {
+            start: 0,
+            end: 3,
+            lo: None,
+            hi: None,
+            sorted: true,
+        };
+        assert!(!p.validate(&data));
+        let sorted_data = vec![1, 2, 3];
+        assert!(p.validate(&sorted_data));
+    }
+
+    #[test]
+    fn empty_piece() {
+        let p = Piece::unbounded(5, 5);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert!(p.validate(&vec![0; 10]));
+    }
+}

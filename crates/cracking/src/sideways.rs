@@ -1,0 +1,375 @@
+//! Sideways cracking: self-organizing tuple reconstruction for
+//! select-project queries over different columns.
+//!
+//! A plain cracker column physically reorders one attribute, which breaks
+//! positional alignment with the rest of the table. Sideways cracking
+//! (Idreos, Kersten, Manegold — SIGMOD 2009, ref [13] in the paper) solves
+//! tuple reconstruction by maintaining **cracker maps**: for a pair of
+//! attributes `(head, tail)` the map stores the two value arrays together
+//! and cracks them as a unit, so after any number of selects on `head`, the
+//! qualifying `tail` values are already sitting next to the qualifying
+//! `head` values — no random-access positional joins needed.
+//!
+//! This module implements the map structure itself plus a small
+//! [`MapSet`] that lazily creates one map per tail attribute, which is
+//! how the engine serves `SELECT B FROM R WHERE lo <= A < hi`.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::index::PieceIndex;
+use crate::Value;
+
+/// A cracker map for an attribute pair `(head, tail)`.
+///
+/// `head` drives the physical organization (selection predicates are on it),
+/// `tail` is carried along so projections are contiguous after cracking.
+#[derive(Debug, Clone)]
+pub struct CrackerMap {
+    head: Vec<Value>,
+    tail: Vec<Value>,
+    index: PieceIndex,
+    cracks_performed: u64,
+}
+
+impl CrackerMap {
+    /// Creates a cracker map from aligned head/tail columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two columns have different lengths.
+    #[must_use]
+    pub fn new(head: Vec<Value>, tail: Vec<Value>) -> Self {
+        assert_eq!(head.len(), tail.len(), "head and tail must be aligned");
+        let len = head.len();
+        CrackerMap {
+            head,
+            tail,
+            index: PieceIndex::new(len),
+            cracks_performed: 0,
+        }
+    }
+
+    /// Number of tuples in the map.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Number of pieces the head attribute is partitioned into.
+    #[must_use]
+    pub fn piece_count(&self) -> usize {
+        self.index.piece_count()
+    }
+
+    /// Total crack actions performed.
+    #[must_use]
+    pub fn cracks_performed(&self) -> u64 {
+        self.cracks_performed
+    }
+
+    /// The (cracked) head values.
+    #[must_use]
+    pub fn head(&self) -> &[Value] {
+        &self.head
+    }
+
+    /// The tail values, aligned with [`CrackerMap::head`].
+    #[must_use]
+    pub fn tail(&self) -> &[Value] {
+        &self.tail
+    }
+
+    /// Cracks the map so that head values `>= v` start at the returned
+    /// position.
+    pub fn crack_at(&mut self, v: Value) -> usize {
+        let Some(idx) = self.index.find_piece_for_value(v) else {
+            return 0;
+        };
+        if let Some(pos) = self.index.resolved_boundary(v) {
+            return pos;
+        }
+        let p = self.index.piece(idx);
+        // The tail array plays the role of the payload: every swap of a head
+        // value is mirrored so the pair stays together.
+        let off = crack_pair(&mut self.head[p.start..p.end], &mut self.tail[p.start..p.end], v);
+        let pos = p.start + off;
+        self.index.split(idx, pos, v);
+        self.cracks_performed += 1;
+        pos
+    }
+
+    /// Answers `SELECT tail WHERE lo <= head < hi`, cracking as needed, and
+    /// returns the position range of qualifying tuples.
+    pub fn crack_select(&mut self, lo: Value, hi: Value) -> Range<usize> {
+        if hi <= lo || self.head.is_empty() {
+            return 0..0;
+        }
+        let lo_idx = self.index.find_piece_for_value(lo);
+        let hi_idx = self.index.find_piece_for_value(hi);
+        let lo_resolved = self.index.resolved_boundary(lo).is_some();
+        let hi_resolved = self.index.resolved_boundary(hi).is_some();
+        if let (Some(a), Some(b)) = (lo_idx, hi_idx) {
+            if a == b && !lo_resolved && !hi_resolved && !self.index.piece(a).sorted {
+                let p = self.index.piece(a);
+                let (off_a, off_b) = crack_pair_three(
+                    &mut self.head[p.start..p.end],
+                    &mut self.tail[p.start..p.end],
+                    lo,
+                    hi,
+                );
+                let abs_a = p.start + off_a;
+                let abs_b = p.start + off_b;
+                self.index.split(a, abs_a, lo);
+                let idx_for_hi = self
+                    .index
+                    .find_piece_for_value(hi)
+                    .expect("non-empty index");
+                self.index.split(idx_for_hi, abs_b, hi);
+                self.cracks_performed += 1;
+                return abs_a..abs_b;
+            }
+        }
+        let start = self.crack_at(lo);
+        let end = self.crack_at(hi);
+        start..end
+    }
+
+    /// Projects the tail values of a range produced by
+    /// [`CrackerMap::crack_select`].
+    #[must_use]
+    pub fn project(&self, range: Range<usize>) -> &[Value] {
+        &self.tail[range]
+    }
+
+    /// Validates the structural invariants: the piece index is consistent
+    /// with the head values and the head/tail arrays are aligned.
+    #[must_use]
+    pub fn validate(&self) -> bool {
+        self.head.len() == self.tail.len() && self.index.validate(&self.head)
+    }
+}
+
+/// Partitions the aligned `(head, tail)` pair around `pivot`, keeping pairs
+/// together; returns the number of head values `< pivot`.
+fn crack_pair(head: &mut [Value], tail: &mut [Value], pivot: Value) -> usize {
+    debug_assert_eq!(head.len(), tail.len());
+    if head.is_empty() {
+        return 0;
+    }
+    let mut lo = 0usize;
+    let mut hi = head.len();
+    while lo < hi {
+        if head[lo] < pivot {
+            lo += 1;
+        } else {
+            hi -= 1;
+            head.swap(lo, hi);
+            tail.swap(lo, hi);
+        }
+    }
+    lo
+}
+
+/// Three-way partition of the aligned `(head, tail)` pair.
+fn crack_pair_three(
+    head: &mut [Value],
+    tail: &mut [Value],
+    lo: Value,
+    hi: Value,
+) -> (usize, usize) {
+    debug_assert_eq!(head.len(), tail.len());
+    if hi <= lo {
+        let a = crack_pair(head, tail, lo);
+        return (a, a);
+    }
+    let mut lt = 0usize;
+    let mut i = 0usize;
+    let mut gt = head.len();
+    while i < gt {
+        let v = head[i];
+        if v < lo {
+            head.swap(i, lt);
+            tail.swap(i, lt);
+            lt += 1;
+            i += 1;
+        } else if v >= hi {
+            gt -= 1;
+            head.swap(i, gt);
+            tail.swap(i, gt);
+        } else {
+            i += 1;
+        }
+    }
+    (lt, gt)
+}
+
+/// A lazily populated set of cracker maps sharing one head attribute:
+/// `SELECT B FROM R WHERE pred(A)`, `SELECT C FROM R WHERE pred(A)`, … each
+/// get their own map keyed by the tail attribute's identifier.
+#[derive(Debug, Default)]
+pub struct MapSet {
+    maps: BTreeMap<u32, CrackerMap>,
+}
+
+impl MapSet {
+    /// Creates an empty map set.
+    #[must_use]
+    pub fn new() -> Self {
+        MapSet::default()
+    }
+
+    /// Number of materialized maps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Whether no map has been materialized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// Whether a map for `tail_id` exists already.
+    #[must_use]
+    pub fn contains(&self, tail_id: u32) -> bool {
+        self.maps.contains_key(&tail_id)
+    }
+
+    /// Returns the map for `tail_id`, creating it from the supplied base
+    /// columns on first use (the lazy, on-demand materialization of partial
+    /// sideways cracking).
+    pub fn map_for(
+        &mut self,
+        tail_id: u32,
+        head: impl FnOnce() -> Vec<Value>,
+        tail: impl FnOnce() -> Vec<Value>,
+    ) -> &mut CrackerMap {
+        self.maps
+            .entry(tail_id)
+            .or_insert_with(|| CrackerMap::new(head(), tail()))
+    }
+
+    /// Read access to an existing map.
+    #[must_use]
+    pub fn get(&self, tail_id: u32) -> Option<&CrackerMap> {
+        self.maps.get(&tail_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns() -> (Vec<Value>, Vec<Value>) {
+        let head = vec![50, 10, 90, 30, 70, 20, 80, 40, 60, 100];
+        // tail[i] = head[i] * 1000 + i so we can verify pairings exactly.
+        let tail = head
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| h * 1000 + i as Value)
+            .collect();
+        (head, tail)
+    }
+
+    fn expected_tails(head: &[Value], tail: &[Value], lo: Value, hi: Value) -> Vec<Value> {
+        let mut out: Vec<Value> = head
+            .iter()
+            .zip(tail)
+            .filter(|(&h, _)| h >= lo && h < hi)
+            .map(|(_, &t)| t)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn select_project_returns_matching_tail_values() {
+        let (head, tail) = columns();
+        let mut map = CrackerMap::new(head.clone(), tail.clone());
+        for &(lo, hi) in &[(25, 75), (10, 20), (0, 1000), (60, 60), (95, 40)] {
+            let range = map.crack_select(lo, hi);
+            let mut projected = map.project(range).to_vec();
+            projected.sort_unstable();
+            assert_eq!(projected, expected_tails(&head, &tail, lo, hi), "[{lo},{hi})");
+            assert!(map.validate());
+        }
+        assert!(map.piece_count() > 2);
+        assert!(map.cracks_performed() >= 2);
+    }
+
+    #[test]
+    fn pairs_stay_aligned_through_arbitrary_cracking() {
+        let (head, tail) = columns();
+        let mut map = CrackerMap::new(head, tail);
+        for pivot in [15, 85, 45, 65, 25, 95, 5] {
+            map.crack_at(pivot);
+        }
+        assert!(map.validate());
+        for (h, t) in map.head().iter().zip(map.tail()) {
+            assert_eq!(t / 1000, *h, "tail {t} no longer belongs to head {h}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_maps() {
+        let mut empty = CrackerMap::new(vec![], vec![]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.crack_select(1, 10), 0..0);
+        assert!(empty.validate());
+        let (head, tail) = columns();
+        let mut map = CrackerMap::new(head, tail);
+        assert_eq!(map.crack_select(40, 40), 0..0);
+        assert_eq!(map.crack_select(200, 300).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_columns_are_rejected() {
+        let _ = CrackerMap::new(vec![1, 2, 3], vec![1]);
+    }
+
+    #[test]
+    fn map_set_materializes_lazily_and_reuses_maps() {
+        let (head, tail) = columns();
+        let other_tail: Vec<Value> = head.iter().map(|&h| -h).collect();
+        let mut set = MapSet::new();
+        assert!(set.is_empty());
+        {
+            let map_b = set.map_for(1, || head.clone(), || tail.clone());
+            let r = map_b.crack_select(25, 75);
+            assert!(!map_b.project(r).is_empty());
+        }
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(1));
+        assert!(!set.contains(2));
+        {
+            let map_c = set.map_for(2, || head.clone(), || other_tail.clone());
+            let r = map_c.crack_select(25, 75);
+            assert!(map_c.project(r).iter().all(|&v| v < 0));
+        }
+        assert_eq!(set.len(), 2);
+        // Re-requesting map 1 must not rebuild it (cracks persist).
+        let cracks_before = set.get(1).unwrap().cracks_performed();
+        let map_b = set.map_for(1, || panic!("must not rebuild"), || panic!("must not rebuild"));
+        assert_eq!(map_b.cracks_performed(), cracks_before);
+    }
+
+    #[test]
+    fn duplicate_head_values_keep_all_their_tails() {
+        let head = vec![5, 5, 5, 1, 9, 5];
+        let tail = vec![50, 51, 52, 10, 90, 53];
+        let mut map = CrackerMap::new(head, tail);
+        let range = map.crack_select(5, 6);
+        let mut projected = map.project(range).to_vec();
+        projected.sort_unstable();
+        assert_eq!(projected, vec![50, 51, 52, 53]);
+    }
+}

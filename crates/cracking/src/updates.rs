@@ -1,0 +1,451 @@
+//! Cracking under updates.
+//!
+//! Following "Updating a Cracked Database" (SIGMOD 2007), updates never
+//! touch the cracked array directly when they arrive. Inserts and deletes
+//! are queued in a pending [`UpdateBuffer`]; when a query touches a value
+//! range, the pending updates that fall inside that range are merged into
+//! the cracker column using *ripple insertion / deletion*: the affected
+//! piece grows or shrinks by one slot and the displacement is rippled
+//! through the following pieces (each piece rotates one element) so that all
+//! piece invariants keep holding without rewriting the column.
+
+use std::ops::Range;
+
+use holistic_storage::UpdateBuffer;
+
+use crate::cracker::CrackerColumn;
+use crate::{RowId, Value};
+
+/// A cracker column plus its pending-update buffer.
+#[derive(Debug, Clone)]
+pub struct UpdatableCrackerColumn {
+    cracker: CrackerColumn,
+    pending: UpdateBuffer,
+    next_rowid: u32,
+    merged_inserts: u64,
+    merged_deletes: u64,
+}
+
+impl UpdatableCrackerColumn {
+    /// Creates an updatable cracker column from raw values (no row ids).
+    #[must_use]
+    pub fn from_values(values: Vec<Value>) -> Self {
+        let next_rowid = values.len() as u32;
+        UpdatableCrackerColumn {
+            cracker: CrackerColumn::from_values(values),
+            pending: UpdateBuffer::new(),
+            next_rowid,
+            merged_inserts: 0,
+            merged_deletes: 0,
+        }
+    }
+
+    /// Creates an updatable cracker column carrying row ids.
+    #[must_use]
+    pub fn from_values_with_rowids(values: Vec<Value>) -> Self {
+        let next_rowid = values.len() as u32;
+        UpdatableCrackerColumn {
+            cracker: CrackerColumn::from_values_with_rowids(values),
+            pending: UpdateBuffer::new(),
+            next_rowid,
+            merged_inserts: 0,
+            merged_deletes: 0,
+        }
+    }
+
+    /// The underlying cracker column.
+    #[must_use]
+    pub fn cracker(&self) -> &CrackerColumn {
+        &self.cracker
+    }
+
+    /// Queues a value for insertion.
+    pub fn insert(&mut self, v: Value) {
+        self.pending.insert(v);
+    }
+
+    /// Queues a value for deletion.
+    pub fn delete(&mut self, v: Value) {
+        self.pending.delete(v);
+    }
+
+    /// Number of pending (unmerged) inserts.
+    #[must_use]
+    pub fn pending_inserts(&self) -> usize {
+        self.pending.pending_inserts()
+    }
+
+    /// Number of pending (unmerged) deletes.
+    #[must_use]
+    pub fn pending_deletes(&self) -> usize {
+        self.pending.pending_deletes()
+    }
+
+    /// Updates merged into the cracked array so far: `(inserts, deletes)`.
+    #[must_use]
+    pub fn merged_updates(&self) -> (u64, u64) {
+        (self.merged_inserts, self.merged_deletes)
+    }
+
+    /// Logical number of values (cracked array plus the net effect of all
+    /// pending updates, assuming pending deletes refer to present values).
+    #[must_use]
+    pub fn logical_len(&self) -> usize {
+        let physical = self.cracker.len() as i64;
+        let net = self.pending.pending_inserts() as i64 - self.pending.pending_deletes() as i64;
+        (physical + net).max(0) as usize
+    }
+
+    /// Answers the range select `[lo, hi)`: merges the pending updates that
+    /// fall inside the range, cracks, and returns the qualifying position
+    /// range in the cracked array.
+    pub fn select(&mut self, lo: Value, hi: Value) -> Range<usize> {
+        if hi > lo {
+            self.merge_range(lo, hi);
+        }
+        self.cracker.crack_select(lo, hi)
+    }
+
+    /// Counts qualifying values for `[lo, hi)` (merging pending updates in
+    /// that range first).
+    pub fn count(&mut self, lo: Value, hi: Value) -> u64 {
+        let r = self.select(lo, hi);
+        (r.end - r.start) as u64
+    }
+
+    /// Values in a position range previously returned by
+    /// [`UpdatableCrackerColumn::select`].
+    #[must_use]
+    pub fn view(&self, range: Range<usize>) -> &[Value] {
+        self.cracker.view(range)
+    }
+
+    /// Merges every pending update whose value falls in `[lo, hi)` into the
+    /// cracked array. Exposed separately so idle-time tuning can also merge
+    /// updates proactively.
+    pub fn merge_range(&mut self, lo: Value, hi: Value) {
+        let mut inserts = self.pending.take_inserts_in_range(lo, hi);
+        let deletes = self.pending.take_deletes_in_range(lo, hi);
+        // Cancel deletes against still-pending inserts first: a value that
+        // was inserted and deleted before ever being merged never has to
+        // touch the cracked array.
+        let mut remaining_deletes = Vec::new();
+        for d in deletes {
+            if let Some(pos) = inserts.iter().position(|&v| v == d) {
+                inserts.swap_remove(pos);
+            } else {
+                remaining_deletes.push(d);
+            }
+        }
+        for v in inserts {
+            self.ripple_insert(v);
+            self.merged_inserts += 1;
+        }
+        for v in remaining_deletes {
+            if self.ripple_delete(v) {
+                self.merged_deletes += 1;
+            }
+        }
+        debug_assert!(self.cracker.validate());
+    }
+
+    /// Merges *all* pending updates regardless of value.
+    pub fn merge_all(&mut self) {
+        self.merge_range(Value::MIN, Value::MAX);
+    }
+
+    /// Validates the full structure (cracker invariants; pending buffers are
+    /// unconstrained).
+    #[must_use]
+    pub fn validate(&self) -> bool {
+        self.cracker.validate()
+    }
+
+    /// Ripple insertion: makes room for `v` inside the piece that admits it
+    /// by shifting one slot through every following piece.
+    fn ripple_insert(&mut self, v: Value) {
+        let rowid = self.next_rowid;
+        self.next_rowid = self.next_rowid.wrapping_add(1);
+        let (data, rowids, index) = self.cracker.parts_mut();
+        if index.is_empty() {
+            data.push(v);
+            if let Some(rowids) = rowids {
+                rowids.push(rowid as RowId);
+            }
+            index.grow(1);
+            return;
+        }
+        let target = index
+            .find_piece_for_value(v)
+            .expect("non-empty index has a piece for every value");
+        // The target piece's bounds are conservative knowledge about its
+        // current contents; a merged insert may fall just outside them (e.g.
+        // below the first piece's tightened lower bound, or above the last
+        // piece's tightened upper bound). Relax the bound so the piece admits
+        // the new value — neighbouring pieces are unaffected because
+        // `find_piece_for_value` guarantees the value sorts into this piece.
+        {
+            let pieces = index.pieces_mut();
+            let p = &mut pieces[target];
+            if p.lo.map_or(false, |lo| v < lo) {
+                p.lo = Some(v);
+            }
+            if p.hi.map_or(false, |hi| v >= hi) {
+                p.hi = Some(v.saturating_add(1));
+            }
+        }
+        // Open a free slot at the very end of the array.
+        data.push(v); // placeholder, overwritten below unless target is last
+        let mut rowids = rowids;
+        if let Some(r) = rowids.as_deref_mut() {
+            r.push(rowid as RowId);
+        }
+        index.grow(1);
+        let pieces = index.pieces_mut();
+        let last = pieces.len() - 1;
+        // The free slot currently sits at the end of the last piece. Ripple
+        // it down to the target piece: each piece moves its first element to
+        // the free slot at its end and hands its first slot to the previous
+        // piece.
+        let mut free_slot = pieces[last].end - 1;
+        let mut i = last;
+        while i > target {
+            let first = pieces[i].start;
+            data[free_slot] = data[first];
+            if let Some(r) = rowids.as_deref_mut() {
+                r[free_slot] = r[first];
+            }
+            // Transfer the first slot of piece i to piece i-1.
+            pieces[i].start += 1;
+            pieces[i - 1].end += 1;
+            free_slot = first;
+            i -= 1;
+        }
+        data[free_slot] = v;
+        if let Some(r) = rowids.as_deref_mut() {
+            r[free_slot] = rowid as RowId;
+        }
+        // Any piece we rotated is no longer guaranteed to be sorted.
+        for p in pieces.iter_mut().skip(target) {
+            p.sorted = false;
+        }
+    }
+
+    /// Ripple deletion: removes one occurrence of `v` (if present) by
+    /// filling its slot from within its piece and rippling the hole out to
+    /// the end of the array. Returns `true` if a value was removed.
+    fn ripple_delete(&mut self, v: Value) -> bool {
+        let (data, mut rowids, index) = self.cracker.parts_mut();
+        if index.is_empty() {
+            return false;
+        }
+        let target = index
+            .find_piece_for_value(v)
+            .expect("non-empty index has a piece for every value");
+        let pieces = index.pieces_mut();
+        let p = pieces[target];
+        let Some(offset) = data[p.start..p.end].iter().position(|&x| x == v) else {
+            return false;
+        };
+        let mut hole = p.start + offset;
+        // Fill the hole from the end of its own piece, leaving the hole as
+        // the piece's last slot.
+        let last_of_piece = p.end - 1;
+        data[hole] = data[last_of_piece];
+        if let Some(r) = rowids.as_deref_mut() {
+            r[hole] = r[last_of_piece];
+        }
+        hole = last_of_piece;
+        pieces[target].sorted = false;
+        // Ripple the hole through the following pieces: each piece hands its
+        // first slot to the previous piece's hole and re-opens the hole at
+        // its own end.
+        for i in target + 1..pieces.len() {
+            let start = pieces[i].start;
+            let end = pieces[i].end;
+            data[hole] = data[start];
+            if let Some(r) = rowids.as_deref_mut() {
+                r[hole] = r[start];
+            }
+            // The slot at `start` becomes the hole; move it to the end of
+            // piece i by pulling piece i's last element forward.
+            let last = end - 1;
+            data[start] = data[last];
+            if let Some(r) = rowids.as_deref_mut() {
+                r[start] = r[last];
+            }
+            hole = last;
+            pieces[i].sorted = false;
+        }
+        // The hole is now the very last slot of the array.
+        data.pop();
+        if let Some(r) = rowids.as_deref_mut() {
+            r.pop();
+        }
+        // Shrink piece extents: the target piece lost one slot; every later
+        // piece shifted left by one.
+        pieces[target].end -= 1;
+        for i in target + 1..pieces.len() {
+            pieces[i].start -= 1;
+            pieces[i].end -= 1;
+        }
+        index.drop_empty_pieces();
+        index.set_len(data.len());
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Vec<Value> {
+        vec![40, 10, 70, 20, 90, 60, 30, 80, 50, 15]
+    }
+
+    fn expected_count(values: &[Value], lo: Value, hi: Value) -> u64 {
+        values.iter().filter(|&&v| v >= lo && v < hi).count() as u64
+    }
+
+    #[test]
+    fn select_without_updates_matches_plain_cracking() {
+        let mut u = UpdatableCrackerColumn::from_values(base());
+        assert_eq!(u.count(20, 60), expected_count(&base(), 20, 60));
+        assert!(u.validate());
+        assert_eq!(u.logical_len(), base().len());
+    }
+
+    #[test]
+    fn pending_insert_becomes_visible_when_range_is_queried() {
+        let mut u = UpdatableCrackerColumn::from_values(base());
+        // Crack a bit first so merging has to ripple through several pieces.
+        let _ = u.select(20, 60);
+        u.insert(45);
+        u.insert(200);
+        assert_eq!(u.pending_inserts(), 2);
+        let count = u.count(40, 50);
+        assert_eq!(count, expected_count(&base(), 40, 50) + 1);
+        // Only the in-range insert was merged.
+        assert_eq!(u.pending_inserts(), 1);
+        assert!(u.validate());
+        assert_eq!(u.merged_updates().0, 1);
+        // The other insert shows up once its range is touched.
+        assert_eq!(u.count(150, 250), 1);
+        assert_eq!(u.pending_inserts(), 0);
+    }
+
+    #[test]
+    fn pending_delete_removes_value_when_range_is_queried() {
+        let mut u = UpdatableCrackerColumn::from_values(base());
+        let _ = u.select(20, 60);
+        let _ = u.select(60, 95);
+        u.delete(70);
+        u.delete(999); // not present: merge must not fail
+        let count = u.count(60, 95);
+        assert_eq!(count, expected_count(&base(), 60, 95) - 1);
+        assert!(u.validate());
+        assert_eq!(u.merged_updates().1, 1);
+        assert_eq!(u.cracker().len(), base().len() - 1);
+    }
+
+    #[test]
+    fn insert_then_delete_before_merge_cancels_out() {
+        let mut u = UpdatableCrackerColumn::from_values(base());
+        u.insert(55);
+        u.delete(55);
+        assert_eq!(u.count(0, 1000), expected_count(&base(), 0, 1000));
+        assert_eq!(u.merged_updates(), (0, 0));
+        assert!(u.validate());
+    }
+
+    #[test]
+    fn merge_all_flushes_everything() {
+        let mut u = UpdatableCrackerColumn::from_values(base());
+        let _ = u.select(20, 60); // create some pieces
+        for v in [5, 25, 45, 65, 85, 105] {
+            u.insert(v);
+        }
+        u.delete(10);
+        u.delete(90);
+        u.merge_all();
+        assert_eq!(u.pending_inserts(), 0);
+        assert_eq!(u.pending_deletes(), 0);
+        assert!(u.validate());
+        assert_eq!(u.cracker().len(), base().len() + 6 - 2);
+        assert_eq!(
+            u.count(0, 1000),
+            expected_count(&base(), 0, 1000) + 6 - 2
+        );
+    }
+
+    #[test]
+    fn rowids_stay_consistent_under_updates() {
+        let mut u = UpdatableCrackerColumn::from_values_with_rowids(base());
+        let _ = u.select(20, 60);
+        u.insert(33);
+        u.insert(77);
+        u.delete(40);
+        u.merge_all();
+        assert!(u.validate());
+        let r = u.select(0, 1000);
+        let values = u.view(r.clone()).to_vec();
+        let rowids = u.cracker().rowids_in(r).unwrap().to_vec();
+        assert_eq!(values.len(), rowids.len());
+        assert_eq!(values.len(), base().len() + 2 - 1);
+        // Original rowids still address their original values; new rowids
+        // belong to the two inserted values.
+        for (v, id) in values.iter().zip(rowids.iter()) {
+            if (*id as usize) < base().len() {
+                assert_eq!(base()[*id as usize], *v);
+            } else {
+                assert!([33, 77].contains(v), "unexpected inserted value {v}");
+            }
+        }
+        // The deleted value is gone.
+        assert!(!values.contains(&40));
+    }
+
+    #[test]
+    fn many_interleaved_updates_and_queries_stay_correct() {
+        let mut reference: Vec<Value> = (0..200i64).map(|i| (i * 37) % 500).collect();
+        let mut u = UpdatableCrackerColumn::from_values(reference.clone());
+        let mut next = 1000;
+        for step in 0usize..50 {
+            let lo = (step as Value * 13) % 480;
+            let hi = lo + 40;
+            assert_eq!(u.count(lo, hi), expected_count(&reference, lo, hi), "step {step}");
+            assert!(u.validate(), "invariants at step {step}");
+            // Interleave updates.
+            if step % 3 == 0 {
+                let v = (step as Value * 7) % 500;
+                u.insert(v);
+                reference.push(v);
+            }
+            if step % 5 == 0 {
+                let v = reference[step];
+                u.delete(v);
+                let pos = reference.iter().position(|&x| x == v).unwrap();
+                reference.remove(pos);
+            }
+            if step % 7 == 0 {
+                u.insert(next);
+                reference.push(next);
+                next += 1;
+            }
+        }
+        u.merge_all();
+        assert_eq!(u.count(0, 2000), reference.len() as u64);
+    }
+
+    #[test]
+    fn empty_column_accepts_inserts() {
+        let mut u = UpdatableCrackerColumn::from_values(vec![]);
+        u.insert(5);
+        u.insert(1);
+        assert_eq!(u.count(0, 10), 2);
+        assert!(u.validate());
+        u.delete(5);
+        assert_eq!(u.count(0, 10), 1);
+        assert!(u.validate());
+    }
+}

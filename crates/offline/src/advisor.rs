@@ -1,0 +1,215 @@
+//! The offline index advisor: greedy index selection under a build budget.
+
+use crate::cost::CostModel;
+use crate::whatif::{HypotheticalConfiguration, HypotheticalIndex};
+use crate::workload_summary::WorkloadSummary;
+use crate::ColumnId;
+
+/// One index the advisor recommends building.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexRecommendation {
+    /// The column to index.
+    pub column: ColumnId,
+    /// Number of rows the index will cover.
+    pub rows: usize,
+    /// Expected workload-cost reduction (work units over the whole workload).
+    pub benefit: f64,
+    /// Cost of building the index (work units).
+    pub build_cost: f64,
+}
+
+impl IndexRecommendation {
+    /// Benefit per unit of build cost (the greedy selection key).
+    #[must_use]
+    pub fn benefit_per_cost(&self) -> f64 {
+        if self.build_cost <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.benefit / self.build_cost
+        }
+    }
+}
+
+/// The offline index advisor.
+///
+/// Mirrors the structure of classic auto-tuning tools: enumerate candidates
+/// (one single-column index per workload column), cost each with the what-if
+/// model, then greedily pick the candidates with the best benefit-per-build-
+/// cost ratio until the build budget is exhausted.
+#[derive(Debug, Clone, Default)]
+pub struct Advisor {
+    model: CostModel,
+}
+
+impl Advisor {
+    /// Creates an advisor with the default cost model.
+    #[must_use]
+    pub fn new() -> Self {
+        Advisor {
+            model: CostModel::new(),
+        }
+    }
+
+    /// Creates an advisor with a custom cost model.
+    #[must_use]
+    pub fn with_model(model: CostModel) -> Self {
+        Advisor { model }
+    }
+
+    /// The advisor's cost model.
+    #[must_use]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Enumerates and costs all single-column candidates for the workload,
+    /// sorted by decreasing benefit-per-build-cost.
+    #[must_use]
+    pub fn candidates(
+        &self,
+        workload: &WorkloadSummary,
+        column_rows: impl Fn(ColumnId) -> usize,
+    ) -> Vec<IndexRecommendation> {
+        let mut out = Vec::new();
+        for (column, stats) in workload.iter() {
+            if stats.queries == 0 {
+                continue;
+            }
+            let rows = column_rows(column);
+            let candidate = HypotheticalConfiguration::empty()
+                .with(HypotheticalIndex { column, rows });
+            let benefit = candidate.benefit_over_scan(workload, &self.model, &column_rows);
+            let build_cost = self.model.full_build_cost(rows);
+            out.push(IndexRecommendation {
+                column,
+                rows,
+                benefit,
+                build_cost,
+            });
+        }
+        out.sort_by(|a, b| {
+            b.benefit_per_cost()
+                .partial_cmp(&a.benefit_per_cost())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.column.cmp(&b.column))
+        });
+        out
+    }
+
+    /// Recommends the set of indexes to build within `build_budget` work
+    /// units (use `f64::INFINITY` for an unbounded budget).
+    ///
+    /// Candidates whose expected benefit does not exceed their build cost
+    /// are never recommended, even with an unlimited budget — building them
+    /// would be a net loss for the given workload.
+    #[must_use]
+    pub fn recommend(
+        &self,
+        workload: &WorkloadSummary,
+        column_rows: impl Fn(ColumnId) -> usize,
+        build_budget: f64,
+    ) -> Vec<IndexRecommendation> {
+        let mut remaining = build_budget;
+        let mut picked = Vec::new();
+        for candidate in self.candidates(workload, &column_rows) {
+            if candidate.benefit <= candidate.build_cost {
+                continue;
+            }
+            if candidate.build_cost <= remaining {
+                remaining -= candidate.build_cost;
+                picked.push(candidate);
+            }
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_storage::TableId;
+
+    fn col(i: u32) -> ColumnId {
+        ColumnId::new(TableId(0), i)
+    }
+
+    const ROWS: usize = 1_000_000;
+
+    fn skewed_workload() -> WorkloadSummary {
+        let mut w = WorkloadSummary::new();
+        w.declare(col(0), 1000, 0.01); // hot
+        w.declare(col(1), 100, 0.01); // warm
+        w.declare(col(2), 1, 0.01); // cold: one query never pays for a sort
+        w
+    }
+
+    #[test]
+    fn candidates_are_ordered_by_benefit_density() {
+        let advisor = Advisor::new();
+        let candidates = advisor.candidates(&skewed_workload(), |_| ROWS);
+        assert_eq!(candidates.len(), 3);
+        assert_eq!(candidates[0].column, col(0));
+        assert_eq!(candidates[1].column, col(1));
+        assert!(candidates[0].benefit > candidates[1].benefit);
+        assert!(candidates[0].benefit_per_cost() >= candidates[1].benefit_per_cost());
+    }
+
+    #[test]
+    fn unbounded_budget_picks_only_profitable_indexes() {
+        let advisor = Advisor::new();
+        let picks = advisor.recommend(&skewed_workload(), |_| ROWS, f64::INFINITY);
+        let picked_columns: Vec<ColumnId> = picks.iter().map(|p| p.column).collect();
+        assert!(picked_columns.contains(&col(0)));
+        assert!(picked_columns.contains(&col(1)));
+        // A single query on a million-row column never amortizes a full sort.
+        assert!(!picked_columns.contains(&col(2)));
+    }
+
+    #[test]
+    fn tight_budget_prefers_the_hottest_column() {
+        let advisor = Advisor::new();
+        let one_build = advisor.model().full_build_cost(ROWS);
+        let picks = advisor.recommend(&skewed_workload(), |_| ROWS, one_build * 1.5);
+        assert_eq!(picks.len(), 1);
+        assert_eq!(picks[0].column, col(0));
+    }
+
+    #[test]
+    fn zero_budget_recommends_nothing() {
+        let advisor = Advisor::new();
+        assert!(advisor.recommend(&skewed_workload(), |_| ROWS, 0.0).is_empty());
+    }
+
+    #[test]
+    fn empty_workload_recommends_nothing() {
+        let advisor = Advisor::new();
+        let picks = advisor.recommend(&WorkloadSummary::new(), |_| ROWS, f64::INFINITY);
+        assert!(picks.is_empty());
+        assert!(advisor.candidates(&WorkloadSummary::new(), |_| ROWS).is_empty());
+    }
+
+    #[test]
+    fn budget_spent_never_exceeds_budget() {
+        let advisor = Advisor::new();
+        let mut w = WorkloadSummary::new();
+        for i in 0..10 {
+            w.declare(col(i), 500, 0.01);
+        }
+        let budget = advisor.model().full_build_cost(ROWS) * 3.2;
+        let picks = advisor.recommend(&w, |_| ROWS, budget);
+        let spent: f64 = picks.iter().map(|p| p.build_cost).sum();
+        assert!(spent <= budget);
+        assert_eq!(picks.len(), 3);
+    }
+
+    #[test]
+    fn benefit_per_cost_handles_zero_build_cost() {
+        let rec = IndexRecommendation {
+            column: col(0),
+            rows: 0,
+            benefit: 5.0,
+            build_cost: 0.0,
+        };
+        assert!(rec.benefit_per_cost().is_infinite());
+    }
+}

@@ -1,0 +1,204 @@
+//! Optimizer-style cost model.
+//!
+//! All automated indexing approaches in the paper lean on cost estimates:
+//! offline advisors ask the optimizer "what would this workload cost with
+//! this hypothetical index?", online tuners compare observed scan costs with
+//! predicted index costs, and the holistic ranking model needs to know when
+//! further refinement of a cracked column stops paying off (once pieces fit
+//! in the CPU cache).
+//!
+//! Costs are expressed in abstract **work units** — one unit is one value
+//! touched sequentially. The conversion to wall-clock time depends on the
+//! machine and is irrelevant for the decisions the model drives (all
+//! comparisons are relative).
+
+/// Cost model parameters and estimation functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Cost of touching one value during a sequential scan (work units).
+    pub scan_unit: f64,
+    /// Cost of one binary-search step (work units); a probe costs
+    /// `log2(n) * probe_unit`.
+    pub probe_unit: f64,
+    /// Cost of moving one value during a sort (work units); a full sort
+    /// costs `n * log2(n) * sort_unit`.
+    pub sort_unit: f64,
+    /// Cost of touching one value during a cracking partition pass.
+    pub crack_unit: f64,
+    /// Cost of materializing one result value.
+    pub materialize_unit: f64,
+    /// Number of values that fit in the target CPU cache; refinement below
+    /// this piece size no longer improves query latency (the paper's stop
+    /// condition for the ranking model).
+    pub cache_piece_values: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            scan_unit: 1.0,
+            probe_unit: 4.0,
+            sort_unit: 2.0,
+            crack_unit: 1.5,
+            materialize_unit: 1.0,
+            // ~1 MiB of i64 values: a conservative L2-sized target.
+            cache_piece_values: 128 * 1024,
+        }
+    }
+}
+
+impl CostModel {
+    /// A cost model with default constants.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cost of a full scan of `n` values.
+    #[must_use]
+    pub fn scan_cost(&self, n: usize) -> f64 {
+        n as f64 * self.scan_unit
+    }
+
+    /// Cost of answering a range query with a full sorted index:
+    /// two binary probes plus materialization of the qualifying rows.
+    #[must_use]
+    pub fn index_probe_cost(&self, n: usize, selectivity: f64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let probes = 2.0 * (n as f64).log2().max(1.0) * self.probe_unit;
+        let materialize = n as f64 * selectivity.clamp(0.0, 1.0) * self.materialize_unit;
+        probes + materialize
+    }
+
+    /// Cost of building a full sorted index over `n` values.
+    #[must_use]
+    pub fn full_build_cost(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        n as f64 * (n as f64).log2().max(1.0) * self.sort_unit
+    }
+
+    /// Cost of one cracking partition pass over a piece of `piece_len` values.
+    #[must_use]
+    pub fn crack_pass_cost(&self, piece_len: usize) -> f64 {
+        piece_len as f64 * self.crack_unit
+    }
+
+    /// Expected cost of a cracked-column range query when the average piece
+    /// length is `avg_piece_len`: crack the (at most two) boundary pieces
+    /// plus materialize the result.
+    #[must_use]
+    pub fn cracked_query_cost(&self, n: usize, avg_piece_len: f64, selectivity: f64) -> f64 {
+        let crack = 2.0 * avg_piece_len.max(0.0) * self.crack_unit;
+        let materialize = n as f64 * selectivity.clamp(0.0, 1.0) * self.materialize_unit;
+        crack + materialize
+    }
+
+    /// Expected benefit (work units saved per query) of refining a cracked
+    /// column from `current_piece_len` to `target_piece_len` average pieces.
+    ///
+    /// Clamped at zero once pieces fit in the cache: the paper observes that
+    /// "once columns are cracked enough such that pieces fit into the CPU
+    /// caches, performance does not further improve by extra index
+    /// refinement".
+    #[must_use]
+    pub fn refinement_benefit(&self, current_piece_len: f64, target_piece_len: f64) -> f64 {
+        let floor = self.cache_piece_values as f64;
+        let current = current_piece_len.max(floor);
+        let target = target_piece_len.max(floor);
+        ((current - target) * 2.0 * self.crack_unit).max(0.0)
+    }
+
+    /// Number of values that can be sorted within `budget` work units
+    /// (inverse of [`CostModel::full_build_cost`], solved approximately).
+    #[must_use]
+    pub fn values_sortable_within(&self, budget: f64) -> usize {
+        if budget <= 0.0 {
+            return 0;
+        }
+        // Solve n * log2(n) * sort_unit = budget by fixed-point iteration.
+        let target = budget / self.sort_unit;
+        let mut n = target.max(2.0);
+        for _ in 0..32 {
+            n = target / n.log2().max(1.0);
+        }
+        n as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_cost_is_linear() {
+        let m = CostModel::new();
+        assert_eq!(m.scan_cost(0), 0.0);
+        assert_eq!(m.scan_cost(1000), 1000.0);
+        assert!(m.scan_cost(2000) > m.scan_cost(1000));
+    }
+
+    #[test]
+    fn index_probe_is_much_cheaper_than_scan_for_selective_queries() {
+        let m = CostModel::new();
+        let n = 10_000_000;
+        let probe = m.index_probe_cost(n, 0.0001);
+        let scan = m.scan_cost(n);
+        assert!(probe < scan / 100.0, "probe={probe} scan={scan}");
+        assert_eq!(m.index_probe_cost(0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn full_build_dominates_single_scan() {
+        let m = CostModel::new();
+        let n = 1_000_000;
+        assert!(m.full_build_cost(n) > m.scan_cost(n));
+        assert_eq!(m.full_build_cost(0), 0.0);
+    }
+
+    #[test]
+    fn cracked_query_cost_decreases_with_piece_size() {
+        let m = CostModel::new();
+        let big = m.cracked_query_cost(1_000_000, 1_000_000.0, 0.01);
+        let small = m.cracked_query_cost(1_000_000, 10_000.0, 0.01);
+        assert!(small < big);
+    }
+
+    #[test]
+    fn refinement_benefit_clamps_at_cache_size() {
+        let m = CostModel::new();
+        let floor = m.cache_piece_values as f64;
+        // Below the cache threshold there is no benefit.
+        assert_eq!(m.refinement_benefit(floor / 2.0, floor / 4.0), 0.0);
+        // Above the threshold benefit is positive and monotone.
+        let b1 = m.refinement_benefit(10.0 * floor, 5.0 * floor);
+        let b2 = m.refinement_benefit(10.0 * floor, 2.0 * floor);
+        assert!(b1 > 0.0);
+        assert!(b2 > b1);
+        // Negative "benefit" (refining to larger pieces) clamps to zero.
+        assert_eq!(m.refinement_benefit(floor, 10.0 * floor), 0.0);
+    }
+
+    #[test]
+    fn values_sortable_within_is_inverse_of_build_cost() {
+        let m = CostModel::new();
+        for &n in &[10_000usize, 1_000_000, 50_000_000] {
+            let budget = m.full_build_cost(n);
+            let recovered = m.values_sortable_within(budget);
+            let rel = (recovered as f64 - n as f64).abs() / n as f64;
+            assert!(rel < 0.05, "n={n} recovered={recovered}");
+        }
+        assert_eq!(m.values_sortable_within(0.0), 0);
+        assert_eq!(m.values_sortable_within(-5.0), 0);
+    }
+
+    #[test]
+    fn crack_pass_cost_is_linear_in_piece_length() {
+        let m = CostModel::new();
+        assert_eq!(m.crack_pass_cost(0), 0.0);
+        assert!(m.crack_pass_cost(2048) == 2.0 * m.crack_pass_cost(1024));
+    }
+}

@@ -1,0 +1,45 @@
+//! # holistic-offline
+//!
+//! Offline indexing for the holistic indexing kernel.
+//!
+//! Offline indexing is the classic auto-tuning approach (index advisors such
+//! as the SQL Server tuning wizard, DB2 Design Advisor, Oracle automatic SQL
+//! tuning — refs [1,2,3,5,6,17] in the paper): given a *representative
+//! workload* known a priori and enough idle time before queries arrive, the
+//! advisor enumerates candidate indexes, costs them with a *what-if* model
+//! (hypothetical indexes that are simulated rather than materialized), and
+//! selects the configuration with the best expected benefit, which is then
+//! built in full before the workload runs.
+//!
+//! The crate provides:
+//!
+//! * [`SortedIndex`] — the full index structure itself (sorted values plus
+//!   row ids, binary-search range lookups).
+//! * [`CostModel`] — optimizer-style cost estimates for scans, index probes,
+//!   cracking passes and full index builds.
+//! * [`WorkloadSummary`] — the per-column workload statistics the advisor
+//!   consumes.
+//! * [`whatif`] — hypothetical-index configuration costing.
+//! * [`Advisor`] — greedy index selection under a build-time budget.
+//! * [`OfflineIndexBuilder`] — materializes the chosen indexes, respecting a
+//!   budget so that "not enough idle time to build everything" (the paper's
+//!   Exp2 scenario) can be modelled faithfully.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod advisor;
+pub mod builder;
+pub mod cost;
+pub mod sorted_index;
+pub mod whatif;
+pub mod workload_summary;
+
+pub use advisor::{Advisor, IndexRecommendation};
+pub use builder::OfflineIndexBuilder;
+pub use cost::CostModel;
+pub use sorted_index::SortedIndex;
+pub use whatif::{HypotheticalConfiguration, HypotheticalIndex};
+pub use workload_summary::{ColumnWorkload, WorkloadSummary};
+
+pub use holistic_storage::{ColumnId, RowId, Value};

@@ -1,0 +1,208 @@
+//! "What-if" analysis: costing hypothetical index configurations without
+//! materializing them.
+//!
+//! This is the technique introduced by the 1997 index-selection paper the
+//! paper cites as the seminal offline work ([5]): candidate indexes are
+//! *simulated* — described only by their metadata — and the optimizer's cost
+//! model is asked what the workload would cost if they existed.
+
+use std::collections::BTreeSet;
+
+use crate::cost::CostModel;
+use crate::workload_summary::WorkloadSummary;
+use crate::ColumnId;
+
+/// A hypothetical (simulated, not materialized) index on one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct HypotheticalIndex {
+    /// The column the index would be built on.
+    pub column: ColumnId,
+    /// Number of rows the index would cover.
+    pub rows: usize,
+}
+
+/// A set of hypothetical indexes under evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HypotheticalConfiguration {
+    indexes: BTreeSet<HypotheticalIndex>,
+}
+
+impl HypotheticalConfiguration {
+    /// Creates an empty configuration (no indexes at all).
+    #[must_use]
+    pub fn empty() -> Self {
+        HypotheticalConfiguration::default()
+    }
+
+    /// Adds a hypothetical index; returns `self` for chaining.
+    #[must_use]
+    pub fn with(mut self, index: HypotheticalIndex) -> Self {
+        self.indexes.insert(index);
+        self
+    }
+
+    /// Adds a hypothetical index in place.
+    pub fn add(&mut self, index: HypotheticalIndex) {
+        self.indexes.insert(index);
+    }
+
+    /// Whether the configuration contains an index on `column`.
+    #[must_use]
+    pub fn covers(&self, column: ColumnId) -> bool {
+        self.indexes.iter().any(|i| i.column == column)
+    }
+
+    /// Number of hypothetical indexes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Whether the configuration is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    /// Iterates over the hypothetical indexes.
+    pub fn iter(&self) -> impl Iterator<Item = &HypotheticalIndex> {
+        self.indexes.iter()
+    }
+
+    /// Total cost of *building* every index in the configuration.
+    #[must_use]
+    pub fn build_cost(&self, model: &CostModel) -> f64 {
+        self.indexes
+            .iter()
+            .map(|i| model.full_build_cost(i.rows))
+            .sum()
+    }
+
+    /// Expected cost of *running* the workload with this configuration:
+    /// indexed columns answer with probes, everything else scans.
+    ///
+    /// `column_rows` supplies the row count for columns the configuration
+    /// does not cover (they still have to be scanned).
+    #[must_use]
+    pub fn workload_cost(
+        &self,
+        workload: &WorkloadSummary,
+        model: &CostModel,
+        column_rows: impl Fn(ColumnId) -> usize,
+    ) -> f64 {
+        let mut total = 0.0;
+        for (column, stats) in workload.iter() {
+            let rows = self
+                .indexes
+                .iter()
+                .find(|i| i.column == column)
+                .map_or_else(|| column_rows(column), |i| i.rows);
+            let per_query = if self.covers(column) {
+                model.index_probe_cost(rows, stats.avg_selectivity)
+            } else {
+                model.scan_cost(rows)
+            };
+            total += per_query * stats.queries as f64;
+        }
+        total
+    }
+
+    /// Benefit of this configuration over running the workload with no
+    /// indexes at all (positive = the configuration helps).
+    #[must_use]
+    pub fn benefit_over_scan(
+        &self,
+        workload: &WorkloadSummary,
+        model: &CostModel,
+        column_rows: impl Fn(ColumnId) -> usize,
+    ) -> f64 {
+        let baseline = HypotheticalConfiguration::empty().workload_cost(
+            workload,
+            model,
+            &column_rows,
+        );
+        baseline - self.workload_cost(workload, model, &column_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_storage::TableId;
+
+    fn col(i: u32) -> ColumnId {
+        ColumnId::new(TableId(0), i)
+    }
+
+    fn workload() -> WorkloadSummary {
+        let mut w = WorkloadSummary::new();
+        w.declare(col(0), 100, 0.01);
+        w.declare(col(1), 10, 0.01);
+        w
+    }
+
+    #[test]
+    fn empty_configuration_costs_equal_scan_baseline() {
+        let model = CostModel::new();
+        let cfg = HypotheticalConfiguration::empty();
+        assert!(cfg.is_empty());
+        let cost = cfg.workload_cost(&workload(), &model, |_| 1_000_000);
+        let expected = model.scan_cost(1_000_000) * 110.0;
+        assert!((cost - expected).abs() < 1e-6);
+        assert_eq!(cfg.benefit_over_scan(&workload(), &model, |_| 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn covering_the_hot_column_brings_most_benefit() {
+        let model = CostModel::new();
+        let hot = HypotheticalConfiguration::empty().with(HypotheticalIndex {
+            column: col(0),
+            rows: 1_000_000,
+        });
+        let cold = HypotheticalConfiguration::empty().with(HypotheticalIndex {
+            column: col(1),
+            rows: 1_000_000,
+        });
+        let rows = |_| 1_000_000;
+        let hot_benefit = hot.benefit_over_scan(&workload(), &model, rows);
+        let cold_benefit = cold.benefit_over_scan(&workload(), &model, rows);
+        assert!(hot_benefit > cold_benefit);
+        assert!(cold_benefit > 0.0);
+    }
+
+    #[test]
+    fn build_cost_sums_member_indexes() {
+        let model = CostModel::new();
+        let cfg = HypotheticalConfiguration::empty()
+            .with(HypotheticalIndex { column: col(0), rows: 1000 })
+            .with(HypotheticalIndex { column: col(1), rows: 2000 });
+        assert_eq!(cfg.len(), 2);
+        assert!(cfg.covers(col(0)));
+        assert!(!cfg.covers(col(2)));
+        let expected = model.full_build_cost(1000) + model.full_build_cost(2000);
+        assert!((cfg.build_cost(&model) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_indexes_are_deduplicated() {
+        let idx = HypotheticalIndex { column: col(0), rows: 500 };
+        let mut cfg = HypotheticalConfiguration::empty().with(idx);
+        cfg.add(idx);
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.iter().count(), 1);
+    }
+
+    #[test]
+    fn workload_cost_ignores_columns_not_in_workload() {
+        let model = CostModel::new();
+        let cfg = HypotheticalConfiguration::empty().with(HypotheticalIndex {
+            column: col(7),
+            rows: 1_000_000,
+        });
+        // Index on a column the workload never touches: same cost as baseline.
+        let baseline =
+            HypotheticalConfiguration::empty().workload_cost(&workload(), &model, |_| 1_000_000);
+        let with_useless = cfg.workload_cost(&workload(), &model, |_| 1_000_000);
+        assert!((baseline - with_useless).abs() < 1e-9);
+    }
+}

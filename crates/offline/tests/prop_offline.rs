@@ -1,0 +1,107 @@
+//! Property-based tests for the offline-indexing crate: the sorted index is
+//! scan-equivalent, the cost model is monotone, and the advisor respects its
+//! budget on arbitrary workloads.
+
+use proptest::prelude::*;
+
+use holistic_offline::{Advisor, CostModel, SortedIndex, WorkloadSummary};
+use holistic_storage::{ColumnId, TableId};
+
+fn reference_count(values: &[i64], lo: i64, hi: i64) -> u64 {
+    values.iter().filter(|&&v| v >= lo && v < hi).count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sorted_index_is_scan_equivalent(
+        values in prop::collection::vec(-1000i64..1000, 0..400),
+        lo in -1200i64..1200,
+        width in 0i64..600,
+    ) {
+        let hi = lo + width;
+        let index = SortedIndex::build_from_values(&values);
+        prop_assert_eq!(index.count(lo, hi), reference_count(&values, lo, hi));
+        let range_values = index.range_values(lo, hi);
+        prop_assert!(range_values.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(range_values.iter().all(|&v| v >= lo && v < hi));
+        let sum: i128 = range_values.iter().map(|&v| i128::from(v)).sum();
+        prop_assert_eq!(index.range_sum(lo, hi), sum);
+        // Row ids still address the original values.
+        for (v, row) in range_values.iter().zip(index.range_rowids(lo, hi).iter()) {
+            prop_assert_eq!(values[row as usize], *v);
+        }
+    }
+
+    #[test]
+    fn cost_model_is_monotone_in_input_size(
+        small in 1usize..100_000,
+        extra in 1usize..100_000,
+        selectivity in 0.0f64..1.0,
+    ) {
+        let model = CostModel::new();
+        let large = small + extra;
+        prop_assert!(model.scan_cost(large) >= model.scan_cost(small));
+        prop_assert!(model.full_build_cost(large) >= model.full_build_cost(small));
+        prop_assert!(model.crack_pass_cost(large) >= model.crack_pass_cost(small));
+        prop_assert!(
+            model.index_probe_cost(large, selectivity) >= model.index_probe_cost(small, selectivity) - 1e-9
+        );
+        // Probing is never more expensive than scanning the same column at
+        // full selectivity plus the probe overhead.
+        prop_assert!(model.index_probe_cost(small, selectivity) <= model.scan_cost(small) + 200.0);
+    }
+
+    #[test]
+    fn refinement_benefit_is_nonnegative_and_zero_below_cache(
+        current in 0.0f64..1e8,
+        target in 0.0f64..1e8,
+    ) {
+        let model = CostModel::new();
+        let benefit = model.refinement_benefit(current, target);
+        prop_assert!(benefit >= 0.0);
+        if current <= model.cache_piece_values as f64 {
+            prop_assert_eq!(benefit, 0.0);
+        }
+    }
+
+    #[test]
+    fn advisor_never_exceeds_its_budget(
+        queries in prop::collection::vec(1u64..2000, 1..12),
+        rows in 1000usize..200_000,
+        budget_factor in 0.0f64..6.0,
+    ) {
+        let advisor = Advisor::new();
+        let mut workload = WorkloadSummary::new();
+        for (i, &q) in queries.iter().enumerate() {
+            workload.declare(ColumnId::new(TableId(0), i as u32), q, 0.01);
+        }
+        let budget = advisor.model().full_build_cost(rows) * budget_factor;
+        let picks = advisor.recommend(&workload, |_| rows, budget);
+        let spent: f64 = picks.iter().map(|p| p.build_cost).sum();
+        prop_assert!(spent <= budget + 1e-6);
+        // Picks are unique columns and each is profitable.
+        let mut columns: Vec<ColumnId> = picks.iter().map(|p| p.column).collect();
+        columns.sort();
+        columns.dedup();
+        prop_assert_eq!(columns.len(), picks.len());
+        for p in &picks {
+            prop_assert!(p.benefit > p.build_cost);
+        }
+    }
+
+    #[test]
+    fn workload_summary_frequencies_sum_to_one(
+        queries in prop::collection::vec(1u64..500, 1..10),
+    ) {
+        let mut workload = WorkloadSummary::new();
+        for (i, &q) in queries.iter().enumerate() {
+            workload.declare(ColumnId::new(TableId(0), i as u32), q, 0.05);
+        }
+        let total: f64 = (0..queries.len())
+            .map(|i| workload.frequency(ColumnId::new(TableId(0), i as u32)))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

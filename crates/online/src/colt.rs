@@ -1,0 +1,229 @@
+//! The COLT-style tuning policy: decide at epoch boundaries which indexes to
+//! create and which to drop.
+
+use std::collections::BTreeSet;
+
+use holistic_offline::CostModel;
+
+use crate::monitor::QueryMonitor;
+use crate::ColumnId;
+
+/// A physical-design change the policy wants applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TuningDecision {
+    /// Build a full index on the column.
+    Create(ColumnId),
+    /// Drop the existing index on the column.
+    Drop(ColumnId),
+}
+
+/// The online tuning policy.
+///
+/// At every epoch boundary the policy compares, per column, the *observed*
+/// cost of the recent queries with the *predicted* cost had a full index
+/// existed. If the projected savings over a look-ahead horizon exceed the
+/// build cost, it asks for the index; if an indexed column has gone unused
+/// for several consecutive epochs, it asks to drop the index (freeing memory
+/// and maintenance effort).
+#[derive(Debug, Clone)]
+pub struct ColtPolicy {
+    model: CostModel,
+    /// How many future epochs of the observed access pattern the policy is
+    /// willing to credit an index for (the amortization horizon).
+    pub horizon_epochs: f64,
+    /// Drop an index after this many consecutive idle epochs.
+    pub drop_after_idle_epochs: u64,
+    idle_epochs: std::collections::BTreeMap<ColumnId, u64>,
+}
+
+impl Default for ColtPolicy {
+    fn default() -> Self {
+        ColtPolicy {
+            model: CostModel::new(),
+            horizon_epochs: 4.0,
+            drop_after_idle_epochs: 3,
+            idle_epochs: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+impl ColtPolicy {
+    /// Creates a policy with the default cost model and parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a policy with a custom cost model.
+    #[must_use]
+    pub fn with_model(model: CostModel) -> Self {
+        ColtPolicy {
+            model,
+            ..Self::default()
+        }
+    }
+
+    /// The policy's cost model.
+    #[must_use]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Evaluates the physical design at an epoch boundary.
+    ///
+    /// * `monitor` — the continuous statistics collected so far;
+    /// * `epoch_counts` — per-column query counts of the epoch that just
+    ///   closed (from [`QueryMonitor::end_epoch`]);
+    /// * `existing` — columns that currently have a full index;
+    /// * `column_rows` — row count per column (for build/probe costing).
+    pub fn evaluate(
+        &mut self,
+        monitor: &QueryMonitor,
+        epoch_counts: &std::collections::BTreeMap<ColumnId, u64>,
+        existing: &BTreeSet<ColumnId>,
+        mut column_rows: impl FnMut(ColumnId) -> usize,
+    ) -> Vec<TuningDecision> {
+        let mut decisions = Vec::new();
+
+        // Track idleness of indexed columns.
+        for &col in existing {
+            let active = epoch_counts.get(&col).copied().unwrap_or(0) > 0;
+            let idle = self.idle_epochs.entry(col).or_insert(0);
+            if active {
+                *idle = 0;
+            } else {
+                *idle += 1;
+                if *idle >= self.drop_after_idle_epochs {
+                    decisions.push(TuningDecision::Drop(col));
+                    *idle = 0;
+                }
+            }
+        }
+
+        // Consider creating indexes for columns that were hot this epoch.
+        for (&col, &count) in epoch_counts {
+            if existing.contains(&col) || count == 0 {
+                continue;
+            }
+            let Some(obs) = monitor.column(col) else {
+                continue;
+            };
+            let rows = column_rows(col);
+            if rows == 0 {
+                continue;
+            }
+            let observed_per_query = if obs.ewma_cost > 0.0 {
+                obs.ewma_cost
+            } else if obs.queries > 0 {
+                obs.total_cost / obs.queries as f64
+            } else {
+                continue;
+            };
+            let indexed_per_query = self.model.index_probe_cost(rows, obs.avg_selectivity);
+            let savings_per_query = (observed_per_query - indexed_per_query).max(0.0);
+            let projected_queries = count as f64 * self.horizon_epochs;
+            let projected_savings = savings_per_query * projected_queries;
+            let build_cost = self.model.full_build_cost(rows);
+            if projected_savings > build_cost {
+                decisions.push(TuningDecision::Create(col));
+            }
+        }
+        decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_storage::TableId;
+    use std::collections::BTreeMap;
+
+    fn col(i: u32) -> ColumnId {
+        ColumnId::new(TableId(0), i)
+    }
+
+    const ROWS: usize = 1_000_000;
+
+    fn monitor_with_hot_column(queries: u64) -> (QueryMonitor, BTreeMap<ColumnId, u64>) {
+        let model = CostModel::new();
+        let mut m = QueryMonitor::new();
+        for _ in 0..queries {
+            m.record(col(0), 100, 200, 0.01, model.scan_cost(ROWS));
+        }
+        let counts = m.end_epoch();
+        (m, counts)
+    }
+
+    #[test]
+    fn hot_scanned_column_triggers_index_creation() {
+        let (m, counts) = monitor_with_hot_column(100);
+        let mut policy = ColtPolicy::new();
+        let decisions = policy.evaluate(&m, &counts, &BTreeSet::new(), |_| ROWS);
+        assert_eq!(decisions, vec![TuningDecision::Create(col(0))]);
+    }
+
+    #[test]
+    fn rarely_queried_column_is_not_indexed() {
+        let (m, counts) = monitor_with_hot_column(1);
+        let mut policy = ColtPolicy::new();
+        let decisions = policy.evaluate(&m, &counts, &BTreeSet::new(), |_| ROWS);
+        assert!(decisions.is_empty());
+    }
+
+    #[test]
+    fn already_indexed_column_is_not_recreated() {
+        let (m, counts) = monitor_with_hot_column(100);
+        let mut policy = ColtPolicy::new();
+        let existing: BTreeSet<ColumnId> = [col(0)].into_iter().collect();
+        let decisions = policy.evaluate(&m, &counts, &existing, |_| ROWS);
+        assert!(decisions.is_empty());
+    }
+
+    #[test]
+    fn cheap_queries_do_not_justify_an_index() {
+        // Queries already run at index-like cost (e.g. the column is cracked
+        // well); building a full index is not worth it.
+        let mut m = QueryMonitor::new();
+        for _ in 0..100 {
+            m.record(col(0), 0, 10, 0.0001, 50.0);
+        }
+        let counts = m.end_epoch();
+        let mut policy = ColtPolicy::new();
+        let decisions = policy.evaluate(&m, &counts, &BTreeSet::new(), |_| ROWS);
+        assert!(decisions.is_empty());
+    }
+
+    #[test]
+    fn idle_index_is_dropped_after_enough_epochs() {
+        let mut policy = ColtPolicy::new();
+        policy.drop_after_idle_epochs = 2;
+        let existing: BTreeSet<ColumnId> = [col(5)].into_iter().collect();
+        let m = QueryMonitor::new();
+        let empty = BTreeMap::new();
+        assert!(policy.evaluate(&m, &empty, &existing, |_| ROWS).is_empty());
+        let decisions = policy.evaluate(&m, &empty, &existing, |_| ROWS);
+        assert_eq!(decisions, vec![TuningDecision::Drop(col(5))]);
+        // Counter resets after the drop decision.
+        assert!(policy.evaluate(&m, &empty, &existing, |_| ROWS).is_empty());
+    }
+
+    #[test]
+    fn active_index_is_never_dropped() {
+        let mut policy = ColtPolicy::new();
+        policy.drop_after_idle_epochs = 1;
+        let existing: BTreeSet<ColumnId> = [col(0)].into_iter().collect();
+        let (m, counts) = monitor_with_hot_column(10);
+        for _ in 0..5 {
+            let decisions = policy.evaluate(&m, &counts, &existing, |_| ROWS);
+            assert!(decisions.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_column_is_ignored() {
+        let (m, counts) = monitor_with_hot_column(100);
+        let mut policy = ColtPolicy::new();
+        let decisions = policy.evaluate(&m, &counts, &BTreeSet::new(), |_| 0);
+        assert!(decisions.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Epoch bookkeeping: "periodically, after specific epochs, e.g. every N
+//! queries, the physical design is reconsidered" (COLT).
+
+/// Tracks query counts and signals epoch boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochManager {
+    epoch_length: u64,
+    queries_in_epoch: u64,
+    completed_epochs: u64,
+}
+
+impl EpochManager {
+    /// Creates an epoch manager that closes an epoch every `epoch_length`
+    /// queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_length == 0`.
+    #[must_use]
+    pub fn new(epoch_length: u64) -> Self {
+        assert!(epoch_length > 0, "epoch length must be positive");
+        EpochManager {
+            epoch_length,
+            queries_in_epoch: 0,
+            completed_epochs: 0,
+        }
+    }
+
+    /// The configured epoch length.
+    #[must_use]
+    pub fn epoch_length(&self) -> u64 {
+        self.epoch_length
+    }
+
+    /// Number of epochs completed so far.
+    #[must_use]
+    pub fn completed_epochs(&self) -> u64 {
+        self.completed_epochs
+    }
+
+    /// Queries recorded in the current (incomplete) epoch.
+    #[must_use]
+    pub fn queries_in_epoch(&self) -> u64 {
+        self.queries_in_epoch
+    }
+
+    /// Registers one query; returns `true` if this query closes an epoch
+    /// (i.e. the physical design should be re-evaluated now).
+    pub fn tick(&mut self) -> bool {
+        self.queries_in_epoch += 1;
+        if self.queries_in_epoch >= self.epoch_length {
+            self.queries_in_epoch = 0;
+            self.completed_epochs += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resets the current epoch without completing it (used when an external
+    /// event — e.g. an explicit tuning pass — already re-evaluated the design).
+    pub fn reset_epoch(&mut self) {
+        self.queries_in_epoch = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_signals_every_n_queries() {
+        let mut e = EpochManager::new(3);
+        assert!(!e.tick());
+        assert!(!e.tick());
+        assert!(e.tick());
+        assert_eq!(e.completed_epochs(), 1);
+        assert!(!e.tick());
+        assert_eq!(e.queries_in_epoch(), 1);
+        assert!(!e.tick());
+        assert!(e.tick());
+        assert_eq!(e.completed_epochs(), 2);
+    }
+
+    #[test]
+    fn epoch_length_one_signals_every_query() {
+        let mut e = EpochManager::new(1);
+        assert!(e.tick());
+        assert!(e.tick());
+        assert_eq!(e.completed_epochs(), 2);
+    }
+
+    #[test]
+    fn reset_epoch_discards_partial_progress() {
+        let mut e = EpochManager::new(5);
+        e.tick();
+        e.tick();
+        e.reset_epoch();
+        assert_eq!(e.queries_in_epoch(), 0);
+        for _ in 0..4 {
+            assert!(!e.tick());
+        }
+        assert!(e.tick());
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length must be positive")]
+    fn zero_epoch_length_panics() {
+        let _ = EpochManager::new(0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # holistic-online
+//!
+//! Online indexing for the holistic indexing kernel.
+//!
+//! Online indexing (COLT — SIGMOD 2006, Bruno & Chaudhuri — ICDE 2007, soft
+//! indexes — ICDE Workshops 2007; refs [16, 4, 15] in the paper) sits
+//! between offline and adaptive indexing: the system *continuously monitors*
+//! the running workload, and *periodically* (every epoch of N queries)
+//! re-evaluates the physical design, creating indexes that have become
+//! worthwhile and dropping those that no longer earn their keep. Queries
+//! that arrive during a tuning period pay the index-building penalty — the
+//! fundamental limitation the paper points out.
+//!
+//! The crate provides:
+//!
+//! * [`QueryMonitor`] — continuous per-column workload/cost statistics.
+//! * [`EpochManager`] — epoch bookkeeping ("reconsider every N queries").
+//! * [`ColtPolicy`] — the benefit-vs-build-cost decision rule.
+//! * [`SoftIndexBuilder`] — index builds piggybacked on scans, which reduce
+//!   (but do not eliminate) the online build penalty.
+//! * [`OnlineTuner`] — the composed online tuning loop used by the engine.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod colt;
+pub mod epoch;
+pub mod monitor;
+pub mod soft_index;
+pub mod tuner;
+
+pub use colt::{ColtPolicy, TuningDecision};
+pub use epoch::EpochManager;
+pub use monitor::{ColumnObservation, QueryMonitor};
+pub use soft_index::SoftIndexBuilder;
+pub use tuner::OnlineTuner;
+
+pub use holistic_storage::{ColumnId, Value};

@@ -1,0 +1,216 @@
+//! Continuous workload monitoring.
+
+use std::collections::BTreeMap;
+
+use holistic_offline::WorkloadSummary;
+
+use crate::{ColumnId, Value};
+
+/// Observed statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnObservation {
+    /// Queries observed on this column since monitoring started.
+    pub queries: u64,
+    /// Queries observed in the current epoch (reset by [`QueryMonitor::end_epoch`]).
+    pub queries_this_epoch: u64,
+    /// Total observed execution cost (work units) on this column.
+    pub total_cost: f64,
+    /// Exponentially weighted moving average of per-query cost.
+    pub ewma_cost: f64,
+    /// Average observed selectivity.
+    pub avg_selectivity: f64,
+}
+
+impl Default for ColumnObservation {
+    fn default() -> Self {
+        ColumnObservation {
+            queries: 0,
+            queries_this_epoch: 0,
+            total_cost: 0.0,
+            ewma_cost: 0.0,
+            avg_selectivity: 0.0,
+        }
+    }
+}
+
+/// The continuous query monitor: the "statistical analysis during workload
+/// execution" column of the paper's Table 1.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMonitor {
+    columns: BTreeMap<ColumnId, ColumnObservation>,
+    summary: WorkloadSummary,
+    total_queries: u64,
+    ewma_alpha: f64,
+}
+
+impl QueryMonitor {
+    /// Creates a monitor with the default EWMA smoothing factor (0.2).
+    #[must_use]
+    pub fn new() -> Self {
+        QueryMonitor {
+            ewma_alpha: 0.2,
+            ..Default::default()
+        }
+    }
+
+    /// Creates a monitor with a custom EWMA smoothing factor in `(0, 1]`.
+    #[must_use]
+    pub fn with_alpha(alpha: f64) -> Self {
+        QueryMonitor {
+            ewma_alpha: alpha.clamp(f64::EPSILON, 1.0),
+            ..Default::default()
+        }
+    }
+
+    /// Records one executed range query and its observed cost.
+    pub fn record(
+        &mut self,
+        column: ColumnId,
+        lo: Value,
+        hi: Value,
+        selectivity: f64,
+        observed_cost: f64,
+    ) {
+        let entry = self.columns.entry(column).or_default();
+        let n = entry.queries as f64;
+        entry.avg_selectivity =
+            (entry.avg_selectivity * n + selectivity.clamp(0.0, 1.0)) / (n + 1.0);
+        entry.queries += 1;
+        entry.queries_this_epoch += 1;
+        entry.total_cost += observed_cost.max(0.0);
+        entry.ewma_cost = if entry.queries == 1 {
+            observed_cost.max(0.0)
+        } else {
+            self.ewma_alpha * observed_cost.max(0.0) + (1.0 - self.ewma_alpha) * entry.ewma_cost
+        };
+        self.summary.record_query(column, selectivity, lo, hi);
+        self.total_queries += 1;
+    }
+
+    /// Total queries observed.
+    #[must_use]
+    pub fn total_queries(&self) -> u64 {
+        self.total_queries
+    }
+
+    /// Observation for one column, if any query touched it.
+    #[must_use]
+    pub fn column(&self, id: ColumnId) -> Option<&ColumnObservation> {
+        self.columns.get(&id)
+    }
+
+    /// All observed columns with their statistics.
+    pub fn columns(&self) -> impl Iterator<Item = (ColumnId, &ColumnObservation)> {
+        self.columns.iter().map(|(id, o)| (*id, o))
+    }
+
+    /// The workload summary accumulated so far (consumable by the offline
+    /// advisor — this is how holistic indexing feeds observed knowledge into
+    /// a-priori style analysis).
+    #[must_use]
+    pub fn summary(&self) -> &WorkloadSummary {
+        &self.summary
+    }
+
+    /// Fraction of observed queries touching `column`.
+    #[must_use]
+    pub fn frequency(&self, column: ColumnId) -> f64 {
+        if self.total_queries == 0 {
+            return 0.0;
+        }
+        self.columns
+            .get(&column)
+            .map_or(0.0, |o| o.queries as f64 / self.total_queries as f64)
+    }
+
+    /// Closes an epoch: resets the per-epoch counters and returns the
+    /// per-column query counts observed during the epoch.
+    pub fn end_epoch(&mut self) -> BTreeMap<ColumnId, u64> {
+        let mut per_epoch = BTreeMap::new();
+        for (id, obs) in &mut self.columns {
+            if obs.queries_this_epoch > 0 {
+                per_epoch.insert(*id, obs.queries_this_epoch);
+            }
+            obs.queries_this_epoch = 0;
+        }
+        per_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_storage::TableId;
+
+    fn col(i: u32) -> ColumnId {
+        ColumnId::new(TableId(0), i)
+    }
+
+    #[test]
+    fn empty_monitor() {
+        let m = QueryMonitor::new();
+        assert_eq!(m.total_queries(), 0);
+        assert!(m.column(col(0)).is_none());
+        assert_eq!(m.frequency(col(0)), 0.0);
+    }
+
+    #[test]
+    fn record_accumulates_costs_and_selectivity() {
+        let mut m = QueryMonitor::new();
+        m.record(col(0), 10, 20, 0.01, 100.0);
+        m.record(col(0), 30, 40, 0.03, 200.0);
+        m.record(col(1), 0, 5, 0.5, 50.0);
+        assert_eq!(m.total_queries(), 3);
+        let c0 = m.column(col(0)).unwrap();
+        assert_eq!(c0.queries, 2);
+        assert!((c0.total_cost - 300.0).abs() < 1e-9);
+        assert!((c0.avg_selectivity - 0.02).abs() < 1e-9);
+        assert!((m.frequency(col(0)) - 2.0 / 3.0).abs() < 1e-9);
+        // Summary is kept in sync for advisor consumption.
+        assert_eq!(m.summary().total_queries(), 3);
+        assert_eq!(m.summary().column(col(1)).unwrap().queries, 1);
+    }
+
+    #[test]
+    fn ewma_tracks_recent_costs() {
+        let mut m = QueryMonitor::with_alpha(0.5);
+        m.record(col(0), 0, 1, 0.01, 100.0);
+        assert!((m.column(col(0)).unwrap().ewma_cost - 100.0).abs() < 1e-9);
+        m.record(col(0), 0, 1, 0.01, 0.0);
+        assert!((m.column(col(0)).unwrap().ewma_cost - 50.0).abs() < 1e-9);
+        m.record(col(0), 0, 1, 0.01, 0.0);
+        assert!((m.column(col(0)).unwrap().ewma_cost - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_counters_reset_on_end_epoch() {
+        let mut m = QueryMonitor::new();
+        m.record(col(0), 0, 1, 0.01, 1.0);
+        m.record(col(0), 0, 1, 0.01, 1.0);
+        m.record(col(1), 0, 1, 0.01, 1.0);
+        let epoch = m.end_epoch();
+        assert_eq!(epoch[&col(0)], 2);
+        assert_eq!(epoch[&col(1)], 1);
+        assert_eq!(m.column(col(0)).unwrap().queries_this_epoch, 0);
+        // Lifetime counters are unaffected.
+        assert_eq!(m.column(col(0)).unwrap().queries, 2);
+        // Second epoch with no queries reports nothing.
+        assert!(m.end_epoch().is_empty());
+    }
+
+    #[test]
+    fn negative_costs_are_clamped() {
+        let mut m = QueryMonitor::new();
+        m.record(col(0), 0, 1, 0.01, -10.0);
+        assert_eq!(m.column(col(0)).unwrap().total_cost, 0.0);
+        assert_eq!(m.column(col(0)).unwrap().ewma_cost, 0.0);
+    }
+
+    #[test]
+    fn alpha_is_clamped_to_valid_range() {
+        let m = QueryMonitor::with_alpha(5.0);
+        assert!(m.ewma_alpha <= 1.0);
+        let m = QueryMonitor::with_alpha(-1.0);
+        assert!(m.ewma_alpha > 0.0);
+    }
+}

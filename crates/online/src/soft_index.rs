@@ -1,0 +1,102 @@
+//! Soft indexes: index builds piggybacked on scans.
+//!
+//! Soft indexes (Lühring, Sattler et al. — ICDE Workshops 2007, ref [15])
+//! reduce the online index-creation penalty by sharing the scan an index
+//! build needs with a query that is scanning the same column anyway: the
+//! query pays its scan once, and the index build only adds the sort of the
+//! scanned values, not another full pass over base data.
+
+use holistic_offline::{CostModel, SortedIndex};
+use holistic_storage::Column;
+
+/// Outcome of a piggybacked index build.
+#[derive(Debug)]
+pub struct SoftBuildOutcome {
+    /// The finished index.
+    pub index: SortedIndex,
+    /// Extra cost charged on top of the scan the query performed anyway
+    /// (work units).
+    pub extra_cost: f64,
+    /// Cost a stand-alone build would have had (work units).
+    pub standalone_cost: f64,
+}
+
+/// Builds full indexes piggybacked on query scans.
+#[derive(Debug, Clone, Default)]
+pub struct SoftIndexBuilder {
+    model: CostModel,
+}
+
+impl SoftIndexBuilder {
+    /// Creates a soft-index builder with the default cost model.
+    #[must_use]
+    pub fn new() -> Self {
+        SoftIndexBuilder {
+            model: CostModel::new(),
+        }
+    }
+
+    /// Creates a soft-index builder with a custom cost model.
+    #[must_use]
+    pub fn with_model(model: CostModel) -> Self {
+        SoftIndexBuilder { model }
+    }
+
+    /// Builds an index on `column`, assuming a concurrent query is already
+    /// scanning it. The returned [`SoftBuildOutcome::extra_cost`] excludes
+    /// the scan that is shared with the query.
+    #[must_use]
+    pub fn build_shared(&self, column: &Column) -> SoftBuildOutcome {
+        let n = column.len();
+        let index = SortedIndex::build(column);
+        let standalone_cost = self.model.full_build_cost(n) + self.model.scan_cost(n);
+        let extra_cost = self.model.full_build_cost(n);
+        SoftBuildOutcome {
+            index,
+            extra_cost,
+            standalone_cost,
+        }
+    }
+
+    /// Fraction of the stand-alone build cost saved by sharing the scan.
+    #[must_use]
+    pub fn sharing_savings(&self, rows: usize) -> f64 {
+        let standalone = self.model.full_build_cost(rows) + self.model.scan_cost(rows);
+        if standalone <= 0.0 {
+            return 0.0;
+        }
+        self.model.scan_cost(rows) / standalone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_build_is_cheaper_than_standalone() {
+        let builder = SoftIndexBuilder::new();
+        let column = Column::from_values("a", (0..10_000).rev().collect());
+        let outcome = builder.build_shared(&column);
+        assert!(outcome.extra_cost < outcome.standalone_cost);
+        assert_eq!(outcome.index.len(), 10_000);
+        assert_eq!(outcome.index.count(0, 100), 100);
+    }
+
+    #[test]
+    fn sharing_savings_fraction_is_sane() {
+        let builder = SoftIndexBuilder::new();
+        let s = builder.sharing_savings(1_000_000);
+        assert!(s > 0.0 && s < 1.0);
+        assert_eq!(builder.sharing_savings(0), 0.0);
+    }
+
+    #[test]
+    fn empty_column_builds_empty_index() {
+        let builder = SoftIndexBuilder::new();
+        let column = Column::from_values("a", vec![]);
+        let outcome = builder.build_shared(&column);
+        assert!(outcome.index.is_empty());
+        assert_eq!(outcome.extra_cost, 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! The composed online tuning loop.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use holistic_offline::SortedIndex;
+use holistic_storage::Column;
+
+use crate::colt::{ColtPolicy, TuningDecision};
+use crate::epoch::EpochManager;
+use crate::monitor::QueryMonitor;
+use crate::{ColumnId, Value};
+
+/// The online tuner: continuous monitoring, epoch-based re-evaluation and an
+/// index store, composed the way COLT-style systems do.
+#[derive(Debug)]
+pub struct OnlineTuner {
+    monitor: QueryMonitor,
+    epochs: EpochManager,
+    policy: ColtPolicy,
+    indexes: BTreeMap<ColumnId, SortedIndex>,
+    /// Total work units spent building indexes online (this is the penalty
+    /// the paper attributes to online indexing: queries arriving during the
+    /// tuning period pay for it).
+    build_work: f64,
+    decisions_applied: u64,
+}
+
+impl OnlineTuner {
+    /// Creates an online tuner that re-evaluates the design every
+    /// `epoch_length` queries.
+    #[must_use]
+    pub fn new(epoch_length: u64) -> Self {
+        OnlineTuner {
+            monitor: QueryMonitor::new(),
+            epochs: EpochManager::new(epoch_length),
+            policy: ColtPolicy::new(),
+            indexes: BTreeMap::new(),
+            build_work: 0.0,
+            decisions_applied: 0,
+        }
+    }
+
+    /// Creates an online tuner with a custom policy.
+    #[must_use]
+    pub fn with_policy(epoch_length: u64, policy: ColtPolicy) -> Self {
+        OnlineTuner {
+            monitor: QueryMonitor::new(),
+            epochs: EpochManager::new(epoch_length),
+            policy,
+            indexes: BTreeMap::new(),
+            build_work: 0.0,
+            decisions_applied: 0,
+        }
+    }
+
+    /// The continuous monitor (shared with the holistic kernel for its own
+    /// statistics-driven decisions).
+    #[must_use]
+    pub fn monitor(&self) -> &QueryMonitor {
+        &self.monitor
+    }
+
+    /// Whether the tuner currently maintains a full index on `column`.
+    #[must_use]
+    pub fn has_index(&self, column: ColumnId) -> bool {
+        self.indexes.contains_key(&column)
+    }
+
+    /// The full index on `column`, if one exists.
+    #[must_use]
+    pub fn index(&self, column: ColumnId) -> Option<&SortedIndex> {
+        self.indexes.get(&column)
+    }
+
+    /// Columns that currently have an index.
+    #[must_use]
+    pub fn indexed_columns(&self) -> BTreeSet<ColumnId> {
+        self.indexes.keys().copied().collect()
+    }
+
+    /// Total work units spent on online index builds so far.
+    #[must_use]
+    pub fn build_work(&self) -> f64 {
+        self.build_work
+    }
+
+    /// Number of tuning decisions applied so far.
+    #[must_use]
+    pub fn decisions_applied(&self) -> u64 {
+        self.decisions_applied
+    }
+
+    /// Records an executed query and, at epoch boundaries, re-evaluates the
+    /// physical design. `resolve` maps column ids to base columns so that
+    /// freshly recommended indexes can be built immediately (the online
+    /// penalty). Returns the decisions applied at this call (usually empty).
+    pub fn record_and_tune(
+        &mut self,
+        column: ColumnId,
+        lo: Value,
+        hi: Value,
+        selectivity: f64,
+        observed_cost: f64,
+        mut resolve: impl FnMut(ColumnId) -> Option<Column>,
+    ) -> Vec<TuningDecision> {
+        self.monitor.record(column, lo, hi, selectivity, observed_cost);
+        if !self.epochs.tick() {
+            return Vec::new();
+        }
+        let epoch_counts = self.monitor.end_epoch();
+        let existing = self.indexed_columns();
+        let decisions = self.policy.evaluate(&self.monitor, &epoch_counts, &existing, |id| {
+            resolve(id).map_or(0, |c| c.len())
+        });
+        for decision in &decisions {
+            match decision {
+                TuningDecision::Create(col) => {
+                    if let Some(base) = resolve(*col) {
+                        let cost = self.policy.model().full_build_cost(base.len());
+                        self.indexes.insert(*col, SortedIndex::build(&base));
+                        self.build_work += cost;
+                        self.decisions_applied += 1;
+                    }
+                }
+                TuningDecision::Drop(col) => {
+                    if self.indexes.remove(col).is_some() {
+                        self.decisions_applied += 1;
+                    }
+                }
+            }
+        }
+        decisions
+    }
+
+    /// Answers a range count using the maintained index if one exists.
+    #[must_use]
+    pub fn indexed_count(&self, column: ColumnId, lo: Value, hi: Value) -> Option<u64> {
+        self.indexes.get(&column).map(|idx| idx.count(lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_offline::CostModel;
+    use holistic_storage::TableId;
+
+    fn col(i: u32) -> ColumnId {
+        ColumnId::new(TableId(0), i)
+    }
+
+    fn base_column(n: usize) -> Column {
+        Column::from_values("a", (0..n as Value).rev().collect())
+    }
+
+    #[test]
+    fn tuner_builds_index_for_hot_column_after_an_epoch() {
+        let n = 100_000;
+        let model = CostModel::new();
+        let mut tuner = OnlineTuner::new(10);
+        let base = base_column(n);
+        let mut created = false;
+        for q in 0..20 {
+            let decisions = tuner.record_and_tune(
+                col(0),
+                100,
+                200,
+                0.001,
+                model.scan_cost(n),
+                |_| Some(base.clone()),
+            );
+            if decisions
+                .iter()
+                .any(|d| matches!(d, TuningDecision::Create(c) if *c == col(0)))
+            {
+                created = true;
+                assert!(q >= 9, "index must not appear before the first epoch ends");
+            }
+        }
+        assert!(created);
+        assert!(tuner.has_index(col(0)));
+        assert!(tuner.build_work() > 0.0);
+        assert_eq!(tuner.decisions_applied(), 1);
+        assert_eq!(tuner.indexed_count(col(0), 0, 50), Some(50));
+        assert_eq!(tuner.indexed_count(col(1), 0, 50), None);
+    }
+
+    #[test]
+    fn unused_index_gets_dropped_eventually() {
+        let n = 100_000;
+        let model = CostModel::new();
+        let mut policy = ColtPolicy::new();
+        policy.drop_after_idle_epochs = 2;
+        let mut tuner = OnlineTuner::with_policy(10, policy);
+        let base = base_column(n);
+        // Phase 1: hammer column 0 until it is indexed.
+        for _ in 0..20 {
+            tuner.record_and_tune(col(0), 0, 100, 0.001, model.scan_cost(n), |_| {
+                Some(base.clone())
+            });
+        }
+        assert!(tuner.has_index(col(0)));
+        // Phase 2: the workload moves entirely to column 1; the now-useless
+        // index on column 0 is eventually dropped.
+        let mut dropped = false;
+        for _ in 0..30 {
+            let decisions = tuner.record_and_tune(col(1), 0, 100, 0.001, model.scan_cost(n), |_| {
+                Some(base.clone())
+            });
+            if decisions
+                .iter()
+                .any(|d| matches!(d, TuningDecision::Drop(c) if *c == col(0)))
+            {
+                dropped = true;
+            }
+        }
+        assert!(dropped);
+        assert!(!tuner.has_index(col(0)));
+    }
+
+    #[test]
+    fn no_tuning_happens_mid_epoch() {
+        let model = CostModel::new();
+        let mut tuner = OnlineTuner::new(1000);
+        let base = base_column(10_000);
+        for _ in 0..100 {
+            let decisions = tuner.record_and_tune(
+                col(0),
+                0,
+                10,
+                0.001,
+                model.scan_cost(10_000),
+                |_| Some(base.clone()),
+            );
+            assert!(decisions.is_empty());
+        }
+        assert!(!tuner.has_index(col(0)));
+        assert_eq!(tuner.monitor().total_queries(), 100);
+    }
+
+    #[test]
+    fn unresolvable_column_is_not_built() {
+        let model = CostModel::new();
+        let mut tuner = OnlineTuner::new(2);
+        for _ in 0..10 {
+            tuner.record_and_tune(col(0), 0, 10, 0.001, model.scan_cost(1_000_000), |_| None);
+        }
+        assert!(!tuner.has_index(col(0)));
+        assert_eq!(tuner.build_work(), 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The catalog: a registry of tables and a stable addressing scheme for
+//! columns, used by every indexing subsystem to refer to "the column the
+//! index / statistics / tuning action is about".
+
+use std::collections::BTreeMap;
+
+use crate::table::Table;
+use crate::{Result, StorageError};
+
+/// Identifier of a table in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u32);
+
+/// Identifier of a column: the owning table plus the column's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColumnId {
+    /// The table the column belongs to.
+    pub table: TableId,
+    /// Positional index of the column within the table.
+    pub column: u32,
+}
+
+impl ColumnId {
+    /// Creates a column id from raw parts.
+    #[must_use]
+    pub fn new(table: TableId, column: u32) -> Self {
+        ColumnId { table, column }
+    }
+}
+
+impl std::fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}c{}", self.table.0, self.column)
+    }
+}
+
+/// The table catalog.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<TableId, Table>,
+    next_id: u32,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Number of registered tables.
+    #[must_use]
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Registers a table, returning its id. The table name must be unique.
+    pub fn register(&mut self, table: Table) -> Result<TableId> {
+        if self.tables.values().any(|t| t.name() == table.name()) {
+            return Err(StorageError::TableAlreadyExists(table.name().to_string()));
+        }
+        let id = TableId(self.next_id);
+        self.next_id += 1;
+        self.tables.insert(id, table);
+        Ok(id)
+    }
+
+    /// Creates and registers an empty table.
+    pub fn create_table(&mut self, name: impl Into<String>) -> Result<TableId> {
+        self.register(Table::new(name))
+    }
+
+    /// Removes a table by id, returning it if it existed.
+    pub fn drop_table(&mut self, id: TableId) -> Option<Table> {
+        self.tables.remove(&id)
+    }
+
+    /// Looks up a table by id.
+    #[must_use]
+    pub fn table(&self, id: TableId) -> Option<&Table> {
+        self.tables.get(&id)
+    }
+
+    /// Looks up a table mutably by id.
+    pub fn table_mut(&mut self, id: TableId) -> Option<&mut Table> {
+        self.tables.get_mut(&id)
+    }
+
+    /// Looks up a table by id, returning an error if it does not exist.
+    pub fn try_table(&self, id: TableId) -> Result<&Table> {
+        self.table(id)
+            .ok_or_else(|| StorageError::TableNotFound(format!("id {}", id.0)))
+    }
+
+    /// Looks up a table mutably by id, returning an error if missing.
+    pub fn try_table_mut(&mut self, id: TableId) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&id)
+            .ok_or_else(|| StorageError::TableNotFound(format!("id {}", id.0)))
+    }
+
+    /// Looks up a table id by name.
+    #[must_use]
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.tables
+            .iter()
+            .find(|(_, t)| t.name() == name)
+            .map(|(id, _)| *id)
+    }
+
+    /// Resolves a `(table name, column name)` pair to a [`ColumnId`].
+    pub fn column_id(&self, table: &str, column: &str) -> Result<ColumnId> {
+        let tid = self
+            .table_id(table)
+            .ok_or_else(|| StorageError::TableNotFound(table.to_string()))?;
+        let t = self.try_table(tid)?;
+        let idx = t
+            .column_index(column)
+            .ok_or_else(|| StorageError::ColumnNotFound(column.to_string()))?;
+        Ok(ColumnId::new(tid, idx as u32))
+    }
+
+    /// Resolves a [`ColumnId`] back to the column it addresses.
+    pub fn column(&self, id: ColumnId) -> Result<&crate::column::Column> {
+        let t = self.try_table(id.table)?;
+        t.column_at(id.column as usize)
+            .ok_or_else(|| StorageError::ColumnNotFound(format!("{id}")))
+    }
+
+    /// Iterates over all `(id, table)` pairs.
+    pub fn tables(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables.iter().map(|(id, t)| (*id, t))
+    }
+
+    /// All column ids in the catalog (every column of every table).
+    #[must_use]
+    pub fn all_column_ids(&self) -> Vec<ColumnId> {
+        let mut out = Vec::new();
+        for (tid, table) in self.tables() {
+            for idx in 0..table.column_count() {
+                out.push(ColumnId::new(tid, idx as u32));
+            }
+        }
+        out
+    }
+
+    /// Total memory footprint of every registered table.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.tables.values().map(Table::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog_with_table() -> (Catalog, TableId) {
+        let mut c = Catalog::new();
+        let mut t = Table::new("r");
+        t.add_column_from_values("a", vec![1, 2, 3]).unwrap();
+        t.add_column_from_values("b", vec![4, 5, 6]).unwrap();
+        let id = c.register(t).unwrap();
+        (c, id)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let (c, id) = catalog_with_table();
+        assert_eq!(c.table_count(), 1);
+        assert!(c.table(id).is_some());
+        assert_eq!(c.table_id("r"), Some(id));
+        assert_eq!(c.table_id("missing"), None);
+        assert!(c.try_table(TableId(99)).is_err());
+    }
+
+    #[test]
+    fn duplicate_table_names_rejected() {
+        let (mut c, _) = catalog_with_table();
+        let err = c.create_table("r").unwrap_err();
+        assert_eq!(err, StorageError::TableAlreadyExists("r".into()));
+    }
+
+    #[test]
+    fn drop_table_removes_it() {
+        let (mut c, id) = catalog_with_table();
+        assert!(c.drop_table(id).is_some());
+        assert!(c.table(id).is_none());
+        assert!(c.drop_table(id).is_none());
+    }
+
+    #[test]
+    fn column_id_resolution_round_trip() {
+        let (c, id) = catalog_with_table();
+        let cid = c.column_id("r", "b").unwrap();
+        assert_eq!(cid, ColumnId::new(id, 1));
+        assert_eq!(c.column(cid).unwrap().name(), "b");
+        assert!(c.column_id("r", "z").is_err());
+        assert!(c.column_id("x", "a").is_err());
+        assert!(c
+            .column(ColumnId::new(id, 7))
+            .is_err());
+    }
+
+    #[test]
+    fn all_column_ids_enumerates_every_column() {
+        let (mut c, id) = catalog_with_table();
+        let mut t2 = Table::new("s");
+        t2.add_column_from_values("x", vec![1]).unwrap();
+        let id2 = c.register(t2).unwrap();
+        let ids = c.all_column_ids();
+        assert_eq!(ids.len(), 3);
+        assert!(ids.contains(&ColumnId::new(id, 0)));
+        assert!(ids.contains(&ColumnId::new(id, 1)));
+        assert!(ids.contains(&ColumnId::new(id2, 0)));
+    }
+
+    #[test]
+    fn column_id_display_is_compact() {
+        let cid = ColumnId::new(TableId(3), 5);
+        assert_eq!(cid.to_string(), "t3c5");
+    }
+
+    #[test]
+    fn table_mut_allows_appends() {
+        let (mut c, id) = catalog_with_table();
+        c.try_table_mut(id).unwrap().append_row(&[7, 8]).unwrap();
+        assert_eq!(c.table(id).unwrap().row_count(), 4);
+        assert!(c.memory_bytes() > 0);
+    }
+}

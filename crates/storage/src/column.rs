@@ -1,0 +1,217 @@
+//! Dense, typed columns — the unit of storage and of bulk processing.
+
+use crate::selection::SelectionVector;
+use crate::stats::ColumnStats;
+use crate::{Result, RowId, StorageError, Value};
+
+/// A dense `i64` column.
+///
+/// Columns are append-only at this layer: deletes and in-place updates are
+/// handled by the [`crate::update::UpdateBuffer`] (and merged lazily by the
+/// cracking layer), mirroring the paper's column-store substrate where base
+/// columns stay untouched and auxiliary copies are reorganized.
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    values: Vec<Value>,
+    stats: ColumnStats,
+    /// Whether `stats.histogram` reflects the current contents.
+    stats_fresh: bool,
+}
+
+impl Column {
+    /// Creates an empty column with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            values: Vec::new(),
+            stats: ColumnStats::new(),
+            stats_fresh: true,
+        }
+    }
+
+    /// Creates a column from existing values, building full statistics.
+    #[must_use]
+    pub fn from_values(name: impl Into<String>, values: Vec<Value>) -> Self {
+        let stats = ColumnStats::from_values(&values);
+        Column {
+            name: name.into(),
+            values,
+            stats,
+            stats_fresh: true,
+        }
+    }
+
+    /// The column's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw value slice (the "BAT tail" in MonetDB terms).
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Returns the value at `row`, or an error if out of bounds.
+    pub fn get(&self, row: RowId) -> Result<Value> {
+        self.values
+            .get(row as usize)
+            .copied()
+            .ok_or(StorageError::RowOutOfBounds {
+                row: u64::from(row),
+                len: self.values.len(),
+            })
+    }
+
+    /// Appends a single value.
+    pub fn append(&mut self, v: Value) {
+        self.values.push(v);
+        self.stats.update_scalar(v);
+        self.stats_fresh = false;
+    }
+
+    /// Appends many values.
+    pub fn append_many(&mut self, vs: &[Value]) {
+        self.values.reserve(vs.len());
+        for &v in vs {
+            self.values.push(v);
+            self.stats.update_scalar(v);
+        }
+        self.stats_fresh = false;
+    }
+
+    /// The column statistics (histogram may be stale after appends; call
+    /// [`Column::refresh_stats`] to rebuild it).
+    #[must_use]
+    pub fn stats(&self) -> &ColumnStats {
+        &self.stats
+    }
+
+    /// Whether the histogram reflects the current column contents.
+    #[must_use]
+    pub fn stats_fresh(&self) -> bool {
+        self.stats_fresh
+    }
+
+    /// Rebuilds the histogram and distinct estimate from the current data.
+    pub fn refresh_stats(&mut self) {
+        self.stats.rebuild_histogram(&self.values);
+        self.stats_fresh = true;
+    }
+
+    /// Counts rows with values in the half-open range `[lo, hi)` by scanning.
+    #[must_use]
+    pub fn scan_count(&self, lo: Value, hi: Value) -> u64 {
+        crate::scan::scan_count(&self.values, lo, hi)
+    }
+
+    /// Returns the row ids with values in `[lo, hi)` by scanning.
+    #[must_use]
+    pub fn scan_select(&self, lo: Value, hi: Value) -> SelectionVector {
+        crate::scan::scan_positions(&self.values, lo, hi)
+    }
+
+    /// Materializes the values at the given rows (projection).
+    pub fn gather(&self, rows: &SelectionVector) -> Result<Vec<Value>> {
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows.iter() {
+            out.push(self.get(row)?);
+        }
+        Ok(out)
+    }
+
+    /// Approximate heap footprint of the column in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<Value>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_column_is_empty() {
+        let c = Column::new("a");
+        assert_eq!(c.name(), "a");
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn from_values_builds_stats() {
+        let c = Column::from_values("a", vec![3, 1, 2]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().min, Some(1));
+        assert_eq!(c.stats().max, Some(3));
+        assert!(c.stats_fresh());
+    }
+
+    #[test]
+    fn append_updates_scalar_stats_and_marks_stale() {
+        let mut c = Column::from_values("a", vec![5]);
+        c.append(10);
+        c.append_many(&[1, 7]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.stats().min, Some(1));
+        assert_eq!(c.stats().max, Some(10));
+        assert!(!c.stats_fresh());
+        c.refresh_stats();
+        assert!(c.stats_fresh());
+        assert!(c.stats().histogram.is_some());
+    }
+
+    #[test]
+    fn get_in_and_out_of_bounds() {
+        let c = Column::from_values("a", vec![10, 20, 30]);
+        assert_eq!(c.get(1).unwrap(), 20);
+        assert_eq!(
+            c.get(3),
+            Err(StorageError::RowOutOfBounds { row: 3, len: 3 })
+        );
+    }
+
+    #[test]
+    fn scan_count_and_select_agree() {
+        let c = Column::from_values("a", vec![5, 1, 9, 3, 7, 3]);
+        assert_eq!(c.scan_count(3, 8), 4);
+        let sel = c.scan_select(3, 8);
+        assert_eq!(sel.len(), 4);
+        let mut rows = sel.into_rows();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![0, 3, 4, 5]);
+    }
+
+    #[test]
+    fn gather_projects_values() {
+        let c = Column::from_values("a", vec![10, 20, 30, 40]);
+        let sel = SelectionVector::from_rows(vec![3, 0]);
+        assert_eq!(c.gather(&sel).unwrap(), vec![40, 10]);
+        let bad = SelectionVector::from_rows(vec![9]);
+        assert!(c.gather(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_range_scan_returns_nothing() {
+        let c = Column::from_values("a", vec![1, 2, 3]);
+        assert_eq!(c.scan_count(5, 5), 0);
+        assert!(c.scan_select(3, 2).is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for the storage engine.
+
+use std::fmt;
+
+/// Errors produced by the column-store storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with this name already exists in the catalog.
+    TableAlreadyExists(String),
+    /// No table with this name/id is registered.
+    TableNotFound(String),
+    /// A column with this name already exists in the table.
+    ColumnAlreadyExists(String),
+    /// No column with this name/id exists in the table.
+    ColumnNotFound(String),
+    /// Columns of a table must all have the same length.
+    ColumnLengthMismatch {
+        /// Expected number of rows (length of the existing columns).
+        expected: usize,
+        /// Length of the offending column.
+        actual: usize,
+    },
+    /// A row id was out of bounds for the column it was applied to.
+    RowOutOfBounds {
+        /// The offending row id.
+        row: u64,
+        /// Number of rows in the column.
+        len: usize,
+    },
+    /// An empty range or otherwise invalid predicate was supplied.
+    InvalidPredicate(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableAlreadyExists(name) => {
+                write!(f, "table `{name}` already exists")
+            }
+            StorageError::TableNotFound(name) => write!(f, "table `{name}` not found"),
+            StorageError::ColumnAlreadyExists(name) => {
+                write!(f, "column `{name}` already exists")
+            }
+            StorageError::ColumnNotFound(name) => write!(f, "column `{name}` not found"),
+            StorageError::ColumnLengthMismatch { expected, actual } => write!(
+                f,
+                "column length mismatch: expected {expected} rows, got {actual}"
+            ),
+            StorageError::RowOutOfBounds { row, len } => {
+                write!(f, "row id {row} out of bounds for column of length {len}")
+            }
+            StorageError::InvalidPredicate(msg) => write!(f, "invalid predicate: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let cases: Vec<(StorageError, &str)> = vec![
+            (StorageError::TableAlreadyExists("t".into()), "table `t` already exists"),
+            (StorageError::TableNotFound("t".into()), "table `t` not found"),
+            (StorageError::ColumnAlreadyExists("c".into()), "column `c` already exists"),
+            (StorageError::ColumnNotFound("c".into()), "column `c` not found"),
+            (
+                StorageError::ColumnLengthMismatch { expected: 3, actual: 5 },
+                "column length mismatch: expected 3 rows, got 5",
+            ),
+            (
+                StorageError::RowOutOfBounds { row: 9, len: 4 },
+                "row id 9 out of bounds for column of length 4",
+            ),
+            (
+                StorageError::InvalidPredicate("lo > hi".into()),
+                "invalid predicate: lo > hi",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&StorageError::TableNotFound("x".into()));
+    }
+}

@@ -1,0 +1,240 @@
+//! Equi-width histograms used for selectivity estimation.
+//!
+//! The offline advisor, the online (COLT-style) tuner and the holistic
+//! ranking model all need a cheap estimate of how many rows a range
+//! predicate will qualify. An equi-width histogram over the column domain
+//! is sufficient for the uniform and mildly skewed workloads the paper
+//! evaluates, and it is cheap to maintain incrementally on append.
+
+use crate::Value;
+
+/// Default number of buckets for a column histogram.
+pub const DEFAULT_BUCKETS: usize = 64;
+
+/// An equi-width histogram over a fixed `[lo, hi]` value domain.
+///
+/// Buckets partition `[lo, hi]` into equally wide intervals; the last bucket
+/// is closed on both sides so the domain maximum is representable. Values
+/// outside the domain are clamped into the first/last bucket, which keeps the
+/// estimator total-count preserving even if the domain was under-estimated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiWidthHistogram {
+    lo: Value,
+    hi: Value,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl EquiWidthHistogram {
+    /// Creates an empty histogram with `buckets` buckets over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `lo > hi`.
+    pub fn new(lo: Value, hi: Value, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(lo <= hi, "histogram domain must be non-empty (lo <= hi)");
+        EquiWidthHistogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram from a slice of values using the slice's own
+    /// min/max as the domain.
+    ///
+    /// An empty slice produces a single-bucket histogram over `[0, 0]`.
+    pub fn from_values(values: &[Value], buckets: usize) -> Self {
+        if values.is_empty() {
+            return EquiWidthHistogram::new(0, 0, buckets.max(1));
+        }
+        let lo = values.iter().copied().min().expect("non-empty");
+        let hi = values.iter().copied().max().expect("non-empty");
+        let mut hist = EquiWidthHistogram::new(lo, hi, buckets.max(1));
+        for &v in values {
+            hist.insert(v);
+        }
+        hist
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of inserted values.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Lower bound of the histogram domain.
+    #[must_use]
+    pub fn domain_lo(&self) -> Value {
+        self.lo
+    }
+
+    /// Upper bound of the histogram domain.
+    #[must_use]
+    pub fn domain_hi(&self) -> Value {
+        self.hi
+    }
+
+    /// Width of a single bucket (at least 1).
+    fn bucket_width(&self) -> u128 {
+        let span = (self.hi as i128 - self.lo as i128 + 1) as u128;
+        let width = span / self.counts.len() as u128;
+        width.max(1)
+    }
+
+    /// Bucket index for a value, clamped into the valid range.
+    fn bucket_of(&self, v: Value) -> usize {
+        if v <= self.lo {
+            return 0;
+        }
+        if v >= self.hi {
+            return self.counts.len() - 1;
+        }
+        let offset = (v as i128 - self.lo as i128) as u128;
+        let idx = (offset / self.bucket_width()) as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Inserts a value into the histogram.
+    pub fn insert(&mut self, v: Value) {
+        let idx = self.bucket_of(v);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bucket counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimates the number of values in the half-open range `[lo, hi)`.
+    ///
+    /// Buckets fully covered by the range contribute their full count;
+    /// partially covered boundary buckets contribute a linear fraction.
+    #[must_use]
+    pub fn estimate_range(&self, lo: Value, hi: Value) -> f64 {
+        if hi <= lo || self.total == 0 {
+            return 0.0;
+        }
+        let lo = lo.max(self.lo);
+        // `hi` is exclusive; the largest meaningful value is domain_hi + 1.
+        let hi = hi.min(self.hi.saturating_add(1));
+        if hi <= lo {
+            return 0.0;
+        }
+        let width = self.bucket_width() as f64;
+        let mut estimate = 0.0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let b_lo = self.lo as f64 + i as f64 * width;
+            let b_hi = if i == self.counts.len() - 1 {
+                self.hi as f64 + 1.0
+            } else {
+                b_lo + width
+            };
+            let overlap_lo = b_lo.max(lo as f64);
+            let overlap_hi = b_hi.min(hi as f64);
+            if overlap_hi > overlap_lo {
+                let fraction = (overlap_hi - overlap_lo) / (b_hi - b_lo);
+                estimate += count as f64 * fraction;
+            }
+        }
+        estimate
+    }
+
+    /// Estimates the selectivity (fraction of rows) of `[lo, hi)`.
+    #[must_use]
+    pub fn estimate_selectivity(&self, lo: Value, hi: Value) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.estimate_range(lo, hi) / self.total as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_estimates_zero() {
+        let h = EquiWidthHistogram::new(0, 100, 10);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.estimate_range(0, 100), 0.0);
+        assert_eq!(h.estimate_selectivity(0, 100), 0.0);
+    }
+
+    #[test]
+    fn uniform_data_estimates_are_close() {
+        let values: Vec<Value> = (0..10_000).collect();
+        let h = EquiWidthHistogram::from_values(&values, 64);
+        assert_eq!(h.total(), 10_000);
+        // 10% range
+        let est = h.estimate_range(1000, 2000);
+        let true_count = 1000.0;
+        assert!((est - true_count).abs() / true_count < 0.05, "est={est}");
+        // full range
+        let est_all = h.estimate_range(0, 10_000);
+        assert!((est_all - 10_000.0).abs() < 1.0, "est_all={est_all}");
+    }
+
+    #[test]
+    fn selectivity_is_clamped_to_unit_interval() {
+        let values: Vec<Value> = (0..100).collect();
+        let h = EquiWidthHistogram::from_values(&values, 8);
+        assert!(h.estimate_selectivity(-1000, 1000) <= 1.0);
+        assert!(h.estimate_selectivity(50, 50) >= 0.0);
+    }
+
+    #[test]
+    fn inverted_or_empty_range_estimates_zero() {
+        let values: Vec<Value> = (0..100).collect();
+        let h = EquiWidthHistogram::from_values(&values, 8);
+        assert_eq!(h.estimate_range(50, 50), 0.0);
+        assert_eq!(h.estimate_range(60, 40), 0.0);
+    }
+
+    #[test]
+    fn out_of_domain_values_are_clamped() {
+        let mut h = EquiWidthHistogram::new(0, 9, 10);
+        h.insert(-5);
+        h.insert(100);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+    }
+
+    #[test]
+    fn from_values_handles_empty_and_constant_slices() {
+        let h = EquiWidthHistogram::from_values(&[], 16);
+        assert_eq!(h.total(), 0);
+        let h = EquiWidthHistogram::from_values(&[7, 7, 7, 7], 16);
+        assert_eq!(h.total(), 4);
+        // All mass in one value; a range covering 7 should see ~4.
+        assert!(h.estimate_range(7, 8) > 3.9);
+    }
+
+    #[test]
+    fn skewed_data_reflects_skew() {
+        let mut values = vec![0i64; 900];
+        values.extend(std::iter::repeat(1000).take(100));
+        let h = EquiWidthHistogram::from_values(&values, 32);
+        let low_mass = h.estimate_range(0, 10);
+        let high_mass = h.estimate_range(995, 1001);
+        assert!(low_mass > high_mass, "low={low_mass} high={high_mass}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        let _ = EquiWidthHistogram::new(0, 10, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Bulk scan operators.
+//!
+//! These tight loops are the "no index" baseline in every experiment of the
+//! paper: a select operator that touches every value of a column. They are
+//! deliberately branch-light so that the comparison against cracking and
+//! full indexes measures algorithmic work rather than implementation slack.
+
+use crate::selection::SelectionVector;
+use crate::{RowId, Value};
+
+/// The outcome of a scan with both the qualifying rows and basic aggregates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanResult {
+    /// Qualifying row ids, in physical order.
+    pub rows: SelectionVector,
+    /// Number of qualifying rows.
+    pub count: u64,
+    /// Sum of qualifying values.
+    pub sum: i128,
+}
+
+/// Counts the values in `[lo, hi)`.
+#[must_use]
+pub fn scan_count(values: &[Value], lo: Value, hi: Value) -> u64 {
+    if hi <= lo {
+        return 0;
+    }
+    let mut count = 0u64;
+    for &v in values {
+        // Branch-free accumulation: the comparison results are 0/1.
+        count += u64::from(v >= lo && v < hi);
+    }
+    count
+}
+
+/// Sums the values in `[lo, hi)`.
+#[must_use]
+pub fn scan_sum(values: &[Value], lo: Value, hi: Value) -> i128 {
+    if hi <= lo {
+        return 0;
+    }
+    let mut sum = 0i128;
+    for &v in values {
+        if v >= lo && v < hi {
+            sum += i128::from(v);
+        }
+    }
+    sum
+}
+
+/// Returns the row ids whose values fall in `[lo, hi)`.
+#[must_use]
+pub fn scan_positions(values: &[Value], lo: Value, hi: Value) -> SelectionVector {
+    if hi <= lo {
+        return SelectionVector::new();
+    }
+    let mut sel = SelectionVector::with_capacity(16);
+    for (i, &v) in values.iter().enumerate() {
+        if v >= lo && v < hi {
+            sel.push(i as RowId);
+        }
+    }
+    sel
+}
+
+/// Materializes the values in `[lo, hi)` (select + project on one column).
+#[must_use]
+pub fn scan_materialize(values: &[Value], lo: Value, hi: Value) -> Vec<Value> {
+    if hi <= lo {
+        return Vec::new();
+    }
+    values.iter().copied().filter(|&v| v >= lo && v < hi).collect()
+}
+
+/// Runs a full scan producing rows, count and sum in one pass.
+#[must_use]
+pub fn scan_full(values: &[Value], lo: Value, hi: Value) -> ScanResult {
+    if hi <= lo {
+        return ScanResult {
+            rows: SelectionVector::new(),
+            count: 0,
+            sum: 0,
+        };
+    }
+    let mut rows = SelectionVector::with_capacity(16);
+    let mut sum = 0i128;
+    for (i, &v) in values.iter().enumerate() {
+        if v >= lo && v < hi {
+            rows.push(i as RowId);
+            sum += i128::from(v);
+        }
+    }
+    ScanResult {
+        count: rows.len() as u64,
+        rows,
+        sum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: [Value; 8] = [5, 1, 9, 3, 7, 3, 0, 10];
+
+    #[test]
+    fn count_sum_positions_materialize_agree() {
+        let count = scan_count(&DATA, 3, 8);
+        let sum = scan_sum(&DATA, 3, 8);
+        let pos = scan_positions(&DATA, 3, 8);
+        let mat = scan_materialize(&DATA, 3, 8);
+        assert_eq!(count, 4);
+        assert_eq!(sum, 5 + 3 + 7 + 3);
+        assert_eq!(pos.len(), 4);
+        assert_eq!(mat.len(), 4);
+        let full = scan_full(&DATA, 3, 8);
+        assert_eq!(full.count, count);
+        assert_eq!(full.sum, sum);
+        assert_eq!(full.rows, pos);
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges() {
+        assert_eq!(scan_count(&DATA, 5, 5), 0);
+        assert_eq!(scan_count(&DATA, 8, 3), 0);
+        assert_eq!(scan_sum(&DATA, 8, 3), 0);
+        assert!(scan_positions(&DATA, 8, 3).is_empty());
+        assert!(scan_materialize(&DATA, 8, 3).is_empty());
+        assert_eq!(scan_full(&DATA, 8, 3).count, 0);
+    }
+
+    #[test]
+    fn full_domain_range_selects_everything() {
+        let count = scan_count(&DATA, i64::MIN, i64::MAX);
+        assert_eq!(count, DATA.len() as u64);
+    }
+
+    #[test]
+    fn boundaries_are_half_open() {
+        // lo inclusive, hi exclusive
+        assert_eq!(scan_count(&DATA, 3, 4), 2); // the two 3s
+        assert_eq!(scan_count(&DATA, 9, 10), 1); // 9 qualifies, 10 does not
+        assert_eq!(scan_count(&DATA, 10, 11), 1); // now the 10
+    }
+
+    #[test]
+    fn empty_input_slice() {
+        let empty: [Value; 0] = [];
+        assert_eq!(scan_count(&empty, 0, 100), 0);
+        assert!(scan_positions(&empty, 0, 100).is_empty());
+        assert_eq!(scan_full(&empty, 0, 100).sum, 0);
+    }
+
+    #[test]
+    fn negative_values_are_handled() {
+        let data = [-5, -1, 0, 3];
+        assert_eq!(scan_count(&data, -3, 1), 2);
+        assert_eq!(scan_sum(&data, -10, 0), -6);
+    }
+}

@@ -1,0 +1,195 @@
+//! Selection vectors: the qualifying-row representation shared by all
+//! access paths (scan, sorted index, cracker column).
+
+use crate::RowId;
+
+/// A list of qualifying row identifiers produced by a select operator.
+///
+/// Row ids are not required to be sorted — a cracking select returns rows in
+/// physical (cracked) order — but [`SelectionVector::sort`] normalizes the
+/// order so results from different access paths can be compared.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelectionVector {
+    rows: Vec<RowId>,
+}
+
+impl SelectionVector {
+    /// Creates an empty selection vector.
+    #[must_use]
+    pub fn new() -> Self {
+        SelectionVector { rows: Vec::new() }
+    }
+
+    /// Creates an empty selection vector with pre-allocated capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        SelectionVector {
+            rows: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Creates a selection vector from an existing row-id vector.
+    #[must_use]
+    pub fn from_rows(rows: Vec<RowId>) -> Self {
+        SelectionVector { rows }
+    }
+
+    /// Appends a qualifying row id.
+    #[inline]
+    pub fn push(&mut self, row: RowId) {
+        self.rows.push(row);
+    }
+
+    /// Number of qualifying rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows qualify.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The qualifying row ids.
+    #[must_use]
+    pub fn rows(&self) -> &[RowId] {
+        &self.rows
+    }
+
+    /// Consumes the selection vector and returns the underlying row ids.
+    #[must_use]
+    pub fn into_rows(self) -> Vec<RowId> {
+        self.rows
+    }
+
+    /// Sorts the row ids in ascending order (for comparisons across paths).
+    pub fn sort(&mut self) {
+        self.rows.sort_unstable();
+    }
+
+    /// Returns a sorted copy of this selection vector.
+    #[must_use]
+    pub fn sorted(&self) -> Self {
+        let mut copy = self.clone();
+        copy.sort();
+        copy
+    }
+
+    /// Intersects two selection vectors (both are sorted internally first).
+    ///
+    /// Used for conjunctive multi-attribute predicates.
+    #[must_use]
+    pub fn intersect(&self, other: &SelectionVector) -> SelectionVector {
+        let mut a = self.rows.clone();
+        let mut b = other.rows.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        SelectionVector::from_rows(out)
+    }
+
+    /// Unions two selection vectors, removing duplicates.
+    #[must_use]
+    pub fn union(&self, other: &SelectionVector) -> SelectionVector {
+        let mut all = self.rows.clone();
+        all.extend_from_slice(&other.rows);
+        all.sort_unstable();
+        all.dedup();
+        SelectionVector::from_rows(all)
+    }
+
+    /// Iterates over the qualifying row ids.
+    pub fn iter(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.rows.iter().copied()
+    }
+}
+
+impl FromIterator<RowId> for SelectionVector {
+    fn from_iter<T: IntoIterator<Item = RowId>>(iter: T) -> Self {
+        SelectionVector {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl From<Vec<RowId>> for SelectionVector {
+    fn from(rows: Vec<RowId>) -> Self {
+        SelectionVector { rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut sv = SelectionVector::new();
+        assert!(sv.is_empty());
+        sv.push(3);
+        sv.push(1);
+        assert_eq!(sv.len(), 2);
+        assert_eq!(sv.rows(), &[3, 1]);
+    }
+
+    #[test]
+    fn sort_orders_rows() {
+        let mut sv = SelectionVector::from_rows(vec![5, 1, 4]);
+        sv.sort();
+        assert_eq!(sv.rows(), &[1, 4, 5]);
+        let sv2 = SelectionVector::from_rows(vec![9, 2]).sorted();
+        assert_eq!(sv2.rows(), &[2, 9]);
+    }
+
+    #[test]
+    fn intersect_unsorted_inputs() {
+        let a = SelectionVector::from_rows(vec![5, 1, 3, 7]);
+        let b = SelectionVector::from_rows(vec![7, 2, 1]);
+        let c = a.intersect(&b);
+        assert_eq!(c.rows(), &[1, 7]);
+    }
+
+    #[test]
+    fn intersect_with_empty_is_empty() {
+        let a = SelectionVector::from_rows(vec![1, 2, 3]);
+        let b = SelectionVector::new();
+        assert!(a.intersect(&b).is_empty());
+        assert!(b.intersect(&a).is_empty());
+    }
+
+    #[test]
+    fn union_removes_duplicates() {
+        let a = SelectionVector::from_rows(vec![3, 1]);
+        let b = SelectionVector::from_rows(vec![2, 3]);
+        let u = a.union(&b);
+        assert_eq!(u.rows(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn from_iterator_and_into_rows_round_trip() {
+        let sv: SelectionVector = vec![4u32, 2, 9].into_iter().collect();
+        assert_eq!(sv.clone().into_rows(), vec![4, 2, 9]);
+        let collected: Vec<RowId> = sv.iter().collect();
+        assert_eq!(collected, vec![4, 2, 9]);
+    }
+
+    #[test]
+    fn with_capacity_does_not_affect_contents() {
+        let sv = SelectionVector::with_capacity(100);
+        assert!(sv.is_empty());
+    }
+}

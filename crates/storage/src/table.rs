@@ -1,0 +1,216 @@
+//! Tables: named, equal-length collections of columns.
+
+use crate::column::Column;
+use crate::{Result, StorageError, Value};
+
+/// A relational table stored column-wise.
+///
+/// All columns of a table have the same number of rows; row `i` of every
+/// column together forms tuple `i`. This mirrors the paper's experimental
+/// table `R(A1..A10)`.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Table {
+            name: name.into(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// The table's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows (0 if the table has no columns).
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the table has no columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Adds a column with existing data.
+    ///
+    /// The column must have the same length as the existing columns (unless
+    /// it is the first column), and its name must be unique in the table.
+    pub fn add_column(&mut self, column: Column) -> Result<usize> {
+        if self.column(column.name()).is_some() {
+            return Err(StorageError::ColumnAlreadyExists(column.name().to_string()));
+        }
+        if !self.columns.is_empty() && column.len() != self.row_count() {
+            return Err(StorageError::ColumnLengthMismatch {
+                expected: self.row_count(),
+                actual: column.len(),
+            });
+        }
+        self.columns.push(column);
+        Ok(self.columns.len() - 1)
+    }
+
+    /// Convenience: adds a column built from a value vector.
+    pub fn add_column_from_values(
+        &mut self,
+        name: impl Into<String>,
+        values: Vec<Value>,
+    ) -> Result<usize> {
+        self.add_column(Column::from_values(name, values))
+    }
+
+    /// Looks up a column by name.
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name() == name)
+    }
+
+    /// Looks up a column mutably by name.
+    pub fn column_mut(&mut self, name: &str) -> Option<&mut Column> {
+        self.columns.iter_mut().find(|c| c.name() == name)
+    }
+
+    /// Looks up a column by positional index.
+    #[must_use]
+    pub fn column_at(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Index of a column by name.
+    #[must_use]
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name() == name)
+    }
+
+    /// Looks up a column by name, returning an error if it does not exist.
+    pub fn try_column(&self, name: &str) -> Result<&Column> {
+        self.column(name)
+            .ok_or_else(|| StorageError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Iterates over all columns.
+    pub fn columns(&self) -> impl Iterator<Item = &Column> {
+        self.columns.iter()
+    }
+
+    /// Column names, in positional order.
+    #[must_use]
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name().to_string()).collect()
+    }
+
+    /// Appends a full row (one value per column, in positional order).
+    pub fn append_row(&mut self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(StorageError::ColumnLengthMismatch {
+                expected: self.columns.len(),
+                actual: row.len(),
+            });
+        }
+        for (col, &v) in self.columns.iter_mut().zip(row.iter()) {
+            col.append(v);
+        }
+        Ok(())
+    }
+
+    /// Approximate heap footprint of all columns in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.iter().map(Column::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("r");
+        t.add_column_from_values("a", vec![1, 2, 3]).unwrap();
+        t.add_column_from_values("b", vec![10, 20, 30]).unwrap();
+        t
+    }
+
+    #[test]
+    fn new_table_is_empty() {
+        let t = Table::new("r");
+        assert_eq!(t.name(), "r");
+        assert!(t.is_empty());
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.column_count(), 0);
+    }
+
+    #[test]
+    fn add_column_and_lookup() {
+        let t = sample_table();
+        assert_eq!(t.column_count(), 2);
+        assert_eq!(t.row_count(), 3);
+        assert!(t.column("a").is_some());
+        assert!(t.column("z").is_none());
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.column_at(0).unwrap().name(), "a");
+        assert_eq!(t.column_names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(t.try_column("a").is_ok());
+        assert_eq!(
+            t.try_column("nope").unwrap_err(),
+            StorageError::ColumnNotFound("nope".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_column_name_rejected() {
+        let mut t = sample_table();
+        let err = t.add_column_from_values("a", vec![0, 0, 0]).unwrap_err();
+        assert_eq!(err, StorageError::ColumnAlreadyExists("a".into()));
+    }
+
+    #[test]
+    fn mismatched_column_length_rejected() {
+        let mut t = sample_table();
+        let err = t.add_column_from_values("c", vec![1, 2]).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::ColumnLengthMismatch { expected: 3, actual: 2 }
+        );
+    }
+
+    #[test]
+    fn append_row_extends_all_columns() {
+        let mut t = sample_table();
+        t.append_row(&[4, 40]).unwrap();
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.column("a").unwrap().values(), &[1, 2, 3, 4]);
+        assert_eq!(t.column("b").unwrap().values(), &[10, 20, 30, 40]);
+        assert!(t.append_row(&[1]).is_err());
+    }
+
+    #[test]
+    fn column_mut_allows_in_place_edits() {
+        let mut t = sample_table();
+        t.column_mut("a").unwrap().append(99);
+        // Note: this desynchronizes lengths; append_row is the safe path.
+        assert_eq!(t.column("a").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn memory_accounting_sums_columns() {
+        let t = sample_table();
+        assert_eq!(t.memory_bytes(), 6 * std::mem::size_of::<Value>());
+    }
+}

@@ -1,0 +1,180 @@
+//! Pending-update buffers.
+//!
+//! Following the cracking-under-updates design ("Updating a Cracked
+//! Database", SIGMOD 2007) the base column and any cracked copies stay
+//! untouched when updates arrive; inserts and deletes are collected in
+//! per-column pending buffers and merged lazily into the auxiliary (cracked)
+//! structures when a query touches the affected value range.
+
+use crate::Value;
+
+/// Pending inserts and deletes for one column.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBuffer {
+    inserts: Vec<Value>,
+    deletes: Vec<Value>,
+}
+
+impl UpdateBuffer {
+    /// Creates an empty update buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        UpdateBuffer::default()
+    }
+
+    /// Queues a value for insertion.
+    pub fn insert(&mut self, v: Value) {
+        self.inserts.push(v);
+    }
+
+    /// Queues a value for deletion (first matching occurrence is removed at
+    /// merge time).
+    pub fn delete(&mut self, v: Value) {
+        self.deletes.push(v);
+    }
+
+    /// Number of pending inserts.
+    #[must_use]
+    pub fn pending_inserts(&self) -> usize {
+        self.inserts.len()
+    }
+
+    /// Number of pending deletes.
+    #[must_use]
+    pub fn pending_deletes(&self) -> usize {
+        self.deletes.len()
+    }
+
+    /// Whether there is nothing to merge.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// All pending inserts.
+    #[must_use]
+    pub fn inserts(&self) -> &[Value] {
+        &self.inserts
+    }
+
+    /// All pending deletes.
+    #[must_use]
+    pub fn deletes(&self) -> &[Value] {
+        &self.deletes
+    }
+
+    /// Removes and returns the pending inserts whose values fall in `[lo, hi)`.
+    pub fn take_inserts_in_range(&mut self, lo: Value, hi: Value) -> Vec<Value> {
+        let mut taken = Vec::new();
+        let mut kept = Vec::with_capacity(self.inserts.len());
+        for v in self.inserts.drain(..) {
+            if v >= lo && v < hi {
+                taken.push(v);
+            } else {
+                kept.push(v);
+            }
+        }
+        self.inserts = kept;
+        taken
+    }
+
+    /// Removes and returns the pending deletes whose values fall in `[lo, hi)`.
+    pub fn take_deletes_in_range(&mut self, lo: Value, hi: Value) -> Vec<Value> {
+        let mut taken = Vec::new();
+        let mut kept = Vec::with_capacity(self.deletes.len());
+        for v in self.deletes.drain(..) {
+            if v >= lo && v < hi {
+                taken.push(v);
+            } else {
+                kept.push(v);
+            }
+        }
+        self.deletes = kept;
+        taken
+    }
+
+    /// Net effect of the buffer on the count of values in `[lo, hi)`:
+    /// `pending inserts in range − pending deletes in range`.
+    #[must_use]
+    pub fn net_count_in_range(&self, lo: Value, hi: Value) -> i64 {
+        let ins = self.inserts.iter().filter(|&&v| v >= lo && v < hi).count() as i64;
+        let del = self.deletes.iter().filter(|&&v| v >= lo && v < hi).count() as i64;
+        ins - del
+    }
+
+    /// Clears all pending updates (after a full merge).
+    pub fn clear(&mut self) {
+        self.inserts.clear();
+        self.deletes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_buffer() {
+        let b = UpdateBuffer::new();
+        assert!(b.is_empty());
+        assert_eq!(b.pending_inserts(), 0);
+        assert_eq!(b.pending_deletes(), 0);
+        assert_eq!(b.net_count_in_range(0, 100), 0);
+    }
+
+    #[test]
+    fn insert_and_delete_queueing() {
+        let mut b = UpdateBuffer::new();
+        b.insert(5);
+        b.insert(50);
+        b.delete(7);
+        assert!(!b.is_empty());
+        assert_eq!(b.pending_inserts(), 2);
+        assert_eq!(b.pending_deletes(), 1);
+        assert_eq!(b.inserts(), &[5, 50]);
+        assert_eq!(b.deletes(), &[7]);
+    }
+
+    #[test]
+    fn take_inserts_in_range_partitions_buffer() {
+        let mut b = UpdateBuffer::new();
+        for v in [1, 10, 20, 30] {
+            b.insert(v);
+        }
+        let taken = b.take_inserts_in_range(5, 25);
+        assert_eq!(taken, vec![10, 20]);
+        assert_eq!(b.inserts(), &[1, 30]);
+        // Taking again yields nothing new for the same range.
+        assert!(b.take_inserts_in_range(5, 25).is_empty());
+    }
+
+    #[test]
+    fn take_deletes_in_range_partitions_buffer() {
+        let mut b = UpdateBuffer::new();
+        for v in [2, 12, 22] {
+            b.delete(v);
+        }
+        let taken = b.take_deletes_in_range(10, 20);
+        assert_eq!(taken, vec![12]);
+        assert_eq!(b.deletes(), &[2, 22]);
+    }
+
+    #[test]
+    fn net_count_reflects_inserts_minus_deletes() {
+        let mut b = UpdateBuffer::new();
+        b.insert(10);
+        b.insert(11);
+        b.delete(12);
+        assert_eq!(b.net_count_in_range(10, 13), 1);
+        assert_eq!(b.net_count_in_range(0, 5), 0);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut b = UpdateBuffer::new();
+        b.insert(1);
+        b.delete(2);
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

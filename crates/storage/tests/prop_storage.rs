@@ -1,0 +1,144 @@
+//! Property-based tests for the storage layer: scan operators, selection
+//! vectors, statistics and update buffers.
+
+use proptest::prelude::*;
+
+use holistic_storage::{
+    scan_count, scan_full, scan_materialize, scan_positions, scan_sum, Column, ColumnStats,
+    EquiWidthHistogram, SelectionVector, UpdateBuffer,
+};
+
+fn reference_count(values: &[i64], lo: i64, hi: i64) -> u64 {
+    values.iter().filter(|&&v| v >= lo && v < hi).count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scan_operators_agree_with_each_other(
+        values in prop::collection::vec(-500i64..500, 0..300),
+        lo in -600i64..600,
+        width in 0i64..400,
+    ) {
+        let hi = lo + width;
+        let count = scan_count(&values, lo, hi);
+        let sum = scan_sum(&values, lo, hi);
+        let positions = scan_positions(&values, lo, hi);
+        let materialized = scan_materialize(&values, lo, hi);
+        let full = scan_full(&values, lo, hi);
+
+        prop_assert_eq!(count, reference_count(&values, lo, hi));
+        prop_assert_eq!(positions.len() as u64, count);
+        prop_assert_eq!(materialized.len() as u64, count);
+        prop_assert_eq!(full.count, count);
+        prop_assert_eq!(full.sum, sum);
+        prop_assert_eq!(full.rows.clone(), positions.clone());
+        let manual_sum: i128 = materialized.iter().map(|&v| i128::from(v)).sum();
+        prop_assert_eq!(manual_sum, sum);
+        // Every reported position indeed qualifies.
+        for row in positions.iter() {
+            let v = values[row as usize];
+            prop_assert!(v >= lo && v < hi);
+        }
+    }
+
+    #[test]
+    fn column_scan_matches_free_functions(
+        values in prop::collection::vec(-500i64..500, 0..200),
+        lo in -600i64..600,
+        width in 0i64..300,
+    ) {
+        let hi = lo + width;
+        let column = Column::from_values("a", values.clone());
+        prop_assert_eq!(column.scan_count(lo, hi), scan_count(&values, lo, hi));
+        let sel = column.scan_select(lo, hi);
+        prop_assert_eq!(sel.len() as u64, column.scan_count(lo, hi));
+        let gathered = column.gather(&sel).unwrap();
+        prop_assert!(gathered.iter().all(|&v| v >= lo && v < hi));
+    }
+
+    #[test]
+    fn selection_vector_set_operations_behave_like_sets(
+        a in prop::collection::btree_set(0u32..200, 0..60),
+        b in prop::collection::btree_set(0u32..200, 0..60),
+    ) {
+        let sa = SelectionVector::from_rows(a.iter().copied().collect());
+        let sb = SelectionVector::from_rows(b.iter().copied().collect());
+        let inter: Vec<u32> = a.intersection(&b).copied().collect();
+        let uni: Vec<u32> = a.union(&b).copied().collect();
+        prop_assert_eq!(sa.intersect(&sb).into_rows(), inter);
+        prop_assert_eq!(sa.union(&sb).into_rows(), uni);
+    }
+
+    #[test]
+    fn histogram_estimates_are_bounded_and_total_preserving(
+        values in prop::collection::vec(-1000i64..1000, 1..400),
+        lo in -1200i64..1200,
+        width in 0i64..800,
+    ) {
+        let hist = EquiWidthHistogram::from_values(&values, 32);
+        prop_assert_eq!(hist.total(), values.len() as u64);
+        let est = hist.estimate_range(lo, lo + width);
+        prop_assert!(est >= 0.0);
+        prop_assert!(est <= values.len() as f64 + 1e-9);
+        let sel = hist.estimate_selectivity(lo, lo + width);
+        prop_assert!((0.0..=1.0).contains(&sel));
+        // The full domain estimate accounts for (almost) all values.
+        let full = hist.estimate_range(i64::MIN / 2, i64::MAX / 2);
+        prop_assert!((full - values.len() as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn column_stats_selectivity_is_sane(
+        values in prop::collection::vec(-1000i64..1000, 1..300),
+        lo in -1200i64..1200,
+        width in 0i64..1000,
+    ) {
+        let stats = ColumnStats::from_values(&values);
+        prop_assert_eq!(stats.count, values.len() as u64);
+        prop_assert_eq!(stats.min, values.iter().copied().min());
+        prop_assert_eq!(stats.max, values.iter().copied().max());
+        let sel = stats.estimate_selectivity(lo, lo + width);
+        prop_assert!((0.0..=1.0).contains(&sel));
+        let true_sel = reference_count(&values, lo, lo + width) as f64 / values.len() as f64;
+        // The histogram estimate must be within one bucket's worth of truth.
+        prop_assert!((sel - true_sel).abs() <= 0.25, "sel={sel} true={true_sel}");
+    }
+
+    #[test]
+    fn update_buffer_partitions_by_range(
+        inserts in prop::collection::vec(-500i64..500, 0..100),
+        deletes in prop::collection::vec(-500i64..500, 0..100),
+        lo in -600i64..600,
+        width in 0i64..500,
+    ) {
+        let hi = lo + width;
+        let mut buffer = UpdateBuffer::new();
+        for &v in &inserts {
+            buffer.insert(v);
+        }
+        for &v in &deletes {
+            buffer.delete(v);
+        }
+        let net_before = buffer.net_count_in_range(lo, hi);
+        let taken_inserts = buffer.take_inserts_in_range(lo, hi);
+        let taken_deletes = buffer.take_deletes_in_range(lo, hi);
+        prop_assert!(taken_inserts.iter().all(|&v| v >= lo && v < hi));
+        prop_assert!(taken_deletes.iter().all(|&v| v >= lo && v < hi));
+        prop_assert!(buffer.inserts().iter().all(|&v| !(v >= lo && v < hi)));
+        prop_assert!(buffer.deletes().iter().all(|&v| !(v >= lo && v < hi)));
+        prop_assert_eq!(
+            taken_inserts.len() as i64 - taken_deletes.len() as i64,
+            net_before
+        );
+        prop_assert_eq!(
+            buffer.pending_inserts() + taken_inserts.len(),
+            inserts.len()
+        );
+        prop_assert_eq!(
+            buffer.pending_deletes() + taken_deletes.len(),
+            deletes.len()
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Arrival models: how queries and idle windows interleave over a session.
+
+use rand::Rng;
+
+use crate::generators::QueryGenerator;
+use crate::query::{IdleWindow, WorkloadEvent};
+
+/// How idle time is distributed over the query sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Queries arrive back to back with no idle time at all (the environment
+    /// adaptive indexing is designed for).
+    Steady,
+    /// The paper's Exp1 setup: an idle window before the first query and one
+    /// after every `every` queries, each worth `actions` refinement actions.
+    PeriodicIdle {
+        /// Queries between idle windows.
+        every: usize,
+        /// Refinement actions that fit in one idle window.
+        actions: u64,
+    },
+    /// Bursts of `burst_len` queries separated by idle windows worth
+    /// `actions` refinement actions (social-network / web-log style traffic).
+    Bursty {
+        /// Queries per burst.
+        burst_len: usize,
+        /// Refinement actions that fit in the gap between bursts.
+        actions: u64,
+    },
+}
+
+/// Builds a full workload session (a sequence of [`WorkloadEvent`]s) from a
+/// query generator and an arrival model.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    model: ArrivalModel,
+    /// Idle window granted before the first query (the paper's `T_init`).
+    initial_idle: Option<IdleWindow>,
+}
+
+impl SessionBuilder {
+    /// Creates a session builder for the given arrival model.
+    #[must_use]
+    pub fn new(model: ArrivalModel) -> Self {
+        SessionBuilder {
+            model,
+            initial_idle: None,
+        }
+    }
+
+    /// Grants an idle window before the first query (offline-style a-priori
+    /// idle time).
+    #[must_use]
+    pub fn with_initial_idle(mut self, idle: IdleWindow) -> Self {
+        self.initial_idle = Some(idle);
+        self
+    }
+
+    /// Builds a session of `queries` queries drawn from `generator`.
+    pub fn build<G: QueryGenerator, R: Rng + ?Sized>(
+        &self,
+        generator: &mut G,
+        queries: usize,
+        rng: &mut R,
+    ) -> Vec<WorkloadEvent> {
+        let mut events = Vec::with_capacity(queries + queries / 16 + 2);
+        if let Some(idle) = self.initial_idle {
+            events.push(WorkloadEvent::Idle(idle));
+        }
+        match self.model {
+            ArrivalModel::Steady => {
+                for _ in 0..queries {
+                    events.push(WorkloadEvent::Query(generator.next_query(rng)));
+                }
+            }
+            ArrivalModel::PeriodicIdle { every, actions } => {
+                let every = every.max(1);
+                for i in 0..queries {
+                    if i > 0 && i % every == 0 {
+                        events.push(WorkloadEvent::Idle(IdleWindow::Actions(actions)));
+                    }
+                    events.push(WorkloadEvent::Query(generator.next_query(rng)));
+                }
+            }
+            ArrivalModel::Bursty { burst_len, actions } => {
+                let burst_len = burst_len.max(1);
+                let mut issued = 0usize;
+                while issued < queries {
+                    let this_burst = burst_len.min(queries - issued);
+                    for _ in 0..this_burst {
+                        events.push(WorkloadEvent::Query(generator.next_query(rng)));
+                    }
+                    issued += this_burst;
+                    if issued < queries {
+                        events.push(WorkloadEvent::Idle(IdleWindow::Actions(actions)));
+                    }
+                }
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::UniformRangeGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen() -> UniformRangeGenerator {
+        UniformRangeGenerator::new(0, 0, 10_000, 0.01)
+    }
+
+    fn count_events(events: &[WorkloadEvent]) -> (usize, usize) {
+        let queries = events.iter().filter(|e| e.as_query().is_some()).count();
+        let idles = events.iter().filter(|e| e.is_idle()).count();
+        (queries, idles)
+    }
+
+    #[test]
+    fn steady_model_has_no_idle_events() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let events = SessionBuilder::new(ArrivalModel::Steady).build(&mut gen(), 50, &mut rng);
+        let (q, i) = count_events(&events);
+        assert_eq!(q, 50);
+        assert_eq!(i, 0);
+    }
+
+    #[test]
+    fn periodic_idle_matches_paper_exp1_shape() {
+        // 1000 queries, idle every 100: T_init + 9 interior idle windows.
+        let mut rng = StdRng::seed_from_u64(2);
+        let events = SessionBuilder::new(ArrivalModel::PeriodicIdle { every: 100, actions: 10 })
+            .with_initial_idle(IdleWindow::Actions(10))
+            .build(&mut gen(), 1000, &mut rng);
+        let (q, i) = count_events(&events);
+        assert_eq!(q, 1000);
+        assert_eq!(i, 10);
+        assert!(events[0].is_idle(), "the initial idle window comes first");
+        // Idle windows appear exactly every 100 queries.
+        let mut queries_seen = 0;
+        for e in &events[1..] {
+            match e {
+                WorkloadEvent::Query(_) => queries_seen += 1,
+                WorkloadEvent::Idle(_) => {
+                    assert_eq!(queries_seen % 100, 0, "idle window not on a 100-query boundary");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_model_alternates_bursts_and_idles() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let events = SessionBuilder::new(ArrivalModel::Bursty { burst_len: 10, actions: 50 })
+            .build(&mut gen(), 35, &mut rng);
+        let (q, i) = count_events(&events);
+        assert_eq!(q, 35);
+        assert_eq!(i, 3); // after bursts of 10, 10, 10 (not after the final 5)
+        assert!(!events.last().unwrap().is_idle());
+    }
+
+    #[test]
+    fn zero_queries_yields_only_initial_idle() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let events = SessionBuilder::new(ArrivalModel::Steady)
+            .with_initial_idle(IdleWindow::Actions(100))
+            .build(&mut gen(), 0, &mut rng);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].is_idle());
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let events = SessionBuilder::new(ArrivalModel::PeriodicIdle { every: 0, actions: 1 })
+            .build(&mut gen(), 5, &mut rng);
+        let (q, i) = count_events(&events);
+        assert_eq!(q, 5);
+        assert_eq!(i, 4);
+        let events = SessionBuilder::new(ArrivalModel::Bursty { burst_len: 0, actions: 1 })
+            .build(&mut gen(), 3, &mut rng);
+        let (q, _) = count_events(&events);
+        assert_eq!(q, 3);
+    }
+}

@@ -1,0 +1,293 @@
+//! Range-predicate generators.
+
+use rand::Rng;
+
+use crate::query::RangeQuery;
+use crate::zipf::Zipf;
+use crate::Value;
+
+/// A source of range queries.
+pub trait QueryGenerator {
+    /// Produces the next query.
+    fn next_query<R: Rng + ?Sized>(&mut self, rng: &mut R) -> RangeQuery;
+
+    /// Produces `n` queries.
+    fn generate<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> Vec<RangeQuery>
+    where
+        Self: Sized,
+    {
+        (0..n).map(|_| self.next_query(rng)).collect()
+    }
+}
+
+/// Width of the value range that yields the requested selectivity over a
+/// uniform domain `[lo, hi)`.
+fn width_for_selectivity(lo: Value, hi: Value, selectivity: f64) -> Value {
+    let span = (hi - lo).max(1) as f64;
+    ((span * selectivity.clamp(0.0, 1.0)).round() as Value).max(1)
+}
+
+/// The paper's default generator: ranges of fixed selectivity whose position
+/// is uniformly random within the column domain.
+#[derive(Debug, Clone)]
+pub struct UniformRangeGenerator {
+    column: usize,
+    domain_lo: Value,
+    domain_hi: Value,
+    width: Value,
+}
+
+impl UniformRangeGenerator {
+    /// Creates a generator over the domain `[domain_lo, domain_hi)` with the
+    /// given selectivity (fraction of the domain covered by each query).
+    #[must_use]
+    pub fn new(column: usize, domain_lo: Value, domain_hi: Value, selectivity: f64) -> Self {
+        assert!(domain_hi > domain_lo, "domain must be non-empty");
+        UniformRangeGenerator {
+            column,
+            domain_lo,
+            domain_hi,
+            width: width_for_selectivity(domain_lo, domain_hi, selectivity),
+        }
+    }
+
+    /// The width of the generated ranges.
+    #[must_use]
+    pub fn range_width(&self) -> Value {
+        self.width
+    }
+}
+
+impl QueryGenerator for UniformRangeGenerator {
+    fn next_query<R: Rng + ?Sized>(&mut self, rng: &mut R) -> RangeQuery {
+        let max_start = (self.domain_hi - self.width).max(self.domain_lo);
+        let lo = if max_start > self.domain_lo {
+            rng.gen_range(self.domain_lo..=max_start)
+        } else {
+            self.domain_lo
+        };
+        RangeQuery::new(self.column, lo, lo + self.width)
+    }
+}
+
+/// Skewed generator: range *centers* follow a Zipf distribution over buckets
+/// of the domain, so a few regions of the column are much hotter than the
+/// rest (typical of exploratory drill-down workloads).
+#[derive(Debug, Clone)]
+pub struct ZipfRangeGenerator {
+    column: usize,
+    domain_lo: Value,
+    domain_hi: Value,
+    width: Value,
+    buckets: usize,
+    zipf: Zipf,
+}
+
+impl ZipfRangeGenerator {
+    /// Creates a skewed generator with `buckets` hot regions and Zipf
+    /// parameter `theta`.
+    #[must_use]
+    pub fn new(
+        column: usize,
+        domain_lo: Value,
+        domain_hi: Value,
+        selectivity: f64,
+        buckets: usize,
+        theta: f64,
+    ) -> Self {
+        assert!(domain_hi > domain_lo, "domain must be non-empty");
+        let buckets = buckets.max(1);
+        ZipfRangeGenerator {
+            column,
+            domain_lo,
+            domain_hi,
+            width: width_for_selectivity(domain_lo, domain_hi, selectivity),
+            buckets,
+            zipf: Zipf::new(buckets, theta),
+        }
+    }
+}
+
+impl QueryGenerator for ZipfRangeGenerator {
+    fn next_query<R: Rng + ?Sized>(&mut self, rng: &mut R) -> RangeQuery {
+        let span = self.domain_hi - self.domain_lo;
+        let bucket_width = (span / self.buckets as Value).max(1);
+        let bucket = self.zipf.sample(rng) as Value;
+        let bucket_lo = self.domain_lo + bucket * bucket_width;
+        let bucket_hi = (bucket_lo + bucket_width).min(self.domain_hi);
+        let max_start = (bucket_hi - self.width).max(bucket_lo);
+        let lo = if max_start > bucket_lo {
+            rng.gen_range(bucket_lo..=max_start)
+        } else {
+            bucket_lo
+        };
+        RangeQuery::new(self.column, lo, lo + self.width)
+    }
+}
+
+/// Sequential (sliding-window) generator: each query's range starts where
+/// the previous one ended. The classic adversarial pattern for plain
+/// cracking and the motivation for stochastic cracking.
+#[derive(Debug, Clone)]
+pub struct SequentialRangeGenerator {
+    column: usize,
+    domain_lo: Value,
+    domain_hi: Value,
+    width: Value,
+    cursor: Value,
+}
+
+impl SequentialRangeGenerator {
+    /// Creates a sliding-window generator starting at the domain minimum.
+    #[must_use]
+    pub fn new(column: usize, domain_lo: Value, domain_hi: Value, selectivity: f64) -> Self {
+        assert!(domain_hi > domain_lo, "domain must be non-empty");
+        SequentialRangeGenerator {
+            column,
+            domain_lo,
+            domain_hi,
+            width: width_for_selectivity(domain_lo, domain_hi, selectivity),
+            cursor: domain_lo,
+        }
+    }
+}
+
+impl QueryGenerator for SequentialRangeGenerator {
+    fn next_query<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> RangeQuery {
+        let lo = self.cursor;
+        let hi = (lo + self.width).min(self.domain_hi);
+        self.cursor = if hi >= self.domain_hi { self.domain_lo } else { hi };
+        RangeQuery::new(self.column, lo, hi)
+    }
+}
+
+/// Wraps an inner generator and cycles the produced queries round-robin over
+/// `columns` (the paper's Exp2: queries arrive on all 10 columns in a
+/// round-robin fashion).
+#[derive(Debug, Clone)]
+pub struct RoundRobinColumns<G> {
+    inner: G,
+    columns: usize,
+    next_column: usize,
+}
+
+impl<G: QueryGenerator> RoundRobinColumns<G> {
+    /// Creates a round-robin wrapper over `columns` columns.
+    #[must_use]
+    pub fn new(inner: G, columns: usize) -> Self {
+        assert!(columns > 0, "need at least one column");
+        RoundRobinColumns {
+            inner,
+            columns,
+            next_column: 0,
+        }
+    }
+}
+
+impl<G: QueryGenerator> QueryGenerator for RoundRobinColumns<G> {
+    fn next_query<R: Rng + ?Sized>(&mut self, rng: &mut R) -> RangeQuery {
+        let mut q = self.inner.next_query(rng);
+        q.column = self.next_column;
+        self.next_column = (self.next_column + 1) % self.columns;
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const DOMAIN: (Value, Value) = (1, 100_000_001);
+
+    #[test]
+    fn uniform_generator_respects_domain_and_selectivity() {
+        let mut g = UniformRangeGenerator::new(0, DOMAIN.0, DOMAIN.1, 0.01);
+        let mut rng = StdRng::seed_from_u64(1);
+        let width = g.range_width();
+        assert_eq!(width, 1_000_000);
+        for _ in 0..100 {
+            let q = g.next_query(&mut rng);
+            assert_eq!(q.column, 0);
+            assert!(q.lo >= DOMAIN.0);
+            assert!(q.hi <= DOMAIN.1);
+            assert_eq!(q.hi - q.lo, width);
+        }
+    }
+
+    #[test]
+    fn uniform_generator_spreads_over_domain() {
+        let mut g = UniformRangeGenerator::new(0, 0, 1_000_000, 0.001);
+        let mut rng = StdRng::seed_from_u64(2);
+        let starts: Vec<Value> = (0..200).map(|_| g.next_query(&mut rng).lo).collect();
+        let low_half = starts.iter().filter(|&&s| s < 500_000).count();
+        assert!(low_half > 50 && low_half < 150, "low_half={low_half}");
+    }
+
+    #[test]
+    fn tiny_selectivity_still_produces_nonempty_ranges() {
+        let mut g = UniformRangeGenerator::new(0, 0, 100, 1e-9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = g.next_query(&mut rng);
+        assert!(q.hi > q.lo);
+    }
+
+    #[test]
+    fn zipf_generator_concentrates_queries() {
+        let mut g = ZipfRangeGenerator::new(0, 0, 1_000_000, 0.001, 100, 1.2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 2000;
+        let hot = (0..n)
+            .map(|_| g.next_query(&mut rng))
+            .filter(|q| q.lo < 100_000)
+            .count();
+        assert!(hot as f64 / n as f64 > 0.5, "hot fraction {}", hot as f64 / n as f64);
+    }
+
+    #[test]
+    fn sequential_generator_slides_and_wraps() {
+        let mut g = SequentialRangeGenerator::new(0, 0, 100, 0.1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let q1 = g.next_query(&mut rng);
+        let q2 = g.next_query(&mut rng);
+        assert_eq!(q1.lo, 0);
+        assert_eq!(q2.lo, q1.hi);
+        // Drive it past the end of the domain and observe the wrap-around.
+        let mut last = q2;
+        for _ in 0..20 {
+            last = g.next_query(&mut rng);
+        }
+        assert!(last.lo < 100);
+        assert!(last.hi <= 100);
+    }
+
+    #[test]
+    fn round_robin_cycles_columns() {
+        let inner = UniformRangeGenerator::new(0, 0, 1000, 0.01);
+        let mut g = RoundRobinColumns::new(inner, 3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let cols: Vec<usize> = (0..7).map(|_| g.next_query(&mut rng).column).collect();
+        assert_eq!(cols, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn generate_produces_requested_count() {
+        let mut g = UniformRangeGenerator::new(0, 0, 1000, 0.05);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(g.generate(42, &mut rng).len(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain must be non-empty")]
+    fn empty_domain_panics() {
+        let _ = UniformRangeGenerator::new(0, 10, 10, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one column")]
+    fn round_robin_zero_columns_panics() {
+        let inner = UniformRangeGenerator::new(0, 0, 10, 0.1);
+        let _ = RoundRobinColumns::new(inner, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # holistic-workload
+//!
+//! Workload generators, arrival/idle-time models and query traces for the
+//! holistic indexing experiments.
+//!
+//! The paper's evaluation uses synthetic select-project workloads over
+//! integer columns: every query is of the form
+//! `SELECT A_i FROM R WHERE A_i >= low AND A_i < high`, with a fixed
+//! selectivity (1%) and randomly positioned ranges, optionally spread
+//! round-robin over several columns, and with *controlled idle time*
+//! injected before the first query and every fixed number of queries. This
+//! crate provides those generators plus the more realistic arrival models
+//! (bursty traffic, skewed value ranges, sliding windows) used by the
+//! examples and the ablation benchmarks.
+//!
+//! * [`query`] — the query and event types.
+//! * [`generators`] — range-predicate generators (uniform, zipf-skewed,
+//!   sequential, round-robin over columns).
+//! * [`arrival`] — arrival models that interleave queries with idle windows.
+//! * [`trace`] — recording and replaying workload traces.
+//! * [`zipf`] — a small Zipf sampler used by the skewed generator.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod arrival;
+pub mod generators;
+pub mod query;
+pub mod trace;
+pub mod zipf;
+
+pub use arrival::{ArrivalModel, SessionBuilder};
+pub use generators::{
+    QueryGenerator, RoundRobinColumns, SequentialRangeGenerator, UniformRangeGenerator,
+    ZipfRangeGenerator,
+};
+pub use query::{IdleWindow, RangeQuery, WorkloadEvent};
+pub use trace::QueryTrace;
+pub use zipf::Zipf;
+
+/// Value type used by the workload generators (matches the storage layer).
+pub type Value = i64;

@@ -1,0 +1,126 @@
+//! Query and workload-event types.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Value;
+
+/// A range select-project query on one column:
+/// `SELECT A_c FROM R WHERE A_c >= lo AND A_c < hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeQuery {
+    /// Positional index of the queried column within the table.
+    pub column: usize,
+    /// Inclusive lower predicate bound.
+    pub lo: Value,
+    /// Exclusive upper predicate bound.
+    pub hi: Value,
+}
+
+impl RangeQuery {
+    /// Creates a range query.
+    #[must_use]
+    pub fn new(column: usize, lo: Value, hi: Value) -> Self {
+        RangeQuery { column, lo, hi }
+    }
+
+    /// Width of the requested value range (0 for empty/inverted ranges).
+    #[must_use]
+    pub fn width(&self) -> u64 {
+        if self.hi <= self.lo {
+            0
+        } else {
+            (self.hi - self.lo) as u64
+        }
+    }
+
+    /// Whether the predicate selects nothing by construction.
+    #[must_use]
+    pub fn is_empty_range(&self) -> bool {
+        self.hi <= self.lo
+    }
+}
+
+/// An idle window in the workload: a stretch of time with no queries, which
+/// a holistic kernel can spend on auxiliary index refinement.
+///
+/// The paper controls idle time by the number of refinement actions it
+/// permits (`X` in Exp1); wall-clock budgets are supported as well for the
+/// realistic arrival models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IdleWindow {
+    /// Enough idle time to apply this many refinement actions.
+    Actions(u64),
+    /// A wall-clock idle budget, in microseconds.
+    Micros(u64),
+}
+
+impl IdleWindow {
+    /// The action budget, if this window is expressed in actions.
+    #[must_use]
+    pub fn actions(&self) -> Option<u64> {
+        match self {
+            IdleWindow::Actions(a) => Some(*a),
+            IdleWindow::Micros(_) => None,
+        }
+    }
+}
+
+/// One event of a workload session: either a query arrives or the system is
+/// idle for a while.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadEvent {
+    /// A query arrives and must be answered now.
+    Query(RangeQuery),
+    /// No queries arrive for a while; the budget describes how long.
+    Idle(IdleWindow),
+}
+
+impl WorkloadEvent {
+    /// The query, if this event is a query.
+    #[must_use]
+    pub fn as_query(&self) -> Option<&RangeQuery> {
+        match self {
+            WorkloadEvent::Query(q) => Some(q),
+            WorkloadEvent::Idle(_) => None,
+        }
+    }
+
+    /// Whether this event is an idle window.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        matches!(self, WorkloadEvent::Idle(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_query_width_and_emptiness() {
+        let q = RangeQuery::new(0, 10, 20);
+        assert_eq!(q.width(), 10);
+        assert!(!q.is_empty_range());
+        let empty = RangeQuery::new(1, 20, 10);
+        assert_eq!(empty.width(), 0);
+        assert!(empty.is_empty_range());
+        let point = RangeQuery::new(2, 5, 5);
+        assert!(point.is_empty_range());
+    }
+
+    #[test]
+    fn idle_window_actions_accessor() {
+        assert_eq!(IdleWindow::Actions(10).actions(), Some(10));
+        assert_eq!(IdleWindow::Micros(500).actions(), None);
+    }
+
+    #[test]
+    fn workload_event_accessors() {
+        let q = WorkloadEvent::Query(RangeQuery::new(0, 1, 2));
+        let i = WorkloadEvent::Idle(IdleWindow::Actions(5));
+        assert!(q.as_query().is_some());
+        assert!(!q.is_idle());
+        assert!(i.as_query().is_none());
+        assert!(i.is_idle());
+    }
+}

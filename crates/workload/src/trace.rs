@@ -1,0 +1,239 @@
+//! Recording and replaying workload traces.
+//!
+//! Traces make experiments reproducible across engines and strategies: the
+//! benchmark harness generates a session once, saves it, and replays the
+//! exact same event sequence for scan / offline / adaptive / holistic runs.
+//! The on-disk format is a simple line-oriented text format (one event per
+//! line) so traces are diffable and easy to inspect; the types also derive
+//! `serde` so users can plug in any serde-compatible format.
+
+use serde::{Deserialize, Serialize};
+
+use crate::query::{IdleWindow, RangeQuery, WorkloadEvent};
+
+/// A recorded workload session.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryTrace {
+    events: Vec<WorkloadEvent>,
+}
+
+/// Errors produced when parsing a textual trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl QueryTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        QueryTrace::default()
+    }
+
+    /// Creates a trace from a pre-built event sequence.
+    #[must_use]
+    pub fn from_events(events: Vec<WorkloadEvent>) -> Self {
+        QueryTrace { events }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: WorkloadEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events.
+    #[must_use]
+    pub fn events(&self) -> &[WorkloadEvent] {
+        &self.events
+    }
+
+    /// Number of events (queries + idle windows).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of query events.
+    #[must_use]
+    pub fn query_count(&self) -> usize {
+        self.events.iter().filter(|e| e.as_query().is_some()).count()
+    }
+
+    /// Serializes the trace to the line-oriented text format.
+    ///
+    /// Format, one event per line:
+    /// `Q <column> <lo> <hi>`, `IA <actions>`, or `IM <micros>`.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 16);
+        for event in &self.events {
+            match event {
+                WorkloadEvent::Query(q) => {
+                    out.push_str(&format!("Q {} {} {}\n", q.column, q.lo, q.hi));
+                }
+                WorkloadEvent::Idle(IdleWindow::Actions(a)) => {
+                    out.push_str(&format!("IA {a}\n"));
+                }
+                WorkloadEvent::Idle(IdleWindow::Micros(m)) => {
+                    out.push_str(&format!("IM {m}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a trace from the line-oriented text format produced by
+    /// [`QueryTrace::to_text`]. Blank lines and lines starting with `#` are
+    /// ignored.
+    pub fn from_text(text: &str) -> Result<Self, TraceParseError> {
+        let mut events = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let tag = parts.next().expect("non-empty line has a first token");
+            let parse = |s: Option<&str>, what: &str| -> Result<i64, TraceParseError> {
+                s.ok_or_else(|| TraceParseError {
+                    line: i + 1,
+                    message: format!("missing {what}"),
+                })?
+                .parse::<i64>()
+                .map_err(|e| TraceParseError {
+                    line: i + 1,
+                    message: format!("bad {what}: {e}"),
+                })
+            };
+            let event = match tag {
+                "Q" => {
+                    let column = parse(parts.next(), "column")?;
+                    let lo = parse(parts.next(), "lo")?;
+                    let hi = parse(parts.next(), "hi")?;
+                    if column < 0 {
+                        return Err(TraceParseError {
+                            line: i + 1,
+                            message: "column must be non-negative".to_string(),
+                        });
+                    }
+                    WorkloadEvent::Query(RangeQuery::new(column as usize, lo, hi))
+                }
+                "IA" => WorkloadEvent::Idle(IdleWindow::Actions(
+                    parse(parts.next(), "actions")?.max(0) as u64,
+                )),
+                "IM" => WorkloadEvent::Idle(IdleWindow::Micros(
+                    parse(parts.next(), "micros")?.max(0) as u64,
+                )),
+                other => {
+                    return Err(TraceParseError {
+                        line: i + 1,
+                        message: format!("unknown event tag `{other}`"),
+                    })
+                }
+            };
+            if parts.next().is_some() {
+                return Err(TraceParseError {
+                    line: i + 1,
+                    message: "trailing tokens".to_string(),
+                });
+            }
+            events.push(event);
+        }
+        Ok(QueryTrace { events })
+    }
+}
+
+impl IntoIterator for QueryTrace {
+    type Item = WorkloadEvent;
+    type IntoIter = std::vec::IntoIter<WorkloadEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> QueryTrace {
+        QueryTrace::from_events(vec![
+            WorkloadEvent::Idle(IdleWindow::Actions(100)),
+            WorkloadEvent::Query(RangeQuery::new(0, 10, 20)),
+            WorkloadEvent::Query(RangeQuery::new(3, -50, 50)),
+            WorkloadEvent::Idle(IdleWindow::Micros(2500)),
+            WorkloadEvent::Query(RangeQuery::new(1, 0, 1)),
+        ])
+    }
+
+    #[test]
+    fn text_round_trip_preserves_events() {
+        let trace = sample_trace();
+        let text = trace.to_text();
+        let parsed = QueryTrace::from_text(&text).unwrap();
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.len(), 5);
+        assert_eq!(parsed.query_count(), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored()  {
+        let text = "# a comment\n\nQ 0 1 2\n  \n# another\nIA 7\n";
+        let parsed = QueryTrace::from_text(text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.query_count(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = QueryTrace::from_text("Q 0 1 2\nX 9\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown event tag"));
+        let err = QueryTrace::from_text("Q 0 1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("missing hi"));
+        let err = QueryTrace::from_text("Q 0 1 2 3\n").unwrap_err();
+        assert!(err.message.contains("trailing"));
+        let err = QueryTrace::from_text("Q -1 1 2\n").unwrap_err();
+        assert!(err.message.contains("non-negative"));
+        let err = QueryTrace::from_text("IA abc\n").unwrap_err();
+        assert!(err.message.contains("bad actions"));
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut trace = QueryTrace::new();
+        assert!(trace.is_empty());
+        trace.push(WorkloadEvent::Query(RangeQuery::new(0, 1, 2)));
+        trace.push(WorkloadEvent::Idle(IdleWindow::Actions(1)));
+        let events: Vec<WorkloadEvent> = trace.clone().into_iter().collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(trace.events().len(), 2);
+    }
+
+    #[test]
+    fn negative_idle_budgets_clamp_to_zero() {
+        let parsed = QueryTrace::from_text("IA -5\n").unwrap();
+        assert_eq!(
+            parsed.events()[0],
+            WorkloadEvent::Idle(IdleWindow::Actions(0))
+        );
+    }
+}

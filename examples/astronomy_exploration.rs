@@ -1,0 +1,100 @@
+//! The paper's motivating scenario: an astronomy archive.
+//!
+//! New data arrives daily; scientists have a standing set of queries (good
+//! fit for offline-style preparation) but also explore interactively
+//! (unpredictable ranges, bursts of queries followed by idle time while
+//! they study the results). The holistic kernel serves all three phases
+//! with the same machinery:
+//!
+//! 1. a-priori idle time is spread over all columns as partial indexes,
+//! 2. exploratory queries crack further exactly where they need it,
+//! 3. think-time pauses between query bursts are exploited automatically by
+//!    the background tuner.
+//!
+//! Run with `cargo run --release --example astronomy_exploration -p holistic-core`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use holistic_core::background::{BackgroundConfig, BackgroundTuner};
+use holistic_core::{Database, HolisticConfig, IdleBudget, IndexingStrategy, Query};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const STARS: usize = 2_000_000;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1969);
+    let mut db = Database::new(HolisticConfig::default(), IndexingStrategy::Holistic);
+
+    // The star catalog: right ascension, declination, magnitude, redshift.
+    let columns: Vec<(&str, Vec<i64>)> = vec![
+        ("right_ascension", (0..STARS).map(|_| rng.gen_range(0..360_000)).collect()),
+        ("declination", (0..STARS).map(|_| rng.gen_range(-90_000..90_000)).collect()),
+        ("magnitude", (0..STARS).map(|_| rng.gen_range(-2_000..30_000)).collect()),
+        ("redshift_milli", (0..STARS).map(|_| rng.gen_range(0..8_000)).collect()),
+    ];
+    let table = db.create_table("stars", columns).unwrap();
+    let cols = db.column_ids(table).unwrap();
+    println!("loaded star catalog: {} rows x {} attributes", STARS, cols.len());
+
+    // Phase 1 — overnight idle time before the scientists arrive. Instead of
+    // fully sorting one or two attributes, spread partial indexing over all.
+    let report = db.run_idle(IdleBudget::Actions(2_000));
+    println!(
+        "overnight tuning: {} refinement actions across {} columns in {:?}",
+        report.actions_applied,
+        report.columns_touched.len(),
+        report.elapsed
+    );
+
+    // Phase 2 — interactive exploration: drill into a sky region, then refine
+    // by magnitude, then by redshift. Each query cracks exactly the ranges
+    // the scientist cares about.
+    let ra = cols[0];
+    let dec = cols[1];
+    let mag = cols[2];
+    let red = cols[3];
+    let drill_downs = [
+        (ra, 120_000, 125_000, "RA slice around 12h"),
+        (dec, 10_000, 20_000, "northern band"),
+        (mag, -2_000, 6_000, "bright objects"),
+        (red, 2_000, 2_200, "redshift window"),
+        (ra, 121_000, 122_000, "narrower RA slice"),
+        (mag, 0, 3_000, "very bright objects"),
+    ];
+    println!("\nexploratory session:");
+    for (col, lo, hi, label) in drill_downs {
+        let result = db.execute(&Query::range(col, lo, hi)).unwrap();
+        println!(
+            "  {label:<26} -> {:>8} objects in {:?}",
+            result.count, result.latency
+        );
+    }
+
+    // Phase 3 — the scientist reads plots for a while; the background tuner
+    // notices the pause and keeps refining the hottest attributes.
+    let shared = Arc::new(RwLock::new(db));
+    let tuner = BackgroundTuner::spawn(
+        Arc::clone(&shared),
+        BackgroundConfig {
+            idle_threshold: Duration::from_millis(5),
+            batch_actions: 128,
+            poll_interval: Duration::from_millis(1),
+        },
+    );
+    std::thread::sleep(Duration::from_millis(200)); // think time
+    let background_actions = tuner.stop();
+    println!("\nwhile the scientist was thinking, the background tuner applied {background_actions} refinement actions");
+
+    // Phase 4 — the next burst of queries benefits from everything above.
+    let mut db = Arc::try_unwrap(shared).expect("no other refs").into_inner();
+    let result = db.execute(&Query::range(ra, 120_500, 121_500)).unwrap();
+    println!(
+        "next-morning query on RA: {} objects in {:?} ({} pieces on RA)",
+        result.count,
+        result.latency,
+        db.piece_count(ra)
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: load a table, run range queries under holistic indexing, and
+//! watch the column get faster both from queries and from idle time.
+//!
+//! Run with `cargo run --release --example quickstart -p holistic-core`.
+
+use holistic_core::{
+    Database, HolisticConfig, IdleBudget, IndexingStrategy, Query,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // 1. Create an engine that uses holistic indexing for its selects.
+    let mut db = Database::new(HolisticConfig::default(), IndexingStrategy::Holistic);
+
+    // 2. Load a table: one million uniformly distributed integers.
+    let n: i64 = 1_000_000;
+    let mut rng = StdRng::seed_from_u64(7);
+    let values: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=n)).collect();
+    let table = db.create_table("readings", vec![("temperature", values)]).unwrap();
+    let col = db.column_id(table, "temperature").unwrap();
+
+    // 3. Run a few exploratory range queries. Every query physically
+    //    reorganizes ("cracks") the column a little, so queries get faster.
+    println!("query                         rows     latency       pieces");
+    for i in 0..8 {
+        let lo = 1 + i * (n / 10);
+        let hi = lo + n / 100;
+        let result = db.execute(&Query::range(col, lo, hi)).unwrap();
+        println!(
+            "[{lo:>9}, {hi:>9})  {:>9}  {:>9.1?}  {:>9}",
+            result.count,
+            result.latency,
+            db.piece_count(col)
+        );
+    }
+
+    // 4. The workload pauses. A holistic kernel spends the idle time on
+    //    auxiliary refinement actions, guided by the statistics it kept.
+    let report = db.run_idle(IdleBudget::Actions(500));
+    println!(
+        "\nidle window: applied {} refinement actions to {:?} in {:?}",
+        report.actions_applied, report.columns_touched, report.elapsed
+    );
+
+    // 5. Queries after the idle window are faster still.
+    let result = db.execute(&Query::range(col, n / 2, n / 2 + n / 100)).unwrap();
+    println!(
+        "\npost-idle query: {} rows in {:?} ({} pieces now)",
+        result.count,
+        result.latency,
+        db.piece_count(col)
+    );
+
+    // 6. The observed workload can be handed to the offline advisor at any
+    //    time, e.g. to decide whether a full index is worth building.
+    let summary = db.observed_workload().clone();
+    println!(
+        "\nobserved workload: {} queries over {} column(s)",
+        summary.total_queries(),
+        summary.column_count()
+    );
+}

@@ -1,0 +1,156 @@
+//! End-to-end tests of the advisory pipeline: workload knowledge (declared
+//! a priori or observed by the monitor) flows into the offline advisor, the
+//! online tuner, and the holistic ranking model, and each produces physical
+//! designs consistent with the knowledge.
+
+use holistic_core::{Database, HolisticConfig, IdleBudget, IndexingStrategy, Query};
+use holistic_offline::{Advisor, CostModel, OfflineIndexBuilder, SortedIndex, WorkloadSummary};
+use holistic_online::{ColtPolicy, OnlineTuner};
+use holistic_storage::{Column, ColumnId, TableId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 50_000;
+
+fn dataset(seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ROWS).map(|_| rng.gen_range(1..=ROWS as i64)).collect()
+}
+
+#[test]
+fn advisor_recommendations_respect_skew_and_budget() {
+    let advisor = Advisor::new();
+    let model = advisor.model().clone();
+    let mut workload = WorkloadSummary::new();
+    let hot = ColumnId::new(TableId(0), 0);
+    let warm = ColumnId::new(TableId(0), 1);
+    let cold = ColumnId::new(TableId(0), 2);
+    workload.declare(hot, 10_000, 0.01);
+    workload.declare(warm, 500, 0.01);
+    workload.declare(cold, 2, 0.01);
+
+    // Unlimited budget: hot and warm pay off, the two-query column does not.
+    let unlimited = advisor.recommend(&workload, |_| ROWS, f64::INFINITY);
+    let picked: Vec<ColumnId> = unlimited.iter().map(|r| r.column).collect();
+    assert!(picked.contains(&hot) && picked.contains(&warm));
+    assert!(!picked.contains(&cold));
+
+    // Budget for a single build: the hot column wins.
+    let single = advisor.recommend(&workload, |_| ROWS, model.full_build_cost(ROWS) * 1.2);
+    assert_eq!(single.len(), 1);
+    assert_eq!(single[0].column, hot);
+
+    // The builder materializes exactly what fits.
+    let columns: Vec<Column> = (0..3)
+        .map(|i| Column::from_values(format!("c{i}"), dataset(i as u64)))
+        .collect();
+    let outcome = OfflineIndexBuilder::new().build_within_budget(
+        &unlimited,
+        model.full_build_cost(ROWS) * 1.2,
+        |id| columns.get(id.column as usize),
+    );
+    assert_eq!(outcome.built.len(), 1);
+    assert!(outcome.built.contains_key(&hot));
+}
+
+#[test]
+fn what_if_costs_predict_the_right_winner() {
+    // The configuration the advisor prefers must actually be the faster one
+    // when executed by the engine.
+    let mut workload = WorkloadSummary::new();
+    let mut db_indexed = Database::new(HolisticConfig::default(), IndexingStrategy::Offline);
+    let mut db_scan = Database::new(HolisticConfig::default(), IndexingStrategy::ScanOnly);
+    let t1 = db_indexed.create_table("r", vec![("a", dataset(1))]).unwrap();
+    db_scan.create_table("r", vec![("a", dataset(1))]).unwrap();
+    let col = db_indexed.column_id(t1, "a").unwrap();
+    workload.declare(col, 500, 0.01);
+
+    let report = db_indexed.prepare_offline(&workload, None);
+    assert_eq!(report.built, vec![col]);
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let queries: Vec<(i64, i64)> = (0..200)
+        .map(|_| {
+            let lo = rng.gen_range(1..=(ROWS as i64 - 600));
+            (lo, lo + 500)
+        })
+        .collect();
+    let mut indexed_total = std::time::Duration::ZERO;
+    let mut scan_total = std::time::Duration::ZERO;
+    for &(lo, hi) in &queries {
+        indexed_total += db_indexed.execute(&Query::range(col, lo, hi)).unwrap().latency;
+        scan_total += db_scan.execute(&Query::range(col, lo, hi)).unwrap().latency;
+    }
+    assert!(
+        indexed_total < scan_total,
+        "index probes ({indexed_total:?}) should beat scans ({scan_total:?})"
+    );
+}
+
+#[test]
+fn online_tuner_and_sorted_index_agree_with_the_base_data() {
+    let values = dataset(3);
+    let base = Column::from_values("a", values.clone());
+    let model = CostModel::new();
+    let mut policy = ColtPolicy::new();
+    policy.horizon_epochs = 8.0;
+    let mut tuner = OnlineTuner::with_policy(20, policy);
+    let col = ColumnId::new(TableId(0), 0);
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..100 {
+        let lo = rng.gen_range(1..=(ROWS as i64 - 600));
+        tuner.record_and_tune(col, lo, lo + 500, 0.01, model.scan_cost(ROWS), |_| {
+            Some(base.clone())
+        });
+    }
+    assert!(tuner.has_index(col), "hot column should have been indexed online");
+    let idx = tuner.index(col).unwrap();
+    for _ in 0..20 {
+        let lo = rng.gen_range(1..=(ROWS as i64 - 600));
+        let expected = values.iter().filter(|&&v| v >= lo && v < lo + 500).count() as u64;
+        assert_eq!(idx.count(lo, lo + 500), expected);
+    }
+}
+
+#[test]
+fn holistic_knowledge_flows_into_the_advisor_and_back() {
+    // Observe a workload holistically, ask the advisor what to build with a
+    // limited budget, build it, and verify the holistic engine uses it.
+    let mut db = Database::new(HolisticConfig::default(), IndexingStrategy::Holistic);
+    let t = db
+        .create_table("r", vec![("a", dataset(5)), ("b", dataset(6))])
+        .unwrap();
+    let cols = db.column_ids(t).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..150 {
+        let col = if i % 10 == 0 { cols[1] } else { cols[0] };
+        let lo = rng.gen_range(1..=(ROWS as i64 - 600));
+        db.execute(&Query::range(col, lo, lo + 500)).unwrap();
+    }
+    db.run_idle(IdleBudget::Actions(100));
+
+    let summary = db.observed_workload().clone();
+    let advisor = Advisor::new();
+    let picks = advisor.recommend(&summary, |_| ROWS, advisor.model().full_build_cost(ROWS) * 1.5);
+    assert_eq!(picks.len(), 1);
+    assert_eq!(picks[0].column, cols[0], "the hot column should be picked");
+    db.build_full_index(picks[0].column).unwrap();
+    let r = db.execute(&Query::range(cols[0], 100, 600)).unwrap();
+    assert_eq!(r.path, holistic_core::AccessPath::FullIndex);
+    // The cold column keeps being served adaptively.
+    let r = db.execute(&Query::range(cols[1], 100, 600)).unwrap();
+    assert_eq!(r.path, holistic_core::AccessPath::Crack);
+}
+
+#[test]
+fn sorted_index_and_scan_agree_on_arbitrary_data() {
+    let values = dataset(8);
+    let idx = SortedIndex::build_from_values(&values);
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..100 {
+        let lo = rng.gen_range(-100..=(ROWS as i64 + 100));
+        let hi = lo + rng.gen_range(0..2_000);
+        let expected = values.iter().filter(|&&v| v >= lo && v < hi).count() as u64;
+        assert_eq!(idx.count(lo, hi), expected);
+    }
+}

@@ -1,0 +1,205 @@
+//! Integration tests for the holistic machinery itself: idle-time
+//! exploitation, the ranking model end to end, hot-range boosting and the
+//! background tuner — the behaviours that distinguish holistic indexing
+//! from its three ancestors.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use holistic_core::background::{BackgroundConfig, BackgroundTuner};
+use holistic_core::{
+    Database, HolisticConfig, IdleBudget, IndexingStrategy, Query,
+};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 30_000;
+
+fn dataset(seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ROWS).map(|_| rng.gen_range(1..=ROWS as i64)).collect()
+}
+
+fn holistic_db(columns: usize) -> (Database, Vec<holistic_core::ColumnId>) {
+    let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+    let names: Vec<String> = (0..columns).map(|i| format!("a{i}")).collect();
+    let data: Vec<(&str, Vec<i64>)> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), dataset(i as u64)))
+        .collect();
+    let t = db.create_table("r", data).unwrap();
+    let cols = db.column_ids(t).unwrap();
+    (db, cols)
+}
+
+#[test]
+fn idle_time_reduces_future_query_work() {
+    // Two identical engines see the same queries; one gets idle time first.
+    let queries: Vec<(i64, i64)> = {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..100)
+            .map(|_| {
+                let lo = rng.gen_range(1..=(ROWS as i64 - ROWS as i64 / 50));
+                (lo, lo + ROWS as i64 / 50)
+            })
+            .collect()
+    };
+    let (mut tuned, tuned_cols) = holistic_db(1);
+    let (mut untuned, untuned_cols) = holistic_db(1);
+    // Warm both with one query (so statistics exist), then grant idle time
+    // to only one of them.
+    tuned.execute(&Query::range(tuned_cols[0], 1, 100)).unwrap();
+    untuned.execute(&Query::range(untuned_cols[0], 1, 100)).unwrap();
+    let report = tuned.run_idle(IdleBudget::Actions(500));
+    assert!(report.actions_applied > 0);
+    let pieces_after_idle = tuned.piece_count(tuned_cols[0]);
+    assert!(pieces_after_idle > untuned.piece_count(untuned_cols[0]));
+    // Both answer the workload identically.
+    for &(lo, hi) in &queries {
+        let a = tuned.execute(&Query::range(tuned_cols[0], lo, hi)).unwrap();
+        let b = untuned
+            .execute(&Query::range(untuned_cols[0], lo, hi))
+            .unwrap();
+        assert_eq!(a.count, b.count);
+    }
+    // The tuned engine enters the workload with (much) finer pieces, so its
+    // query-driven cracking has less left to do.
+    assert!(pieces_after_idle >= 100 || report.converged);
+}
+
+#[test]
+fn ranking_prefers_frequently_queried_columns() {
+    let (mut db, cols) = holistic_db(4);
+    // Column 0 is hot, column 3 is never touched.
+    for i in 0..30 {
+        let lo = 1 + (i * 700) % (ROWS as i64 - 600);
+        db.execute(&Query::range(cols[0], lo, lo + 500)).unwrap();
+        if i % 10 == 0 {
+            db.execute(&Query::range(cols[1], lo, lo + 500)).unwrap();
+        }
+    }
+    db.run_idle(IdleBudget::Actions(200));
+    let hot = db.stats().column(cols[0]).unwrap().auxiliary_actions;
+    let cold = db.stats().column(cols[3]).unwrap().auxiliary_actions;
+    assert!(
+        hot >= cold,
+        "hot column got {hot} auxiliary actions, cold column got {cold}"
+    );
+    assert!(db.piece_count(cols[0]) >= db.piece_count(cols[3]));
+}
+
+#[test]
+fn idle_tuning_converges_and_stops() {
+    let (mut db, cols) = holistic_db(2);
+    db.execute(&Query::range(cols[0], 1, 500)).unwrap();
+    let mut total_actions = 0u64;
+    let mut converged = false;
+    for _ in 0..200 {
+        let report = db.run_idle(IdleBudget::Actions(500));
+        total_actions += report.actions_applied;
+        if report.converged {
+            converged = true;
+            break;
+        }
+    }
+    assert!(converged, "tuning never converged after {total_actions} actions");
+    // Once converged, further idle time is a no-op.
+    let after = db.run_idle(IdleBudget::Actions(100));
+    assert!(after.converged);
+    assert_eq!(after.actions_applied, 0);
+    // Every column ends with pieces at or below the cache target (on average).
+    for &c in &cols {
+        let activity = db.stats().column(c).unwrap();
+        assert!(
+            activity.avg_piece_len <= db.config().cache_piece_target as f64 * 2.0,
+            "column {c} still has avg piece {}",
+            activity.avg_piece_len
+        );
+    }
+}
+
+#[test]
+fn hot_range_boost_refines_exactly_the_hot_region() {
+    let (mut db, cols) = holistic_db(1);
+    let hot_lo = ROWS as i64 / 2;
+    let hot_hi = hot_lo + ROWS as i64 / 100;
+    for _ in 0..12 {
+        db.execute(&Query::range(cols[0], hot_lo, hot_hi)).unwrap();
+    }
+    let aux = db.stats().column(cols[0]).unwrap().auxiliary_actions;
+    assert!(aux > 0, "hot range must trigger boost cracks");
+    // Counts stay correct while boosting happens.
+    let reference = {
+        let (mut scan_db, scan_cols) = {
+            let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::ScanOnly);
+            let t = db.create_table("r", vec![("a0", dataset(0))]).unwrap();
+            let cols = db.column_ids(t).unwrap();
+            (db, cols)
+        };
+        scan_db
+            .execute(&Query::range(scan_cols[0], hot_lo, hot_hi))
+            .unwrap()
+            .count
+    };
+    let again = db.execute(&Query::range(cols[0], hot_lo, hot_hi)).unwrap();
+    assert_eq!(again.count, reference);
+}
+
+#[test]
+fn background_tuner_and_foreground_queries_coexist() {
+    let (mut db, cols) = holistic_db(2);
+    db.execute(&Query::range(cols[0], 1, 300)).unwrap();
+    let shared = Arc::new(RwLock::new(db));
+    let tuner = BackgroundTuner::spawn(
+        Arc::clone(&shared),
+        BackgroundConfig {
+            idle_threshold: Duration::from_millis(1),
+            batch_actions: 16,
+            poll_interval: Duration::from_micros(200),
+        },
+    );
+    // Interleave short bursts of queries with idle gaps.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut expected_counts = Vec::new();
+    for burst in 0..5 {
+        for _ in 0..10 {
+            let lo = rng.gen_range(1..=(ROWS as i64 - 400));
+            let count = shared
+                .write()
+                .execute(&Query::range(cols[burst % 2], lo, lo + 300))
+                .unwrap()
+                .count;
+            expected_counts.push((burst % 2, lo, count));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let background_actions = tuner.stop();
+    assert!(background_actions > 0, "idle gaps should have been exploited");
+    // Replay the recorded queries: answers must be unchanged by background work.
+    let mut db = Arc::try_unwrap(shared).expect("tuner stopped").into_inner();
+    for (col, lo, count) in expected_counts {
+        let again = db.execute(&Query::range(cols[col], lo, lo + 300)).unwrap();
+        assert_eq!(again.count, count);
+    }
+}
+
+#[test]
+fn observed_workload_can_drive_offline_preparation_later() {
+    // "Some idle time and enough knowledge": knowledge gathered online is fed
+    // into the offline machinery when a big idle window appears.
+    let (mut db, cols) = holistic_db(3);
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..60 {
+        let lo = rng.gen_range(1..=(ROWS as i64 - 700));
+        db.execute(&Query::range(cols[0], lo, lo + 600)).unwrap();
+    }
+    let summary = db.observed_workload().clone();
+    assert!(summary.column(cols[0]).unwrap().queries >= 60);
+    // A long idle window appears: build the full index the knowledge asks for.
+    let report = db.prepare_offline(&summary, None);
+    assert!(report.built.contains(&cols[0]));
+    let r = db.execute(&Query::range(cols[0], 100, 800)).unwrap();
+    assert_eq!(r.path, holistic_core::AccessPath::FullIndex);
+}

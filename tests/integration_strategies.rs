@@ -1,0 +1,221 @@
+//! Integration tests spanning the whole stack: the same workload replayed
+//! under every indexing strategy must return identical answers, while the
+//! auxiliary structures each strategy builds differ in the expected ways.
+
+use holistic_core::{
+    AccessPath, Database, HolisticConfig, IndexingStrategy, Query,
+};
+use holistic_offline::WorkloadSummary;
+use holistic_workload::{QueryGenerator, RoundRobinColumns, UniformRangeGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROWS: usize = 20_000;
+const COLUMNS: usize = 3;
+
+fn dataset(seed: u64) -> Vec<i64> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ROWS).map(|_| rng.gen_range(1..=ROWS as i64)).collect()
+}
+
+fn build_db(strategy: IndexingStrategy) -> (Database, Vec<holistic_core::ColumnId>) {
+    let mut db = Database::new(HolisticConfig::for_testing(), strategy);
+    let data: Vec<(&str, Vec<i64>)> = vec![
+        ("a", dataset(1)),
+        ("b", dataset(2)),
+        ("c", dataset(3)),
+    ];
+    let t = db.create_table("r", data).unwrap();
+    let cols = db.column_ids(t).unwrap();
+    (db, cols)
+}
+
+fn workload(queries: usize) -> Vec<holistic_workload::RangeQuery> {
+    let inner = UniformRangeGenerator::new(0, 1, ROWS as i64 + 1, 0.02);
+    let mut generator = RoundRobinColumns::new(inner, COLUMNS);
+    let mut rng = StdRng::seed_from_u64(99);
+    generator.generate(queries, &mut rng)
+}
+
+#[test]
+fn all_strategies_agree_on_query_results() {
+    let queries = workload(120);
+    // Reference answers from the scan-only engine.
+    let (mut reference_db, ref_cols) = build_db(IndexingStrategy::ScanOnly);
+    let reference: Vec<(u64, i128)> = queries
+        .iter()
+        .map(|q| {
+            let r = reference_db
+                .execute(&Query::range(ref_cols[q.column], q.lo, q.hi))
+                .unwrap();
+            (r.count, r.sum)
+        })
+        .collect();
+
+    for strategy in [
+        IndexingStrategy::Offline,
+        IndexingStrategy::Online,
+        IndexingStrategy::Adaptive,
+        IndexingStrategy::Holistic,
+    ] {
+        let (mut db, cols) = build_db(strategy);
+        if strategy == IndexingStrategy::Offline {
+            // Offline gets its full indexes up front, as it would in practice.
+            let mut summary = WorkloadSummary::new();
+            for &c in &cols {
+                summary.declare(c, 100, 0.02);
+            }
+            let report = db.prepare_offline(&summary, None);
+            assert_eq!(report.built.len(), COLUMNS);
+        }
+        for (q, expected) in queries.iter().zip(reference.iter()) {
+            let r = db
+                .execute(&Query::range(cols[q.column], q.lo, q.hi))
+                .unwrap();
+            assert_eq!((r.count, r.sum), *expected, "{strategy} disagrees on {q:?}");
+        }
+    }
+}
+
+#[test]
+fn strategies_build_the_expected_auxiliary_structures() {
+    let queries = workload(60);
+
+    let (mut scan_db, scan_cols) = build_db(IndexingStrategy::ScanOnly);
+    let (mut adaptive_db, adaptive_cols) = build_db(IndexingStrategy::Adaptive);
+    let (mut offline_db, offline_cols) = build_db(IndexingStrategy::Offline);
+    let mut summary = WorkloadSummary::new();
+    for &c in &offline_cols {
+        summary.declare(c, 100, 0.02);
+    }
+    offline_db.prepare_offline(&summary, None);
+
+    for q in &queries {
+        scan_db
+            .execute(&Query::range(scan_cols[q.column], q.lo, q.hi))
+            .unwrap();
+        adaptive_db
+            .execute(&Query::range(adaptive_cols[q.column], q.lo, q.hi))
+            .unwrap();
+        offline_db
+            .execute(&Query::range(offline_cols[q.column], q.lo, q.hi))
+            .unwrap();
+    }
+
+    // Scan: nothing gets built.
+    for &c in &scan_cols {
+        assert_eq!(scan_db.piece_count(c), 0);
+        assert!(!scan_db.has_full_index(c));
+    }
+    let (s, i, cr) = scan_db.metrics().path_breakdown();
+    assert_eq!((s, i, cr), (60, 0, 0));
+
+    // Adaptive: cracker columns exist and keep refining with every query.
+    for &c in &adaptive_cols {
+        assert!(adaptive_db.piece_count(c) >= 2);
+        assert!(!adaptive_db.has_full_index(c));
+    }
+    let (s, i, cr) = adaptive_db.metrics().path_breakdown();
+    assert_eq!((s, i, cr), (0, 0, 60));
+
+    // Offline: full indexes answer everything, no cracking happens.
+    for &c in &offline_cols {
+        assert!(offline_db.has_full_index(c));
+        assert_eq!(offline_db.piece_count(c), 0);
+    }
+    let (s, i, cr) = offline_db.metrics().path_breakdown();
+    assert_eq!((s, i, cr), (0, 60, 0));
+}
+
+#[test]
+fn adaptive_queries_get_faster_as_the_column_is_cracked() {
+    let (mut db, cols) = build_db(IndexingStrategy::Adaptive);
+    // Hammer a single column with many queries; compare early vs late work.
+    let inner = UniformRangeGenerator::new(0, 1, ROWS as i64 + 1, 0.02);
+    let mut generator = inner;
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..200 {
+        let q = generator.next_query(&mut rng);
+        db.execute(&Query::range(cols[0], q.lo, q.hi)).unwrap();
+    }
+    // Piece counts must have grown substantially, and the average piece must
+    // have shrunk by at least an order of magnitude.
+    assert!(db.piece_count(cols[0]) > 50);
+    let activity = db.stats().column(cols[0]).unwrap();
+    assert!(activity.avg_piece_len < ROWS as f64 / 10.0);
+}
+
+#[test]
+fn offline_with_zero_budget_degenerates_to_scanning() {
+    let (mut db, cols) = build_db(IndexingStrategy::Offline);
+    let mut summary = WorkloadSummary::new();
+    for &c in &cols {
+        summary.declare(c, 100, 0.02);
+    }
+    let report = db.prepare_offline(&summary, Some(std::time::Duration::ZERO));
+    assert!(report.built.is_empty());
+    let r = db.execute(&Query::range(cols[0], 10, 500)).unwrap();
+    assert_eq!(r.path, AccessPath::Scan);
+}
+
+#[test]
+fn results_are_identical_with_and_without_rowid_payloads() {
+    let queries = workload(40);
+    let mut with_rowids = Database::new(
+        HolisticConfig::for_testing().with_rowids(true),
+        IndexingStrategy::Holistic,
+    );
+    let mut without_rowids = Database::new(
+        HolisticConfig::for_testing().with_rowids(false),
+        IndexingStrategy::Holistic,
+    );
+    for db in [&mut with_rowids, &mut without_rowids] {
+        db.create_table("r", vec![("a", dataset(1)), ("b", dataset(2)), ("c", dataset(3))])
+            .unwrap();
+    }
+    let cols_a = with_rowids.column_ids(holistic_core::TableId(0)).unwrap();
+    let cols_b = without_rowids.column_ids(holistic_core::TableId(0)).unwrap();
+    for q in &queries {
+        let a = with_rowids
+            .execute(&Query::range(cols_a[q.column], q.lo, q.hi))
+            .unwrap();
+        let b = without_rowids
+            .execute(&Query::range(cols_b[q.column], q.lo, q.hi))
+            .unwrap();
+        assert_eq!((a.count, a.sum), (b.count, b.sum));
+    }
+}
+
+#[test]
+fn stochastic_policies_do_not_change_query_answers() {
+    use holistic_core::CrackPolicy;
+    let queries = workload(60);
+    let (mut reference_db, ref_cols) = build_db(IndexingStrategy::ScanOnly);
+    let reference: Vec<u64> = queries
+        .iter()
+        .map(|q| {
+            reference_db
+                .execute(&Query::range(ref_cols[q.column], q.lo, q.hi))
+                .unwrap()
+                .count
+        })
+        .collect();
+    for policy in [CrackPolicy::ddc(), CrackPolicy::ddr(), CrackPolicy::Mdd1r] {
+        let mut db = Database::new(
+            HolisticConfig::for_testing().with_crack_policy(policy),
+            IndexingStrategy::Holistic,
+        );
+        let t = db
+            .create_table("r", vec![("a", dataset(1)), ("b", dataset(2)), ("c", dataset(3))])
+            .unwrap();
+        let cols = db.column_ids(t).unwrap();
+        for (q, want) in queries.iter().zip(reference.iter()) {
+            let got = db
+                .execute(&Query::range(cols[q.column], q.lo, q.hi))
+                .unwrap()
+                .count;
+            assert_eq!(got, *want, "policy {policy:?} wrong on {q:?}");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Integration tests for the update path (cracking under pending
+//! inserts/deletes) and for concurrent access to cracker columns — the two
+//! substrate features the paper inherits from the adaptive-indexing
+//! literature ([11] updates, [7] concurrency control).
+
+use std::sync::Arc;
+
+use holistic_cracking::{ConcurrentCrackerColumn, UpdatableCrackerColumn};
+use holistic_storage::Column;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dataset(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(1..=n as i64)).collect()
+}
+
+fn scan_count(values: &[i64], lo: i64, hi: i64) -> u64 {
+    values.iter().filter(|&&v| v >= lo && v < hi).count() as u64
+}
+
+#[test]
+fn updatable_cracker_column_tracks_a_mutating_reference_set() {
+    let n = 10_000;
+    let mut reference = dataset(n, 1);
+    let mut column = UpdatableCrackerColumn::from_values(reference.clone());
+    let mut rng = StdRng::seed_from_u64(2);
+
+    for round in 0..200 {
+        match round % 4 {
+            // Query a random range.
+            0 | 2 => {
+                let lo = rng.gen_range(1..=(n as i64 - 200));
+                let hi = lo + rng.gen_range(1..500);
+                assert_eq!(
+                    column.count(lo, hi),
+                    scan_count(&reference, lo, hi),
+                    "round {round}"
+                );
+            }
+            // Insert a batch of new values.
+            1 => {
+                for _ in 0..5 {
+                    let v = rng.gen_range(1..=(2 * n as i64));
+                    column.insert(v);
+                    reference.push(v);
+                }
+            }
+            // Delete a few existing values.
+            _ => {
+                for _ in 0..3 {
+                    if reference.is_empty() {
+                        break;
+                    }
+                    let idx = rng.gen_range(0..reference.len());
+                    let v = reference.swap_remove(idx);
+                    column.delete(v);
+                }
+            }
+        }
+        assert!(column.validate(), "invariants broken at round {round}");
+    }
+    // Flush everything and compare the full contents.
+    column.merge_all();
+    assert_eq!(column.count(i64::MIN, i64::MAX), reference.len() as u64);
+    let range = column.select(i64::MIN, i64::MAX);
+    let mut got = column.view(range).to_vec();
+    got.sort_unstable();
+    reference.sort_unstable();
+    assert_eq!(got, reference);
+}
+
+#[test]
+fn base_column_is_never_modified_by_cracking() {
+    let values = dataset(5_000, 3);
+    let base = Column::from_values("a", values.clone());
+    let concurrent = ConcurrentCrackerColumn::from_column(&base, false);
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..50 {
+        let lo = rng.gen_range(1..=4_000);
+        concurrent.count(lo, lo + 500);
+        concurrent.random_crack(&mut rng);
+    }
+    // The cracker has reorganized heavily…
+    assert!(concurrent.piece_count() > 20);
+    // …but the base column still holds the original data, in original order.
+    assert_eq!(base.values(), &values[..]);
+}
+
+#[test]
+fn concurrent_readers_writers_and_tuners_agree_with_a_scan() {
+    let n = 50_000;
+    let values = dataset(n, 5);
+    let expected: Vec<(i64, i64, u64)> = (0..24)
+        .map(|i| {
+            let lo = 1 + (i * 2003) % (n as i64 - 1000);
+            let hi = lo + 997;
+            (lo, hi, scan_count(&values, lo, hi))
+        })
+        .collect();
+    let column = Arc::new(ConcurrentCrackerColumn::from_values(values));
+    let mut handles = Vec::new();
+    // Query threads.
+    for t in 0..3u64 {
+        let column = Arc::clone(&column);
+        let expected = expected.clone();
+        handles.push(std::thread::spawn(move || {
+            for round in 0..10 {
+                for &(lo, hi, want) in &expected {
+                    assert_eq!(column.count(lo, hi), want, "thread {t} round {round}");
+                    let materialized = column.materialize(lo, hi);
+                    assert_eq!(materialized.len() as u64, want);
+                    assert!(materialized.iter().all(|&v| v >= lo && v < hi));
+                }
+            }
+        }));
+    }
+    // A dedicated idle-time tuner thread hammering refinements in parallel.
+    {
+        let column = Arc::clone(&column);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(99);
+            for _ in 0..500 {
+                column.random_crack(&mut rng);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    assert!(column.validate());
+    let stats = column.latch_stats();
+    assert_eq!(stats.refinements, 500);
+    assert!(stats.shared_selects > 0);
+}
+
+#[test]
+fn updates_interleaved_with_idle_style_merging() {
+    // Proactive merging during idle time (merge_range on cold ranges) must
+    // not change query answers.
+    let n = 8_000;
+    let mut reference = dataset(n, 6);
+    let mut column = UpdatableCrackerColumn::from_values(reference.clone());
+    let mut rng = StdRng::seed_from_u64(7);
+    for v in 0..200 {
+        let value = rng.gen_range(1..=n as i64);
+        column.insert(value);
+        reference.push(value);
+        if v % 10 == 0 {
+            // Idle time: merge an arbitrary slice of the pending updates.
+            let lo = rng.gen_range(1..=n as i64 / 2);
+            column.merge_range(lo, lo + n as i64 / 4);
+        }
+        if v % 7 == 0 {
+            let lo = rng.gen_range(1..=(n as i64 - 300));
+            assert_eq!(column.count(lo, lo + 250), scan_count(&reference, lo, lo + 250));
+        }
+    }
+    column.merge_all();
+    assert_eq!(column.count(0, i64::MAX), reference.len() as u64);
+    assert!(column.validate());
+}
