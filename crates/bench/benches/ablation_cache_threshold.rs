@@ -46,7 +46,8 @@ fn latency_vs_piece_size(n: usize) {
         let start = Instant::now();
         for i in 0..probes {
             let lo = 1 + (i as i64 * 9973) % (n as i64 - n as i64 / 100);
-            db.execute(&Query::range(col, lo, lo + n as i64 / 100)).unwrap();
+            db.execute(&Query::range(col, lo, lo + n as i64 / 100))
+                .unwrap();
         }
         let avg_latency = start.elapsed().as_micros() as f64 / f64::from(probes);
         let pieces = db.piece_count(col).max(1);
@@ -61,7 +62,9 @@ fn latency_vs_piece_size(n: usize) {
 }
 
 fn stop_condition_effort(n: usize) {
-    println!("Idle-tuning effort until convergence, with and without the cache-size stop condition:");
+    println!(
+        "Idle-tuning effort until convergence, with and without the cache-size stop condition:"
+    );
     println!(
         "{:>24} {:>16} {:>16}",
         "cache_piece_target", "actions spent", "tuning time (ms)"
@@ -76,7 +79,8 @@ fn stop_condition_effort(n: usize) {
         let mut db = Database::new(config, IndexingStrategy::Holistic);
         let t = db.create_table("r", vec![("a", values)]).unwrap();
         let col = db.column_id(t, "a").unwrap();
-        db.execute(&Query::range(col, 1, 1 + n as i64 / 100)).unwrap();
+        db.execute(&Query::range(col, 1, 1 + n as i64 / 100))
+            .unwrap();
         // Give effectively unlimited idle time and let the stop condition
         // decide when tuning is done.
         let mut total_actions = 0u64;

@@ -10,9 +10,7 @@
 
 use holistic_bench::{build_database, print_totals, replay_session, scale};
 use holistic_core::{HolisticConfig, IndexingStrategy};
-use holistic_workload::{
-    ArrivalModel, QueryGenerator, SessionBuilder, ZipfRangeGenerator,
-};
+use holistic_workload::{ArrivalModel, QueryGenerator, SessionBuilder, ZipfRangeGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,22 +23,28 @@ fn main() {
 
     let mut generator = ZipfRangeGenerator::new(0, 1, n as i64 + 1, 0.001, 64, 1.2);
     let mut rng = StdRng::seed_from_u64(21);
-    let events =
-        SessionBuilder::new(ArrivalModel::Steady).build(&mut generator, queries, &mut rng);
+    let events = SessionBuilder::new(ArrivalModel::Steady).build(&mut generator, queries, &mut rng);
     // Sanity check that the generator produces usable queries.
     let mut probe_rng = StdRng::seed_from_u64(22);
     assert!(generator.next_query(&mut probe_rng).hi > 0);
 
-    let mut boosted_cfg = HolisticConfig::default();
-    boosted_cfg.hot_range_query_threshold = 4;
-    boosted_cfg.boost_cracks_per_query = 4;
+    let boosted_cfg = HolisticConfig {
+        hot_range_query_threshold: 4,
+        boost_cracks_per_query: 4,
+        ..HolisticConfig::default()
+    };
     let (mut boosted_db, cols) = build_database(IndexingStrategy::Holistic, boosted_cfg, 1, n);
     let mut boosted = replay_session(&mut boosted_db, &cols, &events, false);
     boosted.strategy = "boost-on".to_string();
-    let boosted_aux = boosted_db.stats().column(cols[0]).map_or(0, |c| c.auxiliary_actions);
+    let boosted_aux = boosted_db
+        .stats()
+        .column(cols[0])
+        .map_or(0, |c| c.auxiliary_actions);
 
-    let mut plain_cfg = HolisticConfig::default();
-    plain_cfg.boost_cracks_per_query = 0;
+    let plain_cfg = HolisticConfig {
+        boost_cracks_per_query: 0,
+        ..HolisticConfig::default()
+    };
     let (mut plain_db, plain_cols) = build_database(IndexingStrategy::Holistic, plain_cfg, 1, n);
     let mut plain = replay_session(&mut plain_db, &plain_cols, &events, false);
     plain.strategy = "boost-off".to_string();

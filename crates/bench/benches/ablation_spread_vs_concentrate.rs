@@ -27,8 +27,7 @@ fn main() {
     let inner = UniformRangeGenerator::new(0, 1, n as i64 + 1, 0.01);
     let mut generator = RoundRobinColumns::new(inner, COLUMNS);
     let mut rng = StdRng::seed_from_u64(11);
-    let events =
-        SessionBuilder::new(ArrivalModel::Steady).build(&mut generator, queries, &mut rng);
+    let events = SessionBuilder::new(ArrivalModel::Steady).build(&mut generator, queries, &mut rng);
 
     // Concentrate: all actions go to the first column.
     let (mut concentrate_db, cols) = build_database(

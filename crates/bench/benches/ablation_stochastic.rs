@@ -10,9 +10,9 @@
 use std::time::Instant;
 
 use holistic_bench::scale;
+use holistic_bench::uniform_column;
 use holistic_cracking::stochastic::crack_select_with_policy;
 use holistic_cracking::{CrackPolicy, CrackerColumn};
-use holistic_bench::uniform_column;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -56,5 +56,7 @@ fn main() {
         );
         assert!(total > 0, "workload must return rows");
     }
-    println!("(plain cracking leaves one huge unindexed tail piece; the stochastic variants do not)");
+    println!(
+        "(plain cracking leaves one huge unindexed tail piece; the stochastic variants do not)"
+    );
 }

@@ -38,9 +38,12 @@ fn run_for_x(n: usize, queries: usize, x: u64) {
     // queries with exactly the same idle windows.
     let mut generator = UniformRangeGenerator::new(0, 1, n as i64 + 1, 0.01);
     let mut rng = StdRng::seed_from_u64(42 + x);
-    let events = SessionBuilder::new(ArrivalModel::PeriodicIdle { every: 100, actions: x })
-        .with_initial_idle(IdleWindow::Actions(x))
-        .build(&mut generator, queries, &mut rng);
+    let events = SessionBuilder::new(ArrivalModel::PeriodicIdle {
+        every: 100,
+        actions: x,
+    })
+    .with_initial_idle(IdleWindow::Actions(x))
+    .build(&mut generator, queries, &mut rng);
 
     // --- Holistic: exploits every idle window. -------------------------
     let (mut holistic_db, cols) =
@@ -76,8 +79,11 @@ fn run_for_x(n: usize, queries: usize, x: u64) {
 
     let outcomes = vec![scan, offline, cracking, holistic];
     print_series(
-        &format!("Figure 3, X={x} (T_init≈{:.1} ms, T_sort≈{:.1} ms)",
-                 t_init.as_secs_f64() * 1e3, t_sort.as_secs_f64() * 1e3),
+        &format!(
+            "Figure 3, X={x} (T_init≈{:.1} ms, T_sort≈{:.1} ms)",
+            t_init.as_secs_f64() * 1e3,
+            t_sort.as_secs_f64() * 1e3
+        ),
         &outcomes,
     );
     print_totals(&format!("Table 2 column X={x}"), &outcomes);

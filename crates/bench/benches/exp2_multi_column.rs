@@ -35,8 +35,7 @@ fn main() {
     let inner = UniformRangeGenerator::new(0, 1, n as i64 + 1, 0.01);
     let mut generator = RoundRobinColumns::new(inner, COLUMNS);
     let mut rng = StdRng::seed_from_u64(2012);
-    let events =
-        SessionBuilder::new(ArrivalModel::Steady).build(&mut generator, queries, &mut rng);
+    let events = SessionBuilder::new(ArrivalModel::Steady).build(&mut generator, queries, &mut rng);
 
     // --- Offline: build as many full indexes as the budget allows. ------
     let (mut offline_db, offline_cols) = build_database(
@@ -82,7 +81,10 @@ fn main() {
     let holistic = replay_session(&mut holistic_db, &holistic_cols, &events, false);
 
     let outcomes = vec![offline, holistic];
-    print_series("Figure 4: cumulative response time, offline vs holistic", &outcomes);
+    print_series(
+        "Figure 4: cumulative response time, offline vs holistic",
+        &outcomes,
+    );
     print_totals("Figure 4 totals", &outcomes);
     let ratio = outcomes[0].total_query_time.as_secs_f64()
         / outcomes[1].total_query_time.as_secs_f64().max(1e-9);

@@ -9,9 +9,7 @@
 
 use holistic_bench::{build_database, replay_session};
 use holistic_core::{strategy_timeline, HolisticConfig, IndexingStrategy};
-use holistic_workload::{
-    ArrivalModel, IdleWindow, SessionBuilder, UniformRangeGenerator,
-};
+use holistic_workload::{ArrivalModel, IdleWindow, SessionBuilder, UniformRangeGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,9 +33,12 @@ fn main() {
     let n = 200_000;
     let mut generator = UniformRangeGenerator::new(0, 1, n as i64 + 1, 0.01);
     let mut rng = StdRng::seed_from_u64(1);
-    let events = SessionBuilder::new(ArrivalModel::PeriodicIdle { every: 50, actions: 200 })
-        .with_initial_idle(IdleWindow::Actions(200))
-        .build(&mut generator, 200, &mut rng);
+    let events = SessionBuilder::new(ArrivalModel::PeriodicIdle {
+        every: 50,
+        actions: 200,
+    })
+    .with_initial_idle(IdleWindow::Actions(200))
+    .build(&mut generator, 200, &mut rng);
 
     println!("Concrete session (N={n}, 200 queries, idle window every 50 queries):");
     println!(

@@ -1,10 +1,22 @@
-//! Criterion micro-benchmarks for the partitioning kernels: the cost of a
-//! single crack pass vs a full sort, which is the asymmetry the whole
-//! adaptive-indexing argument rests on (one crack pass is O(n), a full sort
-//! is O(n log n) and pays off only after many queries).
+//! Criterion micro-benchmarks for the partitioning kernels.
+//!
+//! Two questions are answered here:
+//!
+//! 1. The classic adaptive-indexing asymmetry: one crack pass is O(n), a
+//!    full sort is O(n log n) — the cost gap the whole cracking argument
+//!    rests on (`full_sort` baselines).
+//! 2. The branchy-vs-predicated trade-off across piece sizes: the branchy
+//!    two-pointer loop mispredicts on uniform-random data, the predicated
+//!    Lomuto loop executes a fixed instruction stream. The head-to-head
+//!    sweep locates the crossover that justifies `CrackKernel::Auto`'s
+//!    piece-length threshold, and the `auto` rows verify the dispatcher
+//!    tracks the better kernel at every size.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use holistic_cracking::{crack_in_three, crack_in_two};
+use holistic_cracking::kernels::{
+    crack_in_three, crack_in_three_pred, crack_in_two, crack_in_two_pred, crack_in_two_with_rowids,
+    crack_in_two_with_rowids_pred, CrackKernel,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -13,22 +25,91 @@ fn dataset(n: usize) -> Vec<i64> {
     (0..n).map(|_| rng.gen_range(1..=n as i64)).collect()
 }
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crack_kernels");
-    for &n in &[100_000usize, 1_000_000] {
+/// Piece sizes swept by the branchy-vs-predicated comparison: from well
+/// inside L1 (1 Ki values = 8 KiB) to far out of cache (4 Mi values).
+const PIECE_SIZES: [usize; 7] = [
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+];
+
+fn bench_crack_in_two_head_to_head(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crack_in_two");
+    for &n in &PIECE_SIZES {
         let data = dataset(n);
+        let pivot = n as i64 / 2;
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("crack_in_two", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("branchy", n), &n, |b, _| {
             b.iter_batched(
                 || data.clone(),
-                |mut d| black_box(crack_in_two(&mut d, n as i64 / 2)),
+                |mut d| black_box(crack_in_two(&mut d, pivot)),
                 criterion::BatchSize::LargeInput,
             );
         });
-        group.bench_with_input(BenchmarkId::new("crack_in_three", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("predicated", n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| black_box(crack_in_two_pred(&mut d, pivot)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        let auto = CrackKernel::auto();
+        group.bench_with_input(BenchmarkId::new("auto", n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| black_box(auto.crack_in_two(&mut d, pivot)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_crack_in_two_with_rowids(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crack_in_two_rowids");
+    for &n in &[1 << 14, 1 << 20] {
+        let data = dataset(n);
+        let rowids: Vec<u32> = (0..n as u32).collect();
+        let pivot = n as i64 / 2;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("branchy", n), &n, |b, _| {
+            b.iter_batched(
+                || (data.clone(), rowids.clone()),
+                |(mut d, mut r)| black_box(crack_in_two_with_rowids(&mut d, &mut r, pivot)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("predicated", n), &n, |b, _| {
+            b.iter_batched(
+                || (data.clone(), rowids.clone()),
+                |(mut d, mut r)| black_box(crack_in_two_with_rowids_pred(&mut d, &mut r, pivot)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_crack_in_three_and_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crack_in_three_and_sort");
+    for &n in &[100_000usize, 1_000_000] {
+        let data = dataset(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("three_branchy", n), &n, |b, _| {
             b.iter_batched(
                 || data.clone(),
                 |mut d| black_box(crack_in_three(&mut d, n as i64 / 3, 2 * n as i64 / 3)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("three_predicated", n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| black_box(crack_in_three_pred(&mut d, n as i64 / 3, 2 * n as i64 / 3)),
                 criterion::BatchSize::LargeInput,
             );
         });
@@ -49,6 +130,7 @@ fn bench_kernels(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_kernels
+    targets = bench_crack_in_two_head_to_head, bench_crack_in_two_with_rowids,
+        bench_crack_in_three_and_sort
 }
 criterion_main!(benches);

@@ -1,11 +1,14 @@
 //! Criterion micro-benchmarks for a single range select under the different
-//! access paths: full scan, binary search on a full sorted index, and a
-//! cracked column at different stages of refinement.
+//! access paths: full scan (count / sum / full materialization), binary
+//! search on a full sorted index, and a cracked column at different stages
+//! of refinement — the latter once per kernel dispatch policy, so the
+//! branchy and predicated physical forms (and the `auto` dispatcher) can be
+//! compared on the exact same query stream.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use holistic_cracking::CrackerColumn;
+use holistic_cracking::{CrackKernel, CrackerColumn};
 use holistic_offline::SortedIndex;
-use holistic_storage::scan_count;
+use holistic_storage::{scan_count, scan_full, scan_sum};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -17,11 +20,42 @@ fn dataset() -> Vec<i64> {
     (0..N).map(|_| rng.gen_range(1..=N as i64)).collect()
 }
 
-fn cracked_column(refinements: u64) -> CrackerColumn {
-    let mut cracker = CrackerColumn::from_values(dataset());
+fn cracked_column(refinements: u64, kernel: CrackKernel) -> CrackerColumn {
+    let mut cracker = CrackerColumn::from_values(dataset()).with_kernel(kernel);
     let mut rng = StdRng::seed_from_u64(4);
     cracker.random_cracks(refinements, &mut rng);
     cracker
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("bulk_scan");
+
+    group.bench_function("count", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let lo = rng.gen_range(1..=(N as i64 - SELECTIVITY));
+            black_box(scan_count(&data, lo, lo + SELECTIVITY))
+        });
+    });
+
+    group.bench_function("sum", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let lo = rng.gen_range(1..=(N as i64 - SELECTIVITY));
+            black_box(scan_sum(&data, lo, lo + SELECTIVITY))
+        });
+    });
+
+    group.bench_function("full", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let lo = rng.gen_range(1..=(N as i64 - SELECTIVITY));
+            black_box(scan_full(&data, lo, lo + SELECTIVITY).count)
+        });
+    });
+
+    group.finish();
 }
 
 fn bench_selects(c: &mut Criterion) {
@@ -45,19 +79,29 @@ fn bench_selects(c: &mut Criterion) {
         });
     });
 
-    for &refinements in &[0u64, 64, 1024] {
-        let mut cracker = cracked_column(refinements);
-        group.bench_with_input(
-            BenchmarkId::new("cracked_after_refinements", refinements),
-            &refinements,
-            |b, _| {
-                let mut rng = StdRng::seed_from_u64(7);
-                b.iter(|| {
-                    let lo = rng.gen_range(1..=(N as i64 - SELECTIVITY));
-                    black_box(cracker.crack_count(lo, lo + SELECTIVITY))
-                });
-            },
-        );
+    // The cracked select under every kernel policy. The per-query cost is
+    // dominated by the first cracks of large pieces, which is exactly where
+    // the predicated kernels pull ahead.
+    let kernels = [
+        ("cracked_branchy", CrackKernel::Branchy),
+        ("cracked_predicated", CrackKernel::Predicated),
+        ("cracked_auto", CrackKernel::auto()),
+    ];
+    for (name, kernel) in kernels {
+        for &refinements in &[0u64, 64, 1024] {
+            group.bench_with_input(
+                BenchmarkId::new(name, refinements),
+                &refinements,
+                |b, &refinements| {
+                    let mut cracker = cracked_column(refinements, kernel);
+                    let mut rng = StdRng::seed_from_u64(7);
+                    b.iter(|| {
+                        let lo = rng.gen_range(1..=(N as i64 - SELECTIVITY));
+                        black_box(cracker.crack_count(lo, lo + SELECTIVITY))
+                    });
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -65,6 +109,6 @@ fn bench_selects(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_selects
+    targets = bench_scans, bench_selects
 }
 criterion_main!(benches);

@@ -48,7 +48,11 @@ fn main() {
         for phase in strategy_timeline(strategy) {
             println!(
                 "    [{}] {}",
-                if phase.during_workload { "during" } else { "before" },
+                if phase.during_workload {
+                    "during"
+                } else {
+                    "before"
+                },
                 phase.label
             );
         }

@@ -58,9 +58,12 @@ fn main() {
 fn totals_for_x(n: usize, queries: usize, x: u64) -> [Duration; 4] {
     let mut generator = UniformRangeGenerator::new(0, 1, n as i64 + 1, 0.01);
     let mut rng = StdRng::seed_from_u64(7 + x);
-    let events = SessionBuilder::new(ArrivalModel::PeriodicIdle { every: 100, actions: x })
-        .with_initial_idle(IdleWindow::Actions(x))
-        .build(&mut generator, queries, &mut rng);
+    let events = SessionBuilder::new(ArrivalModel::PeriodicIdle {
+        every: 100,
+        actions: x,
+    })
+    .with_initial_idle(IdleWindow::Actions(x))
+    .build(&mut generator, queries, &mut rng);
 
     let (mut holistic_db, cols) =
         build_database(IndexingStrategy::Holistic, HolisticConfig::default(), 1, n);

@@ -87,6 +87,8 @@ pub struct RunOutcome {
     pub build_time: Duration,
     /// Auxiliary refinement actions applied.
     pub auxiliary_actions: u64,
+    /// Crack-kernel dispatches, split by physical form (branchy/predicated).
+    pub kernel_dispatches: holistic_core::KernelDispatches,
 }
 
 impl RunOutcome {
@@ -120,9 +122,7 @@ pub fn replay_session(
                 if exploit_idle {
                     let budget = match window {
                         IdleWindow::Actions(a) => IdleBudget::Actions(*a),
-                        IdleWindow::Micros(m) => {
-                            IdleBudget::Duration(Duration::from_micros(*m))
-                        }
+                        IdleWindow::Micros(m) => IdleBudget::Duration(Duration::from_micros(*m)),
                     };
                     db.run_idle(budget);
                 }
@@ -137,6 +137,7 @@ pub fn replay_session(
         tuning_time: metrics.tuning_time(),
         build_time: metrics.build_time(),
         auxiliary_actions: metrics.auxiliary_actions(),
+        kernel_dispatches: metrics.kernel_dispatches(),
     }
 }
 
@@ -190,17 +191,21 @@ pub fn print_series(title: &str, outcomes: &[RunOutcome]) {
 pub fn print_totals(title: &str, outcomes: &[RunOutcome]) {
     println!("\n--- {title}: totals ---");
     println!(
-        "{:>12} {:>16} {:>16} {:>16} {:>12}",
-        "strategy", "queries (ms)", "tuning (ms)", "builds (ms)", "aux actions"
+        "{:>12} {:>16} {:>16} {:>16} {:>12} {:>18}",
+        "strategy", "queries (ms)", "tuning (ms)", "builds (ms)", "aux actions", "cracks (br/pred)"
     );
     for o in outcomes {
         println!(
-            "{:>12} {:>16.1} {:>16.1} {:>16.1} {:>12}",
+            "{:>12} {:>16.1} {:>16.1} {:>16.1} {:>12} {:>18}",
             o.strategy,
             o.total_query_time.as_secs_f64() * 1e3,
             o.tuning_time.as_secs_f64() * 1e3,
             o.build_time.as_secs_f64() * 1e3,
-            o.auxiliary_actions
+            o.auxiliary_actions,
+            format!(
+                "{}/{}",
+                o.kernel_dispatches.branchy, o.kernel_dispatches.predicated
+            ),
         );
     }
 }
@@ -225,7 +230,7 @@ mod tests {
     fn uniform_column_matches_paper_domain() {
         let c = uniform_column(10_000, 1);
         assert_eq!(c.len(), 10_000);
-        assert!(c.iter().all(|&v| v >= 1 && v <= 10_000));
+        assert!(c.iter().all(|&v| (1..=10_000).contains(&v)));
         // Deterministic for a fixed seed.
         assert_eq!(c, uniform_column(10_000, 1));
         assert_ne!(c, uniform_column(10_000, 2));

@@ -145,7 +145,10 @@ mod tests {
         // Simulate an idle stretch.
         std::thread::sleep(Duration::from_millis(60));
         let applied = tuner.stop();
-        assert!(applied > 0, "background tuner should have refined something");
+        assert!(
+            applied > 0,
+            "background tuner should have refined something"
+        );
         assert!(db.read().piece_count(col) > 2);
         // Queries still answer correctly afterwards.
         let r = db.write().execute(&Query::range(col, 1000, 2000)).unwrap();
@@ -177,7 +180,10 @@ mod tests {
     fn dropping_the_handle_stops_the_thread() {
         let (db, _col) = shared_db(1_000);
         let tuner = BackgroundTuner::spawn(Arc::clone(&db), BackgroundConfig::default());
-        assert_eq!(tuner.actions_applied(), tuner.actions.load(Ordering::Relaxed));
+        assert_eq!(
+            tuner.actions_applied(),
+            tuner.actions.load(Ordering::Relaxed)
+        );
         drop(tuner);
         // Reaching this point without hanging is the assertion.
     }

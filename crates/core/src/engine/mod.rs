@@ -252,11 +252,8 @@ impl Database {
         };
         self.stats.record_query(q.column, q.lo, q.hi, selectivity);
         if let Some(cracker) = self.crackers.get(&q.column) {
-            self.stats.record_refinement(
-                q.column,
-                cracker.piece_count(),
-                cracker.avg_piece_len(),
-            );
+            self.stats
+                .record_refinement(q.column, cracker.piece_count(), cracker.avg_piece_len());
         }
 
         // Online indexing: monitoring + epoch-based tuning. The time spent
@@ -309,18 +306,13 @@ impl Database {
         if q.is_empty_range() {
             return Ok((AccessPath::Scan, 0, 0, q.materialize.then(Vec::new)));
         }
-        let mut count = 0u64;
-        let mut sum = 0i128;
-        let mut out = if q.materialize { Some(Vec::new()) } else { None };
-        for &v in values {
-            if v >= q.lo && v < q.hi {
-                count += 1;
-                sum += i128::from(v);
-                if let Some(out) = out.as_mut() {
-                    out.push(v);
-                }
-            }
-        }
+        // Route through the storage layer's chunked, auto-vectorizable scan
+        // kernels so the scan baseline shares the branch-free pipeline.
+        let count = holistic_storage::scan_count(values, q.lo, q.hi);
+        let sum = holistic_storage::scan_sum(values, q.lo, q.hi);
+        let out = q
+            .materialize
+            .then(|| holistic_storage::scan_materialize(values, q.lo, q.hi));
         Ok((AccessPath::Scan, count, sum, out))
     }
 
@@ -352,14 +344,17 @@ impl Database {
         let keep_rowids = self.config.keep_rowids;
         if !self.crackers.contains_key(&q.column) {
             let base = self.catalog.column(q.column)?;
-            self.crackers
-                .insert(q.column, CrackerColumn::from_column(base, keep_rowids));
+            self.crackers.insert(
+                q.column,
+                CrackerColumn::from_column(base, keep_rowids).with_kernel(self.config.crack_kernel),
+            );
         }
         let policy = self.config.crack_policy;
         let cracker = self
             .crackers
             .get_mut(&q.column)
             .expect("inserted or already present");
+        let dispatches_before = cracker.kernel_dispatches();
         let range = crack_select_with_policy(cracker, q.lo, q.hi, policy, &mut self.rng);
         let view = cracker.view(range.clone());
         let count = view.len() as u64;
@@ -388,6 +383,8 @@ impl Database {
                 }
             }
         }
+        let delta = cracker.kernel_dispatches().since(dispatches_before);
+        self.metrics.add_kernel_dispatches(delta);
         Ok((AccessPath::Crack, count, sum, values))
     }
 
@@ -447,16 +444,21 @@ impl Database {
         let keep_rowids = self.config.keep_rowids;
         if !self.crackers.contains_key(&column) {
             let base = self.catalog.column(column)?;
-            self.crackers
-                .insert(column, CrackerColumn::from_column(base, keep_rowids));
+            self.crackers.insert(
+                column,
+                CrackerColumn::from_column(base, keep_rowids).with_kernel(self.config.crack_kernel),
+            );
         }
         let cracker = self
             .crackers
             .get_mut(&column)
             .expect("inserted or already present");
+        let dispatches_before = cracker.kernel_dispatches();
         cracker.random_crack(&mut self.rng);
         let pieces = cracker.piece_count();
         let avg = cracker.avg_piece_len();
+        let delta = cracker.kernel_dispatches().since(dispatches_before);
+        self.metrics.add_kernel_dispatches(delta);
         self.stats.record_refinement(column, pieces, avg);
         self.stats.record_auxiliary_actions(column, 1);
         Ok(())
@@ -510,9 +512,8 @@ impl Database {
     ) -> OfflineBuildReport {
         let advisor = Advisor::with_model(self.cost_model.clone());
         let catalog = &self.catalog;
-        let candidates = advisor.candidates(workload, |id| {
-            catalog.column(id).map_or(0, |c| c.len())
-        });
+        let candidates =
+            advisor.candidates(workload, |id| catalog.column(id).map_or(0, |c| c.len()));
         let mut report = OfflineBuildReport::default();
         let start = Instant::now();
         let mut builds = 0u32;
@@ -583,7 +584,11 @@ mod tests {
             let (mut db, col, values) = setup(strategy, 5000);
             for &(lo, hi) in &[(100, 200), (0, 5000), (4000, 4100), (300, 250)] {
                 let r = db.execute(&Query::range(col, lo, hi)).unwrap();
-                assert_eq!(r.count, scan_count(&values, lo, hi), "{strategy} [{lo},{hi})");
+                assert_eq!(
+                    r.count,
+                    scan_count(&values, lo, hi),
+                    "{strategy} [{lo},{hi})"
+                );
                 let expected_sum: i128 = values
                     .iter()
                     .filter(|&&v| v >= lo && v < hi)
@@ -689,7 +694,8 @@ mod tests {
         let col_b = db.column_id(t, "b").unwrap();
         // Only column a is queried.
         for i in 0..5 {
-            db.execute(&Query::range(col_a, i * 100, i * 100 + 80)).unwrap();
+            db.execute(&Query::range(col_a, i * 100, i * 100 + 80))
+                .unwrap();
         }
         let report = db.run_idle(IdleBudget::Actions(20));
         assert_eq!(report.actions_applied, 20);
@@ -793,6 +799,40 @@ mod tests {
         assert!(db.build_full_index(bogus).is_err());
         assert!(db.warm_column(bogus, 1).is_err());
         assert!(db.column_id(TableId(99), "a").is_err());
+    }
+
+    #[test]
+    fn kernel_policy_is_threaded_into_crackers_and_counted() {
+        use holistic_cracking::CrackKernel;
+        for (kernel, expect_predicated) in [
+            (CrackKernel::Branchy, false),
+            (CrackKernel::Predicated, true),
+        ] {
+            let values = dataset(5000);
+            let config = HolisticConfig::for_testing().with_crack_kernel(kernel);
+            let mut db = Database::new(config, IndexingStrategy::Adaptive);
+            let t = db.create_table("r", vec![("a", values.clone())]).unwrap();
+            let col = db.column_id(t, "a").unwrap();
+            for i in 0..5 {
+                let r = db
+                    .execute(&Query::range(col, i * 100, i * 100 + 80))
+                    .unwrap();
+                assert_eq!(r.count, scan_count(&values, i * 100, i * 100 + 80));
+            }
+            let d = db.metrics().kernel_dispatches();
+            assert!(d.total() >= 5, "{kernel}: at least one dispatch per query");
+            if expect_predicated {
+                assert_eq!(d.branchy, 0, "{kernel}");
+                assert!(d.predicated > 0, "{kernel}");
+            } else {
+                assert_eq!(d.predicated, 0, "{kernel}");
+                assert!(d.branchy > 0, "{kernel}");
+            }
+            // Idle-time refinement also dispatches kernels and is counted.
+            let before = db.metrics().kernel_dispatches().total();
+            db.run_idle(IdleBudget::Actions(8));
+            assert!(db.metrics().kernel_dispatches().total() >= before);
+        }
     }
 
     #[test]

@@ -136,7 +136,11 @@ mod tests {
             latency: Duration::ZERO,
         };
         assert_eq!(r.mean(), Some(5.0));
-        let empty = QueryResult { count: 0, sum: 0, ..r };
+        let empty = QueryResult {
+            count: 0,
+            sum: 0,
+            ..r
+        };
         assert_eq!(empty.mean(), None);
     }
 }

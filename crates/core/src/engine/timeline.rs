@@ -108,9 +108,7 @@ mod tests {
 
     #[test]
     fn only_idle_aware_strategies_exploit_idle_time() {
-        let exploits = |s: IndexingStrategy| {
-            strategy_timeline(s).iter().any(|p| p.exploits_idle)
-        };
+        let exploits = |s: IndexingStrategy| strategy_timeline(s).iter().any(|p| p.exploits_idle);
         assert!(!exploits(IndexingStrategy::ScanOnly));
         assert!(!exploits(IndexingStrategy::Adaptive));
         assert!(exploits(IndexingStrategy::Offline));

@@ -69,6 +69,6 @@ pub use ranking::RankingModel;
 pub use stats::{ColumnActivity, KernelStatistics};
 pub use strategy::{IndexingStrategy, StrategyFeatures};
 
-pub use holistic_cracking::CrackPolicy;
+pub use holistic_cracking::{CrackKernel, CrackPolicy, KernelChoice, KernelDispatches};
 pub use holistic_offline::CostModel;
 pub use holistic_storage::{ColumnId, TableId, Value};

@@ -8,6 +8,7 @@
 
 use std::time::Duration;
 
+use holistic_cracking::KernelDispatches;
 use holistic_storage::ColumnId;
 
 use crate::engine::query::AccessPath;
@@ -34,6 +35,7 @@ pub struct EngineMetrics {
     tuning_time: Duration,
     offline_build_time: Duration,
     auxiliary_actions: u64,
+    kernel_dispatches: KernelDispatches,
 }
 
 impl EngineMetrics {
@@ -57,6 +59,18 @@ impl EngineMetrics {
     /// Adds time spent building full (offline/online) indexes.
     pub fn add_build_time(&mut self, d: Duration) {
         self.offline_build_time += d;
+    }
+
+    /// Accumulates crack-kernel dispatch counts (branchy vs. predicated).
+    pub fn add_kernel_dispatches(&mut self, delta: KernelDispatches) {
+        self.kernel_dispatches.add(delta);
+    }
+
+    /// Crack-kernel dispatches recorded so far, split by physical form —
+    /// lets benches report which kernel path actually served a workload.
+    #[must_use]
+    pub fn kernel_dispatches(&self) -> KernelDispatches {
+        self.kernel_dispatches
     }
 
     /// All query records, in execution order.
@@ -131,6 +145,7 @@ impl EngineMetrics {
         self.tuning_time = Duration::ZERO;
         self.offline_build_time = Duration::ZERO;
         self.auxiliary_actions = 0;
+        self.kernel_dispatches = KernelDispatches::default();
     }
 }
 
@@ -186,9 +201,30 @@ mod tests {
         let mut m = EngineMetrics::new();
         m.record_query(record(0, 1, AccessPath::Scan));
         m.add_tuning_time(Duration::from_micros(5), 1);
+        m.add_kernel_dispatches(KernelDispatches {
+            branchy: 2,
+            predicated: 3,
+        });
         m.reset();
         assert_eq!(m.query_count(), 0);
         assert_eq!(m.tuning_time(), Duration::ZERO);
         assert_eq!(m.auxiliary_actions(), 0);
+        assert_eq!(m.kernel_dispatches(), KernelDispatches::default());
+    }
+
+    #[test]
+    fn kernel_dispatches_accumulate() {
+        let mut m = EngineMetrics::new();
+        m.add_kernel_dispatches(KernelDispatches {
+            branchy: 1,
+            predicated: 0,
+        });
+        m.add_kernel_dispatches(KernelDispatches {
+            branchy: 0,
+            predicated: 4,
+        });
+        let d = m.kernel_dispatches();
+        assert_eq!((d.branchy, d.predicated), (1, 4));
+        assert_eq!(d.total(), 5);
     }
 }

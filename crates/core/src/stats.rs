@@ -71,7 +71,11 @@ impl ColumnActivity {
         };
         let b_lo = to_bucket(lo.max(pmin));
         let b_hi = to_bucket((hi - 1).min(pmax));
-        self.hot_buckets[b_lo..=b_hi].iter().copied().max().unwrap_or(0)
+        self.hot_buckets[b_lo..=b_hi]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     fn record_predicate(&mut self, lo: Value, hi: Value) {
@@ -211,7 +215,7 @@ impl KernelStatistics {
     pub fn is_hot_range(&self, id: ColumnId, lo: Value, hi: Value, threshold: u64) -> bool {
         self.columns
             .get(&id)
-            .map_or(false, |a| a.hot_hits(lo, hi) >= threshold)
+            .is_some_and(|a| a.hot_hits(lo, hi) >= threshold)
     }
 }
 

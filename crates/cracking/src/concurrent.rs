@@ -235,7 +235,10 @@ mod tests {
         assert!(column.piece_count() > 16);
         let stats = column.latch_stats();
         assert!(stats.refinements == 4 * 8 * 5);
-        assert!(stats.shared_selects > 0, "expected some shared-path selects");
+        assert!(
+            stats.shared_selects > 0,
+            "expected some shared-path selects"
+        );
     }
 
     #[test]

@@ -8,9 +8,7 @@ use rand::Rng;
 use holistic_storage::Column;
 
 use crate::index::PieceIndex;
-use crate::kernels::{
-    crack_in_three, crack_in_three_with_rowids, crack_in_two, crack_in_two_with_rowids,
-};
+use crate::kernels::{CrackKernel, KernelChoice, KernelDispatches};
 use crate::piece::Piece;
 use crate::{RowId, Value};
 
@@ -31,6 +29,8 @@ pub struct CrackerColumn {
     rowids: Option<Vec<RowId>>,
     index: PieceIndex,
     cracks_performed: u64,
+    kernel: CrackKernel,
+    dispatches: KernelDispatches,
 }
 
 impl CrackerColumn {
@@ -43,6 +43,8 @@ impl CrackerColumn {
             rowids: None,
             index: PieceIndex::new(len),
             cracks_performed: 0,
+            kernel: CrackKernel::default(),
+            dispatches: KernelDispatches::default(),
         }
     }
 
@@ -56,7 +58,33 @@ impl CrackerColumn {
             data: values,
             index: PieceIndex::new(len),
             cracks_performed: 0,
+            kernel: CrackKernel::default(),
+            dispatches: KernelDispatches::default(),
         }
+    }
+
+    /// Sets the kernel dispatch policy (builder style).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: CrackKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the kernel dispatch policy.
+    pub fn set_kernel(&mut self, kernel: CrackKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The active kernel dispatch policy.
+    #[must_use]
+    pub fn kernel(&self) -> CrackKernel {
+        self.kernel
+    }
+
+    /// Running totals of kernel dispatches, split by physical form.
+    #[must_use]
+    pub fn kernel_dispatches(&self) -> KernelDispatches {
+        self.dispatches
     }
 
     /// Creates a cracker column by copying a base [`Column`].
@@ -141,13 +169,27 @@ impl CrackerColumn {
             self.index.split(idx, pos, v);
             return pos;
         }
-        let off = match &mut self.rowids {
-            Some(rowids) => crack_in_two_with_rowids(
+        let choice = self.kernel.choose(p.len());
+        self.dispatches.record(choice);
+        let off = match (&mut self.rowids, choice) {
+            (Some(rowids), KernelChoice::Branchy) => crate::kernels::crack_in_two_with_rowids(
                 &mut self.data[p.start..p.end],
                 &mut rowids[p.start..p.end],
                 v,
             ),
-            None => crack_in_two(&mut self.data[p.start..p.end], v),
+            (Some(rowids), KernelChoice::Predicated) => {
+                crate::kernels::crack_in_two_with_rowids_pred(
+                    &mut self.data[p.start..p.end],
+                    &mut rowids[p.start..p.end],
+                    v,
+                )
+            }
+            (None, KernelChoice::Branchy) => {
+                crate::kernels::crack_in_two(&mut self.data[p.start..p.end], v)
+            }
+            (None, KernelChoice::Predicated) => {
+                crate::kernels::crack_in_two_pred(&mut self.data[p.start..p.end], v)
+            }
         };
         let pos = p.start + off;
         self.index.split(idx, pos, v);
@@ -171,14 +213,31 @@ impl CrackerColumn {
             if a == b && !lo_resolved && !hi_resolved && !self.index.piece(a).sorted {
                 // Both bounds land in the same unsorted piece: one pass.
                 let p = self.index.piece(a);
-                let (off_a, off_b) = match &mut self.rowids {
-                    Some(rowids) => crack_in_three_with_rowids(
-                        &mut self.data[p.start..p.end],
-                        &mut rowids[p.start..p.end],
-                        lo,
-                        hi,
-                    ),
-                    None => crack_in_three(&mut self.data[p.start..p.end], lo, hi),
+                let choice = self.kernel.choose(p.len());
+                self.dispatches.record(choice);
+                let (off_a, off_b) = match (&mut self.rowids, choice) {
+                    (Some(rowids), KernelChoice::Branchy) => {
+                        crate::kernels::crack_in_three_with_rowids(
+                            &mut self.data[p.start..p.end],
+                            &mut rowids[p.start..p.end],
+                            lo,
+                            hi,
+                        )
+                    }
+                    (Some(rowids), KernelChoice::Predicated) => {
+                        crate::kernels::crack_in_three_with_rowids_pred(
+                            &mut self.data[p.start..p.end],
+                            &mut rowids[p.start..p.end],
+                            lo,
+                            hi,
+                        )
+                    }
+                    (None, KernelChoice::Branchy) => {
+                        crate::kernels::crack_in_three(&mut self.data[p.start..p.end], lo, hi)
+                    }
+                    (None, KernelChoice::Predicated) => {
+                        crate::kernels::crack_in_three_pred(&mut self.data[p.start..p.end], lo, hi)
+                    }
                 };
                 let abs_a = p.start + off_a;
                 let abs_b = p.start + off_b;
@@ -316,7 +375,9 @@ impl CrackerColumn {
     }
 
     /// (Internal) mutable access for the updates module.
-    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<Value>, Option<&mut Vec<RowId>>, &mut PieceIndex) {
+    pub(crate) fn parts_mut(
+        &mut self,
+    ) -> (&mut Vec<Value>, Option<&mut Vec<RowId>>, &mut PieceIndex) {
         (&mut self.data, self.rowids.as_mut(), &mut self.index)
     }
 }
@@ -415,7 +476,10 @@ mod tests {
         let mut c = CrackerColumn::from_values((0..1000).rev().collect());
         let mut rng = StdRng::seed_from_u64(42);
         let effective = c.random_cracks(50, &mut rng);
-        assert!(effective > 10, "expected most random actions to split, got {effective}");
+        assert!(
+            effective > 10,
+            "expected most random actions to split, got {effective}"
+        );
         assert!(c.piece_count() > 10);
         assert!(c.validate());
         // Queries remain correct after arbitrary refinement.
@@ -462,12 +526,55 @@ mod tests {
 
     #[test]
     fn duplicate_heavy_data_stays_correct() {
-        let values: Vec<Value> = std::iter::repeat([5, 5, 7, 7, 7, 9]).take(20).flatten().collect();
+        let values: Vec<Value> = std::iter::repeat_n([5, 5, 7, 7, 7, 9], 20)
+            .flatten()
+            .collect();
         let mut c = CrackerColumn::from_values(values.clone());
         for &(lo, hi) in &[(5, 6), (7, 8), (5, 8), (6, 7), (9, 10), (0, 100)] {
             let r = c.crack_select(lo, hi);
             assert_eq!((r.end - r.start) as u64, scan_count(&values, lo, hi));
             assert!(c.validate());
+        }
+    }
+
+    #[test]
+    fn kernel_policy_is_respected_and_dispatches_are_counted() {
+        use crate::kernels::CrackKernel;
+        for kernel in [CrackKernel::Branchy, CrackKernel::Predicated] {
+            let mut c = CrackerColumn::from_values(sample()).with_kernel(kernel);
+            assert_eq!(c.kernel(), kernel);
+            assert_eq!(c.kernel_dispatches().total(), 0);
+            let r = c.crack_select(5, 12);
+            assert_eq!((r.end - r.start) as u64, scan_count(&sample(), 5, 12));
+            assert!(c.validate());
+            let d = c.kernel_dispatches();
+            assert!(d.total() >= 1);
+            match kernel {
+                CrackKernel::Branchy => assert_eq!(d.predicated, 0),
+                CrackKernel::Predicated => assert_eq!(d.branchy, 0),
+                CrackKernel::Auto { .. } => unreachable!(),
+            }
+        }
+        // Auto on a tiny column always resolves to the branchy form.
+        let mut c = CrackerColumn::from_values(sample());
+        c.set_kernel(CrackKernel::auto());
+        let _ = c.crack_select(5, 12);
+        assert_eq!(c.kernel_dispatches().predicated, 0);
+        assert!(c.kernel_dispatches().branchy >= 1);
+    }
+
+    #[test]
+    fn predicated_kernel_answers_match_branchy_across_a_query_sequence() {
+        let queries = [(5, 12), (1, 4), (10, 20), (0, 25), (7, 8), (13, 14)];
+        let mut branchy =
+            CrackerColumn::from_values(sample()).with_kernel(crate::kernels::CrackKernel::Branchy);
+        let mut pred = CrackerColumn::from_values(sample())
+            .with_kernel(crate::kernels::CrackKernel::Predicated);
+        for &(lo, hi) in &queries {
+            let rb = branchy.crack_select(lo, hi);
+            let rp = pred.crack_select(lo, hi);
+            assert_eq!(rb.end - rb.start, rp.end - rp.start, "[{lo},{hi})");
+            assert!(branchy.validate() && pred.validate());
         }
     }
 

@@ -117,7 +117,7 @@ impl PieceIndex {
         }
         let idx = self
             .pieces
-            .partition_point(|p| p.hi.map_or(false, |hi| hi <= v));
+            .partition_point(|p| p.hi.is_some_and(|hi| hi <= v));
         Some(idx.min(self.pieces.len() - 1))
     }
 
@@ -287,7 +287,9 @@ impl PieceIndex {
                 }
             }
         }
-        self.pieces.iter().all(|p| !p.is_empty() && p.validate(data))
+        self.pieces
+            .iter()
+            .all(|p| !p.is_empty() && p.validate(data))
     }
 }
 

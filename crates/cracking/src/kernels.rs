@@ -3,16 +3,57 @@
 //! These are the physical reorganization primitives of database cracking:
 //! `crack_in_two` splits a piece around one pivot (used when a query bound
 //! falls into a piece), `crack_in_three` splits a piece around two pivots in
-//! a single pass (used when both bounds of a range query fall into the same
-//! piece). Both exist in a plain form and in a form that permutes a parallel
-//! row-id array, which is what enables tuple reconstruction (projections of
-//! other attributes) after cracking.
+//! a single logical step (used when both bounds of a range query fall into
+//! the same piece). Both exist in a plain form and in a form that permutes a
+//! parallel row-id array, which is what enables tuple reconstruction
+//! (projections of other attributes) after cracking.
+//!
+//! # Range contract
+//!
+//! Every kernel and every caller in this crate uses **half-open ranges**:
+//! a bound pair `(lo, hi)` always means the value interval `[lo, hi)` —
+//! `lo` inclusive, `hi` exclusive. Concretely:
+//!
+//! * `crack_in_two(data, pivot)` puts values `< pivot` on the left and
+//!   values `>= pivot` on the right, returning the index of the first
+//!   value `>= pivot`;
+//! * `crack_in_three(data, lo, hi)` produces the regions `< lo`,
+//!   `[lo, hi)` and `>= hi`;
+//! * a **degenerate** bound pair with `hi <= lo` denotes the empty interval:
+//!   every `crack_in_three` variant (branchy and predicated, with and
+//!   without row ids) then performs exactly one `crack_in_two` at `lo` and
+//!   returns `(a, a)` — the data is still usefully partitioned at `lo`, the
+//!   middle region is empty, and the only boundary a caller may record in a
+//!   piece index is the one for `lo` (no boundary for `hi` materializes).
+//!
+//! # Branchy vs. predicated
+//!
+//! Each kernel comes in two physical flavors:
+//!
+//! * the **branchy** reference form (`crack_in_two`, …) uses the classic
+//!   two-pointer / Dutch-national-flag loops whose `if value < pivot`
+//!   branch is data-dependent — on uniform-random pieces it mispredicts
+//!   roughly every other element, stalling the pipeline;
+//! * the **predicated** form (`crack_in_two_pred`, …) replaces the branch
+//!   with arithmetic on the comparison result: an unconditional swap plus a
+//!   cursor advanced by `(value < pivot) as usize`. Every iteration executes
+//!   the same instruction stream, so there is nothing to mispredict, at the
+//!   price of always paying the swap's loads and stores.
+//!
+//! Mispredict stalls dominate on large out-of-cache pieces, while the extra
+//! memory traffic of predication is felt most when a piece is cache
+//! resident — the same cache-threshold reasoning the holistic kernel's
+//! ranking model uses. [`CrackKernel`] packages that policy: `Auto`
+//! dispatches to the branchy form below a piece-length threshold and to the
+//! predicated form above it.
 
 use crate::{RowId, Value};
 
 /// Partitions `data` in place so that all values `< pivot` precede all
 /// values `>= pivot`. Returns the index of the first value `>= pivot`
 /// (equivalently, the number of values `< pivot`).
+///
+/// Branchy reference implementation (two-pointer loop).
 pub fn crack_in_two(data: &mut [Value], pivot: Value) -> usize {
     if data.is_empty() {
         return 0;
@@ -37,7 +78,11 @@ pub fn crack_in_two(data: &mut [Value], pivot: Value) -> usize {
 ///
 /// Panics if `data` and `rowids` have different lengths.
 pub fn crack_in_two_with_rowids(data: &mut [Value], rowids: &mut [RowId], pivot: Value) -> usize {
-    assert_eq!(data.len(), rowids.len(), "values and rowids must be aligned");
+    assert_eq!(
+        data.len(),
+        rowids.len(),
+        "values and rowids must be aligned"
+    );
     if data.is_empty() {
         return 0;
     }
@@ -55,22 +100,70 @@ pub fn crack_in_two_with_rowids(data: &mut [Value], rowids: &mut [RowId], pivot:
     lo
 }
 
+/// Branch-free variant of [`crack_in_two`].
+///
+/// A predicated Lomuto partition: the write cursor trails the read cursor,
+/// every examined element is swapped to the write position unconditionally,
+/// and the write cursor advances by `(value < pivot) as usize`. The region
+/// `data[write..read]` only ever holds values `>= pivot`, so the
+/// unconditional swap is a no-op exactly when the element should stay —
+/// correctness never depends on the comparison being taken as a branch,
+/// which is what lets the compiler emit straight-line code.
+///
+/// Same contract and return value as [`crack_in_two`]; only the resulting
+/// order *within* each side of the partition may differ.
+pub fn crack_in_two_pred(data: &mut [Value], pivot: Value) -> usize {
+    let mut write = 0usize;
+    for read in 0..data.len() {
+        let lt = usize::from(data[read] < pivot);
+        data.swap(write, read);
+        write += lt;
+    }
+    write
+}
+
+/// Branch-free variant of [`crack_in_two_with_rowids`] (see
+/// [`crack_in_two_pred`] for the technique).
+///
+/// # Panics
+///
+/// Panics if `data` and `rowids` have different lengths.
+pub fn crack_in_two_with_rowids_pred(
+    data: &mut [Value],
+    rowids: &mut [RowId],
+    pivot: Value,
+) -> usize {
+    assert_eq!(
+        data.len(),
+        rowids.len(),
+        "values and rowids must be aligned"
+    );
+    let mut write = 0usize;
+    for read in 0..data.len() {
+        let lt = usize::from(data[read] < pivot);
+        data.swap(write, read);
+        rowids.swap(write, read);
+        write += lt;
+    }
+    write
+}
+
 /// Partitions `data` in place into three regions in a single pass:
 /// values `< lo`, values in `[lo, hi)`, and values `>= hi`.
 ///
 /// Returns `(a, b)` such that `data[..a] < lo`, `lo <= data[a..b] < hi`, and
 /// `data[b..] >= hi`.
 ///
-/// If `hi <= lo` the middle region is empty and the call degenerates to a
-/// single [`crack_in_two`] at `lo` (all values `>= lo` are also `>= hi`
-/// only when `hi <= lo` holds for them, so we simply partition at `lo` and
-/// report an empty middle).
+/// If `hi <= lo` (degenerate empty interval) the call performs a single
+/// [`crack_in_two`] at `lo` and returns `(a, a)`; see the module docs for
+/// the full degenerate-range contract.
+///
+/// Branchy reference implementation (Dutch-national-flag pass).
 pub fn crack_in_three(data: &mut [Value], lo: Value, hi: Value) -> (usize, usize) {
     if hi <= lo {
         let a = crack_in_two(data, lo);
         return (a, a);
     }
-    // Dutch-national-flag style three-way partition.
     let mut lt = 0usize; // data[..lt] < lo
     let mut i = 0usize; // data[lt..i] in [lo, hi)
     let mut gt = data.len(); // data[gt..] >= hi
@@ -92,6 +185,9 @@ pub fn crack_in_three(data: &mut [Value], lo: Value, hi: Value) -> (usize, usize
 
 /// Like [`crack_in_three`], but keeps a parallel `rowids` array aligned.
 ///
+/// The degenerate `hi <= lo` interval behaves exactly like the plain form:
+/// one [`crack_in_two_with_rowids`] at `lo`, returning `(a, a)`.
+///
 /// # Panics
 ///
 /// Panics if `data` and `rowids` have different lengths.
@@ -101,7 +197,11 @@ pub fn crack_in_three_with_rowids(
     lo: Value,
     hi: Value,
 ) -> (usize, usize) {
-    assert_eq!(data.len(), rowids.len(), "values and rowids must be aligned");
+    assert_eq!(
+        data.len(),
+        rowids.len(),
+        "values and rowids must be aligned"
+    );
     if hi <= lo {
         let a = crack_in_two_with_rowids(data, rowids, lo);
         return (a, a);
@@ -127,13 +227,244 @@ pub fn crack_in_three_with_rowids(
     (lt, gt)
 }
 
+/// Branch-free variant of [`crack_in_three`].
+///
+/// A three-way partition cannot be predicated as a single pass without
+/// introducing data-dependent stores at both ends of the piece, so the
+/// predicated form runs two branch-free [`crack_in_two_pred`] passes: first
+/// at `lo` over the whole piece, then at `hi` over the upper remainder.
+/// Each pass is straight-line code; the second touches only `data[a..]`.
+///
+/// Same contract and return value as [`crack_in_three`], including the
+/// degenerate `hi <= lo` behavior.
+pub fn crack_in_three_pred(data: &mut [Value], lo: Value, hi: Value) -> (usize, usize) {
+    if hi <= lo {
+        let a = crack_in_two_pred(data, lo);
+        return (a, a);
+    }
+    let a = crack_in_two_pred(data, lo);
+    let b = a + crack_in_two_pred(&mut data[a..], hi);
+    (a, b)
+}
+
+/// Branch-free variant of [`crack_in_three_with_rowids`] (see
+/// [`crack_in_three_pred`]).
+///
+/// # Panics
+///
+/// Panics if `data` and `rowids` have different lengths.
+pub fn crack_in_three_with_rowids_pred(
+    data: &mut [Value],
+    rowids: &mut [RowId],
+    lo: Value,
+    hi: Value,
+) -> (usize, usize) {
+    assert_eq!(
+        data.len(),
+        rowids.len(),
+        "values and rowids must be aligned"
+    );
+    if hi <= lo {
+        let a = crack_in_two_with_rowids_pred(data, rowids, lo);
+        return (a, a);
+    }
+    let a = crack_in_two_with_rowids_pred(data, rowids, lo);
+    let b = a + crack_in_two_with_rowids_pred(&mut data[a..], &mut rowids[a..], hi);
+    (a, b)
+}
+
+/// Default piece length (in values) below which [`CrackKernel::Auto`]
+/// dispatches to the branchy kernels.
+///
+/// Measured on uniform-random pieces (`benches/micro_crack_kernels.rs`),
+/// the predicated form wins at every size from 64 values up (~3.5–3.9× on
+/// cold pieces, ~6× at 1M values), because a random pivot mispredicts the
+/// branchy loop on roughly every other element regardless of cache
+/// residency. The branchy form only wins (~1.05–1.1×) when a piece's
+/// content is already partitioned around the pivot — predictable branches —
+/// which in a cracker is most likely for tiny, repeatedly re-cracked
+/// cache-resident pieces. The default therefore keeps branchy only below
+/// 128 values (one kilobyte, where the absolute gap is tens of
+/// nanoseconds) and predicates everything above.
+pub const DEFAULT_PREDICATION_THRESHOLD: usize = 128;
+
+/// Which physical kernel implementation actually ran for one dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelChoice {
+    /// The branchy reference kernels.
+    Branchy,
+    /// The branch-free predicated kernels.
+    Predicated,
+}
+
+/// Policy selecting between branchy and predicated kernels per dispatch.
+///
+/// The policy is consulted with the length of the piece about to be cracked;
+/// `Auto` mirrors the paper's cache-threshold reasoning (small, cache
+/// resident pieces favor the branchy form, large ones the predicated form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrackKernel {
+    /// Always use the branchy reference kernels.
+    Branchy,
+    /// Always use the predicated branch-free kernels.
+    Predicated,
+    /// Use branchy kernels for pieces shorter than `branchy_below` values
+    /// and predicated kernels from that length on.
+    Auto {
+        /// Piece length at which dispatch switches to the predicated form.
+        branchy_below: usize,
+    },
+}
+
+impl CrackKernel {
+    /// The `Auto` policy with the measured default threshold.
+    #[must_use]
+    pub fn auto() -> Self {
+        CrackKernel::Auto {
+            branchy_below: DEFAULT_PREDICATION_THRESHOLD,
+        }
+    }
+
+    /// Resolves the policy for a piece of `piece_len` values.
+    #[must_use]
+    pub fn choose(&self, piece_len: usize) -> KernelChoice {
+        match *self {
+            CrackKernel::Branchy => KernelChoice::Branchy,
+            CrackKernel::Predicated => KernelChoice::Predicated,
+            CrackKernel::Auto { branchy_below } => {
+                if piece_len < branchy_below {
+                    KernelChoice::Branchy
+                } else {
+                    KernelChoice::Predicated
+                }
+            }
+        }
+    }
+
+    /// Short stable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrackKernel::Branchy => "branchy",
+            CrackKernel::Predicated => "predicated",
+            CrackKernel::Auto { .. } => "auto",
+        }
+    }
+
+    /// Dispatching [`crack_in_two`] / [`crack_in_two_pred`].
+    pub fn crack_in_two(&self, data: &mut [Value], pivot: Value) -> usize {
+        match self.choose(data.len()) {
+            KernelChoice::Branchy => crack_in_two(data, pivot),
+            KernelChoice::Predicated => crack_in_two_pred(data, pivot),
+        }
+    }
+
+    /// Dispatching [`crack_in_two_with_rowids`] /
+    /// [`crack_in_two_with_rowids_pred`].
+    pub fn crack_in_two_with_rowids(
+        &self,
+        data: &mut [Value],
+        rowids: &mut [RowId],
+        pivot: Value,
+    ) -> usize {
+        match self.choose(data.len()) {
+            KernelChoice::Branchy => crack_in_two_with_rowids(data, rowids, pivot),
+            KernelChoice::Predicated => crack_in_two_with_rowids_pred(data, rowids, pivot),
+        }
+    }
+
+    /// Dispatching [`crack_in_three`] / [`crack_in_three_pred`].
+    pub fn crack_in_three(&self, data: &mut [Value], lo: Value, hi: Value) -> (usize, usize) {
+        match self.choose(data.len()) {
+            KernelChoice::Branchy => crack_in_three(data, lo, hi),
+            KernelChoice::Predicated => crack_in_three_pred(data, lo, hi),
+        }
+    }
+
+    /// Dispatching [`crack_in_three_with_rowids`] /
+    /// [`crack_in_three_with_rowids_pred`].
+    pub fn crack_in_three_with_rowids(
+        &self,
+        data: &mut [Value],
+        rowids: &mut [RowId],
+        lo: Value,
+        hi: Value,
+    ) -> (usize, usize) {
+        match self.choose(data.len()) {
+            KernelChoice::Branchy => crack_in_three_with_rowids(data, rowids, lo, hi),
+            KernelChoice::Predicated => crack_in_three_with_rowids_pred(data, rowids, lo, hi),
+        }
+    }
+}
+
+impl Default for CrackKernel {
+    fn default() -> Self {
+        CrackKernel::auto()
+    }
+}
+
+impl std::fmt::Display for CrackKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Running totals of kernel dispatches, split by the physical form that ran.
+///
+/// Maintained by [`crate::CrackerColumn`] and surfaced through the engine's
+/// metrics so benches can report which path served a workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelDispatches {
+    /// Dispatches served by the branchy reference kernels.
+    pub branchy: u64,
+    /// Dispatches served by the predicated kernels.
+    pub predicated: u64,
+}
+
+impl KernelDispatches {
+    /// Records one dispatch.
+    pub fn record(&mut self, choice: KernelChoice) {
+        match choice {
+            KernelChoice::Branchy => self.branchy += 1,
+            KernelChoice::Predicated => self.predicated += 1,
+        }
+    }
+
+    /// Total dispatches of either form.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.branchy + self.predicated
+    }
+
+    /// Component-wise difference against an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: KernelDispatches) -> KernelDispatches {
+        KernelDispatches {
+            branchy: self.branchy - earlier.branchy,
+            predicated: self.predicated - earlier.predicated,
+        }
+    }
+
+    /// Component-wise accumulation.
+    pub fn add(&mut self, delta: KernelDispatches) {
+        self.branchy += delta.branchy;
+        self.predicated += delta.predicated;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn assert_partitioned_two(data: &[Value], split: usize, pivot: Value) {
-        assert!(data[..split].iter().all(|&v| v < pivot), "left side violated");
-        assert!(data[split..].iter().all(|&v| v >= pivot), "right side violated");
+        assert!(
+            data[..split].iter().all(|&v| v < pivot),
+            "left side violated"
+        );
+        assert!(
+            data[split..].iter().all(|&v| v >= pivot),
+            "right side violated"
+        );
     }
 
     fn assert_partitioned_three(data: &[Value], a: usize, b: usize, lo: Value, hi: Value) {
@@ -193,7 +524,10 @@ mod tests {
         let mut expected = pairs_before;
         expected.sort_unstable();
         pairs_after.sort_unstable();
-        assert_eq!(pairs_after, expected, "value/rowid pairs must survive cracking");
+        assert_eq!(
+            pairs_after, expected,
+            "value/rowid pairs must survive cracking"
+        );
     }
 
     #[test]
@@ -202,6 +536,14 @@ mod tests {
         let mut data = vec![1, 2];
         let mut rowids: Vec<RowId> = vec![0];
         let _ = crack_in_two_with_rowids(&mut data, &mut rowids, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn predicated_with_rowids_rejects_mismatched_lengths() {
+        let mut data = vec![1, 2];
+        let mut rowids: Vec<RowId> = vec![0];
+        let _ = crack_in_two_with_rowids_pred(&mut data, &mut rowids, 1);
     }
 
     #[test]
@@ -226,6 +568,44 @@ mod tests {
         assert!(data[a..].iter().all(|&v| v >= 6));
         let (a, b) = crack_in_three(&mut data, 8, 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_range_consistent_across_all_variants() {
+        // All four crack_in_three variants must agree on the degenerate
+        // interval: partition at `lo`, report an empty middle.
+        let base = vec![5, 1, 9, 3, 7, 2, 8];
+        for (lo, hi) in [(6, 6), (8, 2), (i64::MAX, i64::MIN)] {
+            let expected_split = base.iter().filter(|&&v| v < lo).count();
+
+            let mut d = base.clone();
+            assert_eq!(
+                crack_in_three(&mut d, lo, hi),
+                (expected_split, expected_split)
+            );
+
+            let mut d = base.clone();
+            assert_eq!(
+                crack_in_three_pred(&mut d, lo, hi),
+                (expected_split, expected_split)
+            );
+            assert_partitioned_two(&d, expected_split, lo);
+
+            let mut d = base.clone();
+            let mut ids: Vec<RowId> = (0..base.len() as RowId).collect();
+            assert_eq!(
+                crack_in_three_with_rowids(&mut d, &mut ids, lo, hi),
+                (expected_split, expected_split)
+            );
+
+            let mut d = base.clone();
+            let mut ids: Vec<RowId> = (0..base.len() as RowId).collect();
+            assert_eq!(
+                crack_in_three_with_rowids_pred(&mut d, &mut ids, lo, hi),
+                (expected_split, expected_split)
+            );
+            assert_partitioned_two(&d, expected_split, lo);
+        }
     }
 
     #[test]
@@ -255,5 +635,147 @@ mod tests {
     fn crack_in_three_empty_input() {
         let mut data: Vec<Value> = vec![];
         assert_eq!(crack_in_three(&mut data, 1, 5), (0, 0));
+        assert_eq!(crack_in_three_pred(&mut data, 1, 5), (0, 0));
+    }
+
+    #[test]
+    fn predicated_two_matches_branchy_split() {
+        let samples: &[&[Value]] = &[
+            &[],
+            &[7],
+            &[4; 10],
+            &[5, 1, 9, 3, 7, 3, 0, 10],
+            &[9, 8, 7, 6, 5, 4, 3, 2, 1, 0],
+        ];
+        for &sample in samples {
+            for pivot in [-1, 0, 3, 5, 7, 100] {
+                let mut branchy = sample.to_vec();
+                let mut pred = sample.to_vec();
+                let a = crack_in_two(&mut branchy, pivot);
+                let b = crack_in_two_pred(&mut pred, pivot);
+                assert_eq!(a, b, "split mismatch for {sample:?} at {pivot}");
+                assert_partitioned_two(&pred, b, pivot);
+                let mut x = branchy;
+                let mut y = pred;
+                x.sort_unstable();
+                y.sort_unstable();
+                assert_eq!(x, y, "multiset mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn predicated_three_matches_branchy_boundaries() {
+        let sample = vec![5, 1, 9, 3, 7, 3, 0, 10, 4, 6, 2, 8];
+        for (lo, hi) in [(3, 7), (0, 11), (-5, 100), (4, 5), (7, 3)] {
+            let mut branchy = sample.clone();
+            let mut pred = sample.clone();
+            assert_eq!(
+                crack_in_three(&mut branchy, lo, hi),
+                crack_in_three_pred(&mut pred, lo, hi),
+                "boundary mismatch for [{lo},{hi})"
+            );
+            if lo < hi {
+                let (a, b) = crack_in_three_pred(&mut pred.clone(), lo, hi);
+                assert_partitioned_three(&pred, a, b, lo, hi);
+            }
+        }
+    }
+
+    #[test]
+    fn predicated_rowids_stay_aligned() {
+        let data = vec![50, 10, 90, 30, 70, 20, 40, 80];
+        let mut d = data.clone();
+        let mut ids: Vec<RowId> = (0..data.len() as RowId).collect();
+        let split = crack_in_two_with_rowids_pred(&mut d, &mut ids, 45);
+        assert_partitioned_two(&d, split, 45);
+        for (&v, &id) in d.iter().zip(&ids) {
+            assert_eq!(data[id as usize], v, "rowid must still address its value");
+        }
+        let mut d = data.clone();
+        let mut ids: Vec<RowId> = (0..data.len() as RowId).collect();
+        let (a, b) = crack_in_three_with_rowids_pred(&mut d, &mut ids, 25, 75);
+        assert_partitioned_three(&d, a, b, 25, 75);
+        for (&v, &id) in d.iter().zip(&ids) {
+            assert_eq!(data[id as usize], v);
+        }
+    }
+
+    #[test]
+    fn kernel_policy_dispatch() {
+        let auto = CrackKernel::auto();
+        assert_eq!(auto.choose(0), KernelChoice::Branchy);
+        assert_eq!(
+            auto.choose(DEFAULT_PREDICATION_THRESHOLD - 1),
+            KernelChoice::Branchy
+        );
+        assert_eq!(
+            auto.choose(DEFAULT_PREDICATION_THRESHOLD),
+            KernelChoice::Predicated
+        );
+        assert_eq!(CrackKernel::Branchy.choose(1 << 30), KernelChoice::Branchy);
+        assert_eq!(CrackKernel::Predicated.choose(1), KernelChoice::Predicated);
+        assert_eq!(CrackKernel::default(), CrackKernel::auto());
+        assert_eq!(CrackKernel::Predicated.to_string(), "predicated");
+        assert_eq!(CrackKernel::auto().name(), "auto");
+    }
+
+    #[test]
+    fn kernel_policy_methods_partition_correctly() {
+        for kernel in [
+            CrackKernel::Branchy,
+            CrackKernel::Predicated,
+            CrackKernel::Auto { branchy_below: 4 },
+        ] {
+            let mut data = vec![5, 1, 9, 3, 7, 3, 0, 10];
+            let split = kernel.crack_in_two(&mut data, 5);
+            assert_eq!(split, 4, "{kernel}");
+            assert_partitioned_two(&data, split, 5);
+
+            let mut data = vec![5, 1, 9, 3, 7, 3, 0, 10];
+            let (a, b) = kernel.crack_in_three(&mut data, 3, 7);
+            assert_partitioned_three(&data, a, b, 3, 7);
+
+            let base = vec![50, 10, 90, 30, 70, 20];
+            let mut data = base.clone();
+            let mut ids: Vec<RowId> = (0..6).collect();
+            let split = kernel.crack_in_two_with_rowids(&mut data, &mut ids, 40);
+            assert_partitioned_two(&data, split, 40);
+            for (&v, &id) in data.iter().zip(&ids) {
+                assert_eq!(base[id as usize], v);
+            }
+
+            let mut data = base.clone();
+            let mut ids: Vec<RowId> = (0..6).collect();
+            let (a, b) = kernel.crack_in_three_with_rowids(&mut data, &mut ids, 25, 75);
+            assert_partitioned_three(&data, a, b, 25, 75);
+        }
+    }
+
+    #[test]
+    fn dispatch_counters_accumulate() {
+        let mut d = KernelDispatches::default();
+        d.record(KernelChoice::Branchy);
+        d.record(KernelChoice::Predicated);
+        d.record(KernelChoice::Predicated);
+        assert_eq!(d.branchy, 1);
+        assert_eq!(d.predicated, 2);
+        assert_eq!(d.total(), 3);
+        let earlier = KernelDispatches {
+            branchy: 1,
+            predicated: 0,
+        };
+        let delta = d.since(earlier);
+        assert_eq!(
+            delta,
+            KernelDispatches {
+                branchy: 0,
+                predicated: 2
+            }
+        );
+        let mut acc = KernelDispatches::default();
+        acc.add(delta);
+        acc.add(delta);
+        assert_eq!(acc.predicated, 4);
     }
 }

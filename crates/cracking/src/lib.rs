@@ -44,14 +44,17 @@ pub mod updates;
 pub use concurrent::ConcurrentCrackerColumn;
 pub use cracker::CrackerColumn;
 pub use index::PieceIndex;
-pub use kernels::{crack_in_three, crack_in_two};
+pub use kernels::{
+    crack_in_three, crack_in_three_pred, crack_in_two, crack_in_two_pred, CrackKernel,
+    KernelChoice, KernelDispatches, DEFAULT_PREDICATION_THRESHOLD,
+};
 pub use merging::AdaptiveMergingIndex;
 pub use piece::Piece;
 pub use sideways::{CrackerMap, MapSet};
 pub use stochastic::CrackPolicy;
 pub use updates::UpdatableCrackerColumn;
 
-/// Value type cracked by this crate (re-exported from the storage layer).
-pub use holistic_storage::Value;
 /// Row identifier type (re-exported from the storage layer).
 pub use holistic_storage::RowId;
+/// Value type cracked by this crate (re-exported from the storage layer).
+pub use holistic_storage::Value;

@@ -180,7 +180,11 @@ mod tests {
     }
 
     fn scan_sorted(values: &[Value], lo: Value, hi: Value) -> Vec<Value> {
-        let mut out: Vec<Value> = values.iter().copied().filter(|&v| v >= lo && v < hi).collect();
+        let mut out: Vec<Value> = values
+            .iter()
+            .copied()
+            .filter(|&v| v >= lo && v < hi)
+            .collect();
         out.sort_unstable();
         out
     }

@@ -50,7 +50,7 @@ impl Piece {
     /// Whether a value can live in this piece according to its bounds.
     #[must_use]
     pub fn admits(&self, v: Value) -> bool {
-        self.lo.map_or(true, |lo| v >= lo) && self.hi.map_or(true, |hi| v < hi)
+        self.lo.is_none_or(|lo| v >= lo) && self.hi.is_none_or(|hi| v < hi)
     }
 
     /// Checks that every value in `data[start..end]` respects the bounds.
@@ -115,10 +115,7 @@ mod tests {
             ..good
         };
         assert!(!bad_bound.validate(&data));
-        let bad_extent = Piece {
-            end: 5,
-            ..good
-        };
+        let bad_extent = Piece { end: 5, ..good };
         assert!(!bad_extent.validate(&data));
     }
 
@@ -142,6 +139,6 @@ mod tests {
         let p = Piece::unbounded(5, 5);
         assert!(p.is_empty());
         assert_eq!(p.len(), 0);
-        assert!(p.validate(&vec![0; 10]));
+        assert!(p.validate(&[0; 10]));
     }
 }

@@ -98,7 +98,11 @@ impl CrackerMap {
         let p = self.index.piece(idx);
         // The tail array plays the role of the payload: every swap of a head
         // value is mirrored so the pair stays together.
-        let off = crack_pair(&mut self.head[p.start..p.end], &mut self.tail[p.start..p.end], v);
+        let off = crack_pair(
+            &mut self.head[p.start..p.end],
+            &mut self.tail[p.start..p.end],
+            v,
+        );
         let pos = p.start + off;
         self.index.split(idx, pos, v);
         self.cracks_performed += 1;
@@ -298,7 +302,11 @@ mod tests {
             let range = map.crack_select(lo, hi);
             let mut projected = map.project(range).to_vec();
             projected.sort_unstable();
-            assert_eq!(projected, expected_tails(&head, &tail, lo, hi), "[{lo},{hi})");
+            assert_eq!(
+                projected,
+                expected_tails(&head, &tail, lo, hi),
+                "[{lo},{hi})"
+            );
             assert!(map.validate());
         }
         assert!(map.piece_count() > 2);
@@ -358,7 +366,11 @@ mod tests {
         assert_eq!(set.len(), 2);
         // Re-requesting map 1 must not rebuild it (cracks persist).
         let cracks_before = set.get(1).unwrap().cracks_performed();
-        let map_b = set.map_for(1, || panic!("must not rebuild"), || panic!("must not rebuild"));
+        let map_b = set.map_for(
+            1,
+            || panic!("must not rebuild"),
+            || panic!("must not rebuild"),
+        );
         assert_eq!(map_b.cracks_performed(), cracks_before);
     }
 

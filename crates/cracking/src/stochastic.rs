@@ -131,12 +131,10 @@ fn piece_extent_for_value(column: &CrackerColumn, v: Value) -> Option<(Value, Va
         return None;
     }
     let slice = &data[p.start..p.end];
-    let lo = p
-        .lo
-        .unwrap_or_else(|| slice.iter().copied().min().expect("non-empty piece"));
-    let hi = p
-        .hi
-        .unwrap_or_else(|| slice.iter().copied().max().expect("non-empty piece") + 1);
+    let lo =
+        p.lo.unwrap_or_else(|| slice.iter().copied().min().expect("non-empty piece"));
+    let hi =
+        p.hi.unwrap_or_else(|| slice.iter().copied().max().expect("non-empty piece") + 1);
     (hi > lo).then_some((lo, hi))
 }
 
@@ -185,7 +183,9 @@ mod tests {
         let mut v: Vec<Value> = (0..4096).collect();
         let mut state = 12345u64;
         for i in (1..v.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             v.swap(i, j);
         }
@@ -211,7 +211,13 @@ mod tests {
         for policy in all_policies() {
             let mut c = CrackerColumn::from_values(base.clone());
             let mut rng = StdRng::seed_from_u64(9);
-            for &(lo, hi) in &[(100, 141), (2000, 2041), (0, 4096), (4000, 4001), (500, 300)] {
+            for &(lo, hi) in &[
+                (100, 141),
+                (2000, 2041),
+                (0, 4096),
+                (4000, 4001),
+                (500, 300),
+            ] {
                 let r = crack_select_with_policy(&mut c, lo, hi, policy, &mut rng);
                 assert_eq!(
                     (r.end - r.start) as u64,

@@ -187,10 +187,10 @@ impl UpdatableCrackerColumn {
         {
             let pieces = index.pieces_mut();
             let p = &mut pieces[target];
-            if p.lo.map_or(false, |lo| v < lo) {
+            if p.lo.is_some_and(|lo| v < lo) {
                 p.lo = Some(v);
             }
-            if p.hi.map_or(false, |hi| v >= hi) {
+            if p.hi.is_some_and(|hi| v >= hi) {
                 p.hi = Some(v.saturating_add(1));
             }
         }
@@ -222,7 +222,7 @@ impl UpdatableCrackerColumn {
             i -= 1;
         }
         data[free_slot] = v;
-        if let Some(r) = rowids.as_deref_mut() {
+        if let Some(r) = rowids {
             r[free_slot] = rowid as RowId;
         }
         // Any piece we rotated is no longer guaranteed to be sorted.
@@ -260,34 +260,34 @@ impl UpdatableCrackerColumn {
         // Ripple the hole through the following pieces: each piece hands its
         // first slot to the previous piece's hole and re-opens the hole at
         // its own end.
-        for i in target + 1..pieces.len() {
-            let start = pieces[i].start;
-            let end = pieces[i].end;
+        for piece in pieces.iter_mut().skip(target + 1) {
+            let start = piece.start;
+            let end = piece.end;
             data[hole] = data[start];
             if let Some(r) = rowids.as_deref_mut() {
                 r[hole] = r[start];
             }
             // The slot at `start` becomes the hole; move it to the end of
-            // piece i by pulling piece i's last element forward.
+            // the piece by pulling the piece's last element forward.
             let last = end - 1;
             data[start] = data[last];
             if let Some(r) = rowids.as_deref_mut() {
                 r[start] = r[last];
             }
             hole = last;
-            pieces[i].sorted = false;
+            piece.sorted = false;
         }
         // The hole is now the very last slot of the array.
         data.pop();
-        if let Some(r) = rowids.as_deref_mut() {
+        if let Some(r) = rowids {
             r.pop();
         }
         // Shrink piece extents: the target piece lost one slot; every later
         // piece shifted left by one.
         pieces[target].end -= 1;
-        for i in target + 1..pieces.len() {
-            pieces[i].start -= 1;
-            pieces[i].end -= 1;
+        for piece in pieces.iter_mut().skip(target + 1) {
+            piece.start -= 1;
+            piece.end -= 1;
         }
         index.drop_empty_pieces();
         index.set_len(data.len());
@@ -372,10 +372,7 @@ mod tests {
         assert_eq!(u.pending_deletes(), 0);
         assert!(u.validate());
         assert_eq!(u.cracker().len(), base().len() + 6 - 2);
-        assert_eq!(
-            u.count(0, 1000),
-            expected_count(&base(), 0, 1000) + 6 - 2
-        );
+        assert_eq!(u.count(0, 1000), expected_count(&base(), 0, 1000) + 6 - 2);
     }
 
     #[test]
@@ -413,7 +410,11 @@ mod tests {
         for step in 0usize..50 {
             let lo = (step as Value * 13) % 480;
             let hi = lo + 40;
-            assert_eq!(u.count(lo, hi), expected_count(&reference, lo, hi), "step {step}");
+            assert_eq!(
+                u.count(lo, hi),
+                expected_count(&reference, lo, hi),
+                "step {step}"
+            );
             assert!(u.validate(), "invariants at step {step}");
             // Interleave updates.
             if step % 3 == 0 {

@@ -76,8 +76,8 @@ impl Advisor {
                 continue;
             }
             let rows = column_rows(column);
-            let candidate = HypotheticalConfiguration::empty()
-                .with(HypotheticalIndex { column, rows });
+            let candidate =
+                HypotheticalConfiguration::empty().with(HypotheticalIndex { column, rows });
             let benefit = candidate.benefit_over_scan(workload, &self.model, &column_rows);
             let build_cost = self.model.full_build_cost(rows);
             out.push(IndexRecommendation {
@@ -177,7 +177,9 @@ mod tests {
     #[test]
     fn zero_budget_recommends_nothing() {
         let advisor = Advisor::new();
-        assert!(advisor.recommend(&skewed_workload(), |_| ROWS, 0.0).is_empty());
+        assert!(advisor
+            .recommend(&skewed_workload(), |_| ROWS, 0.0)
+            .is_empty());
     }
 
     #[test]
@@ -185,7 +187,9 @@ mod tests {
         let advisor = Advisor::new();
         let picks = advisor.recommend(&WorkloadSummary::new(), |_| ROWS, f64::INFINITY);
         assert!(picks.is_empty());
-        assert!(advisor.candidates(&WorkloadSummary::new(), |_| ROWS).is_empty());
+        assert!(advisor
+            .candidates(&WorkloadSummary::new(), |_| ROWS)
+            .is_empty());
     }
 
     #[test]

@@ -117,9 +117,8 @@ mod tests {
         let recs: Vec<IndexRecommendation> = (0..4).map(|i| rec(i, 1000, &model)).collect();
         // Budget for exactly two builds.
         let budget = model.full_build_cost(1000) * 2.0;
-        let outcome = builder.build_within_budget(&recs, budget, |id| {
-            columns.get(id.column as usize)
-        });
+        let outcome =
+            builder.build_within_budget(&recs, budget, |id| columns.get(id.column as usize));
         assert_eq!(outcome.built.len(), 2);
         assert_eq!(outcome.skipped.len(), 2);
         assert!(outcome.work_spent <= budget + 1e-9);

@@ -107,7 +107,10 @@ impl SortedIndex {
     /// Sum of qualifying values for `[lo, hi)`.
     #[must_use]
     pub fn range_sum(&self, lo: Value, hi: Value) -> i128 {
-        self.range_values(lo, hi).iter().map(|&v| i128::from(v)).sum()
+        self.range_values(lo, hi)
+            .iter()
+            .map(|&v| i128::from(v))
+            .sum()
     }
 
     /// Approximate heap footprint in bytes.
@@ -146,7 +149,11 @@ mod tests {
         let values = data();
         let idx = SortedIndex::build_from_values(&values);
         for &(lo, hi) in &[(0, 100), (10, 50), (50, 10), (23, 24), (92, 200)] {
-            assert_eq!(idx.count(lo, hi), scan_count(&values, lo, hi), "[{lo},{hi})");
+            assert_eq!(
+                idx.count(lo, hi),
+                scan_count(&values, lo, hi),
+                "[{lo},{hi})"
+            );
         }
     }
 

@@ -116,11 +116,8 @@ impl HypotheticalConfiguration {
         model: &CostModel,
         column_rows: impl Fn(ColumnId) -> usize,
     ) -> f64 {
-        let baseline = HypotheticalConfiguration::empty().workload_cost(
-            workload,
-            model,
-            &column_rows,
-        );
+        let baseline =
+            HypotheticalConfiguration::empty().workload_cost(workload, model, &column_rows);
         baseline - self.workload_cost(workload, model, &column_rows)
     }
 }
@@ -149,7 +146,10 @@ mod tests {
         let cost = cfg.workload_cost(&workload(), &model, |_| 1_000_000);
         let expected = model.scan_cost(1_000_000) * 110.0;
         assert!((cost - expected).abs() < 1e-6);
-        assert_eq!(cfg.benefit_over_scan(&workload(), &model, |_| 1_000_000), 0.0);
+        assert_eq!(
+            cfg.benefit_over_scan(&workload(), &model, |_| 1_000_000),
+            0.0
+        );
     }
 
     #[test]
@@ -174,8 +174,14 @@ mod tests {
     fn build_cost_sums_member_indexes() {
         let model = CostModel::new();
         let cfg = HypotheticalConfiguration::empty()
-            .with(HypotheticalIndex { column: col(0), rows: 1000 })
-            .with(HypotheticalIndex { column: col(1), rows: 2000 });
+            .with(HypotheticalIndex {
+                column: col(0),
+                rows: 1000,
+            })
+            .with(HypotheticalIndex {
+                column: col(1),
+                rows: 2000,
+            });
         assert_eq!(cfg.len(), 2);
         assert!(cfg.covers(col(0)));
         assert!(!cfg.covers(col(2)));
@@ -185,7 +191,10 @@ mod tests {
 
     #[test]
     fn duplicate_indexes_are_deduplicated() {
-        let idx = HypotheticalIndex { column: col(0), rows: 500 };
+        let idx = HypotheticalIndex {
+            column: col(0),
+            rows: 500,
+        };
         let mut cfg = HypotheticalConfiguration::empty().with(idx);
         cfg.add(idx);
         assert_eq!(cfg.len(), 1);

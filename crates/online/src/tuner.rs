@@ -103,15 +103,18 @@ impl OnlineTuner {
         observed_cost: f64,
         mut resolve: impl FnMut(ColumnId) -> Option<Column>,
     ) -> Vec<TuningDecision> {
-        self.monitor.record(column, lo, hi, selectivity, observed_cost);
+        self.monitor
+            .record(column, lo, hi, selectivity, observed_cost);
         if !self.epochs.tick() {
             return Vec::new();
         }
         let epoch_counts = self.monitor.end_epoch();
         let existing = self.indexed_columns();
-        let decisions = self.policy.evaluate(&self.monitor, &epoch_counts, &existing, |id| {
-            resolve(id).map_or(0, |c| c.len())
-        });
+        let decisions = self
+            .policy
+            .evaluate(&self.monitor, &epoch_counts, &existing, |id| {
+                resolve(id).map_or(0, |c| c.len())
+            });
         for decision in &decisions {
             match decision {
                 TuningDecision::Create(col) => {
@@ -161,14 +164,10 @@ mod tests {
         let base = base_column(n);
         let mut created = false;
         for q in 0..20 {
-            let decisions = tuner.record_and_tune(
-                col(0),
-                100,
-                200,
-                0.001,
-                model.scan_cost(n),
-                |_| Some(base.clone()),
-            );
+            let decisions =
+                tuner.record_and_tune(col(0), 100, 200, 0.001, model.scan_cost(n), |_| {
+                    Some(base.clone())
+                });
             if decisions
                 .iter()
                 .any(|d| matches!(d, TuningDecision::Create(c) if *c == col(0)))
@@ -204,9 +203,10 @@ mod tests {
         // index on column 0 is eventually dropped.
         let mut dropped = false;
         for _ in 0..30 {
-            let decisions = tuner.record_and_tune(col(1), 0, 100, 0.001, model.scan_cost(n), |_| {
-                Some(base.clone())
-            });
+            let decisions =
+                tuner.record_and_tune(col(1), 0, 100, 0.001, model.scan_cost(n), |_| {
+                    Some(base.clone())
+                });
             if decisions
                 .iter()
                 .any(|d| matches!(d, TuningDecision::Drop(c) if *c == col(0)))
@@ -224,14 +224,10 @@ mod tests {
         let mut tuner = OnlineTuner::new(1000);
         let base = base_column(10_000);
         for _ in 0..100 {
-            let decisions = tuner.record_and_tune(
-                col(0),
-                0,
-                10,
-                0.001,
-                model.scan_cost(10_000),
-                |_| Some(base.clone()),
-            );
+            let decisions =
+                tuner.record_and_tune(col(0), 0, 10, 0.001, model.scan_cost(10_000), |_| {
+                    Some(base.clone())
+                });
             assert!(decisions.is_empty());
         }
         assert!(!tuner.has_index(col(0)));

@@ -197,9 +197,7 @@ mod tests {
         assert_eq!(c.column(cid).unwrap().name(), "b");
         assert!(c.column_id("r", "z").is_err());
         assert!(c.column_id("x", "a").is_err());
-        assert!(c
-            .column(ColumnId::new(id, 7))
-            .is_err());
+        assert!(c.column(ColumnId::new(id, 7)).is_err());
     }
 
     #[test]

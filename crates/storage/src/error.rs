@@ -63,12 +63,27 @@ mod tests {
     #[test]
     fn display_formats_are_informative() {
         let cases: Vec<(StorageError, &str)> = vec![
-            (StorageError::TableAlreadyExists("t".into()), "table `t` already exists"),
-            (StorageError::TableNotFound("t".into()), "table `t` not found"),
-            (StorageError::ColumnAlreadyExists("c".into()), "column `c` already exists"),
-            (StorageError::ColumnNotFound("c".into()), "column `c` not found"),
             (
-                StorageError::ColumnLengthMismatch { expected: 3, actual: 5 },
+                StorageError::TableAlreadyExists("t".into()),
+                "table `t` already exists",
+            ),
+            (
+                StorageError::TableNotFound("t".into()),
+                "table `t` not found",
+            ),
+            (
+                StorageError::ColumnAlreadyExists("c".into()),
+                "column `c` already exists",
+            ),
+            (
+                StorageError::ColumnNotFound("c".into()),
+                "column `c` not found",
+            ),
+            (
+                StorageError::ColumnLengthMismatch {
+                    expected: 3,
+                    actual: 5,
+                },
                 "column length mismatch: expected 3 rows, got 5",
             ),
             (

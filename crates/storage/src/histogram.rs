@@ -225,7 +225,7 @@ mod tests {
     #[test]
     fn skewed_data_reflects_skew() {
         let mut values = vec![0i64; 900];
-        values.extend(std::iter::repeat(1000).take(100));
+        values.extend(std::iter::repeat_n(1000, 100));
         let h = EquiWidthHistogram::from_values(&values, 32);
         let low_mass = h.estimate_range(0, 10);
         let high_mass = h.estimate_range(995, 1001);

@@ -6,18 +6,32 @@ use crate::RowId;
 /// A list of qualifying row identifiers produced by a select operator.
 ///
 /// Row ids are not required to be sorted — a cracking select returns rows in
-/// physical (cracked) order — but [`SelectionVector::sort`] normalizes the
-/// order so results from different access paths can be compared.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// physical (cracked) order — but many consumers (set operations, result
+/// comparison across access paths) want ascending order. The vector tracks
+/// whether its rows are currently sorted so that [`SelectionVector::sort`]
+/// is a no-op on already-ordered data and the set operations
+/// ([`SelectionVector::intersect`], [`SelectionVector::union`]) can sort
+/// each input lazily at most once over its lifetime instead of cloning and
+/// re-sorting both inputs on every call.
+///
+/// Equality compares the row sequence only, not the sortedness bookkeeping.
+#[derive(Debug, Clone, Default)]
 pub struct SelectionVector {
     rows: Vec<RowId>,
+    /// Whether `rows` is known to be in ascending order. `false` only means
+    /// "not verified": a freshly built vector that happens to be ordered is
+    /// detected on construction.
+    sorted: bool,
 }
 
 impl SelectionVector {
     /// Creates an empty selection vector.
     #[must_use]
     pub fn new() -> Self {
-        SelectionVector { rows: Vec::new() }
+        SelectionVector {
+            rows: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Creates an empty selection vector with pre-allocated capacity.
@@ -25,18 +39,31 @@ impl SelectionVector {
     pub fn with_capacity(capacity: usize) -> Self {
         SelectionVector {
             rows: Vec::with_capacity(capacity),
+            sorted: true,
         }
     }
 
     /// Creates a selection vector from an existing row-id vector.
     #[must_use]
     pub fn from_rows(rows: Vec<RowId>) -> Self {
-        SelectionVector { rows }
+        let sorted = rows.is_sorted();
+        SelectionVector { rows, sorted }
+    }
+
+    /// Creates a selection vector from a row-id vector the caller guarantees
+    /// to be in ascending order (as produced by a physical-order scan).
+    ///
+    /// Only debug builds verify the claim.
+    #[must_use]
+    pub fn from_sorted_rows(rows: Vec<RowId>) -> Self {
+        debug_assert!(rows.is_sorted(), "from_sorted_rows requires ascending rows");
+        SelectionVector { rows, sorted: true }
     }
 
     /// Appends a qualifying row id.
     #[inline]
     pub fn push(&mut self, row: RowId) {
+        self.sorted = self.sorted && self.rows.last().is_none_or(|&last| last <= row);
         self.rows.push(row);
     }
 
@@ -52,6 +79,12 @@ impl SelectionVector {
         self.rows.is_empty()
     }
 
+    /// Whether the rows are known to be in ascending order.
+    #[must_use]
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
     /// The qualifying row ids.
     #[must_use]
     pub fn rows(&self) -> &[RowId] {
@@ -64,9 +97,12 @@ impl SelectionVector {
         self.rows
     }
 
-    /// Sorts the row ids in ascending order (for comparisons across paths).
+    /// Sorts the row ids in ascending order (no-op if already sorted).
     pub fn sort(&mut self) {
-        self.rows.sort_unstable();
+        if !self.sorted {
+            self.rows.sort_unstable();
+            self.sorted = true;
+        }
     }
 
     /// Returns a sorted copy of this selection vector.
@@ -77,15 +113,17 @@ impl SelectionVector {
         copy
     }
 
-    /// Intersects two selection vectors (both are sorted internally first).
+    /// Intersects two selection vectors.
     ///
-    /// Used for conjunctive multi-attribute predicates.
+    /// Each input is sorted in place at most once (lazily, remembered via
+    /// the sorted flag); the merge itself allocates nothing beyond the
+    /// output. Used for conjunctive multi-attribute predicates.
     #[must_use]
-    pub fn intersect(&self, other: &SelectionVector) -> SelectionVector {
-        let mut a = self.rows.clone();
-        let mut b = other.rows.clone();
-        a.sort_unstable();
-        b.sort_unstable();
+    pub fn intersect(&mut self, other: &mut SelectionVector) -> SelectionVector {
+        self.sort();
+        other.sort();
+        let a = &self.rows;
+        let b = &other.rows;
         let mut out = Vec::with_capacity(a.len().min(b.len()));
         let (mut i, mut j) = (0usize, 0usize);
         while i < a.len() && j < b.len() {
@@ -99,17 +137,42 @@ impl SelectionVector {
                 }
             }
         }
-        SelectionVector::from_rows(out)
+        SelectionVector::from_sorted_rows(out)
     }
 
     /// Unions two selection vectors, removing duplicates.
+    ///
+    /// Like [`SelectionVector::intersect`], sorts each input in place at
+    /// most once and merges without temporary copies of the inputs.
     #[must_use]
-    pub fn union(&self, other: &SelectionVector) -> SelectionVector {
-        let mut all = self.rows.clone();
-        all.extend_from_slice(&other.rows);
-        all.sort_unstable();
-        all.dedup();
-        SelectionVector::from_rows(all)
+    pub fn union(&mut self, other: &mut SelectionVector) -> SelectionVector {
+        self.sort();
+        other.sort();
+        let a = &self.rows;
+        let b = &other.rows;
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        out.dedup();
+        SelectionVector::from_sorted_rows(out)
     }
 
     /// Iterates over the qualifying row ids.
@@ -118,17 +181,23 @@ impl SelectionVector {
     }
 }
 
+impl PartialEq for SelectionVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+    }
+}
+
+impl Eq for SelectionVector {}
+
 impl FromIterator<RowId> for SelectionVector {
     fn from_iter<T: IntoIterator<Item = RowId>>(iter: T) -> Self {
-        SelectionVector {
-            rows: iter.into_iter().collect(),
-        }
+        SelectionVector::from_rows(iter.into_iter().collect())
     }
 }
 
 impl From<Vec<RowId>> for SelectionVector {
     fn from(rows: Vec<RowId>) -> Self {
-        SelectionVector { rows }
+        SelectionVector::from_rows(rows)
     }
 }
 
@@ -156,27 +225,70 @@ mod tests {
     }
 
     #[test]
+    fn sorted_flag_tracks_order() {
+        assert!(SelectionVector::new().is_sorted());
+        assert!(SelectionVector::from_rows(vec![1, 2, 2, 9]).is_sorted());
+        assert!(!SelectionVector::from_rows(vec![2, 1]).is_sorted());
+        let mut sv = SelectionVector::new();
+        sv.push(1);
+        sv.push(5);
+        assert!(sv.is_sorted());
+        sv.push(3);
+        assert!(!sv.is_sorted());
+        sv.sort();
+        assert!(sv.is_sorted());
+        // Pushing in order onto a sorted vector keeps the flag.
+        sv.push(100);
+        assert!(sv.is_sorted());
+    }
+
+    #[test]
     fn intersect_unsorted_inputs() {
-        let a = SelectionVector::from_rows(vec![5, 1, 3, 7]);
-        let b = SelectionVector::from_rows(vec![7, 2, 1]);
-        let c = a.intersect(&b);
+        let mut a = SelectionVector::from_rows(vec![5, 1, 3, 7]);
+        let mut b = SelectionVector::from_rows(vec![7, 2, 1]);
+        let c = a.intersect(&mut b);
         assert_eq!(c.rows(), &[1, 7]);
+        // Inputs are now sorted in place — the lazy sort happened once.
+        assert!(a.is_sorted() && b.is_sorted());
+        assert_eq!(a.rows(), &[1, 3, 5, 7]);
+        // A second intersect merges directly off the sorted inputs.
+        assert_eq!(a.intersect(&mut b).rows(), &[1, 7]);
     }
 
     #[test]
     fn intersect_with_empty_is_empty() {
-        let a = SelectionVector::from_rows(vec![1, 2, 3]);
-        let b = SelectionVector::new();
-        assert!(a.intersect(&b).is_empty());
-        assert!(b.intersect(&a).is_empty());
+        let mut a = SelectionVector::from_rows(vec![1, 2, 3]);
+        let mut b = SelectionVector::new();
+        assert!(a.intersect(&mut b).is_empty());
+        assert!(b.intersect(&mut a).is_empty());
     }
 
     #[test]
     fn union_removes_duplicates() {
-        let a = SelectionVector::from_rows(vec![3, 1]);
-        let b = SelectionVector::from_rows(vec![2, 3]);
-        let u = a.union(&b);
+        let mut a = SelectionVector::from_rows(vec![3, 1]);
+        let mut b = SelectionVector::from_rows(vec![2, 3]);
+        let u = a.union(&mut b);
         assert_eq!(u.rows(), &[1, 2, 3]);
+        assert!(u.is_sorted());
+    }
+
+    #[test]
+    fn union_with_disjoint_tails() {
+        let mut a = SelectionVector::from_rows(vec![1, 2]);
+        let mut b = SelectionVector::from_rows(vec![8, 9, 10]);
+        assert_eq!(a.union(&mut b).rows(), &[1, 2, 8, 9, 10]);
+        assert_eq!(b.union(&mut a).rows(), &[1, 2, 8, 9, 10]);
+    }
+
+    #[test]
+    fn equality_ignores_sortedness_bookkeeping() {
+        let a = SelectionVector::from_sorted_rows(vec![1, 2, 3]);
+        let mut b = SelectionVector::new();
+        b.push(1);
+        b.push(2);
+        b.push(3);
+        assert_eq!(a, b);
+        assert_ne!(a, SelectionVector::from_rows(vec![3, 2, 1]));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::histogram::{EquiWidthHistogram, DEFAULT_BUCKETS};
 use crate::Value;
 
 /// Summary statistics for a single column.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ColumnStats {
     /// Number of values in the column.
     pub count: u64,
@@ -24,19 +24,6 @@ pub struct ColumnStats {
     pub histogram: Option<EquiWidthHistogram>,
     /// Crude distinct-value estimate (capped sample-based).
     pub distinct_estimate: u64,
-}
-
-impl Default for ColumnStats {
-    fn default() -> Self {
-        ColumnStats {
-            count: 0,
-            min: None,
-            max: None,
-            sum: 0,
-            histogram: None,
-            distinct_estimate: 0,
-        }
-    }
 }
 
 impl ColumnStats {
@@ -112,14 +99,11 @@ impl ColumnStats {
                 let hi = (hi.min(max + 1)) as f64;
                 ((hi - lo).max(0.0) / span).clamp(0.0, 1.0)
             }
-            (Some(min), Some(_)) => {
+            (Some(min), Some(_))
                 // Constant column: selectivity is 1 if the constant is covered.
-                if lo <= min && min < hi {
+                if lo <= min && min < hi => {
                     1.0
-                } else {
-                    0.0
                 }
-            }
             _ => 0.0,
         }
     }
@@ -218,7 +202,11 @@ mod tests {
         let s = ColumnStats::from_values(&values);
         // True distinct is 100; estimate should not be wildly off (sampling
         // every k-th element of a cyclic pattern can alias, so allow slack).
-        assert!(s.distinct_estimate >= 50, "estimate={}", s.distinct_estimate);
+        assert!(
+            s.distinct_estimate >= 50,
+            "estimate={}",
+            s.distinct_estimate
+        );
     }
 
     #[test]

@@ -186,7 +186,10 @@ mod tests {
         let err = t.add_column_from_values("c", vec![1, 2]).unwrap_err();
         assert_eq!(
             err,
-            StorageError::ColumnLengthMismatch { expected: 3, actual: 2 }
+            StorageError::ColumnLengthMismatch {
+                expected: 3,
+                actual: 2
+            }
         );
     }
 

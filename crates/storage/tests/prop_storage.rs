@@ -63,12 +63,12 @@ proptest! {
         a in prop::collection::btree_set(0u32..200, 0..60),
         b in prop::collection::btree_set(0u32..200, 0..60),
     ) {
-        let sa = SelectionVector::from_rows(a.iter().copied().collect());
-        let sb = SelectionVector::from_rows(b.iter().copied().collect());
+        let mut sa = SelectionVector::from_rows(a.iter().copied().collect());
+        let mut sb = SelectionVector::from_rows(b.iter().copied().collect());
         let inter: Vec<u32> = a.intersection(&b).copied().collect();
         let uni: Vec<u32> = a.union(&b).copied().collect();
-        prop_assert_eq!(sa.intersect(&sb).into_rows(), inter);
-        prop_assert_eq!(sa.union(&sb).into_rows(), uni);
+        prop_assert_eq!(sa.intersect(&mut sb).into_rows(), inter);
+        prop_assert_eq!(sa.union(&mut sb).into_rows(), uni);
     }
 
     #[test]

@@ -131,9 +131,12 @@ mod tests {
     fn periodic_idle_matches_paper_exp1_shape() {
         // 1000 queries, idle every 100: T_init + 9 interior idle windows.
         let mut rng = StdRng::seed_from_u64(2);
-        let events = SessionBuilder::new(ArrivalModel::PeriodicIdle { every: 100, actions: 10 })
-            .with_initial_idle(IdleWindow::Actions(10))
-            .build(&mut gen(), 1000, &mut rng);
+        let events = SessionBuilder::new(ArrivalModel::PeriodicIdle {
+            every: 100,
+            actions: 10,
+        })
+        .with_initial_idle(IdleWindow::Actions(10))
+        .build(&mut gen(), 1000, &mut rng);
         let (q, i) = count_events(&events);
         assert_eq!(q, 1000);
         assert_eq!(i, 10);
@@ -144,7 +147,11 @@ mod tests {
             match e {
                 WorkloadEvent::Query(_) => queries_seen += 1,
                 WorkloadEvent::Idle(_) => {
-                    assert_eq!(queries_seen % 100, 0, "idle window not on a 100-query boundary");
+                    assert_eq!(
+                        queries_seen % 100,
+                        0,
+                        "idle window not on a 100-query boundary"
+                    );
                 }
             }
         }
@@ -153,8 +160,11 @@ mod tests {
     #[test]
     fn bursty_model_alternates_bursts_and_idles() {
         let mut rng = StdRng::seed_from_u64(3);
-        let events = SessionBuilder::new(ArrivalModel::Bursty { burst_len: 10, actions: 50 })
-            .build(&mut gen(), 35, &mut rng);
+        let events = SessionBuilder::new(ArrivalModel::Bursty {
+            burst_len: 10,
+            actions: 50,
+        })
+        .build(&mut gen(), 35, &mut rng);
         let (q, i) = count_events(&events);
         assert_eq!(q, 35);
         assert_eq!(i, 3); // after bursts of 10, 10, 10 (not after the final 5)
@@ -174,13 +184,19 @@ mod tests {
     #[test]
     fn degenerate_parameters_are_clamped() {
         let mut rng = StdRng::seed_from_u64(5);
-        let events = SessionBuilder::new(ArrivalModel::PeriodicIdle { every: 0, actions: 1 })
-            .build(&mut gen(), 5, &mut rng);
+        let events = SessionBuilder::new(ArrivalModel::PeriodicIdle {
+            every: 0,
+            actions: 1,
+        })
+        .build(&mut gen(), 5, &mut rng);
         let (q, i) = count_events(&events);
         assert_eq!(q, 5);
         assert_eq!(i, 4);
-        let events = SessionBuilder::new(ArrivalModel::Bursty { burst_len: 0, actions: 1 })
-            .build(&mut gen(), 3, &mut rng);
+        let events = SessionBuilder::new(ArrivalModel::Bursty {
+            burst_len: 0,
+            actions: 1,
+        })
+        .build(&mut gen(), 3, &mut rng);
         let (q, _) = count_events(&events);
         assert_eq!(q, 3);
     }

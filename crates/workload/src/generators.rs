@@ -156,7 +156,11 @@ impl QueryGenerator for SequentialRangeGenerator {
     fn next_query<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> RangeQuery {
         let lo = self.cursor;
         let hi = (lo + self.width).min(self.domain_hi);
-        self.cursor = if hi >= self.domain_hi { self.domain_lo } else { hi };
+        self.cursor = if hi >= self.domain_hi {
+            self.domain_lo
+        } else {
+            hi
+        };
         RangeQuery::new(self.column, lo, hi)
     }
 }
@@ -242,7 +246,11 @@ mod tests {
             .map(|_| g.next_query(&mut rng))
             .filter(|q| q.lo < 100_000)
             .count();
-        assert!(hot as f64 / n as f64 > 0.5, "hot fraction {}", hot as f64 / n as f64);
+        assert!(
+            hot as f64 / n as f64 > 0.5,
+            "hot fraction {}",
+            hot as f64 / n as f64
+        );
     }
 
     #[test]

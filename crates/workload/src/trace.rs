@@ -28,7 +28,11 @@ pub struct TraceParseError {
 
 impl std::fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -73,7 +77,10 @@ impl QueryTrace {
     /// Number of query events.
     #[must_use]
     pub fn query_count(&self) -> usize {
-        self.events.iter().filter(|e| e.as_query().is_some()).count()
+        self.events
+            .iter()
+            .filter(|e| e.as_query().is_some())
+            .count()
     }
 
     /// Serializes the trace to the line-oriented text format.
@@ -194,7 +201,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blank_lines_are_ignored()  {
+    fn comments_and_blank_lines_are_ignored() {
         let text = "# a comment\n\nQ 0 1 2\n  \n# another\nIA 7\n";
         let parsed = QueryTrace::from_text(text).unwrap();
         assert_eq!(parsed.len(), 2);

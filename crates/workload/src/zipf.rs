@@ -24,7 +24,10 @@ impl Zipf {
     #[must_use]
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and >= 0");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite and >= 0"
+        );
         let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
@@ -99,7 +102,11 @@ mod tests {
                 low += 1;
             }
         }
-        assert!(low as f64 / n as f64 > 0.5, "low fraction {}", low as f64 / n as f64);
+        assert!(
+            low as f64 / n as f64 > 0.5,
+            "low fraction {}",
+            low as f64 / n as f64
+        );
     }
 
     #[test]

@@ -89,7 +89,9 @@ fn main() {
     let inner = UniformRangeGenerator::new(0, 1, ROWS as i64 + 1, 0.01);
     let mut generator = RoundRobinColumns::new(inner, COLUMNS);
     let mut rng = StdRng::seed_from_u64(8);
-    let queries: Vec<_> = (0..QUERIES).map(|_| generator.next_query(&mut rng)).collect();
+    let queries: Vec<_> = (0..QUERIES)
+        .map(|_| generator.next_query(&mut rng))
+        .collect();
 
     let mut offline_total = Duration::ZERO;
     let mut holistic_total = Duration::ZERO;

@@ -30,14 +30,30 @@ fn main() {
 
     // The star catalog: right ascension, declination, magnitude, redshift.
     let columns: Vec<(&str, Vec<i64>)> = vec![
-        ("right_ascension", (0..STARS).map(|_| rng.gen_range(0..360_000)).collect()),
-        ("declination", (0..STARS).map(|_| rng.gen_range(-90_000..90_000)).collect()),
-        ("magnitude", (0..STARS).map(|_| rng.gen_range(-2_000..30_000)).collect()),
-        ("redshift_milli", (0..STARS).map(|_| rng.gen_range(0..8_000)).collect()),
+        (
+            "right_ascension",
+            (0..STARS).map(|_| rng.gen_range(0..360_000)).collect(),
+        ),
+        (
+            "declination",
+            (0..STARS).map(|_| rng.gen_range(-90_000..90_000)).collect(),
+        ),
+        (
+            "magnitude",
+            (0..STARS).map(|_| rng.gen_range(-2_000..30_000)).collect(),
+        ),
+        (
+            "redshift_milli",
+            (0..STARS).map(|_| rng.gen_range(0..8_000)).collect(),
+        ),
     ];
     let table = db.create_table("stars", columns).unwrap();
     let cols = db.column_ids(table).unwrap();
-    println!("loaded star catalog: {} rows x {} attributes", STARS, cols.len());
+    println!(
+        "loaded star catalog: {} rows x {} attributes",
+        STARS,
+        cols.len()
+    );
 
     // Phase 1 — overnight idle time before the scientists arrive. Instead of
     // fully sorting one or two attributes, spread partial indexing over all.

@@ -27,12 +27,24 @@ fn build_db(strategy: IndexingStrategy) -> (Database, Vec<holistic_core::ColumnI
     let columns: Vec<(&str, Vec<i64>)> = vec![
         ("timestamp", (0..ROWS as i64).collect()),
         ("status_code", {
-            let mut v: Vec<i64> = (0..ROWS).map(|_| [200, 200, 200, 304, 404, 500][rand::Rng::gen_range(&mut rng, 0..6)]).collect();
+            let mut v: Vec<i64> = (0..ROWS)
+                .map(|_| [200, 200, 200, 304, 404, 500][rand::Rng::gen_range(&mut rng, 0usize..6)])
+                .collect();
             v.rotate_left(ROWS / 3);
             v
         }),
-        ("latency_us", (0..ROWS).map(|_| rand::Rng::gen_range(&mut rng, 100..1_000_000)).collect()),
-        ("bytes_sent", (0..ROWS).map(|_| rand::Rng::gen_range(&mut rng, 0..5_000_000)).collect()),
+        (
+            "latency_us",
+            (0..ROWS)
+                .map(|_| rand::Rng::gen_range(&mut rng, 100..1_000_000))
+                .collect(),
+        ),
+        (
+            "bytes_sent",
+            (0..ROWS)
+                .map(|_| rand::Rng::gen_range(&mut rng, 0..5_000_000))
+                .collect(),
+        ),
     ];
     let table = db.create_table("requests", columns).unwrap();
     let cols = db.column_ids(table).unwrap();
@@ -51,7 +63,12 @@ fn bursty_trace() -> Vec<WorkloadEvent> {
     .build(&mut generator, BURSTS * QUERIES_PER_BURST, &mut rng)
 }
 
-fn replay(db: &mut Database, cols: &[holistic_core::ColumnId], events: &[WorkloadEvent], exploit_idle: bool) -> Vec<Duration> {
+fn replay(
+    db: &mut Database,
+    cols: &[holistic_core::ColumnId],
+    events: &[WorkloadEvent],
+    exploit_idle: bool,
+) -> Vec<Duration> {
     // Alternate the analysed column between latency (2) and bytes (3).
     let mut burst_latencies = Vec::new();
     let mut current_burst = Duration::ZERO;
@@ -101,7 +118,10 @@ fn main() {
     let (mut holistic_db, hcols) = build_db(IndexingStrategy::Holistic);
     let holistic = replay(&mut holistic_db, &hcols, &events, true);
 
-    println!("{:>8} {:>20} {:>20}", "burst", "adaptive (ms)", "holistic (ms)");
+    println!(
+        "{:>8} {:>20} {:>20}",
+        "burst", "adaptive (ms)", "holistic (ms)"
+    );
     for (i, (a, h)) in adaptive.iter().zip(holistic.iter()).enumerate() {
         println!(
             "{:>8} {:>20.2} {:>20.2}",

@@ -3,9 +3,7 @@
 //!
 //! Run with `cargo run --release --example quickstart -p holistic-core`.
 
-use holistic_core::{
-    Database, HolisticConfig, IdleBudget, IndexingStrategy, Query,
-};
+use holistic_core::{Database, HolisticConfig, IdleBudget, IndexingStrategy, Query};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -17,7 +15,9 @@ fn main() {
     let n: i64 = 1_000_000;
     let mut rng = StdRng::seed_from_u64(7);
     let values: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=n)).collect();
-    let table = db.create_table("readings", vec![("temperature", values)]).unwrap();
+    let table = db
+        .create_table("readings", vec![("temperature", values)])
+        .unwrap();
     let col = db.column_id(table, "temperature").unwrap();
 
     // 3. Run a few exploratory range queries. Every query physically
@@ -44,7 +44,9 @@ fn main() {
     );
 
     // 5. Queries after the idle window are faster still.
-    let result = db.execute(&Query::range(col, n / 2, n / 2 + n / 100)).unwrap();
+    let result = db
+        .execute(&Query::range(col, n / 2, n / 2 + n / 100))
+        .unwrap();
     println!(
         "\npost-idle query: {} rows in {:?} ({} pieces now)",
         result.count,

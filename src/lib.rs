@@ -1,0 +1,22 @@
+//! Umbrella crate for the holistic indexing kernel.
+//!
+//! Re-exports the workspace crates under one roof so the integration tests
+//! and examples (and downstream users who want the whole system) need a
+//! single dependency. See the individual crates for the actual machinery:
+//!
+//! * [`storage`] — main-memory column store and bulk scans.
+//! * [`cracking`] — adaptive indexing (database cracking) kernels.
+//! * [`offline`] — workload analysis, index advisor, full sorted indexes.
+//! * [`online`] — epoch-based online index tuning.
+//! * [`workload`] — query/idle-window workload generators and traces.
+//! * [`core`] — the engine tying every strategy together.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use holistic_core as core;
+pub use holistic_cracking as cracking;
+pub use holistic_offline as offline;
+pub use holistic_online as online;
+pub use holistic_storage as storage;
+pub use holistic_workload as workload;

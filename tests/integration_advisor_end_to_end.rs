@@ -60,7 +60,9 @@ fn what_if_costs_predict_the_right_winner() {
     let mut workload = WorkloadSummary::new();
     let mut db_indexed = Database::new(HolisticConfig::default(), IndexingStrategy::Offline);
     let mut db_scan = Database::new(HolisticConfig::default(), IndexingStrategy::ScanOnly);
-    let t1 = db_indexed.create_table("r", vec![("a", dataset(1))]).unwrap();
+    let t1 = db_indexed
+        .create_table("r", vec![("a", dataset(1))])
+        .unwrap();
     db_scan.create_table("r", vec![("a", dataset(1))]).unwrap();
     let col = db_indexed.column_id(t1, "a").unwrap();
     workload.declare(col, 500, 0.01);
@@ -78,7 +80,10 @@ fn what_if_costs_predict_the_right_winner() {
     let mut indexed_total = std::time::Duration::ZERO;
     let mut scan_total = std::time::Duration::ZERO;
     for &(lo, hi) in &queries {
-        indexed_total += db_indexed.execute(&Query::range(col, lo, hi)).unwrap().latency;
+        indexed_total += db_indexed
+            .execute(&Query::range(col, lo, hi))
+            .unwrap()
+            .latency;
         scan_total += db_scan.execute(&Query::range(col, lo, hi)).unwrap().latency;
     }
     assert!(
@@ -103,7 +108,10 @@ fn online_tuner_and_sorted_index_agree_with_the_base_data() {
             Some(base.clone())
         });
     }
-    assert!(tuner.has_index(col), "hot column should have been indexed online");
+    assert!(
+        tuner.has_index(col),
+        "hot column should have been indexed online"
+    );
     let idx = tuner.index(col).unwrap();
     for _ in 0..20 {
         let lo = rng.gen_range(1..=(ROWS as i64 - 600));
@@ -131,7 +139,11 @@ fn holistic_knowledge_flows_into_the_advisor_and_back() {
 
     let summary = db.observed_workload().clone();
     let advisor = Advisor::new();
-    let picks = advisor.recommend(&summary, |_| ROWS, advisor.model().full_build_cost(ROWS) * 1.5);
+    let picks = advisor.recommend(
+        &summary,
+        |_| ROWS,
+        advisor.model().full_build_cost(ROWS) * 1.5,
+    );
     assert_eq!(picks.len(), 1);
     assert_eq!(picks[0].column, cols[0], "the hot column should be picked");
     db.build_full_index(picks[0].column).unwrap();
@@ -149,7 +161,7 @@ fn sorted_index_and_scan_agree_on_arbitrary_data() {
     let mut rng = StdRng::seed_from_u64(9);
     for _ in 0..100 {
         let lo = rng.gen_range(-100..=(ROWS as i64 + 100));
-        let hi = lo + rng.gen_range(0..2_000);
+        let hi = lo + rng.gen_range(0i64..2_000);
         let expected = values.iter().filter(|&&v| v >= lo && v < hi).count() as u64;
         assert_eq!(idx.count(lo, hi), expected);
     }

@@ -7,9 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use holistic_core::background::{BackgroundConfig, BackgroundTuner};
-use holistic_core::{
-    Database, HolisticConfig, IdleBudget, IndexingStrategy, Query,
-};
+use holistic_core::{Database, HolisticConfig, IdleBudget, IndexingStrategy, Query};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,7 +49,9 @@ fn idle_time_reduces_future_query_work() {
     // Warm both with one query (so statistics exist), then grant idle time
     // to only one of them.
     tuned.execute(&Query::range(tuned_cols[0], 1, 100)).unwrap();
-    untuned.execute(&Query::range(untuned_cols[0], 1, 100)).unwrap();
+    untuned
+        .execute(&Query::range(untuned_cols[0], 1, 100))
+        .unwrap();
     let report = tuned.run_idle(IdleBudget::Actions(500));
     assert!(report.actions_applied > 0);
     let pieces_after_idle = tuned.piece_count(tuned_cols[0]);
@@ -104,7 +104,10 @@ fn idle_tuning_converges_and_stops() {
             break;
         }
     }
-    assert!(converged, "tuning never converged after {total_actions} actions");
+    assert!(
+        converged,
+        "tuning never converged after {total_actions} actions"
+    );
     // Once converged, further idle time is a no-op.
     let after = db.run_idle(IdleBudget::Actions(100));
     assert!(after.converged);
@@ -176,7 +179,10 @@ fn background_tuner_and_foreground_queries_coexist() {
         std::thread::sleep(Duration::from_millis(10));
     }
     let background_actions = tuner.stop();
-    assert!(background_actions > 0, "idle gaps should have been exploited");
+    assert!(
+        background_actions > 0,
+        "idle gaps should have been exploited"
+    );
     // Replay the recorded queries: answers must be unchanged by background work.
     let mut db = Arc::try_unwrap(shared).expect("tuner stopped").into_inner();
     for (col, lo, count) in expected_counts {

@@ -2,9 +2,7 @@
 //! under every indexing strategy must return identical answers, while the
 //! auxiliary structures each strategy builds differ in the expected ways.
 
-use holistic_core::{
-    AccessPath, Database, HolisticConfig, IndexingStrategy, Query,
-};
+use holistic_core::{AccessPath, Database, HolisticConfig, IndexingStrategy, Query};
 use holistic_offline::WorkloadSummary;
 use holistic_workload::{QueryGenerator, RoundRobinColumns, UniformRangeGenerator};
 use rand::rngs::StdRng;
@@ -21,11 +19,7 @@ fn dataset(seed: u64) -> Vec<i64> {
 
 fn build_db(strategy: IndexingStrategy) -> (Database, Vec<holistic_core::ColumnId>) {
     let mut db = Database::new(HolisticConfig::for_testing(), strategy);
-    let data: Vec<(&str, Vec<i64>)> = vec![
-        ("a", dataset(1)),
-        ("b", dataset(2)),
-        ("c", dataset(3)),
-    ];
+    let data: Vec<(&str, Vec<i64>)> = vec![("a", dataset(1)), ("b", dataset(2)), ("c", dataset(3))];
     let t = db.create_table("r", data).unwrap();
     let cols = db.column_ids(t).unwrap();
     (db, cols)
@@ -171,11 +165,16 @@ fn results_are_identical_with_and_without_rowid_payloads() {
         IndexingStrategy::Holistic,
     );
     for db in [&mut with_rowids, &mut without_rowids] {
-        db.create_table("r", vec![("a", dataset(1)), ("b", dataset(2)), ("c", dataset(3))])
-            .unwrap();
+        db.create_table(
+            "r",
+            vec![("a", dataset(1)), ("b", dataset(2)), ("c", dataset(3))],
+        )
+        .unwrap();
     }
     let cols_a = with_rowids.column_ids(holistic_core::TableId(0)).unwrap();
-    let cols_b = without_rowids.column_ids(holistic_core::TableId(0)).unwrap();
+    let cols_b = without_rowids
+        .column_ids(holistic_core::TableId(0))
+        .unwrap();
     for q in &queries {
         let a = with_rowids
             .execute(&Query::range(cols_a[q.column], q.lo, q.hi))
@@ -207,7 +206,10 @@ fn stochastic_policies_do_not_change_query_answers() {
             IndexingStrategy::Holistic,
         );
         let t = db
-            .create_table("r", vec![("a", dataset(1)), ("b", dataset(2)), ("c", dataset(3))])
+            .create_table(
+                "r",
+                vec![("a", dataset(1)), ("b", dataset(2)), ("c", dataset(3))],
+            )
             .unwrap();
         let cols = db.column_ids(t).unwrap();
         for (q, want) in queries.iter().zip(reference.iter()) {

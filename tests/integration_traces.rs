@@ -16,7 +16,10 @@ fn build_db() -> (Database, Vec<holistic_core::ColumnId>) {
     let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
     let data: Vec<(&str, Vec<i64>)> = vec![
         ("a", (0..ROWS as i64).rev().collect()),
-        ("b", (0..ROWS as i64).map(|i| (i * 31) % ROWS as i64).collect()),
+        (
+            "b",
+            (0..ROWS as i64).map(|i| (i * 31) % ROWS as i64).collect(),
+        ),
     ];
     let t = db.create_table("r", data).unwrap();
     let cols = db.column_ids(t).unwrap();
@@ -69,9 +72,12 @@ fn trace_round_trip_preserves_replay_behaviour() {
         RoundRobinColumns::new(inner, 2)
     };
     let mut rng = StdRng::seed_from_u64(77);
-    let events = SessionBuilder::new(ArrivalModel::PeriodicIdle { every: 10, actions: 20 })
-        .with_initial_idle(IdleWindow::Actions(50))
-        .build(&mut generator, 80, &mut rng);
+    let events = SessionBuilder::new(ArrivalModel::PeriodicIdle {
+        every: 10,
+        actions: 20,
+    })
+    .with_initial_idle(IdleWindow::Actions(50))
+    .build(&mut generator, 80, &mut rng);
     let trace = QueryTrace::from_events(events);
 
     let text = trace.to_text();
@@ -106,7 +112,10 @@ fn replaying_the_same_trace_under_different_strategies_gives_identical_answers()
                 "r",
                 vec![
                     ("a", (0..ROWS as i64).rev().collect()),
-                    ("b", (0..ROWS as i64).map(|i| (i * 31) % ROWS as i64).collect()),
+                    (
+                        "b",
+                        (0..ROWS as i64).map(|i| (i * 31) % ROWS as i64).collect(),
+                    ),
                 ],
             )
             .unwrap();
@@ -123,8 +132,11 @@ fn replaying_the_same_trace_under_different_strategies_gives_identical_answers()
 fn bursty_sessions_alternate_queries_and_idle_windows_when_replayed() {
     let mut generator = UniformRangeGenerator::new(0, 1, ROWS as i64, 0.01);
     let mut rng = StdRng::seed_from_u64(13);
-    let events = SessionBuilder::new(ArrivalModel::Bursty { burst_len: 20, actions: 30 })
-        .build(&mut generator, 100, &mut rng);
+    let events = SessionBuilder::new(ArrivalModel::Bursty {
+        burst_len: 20,
+        actions: 30,
+    })
+    .build(&mut generator, 100, &mut rng);
     let trace = QueryTrace::from_events(events);
     assert_eq!(trace.query_count(), 100);
     assert_eq!(trace.len() - trace.query_count(), 4); // 4 idle gaps between 5 bursts

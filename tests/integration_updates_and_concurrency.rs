@@ -31,7 +31,7 @@ fn updatable_cracker_column_tracks_a_mutating_reference_set() {
             // Query a random range.
             0 | 2 => {
                 let lo = rng.gen_range(1..=(n as i64 - 200));
-                let hi = lo + rng.gen_range(1..500);
+                let hi = lo + rng.gen_range(1i64..500);
                 assert_eq!(
                     column.count(lo, hi),
                     scan_count(&reference, lo, hi),
@@ -153,7 +153,10 @@ fn updates_interleaved_with_idle_style_merging() {
         }
         if v % 7 == 0 {
             let lo = rng.gen_range(1..=(n as i64 - 300));
-            assert_eq!(column.count(lo, lo + 250), scan_count(&reference, lo, lo + 250));
+            assert_eq!(
+                column.count(lo, lo + 250),
+                scan_count(&reference, lo, lo + 250)
+            );
         }
     }
     column.merge_all();

@@ -1,0 +1,349 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! Implements the measurement core of the criterion API this workspace's
+//! benches use — [`Criterion::benchmark_group`], [`BenchmarkGroup`]'s
+//! `bench_function` / `bench_with_input` / `throughput`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], [`BenchmarkId`], [`Throughput`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — with honest
+//! wall-clock timing and plain-text min/median/max reports on stdout.
+//! Statistical analysis, plotting and HTML reports are out of scope; the
+//! real criterion drops in via the workspace manifest with no code changes.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in times every routine
+/// invocation individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: one (or few) per batch in real criterion.
+    LargeInput,
+    /// Exactly one input per iteration.
+    PerIteration,
+}
+
+/// Measured throughput basis for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Nanoseconds per routine invocation, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn with_sample_size(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        }
+    }
+
+    /// Times `routine`, batching invocations so each sample spans at least
+    /// one millisecond of wall clock.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut iters: u64 = 1;
+        // Calibrate the batch size on the fly (doubling warm-up runs).
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One warm-up invocation outside the samples.
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let sample_size = self.sample_size;
+        run_benchmark(&id.into().id, sample_size, None, |b| f(b));
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the throughput basis reported for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&id, self.sample_size, self.throughput, |b| f(b));
+    }
+
+    /// Benchmarks a closure parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        run_benchmark(&id, self.sample_size, self.throughput, |b| f(b, input));
+    }
+
+    /// Ends the group (report flushing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher::with_sample_size(sample_size);
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{id:<50} (no samples collected)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+    let mut line = format!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            let rate = n as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {} elem/s", fmt_rate(rate)));
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            let rate = n as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {} B/s", fmt_rate(rate)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec < 1e3 {
+        format!("{per_sec:.1}")
+    } else if per_sec < 1e6 {
+        format!("{:.2} K", per_sec / 1e3)
+    } else if per_sec < 1e9 {
+        format!("{:.2} M", per_sec / 1e6)
+    } else {
+        format!("{:.2} G", per_sec / 1e9)
+    }
+}
+
+/// Declares a benchmark group function (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_collects_samples() {
+        let mut b = Bencher::with_sample_size(5);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn bencher_iter_batched_collects_samples() {
+        let mut b = Bencher::with_sample_size(4);
+        b.iter_batched(
+            || vec![3u64, 1, 2],
+            |mut v| {
+                v.sort_unstable();
+                v
+            },
+            BatchSize::LargeInput,
+        );
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("f", 10), &10usize, |b, &n| {
+            b.iter_batched(|| n, |n| n * 2, BatchSize::SmallInput);
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| 2 + 2));
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(fmt_ns(10.0).contains("ns"));
+        assert!(fmt_ns(10_000.0).contains("µs"));
+        assert!(fmt_ns(10_000_000.0).contains("ms"));
+        assert!(fmt_rate(5e6).contains('M'));
+    }
+}

@@ -1,0 +1,174 @@
+//! Vendored, dependency-free stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so the subset of the
+//! proptest API this workspace's property tests use is reimplemented here:
+//! the [`proptest!`] / [`prop_compose!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros, range / tuple / collection strategies,
+//! [`any`] for `u64` and [`sample::Index`](prop::sample::Index), and
+//! [`ProptestConfig::with_cases`](test_runner::ProptestConfig::with_cases).
+//!
+//! Semantics: each test runs `cases` iterations with inputs sampled from a
+//! deterministic per-test generator (seeded from the test name, so failures
+//! reproduce across runs). Unlike real proptest there is **no shrinking** —
+//! a failing case reports the assertion message only. Swapping in the real
+//! proptest is a manifest change; the test sources compile against either.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Strategy constructors, mirroring the `proptest::prop` façade module.
+pub mod prop {
+    /// Collection strategies (`prop::collection`).
+    pub mod collection {
+        pub use crate::strategy::{btree_set, vec};
+    }
+    /// Sampling helpers (`prop::sample`).
+    pub mod sample {
+        pub use crate::strategy::Index;
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the whole-domain strategy for `T` (`proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Just;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest, Arbitrary,
+        Strategy,
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Declares property tests: each `fn` runs `cases` times on sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            cfg = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Composes strategies into a named strategy-returning function.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident: $aty:ty),* $(,)?)(
+        $($pat:pat in $strat:expr),* $(,)?
+    ) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $aty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(
+                move |__rng: &mut $crate::test_runner::TestRng| {
+                    $(let $pat = $crate::Strategy::sample(&($strat), __rng);)*
+                    $body
+                },
+            )
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn pairs()(v in prop::collection::vec((0i64..10, 0i64..5), 1..8)) -> Vec<(i64, i64)> {
+            v
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_and_collections_respect_bounds(
+            x in -5i64..5,
+            y in 1usize..=4,
+            values in prop::collection::vec(0u32..100, 0..20),
+            set in prop::collection::btree_set(0u32..50, 0..10),
+            seed in any::<u64>(),
+            idx in any::<prop::sample::Index>(),
+            (lo, width) in (0i64..100, 0i64..10),
+            composed in pairs(),
+        ) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!(values.len() < 20);
+            prop_assert!(values.iter().all(|&v| v < 100));
+            prop_assert!(set.len() < 10);
+            let _ = seed;
+            prop_assert!(idx.index(7) < 7);
+            prop_assert!((0..100).contains(&lo) && (0..10).contains(&width));
+            prop_assert!(!composed.is_empty() && composed.len() < 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        let s = 0i64..1000;
+        for _ in 0..50 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

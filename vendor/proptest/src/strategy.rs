@@ -1,0 +1,258 @@
+//! Strategies: sources of random values for property tests.
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+use crate::Arbitrary;
+
+/// A source of random values of one type.
+///
+/// The real proptest couples generation with shrinking via value trees; this
+/// stand-in only generates, which keeps the trait to a single method.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i64, u64, i32, u32, usize, isize, u16, i16, u8, i8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// A strategy that always yields a clone of one value (`proptest::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A number of elements for a collection strategy.
+#[derive(Debug, Clone)]
+pub struct SizeRange(Range<usize>);
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange(r)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange(n..n + 1)
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.0.clone())
+    }
+}
+
+/// Strategy for `Vec`s with element strategy `S` (see [`vec`]).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s whose length lies in `size` (`prop::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `BTreeSet`s (see [`btree_set`]).
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        // The element domain may be smaller than the target size; bail out
+        // after a bounded number of duplicate draws rather than spinning.
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < 10 * (target + 1) {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// Generates `BTreeSet`s with up to `size` elements
+/// (`prop::collection::btree_set`).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// A strategy defined by a sampling closure (used by `prop_compose!`).
+pub struct FnStrategy<F> {
+    f: F,
+}
+
+impl<F> FnStrategy<F> {
+    /// Wraps a sampling closure.
+    pub fn new(f: F) -> Self {
+        FnStrategy { f }
+    }
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Whole-domain strategy returned by [`crate::any`].
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T> Default for AnyStrategy<T> {
+    fn default() -> Self {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy::default()
+            }
+        }
+    )*};
+}
+
+impl_any_int!(i64, u64, i32, u32, usize, u16, i16, u8, i8);
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy::default()
+    }
+}
+
+/// An index into a collection of yet-unknown size (`prop::sample::Index`).
+///
+/// Stores a random word; [`Index::index`] maps it onto `0..len` once the
+/// length is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this index onto a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[must_use]
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Strategy for AnyStrategy<Index> {
+    type Value = Index;
+    fn sample(&self, rng: &mut TestRng) -> Index {
+        Index(rng.gen_range(0u64..=u64::MAX))
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = AnyStrategy<Index>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy::default()
+    }
+}

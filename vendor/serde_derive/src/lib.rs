@@ -1,0 +1,52 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The stand-in's `Serialize` / `Deserialize` are marker traits, so the
+//! derives only have to name the type: they scan the item's tokens for the
+//! `struct` / `enum` / `union` keyword and emit an empty trait impl for the
+//! identifier that follows. Generic types are not supported (nothing in this
+//! workspace derives serde on a generic type); the macro fails loudly if it
+//! meets one rather than emitting a wrong impl.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected a type name after `{kw}`, found {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    assert!(
+                        p.as_char() != '<',
+                        "the vendored serde derive does not support generic types \
+                         (deriving on `{name}`)"
+                    );
+                }
+                return name;
+            }
+        }
+    }
+    panic!("no struct/enum/union found in derive input");
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
