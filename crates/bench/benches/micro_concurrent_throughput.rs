@@ -1,0 +1,188 @@
+//! Multi-threaded query throughput on one shared engine.
+//!
+//! The point of the shared-reference query path: N query threads issue
+//! range selects through `db.read().execute(..)` on the *same* engine,
+//! with and without the background tuner racing them through the
+//! per-column latches. Reported is aggregate throughput (queries/second)
+//! per thread count, on a uniform and on a Zipf-skewed workload, plus the
+//! 4-vs-1-thread scaling factor.
+//!
+//! The total workload is fixed (`HOLISTIC_QUERIES` queries, default 16,000)
+//! and divided evenly among the threads, so every configuration does the
+//! same work and the ratio to the 1-thread run is a true scaling factor.
+//! Scale knob: `HOLISTIC_SCALE` (values per column, default 100,000).
+//! Note that scaling beyond the machine's core count is impossible; run on
+//! a multi-core box for meaningful numbers.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use holistic_bench::uniform_column;
+use holistic_core::{
+    BackgroundConfig, BackgroundTuner, Database, HolisticConfig, IndexingStrategy, Query,
+};
+use holistic_storage::ColumnId;
+use holistic_workload::{QueryGenerator, UniformRangeGenerator, ZipfRangeGenerator};
+
+const COLUMNS: usize = 4;
+const SELECTIVITY: f64 = 0.01;
+const WARMUP_QUERIES: usize = 512;
+
+fn scale() -> usize {
+    std::env::var("HOLISTIC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000)
+}
+
+fn total_queries() -> usize {
+    std::env::var("HOLISTIC_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16_000)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    Uniform,
+    Zipf,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Uniform => "uniform",
+            Workload::Zipf => "zipf(1.0)",
+        }
+    }
+}
+
+fn generate_queries(
+    workload: Workload,
+    cols: &[ColumnId],
+    n: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let make =
+        |q: holistic_workload::RangeQuery| Query::range(cols[q.column % cols.len()], q.lo, q.hi);
+    match workload {
+        Workload::Uniform => {
+            let mut gens: Vec<UniformRangeGenerator> = (0..cols.len())
+                .map(|c| UniformRangeGenerator::new(c, 1, n as i64 + 1, SELECTIVITY))
+                .collect();
+            (0..count)
+                .map(|i| make(gens[i % cols.len()].next_query(&mut rng)))
+                .collect()
+        }
+        Workload::Zipf => {
+            let mut gens: Vec<ZipfRangeGenerator> = (0..cols.len())
+                .map(|c| ZipfRangeGenerator::new(c, 1, n as i64 + 1, SELECTIVITY, 32, 1.0))
+                .collect();
+            (0..count)
+                .map(|i| make(gens[i % cols.len()].next_query(&mut rng)))
+                .collect()
+        }
+    }
+}
+
+/// One measured configuration: build a fresh engine, warm it, then hammer
+/// it from `threads` threads. Returns aggregate queries/second.
+fn run_config(workload: Workload, threads: usize, with_tuner: bool, n: usize) -> f64 {
+    let mut db = Database::new(HolisticConfig::default(), IndexingStrategy::Holistic);
+    let names: Vec<String> = (0..COLUMNS).map(|i| format!("a{i}")).collect();
+    let data: Vec<(&str, Vec<i64>)> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.as_str(), uniform_column(n, 0xBEEF + i as u64)))
+        .collect();
+    let table = db.create_table("r", data).expect("create table");
+    let cols = db.column_ids(table).expect("column ids");
+    let db = Arc::new(RwLock::new(db));
+
+    // Warm-up: crack the columns into shape single-threaded so the measured
+    // phase reflects the steady state (mostly shared-latch selects).
+    for q in generate_queries(workload, &cols, n, WARMUP_QUERIES, 7) {
+        db.read().execute(&q).expect("warmup query");
+    }
+
+    let tuner = with_tuner.then(|| {
+        BackgroundTuner::spawn(
+            Arc::clone(&db),
+            BackgroundConfig {
+                idle_threshold: std::time::Duration::ZERO,
+                batch_actions: 64,
+                poll_interval: std::time::Duration::from_micros(200),
+            },
+        )
+    });
+
+    // One shared stream, split into per-thread chunks: every thread count
+    // executes the exact same multiset of queries.
+    let total = total_queries();
+    let stream = generate_queries(workload, &cols, n, total, 100);
+    let chunk = total.div_ceil(threads);
+    let start = Instant::now();
+    let handles: Vec<_> = stream
+        .chunks(chunk)
+        .map(|queries| {
+            let db = Arc::clone(&db);
+            let queries = queries.to_vec();
+            std::thread::spawn(move || {
+                for q in &queries {
+                    let r = db.read().execute(q).expect("query");
+                    std::hint::black_box(r.count);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("query thread panicked");
+    }
+    let elapsed = start.elapsed();
+    if let Some(tuner) = tuner {
+        tuner.stop();
+    }
+    assert!(db.read().validate(), "invariants violated under load");
+    total as f64 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    let n = scale();
+    let threads = [1usize, 2, 4, 8];
+    println!(
+        "micro_concurrent_throughput: {COLUMNS} columns x {n} values, {} total queries, \
+         {:.1}% selectivity, {} hardware threads",
+        total_queries(),
+        SELECTIVITY * 100.0,
+        std::thread::available_parallelism().map_or(0, |p| p.get()),
+    );
+    println!(
+        "{:<12} {:>8} {:>8} {:>16} {:>16}",
+        "workload", "threads", "tuner", "queries/s", "vs 1 thread"
+    );
+    for workload in [Workload::Uniform, Workload::Zipf] {
+        for with_tuner in [false, true] {
+            let mut base = 0.0;
+            for &t in &threads {
+                let qps = run_config(workload, t, with_tuner, n);
+                if t == 1 {
+                    base = qps;
+                }
+                println!(
+                    "{:<12} {:>8} {:>8} {:>16.0} {:>15.2}x",
+                    workload.name(),
+                    t,
+                    if with_tuner { "on" } else { "off" },
+                    qps,
+                    qps / base.max(1e-9),
+                );
+            }
+        }
+    }
+}

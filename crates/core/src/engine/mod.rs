@@ -1,17 +1,30 @@
 //! The query engine: a small column-store `Database` whose select operators
 //! implement every indexing strategy of the paper side by side.
+//!
+//! # Concurrency model
+//!
+//! The hot path — [`Database::execute`] and [`Database::run_idle`] — takes
+//! `&self`: every cracker column sits behind its own reader/writer latch
+//! ([`ConcurrentCrackerColumn`]), statistics and metrics are atomics or
+//! fine-grained locks, so queries on different columns, and queries racing
+//! the background tuner, proceed in parallel. Only *structural* operations
+//! (creating/dropping tables, building or dropping full indexes, switching
+//! the strategy) still require `&mut self` — a shared engine therefore
+//! needs an outer `RwLock` only for those, and query traffic goes through
+//! its read side.
 
 pub mod query;
 pub mod timeline;
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use holistic_cracking::stochastic::crack_select_with_policy;
-use holistic_cracking::CrackerColumn;
+use holistic_cracking::{ConcurrentCrackerColumn, CrackerColumn};
 use holistic_offline::{Advisor, CostModel, SortedIndex, WorkloadSummary};
 use holistic_online::OnlineTuner;
 use holistic_storage::{Catalog, Column, ColumnId, StorageError, Table, TableId, Value};
@@ -24,6 +37,8 @@ use crate::stats::KernelStatistics;
 use crate::strategy::IndexingStrategy;
 
 use self::query::{AccessPath, Query, QueryResult};
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Result type of engine operations.
 pub type EngineResult<T> = Result<T, StorageError>;
@@ -42,7 +57,7 @@ pub struct OfflineBuildReport {
 /// The holistic indexing database engine.
 ///
 /// One `Database` hosts base tables (a [`Catalog`] of columns), the three
-/// kinds of auxiliary index structures (cracker columns, full sorted
+/// kinds of auxiliary index structures (latched cracker columns, full sorted
 /// indexes, and the online tuner's indexes), the continuously maintained
 /// [`KernelStatistics`], and the [`RankingModel`] that drives idle-time
 /// refinement. The [`IndexingStrategy`] selects which machinery the select
@@ -53,17 +68,29 @@ pub struct Database {
     config: HolisticConfig,
     strategy: IndexingStrategy,
     catalog: Catalog,
-    crackers: BTreeMap<ColumnId, CrackerColumn>,
+    /// Per-column latched cracker columns. The map lock is held only for
+    /// lookup/insert; all cracking happens under the per-column latch.
+    crackers: RwLock<BTreeMap<ColumnId, Arc<ConcurrentCrackerColumn>>>,
     full_indexes: BTreeMap<ColumnId, SortedIndex>,
     stats: KernelStatistics,
     ranking: RankingModel,
-    online: OnlineTuner,
+    online: Mutex<OnlineTuner>,
+    /// Cached `online.index_count()`, so non-Online strategies can skip the
+    /// tuner lock entirely when the tuner holds nothing (the common case)
+    /// while still finding tuner-built indexes after a strategy switch.
+    online_index_count: std::sync::atomic::AtomicUsize,
     cost_model: CostModel,
     metrics: EngineMetrics,
-    rng: StdRng,
-    query_sequence: u64,
-    pending_penalty: Duration,
-    last_activity: Instant,
+    /// Seed source: each query/refinement forks a cheap local generator
+    /// from this counter, so the hot path shares no generator state.
+    rng_stream: AtomicU64,
+    rng_seed: u64,
+    query_sequence: AtomicU64,
+    pending_penalty: Mutex<Duration>,
+    /// Construction instant; [`Database::idle_for`] is measured against it.
+    epoch: Instant,
+    /// Microseconds since `epoch` of the last query (atomic `Instant`).
+    last_activity_micros: AtomicU64,
 }
 
 impl Database {
@@ -72,19 +99,21 @@ impl Database {
     pub fn new(config: HolisticConfig, strategy: IndexingStrategy) -> Self {
         let ranking = RankingModel::new(config.cache_piece_target);
         let online = OnlineTuner::new(config.epoch_length.max(1));
-        let rng = StdRng::seed_from_u64(config.rng_seed);
         Database {
             stats: KernelStatistics::new(config.hot_range_buckets),
             ranking,
-            online,
+            online: Mutex::new(online),
+            online_index_count: std::sync::atomic::AtomicUsize::new(0),
             cost_model: CostModel::new(),
             metrics: EngineMetrics::new(),
-            rng,
-            query_sequence: 0,
-            pending_penalty: Duration::ZERO,
-            last_activity: Instant::now(),
+            rng_stream: AtomicU64::new(0),
+            rng_seed: config.rng_seed,
+            query_sequence: AtomicU64::new(0),
+            pending_penalty: Mutex::new(Duration::ZERO),
+            epoch: Instant::now(),
+            last_activity_micros: AtomicU64::new(0),
             catalog: Catalog::new(),
-            crackers: BTreeMap::new(),
+            crackers: RwLock::new(BTreeMap::new()),
             full_indexes: BTreeMap::new(),
             config,
             strategy,
@@ -122,21 +151,40 @@ impl Database {
     }
 
     /// Clears the recorded metrics (auxiliary structures are kept).
-    pub fn reset_metrics(&mut self) {
+    pub fn reset_metrics(&self) {
         self.metrics.reset();
     }
 
-    /// The workload summary observed so far (consumable by the advisor).
+    /// A copy of the workload summary observed so far (consumable by the
+    /// advisor).
     #[must_use]
-    pub fn observed_workload(&self) -> &WorkloadSummary {
+    pub fn observed_workload(&self) -> WorkloadSummary {
         self.stats.summary()
     }
 
-    /// Time elapsed since the last query or explicit tuning call — the
-    /// signal the background tuner uses to detect idle time.
+    /// Time elapsed since the last query or explicitly charged activity —
+    /// the signal the background tuner uses to detect idle time. Idle-time
+    /// refinement itself does *not* reset this clock: the tuner's own work
+    /// must never make the engine look busy.
     #[must_use]
     pub fn idle_for(&self) -> Duration {
-        self.last_activity.elapsed()
+        let now = self.epoch.elapsed().as_micros() as u64;
+        let last = self.last_activity_micros.load(Ordering::Relaxed);
+        Duration::from_micros(now.saturating_sub(last))
+    }
+
+    /// Stamps "activity happened now" on the idle clock.
+    fn touch_activity(&self) {
+        self.last_activity_micros
+            .store(self.epoch.elapsed().as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Forks a cheap per-call generator off the engine seed: every caller
+    /// draws a fresh stream index, so the hot path shares no mutable
+    /// generator state (and holds no lock across a partitioning pass).
+    fn fork_rng(&self) -> StdRng {
+        let stream = self.rng_stream.fetch_add(1, Ordering::Relaxed);
+        StdRng::seed_from_u64(self.rng_seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     // ------------------------------------------------------------------
@@ -162,6 +210,31 @@ impl Database {
             }
         }
         Ok(id)
+    }
+
+    /// Drops a table together with its cracker columns, full indexes,
+    /// online-tuner state and statistics. Returns `false` if the table does
+    /// not exist.
+    ///
+    /// Statistics are deregistered eagerly here; [`Database::run_idle`]
+    /// additionally deregisters defensively if it ever encounters a column
+    /// that no longer resolves, so the ranking model can never get stuck on
+    /// ghost columns either way.
+    pub fn drop_table(&mut self, table: TableId) -> bool {
+        let dropped_columns = self.column_ids(table).unwrap_or_default();
+        if self.catalog.drop_table(table).is_none() {
+            return false;
+        }
+        self.crackers.write().retain(|id, _| id.table != table);
+        self.full_indexes.retain(|id, _| id.table != table);
+        let mut online = self.online.lock();
+        for column in dropped_columns {
+            online.forget_column(column);
+            self.stats.deregister_column(column);
+        }
+        self.online_index_count
+            .store(online.index_count(), Ordering::Relaxed);
+        true
     }
 
     /// Resolves a column by table id and column name.
@@ -205,15 +278,25 @@ impl Database {
     /// never been cracked).
     #[must_use]
     pub fn piece_count(&self, id: ColumnId) -> usize {
-        self.crackers.get(&id).map_or(0, CrackerColumn::piece_count)
+        self.crackers.read().get(&id).map_or(0, |c| c.piece_count())
     }
 
     /// Total crack actions (query-driven plus auxiliary) applied to a column.
     #[must_use]
     pub fn cracks_performed(&self, id: ColumnId) -> u64 {
         self.crackers
+            .read()
             .get(&id)
-            .map_or(0, CrackerColumn::cracks_performed)
+            .map_or(0, |c| c.cracks_performed())
+    }
+
+    /// Validates the invariants of every cracker column. Intended for tests
+    /// (especially concurrent stress tests) and debug assertions.
+    #[must_use]
+    pub fn validate(&self) -> bool {
+        let crackers: Vec<Arc<ConcurrentCrackerColumn>> =
+            self.crackers.read().values().map(Arc::clone).collect();
+        crackers.iter().all(|c| c.validate())
     }
 
     // ------------------------------------------------------------------
@@ -221,7 +304,10 @@ impl Database {
     // ------------------------------------------------------------------
 
     /// Executes a range query under the active strategy.
-    pub fn execute(&mut self, q: &Query) -> EngineResult<QueryResult> {
+    ///
+    /// Takes `&self`: concurrent callers only contend on the latch of the
+    /// column they query (and briefly on the statistics/metrics counters).
+    pub fn execute(&self, q: &Query) -> EngineResult<QueryResult> {
         let start = Instant::now();
         let column_len = self.catalog.column(q.column)?.len();
         let (path, count, sum, values) = match self.strategy {
@@ -229,9 +315,21 @@ impl Database {
             IndexingStrategy::Offline | IndexingStrategy::Online => {
                 if self.full_indexes.contains_key(&q.column) {
                     self.exec_index(q)?
-                } else if let Some(idx) = self.online.index(q.column) {
-                    let r = Self::exec_with_index(q, idx);
-                    (AccessPath::FullIndex, r.0, r.1, r.2)
+                } else if self.strategy == IndexingStrategy::Online
+                    || self.online_index_count.load(Ordering::Relaxed) > 0
+                {
+                    // Clone the Arc under the tuner lock, probe outside it:
+                    // index probes on different columns must not serialize
+                    // on the shared tuner. Non-Online strategies only pay
+                    // the lock when the tuner actually holds indexes (e.g.
+                    // after an Online-to-Offline strategy switch).
+                    let tuner_index = self.online.lock().index_arc(q.column);
+                    if let Some(idx) = tuner_index {
+                        let r = Self::exec_with_index(q, &idx);
+                        (AccessPath::FullIndex, r.0, r.1, r.2)
+                    } else {
+                        self.exec_scan(q)?
+                    }
                 } else {
                     self.exec_scan(q)?
                 }
@@ -239,8 +337,8 @@ impl Database {
             IndexingStrategy::Adaptive => self.exec_crack(q, false)?,
             IndexingStrategy::Holistic => self.exec_crack(q, true)?,
         };
-        let mut latency = start.elapsed() + self.pending_penalty;
-        self.pending_penalty = Duration::ZERO;
+        let penalty = std::mem::take(&mut *self.pending_penalty.lock());
+        let mut latency = start.elapsed() + penalty;
 
         // Continuous statistics (all strategies keep them so that switching
         // to holistic mid-flight has knowledge to work with; the overhead is
@@ -251,10 +349,6 @@ impl Database {
             count as f64 / column_len as f64
         };
         self.stats.record_query(q.column, q.lo, q.hi, selectivity);
-        if let Some(cracker) = self.crackers.get(&q.column) {
-            self.stats
-                .record_refinement(q.column, cracker.piece_count(), cracker.avg_piece_len());
-        }
 
         // Online indexing: monitoring + epoch-based tuning. The time spent
         // building indexes online is charged to the query that triggered the
@@ -264,18 +358,23 @@ impl Database {
             let tune_start = Instant::now();
             let observed_cost = self.cost_model.scan_cost(column_len);
             let catalog = &self.catalog;
-            let _ = self.online.record_and_tune(
-                q.column,
-                q.lo,
-                q.hi,
-                selectivity,
-                if path == AccessPath::FullIndex {
-                    self.cost_model.index_probe_cost(column_len, selectivity)
-                } else {
-                    observed_cost
-                },
-                |id| catalog.column(id).ok().cloned(),
-            );
+            {
+                let mut online = self.online.lock();
+                let _ = online.record_and_tune(
+                    q.column,
+                    q.lo,
+                    q.hi,
+                    selectivity,
+                    if path == AccessPath::FullIndex {
+                        self.cost_model.index_probe_cost(column_len, selectivity)
+                    } else {
+                        observed_cost
+                    },
+                    |id| catalog.column(id).ok().cloned(),
+                );
+                self.online_index_count
+                    .store(online.index_count(), Ordering::Relaxed);
+            }
             let tuning = tune_start.elapsed();
             self.metrics.add_build_time(tuning);
             latency += tuning;
@@ -289,14 +388,13 @@ impl Database {
             latency,
         };
         self.metrics.record_query(QueryRecord {
-            sequence: self.query_sequence,
+            sequence: self.query_sequence.fetch_add(1, Ordering::Relaxed),
             column: q.column,
             path,
             latency,
             result_count: count,
         });
-        self.query_sequence += 1;
-        self.last_activity = Instant::now();
+        self.touch_activity();
         Ok(result)
     }
 
@@ -332,8 +430,24 @@ impl Database {
         Ok((AccessPath::FullIndex, count, sum, values))
     }
 
+    /// The latched cracker column for `column`, created from the base data
+    /// on first use. The base copy happens outside the map lock; if two
+    /// threads race on the first touch, one copy is dropped.
+    fn cracker_for(&self, column: ColumnId) -> EngineResult<Arc<ConcurrentCrackerColumn>> {
+        if let Some(c) = self.crackers.read().get(&column) {
+            return Ok(Arc::clone(c));
+        }
+        let base = self.catalog.column(column)?;
+        let fresh = CrackerColumn::from_column(base, self.config.keep_rowids)
+            .with_kernel(self.config.crack_kernel);
+        let mut map = self.crackers.write();
+        Ok(Arc::clone(map.entry(column).or_insert_with(|| {
+            Arc::new(ConcurrentCrackerColumn::new(fresh))
+        })))
+    }
+
     fn exec_crack(
-        &mut self,
+        &self,
         q: &Query,
         holistic: bool,
     ) -> EngineResult<(AccessPath, u64, i128, Option<Vec<Value>>)> {
@@ -341,26 +455,18 @@ impl Database {
         if self.full_indexes.contains_key(&q.column) {
             return self.exec_index(q);
         }
-        let keep_rowids = self.config.keep_rowids;
-        if !self.crackers.contains_key(&q.column) {
-            let base = self.catalog.column(q.column)?;
-            self.crackers.insert(
-                q.column,
-                CrackerColumn::from_column(base, keep_rowids).with_kernel(self.config.crack_kernel),
-            );
-        }
-        let policy = self.config.crack_policy;
-        let cracker = self
-            .crackers
-            .get_mut(&q.column)
-            .expect("inserted or already present");
-        let dispatches_before = cracker.kernel_dispatches();
-        let range = crack_select_with_policy(cracker, q.lo, q.hi, policy, &mut self.rng);
-        let view = cracker.view(range.clone());
-        let count = view.len() as u64;
-        let sum: i128 = view.iter().map(|&v| i128::from(v)).sum();
-        let values = q.materialize.then(|| view.to_vec());
+        let cracker = self.cracker_for(q.column)?;
+        let mut rng = self.fork_rng();
+        let outcome = cracker.select_with_policy(
+            q.lo,
+            q.hi,
+            q.materialize,
+            self.config.crack_policy,
+            &mut rng,
+        );
 
+        let mut dispatches = outcome.dispatches;
+        let mut piece_shape = (outcome.piece_count, outcome.avg_piece_len);
         if holistic && !q.is_empty_range() {
             // The "No Time" case: no idle time may ever appear, but a hot
             // value range earns extra refinement right now, during query
@@ -374,7 +480,10 @@ impl Database {
             if hot {
                 let mut applied = 0;
                 for _ in 0..self.config.boost_cracks_per_query {
-                    if cracker.random_crack_in_range(q.lo, q.hi, &mut self.rng) {
+                    let boost = cracker.refine_in_range(q.lo, q.hi, &mut rng);
+                    dispatches.add(boost.dispatches);
+                    piece_shape = (boost.piece_count, boost.avg_piece_len);
+                    if boost.split {
                         applied += 1;
                     }
                 }
@@ -383,9 +492,15 @@ impl Database {
                 }
             }
         }
-        let delta = cracker.kernel_dispatches().since(dispatches_before);
-        self.metrics.add_kernel_dispatches(delta);
-        Ok((AccessPath::Crack, count, sum, values))
+        self.metrics.add_kernel_dispatches(dispatches);
+        self.stats
+            .record_refinement(q.column, piece_shape.0, piece_shape.1);
+        Ok((
+            AccessPath::Crack,
+            outcome.count,
+            outcome.sum,
+            outcome.values,
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -398,7 +513,11 @@ impl Database {
     /// This is the paper's continuous-tuning loop: "if queries do not
     /// trigger adaptive indexing, idle time is detected and the system uses
     /// statistics to continue triggering adaptive indexing-like actions."
-    pub fn run_idle(&mut self, budget: IdleBudget) -> IdleReport {
+    ///
+    /// Takes `&self` and refines through the per-column latches, so queries
+    /// on other columns are never blocked by idle-time work. Refinement
+    /// does not reset the idle clock ([`Database::idle_for`]).
+    pub fn run_idle(&self, budget: IdleBudget) -> IdleReport {
         let start = Instant::now();
         let mut report = IdleReport::default();
         let mut touched: BTreeSet<ColumnId> = BTreeSet::new();
@@ -422,59 +541,55 @@ impl Database {
                 report.converged = true;
                 break;
             };
-            if self.apply_refinement_action(column).is_err() {
-                // Column disappeared (dropped table); forget it and continue.
-                self.stats.record_refinement(column, 1, 0.0);
-                continue;
+            match self.apply_refinement_action(column) {
+                Err(_) => {
+                    // Column disappeared (dropped table): deregister it so
+                    // the ranking model stops proposing it, instead of
+                    // poisoning its statistics with fabricated refinement
+                    // records.
+                    self.stats.deregister_column(column);
+                    continue;
+                }
+                Ok(split) => {
+                    report.actions_applied += 1;
+                    if split {
+                        report.effective_actions += 1;
+                    }
+                    touched.insert(column);
+                }
             }
-            report.actions_applied += 1;
-            touched.insert(column);
         }
         report.columns_touched = touched.into_iter().collect();
         report.elapsed = start.elapsed();
         self.metrics
             .add_tuning_time(report.elapsed, report.actions_applied);
-        self.last_activity = Instant::now();
         report
     }
 
     /// Applies exactly one auxiliary refinement action to `column`
-    /// (creating the cracker column first if necessary).
-    fn apply_refinement_action(&mut self, column: ColumnId) -> EngineResult<()> {
-        let keep_rowids = self.config.keep_rowids;
-        if !self.crackers.contains_key(&column) {
-            let base = self.catalog.column(column)?;
-            self.crackers.insert(
-                column,
-                CrackerColumn::from_column(base, keep_rowids).with_kernel(self.config.crack_kernel),
-            );
-        }
-        let cracker = self
-            .crackers
-            .get_mut(&column)
-            .expect("inserted or already present");
-        let dispatches_before = cracker.kernel_dispatches();
-        cracker.random_crack(&mut self.rng);
-        let pieces = cracker.piece_count();
-        let avg = cracker.avg_piece_len();
-        let delta = cracker.kernel_dispatches().since(dispatches_before);
-        self.metrics.add_kernel_dispatches(delta);
-        self.stats.record_refinement(column, pieces, avg);
+    /// (creating the latched cracker column first if necessary). Returns
+    /// whether the action introduced a new piece.
+    fn apply_refinement_action(&self, column: ColumnId) -> EngineResult<bool> {
+        let cracker = self.cracker_for(column)?;
+        let mut rng = self.fork_rng();
+        let outcome = cracker.refine(&mut rng);
+        self.metrics.add_kernel_dispatches(outcome.dispatches);
+        self.stats
+            .record_refinement(column, outcome.piece_count, outcome.avg_piece_len);
         self.stats.record_auxiliary_actions(column, 1);
-        Ok(())
+        Ok(outcome.split)
     }
 
     /// Applies `actions` refinement actions to one specific column
     /// (bypassing the ranking model). Used by experiments that need the
     /// paper's exact setup of "apply 100 random cracks to each column".
-    pub fn warm_column(&mut self, column: ColumnId, actions: u64) -> EngineResult<Duration> {
+    pub fn warm_column(&self, column: ColumnId, actions: u64) -> EngineResult<Duration> {
         let start = Instant::now();
         for _ in 0..actions {
             self.apply_refinement_action(column)?;
         }
         let elapsed = start.elapsed();
         self.metrics.add_tuning_time(elapsed, actions);
-        self.last_activity = Instant::now();
         Ok(elapsed)
     }
 
@@ -492,7 +607,7 @@ impl Database {
         self.metrics.add_build_time(elapsed);
         self.stats
             .record_refinement(column, 1, self.config.cache_piece_target as f64 / 2.0);
-        self.last_activity = Instant::now();
+        self.touch_activity();
         Ok(elapsed)
     }
 
@@ -551,8 +666,8 @@ impl Database {
     /// this to model offline indexing that is not finished when the first
     /// query arrives ("queries start arriving before the index is ready and
     /// have to wait for indexing to finish").
-    pub fn charge_pending_penalty(&mut self, penalty: Duration) {
-        self.pending_penalty += penalty;
+    pub fn charge_pending_penalty(&self, penalty: Duration) {
+        *self.pending_penalty.lock() += penalty;
     }
 }
 
@@ -579,9 +694,15 @@ mod tests {
     }
 
     #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+    }
+
+    #[test]
     fn every_strategy_returns_scan_equivalent_answers() {
         for strategy in IndexingStrategy::all() {
-            let (mut db, col, values) = setup(strategy, 5000);
+            let (db, col, values) = setup(strategy, 5000);
             for &(lo, hi) in &[(100, 200), (0, 5000), (4000, 4100), (300, 250)] {
                 let r = db.execute(&Query::range(col, lo, hi)).unwrap();
                 assert_eq!(
@@ -601,7 +722,7 @@ mod tests {
 
     #[test]
     fn materialized_queries_return_the_qualifying_values() {
-        let (mut db, col, values) = setup(IndexingStrategy::Holistic, 2000);
+        let (db, col, values) = setup(IndexingStrategy::Holistic, 2000);
         let r = db
             .execute(&Query::range_materialized(col, 100, 200))
             .unwrap();
@@ -618,7 +739,7 @@ mod tests {
 
     #[test]
     fn adaptive_strategy_cracks_incrementally() {
-        let (mut db, col, _) = setup(IndexingStrategy::Adaptive, 5000);
+        let (db, col, _) = setup(IndexingStrategy::Adaptive, 5000);
         assert_eq!(db.piece_count(col), 0);
         db.execute(&Query::range(col, 100, 200)).unwrap();
         let after_one = db.piece_count(col);
@@ -632,7 +753,7 @@ mod tests {
 
     #[test]
     fn scan_only_never_builds_anything() {
-        let (mut db, col, _) = setup(IndexingStrategy::ScanOnly, 3000);
+        let (db, col, _) = setup(IndexingStrategy::ScanOnly, 3000);
         for i in 0..10 {
             db.execute(&Query::range(col, i * 10, i * 10 + 50)).unwrap();
         }
@@ -689,7 +810,7 @@ mod tests {
 
     #[test]
     fn holistic_idle_time_refines_hot_columns_first() {
-        let (mut db, col_a, _) = setup(IndexingStrategy::Holistic, 8000);
+        let (db, col_a, _) = setup(IndexingStrategy::Holistic, 8000);
         let t = db.catalog.table_id("r").unwrap();
         let col_b = db.column_id(t, "b").unwrap();
         // Only column a is queried.
@@ -708,7 +829,7 @@ mod tests {
 
     #[test]
     fn idle_budget_zero_and_convergence() {
-        let (mut db, col, _) = setup(IndexingStrategy::Holistic, 512);
+        let (db, col, _) = setup(IndexingStrategy::Holistic, 512);
         assert_eq!(db.run_idle(IdleBudget::zero()).actions_applied, 0);
         db.execute(&Query::range(col, 0, 10)).unwrap();
         // With a tiny cache target relative to column size the ranking model
@@ -728,15 +849,73 @@ mod tests {
 
     #[test]
     fn duration_budget_stops_tuning() {
-        let (mut db, col, _) = setup(IndexingStrategy::Holistic, 20_000);
+        let (db, col, _) = setup(IndexingStrategy::Holistic, 20_000);
         db.execute(&Query::range(col, 0, 100)).unwrap();
         let report = db.run_idle(IdleBudget::Duration(Duration::from_millis(5)));
         assert!(report.elapsed >= Duration::from_millis(5) || report.converged);
     }
 
     #[test]
+    fn idle_refinement_does_not_reset_the_idle_clock() {
+        // Regression: the tuner's own batches used to reset `last_activity`,
+        // so the engine looked busy right after every batch and background
+        // refinement throughput was capped at one batch per idle threshold.
+        let (db, col, _) = setup(IndexingStrategy::Holistic, 20_000);
+        db.execute(&Query::range(col, 0, 100)).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let idle_before = db.idle_for();
+        db.run_idle(IdleBudget::Actions(32));
+        assert!(
+            db.idle_for() >= idle_before,
+            "run_idle must not make the engine look busy"
+        );
+        // A query, in contrast, does reset the clock.
+        db.execute(&Query::range(col, 0, 100)).unwrap();
+        assert!(db.idle_for() < idle_before);
+    }
+
+    #[test]
+    fn dropped_table_columns_are_deregistered_not_corrupted() {
+        // Regression: the idle loop used to fabricate a refinement record
+        // (`record_refinement(column, 1, 0.0)`) for columns that no longer
+        // resolve, corrupting their statistics instead of removing them.
+        // Today `drop_table` deregisters eagerly (and `run_idle` still
+        // deregisters defensively if it ever meets an unresolvable column).
+        let values = dataset(4000);
+        let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+        let keep = db
+            .create_table("keep", vec![("a", values.clone())])
+            .unwrap();
+        let doomed = db
+            .create_table("doomed", vec![("d", values.clone())])
+            .unwrap();
+        let keep_col = db.column_id(keep, "a").unwrap();
+        let doomed_col = db.column_id(doomed, "d").unwrap();
+        for i in 0..10 {
+            db.execute(&Query::range(doomed_col, i * 10, i * 10 + 50))
+                .unwrap();
+        }
+        db.execute(&Query::range(keep_col, 0, 50)).unwrap();
+        assert!(db.drop_table(doomed));
+        assert!(!db.drop_table(doomed), "second drop is a no-op");
+        // The dead column is gone from the statistics immediately — not
+        // corrupted, not lingering in the workload summary, and its queries
+        // no longer dilute live columns' frequencies.
+        assert!(db.stats().column(doomed_col).is_none());
+        assert!(db.observed_workload().column(doomed_col).is_none());
+        assert!((db.stats().frequency(keep_col) - 1.0).abs() < 1e-9);
+        // Idle time is spent entirely on live columns.
+        let report = db.run_idle(IdleBudget::Actions(16));
+        assert!(report.actions_applied > 0 || report.converged);
+        assert!(!report.columns_touched.contains(&doomed_col));
+        assert!(db.stats().column(keep_col).is_some());
+        // Queries on the dropped table now fail cleanly.
+        assert!(db.execute(&Query::range(doomed_col, 0, 10)).is_err());
+    }
+
+    #[test]
     fn hot_range_boosting_adds_auxiliary_cracks() {
-        let (mut db, col, _) = setup(IndexingStrategy::Holistic, 10_000);
+        let (db, col, _) = setup(IndexingStrategy::Holistic, 10_000);
         // Hammer one narrow range well past the hot threshold.
         for _ in 0..10 {
             db.execute(&Query::range(col, 5_000, 5_100)).unwrap();
@@ -744,7 +923,7 @@ mod tests {
         let aux = db.stats().column(col).unwrap().auxiliary_actions;
         assert!(aux > 0, "hot range should have triggered boost cracks");
         // Under the plain adaptive strategy the same workload triggers none.
-        let (mut adaptive, col2, _) = setup(IndexingStrategy::Adaptive, 10_000);
+        let (adaptive, col2, _) = setup(IndexingStrategy::Adaptive, 10_000);
         for _ in 0..10 {
             adaptive.execute(&Query::range(col2, 5_000, 5_100)).unwrap();
         }
@@ -772,8 +951,33 @@ mod tests {
     }
 
     #[test]
+    fn tuner_built_indexes_survive_a_switch_to_offline() {
+        // Regression: gating the tuner probe on `strategy == Online` alone
+        // silently dropped tuner-built indexes from the plan after an
+        // Online-to-Offline strategy switch.
+        let values = dataset(50_000);
+        let mut config = HolisticConfig::for_testing();
+        config.epoch_length = 10;
+        let mut db = Database::new(config, IndexingStrategy::Online);
+        let t = db.create_table("r", vec![("a", values)]).unwrap();
+        let col = db.column_id(t, "a").unwrap();
+        for i in 0..40 {
+            db.execute(&Query::range(col, (i % 10) * 100, (i % 10) * 100 + 50))
+                .unwrap();
+        }
+        assert_eq!(
+            db.execute(&Query::range(col, 0, 50)).unwrap().path,
+            AccessPath::FullIndex,
+            "tuner should have built an index under Online"
+        );
+        db.set_strategy(IndexingStrategy::Offline);
+        let r = db.execute(&Query::range(col, 0, 50)).unwrap();
+        assert_eq!(r.path, AccessPath::FullIndex, "index must still be used");
+    }
+
+    #[test]
     fn pending_penalty_is_charged_to_the_next_query_only() {
-        let (mut db, col, _) = setup(IndexingStrategy::Offline, 1000);
+        let (db, col, _) = setup(IndexingStrategy::Offline, 1000);
         db.charge_pending_penalty(Duration::from_millis(50));
         let first = db.execute(&Query::range(col, 0, 10)).unwrap();
         assert!(first.latency >= Duration::from_millis(50));
@@ -783,7 +987,7 @@ mod tests {
 
     #[test]
     fn warm_column_applies_exactly_the_requested_actions() {
-        let (mut db, col, _) = setup(IndexingStrategy::Holistic, 5000);
+        let (db, col, _) = setup(IndexingStrategy::Holistic, 5000);
         let before = db.cracks_performed(col);
         db.warm_column(col, 64).unwrap();
         assert!(db.cracks_performed(col) >= before);
@@ -837,7 +1041,7 @@ mod tests {
 
     #[test]
     fn metrics_track_every_query() {
-        let (mut db, col, _) = setup(IndexingStrategy::Adaptive, 1000);
+        let (db, col, _) = setup(IndexingStrategy::Adaptive, 1000);
         for i in 0..5 {
             db.execute(&Query::range(col, i, i + 100)).unwrap();
         }
@@ -862,12 +1066,46 @@ mod tests {
 
     #[test]
     fn observed_workload_feeds_the_advisor() {
-        let (mut db, col, _) = setup(IndexingStrategy::Holistic, 2000);
+        let (db, col, _) = setup(IndexingStrategy::Holistic, 2000);
         for _ in 0..20 {
             db.execute(&Query::range(col, 500, 600)).unwrap();
         }
         let summary = db.observed_workload();
         assert_eq!(summary.total_queries(), 20);
         assert!(summary.column(col).unwrap().avg_selectivity > 0.0);
+    }
+
+    #[test]
+    fn shared_reference_queries_agree_with_scan_across_threads() {
+        let n = 20_000;
+        let (db, col, values) = setup(IndexingStrategy::Holistic, n);
+        let db = std::sync::Arc::new(db);
+        let expected: Vec<(Value, Value, u64)> = (0..12)
+            .map(|i| {
+                let lo = (i * 1511) % (n as Value - 600);
+                let hi = lo + 500;
+                (lo, hi, scan_count(&values, lo, hi))
+            })
+            .collect();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let db = std::sync::Arc::clone(&db);
+            let expected = expected.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..6 {
+                    for &(lo, hi, want) in &expected {
+                        let r = db.execute(&Query::range(col, lo, hi)).unwrap();
+                        assert_eq!(r.count, want, "thread {t} round {round} [{lo},{hi})");
+                    }
+                    // Interleave idle-time refinement through &self too.
+                    db.run_idle(IdleBudget::Actions(4));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("query thread panicked");
+        }
+        assert!(db.validate());
+        assert_eq!(db.metrics().query_count(), 4 * 6 * 12);
     }
 }

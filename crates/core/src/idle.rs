@@ -66,6 +66,12 @@ pub mod holistic_workload_idle {
 pub struct IdleReport {
     /// Auxiliary refinement actions applied.
     pub actions_applied: u64,
+    /// Actions that actually introduced a new piece. A batch with
+    /// `effective_actions == 0` made no progress (e.g. a low-cardinality
+    /// column whose pieces can never shrink below the cache target) —
+    /// callers pacing repeated idle passes should back off on it just like
+    /// on `converged`.
+    pub effective_actions: u64,
     /// Distinct columns that received at least one action.
     pub columns_touched: Vec<ColumnId>,
     /// Wall-clock time spent tuning.
@@ -80,6 +86,7 @@ impl IdleReport {
     /// multiple idle windows).
     pub fn absorb(&mut self, other: &IdleReport) {
         self.actions_applied += other.actions_applied;
+        self.effective_actions += other.effective_actions;
         for c in &other.columns_touched {
             if !self.columns_touched.contains(c) {
                 self.columns_touched.push(*c);
@@ -117,18 +124,21 @@ mod tests {
         let col = ColumnId::new(TableId(0), 1);
         let mut a = IdleReport {
             actions_applied: 3,
+            effective_actions: 2,
             columns_touched: vec![col],
             elapsed: Duration::from_micros(10),
             converged: false,
         };
         let b = IdleReport {
             actions_applied: 2,
+            effective_actions: 1,
             columns_touched: vec![col, ColumnId::new(TableId(0), 2)],
             elapsed: Duration::from_micros(5),
             converged: true,
         };
         a.absorb(&b);
         assert_eq!(a.actions_applied, 5);
+        assert_eq!(a.effective_actions, 3);
         assert_eq!(a.columns_touched.len(), 2);
         assert_eq!(a.elapsed, Duration::from_micros(15));
         assert!(a.converged);

@@ -28,6 +28,14 @@
 //! and [`background`] (a thread that detects idle time and tunes
 //! autonomously).
 //!
+//! The hot path is shared-reference: [`Database::execute`] and
+//! [`Database::run_idle`] take `&self` and synchronize through per-column
+//! reader/writer latches, so a shared engine
+//! (`Arc<parking_lot::RwLock<Database>>`) serves query traffic and the
+//! background tuner through `db.read()` while only structural operations
+//! (schema changes, full-index builds, strategy switches) take
+//! `db.write()`.
+//!
 //! ```
 //! use holistic_core::{Database, HolisticConfig, IndexingStrategy, Query, IdleBudget};
 //!
@@ -58,7 +66,7 @@ pub mod ranking;
 pub mod stats;
 pub mod strategy;
 
-pub use background::BackgroundTuner;
+pub use background::{BackgroundConfig, BackgroundTuner};
 pub use config::HolisticConfig;
 pub use engine::query::{AccessPath, Query, QueryResult};
 pub use engine::timeline::{strategy_timeline, TimelinePhase};

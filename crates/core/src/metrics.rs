@@ -5,8 +5,15 @@
 //! wall-clock latency, the access path taken and the column touched, plus
 //! the time spent on tuning (idle-time refinement, offline builds) so the
 //! benches can attribute every microsecond.
+//!
+//! Recording happens on the hot query path from many threads at once, so
+//! all methods take `&self`: durations and counters are atomics, and the
+//! per-query record log sits behind a mutex that is held only for the push.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use holistic_cracking::KernelDispatches;
 use holistic_storage::ColumnId;
@@ -28,14 +35,15 @@ pub struct QueryRecord {
     pub result_count: u64,
 }
 
-/// Engine-wide metrics.
-#[derive(Debug, Clone, Default)]
+/// Engine-wide metrics. Safe to record into from multiple threads.
+#[derive(Debug, Default)]
 pub struct EngineMetrics {
-    queries: Vec<QueryRecord>,
-    tuning_time: Duration,
-    offline_build_time: Duration,
-    auxiliary_actions: u64,
-    kernel_dispatches: KernelDispatches,
+    queries: Mutex<Vec<QueryRecord>>,
+    tuning_nanos: AtomicU64,
+    build_nanos: AtomicU64,
+    auxiliary_actions: AtomicU64,
+    dispatches_branchy: AtomicU64,
+    dispatches_predicated: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -46,49 +54,57 @@ impl EngineMetrics {
     }
 
     /// Records one executed query.
-    pub fn record_query(&mut self, record: QueryRecord) {
-        self.queries.push(record);
+    pub fn record_query(&self, record: QueryRecord) {
+        self.queries.lock().push(record);
     }
 
     /// Adds time spent on idle-time tuning.
-    pub fn add_tuning_time(&mut self, d: Duration, actions: u64) {
-        self.tuning_time += d;
-        self.auxiliary_actions += actions;
+    pub fn add_tuning_time(&self, d: Duration, actions: u64) {
+        self.tuning_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.auxiliary_actions.fetch_add(actions, Ordering::Relaxed);
     }
 
     /// Adds time spent building full (offline/online) indexes.
-    pub fn add_build_time(&mut self, d: Duration) {
-        self.offline_build_time += d;
+    pub fn add_build_time(&self, d: Duration) {
+        self.build_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Accumulates crack-kernel dispatch counts (branchy vs. predicated).
-    pub fn add_kernel_dispatches(&mut self, delta: KernelDispatches) {
-        self.kernel_dispatches.add(delta);
+    pub fn add_kernel_dispatches(&self, delta: KernelDispatches) {
+        self.dispatches_branchy
+            .fetch_add(delta.branchy, Ordering::Relaxed);
+        self.dispatches_predicated
+            .fetch_add(delta.predicated, Ordering::Relaxed);
     }
 
     /// Crack-kernel dispatches recorded so far, split by physical form —
     /// lets benches report which kernel path actually served a workload.
     #[must_use]
     pub fn kernel_dispatches(&self) -> KernelDispatches {
-        self.kernel_dispatches
+        KernelDispatches {
+            branchy: self.dispatches_branchy.load(Ordering::Relaxed),
+            predicated: self.dispatches_predicated.load(Ordering::Relaxed),
+        }
     }
 
-    /// All query records, in execution order.
+    /// A copy of all query records, in recording order.
     #[must_use]
-    pub fn queries(&self) -> &[QueryRecord] {
-        &self.queries
+    pub fn queries(&self) -> Vec<QueryRecord> {
+        self.queries.lock().clone()
     }
 
     /// Number of executed queries.
     #[must_use]
     pub fn query_count(&self) -> u64 {
-        self.queries.len() as u64
+        self.queries.lock().len() as u64
     }
 
     /// Total query latency so far.
     #[must_use]
     pub fn total_query_time(&self) -> Duration {
-        self.queries.iter().map(|q| q.latency).sum()
+        self.queries.lock().iter().map(|q| q.latency).sum()
     }
 
     /// Cumulative query latency after each query, in microseconds — the
@@ -97,6 +113,7 @@ impl EngineMetrics {
     pub fn cumulative_micros(&self) -> Vec<u128> {
         let mut acc = 0u128;
         self.queries
+            .lock()
             .iter()
             .map(|q| {
                 acc += q.latency.as_micros();
@@ -108,19 +125,19 @@ impl EngineMetrics {
     /// Time spent on idle-time tuning.
     #[must_use]
     pub fn tuning_time(&self) -> Duration {
-        self.tuning_time
+        Duration::from_nanos(self.tuning_nanos.load(Ordering::Relaxed))
     }
 
     /// Time spent building full indexes.
     #[must_use]
     pub fn build_time(&self) -> Duration {
-        self.offline_build_time
+        Duration::from_nanos(self.build_nanos.load(Ordering::Relaxed))
     }
 
     /// Auxiliary refinement actions applied so far.
     #[must_use]
     pub fn auxiliary_actions(&self) -> u64 {
-        self.auxiliary_actions
+        self.auxiliary_actions.load(Ordering::Relaxed)
     }
 
     /// How many queries used each access path: `(scan, full index, crack)`.
@@ -129,7 +146,7 @@ impl EngineMetrics {
         let mut scan = 0;
         let mut index = 0;
         let mut crack = 0;
-        for q in &self.queries {
+        for q in self.queries.lock().iter() {
             match q.path {
                 AccessPath::Scan => scan += 1,
                 AccessPath::FullIndex => index += 1,
@@ -140,12 +157,13 @@ impl EngineMetrics {
     }
 
     /// Clears all recorded metrics (e.g. between benchmark phases).
-    pub fn reset(&mut self) {
-        self.queries.clear();
-        self.tuning_time = Duration::ZERO;
-        self.offline_build_time = Duration::ZERO;
-        self.auxiliary_actions = 0;
-        self.kernel_dispatches = KernelDispatches::default();
+    pub fn reset(&self) {
+        self.queries.lock().clear();
+        self.tuning_nanos.store(0, Ordering::Relaxed);
+        self.build_nanos.store(0, Ordering::Relaxed);
+        self.auxiliary_actions.store(0, Ordering::Relaxed);
+        self.dispatches_branchy.store(0, Ordering::Relaxed);
+        self.dispatches_predicated.store(0, Ordering::Relaxed);
     }
 }
 
@@ -175,7 +193,7 @@ mod tests {
 
     #[test]
     fn cumulative_series_is_monotone_and_correct() {
-        let mut m = EngineMetrics::new();
+        let m = EngineMetrics::new();
         m.record_query(record(0, 100, AccessPath::Scan));
         m.record_query(record(1, 50, AccessPath::Crack));
         m.record_query(record(2, 25, AccessPath::FullIndex));
@@ -187,7 +205,7 @@ mod tests {
 
     #[test]
     fn tuning_and_build_time_accumulate() {
-        let mut m = EngineMetrics::new();
+        let m = EngineMetrics::new();
         m.add_tuning_time(Duration::from_micros(30), 5);
         m.add_tuning_time(Duration::from_micros(20), 7);
         m.add_build_time(Duration::from_millis(2));
@@ -198,7 +216,7 @@ mod tests {
 
     #[test]
     fn reset_clears_everything() {
-        let mut m = EngineMetrics::new();
+        let m = EngineMetrics::new();
         m.record_query(record(0, 1, AccessPath::Scan));
         m.add_tuning_time(Duration::from_micros(5), 1);
         m.add_kernel_dispatches(KernelDispatches {
@@ -214,7 +232,7 @@ mod tests {
 
     #[test]
     fn kernel_dispatches_accumulate() {
-        let mut m = EngineMetrics::new();
+        let m = EngineMetrics::new();
         m.add_kernel_dispatches(KernelDispatches {
             branchy: 1,
             predicated: 0,
@@ -226,5 +244,26 @@ mod tests {
         let d = m.kernel_dispatches();
         assert_eq!((d.branchy, d.predicated), (1, 4));
         assert_eq!(d.total(), 5);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = std::sync::Arc::new(EngineMetrics::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let m = std::sync::Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    m.record_query(record(t * 100 + i, 1, AccessPath::Crack));
+                    m.add_tuning_time(Duration::from_nanos(10), 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("metrics writer panicked");
+        }
+        assert_eq!(m.query_count(), 400);
+        assert_eq!(m.auxiliary_actions(), 400);
+        assert_eq!(m.tuning_time(), Duration::from_nanos(4000));
     }
 }

@@ -77,18 +77,28 @@ impl RankingModel {
 
     /// Ranks all known columns by descending benefit score, dropping columns
     /// whose score is zero (already refined past the cache target).
+    ///
+    /// Reads only the statistics' atomic counters
+    /// ([`KernelStatistics::ranking_rows`]) — the idle loop calls this once
+    /// per refinement action, so it must not clone histograms or contend
+    /// with concurrent query recording.
     #[must_use]
     pub fn rank(&self, stats: &KernelStatistics) -> Vec<TuningCandidate> {
+        let total_queries = stats.total_queries();
         let mut candidates: Vec<TuningCandidate> = stats
-            .columns()
-            .map(|(id, activity)| TuningCandidate {
-                column: id,
-                score: self.score(
-                    stats.frequency(id),
-                    activity.avg_piece_len,
-                    activity.column_len,
-                ),
-                avg_piece_len: activity.avg_piece_len,
+            .ranking_rows()
+            .into_iter()
+            .map(|(id, queries, avg_piece_len, column_len)| {
+                let frequency = if total_queries == 0 {
+                    0.0
+                } else {
+                    queries as f64 / total_queries as f64
+                };
+                TuningCandidate {
+                    column: id,
+                    score: self.score(frequency, avg_piece_len, column_len),
+                    avg_piece_len,
+                }
             })
             .filter(|c| c.score > 0.0)
             .collect();
@@ -143,7 +153,7 @@ mod tests {
     #[test]
     fn rank_orders_by_benefit_and_drops_finished_columns() {
         let m = RankingModel::new(256);
-        let mut stats = KernelStatistics::new(8);
+        let stats = KernelStatistics::new(8);
         stats.register_column(col(0), 100_000);
         stats.register_column(col(1), 100_000);
         stats.register_column(col(2), 100_000);
@@ -168,7 +178,7 @@ mod tests {
     #[test]
     fn choose_next_is_none_when_everything_is_refined() {
         let m = RankingModel::new(1 << 20);
-        let mut stats = KernelStatistics::new(8);
+        let stats = KernelStatistics::new(8);
         stats.register_column(col(0), 1000);
         stats.record_refinement(col(0), 100, 10.0);
         assert_eq!(m.choose_next(&stats), None);

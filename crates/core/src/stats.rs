@@ -9,13 +9,25 @@
 //! hot-range detector answers the companion question for the "No Time"
 //! case: *which value ranges deserve extra refinement right now, during
 //! query processing.*
+//!
+//! Because statistics are recorded on the hot query path, every recording
+//! method takes `&self`: plain counters are atomics, and the per-column
+//! predicate histogram sits behind its own small mutex, so queries on
+//! different columns contend only on the short push into the shared
+//! [`WorkloadSummary`] (a process-wide mutex held for a few field updates;
+//! shard it per column if profiles ever show it hot). Readers receive
+//! [`ColumnActivity`] snapshots.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
 
 use holistic_offline::WorkloadSummary;
 use holistic_storage::{ColumnId, Value};
 
-/// Per-column activity statistics.
+/// Snapshot of one column's activity statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnActivity {
     /// Queries that touched this column.
@@ -40,42 +52,69 @@ pub struct ColumnActivity {
 }
 
 impl ColumnActivity {
+    /// Number of queries whose predicate overlapped the bucket containing
+    /// the value range `[lo, hi)` (maximum over the overlapped buckets).
+    /// Ranges disjoint from the observed predicate domain return 0.
+    #[must_use]
+    pub fn hot_hits(&self, lo: Value, hi: Value) -> u64 {
+        hot_hits_in(
+            self.predicate_min,
+            self.predicate_max,
+            &self.hot_buckets,
+            lo,
+            hi,
+        )
+    }
+}
+
+/// Shared hot-hits computation over a predicate histogram.
+///
+/// A range entirely outside the observed predicate domain (`lo >= pmax` or
+/// `hi <= pmin`) has never been queried and returns 0 — clamping it into an
+/// edge bucket would let brand-new cold ranges inherit the edge bucket's hit
+/// count and be misclassified as hot.
+fn hot_hits_in(
+    pmin: Option<Value>,
+    pmax: Option<Value>,
+    buckets: &[u64],
+    lo: Value,
+    hi: Value,
+) -> u64 {
+    let (Some(pmin), Some(pmax)) = (pmin, pmax) else {
+        return 0;
+    };
+    if pmax <= pmin || hi <= lo {
+        return 0;
+    }
+    if lo >= pmax || hi <= pmin {
+        return 0;
+    }
+    let span = (pmax - pmin) as f64;
+    let n = buckets.len();
+    let to_bucket = |v: Value| -> usize {
+        let rel = ((v - pmin) as f64 / span * n as f64).floor() as isize;
+        rel.clamp(0, n as isize - 1) as usize
+    };
+    let b_lo = to_bucket(lo.max(pmin));
+    let b_hi = to_bucket((hi - 1).min(pmax));
+    buckets[b_lo..=b_hi].iter().copied().max().unwrap_or(0)
+}
+
+/// The predicate-domain histogram of one column (mutex-protected part).
+#[derive(Debug, Clone)]
+struct PredicateHistogram {
+    predicate_min: Option<Value>,
+    predicate_max: Option<Value>,
+    hot_buckets: Vec<u64>,
+}
+
+impl PredicateHistogram {
     fn new(buckets: usize) -> Self {
-        ColumnActivity {
-            queries: 0,
-            auxiliary_actions: 0,
-            piece_count: 1,
-            avg_piece_len: 0.0,
-            column_len: 0,
+        PredicateHistogram {
             predicate_min: None,
             predicate_max: None,
             hot_buckets: vec![0; buckets.max(1)],
         }
-    }
-
-    /// Number of queries whose predicate overlapped the bucket containing
-    /// the value range `[lo, hi)` (maximum over the overlapped buckets).
-    #[must_use]
-    pub fn hot_hits(&self, lo: Value, hi: Value) -> u64 {
-        let (Some(pmin), Some(pmax)) = (self.predicate_min, self.predicate_max) else {
-            return 0;
-        };
-        if pmax <= pmin || hi <= lo {
-            return 0;
-        }
-        let span = (pmax - pmin) as f64;
-        let n = self.hot_buckets.len();
-        let to_bucket = |v: Value| -> usize {
-            let rel = ((v - pmin) as f64 / span * n as f64).floor() as isize;
-            rel.clamp(0, n as isize - 1) as usize
-        };
-        let b_lo = to_bucket(lo.max(pmin));
-        let b_hi = to_bucket((hi - 1).min(pmax));
-        self.hot_buckets[b_lo..=b_hi]
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0)
     }
 
     fn record_predicate(&mut self, lo: Value, hi: Value) {
@@ -106,12 +145,54 @@ impl ColumnActivity {
     }
 }
 
+/// One column's live statistics: atomic counters plus the histogram mutex.
+#[derive(Debug)]
+struct ColumnStats {
+    queries: AtomicU64,
+    auxiliary_actions: AtomicU64,
+    piece_count: AtomicUsize,
+    /// `f64` bits of the average piece length.
+    avg_piece_len: AtomicU64,
+    column_len: AtomicUsize,
+    predicate: Mutex<PredicateHistogram>,
+}
+
+impl ColumnStats {
+    fn new(buckets: usize) -> Self {
+        ColumnStats {
+            queries: AtomicU64::new(0),
+            auxiliary_actions: AtomicU64::new(0),
+            piece_count: AtomicUsize::new(1),
+            avg_piece_len: AtomicU64::new(0.0_f64.to_bits()),
+            column_len: AtomicUsize::new(0),
+            predicate: Mutex::new(PredicateHistogram::new(buckets)),
+        }
+    }
+
+    fn snapshot(&self) -> ColumnActivity {
+        let predicate = self.predicate.lock().clone();
+        ColumnActivity {
+            queries: self.queries.load(Ordering::Relaxed),
+            auxiliary_actions: self.auxiliary_actions.load(Ordering::Relaxed),
+            piece_count: self.piece_count.load(Ordering::Relaxed),
+            avg_piece_len: f64::from_bits(self.avg_piece_len.load(Ordering::Relaxed)),
+            column_len: self.column_len.load(Ordering::Relaxed),
+            predicate_min: predicate.predicate_min,
+            predicate_max: predicate.predicate_max,
+            hot_buckets: predicate.hot_buckets,
+        }
+    }
+}
+
 /// The kernel-wide statistics store.
-#[derive(Debug, Clone)]
+///
+/// All recording methods take `&self`; the store is safe to share across
+/// query threads and the background tuner.
+#[derive(Debug)]
 pub struct KernelStatistics {
-    columns: BTreeMap<ColumnId, ColumnActivity>,
-    summary: WorkloadSummary,
-    total_queries: u64,
+    columns: RwLock<BTreeMap<ColumnId, Arc<ColumnStats>>>,
+    summary: Mutex<WorkloadSummary>,
+    total_queries: AtomicU64,
     hot_range_buckets: usize,
 }
 
@@ -121,101 +202,160 @@ impl KernelStatistics {
     #[must_use]
     pub fn new(hot_range_buckets: usize) -> Self {
         KernelStatistics {
-            columns: BTreeMap::new(),
-            summary: WorkloadSummary::new(),
-            total_queries: 0,
+            columns: RwLock::new(BTreeMap::new()),
+            summary: Mutex::new(WorkloadSummary::new()),
+            total_queries: AtomicU64::new(0),
             hot_range_buckets: hot_range_buckets.max(1),
         }
     }
 
+    /// The [`ColumnStats`] entry for `id`, created on first use.
+    fn entry(&self, id: ColumnId) -> Arc<ColumnStats> {
+        if let Some(stats) = self.columns.read().get(&id) {
+            return Arc::clone(stats);
+        }
+        let mut map = self.columns.write();
+        Arc::clone(
+            map.entry(id)
+                .or_insert_with(|| Arc::new(ColumnStats::new(self.hot_range_buckets))),
+        )
+    }
+
     /// Registers a column with its size (idempotent; updates the size).
-    pub fn register_column(&mut self, id: ColumnId, len: usize) {
-        let buckets = self.hot_range_buckets;
-        let entry = self
-            .columns
-            .entry(id)
-            .or_insert_with(|| ColumnActivity::new(buckets));
-        entry.column_len = len;
-        if entry.avg_piece_len == 0.0 {
-            entry.avg_piece_len = len as f64;
+    pub fn register_column(&self, id: ColumnId, len: usize) {
+        let entry = self.entry(id);
+        entry.column_len.store(len, Ordering::Relaxed);
+        let current = f64::from_bits(entry.avg_piece_len.load(Ordering::Relaxed));
+        if current == 0.0 {
+            entry
+                .avg_piece_len
+                .store((len as f64).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Forgets a column entirely (dropped table): the ranking model stops
+    /// considering it immediately and its queries leave both the workload
+    /// summary and the kernel-wide query total, so the advisor never sees
+    /// ghost columns and the remaining columns' frequencies stay exact.
+    pub fn deregister_column(&self, id: ColumnId) -> bool {
+        let removed = self.columns.write().remove(&id);
+        self.summary.lock().remove_column(id);
+        match removed {
+            Some(stats) => {
+                let ghost_queries = stats.queries.load(Ordering::Relaxed);
+                let _ =
+                    self.total_queries
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+                            Some(t.saturating_sub(ghost_queries))
+                        });
+                true
+            }
+            None => false,
         }
     }
 
     /// Records an executed query and its selectivity.
-    pub fn record_query(&mut self, id: ColumnId, lo: Value, hi: Value, selectivity: f64) {
-        let buckets = self.hot_range_buckets;
-        let entry = self
-            .columns
-            .entry(id)
-            .or_insert_with(|| ColumnActivity::new(buckets));
-        entry.queries += 1;
-        entry.record_predicate(lo, hi);
-        self.summary.record_query(id, selectivity, lo, hi);
-        self.total_queries += 1;
+    pub fn record_query(&self, id: ColumnId, lo: Value, hi: Value, selectivity: f64) {
+        let entry = self.entry(id);
+        entry.queries.fetch_add(1, Ordering::Relaxed);
+        entry.predicate.lock().record_predicate(lo, hi);
+        self.summary.lock().record_query(id, selectivity, lo, hi);
+        self.total_queries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records the effect of refinement on a column (new piece statistics).
-    pub fn record_refinement(&mut self, id: ColumnId, piece_count: usize, avg_piece_len: f64) {
-        let buckets = self.hot_range_buckets;
-        let entry = self
-            .columns
-            .entry(id)
-            .or_insert_with(|| ColumnActivity::new(buckets));
-        entry.piece_count = piece_count;
-        entry.avg_piece_len = avg_piece_len;
+    pub fn record_refinement(&self, id: ColumnId, piece_count: usize, avg_piece_len: f64) {
+        let entry = self.entry(id);
+        entry.piece_count.store(piece_count, Ordering::Relaxed);
+        entry
+            .avg_piece_len
+            .store(avg_piece_len.to_bits(), Ordering::Relaxed);
     }
 
     /// Records auxiliary refinement actions applied to a column.
-    pub fn record_auxiliary_actions(&mut self, id: ColumnId, actions: u64) {
-        let buckets = self.hot_range_buckets;
-        let entry = self
-            .columns
-            .entry(id)
-            .or_insert_with(|| ColumnActivity::new(buckets));
-        entry.auxiliary_actions += actions;
+    pub fn record_auxiliary_actions(&self, id: ColumnId, actions: u64) {
+        self.entry(id)
+            .auxiliary_actions
+            .fetch_add(actions, Ordering::Relaxed);
     }
 
-    /// Activity for a column, if it has been seen.
+    /// Activity snapshot for a column, if it has been seen.
     #[must_use]
-    pub fn column(&self, id: ColumnId) -> Option<&ColumnActivity> {
-        self.columns.get(&id)
+    pub fn column(&self, id: ColumnId) -> Option<ColumnActivity> {
+        self.columns.read().get(&id).map(|s| s.snapshot())
     }
 
-    /// All known columns with their activity.
-    pub fn columns(&self) -> impl Iterator<Item = (ColumnId, &ColumnActivity)> {
-        self.columns.iter().map(|(id, a)| (*id, a))
+    /// Snapshots of all known columns with their activity.
+    #[must_use]
+    pub fn columns(&self) -> Vec<(ColumnId, ColumnActivity)> {
+        self.columns
+            .read()
+            .iter()
+            .map(|(id, s)| (*id, s.snapshot()))
+            .collect()
+    }
+
+    /// The per-column inputs of the ranking model, read from the atomic
+    /// counters only: `(column, queries, avg_piece_len, column_len)`.
+    /// Unlike [`KernelStatistics::columns`] this takes no per-column
+    /// predicate locks and clones no histograms, so the idle loop can call
+    /// it once per refinement action without contending with queries.
+    #[must_use]
+    pub fn ranking_rows(&self) -> Vec<(ColumnId, u64, f64, usize)> {
+        self.columns
+            .read()
+            .iter()
+            .map(|(id, s)| {
+                (
+                    *id,
+                    s.queries.load(Ordering::Relaxed),
+                    f64::from_bits(s.avg_piece_len.load(Ordering::Relaxed)),
+                    s.column_len.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
     }
 
     /// Total number of recorded queries.
     #[must_use]
     pub fn total_queries(&self) -> u64 {
-        self.total_queries
+        self.total_queries.load(Ordering::Relaxed)
     }
 
     /// Fraction of recorded queries touching `id`.
     #[must_use]
     pub fn frequency(&self, id: ColumnId) -> f64 {
-        if self.total_queries == 0 {
+        let total = self.total_queries();
+        if total == 0 {
             return 0.0;
         }
-        self.columns
-            .get(&id)
-            .map_or(0.0, |a| a.queries as f64 / self.total_queries as f64)
+        self.columns.read().get(&id).map_or(0.0, |s| {
+            s.queries.load(Ordering::Relaxed) as f64 / total as f64
+        })
     }
 
-    /// The accumulated workload summary (feedable to the offline advisor).
+    /// A copy of the accumulated workload summary (feedable to the offline
+    /// advisor).
     #[must_use]
-    pub fn summary(&self) -> &WorkloadSummary {
-        &self.summary
+    pub fn summary(&self) -> WorkloadSummary {
+        self.summary.lock().clone()
     }
 
     /// Whether the value range `[lo, hi)` of column `id` is hot: at least
     /// `threshold` queries have already cracked this region.
     #[must_use]
     pub fn is_hot_range(&self, id: ColumnId, lo: Value, hi: Value, threshold: u64) -> bool {
-        self.columns
-            .get(&id)
-            .is_some_and(|a| a.hot_hits(lo, hi) >= threshold)
+        let Some(entry) = self.columns.read().get(&id).map(Arc::clone) else {
+            return false;
+        };
+        let predicate = entry.predicate.lock();
+        hot_hits_in(
+            predicate.predicate_min,
+            predicate.predicate_max,
+            &predicate.hot_buckets,
+            lo,
+            hi,
+        ) >= threshold
     }
 }
 
@@ -230,7 +370,7 @@ mod tests {
 
     #[test]
     fn register_and_record_queries() {
-        let mut s = KernelStatistics::new(16);
+        let s = KernelStatistics::new(16);
         s.register_column(col(0), 1000);
         assert_eq!(s.column(col(0)).unwrap().column_len, 1000);
         assert_eq!(s.column(col(0)).unwrap().avg_piece_len, 1000.0);
@@ -240,12 +380,12 @@ mod tests {
         assert_eq!(s.column(col(0)).unwrap().queries, 1);
         assert!((s.frequency(col(0)) - 0.5).abs() < 1e-9);
         assert_eq!(s.summary().total_queries(), 2);
-        assert_eq!(s.columns().count(), 2);
+        assert_eq!(s.columns().len(), 2);
     }
 
     #[test]
     fn refinement_updates_piece_statistics() {
-        let mut s = KernelStatistics::new(16);
+        let s = KernelStatistics::new(16);
         s.register_column(col(0), 1000);
         s.record_refinement(col(0), 8, 125.0);
         s.record_auxiliary_actions(col(0), 5);
@@ -257,7 +397,7 @@ mod tests {
 
     #[test]
     fn hot_range_detection_requires_repeated_hits() {
-        let mut s = KernelStatistics::new(32);
+        let s = KernelStatistics::new(32);
         s.register_column(col(0), 100_000);
         // Establish the predicate domain with two far-apart queries.
         s.record_query(col(0), 0, 100, 0.001);
@@ -276,8 +416,57 @@ mod tests {
     }
 
     #[test]
+    fn ranges_outside_the_predicate_domain_are_never_hot() {
+        // Regression: ranges disjoint from [predicate_min, predicate_max)
+        // used to clamp into the edge bucket and inherit its hit count, so
+        // brand-new cold ranges were misclassified as hot.
+        let s = KernelStatistics::new(32);
+        s.register_column(col(0), 100_000);
+        for _ in 0..10 {
+            s.record_query(col(0), 0, 1000, 0.01);
+        }
+        let a = s.column(col(0)).unwrap();
+        // Inside the domain: hot.
+        assert!(a.hot_hits(0, 1000) >= 10);
+        // Entirely above the domain (lo >= pmax): cold, even right at the
+        // boundary and far away.
+        assert_eq!(a.hot_hits(1000, 2000), 0);
+        assert_eq!(a.hot_hits(90_000, 90_100), 0);
+        assert!(!s.is_hot_range(col(0), 90_000, 90_100, 1));
+        // Entirely below the domain (hi <= pmin): cold.
+        assert_eq!(a.hot_hits(-500, 0), 0);
+        assert!(!s.is_hot_range(col(0), -500, 0, 1));
+        // Overlapping the domain edge still counts.
+        assert!(a.hot_hits(900, 1100) >= 10);
+    }
+
+    #[test]
+    fn deregister_column_forgets_everything() {
+        let s = KernelStatistics::new(8);
+        s.register_column(col(0), 500);
+        s.record_query(col(0), 0, 10, 0.01);
+        s.record_query(col(1), 0, 10, 0.01);
+        assert!(s.column(col(0)).is_some());
+        assert!(s.deregister_column(col(0)));
+        assert!(s.column(col(0)).is_none());
+        assert_eq!(s.frequency(col(0)), 0.0);
+        assert!(!s.is_hot_range(col(0), 0, 10, 1));
+        // The workload summary forgets the ghost column too, so the
+        // advisor and the remaining columns' frequencies stay consistent.
+        let summary = s.summary();
+        assert!(summary.column(col(0)).is_none());
+        assert_eq!(summary.total_queries(), 1);
+        // The kernel-wide total drops the ghost queries as well, so the
+        // surviving column's frequency is exact, not diluted.
+        assert_eq!(s.total_queries(), 1);
+        assert!((s.frequency(col(1)) - 1.0).abs() < 1e-9);
+        // Second deregistration is a no-op.
+        assert!(!s.deregister_column(col(0)));
+    }
+
+    #[test]
     fn degenerate_predicates_do_not_poison_statistics() {
-        let mut s = KernelStatistics::new(8);
+        let s = KernelStatistics::new(8);
         s.record_query(col(0), 10, 10, 0.0);
         s.record_query(col(0), 20, 5, 0.0);
         assert_eq!(s.column(col(0)).unwrap().queries, 2);
@@ -289,5 +478,28 @@ mod tests {
         let s = KernelStatistics::new(8);
         assert_eq!(s.frequency(col(3)), 0.0);
         assert_eq!(s.total_queries(), 0);
+    }
+
+    #[test]
+    fn recording_is_shared_reference_safe() {
+        let s = std::sync::Arc::new(KernelStatistics::new(16));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let s = std::sync::Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    s.record_query(col(t % 2), i, i + 10, 0.01);
+                    s.record_auxiliary_actions(col(t % 2), 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("stats writer panicked");
+        }
+        assert_eq!(s.total_queries(), 1000);
+        let a = s.column(col(0)).unwrap();
+        let b = s.column(col(1)).unwrap();
+        assert_eq!(a.queries + b.queries, 1000);
+        assert_eq!(a.auxiliary_actions + b.auxiliary_actions, 1000);
     }
 }

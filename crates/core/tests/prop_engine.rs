@@ -37,7 +37,7 @@ proptest! {
     #[test]
     fn every_strategy_is_scan_equivalent(values in arb_values(), queries in arb_queries()) {
         for strategy in IndexingStrategy::all() {
-            let (mut db, col) = make_db(strategy, values.clone());
+            let (db, col) = make_db(strategy, values.clone());
             for &(lo, hi) in &queries {
                 let result = db.execute(&Query::range(col, lo, hi)).unwrap();
                 prop_assert_eq!(
@@ -55,7 +55,7 @@ proptest! {
         queries in arb_queries(),
         idle_actions in 0u64..300,
     ) {
-        let (mut db, col) = make_db(IndexingStrategy::Holistic, values.clone());
+        let (db, col) = make_db(IndexingStrategy::Holistic, values.clone());
         for &(lo, hi) in &queries {
             let before = db.execute(&Query::range(col, lo, hi)).unwrap().count;
             db.run_idle(IdleBudget::Actions(idle_actions));
@@ -72,7 +72,7 @@ proptest! {
         width in 0i64..800,
     ) {
         let hi = lo + width;
-        let (mut db, col) = make_db(IndexingStrategy::Holistic, values.clone());
+        let (db, col) = make_db(IndexingStrategy::Holistic, values.clone());
         let result = db.execute(&Query::range_materialized(col, lo, hi)).unwrap();
         let mut got = result.values.unwrap();
         got.sort_unstable();

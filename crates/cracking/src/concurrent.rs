@@ -9,8 +9,13 @@
 //! idle-time refinement action) takes the exclusive latch for the duration
 //! of the partitioning pass. Because cracking touches exactly one column,
 //! queries on different columns never contend.
+//!
+//! The latch-usage counters are plain atomics: the shared select path is
+//! exactly the path the latch exists to parallelize, so it must not
+//! serialize on a statistics lock.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 use rand::Rng;
@@ -18,6 +23,8 @@ use rand::Rng;
 use holistic_storage::Column;
 
 use crate::cracker::CrackerColumn;
+use crate::kernels::KernelDispatches;
+use crate::stochastic::{crack_select_with_policy, CrackPolicy};
 use crate::Value;
 
 /// Counters describing how often the fast (shared) path could be used.
@@ -27,15 +34,68 @@ pub struct LatchStats {
     pub shared_selects: u64,
     /// Selects that had to take the exclusive latch to crack.
     pub exclusive_selects: u64,
-    /// Auxiliary refinement actions (always exclusive).
+    /// *Effective* auxiliary refinement actions (always exclusive). An
+    /// action that did not introduce a new piece — empty column, converged
+    /// column, pivot already a boundary — is not work and is not counted.
     pub refinements: u64,
+}
+
+/// Lock-free storage behind [`LatchStats`].
+#[derive(Debug, Default)]
+struct AtomicLatchStats {
+    shared_selects: AtomicU64,
+    exclusive_selects: AtomicU64,
+    refinements: AtomicU64,
+}
+
+impl AtomicLatchStats {
+    fn snapshot(&self) -> LatchStats {
+        LatchStats {
+            shared_selects: self.shared_selects.load(Ordering::Relaxed),
+            exclusive_selects: self.exclusive_selects.load(Ordering::Relaxed),
+            refinements: self.refinements.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Everything one select through the latch produced, so callers get the
+/// answer, the post-select index shape and the kernel-dispatch delta in a
+/// single latch acquisition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectOutcome {
+    /// Number of qualifying values.
+    pub count: u64,
+    /// Sum of the qualifying values.
+    pub sum: i128,
+    /// The qualifying values, if materialization was requested.
+    pub values: Option<Vec<Value>>,
+    /// Piece count right after the select.
+    pub piece_count: usize,
+    /// Average piece length right after the select.
+    pub avg_piece_len: f64,
+    /// Crack-kernel dispatches this select performed (zero on the shared
+    /// fast path).
+    pub dispatches: KernelDispatches,
+}
+
+/// Everything one auxiliary refinement action through the latch produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineOutcome {
+    /// Whether the action introduced a new piece.
+    pub split: bool,
+    /// Piece count right after the action.
+    pub piece_count: usize,
+    /// Average piece length right after the action.
+    pub avg_piece_len: f64,
+    /// Crack-kernel dispatches this action performed.
+    pub dispatches: KernelDispatches,
 }
 
 /// A cracker column protected by a reader/writer latch.
 #[derive(Debug)]
 pub struct ConcurrentCrackerColumn {
     inner: RwLock<CrackerColumn>,
-    stats: RwLock<LatchStats>,
+    stats: AtomicLatchStats,
 }
 
 impl ConcurrentCrackerColumn {
@@ -44,7 +104,7 @@ impl ConcurrentCrackerColumn {
     pub fn new(column: CrackerColumn) -> Self {
         ConcurrentCrackerColumn {
             inner: RwLock::new(column),
-            stats: RwLock::new(LatchStats::default()),
+            stats: AtomicLatchStats::default(),
         }
     }
 
@@ -78,10 +138,22 @@ impl ConcurrentCrackerColumn {
         self.inner.read().piece_count()
     }
 
+    /// Current average piece length.
+    #[must_use]
+    pub fn avg_piece_len(&self) -> f64 {
+        self.inner.read().avg_piece_len()
+    }
+
+    /// Total crack actions applied so far (query-driven plus auxiliary).
+    #[must_use]
+    pub fn cracks_performed(&self) -> u64 {
+        self.inner.read().cracks_performed()
+    }
+
     /// Latch-usage statistics.
     #[must_use]
     pub fn latch_stats(&self) -> LatchStats {
-        *self.stats.read()
+        self.stats.snapshot()
     }
 
     /// Counts the values in `[lo, hi)`, cracking if necessary.
@@ -96,13 +168,13 @@ impl ConcurrentCrackerColumn {
         {
             let guard = self.inner.read();
             if let Some(range) = guard.select_if_resolved(lo, hi) {
-                self.stats.write().shared_selects += 1;
+                self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
                 return guard.view(range).to_vec();
             }
         }
         let mut guard = self.inner.write();
         let range = guard.crack_select(lo, hi);
-        self.stats.write().exclusive_selects += 1;
+        self.stats.exclusive_selects.fetch_add(1, Ordering::Relaxed);
         guard.view(range).to_vec()
     }
 
@@ -116,22 +188,130 @@ impl ConcurrentCrackerColumn {
         {
             let guard = self.inner.read();
             if let Some(range) = guard.select_if_resolved(lo, hi) {
-                self.stats.write().shared_selects += 1;
+                self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
                 return range;
             }
         }
         let mut guard = self.inner.write();
         let range = guard.crack_select(lo, hi);
-        self.stats.write().exclusive_selects += 1;
+        self.stats.exclusive_selects.fetch_add(1, Ordering::Relaxed);
         range
     }
 
-    /// Applies one auxiliary random refinement action under the exclusive
-    /// latch. Returns `true` if the action introduced a new piece.
-    pub fn random_crack<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+    /// Answers the range select `[lo, hi)` under the given cracking policy,
+    /// returning count, sum, (optionally) the qualifying values and the
+    /// kernel-dispatch delta in one latch acquisition.
+    ///
+    /// If both bounds are already resolved by the cracker index the answer
+    /// is produced entirely under the shared latch and no reorganization
+    /// happens — stochastic policies only inject auxiliary splits on the
+    /// exclusive (cracking) path, where they pay for themselves.
+    pub fn select_with_policy<R: Rng + ?Sized>(
+        &self,
+        lo: Value,
+        hi: Value,
+        materialize: bool,
+        policy: CrackPolicy,
+        rng: &mut R,
+    ) -> SelectOutcome {
+        // Fast path: both bounds resolved, answer under the shared latch.
+        {
+            let guard = self.inner.read();
+            if let Some(range) = guard.select_if_resolved(lo, hi) {
+                self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
+                return Self::outcome_for(&guard, range, materialize, KernelDispatches::default());
+            }
+        }
         let mut guard = self.inner.write();
-        self.stats.write().refinements += 1;
-        guard.random_crack(rng)
+        // Re-check under the exclusive latch: a contender that queued on
+        // the same bounds may have resolved them already — re-running the
+        // policy then would inject redundant auxiliary splits (Mdd1r/DDx)
+        // and over-fragment the index.
+        if let Some(range) = guard.select_if_resolved(lo, hi) {
+            self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
+            return Self::outcome_for(&guard, range, materialize, KernelDispatches::default());
+        }
+        let before = guard.kernel_dispatches();
+        let range = crack_select_with_policy(&mut guard, lo, hi, policy, rng);
+        self.stats.exclusive_selects.fetch_add(1, Ordering::Relaxed);
+        let delta = guard.kernel_dispatches().since(before);
+        Self::outcome_for(&guard, range, materialize, delta)
+    }
+
+    fn outcome_for(
+        column: &CrackerColumn,
+        range: Range<usize>,
+        materialize: bool,
+        dispatches: KernelDispatches,
+    ) -> SelectOutcome {
+        let view = column.view(range);
+        SelectOutcome {
+            count: view.len() as u64,
+            sum: view.iter().map(|&v| i128::from(v)).sum(),
+            values: materialize.then(|| view.to_vec()),
+            piece_count: column.piece_count(),
+            avg_piece_len: column.avg_piece_len(),
+            dispatches,
+        }
+    }
+
+    /// Applies one auxiliary random refinement action under the exclusive
+    /// latch, reporting the action's effect and dispatch delta.
+    pub fn refine<R: Rng + ?Sized>(&self, rng: &mut R) -> RefineOutcome {
+        let mut guard = self.inner.write();
+        let before = guard.kernel_dispatches();
+        let split = guard.random_crack(rng);
+        if split {
+            self.stats.refinements.fetch_add(1, Ordering::Relaxed);
+        }
+        RefineOutcome {
+            split,
+            piece_count: guard.piece_count(),
+            avg_piece_len: guard.avg_piece_len(),
+            dispatches: guard.kernel_dispatches().since(before),
+        }
+    }
+
+    /// Applies one auxiliary random refinement action under the exclusive
+    /// latch. Returns `true` if the action introduced a new piece; only
+    /// such effective actions are counted in [`LatchStats::refinements`].
+    pub fn random_crack<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.refine(rng).split
+    }
+
+    /// Applies one auxiliary refinement action restricted to the value range
+    /// `[lo, hi)` (hot-range boosting), reporting the action's effect and
+    /// dispatch delta.
+    pub fn refine_in_range<R: Rng + ?Sized>(
+        &self,
+        lo: Value,
+        hi: Value,
+        rng: &mut R,
+    ) -> RefineOutcome {
+        let mut guard = self.inner.write();
+        let before = guard.kernel_dispatches();
+        let split = guard.random_crack_in_range(lo, hi, rng);
+        if split {
+            self.stats.refinements.fetch_add(1, Ordering::Relaxed);
+        }
+        RefineOutcome {
+            split,
+            piece_count: guard.piece_count(),
+            avg_piece_len: guard.avg_piece_len(),
+            dispatches: guard.kernel_dispatches().since(before),
+        }
+    }
+
+    /// Applies one auxiliary refinement action restricted to the value range
+    /// `[lo, hi)` (hot-range boosting). Returns `true` if a new piece was
+    /// introduced.
+    pub fn random_crack_in_range<R: Rng + ?Sized>(
+        &self,
+        lo: Value,
+        hi: Value,
+        rng: &mut R,
+    ) -> bool {
+        self.refine_in_range(lo, hi, rng).split
     }
 
     /// Runs a closure with shared access to the underlying cracker column.
@@ -200,6 +380,50 @@ mod tests {
     }
 
     #[test]
+    fn select_with_policy_matches_scan_and_reports_dispatches() {
+        let values = data(2000);
+        let c = ConcurrentCrackerColumn::from_values(values.clone());
+        let mut rng = StdRng::seed_from_u64(11);
+        let first = c.select_with_policy(100, 400, true, CrackPolicy::Standard, &mut rng);
+        assert_eq!(first.count, scan_count(&values, 100, 400));
+        let expected_sum: i128 = values
+            .iter()
+            .filter(|&&v| (100..400).contains(&v))
+            .map(|&v| i128::from(v))
+            .sum();
+        assert_eq!(first.sum, expected_sum);
+        assert_eq!(first.values.as_ref().unwrap().len() as u64, first.count);
+        assert!(first.dispatches.total() >= 1, "first select must crack");
+        assert!(first.piece_count >= 2);
+        // Second identical select runs on the shared path: no dispatches.
+        let again = c.select_with_policy(100, 400, false, CrackPolicy::Standard, &mut rng);
+        assert_eq!(again.count, first.count);
+        assert_eq!(again.sum, first.sum);
+        assert_eq!(again.dispatches.total(), 0);
+        assert!(again.values.is_none());
+        assert!(c.latch_stats().shared_selects >= 1);
+        assert!(c.validate());
+    }
+
+    #[test]
+    fn stochastic_policies_stay_correct_through_the_latch() {
+        let values = data(4000);
+        for policy in [CrackPolicy::ddr(), CrackPolicy::ddc(), CrackPolicy::Mdd1r] {
+            let c = ConcurrentCrackerColumn::from_values(values.clone());
+            let mut rng = StdRng::seed_from_u64(13);
+            for &(lo, hi) in &[(10, 500), (1000, 1400), (3000, 3900), (500, 400)] {
+                let outcome = c.select_with_policy(lo, hi, false, policy, &mut rng);
+                assert_eq!(
+                    outcome.count,
+                    scan_count(&values, lo, hi),
+                    "{policy:?} [{lo},{hi})"
+                );
+            }
+            assert!(c.validate());
+        }
+    }
+
+    #[test]
     fn concurrent_queries_and_refinements_are_correct() {
         let n = 20_000;
         let values = data(n);
@@ -217,28 +441,64 @@ mod tests {
             let expected = expected.clone();
             handles.push(std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(t);
+                let mut effective = 0u64;
                 for round in 0..8 {
                     for &(lo, hi, want) in &expected {
                         assert_eq!(column.count(lo, hi), want, "thread {t} round {round}");
                     }
                     // Interleave idle-time style refinements.
                     for _ in 0..5 {
-                        column.random_crack(&mut rng);
+                        if column.random_crack(&mut rng) {
+                            effective += 1;
+                        }
                     }
                 }
+                effective
             }));
         }
+        let mut total_effective = 0;
         for h in handles {
-            h.join().expect("worker panicked");
+            total_effective += h.join().expect("worker panicked");
         }
         assert!(column.validate());
         assert!(column.piece_count() > 16);
         let stats = column.latch_stats();
-        assert!(stats.refinements == 4 * 8 * 5);
+        // Only actions that introduced a piece count as refinement work.
+        assert_eq!(stats.refinements, total_effective);
+        assert!(stats.refinements <= 4 * 8 * 5);
         assert!(
             stats.shared_selects > 0,
             "expected some shared-path selects"
         );
+    }
+
+    #[test]
+    fn noop_refinements_are_not_counted_as_work() {
+        // Regression: the old code bumped `refinements` before checking
+        // whether the crack did anything, so an empty column racked up
+        // refinement counts without ever doing work.
+        let empty = ConcurrentCrackerColumn::from_values(vec![]);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert!(!empty.random_crack(&mut rng));
+        }
+        assert_eq!(empty.latch_stats().refinements, 0);
+
+        // A column of identical values converges after a single split; the
+        // remaining actions are no-ops and must not be counted either.
+        let converged = ConcurrentCrackerColumn::from_values(vec![5; 64]);
+        let mut effective = 0;
+        for _ in 0..20 {
+            if converged.random_crack(&mut rng) {
+                effective += 1;
+            }
+        }
+        assert!(effective <= 1);
+        assert_eq!(converged.latch_stats().refinements, effective);
+
+        // Same contract for the hot-range variant.
+        assert!(!converged.random_crack_in_range(5, 5, &mut rng));
+        assert_eq!(converged.latch_stats().refinements, effective);
     }
 
     #[test]
@@ -249,6 +509,18 @@ mod tests {
         assert_eq!(c.count(0, 10), 0);
         let mut rng = StdRng::seed_from_u64(0);
         assert!(!c.random_crack(&mut rng));
+    }
+
+    #[test]
+    fn refine_reports_effect_and_shape() {
+        let c = ConcurrentCrackerColumn::from_values((0..1000).rev().collect());
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = c.refine(&mut rng);
+        assert!(outcome.split);
+        assert!(outcome.piece_count >= 2);
+        assert!(outcome.avg_piece_len <= 1000.0);
+        assert_eq!(c.latch_stats().refinements, 1);
+        assert!(c.cracks_performed() >= 1);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod sideways;
 pub mod stochastic;
 pub mod updates;
 
-pub use concurrent::ConcurrentCrackerColumn;
+pub use concurrent::{ConcurrentCrackerColumn, LatchStats, RefineOutcome, SelectOutcome};
 pub use cracker::CrackerColumn;
 pub use index::PieceIndex;
 pub use kernels::{

@@ -69,6 +69,19 @@ impl WorkloadSummary {
         self.total_queries += queries;
     }
 
+    /// Forgets a column (dropped table): its entry is removed and its
+    /// queries no longer count toward the total, so the frequencies of the
+    /// remaining columns stay consistent. Returns whether it existed.
+    pub fn remove_column(&mut self, column: ColumnId) -> bool {
+        match self.columns.remove(&column) {
+            Some(entry) => {
+                self.total_queries = self.total_queries.saturating_sub(entry.queries);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Total number of queries across all columns.
     #[must_use]
     pub fn total_queries(&self) -> u64 {

@@ -87,6 +87,14 @@ impl QueryMonitor {
         self.total_queries += 1;
     }
 
+    /// Forgets a column entirely (dropped table): removes its observation
+    /// and its contribution to the accumulated workload summary.
+    pub fn forget_column(&mut self, id: ColumnId) -> bool {
+        let existed = self.columns.remove(&id).is_some();
+        self.summary.remove_column(id);
+        existed
+    }
+
     /// Total queries observed.
     #[must_use]
     pub fn total_queries(&self) -> u64 {

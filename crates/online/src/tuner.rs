@@ -1,6 +1,7 @@
 //! The composed online tuning loop.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use holistic_offline::SortedIndex;
 use holistic_storage::Column;
@@ -17,7 +18,7 @@ pub struct OnlineTuner {
     monitor: QueryMonitor,
     epochs: EpochManager,
     policy: ColtPolicy,
-    indexes: BTreeMap<ColumnId, SortedIndex>,
+    indexes: BTreeMap<ColumnId, Arc<SortedIndex>>,
     /// Total work units spent building indexes online (this is the penalty
     /// the paper attributes to online indexing: queries arriving during the
     /// tuning period pay for it).
@@ -69,13 +70,36 @@ impl OnlineTuner {
     /// The full index on `column`, if one exists.
     #[must_use]
     pub fn index(&self, column: ColumnId) -> Option<&SortedIndex> {
-        self.indexes.get(&column)
+        self.indexes.get(&column).map(Arc::as_ref)
+    }
+
+    /// A shared handle to the full index on `column`, if one exists. Lets
+    /// callers clone the handle under a short lock and probe the index
+    /// outside it, so concurrent probes never serialize on the tuner.
+    #[must_use]
+    pub fn index_arc(&self, column: ColumnId) -> Option<Arc<SortedIndex>> {
+        self.indexes.get(&column).map(Arc::clone)
+    }
+
+    /// Number of columns that currently have an index.
+    #[must_use]
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
     }
 
     /// Columns that currently have an index.
     #[must_use]
     pub fn indexed_columns(&self) -> BTreeSet<ColumnId> {
         self.indexes.keys().copied().collect()
+    }
+
+    /// Forgets a column entirely (dropped table): drops its index, if any,
+    /// and removes it from the monitor so ghost columns never skew future
+    /// tuning decisions. Returns whether any state existed for it.
+    pub fn forget_column(&mut self, column: ColumnId) -> bool {
+        let had_index = self.indexes.remove(&column).is_some();
+        let had_observation = self.monitor.forget_column(column);
+        had_index || had_observation
     }
 
     /// Total work units spent on online index builds so far.
@@ -120,7 +144,8 @@ impl OnlineTuner {
                 TuningDecision::Create(col) => {
                     if let Some(base) = resolve(*col) {
                         let cost = self.policy.model().full_build_cost(base.len());
-                        self.indexes.insert(*col, SortedIndex::build(&base));
+                        self.indexes
+                            .insert(*col, Arc::new(SortedIndex::build(&base)));
                         self.build_work += cost;
                         self.decisions_applied += 1;
                     }
@@ -232,6 +257,27 @@ mod tests {
         }
         assert!(!tuner.has_index(col(0)));
         assert_eq!(tuner.monitor().total_queries(), 100);
+    }
+
+    #[test]
+    fn forget_column_drops_index_and_observations() {
+        let n = 100_000;
+        let model = CostModel::new();
+        let mut tuner = OnlineTuner::new(10);
+        let base = base_column(n);
+        for _ in 0..20 {
+            tuner.record_and_tune(col(0), 0, 100, 0.001, model.scan_cost(n), |_| {
+                Some(base.clone())
+            });
+        }
+        assert!(tuner.has_index(col(0)));
+        assert!(tuner.monitor().column(col(0)).is_some());
+        assert!(tuner.forget_column(col(0)));
+        assert!(!tuner.has_index(col(0)));
+        assert!(tuner.index_arc(col(0)).is_none());
+        assert!(tuner.monitor().column(col(0)).is_none());
+        assert!(tuner.monitor().summary().column(col(0)).is_none());
+        assert!(!tuner.forget_column(col(0)), "second forget is a no-op");
     }
 
     #[test]

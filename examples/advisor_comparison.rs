@@ -75,7 +75,7 @@ fn main() {
 
     // Holistic: spend a comparable preparation effort as partial indexes
     // spread over every column.
-    let (mut holistic_db, hcols) = build_db(IndexingStrategy::Holistic);
+    let (holistic_db, hcols) = build_db(IndexingStrategy::Holistic);
     let prep_start = Instant::now();
     for &c in &hcols {
         holistic_db.warm_column(c, 100).unwrap();

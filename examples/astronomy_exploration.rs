@@ -105,7 +105,7 @@ fn main() {
     println!("\nwhile the scientist was thinking, the background tuner applied {background_actions} refinement actions");
 
     // Phase 4 — the next burst of queries benefits from everything above.
-    let mut db = Arc::try_unwrap(shared).expect("no other refs").into_inner();
+    let db = Arc::try_unwrap(shared).expect("no other refs").into_inner();
     let result = db.execute(&Query::range(ra, 120_500, 121_500)).unwrap();
     println!(
         "next-morning query on RA: {} objects in {:?} ({} pieces on RA)",

@@ -56,7 +56,7 @@ fn main() {
 
     // 6. The observed workload can be handed to the offline advisor at any
     //    time, e.g. to decide whether a full index is worth building.
-    let summary = db.observed_workload().clone();
+    let summary = db.observed_workload();
     println!(
         "\nobserved workload: {} queries over {} column(s)",
         summary.total_queries(),

@@ -137,7 +137,7 @@ fn holistic_knowledge_flows_into_the_advisor_and_back() {
     }
     db.run_idle(IdleBudget::Actions(100));
 
-    let summary = db.observed_workload().clone();
+    let summary = db.observed_workload();
     let advisor = Advisor::new();
     let picks = advisor.recommend(
         &summary,

@@ -44,8 +44,8 @@ fn idle_time_reduces_future_query_work() {
             })
             .collect()
     };
-    let (mut tuned, tuned_cols) = holistic_db(1);
-    let (mut untuned, untuned_cols) = holistic_db(1);
+    let (tuned, tuned_cols) = holistic_db(1);
+    let (untuned, untuned_cols) = holistic_db(1);
     // Warm both with one query (so statistics exist), then grant idle time
     // to only one of them.
     tuned.execute(&Query::range(tuned_cols[0], 1, 100)).unwrap();
@@ -71,7 +71,7 @@ fn idle_time_reduces_future_query_work() {
 
 #[test]
 fn ranking_prefers_frequently_queried_columns() {
-    let (mut db, cols) = holistic_db(4);
+    let (db, cols) = holistic_db(4);
     // Column 0 is hot, column 3 is never touched.
     for i in 0..30 {
         let lo = 1 + (i * 700) % (ROWS as i64 - 600);
@@ -92,7 +92,7 @@ fn ranking_prefers_frequently_queried_columns() {
 
 #[test]
 fn idle_tuning_converges_and_stops() {
-    let (mut db, cols) = holistic_db(2);
+    let (db, cols) = holistic_db(2);
     db.execute(&Query::range(cols[0], 1, 500)).unwrap();
     let mut total_actions = 0u64;
     let mut converged = false;
@@ -125,7 +125,7 @@ fn idle_tuning_converges_and_stops() {
 
 #[test]
 fn hot_range_boost_refines_exactly_the_hot_region() {
-    let (mut db, cols) = holistic_db(1);
+    let (db, cols) = holistic_db(1);
     let hot_lo = ROWS as i64 / 2;
     let hot_hi = hot_lo + ROWS as i64 / 100;
     for _ in 0..12 {
@@ -135,7 +135,7 @@ fn hot_range_boost_refines_exactly_the_hot_region() {
     assert!(aux > 0, "hot range must trigger boost cracks");
     // Counts stay correct while boosting happens.
     let reference = {
-        let (mut scan_db, scan_cols) = {
+        let (scan_db, scan_cols) = {
             let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::ScanOnly);
             let t = db.create_table("r", vec![("a0", dataset(0))]).unwrap();
             let cols = db.column_ids(t).unwrap();
@@ -152,7 +152,7 @@ fn hot_range_boost_refines_exactly_the_hot_region() {
 
 #[test]
 fn background_tuner_and_foreground_queries_coexist() {
-    let (mut db, cols) = holistic_db(2);
+    let (db, cols) = holistic_db(2);
     db.execute(&Query::range(cols[0], 1, 300)).unwrap();
     let shared = Arc::new(RwLock::new(db));
     let tuner = BackgroundTuner::spawn(
@@ -184,7 +184,7 @@ fn background_tuner_and_foreground_queries_coexist() {
         "idle gaps should have been exploited"
     );
     // Replay the recorded queries: answers must be unchanged by background work.
-    let mut db = Arc::try_unwrap(shared).expect("tuner stopped").into_inner();
+    let db = Arc::try_unwrap(shared).expect("tuner stopped").into_inner();
     for (col, lo, count) in expected_counts {
         let again = db.execute(&Query::range(cols[col], lo, lo + 300)).unwrap();
         assert_eq!(again.count, count);
@@ -201,7 +201,7 @@ fn observed_workload_can_drive_offline_preparation_later() {
         let lo = rng.gen_range(1..=(ROWS as i64 - 700));
         db.execute(&Query::range(cols[0], lo, lo + 600)).unwrap();
     }
-    let summary = db.observed_workload().clone();
+    let summary = db.observed_workload();
     assert!(summary.column(cols[0]).unwrap().queries >= 60);
     // A long idle window appears: build the full index the knowledge asks for.
     let report = db.prepare_offline(&summary, None);

@@ -36,7 +36,7 @@ fn workload(queries: usize) -> Vec<holistic_workload::RangeQuery> {
 fn all_strategies_agree_on_query_results() {
     let queries = workload(120);
     // Reference answers from the scan-only engine.
-    let (mut reference_db, ref_cols) = build_db(IndexingStrategy::ScanOnly);
+    let (reference_db, ref_cols) = build_db(IndexingStrategy::ScanOnly);
     let reference: Vec<(u64, i128)> = queries
         .iter()
         .map(|q| {
@@ -76,8 +76,8 @@ fn all_strategies_agree_on_query_results() {
 fn strategies_build_the_expected_auxiliary_structures() {
     let queries = workload(60);
 
-    let (mut scan_db, scan_cols) = build_db(IndexingStrategy::ScanOnly);
-    let (mut adaptive_db, adaptive_cols) = build_db(IndexingStrategy::Adaptive);
+    let (scan_db, scan_cols) = build_db(IndexingStrategy::ScanOnly);
+    let (adaptive_db, adaptive_cols) = build_db(IndexingStrategy::Adaptive);
     let (mut offline_db, offline_cols) = build_db(IndexingStrategy::Offline);
     let mut summary = WorkloadSummary::new();
     for &c in &offline_cols {
@@ -124,7 +124,7 @@ fn strategies_build_the_expected_auxiliary_structures() {
 
 #[test]
 fn adaptive_queries_get_faster_as_the_column_is_cracked() {
-    let (mut db, cols) = build_db(IndexingStrategy::Adaptive);
+    let (db, cols) = build_db(IndexingStrategy::Adaptive);
     // Hammer a single column with many queries; compare early vs late work.
     let inner = UniformRangeGenerator::new(0, 1, ROWS as i64 + 1, 0.02);
     let mut generator = inner;
@@ -190,7 +190,7 @@ fn results_are_identical_with_and_without_rowid_payloads() {
 fn stochastic_policies_do_not_change_query_answers() {
     use holistic_core::CrackPolicy;
     let queries = workload(60);
-    let (mut reference_db, ref_cols) = build_db(IndexingStrategy::ScanOnly);
+    let (reference_db, ref_cols) = build_db(IndexingStrategy::ScanOnly);
     let reference: Vec<u64> = queries
         .iter()
         .map(|q| {
