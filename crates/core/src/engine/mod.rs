@@ -281,6 +281,17 @@ impl Database {
         self.crackers.read().get(&id).map_or(0, |c| c.piece_count())
     }
 
+    /// The piece table of a column's cracker index, in positional order
+    /// (empty if the column has never been cracked). Lets tests and tools
+    /// compare the physical index shape two execution paths produced.
+    #[must_use]
+    pub fn cracker_pieces(&self, id: ColumnId) -> Vec<holistic_cracking::Piece> {
+        self.crackers
+            .read()
+            .get(&id)
+            .map_or_else(Vec::new, |c| c.with_read(|col| col.pieces().to_vec()))
+    }
+
     /// Total crack actions (query-driven plus auxiliary) applied to a column.
     #[must_use]
     pub fn cracks_performed(&self, id: ColumnId) -> u64 {
@@ -312,28 +323,7 @@ impl Database {
         let column_len = self.catalog.column(q.column)?.len();
         let (path, count, sum, values) = match self.strategy {
             IndexingStrategy::ScanOnly => self.exec_scan(q)?,
-            IndexingStrategy::Offline | IndexingStrategy::Online => {
-                if self.full_indexes.contains_key(&q.column) {
-                    self.exec_index(q)?
-                } else if self.strategy == IndexingStrategy::Online
-                    || self.online_index_count.load(Ordering::Relaxed) > 0
-                {
-                    // Clone the Arc under the tuner lock, probe outside it:
-                    // index probes on different columns must not serialize
-                    // on the shared tuner. Non-Online strategies only pay
-                    // the lock when the tuner actually holds indexes (e.g.
-                    // after an Online-to-Offline strategy switch).
-                    let tuner_index = self.online.lock().index_arc(q.column);
-                    if let Some(idx) = tuner_index {
-                        let r = Self::exec_with_index(q, &idx);
-                        (AccessPath::FullIndex, r.0, r.1, r.2)
-                    } else {
-                        self.exec_scan(q)?
-                    }
-                } else {
-                    self.exec_scan(q)?
-                }
-            }
+            IndexingStrategy::Offline | IndexingStrategy::Online => self.exec_indexed_or_scan(q)?,
             IndexingStrategy::Adaptive => self.exec_crack(q, false)?,
             IndexingStrategy::Holistic => self.exec_crack(q, true)?,
         };
@@ -350,34 +340,8 @@ impl Database {
         };
         self.stats.record_query(q.column, q.lo, q.hi, selectivity);
 
-        // Online indexing: monitoring + epoch-based tuning. The time spent
-        // building indexes online is charged to the query that triggered the
-        // epoch boundary, which is exactly the online-indexing penalty the
-        // paper describes.
         if self.strategy == IndexingStrategy::Online {
-            let tune_start = Instant::now();
-            let observed_cost = self.cost_model.scan_cost(column_len);
-            let catalog = &self.catalog;
-            {
-                let mut online = self.online.lock();
-                let _ = online.record_and_tune(
-                    q.column,
-                    q.lo,
-                    q.hi,
-                    selectivity,
-                    if path == AccessPath::FullIndex {
-                        self.cost_model.index_probe_cost(column_len, selectivity)
-                    } else {
-                        observed_cost
-                    },
-                    |id| catalog.column(id).ok().cloned(),
-                );
-                self.online_index_count
-                    .store(online.index_count(), Ordering::Relaxed);
-            }
-            let tuning = tune_start.elapsed();
-            self.metrics.add_build_time(tuning);
-            latency += tuning;
+            latency += self.online_record_and_tune(q, column_len, selectivity, path);
         }
 
         let result = QueryResult {
@@ -396,6 +360,70 @@ impl Database {
         });
         self.touch_activity();
         Ok(result)
+    }
+
+    /// The Offline/Online access-path choice: full index if present, then a
+    /// tuner-built index, then the scan baseline.
+    fn exec_indexed_or_scan(
+        &self,
+        q: &Query,
+    ) -> EngineResult<(AccessPath, u64, i128, Option<Vec<Value>>)> {
+        if self.full_indexes.contains_key(&q.column) {
+            self.exec_index(q)
+        } else if self.strategy == IndexingStrategy::Online
+            || self.online_index_count.load(Ordering::Relaxed) > 0
+        {
+            // Clone the Arc under the tuner lock, probe outside it:
+            // index probes on different columns must not serialize
+            // on the shared tuner. Non-Online strategies only pay
+            // the lock when the tuner actually holds indexes (e.g.
+            // after an Online-to-Offline strategy switch).
+            let tuner_index = self.online.lock().index_arc(q.column);
+            if let Some(idx) = tuner_index {
+                let r = Self::exec_with_index(q, &idx);
+                Ok((AccessPath::FullIndex, r.0, r.1, r.2))
+            } else {
+                self.exec_scan(q)
+            }
+        } else {
+            self.exec_scan(q)
+        }
+    }
+
+    /// Online indexing: monitoring + epoch-based tuning. The time spent
+    /// building indexes online is charged to the query that triggered the
+    /// epoch boundary, which is exactly the online-indexing penalty the
+    /// paper describes. Returns that charge.
+    fn online_record_and_tune(
+        &self,
+        q: &Query,
+        column_len: usize,
+        selectivity: f64,
+        path: AccessPath,
+    ) -> Duration {
+        let tune_start = Instant::now();
+        let observed_cost = self.cost_model.scan_cost(column_len);
+        let catalog = &self.catalog;
+        {
+            let mut online = self.online.lock();
+            let _ = online.record_and_tune(
+                q.column,
+                q.lo,
+                q.hi,
+                selectivity,
+                if path == AccessPath::FullIndex {
+                    self.cost_model.index_probe_cost(column_len, selectivity)
+                } else {
+                    observed_cost
+                },
+                |id| catalog.column(id).ok().cloned(),
+            );
+            self.online_index_count
+                .store(online.index_count(), Ordering::Relaxed);
+        }
+        let tuning = tune_start.elapsed();
+        self.metrics.add_build_time(tuning);
+        tuning
     }
 
     fn exec_scan(&self, q: &Query) -> EngineResult<(AccessPath, u64, i128, Option<Vec<Value>>)> {
@@ -501,6 +529,224 @@ impl Database {
             outcome.sum,
             outcome.values,
         ))
+    }
+
+    // ------------------------------------------------------------------
+    // Batched query execution
+    // ------------------------------------------------------------------
+
+    /// Executes a batch of range queries, amortizing per-query overheads
+    /// across the batch: queries are grouped by column, each group's
+    /// deduplicated predicate bounds crack every target piece with a single
+    /// multi-pivot pass under **one** latch acquisition per column
+    /// ([`ConcurrentCrackerColumn::select_batch_with_policy`]), and
+    /// statistics/metrics are recorded in bulk.
+    ///
+    /// Results come back in the order the queries were passed, with
+    /// count/sum/materialization semantics identical to issuing every query
+    /// through [`Database::execute`] sequentially. Differences from the
+    /// sequential path are limited to bookkeeping: queries of one column
+    /// group share the group's wall-clock cost evenly (their individual
+    /// latencies are no longer observable), and a pending penalty is charged
+    /// to the batch's first query.
+    ///
+    /// Unlike sequential execution, the batch validates every column up
+    /// front: if any query references an unknown column the whole batch
+    /// fails without executing anything.
+    pub fn execute_batch(&self, queries: &[Query]) -> EngineResult<Vec<QueryResult>> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Resolve every column once, failing the whole batch up front.
+        let mut column_lens: BTreeMap<ColumnId, usize> = BTreeMap::new();
+        let mut groups: BTreeMap<ColumnId, Vec<usize>> = BTreeMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            if let std::collections::btree_map::Entry::Vacant(e) = column_lens.entry(q.column) {
+                e.insert(self.catalog.column(q.column)?.len());
+            }
+            groups.entry(q.column).or_default().push(i);
+        }
+        let penalty = std::mem::take(&mut *self.pending_penalty.lock());
+        let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+
+        for (column, indexes) in &groups {
+            let column_len = column_lens[column];
+            let batched_crack = matches!(
+                self.strategy,
+                IndexingStrategy::Adaptive | IndexingStrategy::Holistic
+            ) && !self.full_indexes.contains_key(column);
+            if batched_crack {
+                // Records the group's statistics itself (they must precede
+                // the hot-range boost checks).
+                self.exec_crack_batch(queries, indexes, *column, column_len, &mut results)?;
+            } else {
+                // Scan and index probes have no partitioning work to
+                // amortize; they run per query (including the online
+                // tuner's per-query epoch accounting) and only share the
+                // batch's bulk statistics recording below.
+                for &i in indexes {
+                    let q = &queries[i];
+                    let q_start = Instant::now();
+                    let (path, count, sum, values) = match self.strategy {
+                        IndexingStrategy::ScanOnly => self.exec_scan(q)?,
+                        IndexingStrategy::Offline | IndexingStrategy::Online => {
+                            self.exec_indexed_or_scan(q)?
+                        }
+                        IndexingStrategy::Adaptive | IndexingStrategy::Holistic => {
+                            self.exec_index(q)?
+                        }
+                    };
+                    let mut latency = q_start.elapsed();
+                    if self.strategy == IndexingStrategy::Online {
+                        let selectivity = if column_len == 0 {
+                            0.0
+                        } else {
+                            count as f64 / column_len as f64
+                        };
+                        latency += self.online_record_and_tune(q, column_len, selectivity, path);
+                    }
+                    results[i] = Some(QueryResult {
+                        count,
+                        sum,
+                        values,
+                        path,
+                        latency,
+                    });
+                }
+                // Bulk statistics: one lock round for the whole column group.
+                let predicates =
+                    Self::group_predicates(queries, indexes, column_len, results.as_slice());
+                self.stats.record_queries(*column, &predicates);
+            }
+        }
+
+        let mut out = Vec::with_capacity(queries.len());
+        let mut records = Vec::with_capacity(queries.len());
+        for (i, result) in results.into_iter().enumerate() {
+            let mut result = result.expect("every group filled its queries");
+            if i == 0 {
+                // Same contract as the sequential path: the next executed
+                // query pays the pending penalty.
+                result.latency += penalty;
+            }
+            records.push(QueryRecord {
+                sequence: self.query_sequence.fetch_add(1, Ordering::Relaxed),
+                column: queries[i].column,
+                path: result.path,
+                latency: result.latency,
+                result_count: result.count,
+            });
+            out.push(result);
+        }
+        self.metrics.record_queries(records);
+        self.metrics.record_batch(queries.len() as u64);
+        self.touch_activity();
+        Ok(out)
+    }
+
+    /// The `(lo, hi, selectivity)` triples of one executed column group,
+    /// for bulk statistics recording.
+    fn group_predicates(
+        queries: &[Query],
+        indexes: &[usize],
+        column_len: usize,
+        results: &[Option<QueryResult>],
+    ) -> Vec<(Value, Value, f64)> {
+        indexes
+            .iter()
+            .map(|&i| {
+                let q = &queries[i];
+                let count = results[i].as_ref().expect("group filled").count;
+                let selectivity = if column_len == 0 {
+                    0.0
+                } else {
+                    count as f64 / column_len as f64
+                };
+                (q.lo, q.hi, selectivity)
+            })
+            .collect()
+    }
+
+    /// Executes one column group of a batch through the batched cracking
+    /// path: one latch acquisition for the multi-pivot select, bulk
+    /// statistics recording, then one more latch acquisition for all of the
+    /// group's holistic hot-range boosts together.
+    fn exec_crack_batch(
+        &self,
+        queries: &[Query],
+        indexes: &[usize],
+        column: ColumnId,
+        column_len: usize,
+        results: &mut [Option<QueryResult>],
+    ) -> EngineResult<()> {
+        let group_start = Instant::now();
+        let cracker = self.cracker_for(column)?;
+        let mut rng = self.fork_rng();
+        let batch: Vec<(Value, Value, bool)> = indexes
+            .iter()
+            .map(|&i| {
+                let q = &queries[i];
+                (q.lo, q.hi, q.materialize)
+            })
+            .collect();
+        let outcome = cracker.select_batch_with_policy(&batch, self.config.crack_policy, &mut rng);
+        let mut dispatches = outcome.dispatches;
+        let mut piece_shape = (outcome.piece_count, outcome.avg_piece_len);
+        // One latch pass served the whole group: attribute its wall-clock
+        // cost evenly across the group's queries.
+        let per_query = group_start.elapsed() / indexes.len().max(1) as u32;
+        for (&i, answer) in indexes.iter().zip(outcome.answers) {
+            results[i] = Some(QueryResult {
+                count: answer.count,
+                sum: answer.sum,
+                values: answer.values,
+                path: AccessPath::Crack,
+                latency: per_query,
+            });
+        }
+        // Record the group's predicates *before* the hot-range checks, so a
+        // burst of queries on one range inside a single batch can trigger
+        // boosting just like the same burst issued sequentially (where each
+        // query sees its predecessors' records). Within one batch the check
+        // is slightly more eager than sequential — every query sees the
+        // whole batch's records, including its own.
+        let predicates = Self::group_predicates(queries, indexes, column_len, results);
+        self.stats.record_queries(column, &predicates);
+        if self.strategy == IndexingStrategy::Holistic {
+            // The "No Time" case: hot value ranges earn extra refinement
+            // right now, paid for by this batch — all boosts of the group
+            // under a single latch acquisition.
+            let hot_ranges: Vec<(Value, Value)> = indexes
+                .iter()
+                .map(|&i| &queries[i])
+                .filter(|q| {
+                    !q.is_empty_range()
+                        && self.stats.is_hot_range(
+                            q.column,
+                            q.lo,
+                            q.hi,
+                            self.config.hot_range_query_threshold,
+                        )
+                })
+                .map(|q| (q.lo, q.hi))
+                .collect();
+            if !hot_ranges.is_empty() {
+                let boost = cracker.refine_in_ranges(
+                    &hot_ranges,
+                    self.config.boost_cracks_per_query,
+                    &mut rng,
+                );
+                dispatches.add(boost.dispatches);
+                piece_shape = (boost.piece_count, boost.avg_piece_len);
+                if boost.splits > 0 {
+                    self.stats.record_auxiliary_actions(column, boost.splits);
+                }
+            }
+        }
+        self.metrics.add_kernel_dispatches(dispatches);
+        self.stats
+            .record_refinement(column, piece_shape.0, piece_shape.1);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1037,6 +1283,126 @@ mod tests {
             db.run_idle(IdleBudget::Actions(8));
             assert!(db.metrics().kernel_dispatches().total() >= before);
         }
+    }
+
+    #[test]
+    fn execute_batch_matches_sequential_for_every_strategy() {
+        let batch_bounds = [(100, 200), (150, 250), (4000, 4100), (300, 250), (0, 5000)];
+        for strategy in IndexingStrategy::all() {
+            let (db, col, values) = setup(strategy, 5000);
+            let (seq_db, seq_col, _) = setup(strategy, 5000);
+            let queries: Vec<Query> = batch_bounds
+                .iter()
+                .map(|&(lo, hi)| Query::range(col, lo, hi))
+                .collect();
+            let got = db.execute_batch(&queries).unwrap();
+            assert_eq!(got.len(), queries.len());
+            for (r, &(lo, hi)) in got.iter().zip(&batch_bounds) {
+                let seq = seq_db.execute(&Query::range(seq_col, lo, hi)).unwrap();
+                assert_eq!(r.count, seq.count, "{strategy} [{lo},{hi})");
+                assert_eq!(r.sum, seq.sum, "{strategy} [{lo},{hi})");
+                assert_eq!(r.count, scan_count(&values, lo, hi), "{strategy}");
+            }
+            assert_eq!(db.metrics().query_count(), queries.len() as u64);
+            assert_eq!(db.metrics().batches_executed(), 1);
+            assert_eq!(db.metrics().batched_queries(), queries.len() as u64);
+            assert!(db.validate());
+        }
+    }
+
+    #[test]
+    fn execute_batch_produces_identical_piece_boundaries_to_sequential() {
+        // Plain cracking is order-independent, so the batched multi-pivot
+        // pass must leave the engine's cracker index in exactly the state a
+        // sequential replay produces.
+        let (batch_db, col, _) = setup(IndexingStrategy::Adaptive, 8000);
+        let (seq_db, seq_col, _) = setup(IndexingStrategy::Adaptive, 8000);
+        let bounds: Vec<(Value, Value)> = (0..16).map(|i| (i * 450, i * 450 + 90)).collect();
+        let queries: Vec<Query> = bounds
+            .iter()
+            .map(|&(lo, hi)| Query::range(col, lo, hi))
+            .collect();
+        batch_db.execute_batch(&queries).unwrap();
+        for &(lo, hi) in &bounds {
+            seq_db.execute(&Query::range(seq_col, lo, hi)).unwrap();
+        }
+        assert_eq!(
+            batch_db.cracker_pieces(col),
+            seq_db.cracker_pieces(seq_col),
+            "batch and sequential execution must refine the index identically"
+        );
+        // The batch needed far fewer partitioning passes to get there.
+        assert!(batch_db.cracks_performed(col) < seq_db.cracks_performed(seq_col));
+    }
+
+    #[test]
+    fn execute_batch_mixed_columns_and_materialization() {
+        let (db, col_a, values) = setup(IndexingStrategy::Holistic, 3000);
+        let t = db.catalog.table_id("r").unwrap();
+        let col_b = db.column_id(t, "b").unwrap();
+        let queries = vec![
+            Query::range(col_a, 100, 200),
+            Query::range_materialized(col_b, 500, 700),
+            Query::range(col_a, 2500, 2600),
+            Query::range(col_b, 10, 20),
+        ];
+        let got = db.execute_batch(&queries).unwrap();
+        for (r, q) in got.iter().zip(&queries) {
+            assert_eq!(r.count, scan_count(&values, q.lo, q.hi));
+            assert_eq!(r.values.is_some(), q.materialize);
+        }
+        let mut materialized = got[1].values.clone().unwrap();
+        materialized.sort_unstable();
+        let mut expected: Vec<Value> = values
+            .iter()
+            .copied()
+            .filter(|&v| (500..700).contains(&v))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(materialized, expected);
+        // Both columns were cracked under their own latch.
+        assert!(db.piece_count(col_a) >= 2);
+        assert!(db.piece_count(col_b) >= 2);
+    }
+
+    #[test]
+    fn execute_batch_validates_columns_up_front() {
+        let (db, col, _) = setup(IndexingStrategy::Adaptive, 1000);
+        let bogus = ColumnId::new(TableId(99), 0);
+        let queries = vec![Query::range(col, 0, 10), Query::range(bogus, 0, 10)];
+        assert!(db.execute_batch(&queries).is_err());
+        // Nothing executed: no metrics, no cracker columns.
+        assert_eq!(db.metrics().query_count(), 0);
+        assert_eq!(db.piece_count(col), 0);
+        // The empty batch is a no-op.
+        assert!(db.execute_batch(&[]).unwrap().is_empty());
+        assert_eq!(db.metrics().batches_executed(), 0);
+    }
+
+    #[test]
+    fn execute_batch_uses_one_latch_pass_per_cold_column() {
+        let (db, col, _) = setup(IndexingStrategy::Adaptive, 5000);
+        let queries: Vec<Query> = (0..32)
+            .map(|i| Query::range(col, i * 150, i * 150 + 60))
+            .collect();
+        db.execute_batch(&queries).unwrap();
+        // The cold column was partitioned by a single multi-pivot pass.
+        assert_eq!(db.cracks_performed(col), 1);
+        assert_eq!(db.metrics().kernel_dispatches().total(), 1);
+        assert_eq!(db.stats().column(col).unwrap().queries, 32);
+        assert_eq!(db.observed_workload().total_queries(), 32);
+    }
+
+    #[test]
+    fn execute_batch_hot_range_boosting_still_applies() {
+        // A burst on one range inside a *single* batch must trigger boost
+        // cracks, exactly like the same burst issued sequentially: the
+        // group's predicates are recorded before the hot-range checks.
+        let (db, col, _) = setup(IndexingStrategy::Holistic, 10_000);
+        let queries: Vec<Query> = (0..10).map(|_| Query::range(col, 5_000, 5_100)).collect();
+        db.execute_batch(&queries).unwrap();
+        let aux = db.stats().column(col).unwrap().auxiliary_actions;
+        assert!(aux > 0, "one hot batch should trigger boost cracks");
     }
 
     #[test]

@@ -44,6 +44,8 @@ pub struct EngineMetrics {
     auxiliary_actions: AtomicU64,
     dispatches_branchy: AtomicU64,
     dispatches_predicated: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -56,6 +58,30 @@ impl EngineMetrics {
     /// Records one executed query.
     pub fn record_query(&self, record: QueryRecord) {
         self.queries.lock().push(record);
+    }
+
+    /// Records a whole batch of executed queries under a single lock
+    /// acquisition (the bulk counterpart of [`EngineMetrics::record_query`]).
+    pub fn record_queries(&self, records: Vec<QueryRecord>) {
+        self.queries.lock().extend(records);
+    }
+
+    /// Records that one `execute_batch` call served `queries` queries.
+    pub fn record_batch(&self, queries: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_queries.fetch_add(queries, Ordering::Relaxed);
+    }
+
+    /// Number of `execute_batch` calls recorded so far.
+    #[must_use]
+    pub fn batches_executed(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Number of queries served through the batched path so far.
+    #[must_use]
+    pub fn batched_queries(&self) -> u64 {
+        self.batched_queries.load(Ordering::Relaxed)
     }
 
     /// Adds time spent on idle-time tuning.
@@ -164,6 +190,8 @@ impl EngineMetrics {
         self.auxiliary_actions.store(0, Ordering::Relaxed);
         self.dispatches_branchy.store(0, Ordering::Relaxed);
         self.dispatches_predicated.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.batched_queries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -223,11 +251,29 @@ mod tests {
             branchy: 2,
             predicated: 3,
         });
+        m.record_batch(8);
         m.reset();
         assert_eq!(m.query_count(), 0);
         assert_eq!(m.tuning_time(), Duration::ZERO);
         assert_eq!(m.auxiliary_actions(), 0);
         assert_eq!(m.kernel_dispatches(), KernelDispatches::default());
+        assert_eq!(m.batches_executed(), 0);
+        assert_eq!(m.batched_queries(), 0);
+    }
+
+    #[test]
+    fn batch_counters_and_bulk_recording() {
+        let m = EngineMetrics::new();
+        m.record_queries(vec![
+            record(0, 10, AccessPath::Crack),
+            record(1, 20, AccessPath::Crack),
+        ]);
+        m.record_batch(2);
+        m.record_batch(5);
+        assert_eq!(m.query_count(), 2);
+        assert_eq!(m.batches_executed(), 2);
+        assert_eq!(m.batched_queries(), 7);
+        assert_eq!(m.cumulative_micros(), vec![10, 30]);
     }
 
     #[test]

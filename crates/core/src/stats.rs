@@ -263,6 +263,37 @@ impl KernelStatistics {
         self.total_queries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a whole batch of executed queries on one column: the bulk
+    /// counterpart of [`KernelStatistics::record_query`]. One entry lookup,
+    /// one histogram-lock and one summary-lock acquisition cover the entire
+    /// batch, so a batched executor does not pay the per-query lock traffic
+    /// `n` separate calls would.
+    ///
+    /// `predicates` holds one `(lo, hi, selectivity)` triple per query.
+    pub fn record_queries(&self, id: ColumnId, predicates: &[(Value, Value, f64)]) {
+        if predicates.is_empty() {
+            return;
+        }
+        let entry = self.entry(id);
+        entry
+            .queries
+            .fetch_add(predicates.len() as u64, Ordering::Relaxed);
+        {
+            let mut histogram = entry.predicate.lock();
+            for &(lo, hi, _) in predicates {
+                histogram.record_predicate(lo, hi);
+            }
+        }
+        {
+            let mut summary = self.summary.lock();
+            for &(lo, hi, selectivity) in predicates {
+                summary.record_query(id, selectivity, lo, hi);
+            }
+        }
+        self.total_queries
+            .fetch_add(predicates.len() as u64, Ordering::Relaxed);
+    }
+
     /// Records the effect of refinement on a column (new piece statistics).
     pub fn record_refinement(&self, id: ColumnId, piece_count: usize, avg_piece_len: f64) {
         let entry = self.entry(id);
@@ -381,6 +412,28 @@ mod tests {
         assert!((s.frequency(col(0)) - 0.5).abs() < 1e-9);
         assert_eq!(s.summary().total_queries(), 2);
         assert_eq!(s.columns().len(), 2);
+    }
+
+    #[test]
+    fn bulk_recording_matches_per_query_recording() {
+        let bulk = KernelStatistics::new(16);
+        let single = KernelStatistics::new(16);
+        bulk.register_column(col(0), 1000);
+        single.register_column(col(0), 1000);
+        let preds = [(10i64, 20i64, 0.01), (15, 25, 0.01), (500, 600, 0.1)];
+        bulk.record_queries(col(0), &preds);
+        for &(lo, hi, sel) in &preds {
+            single.record_query(col(0), lo, hi, sel);
+        }
+        assert_eq!(bulk.total_queries(), single.total_queries());
+        assert_eq!(bulk.column(col(0)), single.column(col(0)));
+        assert_eq!(
+            bulk.summary().column(col(0)).map(|c| c.queries),
+            single.summary().column(col(0)).map(|c| c.queries)
+        );
+        // Empty batches are free.
+        bulk.record_queries(col(0), &[]);
+        assert_eq!(bulk.total_queries(), 3);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Batch ≡ sequential equivalence at the engine level.
+//!
+//! The proptests build two identically configured engines over the same
+//! data, run a random batch of range queries through `execute_batch` on one
+//! and through per-query `execute` on the other, and assert identical
+//! per-query counts and sums, identical final piece boundaries (plain
+//! cracking is order-independent), and cracker-column invariants on the
+//! result. A multi-threaded stress test additionally races batches against
+//! the background tuner.
+
+use proptest::prelude::*;
+
+use holistic_core::{Database, HolisticConfig, IndexingStrategy, Query};
+
+fn reference_count(values: &[i64], lo: i64, hi: i64) -> u64 {
+    values.iter().filter(|&&v| v >= lo && v < hi).count() as u64
+}
+
+fn reference_sum(values: &[i64], lo: i64, hi: i64) -> i128 {
+    values
+        .iter()
+        .filter(|&&v| v >= lo && v < hi)
+        .map(|&v| i128::from(v))
+        .sum()
+}
+
+fn make_db(strategy: IndexingStrategy, values: Vec<i64>) -> (Database, holistic_core::ColumnId) {
+    let mut db = Database::new(HolisticConfig::for_testing(), strategy);
+    let t = db.create_table("r", vec![("a", values)]).unwrap();
+    let col = db.column_id(t, "a").unwrap();
+    (db, col)
+}
+
+prop_compose! {
+    fn arb_values()(values in prop::collection::vec(-2000i64..2000, 0..500)) -> Vec<i64> {
+        values
+    }
+}
+
+prop_compose! {
+    fn arb_batch()(queries in prop::collection::vec((-2100i64..2100, -50i64..500), 1..40))
+        -> Vec<(i64, i64)>
+    {
+        // Negative widths produce inverted (empty) predicates on purpose.
+        queries.into_iter().map(|(lo, w)| (lo, lo + w)).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn execute_batch_is_equivalent_to_sequential_execute(
+        values in arb_values(),
+        batch in arb_batch(),
+    ) {
+        for strategy in IndexingStrategy::all() {
+            let (batch_db, batch_col) = make_db(strategy, values.clone());
+            let (seq_db, seq_col) = make_db(strategy, values.clone());
+            let queries: Vec<Query> = batch
+                .iter()
+                .map(|&(lo, hi)| Query::range(batch_col, lo, hi))
+                .collect();
+            let got = batch_db.execute_batch(&queries).unwrap();
+            prop_assert_eq!(got.len(), batch.len());
+            for (r, &(lo, hi)) in got.iter().zip(&batch) {
+                let seq = seq_db.execute(&Query::range(seq_col, lo, hi)).unwrap();
+                prop_assert_eq!(
+                    r.count, seq.count,
+                    "{} count mismatch on [{}, {})", strategy, lo, hi
+                );
+                prop_assert_eq!(
+                    r.sum, seq.sum,
+                    "{} sum mismatch on [{}, {})", strategy, lo, hi
+                );
+                prop_assert_eq!(r.count, reference_count(&values, lo, hi));
+                prop_assert_eq!(r.sum, reference_sum(&values, lo, hi));
+            }
+            prop_assert!(batch_db.validate(), "{} batch path broke invariants", strategy);
+        }
+    }
+
+    #[test]
+    fn execute_batch_leaves_identical_piece_boundaries(
+        values in arb_values(),
+        batch in arb_batch(),
+    ) {
+        // Plain adaptive cracking (Standard policy, no hot-range boosts) is
+        // order-independent: boundary positions are determined by pivot
+        // values alone, so the batched multi-pivot pass must leave exactly
+        // the piece table a sequential replay produces.
+        let (batch_db, batch_col) = make_db(IndexingStrategy::Adaptive, values.clone());
+        let (seq_db, seq_col) = make_db(IndexingStrategy::Adaptive, values.clone());
+        let queries: Vec<Query> = batch
+            .iter()
+            .map(|&(lo, hi)| Query::range(batch_col, lo, hi))
+            .collect();
+        batch_db.execute_batch(&queries).unwrap();
+        for &(lo, hi) in &batch {
+            seq_db.execute(&Query::range(seq_col, lo, hi)).unwrap();
+        }
+        prop_assert_eq!(
+            batch_db.cracker_pieces(batch_col),
+            seq_db.cracker_pieces(seq_col),
+            "batch and sequential cracking disagree on the final piece table"
+        );
+        prop_assert!(batch_db.validate());
+        // A second pass over the same batch is fully resolved: no new cracks.
+        let cracks = batch_db.cracks_performed(batch_col);
+        batch_db.execute_batch(&queries).unwrap();
+        prop_assert_eq!(batch_db.cracks_performed(batch_col), cracks);
+    }
+
+    #[test]
+    fn materialized_batch_queries_return_the_qualifying_values(
+        values in arb_values(),
+        lo in -2100i64..2100,
+        width in 0i64..800,
+    ) {
+        let hi = lo + width;
+        let (db, col) = make_db(IndexingStrategy::Holistic, values.clone());
+        let queries = vec![
+            Query::range_materialized(col, lo, hi),
+            Query::range(col, lo, hi),
+        ];
+        let got = db.execute_batch(&queries).unwrap();
+        let mut materialized = got[0].values.clone().unwrap();
+        materialized.sort_unstable();
+        let mut expected: Vec<i64> = values
+            .iter()
+            .copied()
+            .filter(|&v| v >= lo && v < hi)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(materialized, expected);
+        prop_assert!(got[1].values.is_none());
+        prop_assert_eq!(got[0].count, got[1].count);
+    }
+}
+
+/// Batches racing the background tuner: every batch answer must still equal
+/// the scan ground truth while idle-time refinement keeps cracking the same
+/// columns through the per-column latches.
+#[test]
+fn batches_race_the_background_tuner() {
+    use holistic_core::{BackgroundConfig, BackgroundTuner};
+    use parking_lot::RwLock;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let n = 30_000usize;
+    let columns = 3usize;
+    let data: Vec<Vec<i64>> = (0..columns)
+        .map(|c| {
+            (0..n)
+                .map(|i| ((i as i64) * 7919 + c as i64 * 131) % (n as i64))
+                .collect()
+        })
+        .collect();
+    let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+    let table = db
+        .create_table(
+            "r",
+            data.iter()
+                .enumerate()
+                .map(|(i, values)| {
+                    let name: &str = ["a", "b", "c"][i];
+                    (name, values.clone())
+                })
+                .collect(),
+        )
+        .expect("create table");
+    let cols = db.column_ids(table).expect("column ids");
+    let db = Arc::new(RwLock::new(db));
+
+    let tuner = BackgroundTuner::spawn(
+        Arc::clone(&db),
+        BackgroundConfig {
+            idle_threshold: Duration::ZERO,
+            batch_actions: 32,
+            poll_interval: Duration::from_micros(100),
+        },
+    );
+
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let db = Arc::clone(&db);
+        let cols = cols.clone();
+        let data = data.clone();
+        handles.push(std::thread::spawn(move || {
+            for round in 0..8u64 {
+                // Each thread batches queries over all columns at once, with
+                // thread/round-dependent ranges so resolved and unresolved
+                // bounds mix.
+                let queries: Vec<Query> = (0..24)
+                    .map(|i| {
+                        let ci = (i + t as usize + round as usize) % cols.len();
+                        let lo = 1
+                            + ((i as i64 * 2311 + t as i64 * 977 + round as i64 * 409)
+                                % (n as i64 - 800));
+                        Query::range(cols[ci], lo, lo + 555)
+                    })
+                    .collect();
+                let results = db.read().execute_batch(&queries).expect("batch");
+                for (r, q) in results.iter().zip(&queries) {
+                    let ci = cols.iter().position(|c| *c == q.column).unwrap();
+                    assert_eq!(
+                        r.count,
+                        reference_count(&data[ci], q.lo, q.hi),
+                        "thread {t} round {round} [{}, {})",
+                        q.lo,
+                        q.hi
+                    );
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("batch thread panicked");
+    }
+    let tuned = tuner.stop();
+    let guard = db.read();
+    assert!(guard.validate(), "invariants violated under batch stress");
+    assert!(tuned > 0, "tuner should have refined during the stress run");
+    assert_eq!(guard.metrics().batches_executed(), 4 * 8);
+    assert_eq!(guard.metrics().batched_queries(), 4 * 8 * 24);
+    // Sequential re-check after the dust settles.
+    for (ci, values) in data.iter().enumerate() {
+        for lo in [1i64, 5_000, 20_000] {
+            let r = guard
+                .execute(&Query::range(cols[ci], lo, lo + 555))
+                .expect("post-check query");
+            assert_eq!(r.count, reference_count(values, lo, lo + 555));
+        }
+    }
+}

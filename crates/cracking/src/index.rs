@@ -145,42 +145,144 @@ impl PieceIndex {
     ///
     /// Panics if `idx` is out of bounds or `split_pos` lies outside the piece.
     pub fn split(&mut self, idx: usize, split_pos: usize, pivot: Value) -> bool {
-        let p = self.pieces[idx];
-        assert!(
-            split_pos >= p.start && split_pos <= p.end,
-            "split position {split_pos} outside piece [{}, {})",
-            p.start,
-            p.end
-        );
-        if split_pos == p.start {
-            // Every value in the piece is >= pivot: tighten the lower bound.
-            let new_lo = Some(p.lo.map_or(pivot, |lo| lo.max(pivot)));
-            self.pieces[idx].lo = new_lo;
-            false
-        } else if split_pos == p.end {
-            // Every value in the piece is < pivot: tighten the upper bound.
-            let new_hi = Some(p.hi.map_or(pivot, |hi| hi.min(pivot)));
-            self.pieces[idx].hi = new_hi;
-            false
-        } else {
-            let left = Piece {
-                start: p.start,
-                end: split_pos,
-                lo: p.lo,
-                hi: Some(pivot),
-                sorted: p.sorted,
-            };
-            let right = Piece {
-                start: split_pos,
-                end: p.end,
-                lo: Some(pivot),
-                hi: p.hi,
-                sorted: p.sorted,
-            };
-            self.pieces[idx] = left;
-            self.pieces.insert(idx + 1, right);
-            true
+        self.split_multi(idx, &[(split_pos, pivot)]) == 1
+    }
+
+    /// Records all splits of one multi-pivot partitioning pass over piece
+    /// `idx` in a single piece-table edit.
+    ///
+    /// `splits` are `(split_pos, pivot)` pairs — each with the same meaning
+    /// as [`PieceIndex::split`] — ordered by position, with strictly
+    /// increasing pivots. Splits landing on the piece's start or end tighten
+    /// its value bounds; interior splits carve the piece into sub-pieces.
+    /// The whole edit is applied with one `Vec::splice`, so the piece table's
+    /// tail is shifted once per pass instead of once per split (the former
+    /// O(pieces) `Vec::insert` per crack).
+    ///
+    /// Returns the number of new pieces created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds, any split position lies outside the
+    /// piece, positions decrease, or pivots are not strictly increasing.
+    pub fn split_multi(&mut self, idx: usize, splits: &[(usize, Value)]) -> usize {
+        if splits.is_empty() {
+            return 0;
         }
+        let p = self.pieces[idx];
+        let mut replacement: Vec<Piece> = Vec::with_capacity(splits.len() + 1);
+        Self::expand_piece(p, splits, &mut replacement);
+        let created = replacement.len() - 1;
+        if created == 0 {
+            // Pure bound tightening: no table surgery needed.
+            self.pieces[idx] = replacement[0];
+        } else {
+            self.pieces.reserve(created);
+            self.pieces.splice(idx..=idx, replacement);
+        }
+        created
+    }
+
+    /// Records the splits of a whole batch pass over *many* pieces in a
+    /// single piece-table rebuild.
+    ///
+    /// `groups` pairs each affected piece index with the splits produced
+    /// inside that piece (same contract as [`PieceIndex::split_multi`]),
+    /// strictly ascending by piece index. The table is rebuilt once in
+    /// `O(P + k)`, instead of the `O(P)` tail shift per affected piece that
+    /// repeated `split_multi` calls would pay — on a heavily cracked column
+    /// that repeated shifting dominates the index-maintenance cost of a
+    /// large batch.
+    ///
+    /// Returns the total number of new pieces created.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the per-piece conditions of [`PieceIndex::split_multi`],
+    /// or if `groups` is not strictly ascending by piece index.
+    pub fn split_grouped(&mut self, groups: &[(usize, Vec<(usize, Value)>)]) -> usize {
+        if groups.is_empty() {
+            return 0;
+        }
+        assert!(
+            groups.windows(2).all(|w| w[0].0 < w[1].0),
+            "groups must be strictly ascending by piece index"
+        );
+        let total_splits: usize = groups.iter().map(|(_, s)| s.len()).sum();
+        let mut rebuilt: Vec<Piece> = Vec::with_capacity(self.pieces.len() + total_splits);
+        let mut next_group = groups.iter().peekable();
+        for (idx, &p) in self.pieces.iter().enumerate() {
+            match next_group.peek() {
+                Some((group_idx, splits)) if *group_idx == idx => {
+                    Self::expand_piece(p, splits, &mut rebuilt);
+                    next_group.next();
+                }
+                _ => rebuilt.push(p),
+            }
+        }
+        assert!(
+            next_group.peek().is_none(),
+            "group piece index out of bounds"
+        );
+        let created = rebuilt.len() - self.pieces.len();
+        self.pieces = rebuilt;
+        created
+    }
+
+    /// Expands one piece into the pieces its splits produce, pushing them
+    /// onto `out` (shared by [`PieceIndex::split_multi`] and
+    /// [`PieceIndex::split_grouped`]). Pushes the piece unchanged (modulo
+    /// bound tightening) when no interior split exists; `splits` must be
+    /// non-empty.
+    fn expand_piece(p: Piece, splits: &[(usize, Value)], out: &mut Vec<Piece>) {
+        assert!(
+            splits
+                .windows(2)
+                .all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1),
+            "splits must have non-decreasing positions and strictly increasing pivots"
+        );
+        for &(split_pos, _) in splits {
+            assert!(
+                split_pos >= p.start && split_pos <= p.end,
+                "split position {split_pos} outside piece [{}, {})",
+                p.start,
+                p.end
+            );
+        }
+        // Walk the splits left to right. `cur_start`/`cur_lo` describe the
+        // sub-piece currently open on the left; `end_hi` collects
+        // upper-bound tightenings from splits that land on the piece's end
+        // (the smallest such pivot wins).
+        let mut cur_start = p.start;
+        let mut cur_lo = p.lo;
+        let mut end_hi = p.hi;
+        for &(split_pos, pivot) in splits {
+            if split_pos == cur_start {
+                // Empty left side: every remaining value is >= pivot.
+                cur_lo = Some(cur_lo.map_or(pivot, |lo| lo.max(pivot)));
+            } else if split_pos == p.end {
+                // Every remaining value is < pivot. Pivots increase, so the
+                // first end-split carries the tightest bound.
+                end_hi = Some(end_hi.map_or(pivot, |hi| hi.min(pivot)));
+            } else {
+                out.push(Piece {
+                    start: cur_start,
+                    end: split_pos,
+                    lo: cur_lo,
+                    hi: Some(pivot),
+                    sorted: p.sorted,
+                });
+                cur_start = split_pos;
+                cur_lo = Some(pivot);
+            }
+        }
+        out.push(Piece {
+            start: cur_start,
+            end: p.end,
+            lo: cur_lo,
+            hi: end_hi,
+            sorted: p.sorted,
+        });
     }
 
     /// Returns the resolved boundary position for value `v`, if the index
@@ -447,5 +549,72 @@ mod tests {
         let mut idx = PieceIndex::new(5);
         idx.split(0, 3, 50);
         idx.split(0, 4, 20);
+    }
+
+    #[test]
+    fn split_multi_matches_sequential_splits() {
+        // data conceptually: [10, 20, 30, 60, 70, 90]
+        let data = vec![10, 20, 30, 60, 70, 90];
+        let splits = [(2usize, 25i64), (3, 50), (5, 80)];
+        let mut batched = PieceIndex::new(6);
+        assert_eq!(batched.split_multi(0, &splits), 3);
+        let mut sequential = PieceIndex::new(6);
+        // Sequential application must target the piece holding each value.
+        for &(pos, pivot) in &splits {
+            let i = sequential.find_piece_for_value(pivot).unwrap();
+            sequential.split(i, pos, pivot);
+        }
+        assert_eq!(batched, sequential);
+        assert!(batched.validate(&data));
+        assert_eq!(batched.piece_count(), 4);
+    }
+
+    #[test]
+    fn split_multi_edge_splits_tighten_bounds() {
+        // All values >= 5 and < 100: both splits land on the edges.
+        let mut idx = PieceIndex::new(4);
+        assert_eq!(idx.split_multi(0, &[(0, 5), (4, 100)]), 0);
+        assert_eq!(idx.piece_count(), 1);
+        assert_eq!(idx.piece(0).lo, Some(5));
+        assert_eq!(idx.piece(0).hi, Some(100));
+        // Bounds only ever tighten; with increasing pivots at the end, the
+        // smallest end-pivot wins.
+        assert_eq!(idx.split_multi(0, &[(0, 3), (4, 60), (4, 200)]), 0);
+        assert_eq!(idx.piece(0).lo, Some(5));
+        assert_eq!(idx.piece(0).hi, Some(60));
+    }
+
+    #[test]
+    fn split_multi_same_position_different_pivots() {
+        // data conceptually: [10, 20 | 60, 70]; pivots 30 and 50 both
+        // resolve to position 2 — one piece boundary, tightest lo bound.
+        let data = vec![10, 20, 60, 70];
+        let mut idx = PieceIndex::new(4);
+        assert_eq!(idx.split_multi(0, &[(2, 30), (2, 50)]), 1);
+        assert_eq!(idx.piece_count(), 2);
+        assert_eq!(idx.piece(0).hi, Some(30));
+        assert_eq!(idx.piece(1).lo, Some(50));
+        assert!(idx.validate(&data));
+    }
+
+    #[test]
+    fn split_multi_empty_is_noop() {
+        let mut idx = PieceIndex::new(5);
+        assert_eq!(idx.split_multi(0, &[]), 0);
+        assert_eq!(idx.piece_count(), 1);
+    }
+
+    #[test]
+    fn split_multi_preserves_sorted_flag() {
+        let mut idx = PieceIndex::new_sorted(6);
+        assert_eq!(idx.split_multi(0, &[(2, 10), (4, 20)]), 2);
+        assert!(idx.pieces().iter().all(|p| p.sorted));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn split_multi_rejects_unordered_pivots() {
+        let mut idx = PieceIndex::new(5);
+        idx.split_multi(0, &[(1, 50), (2, 40)]);
     }
 }

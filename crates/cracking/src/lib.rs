@@ -41,12 +41,15 @@ pub mod sideways;
 pub mod stochastic;
 pub mod updates;
 
-pub use concurrent::{ConcurrentCrackerColumn, LatchStats, RefineOutcome, SelectOutcome};
+pub use concurrent::{
+    BatchRefineOutcome, BatchSelectOutcome, ConcurrentCrackerColumn, LatchStats, QueryAnswer,
+    RefineOutcome, SelectOutcome,
+};
 pub use cracker::CrackerColumn;
 pub use index::PieceIndex;
 pub use kernels::{
-    crack_in_three, crack_in_three_pred, crack_in_two, crack_in_two_pred, CrackKernel,
-    KernelChoice, KernelDispatches, DEFAULT_PREDICATION_THRESHOLD,
+    crack_in_k, crack_in_k_pred, crack_in_three, crack_in_three_pred, crack_in_two,
+    crack_in_two_pred, CrackKernel, KernelChoice, KernelDispatches, DEFAULT_PREDICATION_THRESHOLD,
 };
 pub use merging::AdaptiveMergingIndex;
 pub use piece::Piece;

@@ -120,6 +120,51 @@ pub fn crack_select_with_policy<R: Rng + ?Sized>(
     }
 }
 
+/// Answers a batch of range selects under the given cracking policy — the
+/// batched counterpart of [`crack_select_with_policy`], built on
+/// [`CrackerColumn::crack_select_batch`]'s multi-pivot pass.
+///
+/// Policy semantics mirror the sequential path: DDC/DDR run their
+/// divide-and-conquer pre-splits around every deduplicated bound before the
+/// exact batch pass, and MDD1R adds one random split inside each piece the
+/// batch's bounds originally touched, after the exact pass. Answers are
+/// always exactly the qualifying ranges, whatever the policy.
+pub fn crack_select_batch_with_policy<R: Rng + ?Sized>(
+    column: &mut CrackerColumn,
+    bounds: &[(Value, Value)],
+    policy: CrackPolicy,
+    rng: &mut R,
+) -> Vec<std::ops::Range<usize>> {
+    if column.is_empty() {
+        return bounds.iter().map(|_| 0..0).collect();
+    }
+    match policy {
+        CrackPolicy::Standard => column.crack_select_batch(bounds),
+        CrackPolicy::Ddc { threshold } | CrackPolicy::Ddr { threshold } => {
+            let random_pivot = matches!(policy, CrackPolicy::Ddr { .. });
+            for v in crate::cracker::dedup_batch_pivots(bounds) {
+                pre_split(column, v, threshold.max(1), rng, random_pivot);
+            }
+            column.crack_select_batch(bounds)
+        }
+        CrackPolicy::Mdd1r => {
+            let mut extents: Vec<(Value, Value)> = crate::cracker::dedup_batch_pivots(bounds)
+                .into_iter()
+                .filter_map(|v| piece_extent_for_value(column, v))
+                .collect();
+            extents.sort_unstable();
+            extents.dedup();
+            let ranges = column.crack_select_batch(bounds);
+            for (plo, phi) in extents {
+                if phi > plo {
+                    column.random_crack_in_range(plo, phi, rng);
+                }
+            }
+            ranges
+        }
+    }
+}
+
 /// Value extent (lo, hi) of the piece that currently holds `v`, if that
 /// extent is known on both sides. Used by MDD1R to restrict its auxiliary
 /// random split to the region the query actually touched.

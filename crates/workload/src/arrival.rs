@@ -3,7 +3,7 @@
 use rand::Rng;
 
 use crate::generators::QueryGenerator;
-use crate::query::{IdleWindow, WorkloadEvent};
+use crate::query::{IdleWindow, RangeQuery, WorkloadEvent};
 
 /// How idle time is distributed over the query sequence.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,6 +101,82 @@ impl SessionBuilder {
     }
 }
 
+/// Closed-loop batched arrivals: `clients` concurrent connections each keep
+/// exactly one query in flight, so on every round the engine receives the
+/// whole set of in-flight queries as one batch (the execution model of a
+/// batched `execute_batch` endpoint serving a connection pool). A session is
+/// therefore a sequence of batches of `clients` queries (the final batch may
+/// be smaller), optionally separated by idle windows every `idle_every`
+/// batches — the batched analogue of [`ArrivalModel::PeriodicIdle`].
+#[derive(Debug, Clone)]
+pub struct BatchSessionBuilder {
+    clients: usize,
+    idle_every: Option<(usize, u64)>,
+}
+
+/// One event of a batched workload session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchEvent {
+    /// A batch of in-flight queries arrives and must be answered together.
+    Batch(Vec<RangeQuery>),
+    /// No client has a query in flight for a while.
+    Idle(IdleWindow),
+}
+
+impl BatchSessionBuilder {
+    /// Creates a builder for batches of `clients` in-flight queries
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn new(clients: usize) -> Self {
+        BatchSessionBuilder {
+            clients: clients.max(1),
+            idle_every: None,
+        }
+    }
+
+    /// Injects an idle window worth `actions` refinement actions after every
+    /// `batches` batches.
+    #[must_use]
+    pub fn with_periodic_idle(mut self, batches: usize, actions: u64) -> Self {
+        self.idle_every = Some((batches.max(1), actions));
+        self
+    }
+
+    /// The number of in-flight clients (== the batch size).
+    #[must_use]
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Builds a session of `queries` total queries drawn from `generator`,
+    /// grouped into closed-loop batches.
+    pub fn build<G: QueryGenerator, R: Rng + ?Sized>(
+        &self,
+        generator: &mut G,
+        queries: usize,
+        rng: &mut R,
+    ) -> Vec<BatchEvent> {
+        let batches = queries.div_ceil(self.clients);
+        let mut events = Vec::with_capacity(batches + batches / 8 + 1);
+        let mut issued = 0usize;
+        let mut batches_emitted = 0usize;
+        while issued < queries {
+            if let Some((every, actions)) = self.idle_every {
+                if batches_emitted > 0 && batches_emitted.is_multiple_of(every) {
+                    events.push(BatchEvent::Idle(IdleWindow::Actions(actions)));
+                }
+            }
+            let this_batch = self.clients.min(queries - issued);
+            events.push(BatchEvent::Batch(
+                (0..this_batch).map(|_| generator.next_query(rng)).collect(),
+            ));
+            issued += this_batch;
+            batches_emitted += 1;
+        }
+        events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +255,51 @@ mod tests {
             .build(&mut gen(), 0, &mut rng);
         assert_eq!(events.len(), 1);
         assert!(events[0].is_idle());
+    }
+
+    #[test]
+    fn batched_sessions_preserve_query_count_and_batch_size() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let events = BatchSessionBuilder::new(64).build(&mut gen(), 1000, &mut rng);
+        let sizes: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                BatchEvent::Batch(b) => Some(b.len()),
+                BatchEvent::Idle(_) => None,
+            })
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        assert_eq!(sizes.len(), 16); // ceil(1000 / 64)
+        assert!(sizes[..15].iter().all(|&s| s == 64));
+        assert_eq!(sizes[15], 1000 - 15 * 64);
+    }
+
+    #[test]
+    fn batched_sessions_interleave_idle_windows() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let events =
+            BatchSessionBuilder::new(10)
+                .with_periodic_idle(2, 5)
+                .build(&mut gen(), 60, &mut rng);
+        let idles = events
+            .iter()
+            .filter(|e| matches!(e, BatchEvent::Idle(_)))
+            .count();
+        assert_eq!(idles, 2); // after batches 2 and 4, none after the last
+        assert!(matches!(events[0], BatchEvent::Batch(_)));
+        assert!(matches!(events.last(), Some(BatchEvent::Batch(_))));
+    }
+
+    #[test]
+    fn batched_sessions_clamp_degenerate_parameters() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let builder = BatchSessionBuilder::new(0);
+        assert_eq!(builder.clients(), 1);
+        let events = builder.build(&mut gen(), 3, &mut rng);
+        assert_eq!(events.len(), 3);
+        assert!(BatchSessionBuilder::new(8)
+            .build(&mut gen(), 0, &mut rng)
+            .is_empty());
     }
 
     #[test]

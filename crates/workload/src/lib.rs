@@ -29,7 +29,7 @@ pub mod query;
 pub mod trace;
 pub mod zipf;
 
-pub use arrival::{ArrivalModel, SessionBuilder};
+pub use arrival::{ArrivalModel, BatchEvent, BatchSessionBuilder, SessionBuilder};
 pub use generators::{
     QueryGenerator, RoundRobinColumns, SequentialRangeGenerator, UniformRangeGenerator,
     ZipfRangeGenerator,
