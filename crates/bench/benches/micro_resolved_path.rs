@@ -1,0 +1,170 @@
+//! Warm resolved-path throughput: the per-piece aggregate cache vs. the
+//! pre-cache answer scan.
+//!
+//! PR 3's ceiling analysis identified the per-query answer scan (~80 MB of
+//! result-range reads per 1k count/sum queries at 1M rows / 1 % selectivity)
+//! as the dominant shared cost on the warm path. The aggregate cache removes
+//! it: resolved count/sum queries compose whole-piece cached sums — O(log P)
+//! metadata — and never touch the data array.
+//!
+//! Two measurements on the same warmed cracker column:
+//!
+//! * **scan answer** — the pre-cache path, reproduced exactly: resolve the
+//!   position range under the shared latch, then run the storage layer's
+//!   chunked masked-sum kernel over the result range;
+//! * **cached answer** — the live path: `select_with_policy`, whose answer
+//!   phase composes cached piece sums (scan fallback only for sum-less
+//!   pieces, of which a query-cracked column has none).
+//!
+//! A third section reports the warm engine path (sequential and batch 64)
+//! with the aggregate-cache hit counters, so the end-to-end effect is
+//! visible alongside the isolated one.
+//!
+//! Scale knobs: `HOLISTIC_SCALE` (rows, default 1,000,000) and
+//! `HOLISTIC_QUERIES` (distinct queries per config, default 1,000).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use holistic_bench::uniform_column;
+use holistic_core::{Database, HolisticConfig, IndexingStrategy, Query};
+use holistic_cracking::{ConcurrentCrackerColumn, CrackPolicy};
+use holistic_workload::{QueryGenerator, UniformRangeGenerator};
+
+const SELECTIVITY: f64 = 0.01;
+/// Measured repetitions of the full query set (the resolved path is fast
+/// enough that a single pass is timer noise).
+const REPS: usize = 5;
+
+fn scale() -> usize {
+    std::env::var("HOLISTIC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+fn query_count() -> usize {
+    std::env::var("HOLISTIC_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000)
+}
+
+fn bounds(n: usize, count: usize, seed: u64) -> Vec<(i64, i64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UniformRangeGenerator::new(0, 1, n as i64 + 1, SELECTIVITY);
+    (0..count)
+        .map(|_| {
+            let q = g.next_query(&mut rng);
+            (q.lo, q.hi)
+        })
+        .collect()
+}
+
+/// Best-of-3 wall time of `f` run over `REPS` passes of the query set,
+/// reported as aggregate queries/second.
+fn measure(count: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..REPS {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (count * REPS) as f64 / best
+}
+
+fn main() {
+    let n = scale();
+    let qs = bounds(n, query_count(), 0xC0FFEE);
+    println!(
+        "micro_resolved_path: {n} rows, {} distinct queries x {REPS} reps, \
+         {:.1}% selectivity, warm (all bounds resolved)",
+        qs.len(),
+        SELECTIVITY * 100.0,
+    );
+
+    // ------------------------------------------------------------------
+    // Isolated answer path: scan vs. aggregate cache on one warm column.
+    // ------------------------------------------------------------------
+    let column = ConcurrentCrackerColumn::from_values(uniform_column(n, 0xBA7C4));
+    let mut rng = StdRng::seed_from_u64(1);
+    for &(lo, hi) in &qs {
+        // Warm-up: crack every bound (and seed the cache as a by-product).
+        let _ = column.select_with_policy(lo, hi, false, CrackPolicy::Standard, &mut rng);
+    }
+
+    let scan_qps = measure(qs.len(), || {
+        for &(lo, hi) in &qs {
+            let sum = column.with_read(|col| {
+                // The pre-cache answer path: resolved range + masked scan
+                // of the whole result range.
+                let range = col.select_if_resolved(lo, hi).expect("warmed");
+                holistic_storage::scan_sum(col.view(range), lo, hi)
+            });
+            std::hint::black_box(sum);
+        }
+    });
+    let cached_qps = measure(qs.len(), || {
+        for &(lo, hi) in &qs {
+            let out = column.select_with_policy(lo, hi, false, CrackPolicy::Standard, &mut rng);
+            std::hint::black_box(out.sum);
+        }
+    });
+    let stats = column.latch_stats();
+    println!("\nanswer path (same warm column, count/sum only):");
+    println!("{:<24} {:>16} {:>12}", "path", "queries/s", "vs scan");
+    println!("{:<24} {:>16.0} {:>11.2}x", "scan answer", scan_qps, 1.0);
+    println!(
+        "{:<24} {:>16.0} {:>11.2}x",
+        "cached answer",
+        cached_qps,
+        cached_qps / scan_qps.max(1e-9)
+    );
+    println!(
+        "aggregate cache: {} hits, {} partial, {} misses",
+        stats.aggregate_hits, stats.aggregate_partials, stats.aggregate_misses
+    );
+
+    // ------------------------------------------------------------------
+    // End-to-end warm engine path (sequential and batch 64).
+    // ------------------------------------------------------------------
+    let mut db = Database::new(HolisticConfig::default(), IndexingStrategy::Adaptive);
+    let table = db
+        .create_table("r", vec![("a", uniform_column(n, 0xBA7C4))])
+        .expect("create table");
+    let col = db.column_id(table, "a").expect("column id");
+    let stream: Vec<Query> = qs
+        .iter()
+        .map(|&(lo, hi)| Query::range(col, lo, hi))
+        .collect();
+    for q in &stream {
+        db.execute(q).expect("warmup");
+    }
+    db.reset_metrics();
+
+    let seq_qps = measure(stream.len(), || {
+        for q in &stream {
+            let r = db.execute(q).expect("query");
+            std::hint::black_box(r.sum);
+        }
+    });
+    let batch_qps = measure(stream.len(), || {
+        for chunk in stream.chunks(64) {
+            let r = db.execute_batch(chunk).expect("batch");
+            std::hint::black_box(r.len());
+        }
+    });
+    let cache = db.metrics().aggregate_cache();
+    println!("\nwarm engine path (adaptive strategy):");
+    println!("{:<24} {:>16}", "path", "queries/s");
+    println!("{:<24} {:>16.0}", "execute (sequential)", seq_qps);
+    println!("{:<24} {:>16.0}", "execute_batch (64)", batch_qps);
+    println!(
+        "aggregate cache: {} hits, {} partial, {} misses, {} values scanned",
+        cache.hits, cache.partials, cache.misses, cache.scanned_values
+    );
+}

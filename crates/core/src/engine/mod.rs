@@ -493,6 +493,7 @@ impl Database {
             &mut rng,
         );
 
+        self.metrics.record_aggregate_cache(outcome.cache);
         let mut dispatches = outcome.dispatches;
         let mut piece_shape = (outcome.piece_count, outcome.avg_piece_len);
         if holistic && !q.is_empty_range() {
@@ -690,6 +691,7 @@ impl Database {
             })
             .collect();
         let outcome = cracker.select_batch_with_policy(&batch, self.config.crack_policy, &mut rng);
+        self.metrics.record_aggregate_cache(outcome.cache);
         let mut dispatches = outcome.dispatches;
         let mut piece_shape = (outcome.piece_count, outcome.avg_piece_len);
         // One latch pass served the whole group: attribute its wall-clock
@@ -1403,6 +1405,38 @@ mod tests {
         db.execute_batch(&queries).unwrap();
         let aux = db.stats().column(col).unwrap().auxiliary_actions;
         assert!(aux > 0, "one hot batch should trigger boost cracks");
+    }
+
+    #[test]
+    fn resolved_aggregates_answer_from_the_cache() {
+        let (db, col, values) = setup(IndexingStrategy::Adaptive, 5000);
+        // The cracking select itself seeds the cache (fused kernels), so
+        // both the cold and the resolved query are pure cache hits.
+        let first = db.execute(&Query::range(col, 100, 900)).unwrap();
+        let again = db.execute(&Query::range(col, 100, 900)).unwrap();
+        assert_eq!(first.count, again.count);
+        assert_eq!(first.sum, again.sum);
+        assert_eq!(first.sum, {
+            values
+                .iter()
+                .filter(|&&v| (100..900).contains(&v))
+                .map(|&v| i128::from(v))
+                .sum::<i128>()
+        });
+        let cache = db.metrics().aggregate_cache();
+        assert_eq!(cache.hits, 2, "both answers composed from cached sums");
+        assert_eq!(
+            cache.scanned_values, 0,
+            "no data-array reads for aggregates"
+        );
+        // The batched path records into the same counters.
+        let batch: Vec<Query> = (0..4)
+            .map(|i| Query::range(col, i * 500, i * 500 + 100))
+            .collect();
+        db.execute_batch(&batch).unwrap();
+        let cache = db.metrics().aggregate_cache();
+        assert_eq!(cache.hits, 2 + 4);
+        assert_eq!(cache.scanned_values, 0);
     }
 
     #[test]

@@ -77,6 +77,8 @@ pub use ranking::RankingModel;
 pub use stats::{ColumnActivity, KernelStatistics};
 pub use strategy::{IndexingStrategy, StrategyFeatures};
 
-pub use holistic_cracking::{CrackKernel, CrackPolicy, KernelChoice, KernelDispatches};
+pub use holistic_cracking::{
+    AggregateCacheDelta, CrackKernel, CrackPolicy, KernelChoice, KernelDispatches,
+};
 pub use holistic_offline::CostModel;
 pub use holistic_storage::{ColumnId, TableId, Value};

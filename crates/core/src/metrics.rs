@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use holistic_cracking::KernelDispatches;
+use holistic_cracking::{AggregateCacheDelta, KernelDispatches};
 use holistic_storage::ColumnId;
 
 use crate::engine::query::AccessPath;
@@ -46,6 +46,10 @@ pub struct EngineMetrics {
     dispatches_predicated: AtomicU64,
     batches: AtomicU64,
     batched_queries: AtomicU64,
+    aggregate_hits: AtomicU64,
+    aggregate_partials: AtomicU64,
+    aggregate_misses: AtomicU64,
+    aggregate_scanned_values: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -95,6 +99,40 @@ impl EngineMetrics {
     pub fn add_build_time(&self, d: Duration) {
         self.build_nanos
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Accumulates aggregate-cache classifications: how many of the crack
+    /// path's count/sum answers were composed purely from cached piece sums
+    /// (hits), mixed cached and scanned pieces (partials), or found no
+    /// cached sum at all (misses), plus the data values the scan fallback
+    /// had to read.
+    pub fn record_aggregate_cache(&self, delta: AggregateCacheDelta) {
+        if delta.hits > 0 {
+            self.aggregate_hits.fetch_add(delta.hits, Ordering::Relaxed);
+        }
+        if delta.partials > 0 {
+            self.aggregate_partials
+                .fetch_add(delta.partials, Ordering::Relaxed);
+        }
+        if delta.misses > 0 {
+            self.aggregate_misses
+                .fetch_add(delta.misses, Ordering::Relaxed);
+        }
+        if delta.scanned_values > 0 {
+            self.aggregate_scanned_values
+                .fetch_add(delta.scanned_values, Ordering::Relaxed);
+        }
+    }
+
+    /// Aggregate-cache totals recorded so far.
+    #[must_use]
+    pub fn aggregate_cache(&self) -> AggregateCacheDelta {
+        AggregateCacheDelta {
+            hits: self.aggregate_hits.load(Ordering::Relaxed),
+            partials: self.aggregate_partials.load(Ordering::Relaxed),
+            misses: self.aggregate_misses.load(Ordering::Relaxed),
+            scanned_values: self.aggregate_scanned_values.load(Ordering::Relaxed),
+        }
     }
 
     /// Accumulates crack-kernel dispatch counts (branchy vs. predicated).
@@ -192,6 +230,10 @@ impl EngineMetrics {
         self.dispatches_predicated.store(0, Ordering::Relaxed);
         self.batches.store(0, Ordering::Relaxed);
         self.batched_queries.store(0, Ordering::Relaxed);
+        self.aggregate_hits.store(0, Ordering::Relaxed);
+        self.aggregate_partials.store(0, Ordering::Relaxed);
+        self.aggregate_misses.store(0, Ordering::Relaxed);
+        self.aggregate_scanned_values.store(0, Ordering::Relaxed);
     }
 }
 
@@ -252,6 +294,12 @@ mod tests {
             predicated: 3,
         });
         m.record_batch(8);
+        m.record_aggregate_cache(AggregateCacheDelta {
+            hits: 1,
+            partials: 2,
+            misses: 3,
+            scanned_values: 4,
+        });
         m.reset();
         assert_eq!(m.query_count(), 0);
         assert_eq!(m.tuning_time(), Duration::ZERO);
@@ -259,6 +307,35 @@ mod tests {
         assert_eq!(m.kernel_dispatches(), KernelDispatches::default());
         assert_eq!(m.batches_executed(), 0);
         assert_eq!(m.batched_queries(), 0);
+        assert_eq!(m.aggregate_cache(), AggregateCacheDelta::default());
+    }
+
+    #[test]
+    fn aggregate_cache_counters_accumulate() {
+        let m = EngineMetrics::new();
+        assert_eq!(m.aggregate_cache(), AggregateCacheDelta::default());
+        m.record_aggregate_cache(AggregateCacheDelta {
+            hits: 2,
+            partials: 0,
+            misses: 1,
+            scanned_values: 100,
+        });
+        m.record_aggregate_cache(AggregateCacheDelta {
+            hits: 3,
+            partials: 1,
+            misses: 0,
+            scanned_values: 0,
+        });
+        let total = m.aggregate_cache();
+        assert_eq!(
+            (
+                total.hits,
+                total.partials,
+                total.misses,
+                total.scanned_values
+            ),
+            (5, 1, 1, 100)
+        );
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Engine-level property tests for the per-piece aggregate cache: on
+//! arbitrary data and query sequences, every strategy's count/sum answers —
+//! now composed from cached piece sums wherever possible — must be exactly
+//! what the pre-cache answer path produced, i.e. a scan of the base values.
+//!
+//! The query sequence is replayed twice so the second pass runs on resolved
+//! bounds (the pure-metadata fast path), and interleaves updates-free
+//! batched execution, idle-time refinement and sequential execution — every
+//! way an answer can be produced must agree with the scan.
+
+use proptest::prelude::*;
+
+use holistic_core::{Database, HolisticConfig, IdleBudget, IndexingStrategy, Query};
+
+fn reference_count(values: &[i64], lo: i64, hi: i64) -> u64 {
+    values.iter().filter(|&&v| v >= lo && v < hi).count() as u64
+}
+
+fn reference_sum(values: &[i64], lo: i64, hi: i64) -> i128 {
+    values
+        .iter()
+        .filter(|&&v| v >= lo && v < hi)
+        .map(|&v| i128::from(v))
+        .sum()
+}
+
+fn make_db(strategy: IndexingStrategy, values: Vec<i64>) -> (Database, holistic_core::ColumnId) {
+    let mut db = Database::new(HolisticConfig::for_testing(), strategy);
+    let t = db.create_table("r", vec![("a", values)]).unwrap();
+    let col = db.column_id(t, "a").unwrap();
+    (db, col)
+}
+
+prop_compose! {
+    fn arb_values()(values in prop::collection::vec(-2000i64..2000, 0..500)) -> Vec<i64> {
+        values
+    }
+}
+
+prop_compose! {
+    fn arb_queries()(queries in prop::collection::vec((-2100i64..2100, -50i64..500), 1..20))
+        -> Vec<(i64, i64)>
+    {
+        // Negative widths produce inverted (empty) ranges on purpose.
+        queries.into_iter().map(|(lo, w)| (lo, lo + w)).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cached_aggregates_match_scan_for_every_strategy(
+        values in arb_values(),
+        queries in arb_queries(),
+    ) {
+        for strategy in IndexingStrategy::all() {
+            let (db, col) = make_db(strategy, values.clone());
+            // Two passes: the first cracks/builds, the second runs resolved
+            // (the cache-composed fast path must not change any answer).
+            for pass in 0..2 {
+                for &(lo, hi) in &queries {
+                    let r = db.execute(&Query::range(col, lo, hi)).unwrap();
+                    prop_assert_eq!(
+                        r.count,
+                        reference_count(&values, lo, hi),
+                        "{} count [{}, {}) pass {}", strategy, lo, hi, pass
+                    );
+                    prop_assert_eq!(
+                        r.sum,
+                        reference_sum(&values, lo, hi),
+                        "{} sum [{}, {}) pass {}", strategy, lo, hi, pass
+                    );
+                }
+            }
+            prop_assert!(db.validate(), "{} invariants", strategy);
+        }
+    }
+
+    #[test]
+    fn batched_cached_aggregates_match_scan_for_every_strategy(
+        values in arb_values(),
+        queries in arb_queries(),
+    ) {
+        for strategy in IndexingStrategy::all() {
+            let (db, col) = make_db(strategy, values.clone());
+            let batch: Vec<Query> = queries
+                .iter()
+                .map(|&(lo, hi)| Query::range(col, lo, hi))
+                .collect();
+            // Cold batch, then a resolved replay of the same batch.
+            for pass in 0..2 {
+                let results = db.execute_batch(&batch).unwrap();
+                for (r, &(lo, hi)) in results.iter().zip(&queries) {
+                    prop_assert_eq!(
+                        r.count,
+                        reference_count(&values, lo, hi),
+                        "{} count [{}, {}) pass {}", strategy, lo, hi, pass
+                    );
+                    prop_assert_eq!(
+                        r.sum,
+                        reference_sum(&values, lo, hi),
+                        "{} sum [{}, {}) pass {}", strategy, lo, hi, pass
+                    );
+                }
+            }
+            prop_assert!(db.validate(), "{} invariants", strategy);
+        }
+    }
+
+    #[test]
+    fn idle_refinement_never_corrupts_cached_aggregates(
+        values in arb_values(),
+        queries in arb_queries(),
+        idle_actions in 0u64..200,
+    ) {
+        let (db, col) = make_db(IndexingStrategy::Holistic, values.clone());
+        for &(lo, hi) in &queries {
+            let before = db.execute(&Query::range(col, lo, hi)).unwrap();
+            db.run_idle(IdleBudget::Actions(idle_actions));
+            let after = db.execute(&Query::range(col, lo, hi)).unwrap();
+            prop_assert_eq!(before.sum, after.sum, "[{}, {})", lo, hi);
+            prop_assert_eq!(after.sum, reference_sum(&values, lo, hi));
+            prop_assert_eq!(after.count, reference_count(&values, lo, hi));
+        }
+        prop_assert!(db.validate());
+    }
+
+    #[test]
+    fn crack_strategies_answer_aggregates_without_data_reads_when_resolved(
+        values in prop::collection::vec(-2000i64..2000, 1..500),
+        queries in arb_queries(),
+    ) {
+        for strategy in [IndexingStrategy::Adaptive, IndexingStrategy::Holistic] {
+            let (db, col) = make_db(strategy, values.clone());
+            for &(lo, hi) in &queries {
+                db.execute(&Query::range(col, lo, hi)).unwrap();
+            }
+            // Replay on resolved bounds: all metadata, zero data reads.
+            let before = db.metrics().aggregate_cache();
+            for &(lo, hi) in &queries {
+                db.execute(&Query::range(col, lo, hi)).unwrap();
+            }
+            let after = db.metrics().aggregate_cache();
+            prop_assert_eq!(
+                after.scanned_values, before.scanned_values,
+                "{}: resolved replay must not scan data for aggregates", strategy
+            );
+            prop_assert_eq!(
+                after.hits - before.hits,
+                queries.len() as u64,
+                "{}: every replayed query must be a cache hit", strategy
+            );
+        }
+    }
+}

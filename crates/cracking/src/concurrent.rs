@@ -38,6 +38,55 @@ pub struct LatchStats {
     /// action that did not introduce a new piece — empty column, converged
     /// column, pivot already a boundary — is not work and is not counted.
     pub refinements: u64,
+    /// Count/sum answers composed entirely from cached piece sums (zero
+    /// data-array reads for the aggregate).
+    pub aggregate_hits: u64,
+    /// Count/sum answers that mixed cached piece sums with scanned pieces.
+    pub aggregate_partials: u64,
+    /// Count/sum answers with no cached piece sum available at all.
+    pub aggregate_misses: u64,
+}
+
+/// How a batch of count/sum answers was produced by the per-piece aggregate
+/// cache. One query counts as a *hit* when its sum was composed purely from
+/// cached piece sums (or its range was empty), a *partial* when cached sums
+/// covered some pieces but others had to be scanned, and a *miss* when no
+/// piece of the range carried a cached sum. `scanned_values` totals the
+/// data-array reads the scan fallback performed — 0 means the whole batch's
+/// aggregates were answered from metadata alone. Materialization reads are
+/// not counted: the cache can only ever serve aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregateCacheDelta {
+    /// Queries answered entirely from cached sums.
+    pub hits: u64,
+    /// Queries answered from a mix of cached sums and piece scans.
+    pub partials: u64,
+    /// Queries answered without any cached sum.
+    pub misses: u64,
+    /// Data values read by the aggregate scan fallback.
+    pub scanned_values: u64,
+}
+
+impl AggregateCacheDelta {
+    /// Classifies one composed range aggregate into the delta.
+    fn record(&mut self, agg: &crate::cracker::RangeAggregate) {
+        if agg.scanned_pieces == 0 {
+            self.hits += 1;
+        } else if agg.cached_pieces > 0 {
+            self.partials += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.scanned_values += agg.scanned_values;
+    }
+
+    /// Component-wise accumulation.
+    pub fn add(&mut self, other: AggregateCacheDelta) {
+        self.hits += other.hits;
+        self.partials += other.partials;
+        self.misses += other.misses;
+        self.scanned_values += other.scanned_values;
+    }
 }
 
 /// Lock-free storage behind [`LatchStats`].
@@ -46,6 +95,9 @@ struct AtomicLatchStats {
     shared_selects: AtomicU64,
     exclusive_selects: AtomicU64,
     refinements: AtomicU64,
+    aggregate_hits: AtomicU64,
+    aggregate_partials: AtomicU64,
+    aggregate_misses: AtomicU64,
 }
 
 impl AtomicLatchStats {
@@ -54,6 +106,23 @@ impl AtomicLatchStats {
             shared_selects: self.shared_selects.load(Ordering::Relaxed),
             exclusive_selects: self.exclusive_selects.load(Ordering::Relaxed),
             refinements: self.refinements.load(Ordering::Relaxed),
+            aggregate_hits: self.aggregate_hits.load(Ordering::Relaxed),
+            aggregate_partials: self.aggregate_partials.load(Ordering::Relaxed),
+            aggregate_misses: self.aggregate_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_cache(&self, delta: AggregateCacheDelta) {
+        if delta.hits > 0 {
+            self.aggregate_hits.fetch_add(delta.hits, Ordering::Relaxed);
+        }
+        if delta.partials > 0 {
+            self.aggregate_partials
+                .fetch_add(delta.partials, Ordering::Relaxed);
+        }
+        if delta.misses > 0 {
+            self.aggregate_misses
+                .fetch_add(delta.misses, Ordering::Relaxed);
         }
     }
 }
@@ -76,6 +145,8 @@ pub struct SelectOutcome {
     /// Crack-kernel dispatches this select performed (zero on the shared
     /// fast path).
     pub dispatches: KernelDispatches,
+    /// How the aggregate cache served this select's count/sum.
+    pub cache: AggregateCacheDelta,
 }
 
 /// One query's answer within a [`BatchSelectOutcome`].
@@ -103,6 +174,9 @@ pub struct BatchSelectOutcome {
     /// Crack-kernel dispatches the whole batch performed (zero when every
     /// query was answered on the shared fast path).
     pub dispatches: KernelDispatches,
+    /// How the aggregate cache served the batch's count/sum answers
+    /// (one hit/partial/miss classification per query).
+    pub cache: AggregateCacheDelta,
 }
 
 /// Everything one *batched* hot-range refinement pass through the latch
@@ -260,7 +334,7 @@ impl ConcurrentCrackerColumn {
             let guard = self.inner.read();
             if let Some(range) = guard.select_if_resolved(lo, hi) {
                 self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
-                return Self::outcome_for(
+                return self.outcome_for(
                     &guard,
                     range,
                     lo,
@@ -277,7 +351,7 @@ impl ConcurrentCrackerColumn {
         // and over-fragment the index.
         if let Some(range) = guard.select_if_resolved(lo, hi) {
             self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
-            return Self::outcome_for(
+            return self.outcome_for(
                 &guard,
                 range,
                 lo,
@@ -290,7 +364,7 @@ impl ConcurrentCrackerColumn {
         let range = crack_select_with_policy(&mut guard, lo, hi, policy, rng);
         self.stats.exclusive_selects.fetch_add(1, Ordering::Relaxed);
         let delta = guard.kernel_dispatches().since(before);
-        Self::outcome_for(&guard, range, lo, hi, materialize, delta)
+        self.outcome_for(&guard, range, lo, hi, materialize, delta)
     }
 
     /// Answers a whole batch of range selects `(lo, hi, materialize)` in a
@@ -316,7 +390,7 @@ impl ConcurrentCrackerColumn {
         // Fast path: the entire batch resolves under the shared latch.
         {
             let guard = self.inner.read();
-            if let Some(outcome) = Self::batch_outcome_if_resolved(&guard, queries) {
+            if let Some(outcome) = self.batch_outcome_if_resolved(&guard, queries) {
                 self.stats
                     .shared_selects
                     .fetch_add(queries.len() as u64, Ordering::Relaxed);
@@ -326,7 +400,7 @@ impl ConcurrentCrackerColumn {
         let mut guard = self.inner.write();
         // Re-check under the exclusive latch: a queued contender may have
         // resolved the same bounds already (see `select_with_policy`).
-        if let Some(outcome) = Self::batch_outcome_if_resolved(&guard, queries) {
+        if let Some(outcome) = self.batch_outcome_if_resolved(&guard, queries) {
             self.stats
                 .shared_selects
                 .fetch_add(queries.len() as u64, Ordering::Relaxed);
@@ -341,27 +415,31 @@ impl ConcurrentCrackerColumn {
         let dispatches = guard.kernel_dispatches().since(before);
         let piece_count = guard.piece_count();
         let avg_piece_len = guard.avg_piece_len();
-        // Release the exclusive latch before the answer phase: for a large
-        // batch the per-query result-range sums and materialized copies read
-        // far more data than the cracking itself, and they are pure reads.
+        // Release the exclusive latch before the answer phase: the
+        // per-query aggregates now compose from cached piece sums (pure
+        // metadata), but materialized copies and scan fallbacks for
+        // uncached pieces are still reads, and none of it needs exclusivity.
         // Dropping to the shared latch is safe because cracking only ever
         // *adds* boundaries — a refinement racing in between cannot move
         // values across the resolved boundaries these ranges end on, so
         // every range's count, sum and value multiset stay stable.
         drop(guard);
         let guard = self.inner.read();
+        let mut cache = AggregateCacheDelta::default();
         let answers = ranges
             .into_iter()
             .zip(queries)
             .map(|(range, &(lo, hi, materialize))| {
-                Self::answer_for(&guard, range, lo, hi, materialize)
+                Self::answer_for(&guard, range, lo, hi, materialize, &mut cache)
             })
             .collect();
+        self.stats.record_cache(cache);
         BatchSelectOutcome {
             answers,
             piece_count,
             avg_piece_len,
             dispatches,
+            cache,
         }
     }
 
@@ -371,6 +449,7 @@ impl ConcurrentCrackerColumn {
     /// before any answer is computed, so a batch with one unresolved query
     /// does not scan the other queries' result ranges only to discard them.
     fn batch_outcome_if_resolved(
+        &self,
         column: &CrackerColumn,
         queries: &[(Value, Value, bool)],
     ) -> Option<BatchSelectOutcome> {
@@ -378,42 +457,50 @@ impl ConcurrentCrackerColumn {
             .iter()
             .map(|&(lo, hi, _)| column.select_if_resolved(lo, hi))
             .collect::<Option<Vec<Range<usize>>>>()?;
+        let mut cache = AggregateCacheDelta::default();
         let answers = ranges
             .into_iter()
             .zip(queries)
             .map(|(range, &(lo, hi, materialize))| {
-                Self::answer_for(column, range, lo, hi, materialize)
+                Self::answer_for(column, range, lo, hi, materialize, &mut cache)
             })
             .collect();
+        self.stats.record_cache(cache);
         Some(BatchSelectOutcome {
             answers,
             piece_count: column.piece_count(),
             avg_piece_len: column.avg_piece_len(),
             dispatches: KernelDispatches::default(),
+            cache,
         })
     }
 
-    /// One query's answer over its resolved position range. The sum goes
-    /// through the storage layer's chunked masked-sum kernel — every value
-    /// in the range satisfies `lo <= v < hi` by construction, so the mask
-    /// never rejects anything, and the loop stays free of `i128` arithmetic
-    /// (≈3× faster than a naive `i128` accumulation on wide results).
+    /// One query's answer over its resolved position range. The count is
+    /// implicit in the range; the sum is composed from the per-piece
+    /// aggregate cache ([`CrackerColumn::aggregate_range`]), which falls
+    /// back to the storage layer's chunked masked-sum kernel only for
+    /// pieces without a cached sum. A fully cached (or empty) range is
+    /// answered with **zero** data-array reads; the classification is
+    /// accumulated into `cache`.
     fn answer_for(
         column: &CrackerColumn,
         range: Range<usize>,
         lo: Value,
         hi: Value,
         materialize: bool,
+        cache: &mut AggregateCacheDelta,
     ) -> QueryAnswer {
-        let view = column.view(range);
+        let agg = column.aggregate_range(range.clone(), lo, hi);
+        cache.record(&agg);
         QueryAnswer {
-            count: view.len() as u64,
-            sum: holistic_storage::scan_sum(view, lo, hi),
-            values: materialize.then(|| view.to_vec()),
+            count: agg.count,
+            sum: agg.sum,
+            values: materialize.then(|| column.view(range).to_vec()),
         }
     }
 
     fn outcome_for(
+        &self,
         column: &CrackerColumn,
         range: Range<usize>,
         lo: Value,
@@ -421,7 +508,9 @@ impl ConcurrentCrackerColumn {
         materialize: bool,
         dispatches: KernelDispatches,
     ) -> SelectOutcome {
-        let answer = Self::answer_for(column, range, lo, hi, materialize);
+        let mut cache = AggregateCacheDelta::default();
+        let answer = Self::answer_for(column, range, lo, hi, materialize, &mut cache);
+        self.stats.record_cache(cache);
         SelectOutcome {
             count: answer.count,
             sum: answer.sum,
@@ -429,6 +518,7 @@ impl ConcurrentCrackerColumn {
             piece_count: column.piece_count(),
             avg_piece_len: column.avg_piece_len(),
             dispatches,
+            cache,
         }
     }
 
@@ -786,6 +876,55 @@ mod tests {
         let outcome =
             empty.select_batch_with_policy(&[(1, 5, false)], CrackPolicy::Mdd1r, &mut rng);
         assert_eq!(outcome.answers[0].count, 0);
+    }
+
+    #[test]
+    fn resolved_aggregates_are_served_without_data_reads() {
+        let values = data(4000);
+        let c = ConcurrentCrackerColumn::from_values(values.clone());
+        let mut rng = StdRng::seed_from_u64(17);
+        // First select cracks — the fused kernels seed the cache, so even
+        // the cracking select answers its aggregate from piece sums.
+        let first = c.select_with_policy(100, 900, false, CrackPolicy::Standard, &mut rng);
+        assert_eq!(first.cache.hits, 1);
+        assert_eq!(first.cache.scanned_values, 0);
+        // The repeated (resolved, shared-latch) select: zero data reads.
+        let again = c.select_with_policy(100, 900, false, CrackPolicy::Standard, &mut rng);
+        assert_eq!(again.count, first.count);
+        assert_eq!(again.sum, first.sum);
+        assert_eq!(again.cache.hits, 1);
+        assert_eq!(
+            again.cache.scanned_values, 0,
+            "resolved path must not touch data"
+        );
+        let stats = c.latch_stats();
+        assert_eq!(stats.aggregate_hits, 2);
+        assert_eq!(stats.aggregate_partials + stats.aggregate_misses, 0);
+    }
+
+    #[test]
+    fn batch_aggregates_compose_from_the_cache() {
+        let values = data(4000);
+        let c = ConcurrentCrackerColumn::from_values(values.clone());
+        let queries: Vec<(Value, Value, bool)> =
+            vec![(100, 400, false), (1000, 1200, false), (3500, 3900, false)];
+        let mut rng = StdRng::seed_from_u64(19);
+        let outcome = c.select_batch_with_policy(&queries, CrackPolicy::Standard, &mut rng);
+        assert_eq!(outcome.cache.hits, queries.len() as u64);
+        assert_eq!(outcome.cache.scanned_values, 0);
+        for (a, &(lo, hi, _)) in outcome.answers.iter().zip(&queries) {
+            let expected: i128 = values
+                .iter()
+                .filter(|&&v| v >= lo && v < hi)
+                .map(|&v| i128::from(v))
+                .sum();
+            assert_eq!(a.sum, expected, "[{lo},{hi})");
+        }
+        // The resolved replay stays metadata-only too.
+        let again = c.select_batch_with_policy(&queries, CrackPolicy::Standard, &mut rng);
+        assert_eq!(again.cache.hits, queries.len() as u64);
+        assert_eq!(again.cache.scanned_values, 0);
+        assert_eq!(c.latch_stats().aggregate_hits, 2 * queries.len() as u64);
     }
 
     #[test]

@@ -27,6 +27,24 @@ pub(crate) fn dedup_batch_pivots(bounds: &[(Value, Value)]) -> Vec<Value> {
     pivots
 }
 
+/// The outcome of composing a range aggregate from the per-piece cache:
+/// count, sum, and how the sum was produced (cached whole pieces vs.
+/// scanned fallback pieces). `scanned_values == 0` means the aggregate was
+/// answered without a single data-array read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeAggregate {
+    /// Number of positions in the range.
+    pub count: u64,
+    /// Sum of the values in the range.
+    pub sum: i128,
+    /// Pieces whose cached sum was used (no data touched).
+    pub cached_pieces: usize,
+    /// Pieces that had to be scanned (no cached sum, or partial overlap).
+    pub scanned_pieces: usize,
+    /// Data values read by the scan fallback (0 = pure metadata answer).
+    pub scanned_values: u64,
+}
+
 /// A cracker column.
 ///
 /// Created as a copy of a base column the first time the column is queried
@@ -186,28 +204,32 @@ impl CrackerColumn {
         }
         let choice = self.kernel.choose(p.len());
         self.dispatches.record(choice);
-        let off = match (&mut self.rowids, choice) {
-            (Some(rowids), KernelChoice::Branchy) => crate::kernels::crack_in_two_with_rowids(
+        // Sum-fused kernels: the pass that partitions the piece also
+        // produces both sides' sums, which seed the aggregate cache for
+        // free (the data is streaming through cache anyway).
+        let pass = match (&mut self.rowids, choice) {
+            (Some(rowids), KernelChoice::Branchy) => crate::kernels::crack_in_two_with_rowids_sums(
                 &mut self.data[p.start..p.end],
                 &mut rowids[p.start..p.end],
                 v,
             ),
             (Some(rowids), KernelChoice::Predicated) => {
-                crate::kernels::crack_in_two_with_rowids_pred(
+                crate::kernels::crack_in_two_with_rowids_sums_pred(
                     &mut self.data[p.start..p.end],
                     &mut rowids[p.start..p.end],
                     v,
                 )
             }
             (None, KernelChoice::Branchy) => {
-                crate::kernels::crack_in_two(&mut self.data[p.start..p.end], v)
+                crate::kernels::crack_in_two_sums(&mut self.data[p.start..p.end], v)
             }
             (None, KernelChoice::Predicated) => {
-                crate::kernels::crack_in_two_pred(&mut self.data[p.start..p.end], v)
+                crate::kernels::crack_in_two_sums_pred(&mut self.data[p.start..p.end], v)
             }
         };
-        let pos = p.start + off;
-        self.index.split(idx, pos, v);
+        let pos = p.start + pass.split;
+        self.index
+            .split_with_sums(idx, pos, v, pass.lo_sum, pass.total_sum);
         self.cracks_performed += 1;
         pos
     }
@@ -230,9 +252,9 @@ impl CrackerColumn {
                 let p = self.index.piece(a);
                 let choice = self.kernel.choose(p.len());
                 self.dispatches.record(choice);
-                let (off_a, off_b) = match (&mut self.rowids, choice) {
+                let pass = match (&mut self.rowids, choice) {
                     (Some(rowids), KernelChoice::Branchy) => {
-                        crate::kernels::crack_in_three_with_rowids(
+                        crate::kernels::crack_in_three_with_rowids_sums(
                             &mut self.data[p.start..p.end],
                             &mut rowids[p.start..p.end],
                             lo,
@@ -240,7 +262,7 @@ impl CrackerColumn {
                         )
                     }
                     (Some(rowids), KernelChoice::Predicated) => {
-                        crate::kernels::crack_in_three_with_rowids_pred(
+                        crate::kernels::crack_in_three_with_rowids_sums_pred(
                             &mut self.data[p.start..p.end],
                             &mut rowids[p.start..p.end],
                             lo,
@@ -248,20 +270,21 @@ impl CrackerColumn {
                         )
                     }
                     (None, KernelChoice::Branchy) => {
-                        crate::kernels::crack_in_three(&mut self.data[p.start..p.end], lo, hi)
+                        crate::kernels::crack_in_three_sums(&mut self.data[p.start..p.end], lo, hi)
                     }
-                    (None, KernelChoice::Predicated) => {
-                        crate::kernels::crack_in_three_pred(&mut self.data[p.start..p.end], lo, hi)
-                    }
+                    (None, KernelChoice::Predicated) => crate::kernels::crack_in_three_sums_pred(
+                        &mut self.data[p.start..p.end],
+                        lo,
+                        hi,
+                    ),
                 };
-                let abs_a = p.start + off_a;
-                let abs_b = p.start + off_b;
-                // The hi boundary lives in the right half of the split just
-                // recorded: piece `a + 1` if the lo split created a piece,
-                // still piece `a` otherwise. Computing it directly saves the
-                // second O(log P) piece-index binary search per query.
-                let created = self.index.split(a, abs_a, lo);
-                self.index.split(a + usize::from(created), abs_b, hi);
+                let abs_a = p.start + pass.a;
+                let abs_b = p.start + pass.b;
+                // Both splits (and all three region sums the fused pass
+                // produced) are recorded with a single piece-table edit, so
+                // no second O(log P) piece lookup and no second tail shift.
+                self.index
+                    .split_multi_with_sums(a, &[(abs_a, lo), (abs_b, hi)], Some(&pass.sums));
                 self.cracks_performed += 1;
                 return abs_a..abs_b;
             }
@@ -302,11 +325,14 @@ impl CrackerColumn {
                 _ => groups.push((idx, i..i + 1)),
             }
         }
-        let recorded: Vec<(usize, Vec<(usize, Value)>)> = groups
+        let recorded: Vec<crate::index::SplitGroup> = groups
             .into_iter()
-            .map(|(idx, range)| (idx, self.crack_piece_multi(idx, &pivots[range])))
+            .map(|(idx, range)| {
+                let (splits, seg_sums) = self.crack_piece_multi(idx, &pivots[range]);
+                (idx, splits, seg_sums)
+            })
             .collect();
-        self.index.split_grouped(&recorded);
+        self.index.split_grouped_with_sums(&recorded);
 
         // Every bound is now a resolved boundary; `crack_at` degenerates to
         // two binary searches per query (and stays correct if it does not).
@@ -326,19 +352,26 @@ impl CrackerColumn {
 
     /// Cracks piece `idx` around all `pivots` (strictly increasing, all
     /// falling into the piece) in one partitioning pass, returning the
-    /// produced splits for the caller to record (the batch path batches
-    /// them into one [`PieceIndex::split_grouped`] rebuild).
-    fn crack_piece_multi(&mut self, idx: usize, pivots: &[Value]) -> Vec<(usize, Value)> {
+    /// produced splits plus the pass's fused per-segment sums for the caller
+    /// to record (the batch path batches them into one
+    /// [`PieceIndex::split_grouped_with_sums`] rebuild). Sorted pieces are
+    /// binary-searched — no data is touched, so no sums are produced.
+    fn crack_piece_multi(
+        &mut self,
+        idx: usize,
+        pivots: &[Value],
+    ) -> (Vec<(usize, Value)>, Option<Vec<i128>>) {
         let p = self.index.piece(idx);
         if p.sorted {
             // No data movement needed: binary-search every boundary.
-            return pivots
+            let splits = pivots
                 .iter()
                 .map(|&v| {
                     let off = self.data[p.start..p.end].partition_point(|&x| x < v);
                     (p.start + off, v)
                 })
                 .collect();
+            return (splits, None);
         }
         let choice = self.kernel.choose(p.len());
         self.dispatches.record(choice);
@@ -347,32 +380,47 @@ impl CrackerColumn {
             KernelChoice::Predicated => CrackKernel::Predicated,
         };
         let data = &mut self.data[p.start..p.end];
-        let offsets: Vec<usize> = match (&mut self.rowids, pivots) {
+        let (offsets, seg_sums): (Vec<usize>, Vec<i128>) = match (&mut self.rowids, pivots) {
             // One or two pivots keep the classic single-pass kernels.
             (Some(rowids), &[v]) => {
-                vec![forced.crack_in_two_with_rowids(data, &mut rowids[p.start..p.end], v)]
+                let two =
+                    forced.crack_in_two_with_rowids_sums(data, &mut rowids[p.start..p.end], v);
+                (vec![two.split], vec![two.lo_sum, two.hi_sum()])
             }
-            (None, &[v]) => vec![forced.crack_in_two(data, v)],
+            (None, &[v]) => {
+                let two = forced.crack_in_two_sums(data, v);
+                (vec![two.split], vec![two.lo_sum, two.hi_sum()])
+            }
             (Some(rowids), &[lo, hi]) => {
-                let (a, b) =
-                    forced.crack_in_three_with_rowids(data, &mut rowids[p.start..p.end], lo, hi);
-                vec![a, b]
+                let three = forced.crack_in_three_with_rowids_sums(
+                    data,
+                    &mut rowids[p.start..p.end],
+                    lo,
+                    hi,
+                );
+                (vec![three.a, three.b], three.sums.to_vec())
             }
             (None, &[lo, hi]) => {
-                let (a, b) = forced.crack_in_three(data, lo, hi);
-                vec![a, b]
+                let three = forced.crack_in_three_sums(data, lo, hi);
+                (vec![three.a, three.b], three.sums.to_vec())
             }
             (Some(rowids), _) => {
-                forced.crack_in_k_with_rowids(data, &mut rowids[p.start..p.end], pivots)
+                let k =
+                    forced.crack_in_k_with_rowids_sums(data, &mut rowids[p.start..p.end], pivots);
+                (k.boundaries, k.segment_sums)
             }
-            (None, _) => forced.crack_in_k(data, pivots),
+            (None, _) => {
+                let k = forced.crack_in_k_sums(data, pivots);
+                (k.boundaries, k.segment_sums)
+            }
         };
         self.cracks_performed += 1;
-        offsets
+        let splits = offsets
             .into_iter()
             .map(|off| p.start + off)
             .zip(pivots.iter().copied())
-            .collect()
+            .collect();
+        (splits, Some(seg_sums))
     }
 
     /// Like [`CrackerColumn::crack_select`] but only returns the number of
@@ -406,6 +454,81 @@ impl CrackerColumn {
         let start = self.index.resolved_boundary(lo)?;
         let end = self.index.resolved_boundary(hi)?;
         Some(start..end)
+    }
+
+    /// Composes the count and sum of a resolved position range from the
+    /// per-piece aggregate cache.
+    ///
+    /// Crack boundaries always fall on piece boundaries, so a resolved
+    /// result range is a run of whole pieces: the count is implicit in the
+    /// range length, and the sum is composed from the pieces' cached sums.
+    /// Only pieces *without* a cached sum (sorted pieces split by binary
+    /// search, pieces touched by sum-less maintenance) are scanned, through
+    /// the storage layer's chunked masked-sum kernel — the same kernel the
+    /// pre-cache answer path used for the whole range. A fully cached range
+    /// therefore costs O(pieces) metadata reads and **zero** data-array
+    /// touches.
+    ///
+    /// **Contract:** every value in `range` must satisfy `lo <= v < hi` —
+    /// true for any range produced by resolving both bounds (the only
+    /// production use). `lo`/`hi` then only parameterize the scan
+    /// fallback's mask, keeping the fallback identical to the pre-cache
+    /// answer path. For a range violating the contract the sum is
+    /// unspecified: cached whole pieces contribute their full sums (no
+    /// mask can be applied to metadata), while scanned pieces are masked —
+    /// the two arms would disagree. Debug builds assert the contract on
+    /// every scanned piece. The outcome reports how the sum was produced
+    /// so callers can maintain cache hit/partial/miss statistics.
+    #[must_use]
+    pub fn aggregate_range(&self, range: Range<usize>, lo: Value, hi: Value) -> RangeAggregate {
+        let mut agg = RangeAggregate {
+            count: (range.end.saturating_sub(range.start)) as u64,
+            ..RangeAggregate::default()
+        };
+        if range.start >= range.end {
+            return agg;
+        }
+        let Some(mut idx) = self.index.find_piece_for_position(range.start) else {
+            return agg;
+        };
+        let pieces = self.index.pieces();
+        while idx < pieces.len() && pieces[idx].start < range.end {
+            let p = pieces[idx];
+            let overlap = p.start.max(range.start)..p.end.min(range.end);
+            match p.sum {
+                // Whole piece covered and cached: pure metadata.
+                Some(sum) if overlap == (p.start..p.end) => {
+                    agg.sum += sum;
+                    agg.cached_pieces += 1;
+                }
+                // Uncached piece or partial overlap (possible only for
+                // ranges that are not crack-resolved): scan the overlap.
+                _ => {
+                    debug_assert!(
+                        self.data[overlap.clone()]
+                            .iter()
+                            .all(|&v| v >= lo && v < hi),
+                        "aggregate_range contract: every value in the range must satisfy [lo, hi)"
+                    );
+                    agg.sum += holistic_storage::scan_sum(&self.data[overlap.clone()], lo, hi);
+                    agg.scanned_pieces += 1;
+                    agg.scanned_values += (overlap.end - overlap.start) as u64;
+                }
+            }
+            idx += 1;
+        }
+        agg
+    }
+
+    /// Number of pieces currently carrying a trusted cached sum (aggregate
+    /// cache population probe for tests and diagnostics).
+    #[must_use]
+    pub fn cached_sum_pieces(&self) -> usize {
+        self.index
+            .pieces()
+            .iter()
+            .filter(|p| p.sum.is_some())
+            .count()
     }
 
     /// Applies one *auxiliary refinement action*: picks a random position,
@@ -462,6 +585,7 @@ impl CrackerColumn {
     /// single sorted piece. This is what offline indexing does with enough
     /// idle time; exposed here so the kernels can share one representation.
     pub fn sort_fully(&mut self) {
+        let mut total = 0i128;
         match &mut self.rowids {
             Some(rowids) => {
                 let mut pairs: Vec<(Value, RowId)> = self
@@ -472,13 +596,22 @@ impl CrackerColumn {
                     .collect();
                 pairs.sort_unstable();
                 for (i, (v, r)) in pairs.into_iter().enumerate() {
+                    total += i128::from(v);
                     self.data[i] = v;
                     rowids[i] = r;
                 }
             }
-            None => self.data.sort_unstable(),
+            None => {
+                self.data.sort_unstable();
+                total = self.data.iter().map(|&v| i128::from(v)).sum();
+            }
         }
         self.index = PieceIndex::new_sorted(self.data.len());
+        // Seed the aggregate cache with the column total: full-range
+        // aggregates on a freshly sorted column are pure metadata.
+        if let Some(p) = self.index.pieces_mut().last_mut() {
+            p.sum = Some(total);
+        }
     }
 
     /// Validates the cracker-column invariants (piece index consistent with
@@ -805,6 +938,85 @@ mod tests {
             assert_eq!((r.end - r.start) as u64, scan_count(&values, lo, hi));
         }
         assert!(c.validate());
+    }
+
+    fn scan_sum_ref(values: &[Value], lo: Value, hi: Value) -> i128 {
+        values
+            .iter()
+            .filter(|&&v| v >= lo && v < hi)
+            .map(|&v| i128::from(v))
+            .sum()
+    }
+
+    #[test]
+    fn cracking_populates_the_aggregate_cache() {
+        let mut c = CrackerColumn::from_values(sample());
+        assert_eq!(c.cached_sum_pieces(), 0);
+        let r = c.crack_select(5, 12);
+        // One fused pass taught every resulting piece its sum.
+        assert_eq!(c.cached_sum_pieces(), c.piece_count());
+        assert!(c.validate());
+        let agg = c.aggregate_range(r.clone(), 5, 12);
+        assert_eq!(agg.count, (r.end - r.start) as u64);
+        assert_eq!(agg.sum, scan_sum_ref(&sample(), 5, 12));
+        assert_eq!(
+            agg.scanned_values, 0,
+            "resolved aggregate must not read data"
+        );
+        assert_eq!(agg.scanned_pieces, 0);
+        assert!(agg.cached_pieces >= 1);
+    }
+
+    #[test]
+    fn batch_cracking_populates_the_aggregate_cache() {
+        let values: Vec<Value> = (0..2000).map(|i| (i * 7919) % 2000).collect();
+        let mut c = CrackerColumn::from_values(values.clone());
+        let batch: Vec<(Value, Value)> = (0..8).map(|i| (i * 200, i * 200 + 50)).collect();
+        let ranges = c.crack_select_batch(&batch);
+        assert_eq!(c.cached_sum_pieces(), c.piece_count());
+        for (r, &(lo, hi)) in ranges.iter().zip(&batch) {
+            let agg = c.aggregate_range(r.clone(), lo, hi);
+            assert_eq!(agg.sum, scan_sum_ref(&values, lo, hi), "[{lo},{hi})");
+            assert_eq!(agg.scanned_values, 0, "[{lo},{hi})");
+        }
+        assert!(c.validate());
+    }
+
+    #[test]
+    fn aggregate_range_scans_only_uncached_pieces() {
+        // A sorted column's binary-search splits produce no sums, so the
+        // fallback path must scan those pieces — and only those.
+        let mut c = CrackerColumn::from_values(sample());
+        c.sort_fully();
+        // The full sorted piece carries the column total.
+        let full = c.aggregate_range(0..c.len(), i64::MIN, i64::MAX);
+        assert_eq!(full.sum, scan_sum_ref(&sample(), i64::MIN, i64::MAX));
+        assert_eq!(full.scanned_values, 0);
+        // Splitting it by binary search leaves sum-less children.
+        let r = c.crack_select(5, 12);
+        let agg = c.aggregate_range(r.clone(), 5, 12);
+        assert_eq!(agg.sum, scan_sum_ref(&sample(), 5, 12));
+        assert!(agg.scanned_pieces >= 1);
+        assert_eq!(agg.scanned_values, (r.end - r.start) as u64);
+        assert!(c.validate());
+    }
+
+    #[test]
+    fn aggregate_range_handles_unaligned_ranges_with_the_mask() {
+        // Not crack-resolved: an arbitrary position range cutting through
+        // pieces, with the full-domain bounds so every value qualifies
+        // (the documented contract). Partially overlapped pieces go
+        // through the masked scan fallback and still sum exactly.
+        let values: Vec<Value> = (0..100).rev().collect();
+        let mut c = CrackerColumn::from_values(values);
+        let _ = c.crack_select(20, 70);
+        let agg = c.aggregate_range(3..47, i64::MIN, i64::MAX);
+        let expected: i128 = c.data()[3..47].iter().map(|&v| i128::from(v)).sum();
+        assert_eq!(agg.sum, expected);
+        assert_eq!(agg.count, 44);
+        // Empty range is pure metadata.
+        let empty = c.aggregate_range(5..5, 0, 10);
+        assert_eq!(empty, RangeAggregate::default());
     }
 
     #[test]

@@ -11,6 +11,13 @@
 use crate::piece::Piece;
 use crate::Value;
 
+/// One affected piece of a batch pass: the piece's index, the splits the
+/// pass produced inside it (`(position, pivot)` pairs, the
+/// [`PieceIndex::split_multi`] contract), and the pass's per-segment sums
+/// (`None` when the pass produced no sums, e.g. a binary-searched sorted
+/// piece). Consumed by [`PieceIndex::split_grouped_with_sums`].
+pub type SplitGroup = (usize, Vec<(usize, Value)>, Option<Vec<i128>>);
+
 /// The cracker index: an ordered, contiguous list of pieces covering
 /// positions `[0, len)` of a cracker column.
 ///
@@ -54,6 +61,7 @@ impl PieceIndex {
                 lo: None,
                 hi: None,
                 sorted: true,
+                sum: None,
             }]
         };
         PieceIndex { pieces, len }
@@ -148,6 +156,26 @@ impl PieceIndex {
         self.split_multi(idx, &[(split_pos, pivot)]) == 1
     }
 
+    /// Like [`PieceIndex::split`], but also records the aggregate-cache sums
+    /// a fused partitioning pass produced: `lo_sum` is the sum of the values
+    /// `< pivot`, `total_sum` the sum of the whole pre-split piece. Both
+    /// resulting pieces (or the single tightened piece) get a trusted cached
+    /// sum.
+    pub fn split_with_sums(
+        &mut self,
+        idx: usize,
+        split_pos: usize,
+        pivot: Value,
+        lo_sum: i128,
+        total_sum: i128,
+    ) -> bool {
+        self.split_multi_with_sums(
+            idx,
+            &[(split_pos, pivot)],
+            Some(&[lo_sum, total_sum - lo_sum]),
+        ) == 1
+    }
+
     /// Records all splits of one multi-pivot partitioning pass over piece
     /// `idx` in a single piece-table edit.
     ///
@@ -166,12 +194,34 @@ impl PieceIndex {
     /// Panics if `idx` is out of bounds, any split position lies outside the
     /// piece, positions decrease, or pivots are not strictly increasing.
     pub fn split_multi(&mut self, idx: usize, splits: &[(usize, Value)]) -> usize {
+        self.split_multi_with_sums(idx, splits, None)
+    }
+
+    /// Like [`PieceIndex::split_multi`], but also records the per-segment
+    /// sums of the fused multi-pivot pass that produced the splits:
+    /// `seg_sums[i]` is the sum of the values between split `i - 1` and
+    /// split `i` (with `seg_sums[0]` before the first split and the last
+    /// entry after the last split — `splits.len() + 1` entries total).
+    /// With `None`, newly created pieces get no cached sum (a pure
+    /// bound-tightening edit still keeps the existing one, since the piece's
+    /// contents are unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`PieceIndex::split_multi`], or if
+    /// `seg_sums` has the wrong length.
+    pub fn split_multi_with_sums(
+        &mut self,
+        idx: usize,
+        splits: &[(usize, Value)],
+        seg_sums: Option<&[i128]>,
+    ) -> usize {
         if splits.is_empty() {
             return 0;
         }
         let p = self.pieces[idx];
         let mut replacement: Vec<Piece> = Vec::with_capacity(splits.len() + 1);
-        Self::expand_piece(p, splits, &mut replacement);
+        Self::expand_piece(p, splits, seg_sums, &mut replacement);
         let created = replacement.len() - 1;
         if created == 0 {
             // Pure bound tightening: no table surgery needed.
@@ -186,21 +236,23 @@ impl PieceIndex {
     /// Records the splits of a whole batch pass over *many* pieces in a
     /// single piece-table rebuild.
     ///
-    /// `groups` pairs each affected piece index with the splits produced
-    /// inside that piece (same contract as [`PieceIndex::split_multi`]),
-    /// strictly ascending by piece index. The table is rebuilt once in
-    /// `O(P + k)`, instead of the `O(P)` tail shift per affected piece that
-    /// repeated `split_multi` calls would pay — on a heavily cracked column
-    /// that repeated shifting dominates the index-maintenance cost of a
-    /// large batch.
+    /// Each [`SplitGroup`] pairs an affected piece index with the splits
+    /// produced inside that piece (same contract as
+    /// [`PieceIndex::split_multi_with_sums`], including the optional fused
+    /// per-segment sums), strictly ascending by piece index. The table is
+    /// rebuilt once in `O(P + k)`, instead of the `O(P)` tail shift per
+    /// affected piece that repeated `split_multi` calls would pay — on a
+    /// heavily cracked column that repeated shifting dominates the
+    /// index-maintenance cost of a large batch.
     ///
     /// Returns the total number of new pieces created.
     ///
     /// # Panics
     ///
-    /// Panics under the per-piece conditions of [`PieceIndex::split_multi`],
-    /// or if `groups` is not strictly ascending by piece index.
-    pub fn split_grouped(&mut self, groups: &[(usize, Vec<(usize, Value)>)]) -> usize {
+    /// Panics under the per-piece conditions of
+    /// [`PieceIndex::split_multi_with_sums`], or if `groups` is not
+    /// strictly ascending by piece index.
+    pub fn split_grouped_with_sums(&mut self, groups: &[SplitGroup]) -> usize {
         if groups.is_empty() {
             return 0;
         }
@@ -208,13 +260,13 @@ impl PieceIndex {
             groups.windows(2).all(|w| w[0].0 < w[1].0),
             "groups must be strictly ascending by piece index"
         );
-        let total_splits: usize = groups.iter().map(|(_, s)| s.len()).sum();
+        let total_splits: usize = groups.iter().map(|(_, s, _)| s.len()).sum();
         let mut rebuilt: Vec<Piece> = Vec::with_capacity(self.pieces.len() + total_splits);
         let mut next_group = groups.iter().peekable();
         for (idx, &p) in self.pieces.iter().enumerate() {
             match next_group.peek() {
-                Some((group_idx, splits)) if *group_idx == idx => {
-                    Self::expand_piece(p, splits, &mut rebuilt);
+                Some((group_idx, splits, seg_sums)) if *group_idx == idx => {
+                    Self::expand_piece(p, splits, seg_sums.as_deref(), &mut rebuilt);
                     next_group.next();
                 }
                 _ => rebuilt.push(p),
@@ -230,11 +282,22 @@ impl PieceIndex {
     }
 
     /// Expands one piece into the pieces its splits produce, pushing them
-    /// onto `out` (shared by [`PieceIndex::split_multi`] and
-    /// [`PieceIndex::split_grouped`]). Pushes the piece unchanged (modulo
-    /// bound tightening) when no interior split exists; `splits` must be
-    /// non-empty.
-    fn expand_piece(p: Piece, splits: &[(usize, Value)], out: &mut Vec<Piece>) {
+    /// onto `out` (shared by [`PieceIndex::split_multi_with_sums`] and
+    /// [`PieceIndex::split_grouped_with_sums`]). Pushes the piece unchanged
+    /// (modulo bound tightening) when no interior split exists; `splits`
+    /// must be non-empty.
+    ///
+    /// `seg_sums`, when present, holds one sum per kernel segment
+    /// (`splits.len() + 1` entries, segment `i` ending at split `i`); each
+    /// output piece's cached sum is the total of the segments it absorbs.
+    /// Without sums, created pieces get `sum: None` and a pure tightening
+    /// keeps the piece's existing cached sum (its contents are unchanged).
+    fn expand_piece(
+        p: Piece,
+        splits: &[(usize, Value)],
+        seg_sums: Option<&[i128]>,
+        out: &mut Vec<Piece>,
+    ) {
         assert!(
             splits
                 .windows(2)
@@ -249,20 +312,34 @@ impl PieceIndex {
                 p.end
             );
         }
+        if let Some(sums) = seg_sums {
+            assert_eq!(
+                sums.len(),
+                splits.len() + 1,
+                "one segment sum per kernel segment"
+            );
+        }
         // Walk the splits left to right. `cur_start`/`cur_lo` describe the
         // sub-piece currently open on the left; `end_hi` collects
         // upper-bound tightenings from splits that land on the piece's end
-        // (the smallest such pivot wins).
+        // (the smallest such pivot wins); `acc` collects the segment sums
+        // absorbed into the currently open sub-piece.
+        let first_out = out.len();
         let mut cur_start = p.start;
         let mut cur_lo = p.lo;
         let mut end_hi = p.hi;
-        for &(split_pos, pivot) in splits {
+        let mut acc = 0i128;
+        for (j, &(split_pos, pivot)) in splits.iter().enumerate() {
+            if let Some(sums) = seg_sums {
+                acc += sums[j];
+            }
             if split_pos == cur_start {
                 // Empty left side: every remaining value is >= pivot.
                 cur_lo = Some(cur_lo.map_or(pivot, |lo| lo.max(pivot)));
             } else if split_pos == p.end {
                 // Every remaining value is < pivot. Pivots increase, so the
-                // first end-split carries the tightest bound.
+                // first end-split carries the tightest bound. The segment
+                // ending here stays in `acc` for the final piece.
                 end_hi = Some(end_hi.map_or(pivot, |hi| hi.min(pivot)));
             } else {
                 out.push(Piece {
@@ -271,17 +348,27 @@ impl PieceIndex {
                     lo: cur_lo,
                     hi: Some(pivot),
                     sorted: p.sorted,
+                    sum: seg_sums.map(|_| acc),
                 });
+                acc = 0;
                 cur_start = split_pos;
                 cur_lo = Some(pivot);
             }
         }
+        let final_sum = match seg_sums {
+            Some(sums) => Some(acc + sums[splits.len()]),
+            // Pure tightening without kernel sums: contents unchanged, the
+            // cached sum (if any) stays trusted.
+            None if out.len() == first_out => p.sum,
+            None => None,
+        };
         out.push(Piece {
             start: cur_start,
             end: p.end,
             lo: cur_lo,
             hi: end_hi,
             sorted: p.sorted,
+            sum: final_sum,
         });
     }
 
@@ -320,7 +407,11 @@ impl PieceIndex {
             last.end = new_len;
             // The appended values may violate the last piece's bounds; the
             // caller (ripple insertion) is responsible for placing values in
-            // admissible pieces, so bounds stay as they are.
+            // admissible pieces, so bounds stay as they are. The cached sum,
+            // however, no longer covers the piece's extent — invalidate it
+            // (ripple insertion restores it once the appended value has been
+            // rippled into its target piece).
+            last.sum = None;
         } else {
             self.pieces.push(Piece::unbounded(0, new_len));
         }
@@ -336,7 +427,11 @@ impl PieceIndex {
             if last.start >= new_len {
                 self.pieces.pop();
             } else {
-                last.end = new_len;
+                if last.end != new_len {
+                    // Truncation drops values the cached sum still counts.
+                    last.sum = None;
+                    last.end = new_len;
+                }
                 break;
             }
         }
@@ -616,5 +711,113 @@ mod tests {
     fn split_multi_rejects_unordered_pivots() {
         let mut idx = PieceIndex::new(5);
         idx.split_multi(0, &[(1, 50), (2, 40)]);
+    }
+
+    #[test]
+    fn split_with_sums_caches_both_sides() {
+        // data conceptually cracked at 50: [10, 20, 30 | 60, 70]
+        let data = vec![10, 20, 30, 60, 70];
+        let mut idx = PieceIndex::new(5);
+        assert!(idx.split_with_sums(0, 3, 50, 60, 190));
+        assert_eq!(idx.piece(0).sum, Some(60));
+        assert_eq!(idx.piece(1).sum, Some(130));
+        assert!(idx.validate(&data));
+        // A plain split leaves the new pieces' sums unknown.
+        let mut plain = PieceIndex::new(5);
+        plain.split(0, 3, 50);
+        assert_eq!(plain.piece(0).sum, None);
+        assert_eq!(plain.piece(1).sum, None);
+    }
+
+    #[test]
+    fn split_multi_with_sums_accumulates_segments() {
+        // data conceptually: [10, 20 | 30 | 60, 70 | 90]
+        let data = vec![10, 20, 30, 60, 70, 90];
+        let splits = [(2usize, 25i64), (3, 50), (5, 80)];
+        let seg_sums = [30i128, 30, 130, 90];
+        let mut idx = PieceIndex::new(6);
+        assert_eq!(idx.split_multi_with_sums(0, &splits, Some(&seg_sums)), 3);
+        let sums: Vec<Option<i128>> = idx.pieces().iter().map(|p| p.sum).collect();
+        assert_eq!(sums, vec![Some(30), Some(30), Some(130), Some(90)]);
+        assert!(idx.validate(&data));
+    }
+
+    #[test]
+    fn split_multi_with_sums_edge_splits_fold_into_survivor() {
+        // Both splits land on the edges: one piece survives, and the fused
+        // pass still teaches it its total sum.
+        let data = vec![10, 20, 30, 40];
+        let mut idx = PieceIndex::new(4);
+        assert_eq!(
+            idx.split_multi_with_sums(0, &[(0, 5), (4, 100)], Some(&[0, 100, 0])),
+            0
+        );
+        assert_eq!(idx.piece_count(), 1);
+        assert_eq!(idx.piece(0).sum, Some(100));
+        assert!(idx.validate(&data));
+        // Duplicate positions: the empty middle segment contributes zero.
+        let data = vec![10, 20, 60, 70];
+        let mut idx = PieceIndex::new(4);
+        assert_eq!(
+            idx.split_multi_with_sums(0, &[(2, 30), (2, 50)], Some(&[30, 0, 130])),
+            1
+        );
+        assert_eq!(idx.piece(0).sum, Some(30));
+        assert_eq!(idx.piece(1).sum, Some(130));
+        assert!(idx.validate(&data));
+    }
+
+    #[test]
+    fn tightening_without_sums_keeps_existing_cache() {
+        let data = vec![10, 20, 30, 40];
+        let mut idx = PieceIndex::new(4);
+        idx.split_multi_with_sums(0, &[(0, 5)], Some(&[0, 100]));
+        assert_eq!(idx.piece(0).sum, Some(100));
+        // A later sum-less tightening must not drop the trusted cache.
+        assert!(!idx.split(0, 4, 200));
+        assert_eq!(idx.piece(0).sum, Some(100));
+        // But a sum-less *interior* split invalidates (contents unknown).
+        assert!(idx.split(0, 2, 25));
+        assert_eq!(idx.piece(0).sum, None);
+        assert_eq!(idx.piece(1).sum, None);
+        assert!(idx.validate(&data));
+    }
+
+    #[test]
+    fn split_grouped_with_sums_mixes_summed_and_unsummed_groups() {
+        // data conceptually: [10, 20 | 60, 70] then both pieces split again.
+        let data = vec![10, 20, 60, 70];
+        let mut idx = PieceIndex::new(4);
+        idx.split_with_sums(0, 2, 50, 30, 160);
+        let created = idx.split_grouped_with_sums(&[
+            (0, vec![(1, 15)], Some(vec![10, 20])),
+            (1, vec![(3, 65)], None),
+        ]);
+        assert_eq!(created, 2);
+        let sums: Vec<Option<i128>> = idx.pieces().iter().map(|p| p.sum).collect();
+        assert_eq!(sums, vec![Some(10), Some(20), None, None]);
+        assert!(idx.validate(&data));
+    }
+
+    #[test]
+    fn grow_and_shrink_invalidate_affected_sums() {
+        let data = vec![10, 20, 60, 70];
+        let mut idx = PieceIndex::new(4);
+        idx.split_with_sums(0, 2, 50, 30, 160);
+        assert_eq!(idx.piece(1).sum, Some(130));
+        idx.grow(1);
+        // Only the extended (last) piece loses its cache.
+        assert_eq!(idx.piece(0).sum, Some(30));
+        assert_eq!(idx.piece(1).sum, None);
+        idx.shrink(1);
+        assert_eq!(idx.piece(0).sum, Some(30));
+        assert!(idx.validate(&data));
+        // Truncating into a piece with a cached sum drops the cache.
+        idx.shrink(1);
+        assert_eq!(idx.piece(1).sum, None);
+        // Shrinking a whole piece away leaves earlier caches untouched.
+        idx.shrink(1);
+        assert_eq!(idx.piece_count(), 1);
+        assert_eq!(idx.piece(0).sum, Some(30));
     }
 }

@@ -432,6 +432,484 @@ pub fn crack_in_k_with_rowids_pred(
     boundaries
 }
 
+// ---------------------------------------------------------------------
+// Sum-fused kernels (aggregate-cache by-products)
+// ---------------------------------------------------------------------
+
+/// Split position plus the value sums of both sides of one two-way
+/// partitioning pass.
+///
+/// The sums are a *fused by-product*: the partitioning sweep already streams
+/// every value of the piece through a register, so accumulating `lo_sum`
+/// (values `< pivot`) and `total_sum` costs two adds per element and no
+/// extra pass. `total_sum - lo_sum` is the sum of the `>= pivot` side.
+/// This is what feeds the per-piece aggregate cache — piece sums are
+/// produced while the data is already in cache, never by re-reading it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoWaySums {
+    /// Index of the first value `>= pivot` (same as [`crack_in_two`]).
+    pub split: usize,
+    /// Sum of the values `< pivot`.
+    pub lo_sum: i128,
+    /// Sum of *all* values in the piece.
+    pub total_sum: i128,
+}
+
+impl TwoWaySums {
+    /// Sum of the values `>= pivot`.
+    #[must_use]
+    pub fn hi_sum(&self) -> i128 {
+        self.total_sum - self.lo_sum
+    }
+}
+
+/// Region boundaries plus per-region sums of one three-way partitioning
+/// pass (see [`TwoWaySums`] for the fusion rationale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreeWaySums {
+    /// Index of the first value `>= lo` (same as [`crack_in_three`]).
+    pub a: usize,
+    /// Index of the first value `>= hi`.
+    pub b: usize,
+    /// Sums of the three regions `< lo`, `[lo, hi)` and `>= hi`. For the
+    /// degenerate `hi <= lo` interval the middle sum is 0.
+    pub sums: [i128; 3],
+}
+
+/// Boundaries plus per-segment sums of one multi-pivot pass: `k` pivots
+/// produce `k + 1` segments, `segment_sums[i]` being the sum of the values
+/// between boundary `i - 1` and boundary `i` (see [`TwoWaySums`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KWaySums {
+    /// One boundary per pivot (same as [`crack_in_k`]).
+    pub boundaries: Vec<usize>,
+    /// One sum per segment (`boundaries.len() + 1` entries).
+    pub segment_sums: Vec<i128>,
+}
+
+/// Sum-fused [`crack_in_two`]: same partitioning, plus both side sums.
+pub fn crack_in_two_sums(data: &mut [Value], pivot: Value) -> TwoWaySums {
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    let mut lo_sum = 0i128;
+    let mut total_sum = 0i128;
+    while lo < hi {
+        let v = data[lo];
+        // Each element is examined (and counted) exactly once: `< pivot`
+        // elements when the cursor passes them, `>= pivot` elements when
+        // they are swapped out to the tail.
+        total_sum += i128::from(v);
+        if v < pivot {
+            lo_sum += i128::from(v);
+            lo += 1;
+        } else {
+            hi -= 1;
+            data.swap(lo, hi);
+        }
+    }
+    TwoWaySums {
+        split: lo,
+        lo_sum,
+        total_sum,
+    }
+}
+
+/// Sum-fused [`crack_in_two_pred`] (branch-free, see [`TwoWaySums`]).
+pub fn crack_in_two_sums_pred(data: &mut [Value], pivot: Value) -> TwoWaySums {
+    let mut write = 0usize;
+    let mut lo_sum = 0i128;
+    let mut total_sum = 0i128;
+    for read in 0..data.len() {
+        let v = data[read];
+        let lt = v < pivot;
+        // Branch-free masked accumulation, same trick as the storage scans.
+        let mask = -(i64::from(lt));
+        lo_sum += i128::from(v & mask);
+        total_sum += i128::from(v);
+        data.swap(write, read);
+        write += usize::from(lt);
+    }
+    TwoWaySums {
+        split: write,
+        lo_sum,
+        total_sum,
+    }
+}
+
+/// Sum-fused [`crack_in_two_with_rowids`].
+///
+/// # Panics
+///
+/// Panics if `data` and `rowids` have different lengths.
+pub fn crack_in_two_with_rowids_sums(
+    data: &mut [Value],
+    rowids: &mut [RowId],
+    pivot: Value,
+) -> TwoWaySums {
+    assert_eq!(
+        data.len(),
+        rowids.len(),
+        "values and rowids must be aligned"
+    );
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    let mut lo_sum = 0i128;
+    let mut total_sum = 0i128;
+    while lo < hi {
+        let v = data[lo];
+        total_sum += i128::from(v);
+        if v < pivot {
+            lo_sum += i128::from(v);
+            lo += 1;
+        } else {
+            hi -= 1;
+            data.swap(lo, hi);
+            rowids.swap(lo, hi);
+        }
+    }
+    TwoWaySums {
+        split: lo,
+        lo_sum,
+        total_sum,
+    }
+}
+
+/// Sum-fused [`crack_in_two_with_rowids_pred`].
+///
+/// # Panics
+///
+/// Panics if `data` and `rowids` have different lengths.
+pub fn crack_in_two_with_rowids_sums_pred(
+    data: &mut [Value],
+    rowids: &mut [RowId],
+    pivot: Value,
+) -> TwoWaySums {
+    assert_eq!(
+        data.len(),
+        rowids.len(),
+        "values and rowids must be aligned"
+    );
+    let mut write = 0usize;
+    let mut lo_sum = 0i128;
+    let mut total_sum = 0i128;
+    for read in 0..data.len() {
+        let v = data[read];
+        let lt = v < pivot;
+        let mask = -(i64::from(lt));
+        lo_sum += i128::from(v & mask);
+        total_sum += i128::from(v);
+        data.swap(write, read);
+        rowids.swap(write, read);
+        write += usize::from(lt);
+    }
+    TwoWaySums {
+        split: write,
+        lo_sum,
+        total_sum,
+    }
+}
+
+/// Sum-fused [`crack_in_three`]: region boundaries plus all three region
+/// sums from the single Dutch-national-flag pass. Degenerate `hi <= lo`
+/// performs one [`crack_in_two_sums`] at `lo` (empty middle, sum 0).
+pub fn crack_in_three_sums(data: &mut [Value], lo: Value, hi: Value) -> ThreeWaySums {
+    if hi <= lo {
+        let two = crack_in_two_sums(data, lo);
+        return ThreeWaySums {
+            a: two.split,
+            b: two.split,
+            sums: [two.lo_sum, 0, two.hi_sum()],
+        };
+    }
+    let mut lt = 0usize;
+    let mut i = 0usize;
+    let mut gt = data.len();
+    let mut sums = [0i128; 3];
+    while i < gt {
+        let v = data[i];
+        if v < lo {
+            sums[0] += i128::from(v);
+            data.swap(i, lt);
+            lt += 1;
+            i += 1;
+        } else if v >= hi {
+            sums[2] += i128::from(v);
+            gt -= 1;
+            data.swap(i, gt);
+        } else {
+            sums[1] += i128::from(v);
+            i += 1;
+        }
+    }
+    ThreeWaySums { a: lt, b: gt, sums }
+}
+
+/// Sum-fused [`crack_in_three_pred`]: two branch-free
+/// [`crack_in_two_sums_pred`] passes, region sums composed from the pass
+/// totals.
+pub fn crack_in_three_sums_pred(data: &mut [Value], lo: Value, hi: Value) -> ThreeWaySums {
+    if hi <= lo {
+        let two = crack_in_two_sums_pred(data, lo);
+        return ThreeWaySums {
+            a: two.split,
+            b: two.split,
+            sums: [two.lo_sum, 0, two.hi_sum()],
+        };
+    }
+    let first = crack_in_two_sums_pred(data, lo);
+    let second = crack_in_two_sums_pred(&mut data[first.split..], hi);
+    ThreeWaySums {
+        a: first.split,
+        b: first.split + second.split,
+        sums: [first.lo_sum, second.lo_sum, second.hi_sum()],
+    }
+}
+
+/// Sum-fused [`crack_in_three_with_rowids`].
+///
+/// # Panics
+///
+/// Panics if `data` and `rowids` have different lengths.
+pub fn crack_in_three_with_rowids_sums(
+    data: &mut [Value],
+    rowids: &mut [RowId],
+    lo: Value,
+    hi: Value,
+) -> ThreeWaySums {
+    assert_eq!(
+        data.len(),
+        rowids.len(),
+        "values and rowids must be aligned"
+    );
+    if hi <= lo {
+        let two = crack_in_two_with_rowids_sums(data, rowids, lo);
+        return ThreeWaySums {
+            a: two.split,
+            b: two.split,
+            sums: [two.lo_sum, 0, two.hi_sum()],
+        };
+    }
+    let mut lt = 0usize;
+    let mut i = 0usize;
+    let mut gt = data.len();
+    let mut sums = [0i128; 3];
+    while i < gt {
+        let v = data[i];
+        if v < lo {
+            sums[0] += i128::from(v);
+            data.swap(i, lt);
+            rowids.swap(i, lt);
+            lt += 1;
+            i += 1;
+        } else if v >= hi {
+            sums[2] += i128::from(v);
+            gt -= 1;
+            data.swap(i, gt);
+            rowids.swap(i, gt);
+        } else {
+            sums[1] += i128::from(v);
+            i += 1;
+        }
+    }
+    ThreeWaySums { a: lt, b: gt, sums }
+}
+
+/// Sum-fused [`crack_in_three_with_rowids_pred`].
+///
+/// # Panics
+///
+/// Panics if `data` and `rowids` have different lengths.
+pub fn crack_in_three_with_rowids_sums_pred(
+    data: &mut [Value],
+    rowids: &mut [RowId],
+    lo: Value,
+    hi: Value,
+) -> ThreeWaySums {
+    assert_eq!(
+        data.len(),
+        rowids.len(),
+        "values and rowids must be aligned"
+    );
+    if hi <= lo {
+        let two = crack_in_two_with_rowids_sums_pred(data, rowids, lo);
+        return ThreeWaySums {
+            a: two.split,
+            b: two.split,
+            sums: [two.lo_sum, 0, two.hi_sum()],
+        };
+    }
+    let first = crack_in_two_with_rowids_sums_pred(data, rowids, lo);
+    let second = crack_in_two_with_rowids_sums_pred(
+        &mut data[first.split..],
+        &mut rowids[first.split..],
+        hi,
+    );
+    ThreeWaySums {
+        a: first.split,
+        b: first.split + second.split,
+        sums: [first.lo_sum, second.lo_sum, second.hi_sum()],
+    }
+}
+
+/// Sum-fused twin of [`crack_in_k_rec`]: every recursive sweep is a fused
+/// two-way pass, and each recursion leaf records its segment's sum. The
+/// parent knows every child subrange's total (left = `lo_sum`, right =
+/// `total - lo_sum` of its own pass), so leaves with no pivots left assign
+/// `subrange_sum` without ever touching the data again — the whole segment
+/// sum vector is a by-product of the `log k` sweeps the partitioning does
+/// anyway.
+#[allow(clippy::too_many_arguments)]
+fn crack_in_k_rec_sums(
+    data: &mut [Value],
+    rowids: Option<&mut [RowId]>,
+    pivots: &[Value],
+    offset: usize,
+    subrange_sum: Option<i128>,
+    boundaries: &mut [usize],
+    segment_sums: &mut [i128],
+    predicated: bool,
+) {
+    if pivots.is_empty() {
+        segment_sums[0] = subrange_sum.expect("leaf segments always have a parent-computed sum");
+        return;
+    }
+    let mid = pivots.len() / 2;
+    let pivot = pivots[mid];
+    let mut rowids = rowids;
+    let pass = match (&mut rowids, predicated) {
+        (Some(ids), true) => crack_in_two_with_rowids_sums_pred(data, ids, pivot),
+        (Some(ids), false) => crack_in_two_with_rowids_sums(data, ids, pivot),
+        (None, true) => crack_in_two_sums_pred(data, pivot),
+        (None, false) => crack_in_two_sums(data, pivot),
+    };
+    if let Some(s) = subrange_sum {
+        debug_assert_eq!(pass.total_sum, s, "pass total must match parent");
+    }
+    boundaries[mid] = offset + pass.split;
+    let (left_data, right_data) = data.split_at_mut(pass.split);
+    let (left_ids, right_ids) = match rowids {
+        Some(ids) => {
+            let (a, b) = ids.split_at_mut(pass.split);
+            (Some(a), Some(b))
+        }
+        None => (None, None),
+    };
+    let (left_bounds, rest_bounds) = boundaries.split_at_mut(mid);
+    let (left_sums, right_sums) = segment_sums.split_at_mut(mid + 1);
+    crack_in_k_rec_sums(
+        left_data,
+        left_ids,
+        &pivots[..mid],
+        offset,
+        Some(pass.lo_sum),
+        left_bounds,
+        left_sums,
+        predicated,
+    );
+    crack_in_k_rec_sums(
+        right_data,
+        right_ids,
+        &pivots[mid + 1..],
+        offset + pass.split,
+        Some(pass.total_sum - pass.lo_sum),
+        &mut rest_bounds[1..],
+        right_sums,
+        predicated,
+    );
+}
+
+/// Shared driver of the public sum-fused `crack_in_k` variants.
+fn crack_in_k_sums_impl(
+    data: &mut [Value],
+    rowids: Option<&mut [RowId]>,
+    pivots: &[Value],
+    predicated: bool,
+) -> KWaySums {
+    assert_pivots_increasing(pivots);
+    if pivots.is_empty() {
+        return KWaySums {
+            boundaries: Vec::new(),
+            segment_sums: Vec::new(),
+        };
+    }
+    let mut boundaries = vec![0usize; pivots.len()];
+    let mut segment_sums = vec![0i128; pivots.len() + 1];
+    // The top-level total is produced by the first sweep itself; only the
+    // recursion's leaves need a parent-supplied subrange sum, and the top
+    // level always has at least one pivot here, so `None` never reaches a
+    // leaf — no pre-pass over the data.
+    crack_in_k_rec_sums(
+        data,
+        rowids,
+        pivots,
+        0,
+        None,
+        &mut boundaries,
+        &mut segment_sums,
+        predicated,
+    );
+    KWaySums {
+        boundaries,
+        segment_sums,
+    }
+}
+
+/// Sum-fused [`crack_in_k`]: boundaries plus all `k + 1` segment sums.
+///
+/// # Panics
+///
+/// Panics if `pivots` is not strictly increasing.
+pub fn crack_in_k_sums(data: &mut [Value], pivots: &[Value]) -> KWaySums {
+    crack_in_k_sums_impl(data, None, pivots, false)
+}
+
+/// Sum-fused [`crack_in_k_pred`].
+///
+/// # Panics
+///
+/// Panics if `pivots` is not strictly increasing.
+pub fn crack_in_k_sums_pred(data: &mut [Value], pivots: &[Value]) -> KWaySums {
+    crack_in_k_sums_impl(data, None, pivots, true)
+}
+
+/// Sum-fused [`crack_in_k_with_rowids`].
+///
+/// # Panics
+///
+/// Panics if `data` and `rowids` have different lengths, or if `pivots` is
+/// not strictly increasing.
+pub fn crack_in_k_with_rowids_sums(
+    data: &mut [Value],
+    rowids: &mut [RowId],
+    pivots: &[Value],
+) -> KWaySums {
+    assert_eq!(
+        data.len(),
+        rowids.len(),
+        "values and rowids must be aligned"
+    );
+    crack_in_k_sums_impl(data, Some(rowids), pivots, false)
+}
+
+/// Sum-fused [`crack_in_k_with_rowids_pred`].
+///
+/// # Panics
+///
+/// Panics if `data` and `rowids` have different lengths, or if `pivots` is
+/// not strictly increasing.
+pub fn crack_in_k_with_rowids_sums_pred(
+    data: &mut [Value],
+    rowids: &mut [RowId],
+    pivots: &[Value],
+) -> KWaySums {
+    assert_eq!(
+        data.len(),
+        rowids.len(),
+        "values and rowids must be aligned"
+    );
+    crack_in_k_sums_impl(data, Some(rowids), pivots, true)
+}
+
 /// Default piece length (in values) below which [`CrackKernel::Auto`]
 /// dispatches to the branchy kernels.
 ///
@@ -574,6 +1052,73 @@ impl CrackKernel {
         match self.choose(data.len()) {
             KernelChoice::Branchy => crack_in_k_with_rowids(data, rowids, pivots),
             KernelChoice::Predicated => crack_in_k_with_rowids_pred(data, rowids, pivots),
+        }
+    }
+
+    /// Dispatching [`crack_in_two_sums`] / [`crack_in_two_sums_pred`].
+    pub fn crack_in_two_sums(&self, data: &mut [Value], pivot: Value) -> TwoWaySums {
+        match self.choose(data.len()) {
+            KernelChoice::Branchy => crack_in_two_sums(data, pivot),
+            KernelChoice::Predicated => crack_in_two_sums_pred(data, pivot),
+        }
+    }
+
+    /// Dispatching [`crack_in_two_with_rowids_sums`] /
+    /// [`crack_in_two_with_rowids_sums_pred`].
+    pub fn crack_in_two_with_rowids_sums(
+        &self,
+        data: &mut [Value],
+        rowids: &mut [RowId],
+        pivot: Value,
+    ) -> TwoWaySums {
+        match self.choose(data.len()) {
+            KernelChoice::Branchy => crack_in_two_with_rowids_sums(data, rowids, pivot),
+            KernelChoice::Predicated => crack_in_two_with_rowids_sums_pred(data, rowids, pivot),
+        }
+    }
+
+    /// Dispatching [`crack_in_three_sums`] / [`crack_in_three_sums_pred`].
+    pub fn crack_in_three_sums(&self, data: &mut [Value], lo: Value, hi: Value) -> ThreeWaySums {
+        match self.choose(data.len()) {
+            KernelChoice::Branchy => crack_in_three_sums(data, lo, hi),
+            KernelChoice::Predicated => crack_in_three_sums_pred(data, lo, hi),
+        }
+    }
+
+    /// Dispatching [`crack_in_three_with_rowids_sums`] /
+    /// [`crack_in_three_with_rowids_sums_pred`].
+    pub fn crack_in_three_with_rowids_sums(
+        &self,
+        data: &mut [Value],
+        rowids: &mut [RowId],
+        lo: Value,
+        hi: Value,
+    ) -> ThreeWaySums {
+        match self.choose(data.len()) {
+            KernelChoice::Branchy => crack_in_three_with_rowids_sums(data, rowids, lo, hi),
+            KernelChoice::Predicated => crack_in_three_with_rowids_sums_pred(data, rowids, lo, hi),
+        }
+    }
+
+    /// Dispatching [`crack_in_k_sums`] / [`crack_in_k_sums_pred`].
+    pub fn crack_in_k_sums(&self, data: &mut [Value], pivots: &[Value]) -> KWaySums {
+        match self.choose(data.len()) {
+            KernelChoice::Branchy => crack_in_k_sums(data, pivots),
+            KernelChoice::Predicated => crack_in_k_sums_pred(data, pivots),
+        }
+    }
+
+    /// Dispatching [`crack_in_k_with_rowids_sums`] /
+    /// [`crack_in_k_with_rowids_sums_pred`].
+    pub fn crack_in_k_with_rowids_sums(
+        &self,
+        data: &mut [Value],
+        rowids: &mut [RowId],
+        pivots: &[Value],
+    ) -> KWaySums {
+        match self.choose(data.len()) {
+            KernelChoice::Branchy => crack_in_k_with_rowids_sums(data, rowids, pivots),
+            KernelChoice::Predicated => crack_in_k_with_rowids_sums_pred(data, rowids, pivots),
         }
     }
 }
@@ -1051,6 +1596,178 @@ mod tests {
             for (&v, &id) in d.iter().zip(&ids) {
                 assert_eq!(base[id as usize], v);
             }
+        }
+    }
+
+    fn slice_sum(values: &[Value]) -> i128 {
+        values.iter().map(|&v| i128::from(v)).sum()
+    }
+
+    #[test]
+    fn sum_fused_two_way_matches_plain_and_scan() {
+        let samples: &[&[Value]] = &[
+            &[],
+            &[7],
+            &[4; 10],
+            &[5, 1, 9, 3, 7, 3, 0, 10],
+            &[9, 8, 7, 6, 5, 4, 3, 2, 1, 0],
+            &[i64::MAX, i64::MIN, 0, i64::MAX, i64::MIN],
+        ];
+        for &sample in samples {
+            for pivot in [i64::MIN, -1, 0, 3, 5, 7, 100, i64::MAX] {
+                let mut plain = sample.to_vec();
+                let expected_split = crack_in_two(&mut plain, pivot);
+                let expected_lo = slice_sum(&plain[..expected_split]);
+                let expected_total = slice_sum(sample);
+                for fused in [crack_in_two_sums, crack_in_two_sums_pred] {
+                    let mut d = sample.to_vec();
+                    let got = fused(&mut d, pivot);
+                    assert_eq!(got.split, expected_split, "{sample:?} at {pivot}");
+                    assert_eq!(got.lo_sum, expected_lo, "{sample:?} at {pivot}");
+                    assert_eq!(got.total_sum, expected_total, "{sample:?} at {pivot}");
+                    assert_eq!(got.hi_sum(), expected_total - expected_lo);
+                    assert_partitioned_two(&d, got.split, pivot);
+                }
+                // Row-id forms: same sums, pairs stay aligned.
+                for pred in [false, true] {
+                    let mut d = sample.to_vec();
+                    let mut ids: Vec<RowId> = (0..sample.len() as RowId).collect();
+                    let got = if pred {
+                        crack_in_two_with_rowids_sums_pred(&mut d, &mut ids, pivot)
+                    } else {
+                        crack_in_two_with_rowids_sums(&mut d, &mut ids, pivot)
+                    };
+                    assert_eq!((got.split, got.lo_sum), (expected_split, expected_lo));
+                    for (&v, &id) in d.iter().zip(&ids) {
+                        assert_eq!(sample[id as usize], v);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_fused_three_way_matches_plain_and_scan() {
+        let sample = vec![5, 1, 9, 3, 7, 3, 0, 10, 4, 6, 2, 8];
+        for (lo, hi) in [(3, 7), (0, 11), (-5, 100), (4, 5), (7, 3), (6, 6)] {
+            let mut plain = sample.clone();
+            let (a, b) = crack_in_three(&mut plain, lo, hi);
+            let expected = [
+                slice_sum(&plain[..a]),
+                slice_sum(&plain[a..b]),
+                slice_sum(&plain[b..]),
+            ];
+            for fused in [crack_in_three_sums, crack_in_three_sums_pred] {
+                let mut d = sample.clone();
+                let got = fused(&mut d, lo, hi);
+                assert_eq!((got.a, got.b), (a, b), "[{lo},{hi})");
+                assert_eq!(got.sums, expected, "[{lo},{hi})");
+            }
+            for pred in [false, true] {
+                let mut d = sample.clone();
+                let mut ids: Vec<RowId> = (0..sample.len() as RowId).collect();
+                let got = if pred {
+                    crack_in_three_with_rowids_sums_pred(&mut d, &mut ids, lo, hi)
+                } else {
+                    crack_in_three_with_rowids_sums(&mut d, &mut ids, lo, hi)
+                };
+                assert_eq!((got.a, got.b), (a, b), "[{lo},{hi}) rowids pred={pred}");
+                assert_eq!(got.sums, expected);
+                for (&v, &id) in d.iter().zip(&ids) {
+                    assert_eq!(sample[id as usize], v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_fused_k_way_matches_plain_and_scan() {
+        let base: Vec<Value> = vec![13, 16, 4, 9, 2, 12, 7, 1, 19, 3, 14, 11, 8, 6, 9, 4];
+        for pivots in [
+            vec![5],
+            vec![3, 9],
+            vec![2, 7, 12, 15],
+            vec![-10, 0, 4, 5, 100],
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        ] {
+            let mut plain = base.clone();
+            let expected_bounds = crack_in_k(&mut plain, &pivots);
+            let mut cuts = vec![0usize];
+            cuts.extend_from_slice(&expected_bounds);
+            cuts.push(base.len());
+            let expected_sums: Vec<i128> = cuts
+                .windows(2)
+                .map(|w| slice_sum(&plain[w[0]..w[1]]))
+                .collect();
+            for fused in [crack_in_k_sums, crack_in_k_sums_pred] {
+                let mut d = base.clone();
+                let got = fused(&mut d, &pivots);
+                assert_eq!(got.boundaries, expected_bounds, "{pivots:?}");
+                assert_eq!(got.segment_sums, expected_sums, "{pivots:?}");
+            }
+            for pred in [false, true] {
+                let mut d = base.clone();
+                let mut ids: Vec<RowId> = (0..base.len() as RowId).collect();
+                let got = if pred {
+                    crack_in_k_with_rowids_sums_pred(&mut d, &mut ids, &pivots)
+                } else {
+                    crack_in_k_with_rowids_sums(&mut d, &mut ids, &pivots)
+                };
+                assert_eq!(got.boundaries, expected_bounds);
+                assert_eq!(got.segment_sums, expected_sums);
+                for (&v, &id) in d.iter().zip(&ids) {
+                    assert_eq!(base[id as usize], v);
+                }
+            }
+        }
+        // Empty pivot list and empty data.
+        let mut d = vec![3, 1, 2];
+        let got = crack_in_k_sums(&mut d, &[]);
+        assert!(got.boundaries.is_empty() && got.segment_sums.is_empty());
+        let mut empty: Vec<Value> = vec![];
+        let got = crack_in_k_sums(&mut empty, &[1, 5]);
+        assert_eq!(got.boundaries, vec![0, 0]);
+        assert_eq!(got.segment_sums, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn sum_fused_kernel_policy_dispatch() {
+        for kernel in [
+            CrackKernel::Branchy,
+            CrackKernel::Predicated,
+            CrackKernel::Auto { branchy_below: 4 },
+        ] {
+            let base = vec![5, 1, 9, 3, 7, 3, 0, 10, 4, 6];
+            let total = slice_sum(&base);
+
+            let mut d = base.clone();
+            let two = kernel.crack_in_two_sums(&mut d, 5);
+            assert_eq!(two.split, 5, "{kernel}");
+            assert_eq!(two.total_sum, total);
+            assert_eq!(two.lo_sum, slice_sum(&d[..two.split]));
+
+            let mut d = base.clone();
+            let three = kernel.crack_in_three_sums(&mut d, 3, 7);
+            assert_eq!(three.sums.iter().sum::<i128>(), total);
+
+            let mut d = base.clone();
+            let k = kernel.crack_in_k_sums(&mut d, &[3, 7]);
+            assert_eq!(k.segment_sums.iter().sum::<i128>(), total);
+            assert_eq!(k.boundaries, vec![three.a, three.b]);
+            assert_eq!(k.segment_sums, three.sums.to_vec());
+
+            let mut d = base.clone();
+            let mut ids: Vec<RowId> = (0..base.len() as RowId).collect();
+            let two = kernel.crack_in_two_with_rowids_sums(&mut d, &mut ids, 5);
+            assert_eq!(two.total_sum, total);
+            let mut d = base.clone();
+            let mut ids: Vec<RowId> = (0..base.len() as RowId).collect();
+            let three = kernel.crack_in_three_with_rowids_sums(&mut d, &mut ids, 3, 7);
+            assert_eq!(three.sums.iter().sum::<i128>(), total);
+            let mut d = base.clone();
+            let mut ids: Vec<RowId> = (0..base.len() as RowId).collect();
+            let k = kernel.crack_in_k_with_rowids_sums(&mut d, &mut ids, &[3, 7]);
+            assert_eq!(k.segment_sums.iter().sum::<i128>(), total);
         }
     }
 

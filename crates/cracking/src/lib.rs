@@ -42,14 +42,16 @@ pub mod stochastic;
 pub mod updates;
 
 pub use concurrent::{
-    BatchRefineOutcome, BatchSelectOutcome, ConcurrentCrackerColumn, LatchStats, QueryAnswer,
-    RefineOutcome, SelectOutcome,
+    AggregateCacheDelta, BatchRefineOutcome, BatchSelectOutcome, ConcurrentCrackerColumn,
+    LatchStats, QueryAnswer, RefineOutcome, SelectOutcome,
 };
-pub use cracker::CrackerColumn;
-pub use index::PieceIndex;
+pub use cracker::{CrackerColumn, RangeAggregate};
+pub use index::{PieceIndex, SplitGroup};
 pub use kernels::{
-    crack_in_k, crack_in_k_pred, crack_in_three, crack_in_three_pred, crack_in_two,
-    crack_in_two_pred, CrackKernel, KernelChoice, KernelDispatches, DEFAULT_PREDICATION_THRESHOLD,
+    crack_in_k, crack_in_k_pred, crack_in_k_sums, crack_in_k_sums_pred, crack_in_three,
+    crack_in_three_pred, crack_in_three_sums, crack_in_three_sums_pred, crack_in_two,
+    crack_in_two_pred, crack_in_two_sums, crack_in_two_sums_pred, CrackKernel, KWaySums,
+    KernelChoice, KernelDispatches, ThreeWaySums, TwoWaySums, DEFAULT_PREDICATION_THRESHOLD,
 };
 pub use merging::AdaptiveMergingIndex;
 pub use piece::Piece;

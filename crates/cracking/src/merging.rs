@@ -33,6 +33,14 @@ pub struct AdaptiveMergingIndex {
     merged: Vec<Value>,
     /// Value ranges `[lo, hi)` that are fully covered by `merged`.
     covered: Vec<(Value, Value)>,
+    /// Aggregate cache over `merged`: `merged_prefix[i]` is the sum of
+    /// `merged[..i]`. Rebuilt lazily (`prefix_dirty`) after merges, so
+    /// covered count/sum queries are answered from metadata — two binary
+    /// searches and a prefix difference, zero value reads — the
+    /// merging-side analogue of the cracker's per-piece sums.
+    merged_prefix: Vec<i128>,
+    /// Whether `merged_prefix` is stale relative to `merged`.
+    prefix_dirty: bool,
     stats: MergeStats,
 }
 
@@ -59,6 +67,8 @@ impl AdaptiveMergingIndex {
             runs,
             merged: Vec::new(),
             covered: Vec::new(),
+            merged_prefix: vec![0],
+            prefix_dirty: false,
             stats: MergeStats::default(),
         }
     }
@@ -108,6 +118,57 @@ impl AdaptiveMergingIndex {
         cursor >= hi
     }
 
+    /// Makes `[lo, hi)` fully served by the final index, draining the
+    /// qualifying values out of the runs if needed (the merge step shared
+    /// by all query flavours).
+    fn ensure_merged(&mut self, lo: Value, hi: Value) {
+        if self.is_covered(lo, hi) {
+            return;
+        }
+        // Drain qualifying values from every run into the final index.
+        let mut harvested: Vec<Value> = Vec::new();
+        for run in &mut self.runs {
+            let start = run.partition_point(|&v| v < lo);
+            let end = run.partition_point(|&v| v < hi);
+            if end > start {
+                harvested.extend(run.drain(start..end));
+            }
+            self.stats.values_touched += 2 * (run.len().max(1) as u64).ilog2() as u64 + 1;
+        }
+        self.stats.values_merged += harvested.len() as u64;
+        if !harvested.is_empty() {
+            harvested.sort_unstable();
+            let merged = std::mem::take(&mut self.merged);
+            self.merged = merge_sorted(merged, harvested);
+            self.prefix_dirty = true;
+        }
+        self.covered.push((lo, hi));
+    }
+
+    /// The `merged` sub-range holding `[lo, hi)` (two binary searches).
+    fn merged_bounds(&self, lo: Value, hi: Value) -> (usize, usize) {
+        (
+            self.merged.partition_point(|&v| v < lo),
+            self.merged.partition_point(|&v| v < hi),
+        )
+    }
+
+    /// Rebuilds the prefix-sum cache if merges made it stale.
+    fn refresh_prefix(&mut self) {
+        if !self.prefix_dirty {
+            return;
+        }
+        self.merged_prefix.clear();
+        self.merged_prefix.reserve(self.merged.len() + 1);
+        self.merged_prefix.push(0);
+        let mut acc = 0i128;
+        for &v in &self.merged {
+            acc += i128::from(v);
+            self.merged_prefix.push(acc);
+        }
+        self.prefix_dirty = false;
+    }
+
     /// Answers the range query `[lo, hi)`, returning the qualifying values
     /// in sorted order. Values that had not been merged yet are moved out of
     /// their runs into the final index as a side effect.
@@ -116,34 +177,39 @@ impl AdaptiveMergingIndex {
         if hi <= lo {
             return Vec::new();
         }
-        if !self.is_covered(lo, hi) {
-            // Drain qualifying values from every run into the final index.
-            let mut harvested: Vec<Value> = Vec::new();
-            for run in &mut self.runs {
-                let start = run.partition_point(|&v| v < lo);
-                let end = run.partition_point(|&v| v < hi);
-                if end > start {
-                    harvested.extend(run.drain(start..end));
-                }
-                self.stats.values_touched += 2 * (run.len().max(1) as u64).ilog2() as u64 + 1;
-            }
-            self.stats.values_merged += harvested.len() as u64;
-            if !harvested.is_empty() {
-                harvested.sort_unstable();
-                let merged = std::mem::take(&mut self.merged);
-                self.merged = merge_sorted(merged, harvested);
-            }
-            self.covered.push((lo, hi));
-        }
-        let start = self.merged.partition_point(|&v| v < lo);
-        let end = self.merged.partition_point(|&v| v < hi);
+        self.ensure_merged(lo, hi);
+        let (start, end) = self.merged_bounds(lo, hi);
         self.stats.values_touched += (end - start) as u64;
         self.merged[start..end].to_vec()
     }
 
-    /// Counts the qualifying values for `[lo, hi)` (merging as a side effect).
+    /// Counts the qualifying values for `[lo, hi)` (merging as a side
+    /// effect). Once the range is covered this is pure metadata: two binary
+    /// searches on the final index, no value reads.
     pub fn query_count(&mut self, lo: Value, hi: Value) -> u64 {
-        self.query(lo, hi).len() as u64
+        self.stats.queries += 1;
+        if hi <= lo {
+            return 0;
+        }
+        self.ensure_merged(lo, hi);
+        let (start, end) = self.merged_bounds(lo, hi);
+        (end - start) as u64
+    }
+
+    /// Sums the qualifying values for `[lo, hi)` (merging as a side
+    /// effect). Served from the lazily rebuilt prefix-sum cache: once the
+    /// range is covered and the cache is fresh, the answer is a prefix
+    /// difference — zero value reads, the merging-side analogue of the
+    /// cracker's per-piece aggregate cache.
+    pub fn query_sum(&mut self, lo: Value, hi: Value) -> i128 {
+        self.stats.queries += 1;
+        if hi <= lo {
+            return 0;
+        }
+        self.ensure_merged(lo, hi);
+        self.refresh_prefix();
+        let (start, end) = self.merged_bounds(lo, hi);
+        self.merged_prefix[end] - self.merged_prefix[start]
     }
 
     /// Whether every value has been merged into the final index.
@@ -271,5 +337,32 @@ mod tests {
     #[should_panic(expected = "run size must be positive")]
     fn zero_run_size_panics() {
         let _ = AdaptiveMergingIndex::new(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    fn query_sum_matches_scan_and_stays_coherent_across_merges() {
+        let values = data();
+        let mut idx = AdaptiveMergingIndex::new(&values, 4);
+        let scan = |lo: Value, hi: Value| -> i128 {
+            values
+                .iter()
+                .filter(|&&v| v >= lo && v < hi)
+                .map(|&v| i128::from(v))
+                .sum()
+        };
+        // Cold: the sum query itself triggers the merge.
+        assert_eq!(idx.query_sum(10, 60), scan(10, 60));
+        // Covered: answered from the prefix cache; later merges must
+        // invalidate and rebuild it.
+        assert_eq!(idx.query_sum(20, 50), scan(20, 50));
+        assert_eq!(idx.query_sum(40, 95), scan(40, 95));
+        assert_eq!(idx.query_sum(0, 100), scan(0, 100));
+        assert!(idx.fully_merged());
+        assert_eq!(idx.query_sum(0, 100), scan(0, 100));
+        // Degenerate ranges.
+        assert_eq!(idx.query_sum(50, 50), 0);
+        assert_eq!(idx.query_sum(80, 20), 0);
+        // Counts agree with the materializing path.
+        assert_eq!(idx.query_count(10, 60), idx.query(10, 60).len() as u64);
     }
 }

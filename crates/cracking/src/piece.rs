@@ -8,6 +8,19 @@ use crate::Value;
 /// guaranteed to only contain values `v` with `lo <= v < hi`, where `None`
 /// bounds mean "unbounded". Physical order of pieces equals value order:
 /// every value in a piece is smaller than every value in the next piece.
+///
+/// # Aggregate cache
+///
+/// `sum` caches the sum of the piece's values. `count` needs no cache: it is
+/// implicit in the extent (`end - start`). Cached sums are produced as fused
+/// by-products of the crack kernels' partitioning sweeps (never by an extra
+/// pass over the data) and are patched by the update-merge path, so a
+/// `Some` sum is *always* trusted — the structural invariant, checked by
+/// [`Piece::validate`], is that it equals the sum of `data[start..end]`.
+/// `None` means unknown (e.g. a piece split out of a sorted piece by binary
+/// search, which touches no data). Because a cached sum is fully determined
+/// by the piece's contents, it participates in equality: two identically
+/// cracked columns have identical cached sums.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Piece {
     /// First position covered by the piece (inclusive).
@@ -20,6 +33,8 @@ pub struct Piece {
     pub hi: Option<Value>,
     /// Whether the piece is known to be internally sorted.
     pub sorted: bool,
+    /// Cached sum of the piece's values, `None` = unknown.
+    pub sum: Option<i128>,
 }
 
 impl Piece {
@@ -32,6 +47,7 @@ impl Piece {
             lo: None,
             hi: None,
             sorted: false,
+            sum: None,
         }
     }
 
@@ -53,7 +69,8 @@ impl Piece {
         self.lo.is_none_or(|lo| v >= lo) && self.hi.is_none_or(|hi| v < hi)
     }
 
-    /// Checks that every value in `data[start..end]` respects the bounds.
+    /// Checks that every value in `data[start..end]` respects the bounds
+    /// and that a cached sum, if present, matches the data.
     #[must_use]
     pub fn validate(&self, data: &[Value]) -> bool {
         if self.end > data.len() || self.start > self.end {
@@ -65,6 +82,11 @@ impl Piece {
         }
         if self.sorted && !slice.windows(2).all(|w| w[0] <= w[1]) {
             return false;
+        }
+        if let Some(sum) = self.sum {
+            if sum != slice.iter().map(|&v| i128::from(v)).sum::<i128>() {
+                return false;
+            }
         }
         true
     }
@@ -92,6 +114,7 @@ mod tests {
             lo: Some(10),
             hi: Some(20),
             sorted: false,
+            sum: None,
         };
         assert!(p.admits(10));
         assert!(p.admits(19));
@@ -108,6 +131,7 @@ mod tests {
             lo: Some(10),
             hi: Some(20),
             sorted: false,
+            sum: None,
         };
         assert!(good.validate(&data));
         let bad_bound = Piece {
@@ -128,10 +152,43 @@ mod tests {
             lo: None,
             hi: None,
             sorted: true,
+            sum: None,
         };
         assert!(!p.validate(&data));
         let sorted_data = vec![1, 2, 3];
         assert!(p.validate(&sorted_data));
+    }
+
+    #[test]
+    fn validate_checks_cached_sum() {
+        let data = vec![12, 15, 11, 19];
+        let good = Piece {
+            start: 0,
+            end: 4,
+            lo: Some(10),
+            hi: Some(20),
+            sorted: false,
+            sum: Some(12 + 15 + 11 + 19),
+        };
+        assert!(good.validate(&data));
+        let stale = Piece {
+            sum: Some(999),
+            ..good
+        };
+        assert!(!stale.validate(&data));
+        // An unknown sum is always admissible.
+        let unknown = Piece { sum: None, ..good };
+        assert!(unknown.validate(&data));
+        // Empty pieces must cache zero (or nothing).
+        let empty = Piece {
+            start: 2,
+            end: 2,
+            lo: None,
+            hi: None,
+            sorted: false,
+            sum: Some(0),
+        };
+        assert!(empty.validate(&data));
     }
 
     #[test]

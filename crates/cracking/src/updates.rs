@@ -163,6 +163,13 @@ impl UpdatableCrackerColumn {
 
     /// Ripple insertion: makes room for `v` inside the piece that admits it
     /// by shifting one slot through every following piece.
+    ///
+    /// Aggregate-cache coherence: the ripple only rotates values *within*
+    /// each intermediate piece (every piece's value multiset is preserved),
+    /// so the only cached sum that changes is the target piece's, which is
+    /// patched by `v`. The last piece's cache — invalidated by
+    /// [`PieceIndex::grow`] while the appended slot transiently lives there
+    /// — is restored once the ripple has moved the slot down to its target.
     fn ripple_insert(&mut self, v: Value) {
         let rowid = self.next_rowid;
         self.next_rowid = self.next_rowid.wrapping_add(1);
@@ -173,6 +180,10 @@ impl UpdatableCrackerColumn {
                 rowids.push(rowid as RowId);
             }
             index.grow(1);
+            // The fresh single piece holds exactly the inserted value.
+            if let Some(p) = index.pieces_mut().last_mut() {
+                p.sum = Some(i128::from(v));
+            }
             return;
         }
         let target = index
@@ -195,12 +206,17 @@ impl UpdatableCrackerColumn {
             }
         }
         // Open a free slot at the very end of the array.
+        let saved_last_sum = index
+            .pieces()
+            .last()
+            .expect("non-empty index has pieces")
+            .sum;
         data.push(v); // placeholder, overwritten below unless target is last
         let mut rowids = rowids;
         if let Some(r) = rowids.as_deref_mut() {
             r.push(rowid as RowId);
         }
-        index.grow(1);
+        index.grow(1); // invalidates the last piece's cached sum
         let pieces = index.pieces_mut();
         let last = pieces.len() - 1;
         // The free slot currently sits at the end of the last piece. Ripple
@@ -225,6 +241,11 @@ impl UpdatableCrackerColumn {
         if let Some(r) = rowids {
             r[free_slot] = rowid as RowId;
         }
+        // Every rippled piece kept its value multiset, so their cached sums
+        // are still exact: restore the last piece's (cleared by `grow`) and
+        // patch the target's, which is the only piece that gained a value.
+        pieces[last].sum = saved_last_sum;
+        pieces[target].sum = pieces[target].sum.map(|s| s + i128::from(v));
         // Any piece we rotated is no longer guaranteed to be sorted.
         for p in pieces.iter_mut().skip(target) {
             p.sorted = false;
@@ -257,6 +278,9 @@ impl UpdatableCrackerColumn {
         }
         hole = last_of_piece;
         pieces[target].sorted = false;
+        // The ripple below preserves every other piece's value multiset;
+        // only the target loses `v` — patch its cached sum accordingly.
+        pieces[target].sum = pieces[target].sum.map(|s| s - i128::from(v));
         // Ripple the hole through the following pieces: each piece hands its
         // first slot to the previous piece's hole and re-opens the hole at
         // its own end.
@@ -436,6 +460,73 @@ mod tests {
         }
         u.merge_all();
         assert_eq!(u.count(0, 2000), reference.len() as u64);
+    }
+
+    /// Every cached piece sum must equal a fresh scan of the piece's slice.
+    fn assert_sums_match_fresh_scan(u: &UpdatableCrackerColumn) {
+        let data = u.cracker().data();
+        for (i, p) in u.cracker().pieces().iter().enumerate() {
+            if let Some(sum) = p.sum {
+                let fresh: i128 = data[p.start..p.end].iter().map(|&v| i128::from(v)).sum();
+                assert_eq!(sum, fresh, "piece {i} cached sum diverged from data");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_cache_stays_coherent_through_interleaved_updates() {
+        // Regression for the update-merge path: ripple insertion/deletion
+        // must patch the per-piece sums (target piece only; rippled pieces
+        // keep their multiset), so cached aggregates never go stale.
+        let mut reference: Vec<Value> = (0..300i64).map(|i| (i * 73) % 700).collect();
+        let mut u = UpdatableCrackerColumn::from_values_with_rowids(reference.clone());
+        // Crack a few times so the cache is populated before updates hit it.
+        for &(lo, hi) in &[(50, 200), (400, 650), (0, 700)] {
+            let _ = u.select(lo, hi);
+        }
+        assert!(u.cracker().cached_sum_pieces() > 0, "cache must be seeded");
+        let scan_sum = |values: &[Value], lo: Value, hi: Value| -> i128 {
+            values
+                .iter()
+                .filter(|&&v| v >= lo && v < hi)
+                .map(|&v| i128::from(v))
+                .sum()
+        };
+        for step in 0usize..60 {
+            let lo = (step as Value * 31) % 650;
+            let hi = lo + 50;
+            match step % 4 {
+                0 => {
+                    let v = (step as Value * 17) % 700;
+                    u.insert(v);
+                    reference.push(v);
+                }
+                1 => {
+                    let v = reference[(step * 7) % reference.len()];
+                    u.delete(v);
+                    let pos = reference.iter().position(|&x| x == v).unwrap();
+                    reference.remove(pos);
+                }
+                _ => {}
+            }
+            let r = u.select(lo, hi);
+            assert_eq!(
+                r.end - r.start,
+                reference.iter().filter(|&&v| v >= lo && v < hi).count(),
+                "count at step {step}"
+            );
+            // The cached aggregate equals a fresh scan of the reference.
+            let agg = u.cracker().aggregate_range(r, lo, hi);
+            assert_eq!(agg.sum, scan_sum(&reference, lo, hi), "sum at step {step}");
+            assert_sums_match_fresh_scan(&u);
+            assert!(u.validate(), "invariants at step {step}");
+        }
+        u.merge_all();
+        assert_sums_match_fresh_scan(&u);
+        let r = u.select(0, 1000);
+        let agg = u.cracker().aggregate_range(r, 0, 1000);
+        assert_eq!(agg.sum, scan_sum(&reference, 0, 1000));
+        assert_eq!(agg.count as usize, reference.len());
     }
 
     #[test]
