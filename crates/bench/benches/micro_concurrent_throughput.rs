@@ -118,6 +118,7 @@ fn run_config(workload: Workload, threads: usize, with_tuner: bool, n: usize) ->
                 idle_threshold: std::time::Duration::ZERO,
                 batch_actions: 64,
                 poll_interval: std::time::Duration::from_micros(200),
+                seed_prefix_sums: true,
             },
         )
     });

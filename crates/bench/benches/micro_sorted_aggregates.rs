@@ -1,0 +1,238 @@
+//! Sorted-piece aggregate throughput: the prefix-sum answer path vs. the
+//! masked-scan fallback it replaces, with the cracked-column cache path for
+//! reference.
+//!
+//! PR 4's per-piece aggregate cache left a gap the ROADMAP recorded: the
+//! strategies that invest the *most* in ordering — `sort_fully`, the
+//! offline `SortedIndex`, the online soft index — got the *least* from the
+//! cache, because binary-search splits of sorted pieces produced no sums
+//! and the answer path fell back to the masked scan (reported as
+//! partial/miss). Per-piece prefix sums close the gap: an aggregate whose
+//! bounds land inside a sorted piece is two binary searches and one
+//! subtraction, zero data-array reads.
+//!
+//! Three column-level paths, measured warm (same query set replayed) and
+//! cold (every pass uses fresh bounds):
+//!
+//! * **sorted masked-scan** — the pre-prefix fallback, reproduced exactly:
+//!   binary-search the position range on the sorted column, then run the
+//!   storage layer's chunked masked-sum kernel over the result range;
+//! * **sorted prefix** — the live path: `select_with_policy` on a
+//!   `sort_fully`'d column, answered read-only under the shared latch from
+//!   prefix differences (no splits, no data reads);
+//! * **cracked cache** — PR 4's path on a query-warmed cracked column
+//!   (whole-piece cached sums), for reference.
+//!
+//! A second section measures the engine's Offline strategy end-to-end:
+//! `SortedIndex::range_sum` (the qualifying-slice scan the Offline/Online
+//! answer path used before) vs. `Database::execute` on a prepared engine
+//! (prefix-backed `query_sum`).
+//!
+//! Scale knobs: `HOLISTIC_SCALE` (rows, default 1,000,000) and
+//! `HOLISTIC_QUERIES` (distinct queries per config, default 1,000).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use holistic_bench::uniform_column;
+use holistic_core::{Database, HolisticConfig, IndexingStrategy, Query};
+use holistic_cracking::{ConcurrentCrackerColumn, CrackPolicy, CrackerColumn};
+use holistic_offline::{SortedIndex, WorkloadSummary};
+use holistic_workload::{QueryGenerator, UniformRangeGenerator};
+
+const SELECTIVITY: f64 = 0.01;
+/// Measured repetitions of the full query set (the zero-read paths are fast
+/// enough that a single pass is timer noise).
+const REPS: usize = 5;
+
+fn scale() -> usize {
+    std::env::var("HOLISTIC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+fn query_count() -> usize {
+    std::env::var("HOLISTIC_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000)
+}
+
+fn bounds(n: usize, count: usize, seed: u64) -> Vec<(i64, i64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UniformRangeGenerator::new(0, 1, n as i64 + 1, SELECTIVITY);
+    (0..count)
+        .map(|_| {
+            let q = g.next_query(&mut rng);
+            (q.lo, q.hi)
+        })
+        .collect()
+}
+
+/// Best-of-3 wall time of `f` run over `reps` passes, reported as aggregate
+/// queries/second. `f` receives the pass number so cold paths can switch to
+/// fresh bounds every pass.
+fn measure(count: usize, reps: usize, mut f: impl FnMut(usize)) -> f64 {
+    let mut best = f64::MAX;
+    for round in 0..3 {
+        let start = Instant::now();
+        for rep in 0..reps {
+            f(round * reps + rep);
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (count * reps) as f64 / best
+}
+
+fn main() {
+    let n = scale();
+    let qcount = query_count();
+    // 15 disjoint bound sets: one warm set plus fresh sets for cold passes.
+    let sets: Vec<Vec<(i64, i64)>> = (0..15u64).map(|i| bounds(n, qcount, 0x5EED + i)).collect();
+    let warm = &sets[0];
+    println!(
+        "micro_sorted_aggregates: {n} rows, {qcount} distinct queries x {REPS} reps, \
+         {:.1}% selectivity",
+        SELECTIVITY * 100.0,
+    );
+
+    // ------------------------------------------------------------------
+    // Column-level answer paths on the same sorted data.
+    // ------------------------------------------------------------------
+    let mut sorted = CrackerColumn::from_values(uniform_column(n, 0xBA7C4));
+    sorted.sort_fully();
+    let sorted_data: Vec<i64> = sorted.data().to_vec();
+    let sorted = ConcurrentCrackerColumn::new(sorted);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // The pre-prefix fallback: resolve by binary search, masked-scan the
+    // result range (what a split sorted piece's sum-less children paid).
+    let scan_fallback = |qs: &[(i64, i64)]| {
+        for &(lo, hi) in qs {
+            let start = sorted_data.partition_point(|&x| x < lo);
+            let end = sorted_data.partition_point(|&x| x < hi);
+            let sum = holistic_storage::scan_sum(&sorted_data[start..end], lo, hi);
+            std::hint::black_box((end - start, sum));
+        }
+    };
+    let scan_warm = measure(qcount, REPS, |_| scan_fallback(warm));
+    let scan_cold = measure(qcount, REPS, |pass| scan_fallback(&sets[pass % 15]));
+
+    // The live path: read-only prefix answers under the shared latch.
+    let prefix_path = |qs: &[(i64, i64)], rng: &mut StdRng| {
+        for &(lo, hi) in qs {
+            let out = sorted.select_with_policy(lo, hi, false, CrackPolicy::Standard, rng);
+            std::hint::black_box((out.count, out.sum));
+        }
+    };
+    let prefix_warm = measure(qcount, REPS, |_| prefix_path(warm, &mut rng));
+    let prefix_cold = measure(qcount, REPS, |pass| prefix_path(&sets[pass % 15], &mut rng));
+    let stats = sorted.latch_stats();
+    assert_eq!(
+        stats.exclusive_selects, 0,
+        "sorted path must stay read-only"
+    );
+    assert_eq!(
+        stats.aggregate_partials + stats.aggregate_misses,
+        0,
+        "sorted path must never fall back"
+    );
+
+    // PR 4's reference: whole-piece cached sums on a query-warmed cracked
+    // column (warm only — its cold pass would measure cracking, which
+    // micro_batch_throughput already covers).
+    let cracked = ConcurrentCrackerColumn::from_values(uniform_column(n, 0xBA7C4));
+    for &(lo, hi) in warm {
+        let _ = cracked.select_with_policy(lo, hi, false, CrackPolicy::Standard, &mut rng);
+    }
+    let cracked_warm = measure(qcount, REPS, |_| {
+        for &(lo, hi) in warm {
+            let out = cracked.select_with_policy(lo, hi, false, CrackPolicy::Standard, &mut rng);
+            std::hint::black_box((out.count, out.sum));
+        }
+    });
+
+    println!("\ncolumn answer paths (count/sum only, queries/s):");
+    println!(
+        "{:<26} {:>14} {:>14} {:>10} {:>10}",
+        "path", "warm q/s", "cold q/s", "warm x", "cold x"
+    );
+    println!(
+        "{:<26} {:>14.0} {:>14.0} {:>9.2}x {:>9.2}x",
+        "sorted masked-scan", scan_warm, scan_cold, 1.0, 1.0
+    );
+    println!(
+        "{:<26} {:>14.0} {:>14.0} {:>9.2}x {:>9.2}x",
+        "sorted prefix",
+        prefix_warm,
+        prefix_cold,
+        prefix_warm / scan_warm.max(1e-9),
+        prefix_cold / scan_cold.max(1e-9)
+    );
+    println!(
+        "{:<26} {:>14.0} {:>14} {:>9.2}x {:>10}",
+        "cracked cache (PR 4)",
+        cracked_warm,
+        "-",
+        cracked_warm / scan_warm.max(1e-9),
+        "-"
+    );
+    println!(
+        "sorted column cache: {} hits, {} prefix, {} partial, {} misses",
+        stats.aggregate_hits,
+        stats.aggregate_prefix,
+        stats.aggregate_partials,
+        stats.aggregate_misses
+    );
+
+    // ------------------------------------------------------------------
+    // Engine-level Offline strategy: prefix-backed index probes vs. the
+    // qualifying-slice scan the pre-prefix answer path performed.
+    // ------------------------------------------------------------------
+    let index = SortedIndex::build_from_values(&uniform_column(n, 0xBA7C4));
+    let index_scan_qps = measure(qcount, REPS, |_| {
+        for &(lo, hi) in warm {
+            std::hint::black_box((index.count(lo, hi), index.range_sum(lo, hi)));
+        }
+    });
+
+    let mut db = Database::new(HolisticConfig::default(), IndexingStrategy::Offline);
+    let table = db
+        .create_table("r", vec![("a", uniform_column(n, 0xBA7C4))])
+        .expect("create table");
+    let col = db.column_id(table, "a").expect("column id");
+    let mut workload = WorkloadSummary::new();
+    workload.declare(col, qcount as u64, SELECTIVITY);
+    db.prepare_offline(&workload, None);
+    let stream: Vec<Query> = warm
+        .iter()
+        .map(|&(lo, hi)| Query::range(col, lo, hi))
+        .collect();
+    db.reset_metrics();
+    let engine_qps = measure(stream.len(), REPS, |_| {
+        for q in &stream {
+            let r = db.execute(q).expect("query");
+            std::hint::black_box(r.sum);
+        }
+    });
+    let cache = db.metrics().aggregate_cache();
+    println!("\noffline strategy (full sorted index, warm):");
+    println!("{:<26} {:>14} {:>10}", "path", "queries/s", "vs scan");
+    println!(
+        "{:<26} {:>14.0} {:>9.2}x",
+        "index range_sum (scan)", index_scan_qps, 1.0
+    );
+    println!(
+        "{:<26} {:>14.0} {:>9.2}x",
+        "engine execute (prefix)",
+        engine_qps,
+        engine_qps / index_scan_qps.max(1e-9)
+    );
+    println!(
+        "aggregate cache: {} hits, {} prefix, {} partial, {} misses, {} values scanned",
+        cache.hits, cache.prefix, cache.partials, cache.misses, cache.scanned_values
+    );
+}

@@ -380,8 +380,8 @@ impl Database {
             // after an Online-to-Offline strategy switch).
             let tuner_index = self.online.lock().index_arc(q.column);
             if let Some(idx) = tuner_index {
-                let r = Self::exec_with_index(q, &idx);
-                Ok((AccessPath::FullIndex, r.0, r.1, r.2))
+                let (count, sum, values) = self.exec_with_index(q, &idx);
+                Ok((AccessPath::FullIndex, count, sum, values))
             } else {
                 self.exec_scan(q)
             }
@@ -442,9 +442,28 @@ impl Database {
         Ok((AccessPath::Scan, count, sum, out))
     }
 
-    fn exec_with_index(q: &Query, idx: &SortedIndex) -> (u64, i128, Option<Vec<Value>>) {
-        let count = idx.count(q.lo, q.hi);
-        let sum = idx.range_sum(q.lo, q.hi);
+    /// Answers a query from a full sorted index. The count is two binary
+    /// searches; the sum comes from the index's prefix-sum array
+    /// ([`SortedIndex::query_sum`] — zero value reads, recorded as a
+    /// `prefix` cache hit) and only falls back to the qualifying-slice scan
+    /// (recorded as a miss with its read volume) while the array is
+    /// unseeded. Materialization always reads the slice; like everywhere
+    /// else, those reads are not charged to the aggregate cache.
+    fn exec_with_index(&self, q: &Query, idx: &SortedIndex) -> (u64, i128, Option<Vec<Value>>) {
+        let count = idx.query_count(q.lo, q.hi);
+        let mut delta = holistic_cracking::AggregateCacheDelta::default();
+        let sum = match idx.query_sum(q.lo, q.hi) {
+            Some(sum) => {
+                delta.prefix += 1;
+                sum
+            }
+            None => {
+                delta.misses += 1;
+                delta.scanned_values += count;
+                idx.range_sum(q.lo, q.hi)
+            }
+        };
+        self.metrics.record_aggregate_cache(delta);
         let values = q.materialize.then(|| idx.range_values(q.lo, q.hi).to_vec());
         (count, sum, values)
     }
@@ -454,7 +473,7 @@ impl Database {
             .full_indexes
             .get(&q.column)
             .expect("caller checked index existence");
-        let (count, sum, values) = Self::exec_with_index(q, idx);
+        let (count, sum, values) = self.exec_with_index(q, idx);
         Ok((AccessPath::FullIndex, count, sum, values))
     }
 
@@ -846,10 +865,15 @@ impl Database {
     // ------------------------------------------------------------------
 
     /// Builds a full sorted index on one column, returning the build time.
+    ///
+    /// The index's prefix-sum array is seeded as part of the build (and of
+    /// the reported build time), so offline preparation hands queries an
+    /// index whose aggregates are zero-read from the first probe.
     pub fn build_full_index(&mut self, column: ColumnId) -> EngineResult<Duration> {
         let start = Instant::now();
         let base = self.catalog.column(column)?;
         let index = SortedIndex::build(base);
+        index.seed_prefix();
         let elapsed = start.elapsed();
         self.full_indexes.insert(column, index);
         self.metrics.add_build_time(elapsed);
@@ -916,6 +940,40 @@ impl Database {
     /// have to wait for indexing to finish").
     pub fn charge_pending_penalty(&self, penalty: Duration) {
         *self.pending_penalty.lock() += penalty;
+    }
+
+    /// Seeds prefix-sum arrays across every auxiliary structure that lacks
+    /// one: sorted pieces of the cracker columns (under their write
+    /// latches), offline-built full indexes, and the online tuner's
+    /// indexes. Returns how many structures were seeded.
+    ///
+    /// Takes `&self` — this is an idle-time action (the [`BackgroundTuner`]
+    /// runs it when enabled), so it must ride the shared engine lock like
+    /// `run_idle`. It is cheap when there is nothing to do: one metadata
+    /// walk per column plus a `OnceLock` probe per index.
+    ///
+    /// [`BackgroundTuner`]: crate::background::BackgroundTuner
+    pub fn seed_prefix_sums(&self) -> u64 {
+        let mut seeded = 0u64;
+        let crackers: Vec<Arc<ConcurrentCrackerColumn>> =
+            self.crackers.read().values().map(Arc::clone).collect();
+        for cracker in crackers {
+            seeded += cracker.seed_prefix_sums() as u64;
+        }
+        for index in self.full_indexes.values() {
+            if index.seed_prefix() {
+                seeded += 1;
+            }
+        }
+        // Clone the Arcs under the tuner lock, seed outside it (the build
+        // is a full pass over the indexed values).
+        let tuner_indexes = self.online.lock().index_arcs();
+        for index in tuner_indexes {
+            if index.seed_prefix() {
+                seeded += 1;
+            }
+        }
+        seeded
     }
 }
 
@@ -1437,6 +1495,71 @@ mod tests {
         let cache = db.metrics().aggregate_cache();
         assert_eq!(cache.hits, 2 + 4);
         assert_eq!(cache.scanned_values, 0);
+    }
+
+    #[test]
+    fn full_index_aggregates_answer_from_the_prefix() {
+        // Offline preparation seeds the index's prefix-sum array, so every
+        // indexed count/sum probe is zero-read and reported as a prefix hit.
+        let (mut db, col, values) = setup(IndexingStrategy::Offline, 4000);
+        let mut workload = WorkloadSummary::new();
+        workload.declare(col, 1000, 0.01);
+        db.prepare_offline(&workload, None);
+        for i in 0..6 {
+            let r = db
+                .execute(&Query::range(col, i * 500, i * 500 + 120))
+                .unwrap();
+            assert_eq!(r.path, AccessPath::FullIndex);
+            let expected: i128 = values
+                .iter()
+                .filter(|&&v| (i * 500..i * 500 + 120).contains(&v))
+                .map(|&v| i128::from(v))
+                .sum();
+            assert_eq!(r.sum, expected);
+        }
+        let cache = db.metrics().aggregate_cache();
+        assert_eq!(cache.prefix, 6, "every indexed aggregate is a prefix hit");
+        assert_eq!(cache.partials + cache.misses, 0);
+        assert_eq!(cache.scanned_values, 0);
+    }
+
+    #[test]
+    fn online_tuner_indexes_are_prefix_seeded_on_build() {
+        let values = dataset(50_000);
+        let mut config = HolisticConfig::for_testing();
+        config.epoch_length = 10;
+        let mut db = Database::new(config, IndexingStrategy::Online);
+        let t = db.create_table("r", vec![("a", values)]).unwrap();
+        let col = db.column_id(t, "a").unwrap();
+        for i in 0..40 {
+            db.execute(&Query::range(col, (i % 10) * 100, (i % 10) * 100 + 50))
+                .unwrap();
+        }
+        assert_eq!(
+            db.execute(&Query::range(col, 0, 50)).unwrap().path,
+            AccessPath::FullIndex
+        );
+        db.reset_metrics();
+        db.execute(&Query::range(col, 300, 800)).unwrap();
+        let cache = db.metrics().aggregate_cache();
+        assert_eq!(cache.prefix, 1, "tuner-built index was seeded at build");
+        assert_eq!(cache.scanned_values, 0);
+    }
+
+    #[test]
+    fn seed_prefix_sums_covers_crackers_and_indexes() {
+        let (mut db, col, _) = setup(IndexingStrategy::Adaptive, 2000);
+        // A cracked (unsorted) column has nothing to seed.
+        db.execute(&Query::range(col, 100, 200)).unwrap();
+        assert_eq!(db.seed_prefix_sums(), 0);
+        // An index built through build_full_index is seeded eagerly…
+        db.build_full_index(col).unwrap();
+        assert_eq!(db.seed_prefix_sums(), 0, "already seeded at build");
+        // …and a second column's index dropped/rebuilt path stays covered.
+        let t = db.catalog.table_id("r").unwrap();
+        let col_b = db.column_id(t, "b").unwrap();
+        db.build_full_index(col_b).unwrap();
+        assert_eq!(db.seed_prefix_sums(), 0);
     }
 
     #[test]

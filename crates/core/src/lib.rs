@@ -34,24 +34,46 @@
 //! (`Arc<parking_lot::RwLock<Database>>`) serves query traffic and the
 //! background tuner through `db.read()` while only structural operations
 //! (schema changes, full-index builds, strategy switches) take
-//! `db.write()`.
+//! `db.write()`. The full design — latch hierarchy, kernel dispatch,
+//! aggregate-cache coherence — is documented in the repository's
+//! `ARCHITECTURE.md`.
+//!
+//! # Quickstart
+//!
+//! The happy path, end to end (`examples/quickstart.rs` is the same
+//! sequence at full scale, with timing output):
 //!
 //! ```
-//! use holistic_core::{Database, HolisticConfig, IndexingStrategy, Query, IdleBudget};
+//! use holistic_core::{Database, HolisticConfig, IdleBudget, IndexingStrategy, Query};
 //!
-//! // `for_testing()` lowers the cache-resident piece target so that idle
-//! // refinement is still worthwhile on this small example column.
+//! // 1. Create an engine that uses holistic indexing for its selects.
+//! //    `for_testing()` lowers the cache-resident piece target so idle
+//! //    refinement is still worthwhile on this small doctest column.
 //! let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
-//! let table = db.create_table("r", vec![("a", (0..10_000).rev().collect())]).unwrap();
-//! let col = db.column_id(table, "a").unwrap();
 //!
-//! // Queries crack the column incrementally…
-//! let result = db.execute(&Query::range(col, 1_000, 1_100)).unwrap();
-//! assert_eq!(result.count, 100);
+//! // 2. Load a table of pseudo-random integers.
+//! let n: i64 = 10_000;
+//! let values: Vec<i64> = (0..n).map(|i| (i * 7919) % n).collect();
+//! let table = db.create_table("readings", vec![("temperature", values)]).unwrap();
+//! let col = db.column_id(table, "temperature").unwrap();
 //!
-//! // …and idle time is spent refining the hottest columns further.
-//! let report = db.run_idle(IdleBudget::Actions(32));
+//! // 3. Range queries crack the column a little more each time, so
+//! //    queries get faster — and every count/sum answer is exact.
+//! for i in 0..8 {
+//!     let lo = i * (n / 10);
+//!     let result = db.execute(&Query::range(col, lo, lo + n / 100)).unwrap();
+//!     assert_eq!(result.count, (n / 100) as u64);
+//! }
+//! assert!(db.piece_count(col) > 1);
+//!
+//! // 4. The workload pauses: idle time refines the hottest columns.
+//! let report = db.run_idle(IdleBudget::Actions(64));
 //! assert!(report.actions_applied > 0);
+//!
+//! // 5. The observed workload can be handed to the offline advisor at
+//! //    any time, e.g. to decide whether a full index is worth building.
+//! let summary = db.observed_workload();
+//! assert_eq!(summary.total_queries(), 8);
 //! ```
 
 #![warn(missing_docs)]

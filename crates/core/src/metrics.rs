@@ -47,6 +47,7 @@ pub struct EngineMetrics {
     batches: AtomicU64,
     batched_queries: AtomicU64,
     aggregate_hits: AtomicU64,
+    aggregate_prefix: AtomicU64,
     aggregate_partials: AtomicU64,
     aggregate_misses: AtomicU64,
     aggregate_scanned_values: AtomicU64,
@@ -101,14 +102,19 @@ impl EngineMetrics {
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
-    /// Accumulates aggregate-cache classifications: how many of the crack
-    /// path's count/sum answers were composed purely from cached piece sums
-    /// (hits), mixed cached and scanned pieces (partials), or found no
-    /// cached sum at all (misses), plus the data values the scan fallback
-    /// had to read.
+    /// Accumulates aggregate-cache classifications: how many count/sum
+    /// answers were composed purely from cached whole-piece sums (hits),
+    /// needed a prefix-sum difference while still reading no data (prefix —
+    /// sorted-piece interiors and prefix-backed full-index probes), mixed
+    /// cached pieces and scans (partials), or found no cache at all
+    /// (misses), plus the data values the scan fallback had to read.
     pub fn record_aggregate_cache(&self, delta: AggregateCacheDelta) {
         if delta.hits > 0 {
             self.aggregate_hits.fetch_add(delta.hits, Ordering::Relaxed);
+        }
+        if delta.prefix > 0 {
+            self.aggregate_prefix
+                .fetch_add(delta.prefix, Ordering::Relaxed);
         }
         if delta.partials > 0 {
             self.aggregate_partials
@@ -129,6 +135,7 @@ impl EngineMetrics {
     pub fn aggregate_cache(&self) -> AggregateCacheDelta {
         AggregateCacheDelta {
             hits: self.aggregate_hits.load(Ordering::Relaxed),
+            prefix: self.aggregate_prefix.load(Ordering::Relaxed),
             partials: self.aggregate_partials.load(Ordering::Relaxed),
             misses: self.aggregate_misses.load(Ordering::Relaxed),
             scanned_values: self.aggregate_scanned_values.load(Ordering::Relaxed),
@@ -231,6 +238,7 @@ impl EngineMetrics {
         self.batches.store(0, Ordering::Relaxed);
         self.batched_queries.store(0, Ordering::Relaxed);
         self.aggregate_hits.store(0, Ordering::Relaxed);
+        self.aggregate_prefix.store(0, Ordering::Relaxed);
         self.aggregate_partials.store(0, Ordering::Relaxed);
         self.aggregate_misses.store(0, Ordering::Relaxed);
         self.aggregate_scanned_values.store(0, Ordering::Relaxed);
@@ -296,6 +304,7 @@ mod tests {
         m.record_batch(8);
         m.record_aggregate_cache(AggregateCacheDelta {
             hits: 1,
+            prefix: 1,
             partials: 2,
             misses: 3,
             scanned_values: 4,
@@ -316,12 +325,14 @@ mod tests {
         assert_eq!(m.aggregate_cache(), AggregateCacheDelta::default());
         m.record_aggregate_cache(AggregateCacheDelta {
             hits: 2,
+            prefix: 0,
             partials: 0,
             misses: 1,
             scanned_values: 100,
         });
         m.record_aggregate_cache(AggregateCacheDelta {
             hits: 3,
+            prefix: 4,
             partials: 1,
             misses: 0,
             scanned_values: 0,
@@ -330,12 +341,14 @@ mod tests {
         assert_eq!(
             (
                 total.hits,
+                total.prefix,
                 total.partials,
                 total.misses,
                 total.scanned_values
             ),
-            (5, 1, 1, 100)
+            (5, 4, 1, 1, 100)
         );
+        assert_eq!(total.zero_read(), 9);
     }
 
     #[test]

@@ -127,6 +127,48 @@ proptest! {
     }
 
     #[test]
+    fn offline_online_resolved_replays_are_pure_prefix_hits_once_seeded(
+        values in prop::collection::vec(-2000i64..2000, 1..500),
+        queries in arb_queries(),
+    ) {
+        // Before the prefix array is seeded, indexed sums fall back to the
+        // qualifying-slice scan and report misses; after offline
+        // preparation (which seeds), a resolved replay must be 100 %
+        // zero-read prefix hits — no partial, no miss, no scanned value.
+        for strategy in [IndexingStrategy::Offline, IndexingStrategy::Online] {
+            let (mut db, col) = make_db(strategy, values.clone());
+            let mut workload = holistic_offline::WorkloadSummary::new();
+            workload.declare(col, 1000, 0.01);
+            db.prepare_offline(&workload, None);
+            let before = db.metrics().aggregate_cache();
+            prop_assert_eq!(before.misses, 0);
+            for &(lo, hi) in &queries {
+                let r = db.execute(&Query::range(col, lo, hi)).unwrap();
+                prop_assert_eq!(r.count, reference_count(&values, lo, hi));
+                prop_assert_eq!(r.sum, reference_sum(&values, lo, hi));
+            }
+            let after = db.metrics().aggregate_cache();
+            prop_assert_eq!(
+                after.prefix - before.prefix,
+                queries.len() as u64,
+                "{}: every resolved aggregate must be a prefix hit", strategy
+            );
+            prop_assert_eq!(after.partials, 0, "{}", strategy);
+            prop_assert_eq!(after.misses, 0, "{}", strategy);
+            prop_assert_eq!(after.scanned_values, 0, "{}", strategy);
+        }
+        // Without seeding, the same index reports misses with read volume —
+        // the counter pair the ROADMAP gap was about.
+        let idx = holistic_offline::SortedIndex::build_from_values(&values);
+        prop_assert!(idx.query_sum(-100, 100).is_none());
+        idx.seed_prefix();
+        prop_assert_eq!(
+            idx.query_sum(-100, 100),
+            Some(reference_sum(&values, -100, 100))
+        );
+    }
+
+    #[test]
     fn crack_strategies_answer_aggregates_without_data_reads_when_resolved(
         values in prop::collection::vec(-2000i64..2000, 1..500),
         queries in arb_queries(),

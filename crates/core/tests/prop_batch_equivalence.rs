@@ -179,6 +179,7 @@ fn batches_race_the_background_tuner() {
             idle_threshold: Duration::ZERO,
             batch_actions: 32,
             poll_interval: Duration::from_micros(100),
+            seed_prefix_sums: true,
         },
     );
 

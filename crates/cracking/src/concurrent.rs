@@ -4,11 +4,12 @@
 //! form of concurrency control is needed even for read-only workloads
 //! (Graefe, Halim, Idreos, Kuno, Manegold — PVLDB 2012). The scheme here is
 //! the pragmatic one used in practice: a per-column reader/writer latch.
-//! A select whose bounds are already resolved by the cracker index is a pure
-//! read and only takes the shared latch; a select that has to crack (or an
-//! idle-time refinement action) takes the exclusive latch for the duration
-//! of the partitioning pass. Because cracking touches exactly one column,
-//! queries on different columns never contend.
+//! A select whose bounds are already *answerable* — resolved by the cracker
+//! index, or binary-searchable inside a sorted piece carrying a prefix-sum
+//! array — is a pure read and only takes the shared latch; a select that
+//! has to crack (or an idle-time refinement action, or a prefix-sum build)
+//! takes the exclusive latch for the duration of the pass. Because cracking
+//! touches exactly one column, queries on different columns never contend.
 //!
 //! The latch-usage counters are plain atomics: the shared select path is
 //! exactly the path the latch exists to parallelize, so it must not
@@ -41,6 +42,9 @@ pub struct LatchStats {
     /// Count/sum answers composed entirely from cached piece sums (zero
     /// data-array reads for the aggregate).
     pub aggregate_hits: u64,
+    /// Count/sum answers that needed at least one prefix-sum difference —
+    /// bounds landing *inside* a sorted piece — and still read no data.
+    pub aggregate_prefix: u64,
     /// Count/sum answers that mixed cached piece sums with scanned pieces.
     pub aggregate_partials: u64,
     /// Count/sum answers with no cached piece sum available at all.
@@ -49,19 +53,24 @@ pub struct LatchStats {
 
 /// How a batch of count/sum answers was produced by the per-piece aggregate
 /// cache. One query counts as a *hit* when its sum was composed purely from
-/// cached piece sums (or its range was empty), a *partial* when cached sums
-/// covered some pieces but others had to be scanned, and a *miss* when no
-/// piece of the range carried a cached sum. `scanned_values` totals the
-/// data-array reads the scan fallback performed — 0 means the whole batch's
-/// aggregates were answered from metadata alone. Materialization reads are
-/// not counted: the cache can only ever serve aggregates.
+/// cached whole-piece sums (or its range was empty), a *prefix* hit when it
+/// needed at least one prefix-sum difference — bounds inside a sorted piece
+/// — while still reading no data, a *partial* when cached sums or prefix
+/// differences covered some pieces but others had to be scanned, and a
+/// *miss* when no piece of the range carried any cache. `scanned_values`
+/// totals the data-array reads the scan fallback performed — 0 means the
+/// whole batch's aggregates were answered from metadata alone.
+/// Materialization reads are not counted: the cache can only ever serve
+/// aggregates.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AggregateCacheDelta {
-    /// Queries answered entirely from cached sums.
+    /// Queries answered entirely from cached whole-piece sums.
     pub hits: u64,
-    /// Queries answered from a mix of cached sums and piece scans.
+    /// Queries answered zero-read via at least one prefix-sum difference.
+    pub prefix: u64,
+    /// Queries answered from a mix of cached/prefix pieces and scans.
     pub partials: u64,
-    /// Queries answered without any cached sum.
+    /// Queries answered without any cached sum or prefix.
     pub misses: u64,
     /// Data values read by the aggregate scan fallback.
     pub scanned_values: u64,
@@ -71,8 +80,12 @@ impl AggregateCacheDelta {
     /// Classifies one composed range aggregate into the delta.
     fn record(&mut self, agg: &crate::cracker::RangeAggregate) {
         if agg.scanned_pieces == 0 {
-            self.hits += 1;
-        } else if agg.cached_pieces > 0 {
+            if agg.prefix_pieces > 0 {
+                self.prefix += 1;
+            } else {
+                self.hits += 1;
+            }
+        } else if agg.cached_pieces > 0 || agg.prefix_pieces > 0 {
             self.partials += 1;
         } else {
             self.misses += 1;
@@ -80,9 +93,17 @@ impl AggregateCacheDelta {
         self.scanned_values += agg.scanned_values;
     }
 
+    /// Queries answered without a single data-array read (whole-piece hits
+    /// plus prefix hits).
+    #[must_use]
+    pub fn zero_read(&self) -> u64 {
+        self.hits + self.prefix
+    }
+
     /// Component-wise accumulation.
     pub fn add(&mut self, other: AggregateCacheDelta) {
         self.hits += other.hits;
+        self.prefix += other.prefix;
         self.partials += other.partials;
         self.misses += other.misses;
         self.scanned_values += other.scanned_values;
@@ -96,6 +117,7 @@ struct AtomicLatchStats {
     exclusive_selects: AtomicU64,
     refinements: AtomicU64,
     aggregate_hits: AtomicU64,
+    aggregate_prefix: AtomicU64,
     aggregate_partials: AtomicU64,
     aggregate_misses: AtomicU64,
 }
@@ -107,6 +129,7 @@ impl AtomicLatchStats {
             exclusive_selects: self.exclusive_selects.load(Ordering::Relaxed),
             refinements: self.refinements.load(Ordering::Relaxed),
             aggregate_hits: self.aggregate_hits.load(Ordering::Relaxed),
+            aggregate_prefix: self.aggregate_prefix.load(Ordering::Relaxed),
             aggregate_partials: self.aggregate_partials.load(Ordering::Relaxed),
             aggregate_misses: self.aggregate_misses.load(Ordering::Relaxed),
         }
@@ -115,6 +138,10 @@ impl AtomicLatchStats {
     fn record_cache(&self, delta: AggregateCacheDelta) {
         if delta.hits > 0 {
             self.aggregate_hits.fetch_add(delta.hits, Ordering::Relaxed);
+        }
+        if delta.prefix > 0 {
+            self.aggregate_prefix
+                .fetch_add(delta.prefix, Ordering::Relaxed);
         }
         if delta.partials > 0 {
             self.aggregate_partials
@@ -317,10 +344,14 @@ impl ConcurrentCrackerColumn {
     /// returning count, sum, (optionally) the qualifying values and the
     /// kernel-dispatch delta in one latch acquisition.
     ///
-    /// If both bounds are already resolved by the cracker index the answer
-    /// is produced entirely under the shared latch and no reorganization
-    /// happens — stochastic policies only inject auxiliary splits on the
-    /// exclusive (cracking) path, where they pay for themselves.
+    /// If both bounds are already resolved by the cracker index — or land
+    /// inside sorted pieces whose prefix-sum arrays are built, where binary
+    /// search resolves them read-only — the answer is produced entirely
+    /// under the shared latch and no reorganization happens: on a sorted,
+    /// prefix-seeded region arbitrary range aggregates never take the write
+    /// latch and never fragment the piece table. Stochastic policies only
+    /// inject auxiliary splits on the exclusive (cracking) path, where they
+    /// pay for themselves.
     pub fn select_with_policy<R: Rng + ?Sized>(
         &self,
         lo: Value,
@@ -329,10 +360,10 @@ impl ConcurrentCrackerColumn {
         policy: CrackPolicy,
         rng: &mut R,
     ) -> SelectOutcome {
-        // Fast path: both bounds resolved, answer under the shared latch.
+        // Fast path: both bounds answerable, answer under the shared latch.
         {
             let guard = self.inner.read();
-            if let Some(range) = guard.select_if_resolved(lo, hi) {
+            if let Some(range) = guard.select_if_answerable(lo, hi) {
                 self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
                 return self.outcome_for(
                     &guard,
@@ -349,7 +380,7 @@ impl ConcurrentCrackerColumn {
         // the same bounds may have resolved them already — re-running the
         // policy then would inject redundant auxiliary splits (Mdd1r/DDx)
         // and over-fragment the index.
-        if let Some(range) = guard.select_if_resolved(lo, hi) {
+        if let Some(range) = guard.select_if_answerable(lo, hi) {
             self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
             return self.outcome_for(
                 &guard,
@@ -387,7 +418,9 @@ impl ConcurrentCrackerColumn {
         policy: CrackPolicy,
         rng: &mut R,
     ) -> BatchSelectOutcome {
-        // Fast path: the entire batch resolves under the shared latch.
+        // Fast path: the entire batch is answerable under the shared latch
+        // (bounds resolved, or binary-searchable in prefix-seeded sorted
+        // pieces).
         {
             let guard = self.inner.read();
             if let Some(outcome) = self.batch_outcome_if_resolved(&guard, queries) {
@@ -443,11 +476,14 @@ impl ConcurrentCrackerColumn {
         }
     }
 
-    /// The batch outcome if every query is already resolved (pure read).
+    /// The batch outcome if every query is already answerable read-only
+    /// (bounds resolved or binary-searchable in prefix-seeded sorted
+    /// pieces).
     ///
-    /// Resolution is checked for the *whole* batch (cheap boundary lookups)
-    /// before any answer is computed, so a batch with one unresolved query
-    /// does not scan the other queries' result ranges only to discard them.
+    /// Answerability is checked for the *whole* batch (cheap boundary
+    /// lookups) before any answer is computed, so a batch with one
+    /// unresolved query does not scan the other queries' result ranges only
+    /// to discard them.
     fn batch_outcome_if_resolved(
         &self,
         column: &CrackerColumn,
@@ -455,7 +491,7 @@ impl ConcurrentCrackerColumn {
     ) -> Option<BatchSelectOutcome> {
         let ranges = queries
             .iter()
-            .map(|&(lo, hi, _)| column.select_if_resolved(lo, hi))
+            .map(|&(lo, hi, _)| column.select_if_answerable(lo, hi))
             .collect::<Option<Vec<Range<usize>>>>()?;
         let mut cache = AggregateCacheDelta::default();
         let answers = ranges
@@ -611,6 +647,23 @@ impl ConcurrentCrackerColumn {
         rng: &mut R,
     ) -> bool {
         self.refine_in_range(lo, hi, rng).split
+    }
+
+    /// Builds prefix-sum arrays for every sorted piece that lacks one,
+    /// under a single **write**-latch acquisition (build once, read many:
+    /// once seeded, every reader serves interior sorted-piece aggregates
+    /// from the shared arrays without ever taking the write latch again).
+    /// Returns how many pieces were seeded.
+    ///
+    /// Probes under the *shared* latch first: the background tuner calls
+    /// this on every idle batch, and a column with nothing to seed — the
+    /// steady state, and the only state purely cracked columns ever have —
+    /// must not acquire (or make queries queue behind) the exclusive latch.
+    pub fn seed_prefix_sums(&self) -> usize {
+        if !self.inner.read().needs_prefix_seeding() {
+            return 0;
+        }
+        self.inner.write().seed_prefix_sums()
     }
 
     /// Runs a closure with shared access to the underlying cracker column.
@@ -925,6 +978,73 @@ mod tests {
         assert_eq!(again.cache.hits, queries.len() as u64);
         assert_eq!(again.cache.scanned_values, 0);
         assert_eq!(c.latch_stats().aggregate_hits, 2 * queries.len() as u64);
+    }
+
+    #[test]
+    fn sorted_prefix_aggregates_stay_on_the_shared_latch() {
+        // A sorted, prefix-seeded column answers *arbitrary* interior
+        // aggregates read-only: no write latch, no splits, zero data reads,
+        // classified as prefix hits.
+        let mut inner = CrackerColumn::from_values(data(4000));
+        inner.sort_fully();
+        let c = ConcurrentCrackerColumn::new(inner);
+        let mut rng = StdRng::seed_from_u64(23);
+        let pieces_before = c.piece_count();
+        for &(lo, hi) in &[(100, 900), (0, 4000), (3999, 4001), (250, 251)] {
+            let out = c.select_with_policy(lo, hi, false, CrackPolicy::Standard, &mut rng);
+            assert_eq!(out.count, scan_count(&data(4000), lo, hi), "[{lo},{hi})");
+            let expected: i128 = data(4000)
+                .iter()
+                .filter(|&&v| v >= lo && v < hi)
+                .map(|&v| i128::from(v))
+                .sum();
+            assert_eq!(out.sum, expected, "[{lo},{hi})");
+            assert_eq!(out.cache.scanned_values, 0, "[{lo},{hi})");
+            assert_eq!(out.cache.zero_read(), 1, "[{lo},{hi})");
+            assert_eq!(out.dispatches.total(), 0);
+        }
+        assert_eq!(c.piece_count(), pieces_before, "no fragmentation");
+        let stats = c.latch_stats();
+        assert_eq!(stats.exclusive_selects, 0, "never took the write latch");
+        assert_eq!(stats.shared_selects, 4);
+        assert!(
+            stats.aggregate_prefix >= 3,
+            "interior bounds are prefix hits"
+        );
+        assert_eq!(stats.aggregate_partials + stats.aggregate_misses, 0);
+        // The batched path shares the same read-only fast path.
+        let queries: Vec<(Value, Value, bool)> = vec![(5, 77, false), (1000, 3500, true)];
+        let outcome = c.select_batch_with_policy(&queries, CrackPolicy::Standard, &mut rng);
+        assert_eq!(outcome.dispatches.total(), 0);
+        assert_eq!(outcome.cache.scanned_values, 0);
+        assert_eq!(outcome.cache.zero_read(), 2);
+        assert_eq!(c.latch_stats().exclusive_selects, 0);
+        assert!(c.validate());
+    }
+
+    #[test]
+    fn seed_prefix_sums_unlocks_the_read_only_sorted_path() {
+        // A sorted column handed over *without* prefixes cracks on first
+        // touch; after seeding (one write-latch pass), the same shape of
+        // query runs read-only.
+        let mut inner = CrackerColumn::from_values(data(1000));
+        inner.sort_fully();
+        // Strip what sort_fully seeded to model a pre-seeding column.
+        {
+            let (_, _, index) = inner.parts_mut();
+            for p in index.pieces_mut() {
+                p.sum = None;
+                p.prefix = None;
+            }
+        }
+        let c = ConcurrentCrackerColumn::new(inner);
+        assert_eq!(c.seed_prefix_sums(), 1);
+        assert_eq!(c.seed_prefix_sums(), 0, "second seeding is a no-op");
+        let mut rng = StdRng::seed_from_u64(29);
+        let out = c.select_with_policy(100, 300, false, CrackPolicy::Standard, &mut rng);
+        assert_eq!(out.count, scan_count(&data(1000), 100, 300));
+        assert_eq!(out.cache.scanned_values, 0);
+        assert_eq!(c.latch_stats().exclusive_selects, 0);
     }
 
     #[test]

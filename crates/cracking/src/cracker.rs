@@ -2,10 +2,11 @@
 //! base column.
 
 use std::ops::Range;
+use std::sync::Arc;
 
 use rand::Rng;
 
-use holistic_storage::Column;
+use holistic_storage::{Column, PrefixSums};
 
 use crate::index::PieceIndex;
 use crate::kernels::{CrackKernel, KernelChoice, KernelDispatches};
@@ -28,9 +29,10 @@ pub(crate) fn dedup_batch_pivots(bounds: &[(Value, Value)]) -> Vec<Value> {
 }
 
 /// The outcome of composing a range aggregate from the per-piece cache:
-/// count, sum, and how the sum was produced (cached whole pieces vs.
-/// scanned fallback pieces). `scanned_values == 0` means the aggregate was
-/// answered without a single data-array read.
+/// count, sum, and how the sum was produced (cached whole pieces,
+/// prefix-sum differences, or scanned fallback pieces).
+/// `scanned_values == 0` means the aggregate was answered without a single
+/// data-array read.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RangeAggregate {
     /// Number of positions in the range.
@@ -39,7 +41,10 @@ pub struct RangeAggregate {
     pub sum: i128,
     /// Pieces whose cached sum was used (no data touched).
     pub cached_pieces: usize,
-    /// Pieces that had to be scanned (no cached sum, or partial overlap).
+    /// Pieces answered by a prefix-sum difference — partial overlaps of
+    /// sorted pieces, still no data touched.
+    pub prefix_pieces: usize,
+    /// Pieces that had to be scanned (no cached sum or prefix).
     pub scanned_pieces: usize,
     /// Data values read by the scan fallback (0 = pure metadata answer).
     pub scanned_values: u64,
@@ -185,6 +190,61 @@ impl CrackerColumn {
         self.index.pieces()
     }
 
+    /// Returns piece `idx`'s prefix-sum array, building (and installing) it
+    /// if the piece does not carry a covering one yet.
+    ///
+    /// Building is one streaming pass over the piece — comparable to the
+    /// partitioning pass an *unsorted* piece of the same size would pay for
+    /// a single crack — after which every aggregate that lands anywhere in
+    /// the piece or its descendants is a subtraction. Callers hold `&mut
+    /// self`, so in the concurrent wrapper this only ever happens under the
+    /// write latch (build once, read many). The piece's cached sum is
+    /// derived from the array if it was unknown.
+    fn ensure_piece_prefix(&mut self, idx: usize) -> Arc<PrefixSums> {
+        if let Some(prefix) = self.index.piece(idx).covering_prefix() {
+            return Arc::clone(prefix);
+        }
+        let p = self.index.piece(idx);
+        let prefix = Arc::new(PrefixSums::build(p.start, &self.data[p.start..p.end]));
+        let piece = &mut self.index.pieces_mut()[idx];
+        piece.prefix = Some(Arc::clone(&prefix));
+        if piece.sum.is_none() {
+            piece.sum = Some(prefix.total());
+        }
+        prefix
+    }
+
+    /// Whether [`CrackerColumn::seed_prefix_sums`] would do any work: some
+    /// sorted, non-empty piece lacks a covering prefix array. A cheap
+    /// metadata walk, so the concurrent wrapper can probe under the shared
+    /// latch before escalating to the write latch.
+    #[must_use]
+    pub fn needs_prefix_seeding(&self) -> bool {
+        self.index
+            .pieces()
+            .iter()
+            .any(|p| p.sorted && !p.is_empty() && p.covering_prefix().is_none())
+    }
+
+    /// Builds prefix-sum arrays for every sorted piece that lacks one,
+    /// returning how many pieces were seeded.
+    ///
+    /// This is the idle-time / preparation entry point: `sort_fully` seeds
+    /// its single piece eagerly, but a column handed over with pre-sorted
+    /// pieces (or one whose prefixes were invalidated by updates) can be
+    /// re-seeded here so resolved aggregates go back to zero-read.
+    pub fn seed_prefix_sums(&mut self) -> usize {
+        let mut seeded = 0;
+        for idx in 0..self.index.piece_count() {
+            let p = self.index.piece(idx);
+            if p.sorted && !p.is_empty() && p.covering_prefix().is_none() {
+                self.ensure_piece_prefix(idx);
+                seeded += 1;
+            }
+        }
+        seeded
+    }
+
     /// Cracks the column so that values `>= v` start at the returned
     /// position, performing at most one partitioning pass over one piece.
     pub fn crack_at(&mut self, v: Value) -> usize {
@@ -196,10 +256,22 @@ impl CrackerColumn {
         }
         let p = self.index.piece(idx);
         if p.sorted {
-            // No data movement needed: binary search and record the boundary.
+            // No data movement needed: binary search and record the
+            // boundary. The piece's prefix-sum array (built lazily here,
+            // under the same exclusive access the crack already holds)
+            // prices both sides' sums at one subtraction each, so even
+            // binary-search splits seed the aggregate cache.
+            let prefix = self.ensure_piece_prefix(idx);
+            let p = self.index.piece(idx);
             let off = self.data[p.start..p.end].partition_point(|&x| x < v);
             let pos = p.start + off;
-            self.index.split(idx, pos, v);
+            self.index.split_with_sums(
+                idx,
+                pos,
+                v,
+                prefix.sum_range(p.start..pos),
+                prefix.sum_range(p.start..p.end),
+            );
             return pos;
         }
         let choice = self.kernel.choose(p.len());
@@ -352,10 +424,11 @@ impl CrackerColumn {
 
     /// Cracks piece `idx` around all `pivots` (strictly increasing, all
     /// falling into the piece) in one partitioning pass, returning the
-    /// produced splits plus the pass's fused per-segment sums for the caller
-    /// to record (the batch path batches them into one
+    /// produced splits plus the pass's per-segment sums for the caller to
+    /// record (the batch path batches them into one
     /// [`PieceIndex::split_grouped_with_sums`] rebuild). Sorted pieces are
-    /// binary-searched — no data is touched, so no sums are produced.
+    /// binary-searched — no data moves, and the segment sums come from the
+    /// piece's (lazily built) prefix-sum array instead of a kernel pass.
     fn crack_piece_multi(
         &mut self,
         idx: usize,
@@ -363,15 +436,24 @@ impl CrackerColumn {
     ) -> (Vec<(usize, Value)>, Option<Vec<i128>>) {
         let p = self.index.piece(idx);
         if p.sorted {
-            // No data movement needed: binary-search every boundary.
-            let splits = pivots
+            // No data movement needed: binary-search every boundary and
+            // price every segment with a prefix difference.
+            let prefix = self.ensure_piece_prefix(idx);
+            let splits: Vec<(usize, Value)> = pivots
                 .iter()
                 .map(|&v| {
                     let off = self.data[p.start..p.end].partition_point(|&x| x < v);
                     (p.start + off, v)
                 })
                 .collect();
-            return (splits, None);
+            let mut seg_sums = Vec::with_capacity(splits.len() + 1);
+            let mut prev = p.start;
+            for &(pos, _) in &splits {
+                seg_sums.push(prefix.sum_range(prev..pos));
+                prev = pos;
+            }
+            seg_sums.push(prefix.sum_range(prev..p.end));
+            return (splits, Some(seg_sums));
         }
         let choice = self.kernel.choose(p.len());
         self.dispatches.record(choice);
@@ -456,29 +538,74 @@ impl CrackerColumn {
         Some(start..end)
     }
 
+    /// Answers `[lo, hi)` *without* reorganizing anything, if every bound is
+    /// either already resolved by the cracker index **or** falls into a
+    /// sorted piece carrying a prefix-sum array (where binary search finds
+    /// the position and [`CrackerColumn::aggregate_range`] prices the
+    /// boundary overlap with a prefix difference).
+    ///
+    /// This is the read-only superset of
+    /// [`CrackerColumn::select_if_resolved`] used by the concurrent
+    /// wrapper: on a sorted, prefix-seeded region, *arbitrary* range
+    /// aggregates stay on the shared latch forever — no splits, no piece
+    /// table growth, no data movement. A sorted piece *without* a prefix
+    /// deliberately does not qualify: answering it here would mask-scan the
+    /// interior on every repeat, while falling through to the crack path
+    /// builds the prefix once and makes every later query a subtraction.
+    #[must_use]
+    pub fn select_if_answerable(&self, lo: Value, hi: Value) -> Option<Range<usize>> {
+        if hi <= lo {
+            return Some(0..0);
+        }
+        let start = self.bound_position_readonly(lo)?;
+        let end = self.bound_position_readonly(hi)?;
+        Some(start..end)
+    }
+
+    /// The position where values `>= v` begin, if it can be determined
+    /// without reorganizing: a resolved crack boundary, or binary search
+    /// inside a sorted piece whose prefix-sum array is present (so the
+    /// caller's aggregate stays zero-read).
+    fn bound_position_readonly(&self, v: Value) -> Option<usize> {
+        if let Some(pos) = self.index.resolved_boundary(v) {
+            return Some(pos);
+        }
+        let idx = self.index.find_piece_for_value(v)?;
+        let p = &self.index.pieces()[idx];
+        if p.sorted && p.covering_prefix().is_some() {
+            let off = self.data[p.start..p.end].partition_point(|&x| x < v);
+            return Some(p.start + off);
+        }
+        None
+    }
+
     /// Composes the count and sum of a resolved position range from the
     /// per-piece aggregate cache.
     ///
     /// Crack boundaries always fall on piece boundaries, so a resolved
     /// result range is a run of whole pieces: the count is implicit in the
     /// range length, and the sum is composed from the pieces' cached sums.
-    /// Only pieces *without* a cached sum (sorted pieces split by binary
-    /// search, pieces touched by sum-less maintenance) are scanned, through
-    /// the storage layer's chunked masked-sum kernel — the same kernel the
-    /// pre-cache answer path used for the whole range. A fully cached range
-    /// therefore costs O(pieces) metadata reads and **zero** data-array
-    /// touches.
+    /// A piece that is only *partially* overlapped — the boundary pieces of
+    /// a range produced by [`CrackerColumn::select_if_answerable`]'s binary
+    /// searches into sorted pieces — contributes a prefix-sum difference
+    /// when it carries a prefix array: still zero data-array reads. Only
+    /// pieces with neither a usable cached sum nor a covering prefix are
+    /// scanned, through the storage layer's chunked masked-sum kernel — the
+    /// same kernel the pre-cache answer path used for the whole range. A
+    /// fully cached/prefix-composed range therefore costs O(pieces)
+    /// metadata reads and **zero** data-array touches.
     ///
     /// **Contract:** every value in `range` must satisfy `lo <= v < hi` —
     /// true for any range produced by resolving both bounds (the only
     /// production use). `lo`/`hi` then only parameterize the scan
     /// fallback's mask, keeping the fallback identical to the pre-cache
     /// answer path. For a range violating the contract the sum is
-    /// unspecified: cached whole pieces contribute their full sums (no
-    /// mask can be applied to metadata), while scanned pieces are masked —
-    /// the two arms would disagree. Debug builds assert the contract on
-    /// every scanned piece. The outcome reports how the sum was produced
-    /// so callers can maintain cache hit/partial/miss statistics.
+    /// unspecified: cached whole pieces and prefix differences contribute
+    /// unmasked positional sums, while scanned pieces are masked — the
+    /// arms would disagree. Debug builds assert the contract on every
+    /// prefix-composed and scanned piece. The outcome reports how the sum
+    /// was produced so callers can maintain cache hit/prefix/partial/miss
+    /// statistics.
     #[must_use]
     pub fn aggregate_range(&self, range: Range<usize>, lo: Value, hi: Value) -> RangeAggregate {
         let mut agg = RangeAggregate {
@@ -493,7 +620,7 @@ impl CrackerColumn {
         };
         let pieces = self.index.pieces();
         while idx < pieces.len() && pieces[idx].start < range.end {
-            let p = pieces[idx];
+            let p = &pieces[idx];
             let overlap = p.start.max(range.start)..p.end.min(range.end);
             match p.sum {
                 // Whole piece covered and cached: pure metadata.
@@ -501,8 +628,20 @@ impl CrackerColumn {
                     agg.sum += sum;
                     agg.cached_pieces += 1;
                 }
-                // Uncached piece or partial overlap (possible only for
-                // ranges that are not crack-resolved): scan the overlap.
+                // Partial overlap of (or missing sum on) a piece with a
+                // prefix-sum array: one subtraction, still no data reads.
+                _ if p.covering_prefix().is_some() => {
+                    debug_assert!(
+                        self.data[overlap.clone()]
+                            .iter()
+                            .all(|&v| v >= lo && v < hi),
+                        "aggregate_range contract: every value in the range must satisfy [lo, hi)"
+                    );
+                    let prefix = p.covering_prefix().expect("checked by the guard");
+                    agg.sum += prefix.sum_range(overlap);
+                    agg.prefix_pieces += 1;
+                }
+                // No cache at all: scan the overlap.
                 _ => {
                     debug_assert!(
                         self.data[overlap.clone()]
@@ -528,6 +667,17 @@ impl CrackerColumn {
             .pieces()
             .iter()
             .filter(|p| p.sum.is_some())
+            .count()
+    }
+
+    /// Number of pieces currently carrying a covering prefix-sum array
+    /// (prefix-cache population probe for tests and diagnostics).
+    #[must_use]
+    pub fn prefix_pieces(&self) -> usize {
+        self.index
+            .pieces()
+            .iter()
+            .filter(|p| p.covering_prefix().is_some())
             .count()
     }
 
@@ -584,8 +734,12 @@ impl CrackerColumn {
     /// Fully sorts the column (and row ids), collapsing the piece index to a
     /// single sorted piece. This is what offline indexing does with enough
     /// idle time; exposed here so the kernels can share one representation.
+    ///
+    /// The sorted piece is seeded with both its total sum and its prefix-sum
+    /// array, so *every* range aggregate on the freshly sorted column — not
+    /// just the full range — is immediately zero-read: two binary searches
+    /// and one subtraction.
     pub fn sort_fully(&mut self) {
-        let mut total = 0i128;
         match &mut self.rowids {
             Some(rowids) => {
                 let mut pairs: Vec<(Value, RowId)> = self
@@ -596,21 +750,17 @@ impl CrackerColumn {
                     .collect();
                 pairs.sort_unstable();
                 for (i, (v, r)) in pairs.into_iter().enumerate() {
-                    total += i128::from(v);
                     self.data[i] = v;
                     rowids[i] = r;
                 }
             }
-            None => {
-                self.data.sort_unstable();
-                total = self.data.iter().map(|&v| i128::from(v)).sum();
-            }
+            None => self.data.sort_unstable(),
         }
         self.index = PieceIndex::new_sorted(self.data.len());
-        // Seed the aggregate cache with the column total: full-range
-        // aggregates on a freshly sorted column are pure metadata.
+        let prefix = PrefixSums::build(0, &self.data);
         if let Some(p) = self.index.pieces_mut().last_mut() {
-            p.sum = Some(total);
+            p.sum = Some(prefix.total());
+            p.prefix = Some(Arc::new(prefix));
         }
     }
 
@@ -983,19 +1133,66 @@ mod tests {
     }
 
     #[test]
-    fn aggregate_range_scans_only_uncached_pieces() {
-        // A sorted column's binary-search splits produce no sums, so the
-        // fallback path must scan those pieces — and only those.
+    fn sorted_piece_splits_seed_sums_from_the_prefix() {
+        // Binary-search splits of a sorted column used to leave sum-less
+        // children (masked-scan fallback, reported partial/miss). With the
+        // per-piece prefix sums they are as cache-complete as kernel splits.
         let mut c = CrackerColumn::from_values(sample());
         c.sort_fully();
+        assert_eq!(c.prefix_pieces(), 1, "sort_fully seeds the prefix");
         // The full sorted piece carries the column total.
         let full = c.aggregate_range(0..c.len(), i64::MIN, i64::MAX);
         assert_eq!(full.sum, scan_sum_ref(&sample(), i64::MIN, i64::MAX));
         assert_eq!(full.scanned_values, 0);
-        // Splitting it by binary search leaves sum-less children.
+        // Splitting by binary search now derives both children's sums from
+        // the shared prefix array: the resolved aggregate reads no data.
         let r = c.crack_select(5, 12);
         let agg = c.aggregate_range(r.clone(), 5, 12);
         assert_eq!(agg.sum, scan_sum_ref(&sample(), 5, 12));
+        assert_eq!(agg.scanned_pieces, 0);
+        assert_eq!(agg.scanned_values, 0);
+        assert_eq!(c.cached_sum_pieces(), c.piece_count());
+        assert_eq!(c.prefix_pieces(), c.piece_count(), "children share it");
+        assert!(c.validate());
+    }
+
+    #[test]
+    fn sorted_aggregates_are_answerable_without_cracking() {
+        // Arbitrary interior bounds on a sorted, prefix-seeded column are
+        // read-only: two binary searches resolve the range, and the
+        // boundary pieces contribute prefix differences — no splits, no
+        // data reads.
+        let mut c = CrackerColumn::from_values(sample());
+        assert!(c.select_if_answerable(5, 12).is_none(), "unsorted: crack");
+        c.sort_fully();
+        let pieces_before = c.piece_count();
+        let r = c.select_if_answerable(5, 12).expect("sorted + prefix");
+        assert_eq!((r.end - r.start) as u64, scan_count(&sample(), 5, 12));
+        let agg = c.aggregate_range(r.clone(), 5, 12);
+        assert_eq!(agg.sum, scan_sum_ref(&sample(), 5, 12));
+        assert_eq!(agg.scanned_values, 0, "prefix difference, not a scan");
+        assert!(agg.prefix_pieces >= 1);
+        assert_eq!(c.piece_count(), pieces_before, "no reorganization");
+        // Degenerate ranges short-circuit like select_if_resolved.
+        assert_eq!(c.select_if_answerable(12, 5), Some(0..0));
+        assert!(c.validate());
+    }
+
+    #[test]
+    fn aggregate_range_scans_only_uncached_pieces() {
+        // Strip the caches a crack pass seeded: the fallback path must
+        // scan exactly the stripped pieces and still answer exactly.
+        let mut c = CrackerColumn::from_values(sample());
+        let r = c.crack_select(5, 12);
+        let (_, _, index) = c.parts_mut();
+        for p in index.pieces_mut() {
+            p.sum = None;
+            p.prefix = None;
+        }
+        let agg = c.aggregate_range(r.clone(), 5, 12);
+        assert_eq!(agg.sum, scan_sum_ref(&sample(), 5, 12));
+        assert_eq!(agg.cached_pieces, 0);
+        assert_eq!(agg.prefix_pieces, 0);
         assert!(agg.scanned_pieces >= 1);
         assert_eq!(agg.scanned_values, (r.end - r.start) as u64);
         assert!(c.validate());

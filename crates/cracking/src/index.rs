@@ -13,9 +13,10 @@ use crate::Value;
 
 /// One affected piece of a batch pass: the piece's index, the splits the
 /// pass produced inside it (`(position, pivot)` pairs, the
-/// [`PieceIndex::split_multi`] contract), and the pass's per-segment sums
-/// (`None` when the pass produced no sums, e.g. a binary-searched sorted
-/// piece). Consumed by [`PieceIndex::split_grouped_with_sums`].
+/// [`PieceIndex::split_multi`] contract), and the pass's per-segment sums —
+/// fused kernel sums for unsorted pieces, prefix-sum differences for
+/// binary-searched sorted pieces, `None` only for sum-less maintenance.
+/// Consumed by [`PieceIndex::split_grouped_with_sums`].
 pub type SplitGroup = (usize, Vec<(usize, Value)>, Option<Vec<i128>>);
 
 /// The cracker index: an ordered, contiguous list of pieces covering
@@ -56,12 +57,8 @@ impl PieceIndex {
             Vec::new()
         } else {
             vec![Piece {
-                start: 0,
-                end: len,
-                lo: None,
-                hi: None,
                 sorted: true,
-                sum: None,
+                ..Piece::unbounded(0, len)
             }]
         };
         PieceIndex { pieces, len }
@@ -91,10 +88,11 @@ impl PieceIndex {
         &self.pieces
     }
 
-    /// The piece at index `idx`.
+    /// The piece at index `idx` (cloned; the prefix-sum handle, if any, is
+    /// shared).
     #[must_use]
     pub fn piece(&self, idx: usize) -> Piece {
-        self.pieces[idx]
+        self.pieces[idx].clone()
     }
 
     /// Average piece length (`len / piece_count`), or 0 for an empty column.
@@ -219,13 +217,13 @@ impl PieceIndex {
         if splits.is_empty() {
             return 0;
         }
-        let p = self.pieces[idx];
+        let p = self.pieces[idx].clone();
         let mut replacement: Vec<Piece> = Vec::with_capacity(splits.len() + 1);
         Self::expand_piece(p, splits, seg_sums, &mut replacement);
         let created = replacement.len() - 1;
         if created == 0 {
             // Pure bound tightening: no table surgery needed.
-            self.pieces[idx] = replacement[0];
+            self.pieces[idx] = replacement.swap_remove(0);
         } else {
             self.pieces.reserve(created);
             self.pieces.splice(idx..=idx, replacement);
@@ -263,13 +261,13 @@ impl PieceIndex {
         let total_splits: usize = groups.iter().map(|(_, s, _)| s.len()).sum();
         let mut rebuilt: Vec<Piece> = Vec::with_capacity(self.pieces.len() + total_splits);
         let mut next_group = groups.iter().peekable();
-        for (idx, &p) in self.pieces.iter().enumerate() {
+        for (idx, p) in self.pieces.iter().enumerate() {
             match next_group.peek() {
                 Some((group_idx, splits, seg_sums)) if *group_idx == idx => {
-                    Self::expand_piece(p, splits, seg_sums.as_deref(), &mut rebuilt);
+                    Self::expand_piece(p.clone(), splits, seg_sums.as_deref(), &mut rebuilt);
                     next_group.next();
                 }
-                _ => rebuilt.push(p),
+                _ => rebuilt.push(p.clone()),
             }
         }
         assert!(
@@ -292,6 +290,12 @@ impl PieceIndex {
     /// output piece's cached sum is the total of the segments it absorbs.
     /// Without sums, created pieces get `sum: None` and a pure tightening
     /// keeps the piece's existing cached sum (its contents are unchanged).
+    ///
+    /// A *sorted* piece's shared prefix-sum array is inherited by every
+    /// output piece: splitting a sorted piece is binary search, so no data
+    /// moved and the absolute-position array stays exact for all
+    /// descendants. An unsorted piece was just permuted by a kernel pass, so
+    /// its outputs never inherit a prefix (it would be stale).
     fn expand_piece(
         p: Piece,
         splits: &[(usize, Value)],
@@ -324,6 +328,7 @@ impl PieceIndex {
         // upper-bound tightenings from splits that land on the piece's end
         // (the smallest such pivot wins); `acc` collects the segment sums
         // absorbed into the currently open sub-piece.
+        let inherited_prefix = if p.sorted { p.prefix.clone() } else { None };
         let first_out = out.len();
         let mut cur_start = p.start;
         let mut cur_lo = p.lo;
@@ -349,6 +354,7 @@ impl PieceIndex {
                     hi: Some(pivot),
                     sorted: p.sorted,
                     sum: seg_sums.map(|_| acc),
+                    prefix: inherited_prefix.clone(),
                 });
                 acc = 0;
                 cur_start = split_pos;
@@ -369,6 +375,7 @@ impl PieceIndex {
             hi: end_hi,
             sorted: p.sorted,
             sum: final_sum,
+            prefix: inherited_prefix,
         });
     }
 
@@ -377,7 +384,7 @@ impl PieceIndex {
     #[must_use]
     pub fn resolved_boundary(&self, v: Value) -> Option<usize> {
         let idx = self.find_piece_for_value(v)?;
-        let p = self.pieces[idx];
+        let p = &self.pieces[idx];
         match p.lo {
             Some(lo) if v <= lo => Some(p.start),
             _ => {
@@ -407,11 +414,12 @@ impl PieceIndex {
             last.end = new_len;
             // The appended values may violate the last piece's bounds; the
             // caller (ripple insertion) is responsible for placing values in
-            // admissible pieces, so bounds stay as they are. The cached sum,
-            // however, no longer covers the piece's extent — invalidate it
-            // (ripple insertion restores it once the appended value has been
-            // rippled into its target piece).
+            // admissible pieces, so bounds stay as they are. The cached sum
+            // and prefix, however, no longer cover the piece's extent —
+            // invalidate them (ripple insertion restores/patches them once
+            // the appended value has been rippled into its target piece).
             last.sum = None;
+            last.prefix = None;
         } else {
             self.pieces.push(Piece::unbounded(0, new_len));
         }
@@ -429,8 +437,16 @@ impl PieceIndex {
             } else {
                 if last.end != new_len {
                     // Truncation drops values the cached sum still counts.
-                    last.sum = None;
+                    // A prefix-sum array survives: the surviving positions'
+                    // entries are untouched by dropping the tail, so the
+                    // truncated piece keeps the array — and re-derives its
+                    // sum from it instead of losing the cache.
                     last.end = new_len;
+                    last.sum = last
+                        .prefix
+                        .as_ref()
+                        .filter(|p| p.covers(&(last.start..new_len)))
+                        .map(|p| p.sum_range(last.start..new_len));
                 }
                 break;
             }
@@ -797,6 +813,56 @@ mod tests {
         let sums: Vec<Option<i128>> = idx.pieces().iter().map(|p| p.sum).collect();
         assert_eq!(sums, vec![Some(10), Some(20), None, None]);
         assert!(idx.validate(&data));
+    }
+
+    #[test]
+    fn sorted_splits_share_the_prefix_and_unsorted_splits_drop_it() {
+        use holistic_storage::PrefixSums;
+        use std::sync::Arc;
+
+        let data = vec![10, 20, 30, 60, 70, 90];
+        let mut idx = PieceIndex::new_sorted(6);
+        let prefix = Arc::new(PrefixSums::build(0, &data));
+        idx.pieces_mut()[0].prefix = Some(Arc::clone(&prefix));
+        idx.split_multi(0, &[(3, 50), (5, 80)]);
+        assert_eq!(idx.piece_count(), 3);
+        for (i, p) in idx.pieces().iter().enumerate() {
+            assert!(p.sorted, "piece {i}");
+            let shared = p.prefix.as_ref().expect("inherited");
+            assert!(Arc::ptr_eq(shared, &prefix), "piece {i} shares the array");
+            assert!(p.covering_prefix().is_some());
+        }
+        assert!(idx.validate(&data));
+
+        // An unsorted piece never hands a prefix down (its data was just
+        // permuted by the kernel pass that produced the splits).
+        let mut unsorted = PieceIndex::new(6);
+        unsorted.pieces_mut()[0].prefix = Some(Arc::clone(&prefix));
+        unsorted.split(0, 3, 50);
+        assert!(unsorted.pieces().iter().all(|p| p.prefix.is_none()));
+    }
+
+    #[test]
+    fn grow_drops_the_prefix_and_shrink_keeps_it() {
+        use holistic_storage::PrefixSums;
+        use std::sync::Arc;
+
+        let data = vec![10, 20, 30, 60];
+        let mut idx = PieceIndex::new_sorted(4);
+        idx.pieces_mut()[0].prefix = Some(Arc::new(PrefixSums::build(0, &data)));
+        idx.pieces_mut()[0].sum = Some(120);
+        idx.grow(1);
+        assert!(idx.piece(0).prefix.is_none(), "grow extends past the array");
+        assert_eq!(idx.piece(0).sum, None);
+
+        // Truncation keeps a covering prefix and re-derives the sum.
+        let mut idx = PieceIndex::new_sorted(4);
+        idx.pieces_mut()[0].prefix = Some(Arc::new(PrefixSums::build(0, &data)));
+        idx.pieces_mut()[0].sum = Some(120);
+        idx.shrink(1);
+        assert!(idx.piece(0).prefix.is_some());
+        assert_eq!(idx.piece(0).sum, Some(60));
+        assert!(idx.validate(&data[..3]));
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub use sideways::{CrackerMap, MapSet};
 pub use stochastic::CrackPolicy;
 pub use updates::UpdatableCrackerColumn;
 
+/// Prefix-sum arrays shared by sorted pieces (re-exported from the storage
+/// layer): the structure behind zero-read sorted-piece aggregates.
+pub use holistic_storage::PrefixSums;
 /// Row identifier type (re-exported from the storage layer).
 pub use holistic_storage::RowId;
 /// Value type cracked by this crate (re-exported from the storage layer).

@@ -1,5 +1,9 @@
 //! Pieces: contiguous, value-bounded regions of a cracker column.
 
+use std::sync::Arc;
+
+use holistic_storage::PrefixSums;
+
 use crate::Value;
 
 /// A piece of a cracker column.
@@ -17,11 +21,24 @@ use crate::Value;
 /// pass over the data) and are patched by the update-merge path, so a
 /// `Some` sum is *always* trusted — the structural invariant, checked by
 /// [`Piece::validate`], is that it equals the sum of `data[start..end]`.
-/// `None` means unknown (e.g. a piece split out of a sorted piece by binary
-/// search, which touches no data). Because a cached sum is fully determined
-/// by the piece's contents, it participates in equality: two identically
-/// cracked columns have identical cached sums.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `None` means unknown. Because a cached sum is fully determined by the
+/// piece's contents, it participates in equality: two identically cracked
+/// columns have identical cached sums.
+///
+/// # Prefix sums on sorted pieces
+///
+/// `prefix` extends the cache to *interior* ranges of **sorted** pieces: a
+/// shared [`PrefixSums`] array (absolute positions) built once over a sorted
+/// region, under which any positional sub-range sums with one subtraction —
+/// so an aggregate whose bounds binary-search into the piece needs zero
+/// data-array reads. Splitting a sorted piece moves no data, so all pieces
+/// split out of it share the parent's array through the `Arc`; a piece that
+/// loses sortedness (or whose extent shifts under ripple updates) drops the
+/// prefix. A `Some` prefix is as trusted as a `Some` sum: [`Piece::validate`]
+/// enforces `prefix[i+1] - prefix[i] == data[i]` across the piece's extent.
+/// Prefix arrays participate in equality by content (not by pointer), so
+/// identically refined columns still compare equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Piece {
     /// First position covered by the piece (inclusive).
     pub start: usize,
@@ -35,6 +52,9 @@ pub struct Piece {
     pub sorted: bool,
     /// Cached sum of the piece's values, `None` = unknown.
     pub sum: Option<i128>,
+    /// Shared prefix-sum array covering (at least) this piece's extent,
+    /// `None` = not built. Only meaningful on sorted regions.
+    pub prefix: Option<Arc<PrefixSums>>,
 }
 
 impl Piece {
@@ -48,6 +68,7 @@ impl Piece {
             hi: None,
             sorted: false,
             sum: None,
+            prefix: None,
         }
     }
 
@@ -69,8 +90,20 @@ impl Piece {
         self.lo.is_none_or(|lo| v >= lo) && self.hi.is_none_or(|hi| v < hi)
     }
 
+    /// The prefix-sum array, if it is present *and* covers this piece's
+    /// extent. This is the only form in which the aggregate paths consume
+    /// `prefix`; a stale array that no longer covers the piece is treated
+    /// as absent.
+    #[must_use]
+    pub fn covering_prefix(&self) -> Option<&Arc<PrefixSums>> {
+        self.prefix
+            .as_ref()
+            .filter(|p| p.covers(&(self.start..self.end)))
+    }
+
     /// Checks that every value in `data[start..end]` respects the bounds
-    /// and that a cached sum, if present, matches the data.
+    /// and that a cached sum or prefix-sum array, if present, matches the
+    /// data.
     #[must_use]
     pub fn validate(&self, data: &[Value]) -> bool {
         if self.end > data.len() || self.start > self.end {
@@ -86,6 +119,17 @@ impl Piece {
         if let Some(sum) = self.sum {
             if sum != slice.iter().map(|&v| i128::from(v)).sum::<i128>() {
                 return false;
+            }
+        }
+        if let Some(prefix) = &self.prefix {
+            if !prefix.covers(&(self.start..self.end)) {
+                return false;
+            }
+            for (i, &v) in slice.iter().enumerate() {
+                let pos = self.start + i;
+                if prefix.sum_range(pos..pos + 1) != i128::from(v) {
+                    return false;
+                }
             }
         }
         true
@@ -109,12 +153,9 @@ mod tests {
     #[test]
     fn bounds_are_half_open() {
         let p = Piece {
-            start: 0,
-            end: 4,
             lo: Some(10),
             hi: Some(20),
-            sorted: false,
-            sum: None,
+            ..Piece::unbounded(0, 4)
         };
         assert!(p.admits(10));
         assert!(p.admits(19));
@@ -126,17 +167,14 @@ mod tests {
     fn validate_checks_values_and_extent() {
         let data = vec![12, 15, 11, 19];
         let good = Piece {
-            start: 0,
-            end: 4,
             lo: Some(10),
             hi: Some(20),
-            sorted: false,
-            sum: None,
+            ..Piece::unbounded(0, 4)
         };
         assert!(good.validate(&data));
         let bad_bound = Piece {
             lo: Some(13),
-            ..good
+            ..good.clone()
         };
         assert!(!bad_bound.validate(&data));
         let bad_extent = Piece { end: 5, ..good };
@@ -147,12 +185,8 @@ mod tests {
     fn validate_checks_sortedness_flag() {
         let data = vec![1, 3, 2];
         let p = Piece {
-            start: 0,
-            end: 3,
-            lo: None,
-            hi: None,
             sorted: true,
-            sum: None,
+            ..Piece::unbounded(0, 3)
         };
         assert!(!p.validate(&data));
         let sorted_data = vec![1, 2, 3];
@@ -163,17 +197,15 @@ mod tests {
     fn validate_checks_cached_sum() {
         let data = vec![12, 15, 11, 19];
         let good = Piece {
-            start: 0,
-            end: 4,
             lo: Some(10),
             hi: Some(20),
-            sorted: false,
             sum: Some(12 + 15 + 11 + 19),
+            ..Piece::unbounded(0, 4)
         };
         assert!(good.validate(&data));
         let stale = Piece {
             sum: Some(999),
-            ..good
+            ..good.clone()
         };
         assert!(!stale.validate(&data));
         // An unknown sum is always admissible.
@@ -181,14 +213,46 @@ mod tests {
         assert!(unknown.validate(&data));
         // Empty pieces must cache zero (or nothing).
         let empty = Piece {
-            start: 2,
-            end: 2,
-            lo: None,
-            hi: None,
-            sorted: false,
             sum: Some(0),
+            ..Piece::unbounded(2, 2)
         };
         assert!(empty.validate(&data));
+    }
+
+    #[test]
+    fn validate_checks_prefix_sums() {
+        let data = vec![3, 7, 7, 12];
+        let good = Piece {
+            sorted: true,
+            prefix: Some(Arc::new(PrefixSums::build(0, &data))),
+            ..Piece::unbounded(0, 4)
+        };
+        assert!(good.validate(&data));
+        assert!(good.covering_prefix().is_some());
+        // A sub-piece sharing the parent's array still validates.
+        let child = Piece {
+            ..Piece::unbounded(1, 3)
+        };
+        let child = Piece {
+            sorted: true,
+            prefix: good.prefix.clone(),
+            ..child
+        };
+        assert!(child.validate(&data));
+        // A prefix built over different data is rejected.
+        let stale = Piece {
+            prefix: Some(Arc::new(PrefixSums::build(0, &[1, 1, 1, 1]))),
+            ..good.clone()
+        };
+        assert!(!stale.validate(&data));
+        // A prefix that no longer covers the extent is rejected by validate
+        // and invisible to covering_prefix.
+        let shifted = Piece {
+            prefix: Some(Arc::new(PrefixSums::build(2, &data[2..3]))),
+            ..good
+        };
+        assert!(shifted.covering_prefix().is_none());
+        assert!(!shifted.validate(&data));
     }
 
     #[test]

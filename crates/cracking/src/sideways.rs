@@ -3,7 +3,7 @@
 //!
 //! A plain cracker column physically reorders one attribute, which breaks
 //! positional alignment with the rest of the table. Sideways cracking
-//! (Idreos, Kersten, Manegold — SIGMOD 2009, ref [13] in the paper) solves
+//! (Idreos, Kersten, Manegold — SIGMOD 2009, ref 13 in the paper) solves
 //! tuple reconstruction by maintaining **cracker maps**: for a pair of
 //! attributes `(head, tail)` the map stores the two value arrays together
 //! and cracks them as a unit, so after any number of selects on `head`, the

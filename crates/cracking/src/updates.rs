@@ -16,6 +16,17 @@ use holistic_storage::UpdateBuffer;
 use crate::cracker::CrackerColumn;
 use crate::{RowId, Value};
 
+/// Largest sorted piece (in values) whose prefix-sum array ripple updates
+/// keep alive by patching. Patching costs O(piece) per merged update (an
+/// in-piece rotate plus a rebuilt prefix array, 16 bytes per value), which
+/// is the price of any sorted array under point updates — worth paying
+/// while a patch stays in the sub-millisecond range, but unbounded on a
+/// multi-million-value piece absorbing an update stream. Above this cap
+/// the ripple falls back to the O(1) hole placement (the pre-prefix
+/// behavior: the piece gives up `sorted` and its prefix; cracking takes
+/// over, and idle-time seeding re-covers whatever stays sorted).
+const MAX_PATCHED_PIECE_LEN: usize = 1 << 18;
+
 /// A cracker column plus its pending-update buffer.
 #[derive(Debug, Clone)]
 pub struct UpdatableCrackerColumn {
@@ -154,6 +165,16 @@ impl UpdatableCrackerColumn {
         self.merge_range(Value::MIN, Value::MAX);
     }
 
+    /// Merges all pending updates, then fully sorts the column (see
+    /// [`CrackerColumn::sort_fully`]): the index collapses to a single
+    /// sorted piece seeded with its sum and prefix-sum array, so every
+    /// subsequent range aggregate is zero-read. Updates merged afterwards
+    /// keep the piece sorted by patching the prefix (ripple coherence).
+    pub fn sort_fully(&mut self) {
+        self.merge_all();
+        self.cracker.sort_fully();
+    }
+
     /// Validates the full structure (cracker invariants; pending buffers are
     /// unconstrained).
     #[must_use]
@@ -168,8 +189,22 @@ impl UpdatableCrackerColumn {
     /// each intermediate piece (every piece's value multiset is preserved),
     /// so the only cached sum that changes is the target piece's, which is
     /// patched by `v`. The last piece's cache — invalidated by
-    /// [`PieceIndex::grow`] while the appended slot transiently lives there
-    /// — is restored once the ripple has moved the slot down to its target.
+    /// [`PieceIndex::grow`](crate::index::PieceIndex::grow) while the
+    /// appended slot transiently lives there — is restored once the ripple
+    /// has moved the slot down to its target.
+    ///
+    /// Prefix-sum coherence: intermediate pieces are rotated (their first
+    /// value moves to their end), which breaks sortedness, so they drop
+    /// both the `sorted` flag and any prefix array — their patched whole-
+    /// piece sums remain exact. The *target* piece is different: when it is
+    /// sorted and carries a prefix array, the value is placed at its sorted
+    /// offset (one `rotate_right` inside the piece) and the prefix array is
+    /// **patched** — entries after the offset shift by one slot and rise by
+    /// `v` ([`holistic_storage::PrefixSums::patch_insert`]) — instead of
+    /// being discarded, so the piece stays on the zero-read aggregate path
+    /// through arbitrary update streams. The patch is O(piece), so it is
+    /// capped at [`MAX_PATCHED_PIECE_LEN`]; larger pieces take the O(1)
+    /// placement and give up `sorted` + prefix (the pre-prefix behavior).
     fn ripple_insert(&mut self, v: Value) {
         let rowid = self.next_rowid;
         self.next_rowid = self.next_rowid.wrapping_add(1);
@@ -205,18 +240,22 @@ impl UpdatableCrackerColumn {
                 p.hi = Some(v.saturating_add(1));
             }
         }
-        // Open a free slot at the very end of the array.
-        let saved_last_sum = index
+        // Open a free slot at the very end of the array. `grow` invalidates
+        // the last piece's sum and prefix, so save both: the sum is restored
+        // below (the ripple preserves every non-target multiset), and the
+        // prefix feeds the target's patch when the target *is* the last
+        // piece.
+        let saved_last = index
             .pieces()
             .last()
             .expect("non-empty index has pieces")
-            .sum;
+            .clone();
         data.push(v); // placeholder, overwritten below unless target is last
         let mut rowids = rowids;
         if let Some(r) = rowids.as_deref_mut() {
             r.push(rowid as RowId);
         }
-        index.grow(1); // invalidates the last piece's cached sum
+        index.grow(1); // invalidates the last piece's cached sum and prefix
         let pieces = index.pieces_mut();
         let last = pieces.len() - 1;
         // The free slot currently sits at the end of the last piece. Ripple
@@ -238,23 +277,70 @@ impl UpdatableCrackerColumn {
             i -= 1;
         }
         data[free_slot] = v;
-        if let Some(r) = rowids {
+        if let Some(r) = rowids.as_deref_mut() {
             r[free_slot] = rowid as RowId;
         }
         // Every rippled piece kept its value multiset, so their cached sums
         // are still exact: restore the last piece's (cleared by `grow`) and
         // patch the target's, which is the only piece that gained a value.
-        pieces[last].sum = saved_last_sum;
+        pieces[last].sum = saved_last.sum;
         pieces[target].sum = pieces[target].sum.map(|s| s + i128::from(v));
-        // Any piece we rotated is no longer guaranteed to be sorted.
-        for p in pieces.iter_mut().skip(target) {
+        // Rippled-through pieces had their first value rotated to their end
+        // (and their extents shifted), so sortedness and prefix arrays are
+        // gone for them. The target piece can do better: if it was sorted
+        // with a live prefix, place `v` at its sorted offset and patch the
+        // prefix suffix instead of discarding it.
+        // The target's extent already includes the new slot, so coverage is
+        // checked against the *pre-insert* extent in the match guard below.
+        // When the target is the last piece, `grow` cleared its prefix slot
+        // and the saved copy carries it instead.
+        let target_prefix = if target == last {
+            saved_last.prefix.clone()
+        } else {
+            pieces[target].prefix.clone()
+        }
+        .filter(|_| pieces[target].sorted && pieces[target].len() <= MAX_PATCHED_PIECE_LEN);
+        let start = pieces[target].start;
+        let end = pieces[target].end; // includes the slot v occupies
+        debug_assert_eq!(free_slot, end - 1);
+        match target_prefix {
+            Some(old) if old.covers(&(start..end - 1)) => {
+                let off = data[start..end - 1].partition_point(|&x| x < v);
+                data[start + off..end].rotate_right(1);
+                if let Some(r) = rowids {
+                    r[start + off..end].rotate_right(1);
+                }
+                pieces[target].prefix = Some(std::sync::Arc::new(old.patch_insert(
+                    start..end - 1,
+                    off,
+                    v,
+                )));
+                // `sorted` stays true: the rotate re-established order.
+            }
+            _ => {
+                // No prefix to preserve: the O(1) placement at the piece's
+                // end stands, at the cost of the sorted flag.
+                pieces[target].sorted = false;
+                pieces[target].prefix = None;
+            }
+        }
+        for p in pieces.iter_mut().skip(target + 1) {
             p.sorted = false;
+            p.prefix = None;
         }
     }
 
     /// Ripple deletion: removes one occurrence of `v` (if present) by
     /// filling its slot from within its piece and rippling the hole out to
     /// the end of the array. Returns `true` if a value was removed.
+    ///
+    /// Mirrors [`UpdatableCrackerColumn::insert`]'s ripple coherence rules
+    /// (see `ripple_insert`): a sorted target piece with a live prefix
+    /// array closes the hole with a `rotate_left` (order preserved) and
+    /// **patches** the prefix suffix
+    /// ([`holistic_storage::PrefixSums::patch_remove`]); any other target
+    /// fills the hole from its own end in O(1) and gives up the sorted
+    /// flag. Rippled-through pieces drop sortedness and prefix, keep sums.
     fn ripple_delete(&mut self, v: Value) -> bool {
         let (data, mut rowids, index) = self.cracker.parts_mut();
         if index.is_empty() {
@@ -264,20 +350,39 @@ impl UpdatableCrackerColumn {
             .find_piece_for_value(v)
             .expect("non-empty index has a piece for every value");
         let pieces = index.pieces_mut();
-        let p = pieces[target];
+        let p = pieces[target].clone();
         let Some(offset) = data[p.start..p.end].iter().position(|&x| x == v) else {
             return false;
         };
         let mut hole = p.start + offset;
-        // Fill the hole from the end of its own piece, leaving the hole as
-        // the piece's last slot.
         let last_of_piece = p.end - 1;
-        data[hole] = data[last_of_piece];
-        if let Some(r) = rowids.as_deref_mut() {
-            r[hole] = r[last_of_piece];
+        let patched_prefix = p
+            .covering_prefix()
+            .filter(|_| p.sorted && p.len() <= MAX_PATCHED_PIECE_LEN)
+            .map(|old| old.patch_remove(p.start..p.end, offset));
+        match patched_prefix {
+            Some(patched) => {
+                // Sorted target with a prefix: close the hole in order and
+                // patch the suffix of the prefix array.
+                data[hole..p.end].rotate_left(1);
+                if let Some(r) = rowids.as_deref_mut() {
+                    r[hole..p.end].rotate_left(1);
+                }
+                pieces[target].prefix = Some(std::sync::Arc::new(patched));
+                // `sorted` stays true: rotation preserved the order.
+            }
+            None => {
+                // Fill the hole from the end of its own piece, leaving the
+                // hole as the piece's last slot.
+                data[hole] = data[last_of_piece];
+                if let Some(r) = rowids.as_deref_mut() {
+                    r[hole] = r[last_of_piece];
+                }
+                pieces[target].sorted = false;
+                pieces[target].prefix = None;
+            }
         }
         hole = last_of_piece;
-        pieces[target].sorted = false;
         // The ripple below preserves every other piece's value multiset;
         // only the target loses `v` — patch its cached sum accordingly.
         pieces[target].sum = pieces[target].sum.map(|s| s - i128::from(v));
@@ -300,6 +405,7 @@ impl UpdatableCrackerColumn {
             }
             hole = last;
             piece.sorted = false;
+            piece.prefix = None;
         }
         // The hole is now the very last slot of the array.
         data.pop();
@@ -527,6 +633,69 @@ mod tests {
         let agg = u.cracker().aggregate_range(r, 0, 1000);
         assert_eq!(agg.sum, scan_sum(&reference, 0, 1000));
         assert_eq!(agg.count as usize, reference.len());
+    }
+
+    #[test]
+    fn sorted_piece_survives_updates_with_a_patched_prefix() {
+        // A fully sorted, prefix-seeded column keeps its sorted pieces
+        // sorted — and their prefix arrays live — through insert/delete
+        // merges: the ripple patches the suffix instead of discarding.
+        let mut u = UpdatableCrackerColumn::from_values_with_rowids(base());
+        u.sort_fully();
+        assert_eq!(u.cracker().prefix_pieces(), 1);
+        let mut reference = base();
+        for (step, &(ins, del)) in [(45, 40), (12, 90), (100, 15), (33, 45)].iter().enumerate() {
+            u.insert(ins);
+            reference.push(ins);
+            u.delete(del);
+            let pos = reference.iter().position(|&x| x == del).unwrap();
+            reference.remove(pos);
+            u.merge_all();
+            assert!(u.validate(), "step {step}");
+            let c = u.cracker();
+            assert!(
+                c.pieces().iter().all(|p| p.sorted),
+                "step {step}: the single sorted piece must stay sorted"
+            );
+            assert_eq!(
+                c.prefix_pieces(),
+                c.piece_count(),
+                "step {step}: prefix patched, not discarded"
+            );
+            assert_sums_match_fresh_scan(&u);
+            // Interior aggregates stay zero-read through the updates.
+            let r = c.select_if_answerable(20, 80).expect("sorted + prefix");
+            let agg = c.aggregate_range(r, 20, 80);
+            let expected: i128 = reference
+                .iter()
+                .filter(|&&v| (20..80).contains(&v))
+                .map(|&v| i128::from(v))
+                .sum();
+            assert_eq!(agg.sum, expected, "step {step}");
+            assert_eq!(agg.scanned_values, 0, "step {step}");
+        }
+    }
+
+    #[test]
+    fn oversized_sorted_pieces_fall_back_to_cheap_placement() {
+        // Above MAX_PATCHED_PIECE_LEN the O(piece) patch would make every
+        // merged update unboundedly expensive, so the ripple reverts to the
+        // O(1) placement: sorted + prefix are given up, sums stay patched,
+        // answers stay exact.
+        let n = MAX_PATCHED_PIECE_LEN + 64;
+        let mut u = UpdatableCrackerColumn::from_values((0..n as Value).collect());
+        u.sort_fully();
+        assert_eq!(u.cracker().prefix_pieces(), 1);
+        u.insert(5);
+        u.merge_all();
+        assert!(u.validate());
+        let c = u.cracker();
+        assert!(
+            c.pieces().iter().all(|p| !p.sorted && p.prefix.is_none()),
+            "oversized piece must take the O(1) fallback"
+        );
+        assert_eq!(c.cached_sum_pieces(), c.piece_count(), "sum still patched");
+        assert_eq!(u.count(0, 10), 11);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * update merges (ripple insertion/deletion through
 //!   `UpdatableCrackerColumn`), which grow and shrink the column;
 //! * direct `PieceIndex` maintenance: sum-recorded splits interleaved with
-//!   `grow`/`shrink` against a model data array.
+//!   `grow`/`shrink` against a model data array;
+//! * full sorts (`sort_fully`) interleaved with everything above: sorted
+//!   pieces carry prefix-sum arrays that must stay exact through
+//!   binary-search splits and ripple-patched update merges.
 
 use proptest::prelude::*;
 
@@ -32,7 +35,8 @@ fn slice_sum(values: &[i64]) -> i128 {
 }
 
 /// The central coherence property: every `Some` piece sum equals a fresh
-/// scan of exactly that piece's slice.
+/// scan of exactly that piece's slice, and every prefix-sum array agrees
+/// with a fresh recomputation over the piece's extent.
 fn assert_cache_equals_recompute(c: &CrackerColumn) {
     for (i, p) in c.pieces().iter().enumerate() {
         if let Some(sum) = p.sum {
@@ -41,6 +45,15 @@ fn assert_cache_equals_recompute(c: &CrackerColumn) {
                 slice_sum(&c.data()[p.start..p.end]),
                 "piece {i} cached sum diverged"
             );
+        }
+        if let Some(prefix) = p.covering_prefix() {
+            for pos in p.start..p.end {
+                assert_eq!(
+                    prefix.sum_range(p.start..pos + 1),
+                    slice_sum(&c.data()[p.start..pos + 1]),
+                    "piece {i} prefix diverged at position {pos}"
+                );
+            }
         }
     }
 }
@@ -62,7 +75,7 @@ prop_compose! {
 
 prop_compose! {
     /// Mixed operations: `(tag, a, b)` interpreted by `apply_op`.
-    fn arb_ops()(ops in prop::collection::vec((0u8..6, -1100i64..1100, 0i64..300), 1..40))
+    fn arb_ops()(ops in prop::collection::vec((0u8..7, -1100i64..1100, 0i64..300), 1..40))
         -> Vec<(u8, i64, i64)>
     {
         ops
@@ -98,6 +111,10 @@ fn apply_op(
         }
         // Merge everything that is pending.
         4 => u.merge_all(),
+        // Full sort: collapses the index to one sorted, prefix-seeded
+        // piece, so later selects split it by binary search and later
+        // update merges exercise the ripple's prefix patching.
+        5 => u.sort_fully(),
         // A couple of random refinement actions cannot be applied through
         // the updatable wrapper; emulate idle-time work with selects on
         // random bounds instead.
@@ -211,6 +228,60 @@ proptest! {
         // i64::MAX is excluded by the half-open upper bound, but arb values
         // never reach it, so the full-range sum covers the whole multiset.
         prop_assert_eq!(agg.sum, slice_sum(&reference));
+    }
+
+    #[test]
+    fn prefix_sums_survive_sorted_splits_interleaved_with_updates(
+        values in arb_column(),
+        ops in arb_ops(),
+        seed in any::<u64>(),
+        with_rowids in any::<bool>(),
+    ) {
+        // Start from a fully sorted, prefix-seeded column, then interleave
+        // selects (binary-search splits sharing the prefix), inserts and
+        // deletes (ripple patches), occasional re-sorts, and full merges.
+        // After every operation the prefix arrays must equal a fresh
+        // recomputation, and resolved aggregates must equal a model scan.
+        let mut u = if with_rowids {
+            UpdatableCrackerColumn::from_values_with_rowids(values.clone())
+        } else {
+            UpdatableCrackerColumn::from_values(values.clone())
+        };
+        u.sort_fully();
+        prop_assert!(u.cracker().prefix_pieces() >= usize::from(!values.is_empty()));
+        let mut reference = values.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for &op in &ops {
+            apply_op(&mut u, &mut reference, op, &mut rng);
+            assert_cache_equals_recompute(u.cracker());
+            prop_assert!(u.validate());
+            // Sorted-piece aggregates answered read-only must match the
+            // model — but only when no updates are pending in the probed
+            // range (selects merge first; the read-only path does not).
+            if u.pending_inserts() == 0 && u.pending_deletes() == 0 {
+                let (lo, hi) = (op.1.min(900), op.1.min(900) + (op.2 % 80) + 1);
+                if let Some(r) = u.cracker().select_if_answerable(lo, hi) {
+                    let agg = u.cracker().aggregate_range(r, lo, hi);
+                    let expected: i128 = reference
+                        .iter()
+                        .filter(|&&v| v >= lo && v < hi)
+                        .map(|&v| i128::from(v))
+                        .sum();
+                    prop_assert_eq!(agg.sum, expected, "[{}, {}) read-only", lo, hi);
+                    prop_assert_eq!(agg.scanned_values, 0, "[{}, {}) zero-read", lo, hi);
+                }
+            }
+        }
+        // Re-sort at the end: one sorted piece, prefix seeded, aggregates
+        // exact over the final multiset.
+        u.sort_fully();
+        assert_cache_equals_recompute(u.cracker());
+        let r = u.cracker().select_if_answerable(i64::MIN, i64::MAX)
+            .expect("sorted column is always answerable");
+        let agg = u.cracker().aggregate_range(r, i64::MIN, i64::MAX);
+        prop_assert_eq!(agg.count as usize, reference.len());
+        prop_assert_eq!(agg.sum, slice_sum(&reference));
+        prop_assert_eq!(agg.scanned_values, 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //!
 //! Offline indexing is the classic auto-tuning approach (index advisors such
 //! as the SQL Server tuning wizard, DB2 Design Advisor, Oracle automatic SQL
-//! tuning — refs [1,2,3,5,6,17] in the paper): given a *representative
+//! tuning — refs 1,2,3,5,6,17 in the paper): given a *representative
 //! workload* known a priori and enough idle time before queries arrive, the
 //! advisor enumerates candidate indexes, costs them with a *what-if* model
 //! (hypothetical indexes that are simulated rather than materialized), and

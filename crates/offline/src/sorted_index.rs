@@ -1,6 +1,8 @@
 //! Full sorted indexes: the structure offline indexing materializes.
 
-use holistic_storage::{Column, SelectionVector};
+use std::sync::OnceLock;
+
+use holistic_storage::{Column, PrefixSums, SelectionVector};
 
 use crate::{RowId, Value};
 
@@ -12,10 +14,27 @@ use crate::{RowId, Value};
 /// its experiments. Building it costs a full sort of the column, which is
 /// exactly the cost the paper charges offline indexing up front
 /// (`Time_sort = 28.4 s` for one 10^8-value column on their hardware).
+///
+/// # Aggregates
+///
+/// Range *counts* are always two binary searches. Range *sums* come in two
+/// flavors: [`SortedIndex::range_sum`] scans the qualifying slice (the
+/// pre-prefix behavior, kept as the explicit fallback), while
+/// [`SortedIndex::query_sum`] answers from a [`PrefixSums`] array — the
+/// same structure the cracking layer attaches to sorted pieces — with one
+/// subtraction and zero value reads. The array is built once by
+/// [`SortedIndex::seed_prefix`] (the engine seeds during offline
+/// preparation, online tuner builds, and idle time); `query_sum` reports
+/// `None` until then so callers can observe — and count — the miss instead
+/// of paying a hidden build on a query's critical path.
 #[derive(Debug, Clone)]
 pub struct SortedIndex {
     values: Vec<Value>,
     rowids: Vec<RowId>,
+    /// Lazily seeded prefix sums over `values` (base 0). `OnceLock` gives
+    /// build-once/read-many semantics through `&self`, matching the
+    /// engine's shared-reference query path.
+    prefix: OnceLock<PrefixSums>,
 }
 
 impl SortedIndex {
@@ -38,6 +57,7 @@ impl SortedIndex {
         SortedIndex {
             values: sorted_values,
             rowids,
+            prefix: OnceLock::new(),
         }
     }
 
@@ -82,6 +102,47 @@ impl SortedIndex {
         (end - start) as u64
     }
 
+    /// Builds the prefix-sum array if it is not seeded yet. Returns `true`
+    /// if this call built it (one streaming pass over the sorted values),
+    /// `false` if it was already there.
+    pub fn seed_prefix(&self) -> bool {
+        let mut built = false;
+        self.prefix.get_or_init(|| {
+            built = true;
+            PrefixSums::build(0, &self.values)
+        });
+        built
+    }
+
+    /// Whether the prefix-sum array has been seeded.
+    #[must_use]
+    pub fn prefix_seeded(&self) -> bool {
+        self.prefix.get().is_some()
+    }
+
+    /// Counts the values in `[lo, hi)` — the aggregate-query spelling of
+    /// [`SortedIndex::count`] (counts never need the prefix array; the
+    /// extent between two binary searches is the count).
+    #[must_use]
+    pub fn query_count(&self, lo: Value, hi: Value) -> u64 {
+        self.count(lo, hi)
+    }
+
+    /// Sums the values in `[lo, hi)` from the prefix-sum array: two binary
+    /// searches and one subtraction, zero value reads. Returns `None` while
+    /// the array is unseeded (see [`SortedIndex::seed_prefix`]), so callers
+    /// can fall back to [`SortedIndex::range_sum`] and report the miss.
+    #[must_use]
+    pub fn query_sum(&self, lo: Value, hi: Value) -> Option<i128> {
+        let prefix = self.prefix.get()?;
+        if hi <= lo {
+            return Some(0);
+        }
+        let start = self.values.partition_point(|&v| v < lo);
+        let end = self.values.partition_point(|&v| v < hi);
+        Some(prefix.sum_range(start..end))
+    }
+
     /// Returns the qualifying values for `[lo, hi)` (already sorted).
     #[must_use]
     pub fn range_values(&self, lo: Value, hi: Value) -> &[Value] {
@@ -104,7 +165,9 @@ impl SortedIndex {
         SelectionVector::from_rows(self.rowids[start..end].to_vec())
     }
 
-    /// Sum of qualifying values for `[lo, hi)`.
+    /// Sum of qualifying values for `[lo, hi)` by scanning the qualifying
+    /// slice — the masked-scan fallback [`SortedIndex::query_sum`] replaces
+    /// once the prefix array is seeded.
     #[must_use]
     pub fn range_sum(&self, lo: Value, hi: Value) -> i128 {
         self.range_values(lo, hi)
@@ -113,11 +176,13 @@ impl SortedIndex {
             .sum()
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint in bytes (including the prefix array once
+    /// seeded).
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         self.values.len() * std::mem::size_of::<Value>()
             + self.rowids.len() * std::mem::size_of::<RowId>()
+            + self.prefix.get().map_or(0, PrefixSums::memory_bytes)
     }
 }
 
@@ -184,11 +249,33 @@ mod tests {
     }
 
     #[test]
+    fn query_sum_needs_seeding_and_then_matches_the_scan() {
+        let values = data();
+        let idx = SortedIndex::build_from_values(&values);
+        assert!(!idx.prefix_seeded());
+        assert_eq!(idx.query_sum(10, 50), None, "unseeded: caller falls back");
+        assert!(idx.seed_prefix());
+        assert!(!idx.seed_prefix(), "second seed is a no-op");
+        assert!(idx.prefix_seeded());
+        for &(lo, hi) in &[(0, 100), (10, 50), (50, 10), (23, 24), (92, 200)] {
+            assert_eq!(
+                idx.query_sum(lo, hi),
+                Some(idx.range_sum(lo, hi)),
+                "[{lo},{hi})"
+            );
+            assert_eq!(idx.query_count(lo, hi), idx.count(lo, hi));
+        }
+        assert!(idx.memory_bytes() > values.len() * 12, "prefix is counted");
+    }
+
+    #[test]
     fn empty_index() {
         let idx = SortedIndex::build_from_values(&[]);
         assert!(idx.is_empty());
         assert_eq!(idx.count(0, 10), 0);
         assert_eq!(idx.memory_bytes(), 0);
+        assert!(idx.seed_prefix());
+        assert_eq!(idx.query_sum(0, 10), Some(0));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! materializing them.
 //!
 //! This is the technique introduced by the 1997 index-selection paper the
-//! paper cites as the seminal offline work ([5]): candidate indexes are
+//! paper cites as the seminal offline work (ref 5): candidate indexes are
 //! *simulated* — described only by their metadata — and the optimizer's cost
 //! model is asked what the workload would cost if they existed.
 

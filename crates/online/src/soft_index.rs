@@ -1,6 +1,6 @@
 //! Soft indexes: index builds piggybacked on scans.
 //!
-//! Soft indexes (Lühring, Sattler et al. — ICDE Workshops 2007, ref [15])
+//! Soft indexes (Lühring, Sattler et al. — ICDE Workshops 2007, ref 15)
 //! reduce the online index-creation penalty by sharing the scan an index
 //! build needs with a query that is scanning the same column anyway: the
 //! query pays its scan once, and the index build only adds the sort of the
@@ -45,10 +45,17 @@ impl SoftIndexBuilder {
     /// Builds an index on `column`, assuming a concurrent query is already
     /// scanning it. The returned [`SoftBuildOutcome::extra_cost`] excludes
     /// the scan that is shared with the query.
+    ///
+    /// The index is handed over with its prefix-sum array seeded: the build
+    /// is already streaming the sorted values, so the extra pass rides the
+    /// same piggyback logic as the build itself, and every aggregate query
+    /// on the soft-built index answers zero-read from day one
+    /// ([`SortedIndex::query_sum`]).
     #[must_use]
     pub fn build_shared(&self, column: &Column) -> SoftBuildOutcome {
         let n = column.len();
         let index = SortedIndex::build(column);
+        index.seed_prefix();
         let standalone_cost = self.model.full_build_cost(n) + self.model.scan_cost(n);
         let extra_cost = self.model.full_build_cost(n);
         SoftBuildOutcome {

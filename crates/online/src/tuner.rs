@@ -81,6 +81,13 @@ impl OnlineTuner {
         self.indexes.get(&column).map(Arc::clone)
     }
 
+    /// Shared handles to every maintained index, so idle-time maintenance
+    /// (e.g. prefix-sum seeding) can run outside the tuner lock.
+    #[must_use]
+    pub fn index_arcs(&self) -> Vec<Arc<SortedIndex>> {
+        self.indexes.values().map(Arc::clone).collect()
+    }
+
     /// Number of columns that currently have an index.
     #[must_use]
     pub fn index_count(&self) -> usize {
@@ -144,8 +151,12 @@ impl OnlineTuner {
                 TuningDecision::Create(col) => {
                     if let Some(base) = resolve(*col) {
                         let cost = self.policy.model().full_build_cost(base.len());
-                        self.indexes
-                            .insert(*col, Arc::new(SortedIndex::build(&base)));
+                        let index = SortedIndex::build(&base);
+                        // Seed the prefix array while the build already owns
+                        // the epoch-boundary penalty: aggregates on the
+                        // fresh index are zero-read from the first probe.
+                        index.seed_prefix();
+                        self.indexes.insert(*col, Arc::new(index));
                         self.build_work += cost;
                         self.decisions_applied += 1;
                     }

@@ -18,6 +18,9 @@
 //!   catalog of tables addressed by [`TableId`]/[`ColumnId`].
 //! * [`scan`] — the bulk scan operators (count, positions, materialize,
 //!   aggregate) that every non-indexed access path bottoms out in.
+//! * [`PrefixSums`] — exclusive prefix-sum arrays, the zero-read aggregate
+//!   structure shared by the cracking layer's sorted pieces and the offline
+//!   layer's sorted indexes.
 //! * [`SelectionVector`] — the qualifying-row representation shared by the
 //!   scan and index access paths.
 //! * [`UpdateBuffer`] — pending insert/delete buffers used by the cracking
@@ -35,6 +38,7 @@ pub mod catalog;
 pub mod column;
 pub mod error;
 pub mod histogram;
+pub mod prefix;
 pub mod scan;
 pub mod selection;
 pub mod stats;
@@ -45,7 +49,10 @@ pub use catalog::{Catalog, ColumnId, TableId};
 pub use column::Column;
 pub use error::StorageError;
 pub use histogram::EquiWidthHistogram;
-pub use scan::{scan_count, scan_full, scan_materialize, scan_positions, scan_sum, ScanResult};
+pub use prefix::PrefixSums;
+pub use scan::{
+    prefix_sums, scan_count, scan_full, scan_materialize, scan_positions, scan_sum, ScanResult,
+};
 pub use selection::SelectionVector;
 pub use stats::ColumnStats;
 pub use table::Table;

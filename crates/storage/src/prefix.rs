@@ -1,0 +1,259 @@
+//! Prefix-sum arrays: the zero-read aggregate structure for sorted data.
+//!
+//! A [`PrefixSums`] array over a value slice turns any positional range
+//! aggregate into one subtraction: `sum(values[a..b]) = prefix[b] -
+//! prefix[a]`. On *sorted* data that composes with binary search into the
+//! zero-scan answer path for range count/sum queries — two
+//! `partition_point`s to find the positions, one subtraction for the sum —
+//! which is exactly what the cracking layer's sorted pieces and the offline
+//! layer's [`SortedIndex`](https://en.wikipedia.org/wiki/Sorted_array)
+//! structures need. The build kernel lives in [`crate::scan::prefix_sums`],
+//! next to the masked-sum kernel it replaces on those paths.
+//!
+//! Positions are *absolute* (the `base` offset records where the covered
+//! slice starts), so one shared array can serve every sub-piece split out of
+//! a sorted region without re-basing: the cracking layer hands an
+//! `Arc<PrefixSums>` down to all descendants of a sorted piece.
+
+use std::ops::Range;
+
+use crate::scan::prefix_sums;
+use crate::Value;
+
+/// An exclusive prefix-sum array over a value slice starting at an absolute
+/// position `base`.
+///
+/// Entry `i` holds the exact sum of the first `i` covered values, so the sum
+/// of absolute positions `[a, b)` is `sums[b - base] - sums[a - base]`. Sums
+/// are `i128`, exact over the full `i64` value domain at any length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixSums {
+    base: usize,
+    sums: Vec<i128>,
+}
+
+impl PrefixSums {
+    /// Builds the prefix sums of `values`, covering absolute positions
+    /// `[base, base + values.len())`.
+    #[must_use]
+    pub fn build(base: usize, values: &[Value]) -> Self {
+        PrefixSums {
+            base,
+            sums: prefix_sums(values),
+        }
+    }
+
+    /// First absolute position covered.
+    #[must_use]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// One past the last absolute position covered.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.base + self.value_len()
+    }
+
+    /// Number of values covered.
+    #[must_use]
+    pub fn value_len(&self) -> usize {
+        self.sums.len() - 1
+    }
+
+    /// Whether no values are covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.value_len() == 0
+    }
+
+    /// Whether the absolute position range lies within the covered extent.
+    #[must_use]
+    pub fn covers(&self, range: &Range<usize>) -> bool {
+        range.start >= self.base && range.end <= self.end() && range.start <= range.end
+    }
+
+    /// The prefix value at absolute position `pos`: the sum of the covered
+    /// values in `[base, pos)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` lies outside `[base, end]`.
+    #[must_use]
+    pub fn at(&self, pos: usize) -> i128 {
+        self.sums[pos - self.base]
+    }
+
+    /// The exact sum of the values at absolute positions `range` — one
+    /// subtraction, zero value reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not covered (see [`PrefixSums::covers`]).
+    #[must_use]
+    pub fn sum_range(&self, range: Range<usize>) -> i128 {
+        if range.end <= range.start {
+            return 0;
+        }
+        self.at(range.end) - self.at(range.start)
+    }
+
+    /// The sum of every covered value.
+    #[must_use]
+    pub fn total(&self) -> i128 {
+        self.sums[self.sums.len() - 1]
+    }
+
+    /// A patched copy for an insertion: `piece` is the covered absolute
+    /// range *before* the insert, `off` the relative offset at which value
+    /// `v` was inserted. The result is re-based to `piece.start` and covers
+    /// one more value — the entries up to `off` are copied, the suffix is
+    /// shifted by one slot and raised by `v`.
+    ///
+    /// This is how the cracking layer's ripple-insert keeps a sorted
+    /// piece's prefix array live instead of discarding it: the patch reads
+    /// only the old array, never the data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `piece` is not covered or `off > piece.len()`.
+    #[must_use]
+    pub fn patch_insert(&self, piece: Range<usize>, off: usize, v: Value) -> PrefixSums {
+        assert!(self.covers(&piece), "patched piece must be covered");
+        let n = piece.end - piece.start;
+        assert!(off <= n, "insert offset outside the piece");
+        let rebase = self.at(piece.start);
+        let mut sums = Vec::with_capacity(n + 2);
+        for k in 0..=off {
+            sums.push(self.at(piece.start + k) - rebase);
+        }
+        for k in off..=n {
+            sums.push(self.at(piece.start + k) - rebase + i128::from(v));
+        }
+        PrefixSums {
+            base: piece.start,
+            sums,
+        }
+    }
+
+    /// A patched copy for a removal: `piece` is the covered absolute range
+    /// *before* the delete, `off` the relative offset whose value was
+    /// removed. The result is re-based to `piece.start` and covers one
+    /// value fewer — the suffix entries are shifted down and lowered by the
+    /// removed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `piece` is not covered or `off >= piece.len()`.
+    #[must_use]
+    pub fn patch_remove(&self, piece: Range<usize>, off: usize) -> PrefixSums {
+        assert!(self.covers(&piece), "patched piece must be covered");
+        let n = piece.end - piece.start;
+        assert!(off < n, "remove offset outside the piece");
+        let rebase = self.at(piece.start);
+        let removed = self.sum_range(piece.start + off..piece.start + off + 1);
+        let mut sums = Vec::with_capacity(n);
+        for k in 0..=off {
+            sums.push(self.at(piece.start + k) - rebase);
+        }
+        for k in off + 1..n {
+            sums.push(self.at(piece.start + k + 1) - rebase - removed);
+        }
+        PrefixSums {
+            base: piece.start,
+            sums,
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.sums.len() * std::mem::size_of::<i128>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query_ranges() {
+        let values = [5, -3, 7, 0, 10];
+        let p = PrefixSums::build(10, &values);
+        assert_eq!(p.base(), 10);
+        assert_eq!(p.end(), 15);
+        assert_eq!(p.value_len(), 5);
+        assert!(!p.is_empty());
+        assert_eq!(p.total(), 19);
+        assert_eq!(p.sum_range(10..15), 19);
+        assert_eq!(p.sum_range(11..13), 4);
+        assert_eq!(p.sum_range(12..12), 0);
+        assert_eq!(p.at(10), 0);
+        assert_eq!(p.at(12), 2);
+    }
+
+    #[test]
+    fn covers_is_absolute() {
+        let p = PrefixSums::build(4, &[1, 2, 3]);
+        assert!(p.covers(&(4..7)));
+        assert!(p.covers(&(5..5)));
+        assert!(!p.covers(&(3..5)));
+        assert!(!p.covers(&(5..8)));
+    }
+
+    #[test]
+    fn empty_slice() {
+        let p = PrefixSums::build(0, &[]);
+        assert!(p.is_empty());
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.sum_range(0..0), 0);
+        assert_eq!(p.memory_bytes(), 16);
+    }
+
+    #[test]
+    fn patch_insert_matches_rebuild() {
+        let values = [2, 4, 6, 8];
+        let p = PrefixSums::build(10, &values);
+        for off in 0..=values.len() {
+            let mut patched_values = values.to_vec();
+            patched_values.insert(off, 5);
+            let patched = p.patch_insert(10..14, off, 5);
+            assert_eq!(
+                patched,
+                PrefixSums::build(10, &patched_values),
+                "insert at {off}"
+            );
+        }
+        // Patching a sub-range of a wider array re-bases to the sub-range.
+        let sub = p.patch_insert(11..13, 1, 5);
+        assert_eq!(sub, PrefixSums::build(11, &[4, 5, 6]));
+    }
+
+    #[test]
+    fn patch_remove_matches_rebuild() {
+        let values = [2, 4, 6, 8];
+        let p = PrefixSums::build(10, &values);
+        for off in 0..values.len() {
+            let mut patched_values = values.to_vec();
+            patched_values.remove(off);
+            let patched = p.patch_remove(10..14, off);
+            assert_eq!(
+                patched,
+                PrefixSums::build(10, &patched_values),
+                "remove at {off}"
+            );
+        }
+        let sub = p.patch_remove(11..13, 0);
+        assert_eq!(sub, PrefixSums::build(11, &[6]));
+    }
+
+    #[test]
+    fn extreme_values_stay_exact() {
+        let values = vec![i64::MAX; 200];
+        let p = PrefixSums::build(0, &values);
+        assert_eq!(p.total(), i128::from(i64::MAX) * 200);
+        let lows = vec![i64::MIN; 200];
+        let p = PrefixSums::build(0, &lows);
+        assert_eq!(p.sum_range(50..150), i128::from(i64::MIN) * 100);
+    }
+}

@@ -93,6 +93,35 @@ fn sum_chunk(chunk: &[Value], lo: Value, hi: Value) -> i128 {
     (i128::from(high_acc) << 32) + i128::from(low_acc)
 }
 
+/// Builds the exclusive prefix sums of `values`: `out[i]` is the exact sum
+/// of `values[..i]`, so `out.len() == values.len() + 1` and any positional
+/// range aggregate becomes one subtraction (`sum(a..b) = out[b] - out[a]`).
+///
+/// This is the build kernel behind [`crate::PrefixSums`] — the structure
+/// that makes range aggregates on sorted data zero-read. The loop runs over
+/// the same fixed-width chunks as the masked-sum kernel above; unlike it,
+/// a prefix sum must *store* every running total, so the output writes (16
+/// bytes per value), not the additions, dominate. The accumulator is `i128`
+/// throughout: exact over the full `i64` domain at any input length.
+#[must_use]
+pub fn prefix_sums(values: &[Value]) -> Vec<i128> {
+    let mut out: Vec<i128> = Vec::with_capacity(values.len() + 1);
+    out.push(0);
+    let mut acc = 0i128;
+    let mut chunks = values.chunks_exact(CHUNK);
+    for chunk in &mut chunks {
+        for &v in chunk {
+            acc += i128::from(v);
+            out.push(acc);
+        }
+    }
+    for &v in chunks.remainder() {
+        acc += i128::from(v);
+        out.push(acc);
+    }
+    out
+}
+
 /// Returns the row ids whose values fall in `[lo, hi)`.
 #[must_use]
 pub fn scan_positions(values: &[Value], lo: Value, hi: Value) -> SelectionVector {
@@ -271,6 +300,28 @@ mod tests {
             assert_eq!(mat.len(), expected_count as usize);
             assert!(mat.iter().all(|&v| v >= lo && v < hi));
         }
+    }
+
+    #[test]
+    fn prefix_sums_match_reference_across_chunks() {
+        let n = CHUNK * 3 + 11;
+        let values: Vec<Value> = (0..n)
+            .map(|i| ((i as i64).wrapping_mul(2654435761) % 1000) - 500)
+            .collect();
+        let prefix = prefix_sums(&values);
+        assert_eq!(prefix.len(), n + 1);
+        assert_eq!(prefix[0], 0);
+        let mut acc = 0i128;
+        for (i, &v) in values.iter().enumerate() {
+            acc += i128::from(v);
+            assert_eq!(prefix[i + 1], acc, "entry {}", i + 1);
+        }
+        // Any range sum is a subtraction of two entries.
+        assert_eq!(
+            prefix[40] - prefix[7],
+            values[7..40].iter().map(|&v| i128::from(v)).sum::<i128>()
+        );
+        assert_eq!(prefix_sums(&[]), vec![0]);
     }
 
     #[test]

@@ -98,6 +98,7 @@ fn main() {
             idle_threshold: Duration::from_millis(5),
             batch_actions: 128,
             poll_interval: Duration::from_millis(1),
+            seed_prefix_sums: true,
         },
     );
     std::thread::sleep(Duration::from_millis(200)); // think time

@@ -1,7 +1,12 @@
 //! Quickstart: load a table, run range queries under holistic indexing, and
 //! watch the column get faster both from queries and from idle time.
 //!
-//! Run with `cargo run --release --example quickstart -p holistic-core`.
+//! This is the full-scale, timing-instrumented twin of the crate-level
+//! doctest in `holistic-core` (`crates/core/src/lib.rs`): both follow the
+//! same numbered sequence, and `cargo test --doc` exercises the doctest
+//! version in CI so the happy path can never silently break.
+//!
+//! Run with `cargo run --release --example quickstart`.
 
 use holistic_core::{Database, HolisticConfig, IdleBudget, IndexingStrategy, Query};
 use rand::rngs::StdRng;

@@ -161,6 +161,7 @@ fn background_tuner_and_foreground_queries_coexist() {
             idle_threshold: Duration::from_millis(1),
             batch_actions: 16,
             poll_interval: Duration::from_micros(200),
+            seed_prefix_sums: true,
         },
     );
     // Interleave short bursts of queries with idle gaps.

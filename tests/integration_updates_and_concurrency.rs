@@ -226,6 +226,7 @@ fn shared_engine_stress_with_background_tuner() {
             idle_threshold: Duration::ZERO,
             batch_actions: 32,
             poll_interval: Duration::from_micros(100),
+            seed_prefix_sums: true,
         },
     );
 

@@ -96,7 +96,7 @@ impl SizeRange {
     }
 }
 
-/// Strategy for `Vec`s with element strategy `S` (see [`vec`]).
+/// Strategy for `Vec`s with element strategy `S` (see [`vec()`]).
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
