@@ -1,0 +1,207 @@
+//! Crash recovery cost: how long a restart takes and what the recovered
+//! engine is worth, against the only alternative — rebuilding cold.
+//!
+//! The holistic engine's value is *learned* state: crack boundaries, cached
+//! sums, sorted pieces, prefix arrays. A process restart used to discard
+//! all of it. This bench measures the persistence path end to end:
+//!
+//! 1. **snapshot** — wall time (and file size) of checkpointing a
+//!    query-warmed engine (data + piece tables + prefix arrays, CRC'd,
+//!    written atomically);
+//! 2. **recover** — wall time of coming back from the snapshot plus a WAL
+//!    tail of post-snapshot updates, with every recovered piece validated;
+//! 3. **post-restart warm throughput** — the workload replayed on the
+//!    recovered engine (learned state intact, so queries are resolved
+//!    lookups), vs. the same replay on a **cold rebuild** (fresh engine
+//!    over the same data, paying first-touch cracking again).
+//!
+//! Scale knobs: `HOLISTIC_SCALE` (rows, default 1,000,000) and
+//! `HOLISTIC_QUERIES` (distinct queries, default 1,000).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use holistic_bench::uniform_column;
+use holistic_core::{Database, FaultInjector, HolisticConfig, IndexingStrategy, Query};
+use holistic_workload::{QueryGenerator, UniformRangeGenerator};
+
+const SELECTIVITY: f64 = 0.01;
+/// Post-snapshot updates forming the WAL tail recovery has to replay.
+const WAL_TAIL: usize = 1_000;
+/// Measured repetitions of the warm query set.
+const REPS: usize = 5;
+
+fn scale() -> usize {
+    std::env::var("HOLISTIC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+fn query_count() -> usize {
+    std::env::var("HOLISTIC_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000)
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("holistic-micro-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+fn bounds(n: usize, count: usize, seed: u64) -> Vec<(i64, i64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UniformRangeGenerator::new(0, 1, n as i64 + 1, SELECTIVITY);
+    (0..count)
+        .map(|_| {
+            let q = g.next_query(&mut rng);
+            (q.lo, q.hi)
+        })
+        .collect()
+}
+
+/// Best-of-3 wall time of replaying the query set `REPS` times, as q/s.
+fn throughput(db: &Database, queries: &[Query]) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..REPS {
+            for q in queries {
+                let r = db.execute(q).expect("query");
+                std::hint::black_box((r.count, r.sum));
+            }
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (queries.len() * REPS) as f64 / best
+}
+
+fn dir_bytes(dir: &PathBuf) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let n = scale();
+    let qcount = query_count();
+    let dir = tmpdir();
+    let warm = bounds(n, qcount, 0x5EED);
+    println!(
+        "micro_recovery: {n} rows, {qcount} queries, {WAL_TAIL} WAL-tail updates, \
+         {:.1}% selectivity",
+        SELECTIVITY * 100.0
+    );
+
+    // Build and warm the persisted engine: query-driven cracking plus an
+    // idle-sorted second half of the workload's value space.
+    let mut db = Database::new(HolisticConfig::default(), IndexingStrategy::Holistic);
+    db.set_persistence(&dir, FaultInjector::new())
+        .expect("enable persistence");
+    let table = db
+        .create_table("r", vec![("a", uniform_column(n, 0xBA7C4))])
+        .expect("create table");
+    let col = db.column_id(table, "a").expect("column id");
+    let queries: Vec<Query> = warm
+        .iter()
+        .map(|&(lo, hi)| Query::range(col, lo, hi))
+        .collect();
+    for q in &queries {
+        db.execute(q).expect("warm query");
+    }
+    let pieces_before = db.piece_count(col);
+
+    // 1. Snapshot the warmed engine.
+    let start = Instant::now();
+    let generation = db.snapshot().expect("snapshot");
+    let snap_time = start.elapsed();
+    let on_disk = dir_bytes(&dir);
+    println!(
+        "\nsnapshot: generation {generation} in {:.1} ms ({:.1} MB on disk, {} pieces)",
+        snap_time.as_secs_f64() * 1e3,
+        on_disk as f64 / 1e6,
+        pieces_before
+    );
+
+    // A WAL tail: post-snapshot updates recovery must replay.
+    for i in 0..WAL_TAIL {
+        db.insert(col, (i % n) as i64).expect("wal-tail insert");
+    }
+    drop(db); // crash
+
+    // 2. Recover: snapshot load + validation + WAL replay.
+    let start = Instant::now();
+    let (recovered, outcome) = Database::recover(
+        HolisticConfig::default(),
+        IndexingStrategy::Holistic,
+        &dir,
+        FaultInjector::new(),
+    )
+    .expect("recovery");
+    let rec_time = start.elapsed();
+    assert_eq!(outcome.wal_records_replayed, WAL_TAIL as u64);
+    assert!(
+        outcome.cold_columns.is_empty(),
+        "learned state must survive"
+    );
+    println!(
+        "recover:  {:.1} ms (snapshot gen {:?}, {} WAL records replayed, {} pieces back)",
+        rec_time.as_secs_f64() * 1e3,
+        outcome.snapshot_generation,
+        outcome.wal_records_replayed,
+        recovered.piece_count(col)
+    );
+
+    // 3. Cold rebuild baseline: fresh engine over the same data; its first
+    // pass over the workload re-pays all of the cracking.
+    let start = Instant::now();
+    let mut cold = Database::new(HolisticConfig::default(), IndexingStrategy::Holistic);
+    let cold_table = cold
+        .create_table("r", vec![("a", uniform_column(n, 0xBA7C4))])
+        .expect("create table");
+    let cold_col = cold.column_id(cold_table, "a").expect("column id");
+    for i in 0..WAL_TAIL {
+        cold.insert(cold_col, (i % n) as i64).expect("insert");
+    }
+    let cold_queries: Vec<Query> = warm
+        .iter()
+        .map(|&(lo, hi)| Query::range(cold_col, lo, hi))
+        .collect();
+    for q in &cold_queries {
+        cold.execute(q).expect("cold first pass");
+    }
+    let cold_first_pass = start.elapsed();
+
+    // Steady-state throughput on both engines.
+    let recovered_qps = throughput(&recovered, &queries);
+    let cold_qps = throughput(&cold, &cold_queries);
+
+    println!(
+        "cold rebuild: {:.1} ms to rebuild + crack through the workload once",
+        cold_first_pass.as_secs_f64() * 1e3
+    );
+    println!(
+        "time to warm: recovered {:.1} ms vs cold {:.1} ms ({:.2}x)",
+        rec_time.as_secs_f64() * 1e3,
+        cold_first_pass.as_secs_f64() * 1e3,
+        cold_first_pass.as_secs_f64() / rec_time.as_secs_f64().max(1e-9)
+    );
+    println!("\nsteady-state replay of the workload (queries/s):");
+    println!("{:<22} {:>14}", "engine", "queries/s");
+    println!("{:<22} {:>14.0}", "recovered (warm)", recovered_qps);
+    println!("{:<22} {:>14.0}", "cold rebuild", cold_qps);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -42,6 +42,13 @@ pub struct BackgroundConfig {
     /// structures seeded by a batch count toward
     /// [`BackgroundTuner::actions_applied`]. Enabled by default.
     pub seed_prefix_sums: bool,
+    /// Whether idle batches also write a snapshot when WAL records have
+    /// accumulated since the last one ([`Database::snapshot_if_dirty`]):
+    /// checkpointing rides the same idle detection as refinement, so the
+    /// recovery-relevant WAL tail stays short without any query paying for
+    /// the snapshot. No-op while persistence is not enabled. Disabled by
+    /// default (snapshot cadence is workload policy, not tuning).
+    pub snapshot_on_idle: bool,
 }
 
 impl Default for BackgroundConfig {
@@ -51,6 +58,7 @@ impl Default for BackgroundConfig {
             batch_actions: 64,
             poll_interval: Duration::from_micros(500),
             seed_prefix_sums: true,
+            snapshot_on_idle: false,
         }
     }
 }
@@ -112,6 +120,12 @@ impl BackgroundTuner {
                         } else {
                             0
                         };
+                        if config.snapshot_on_idle {
+                            // Checkpoint during idle time; a failure (e.g.
+                            // a full disk) must not kill the tuning loop,
+                            // and the next idle batch simply retries.
+                            let _ = guard.snapshot_if_dirty();
+                        }
                         (
                             guard.run_idle(IdleBudget::Actions(config.batch_actions)),
                             seeded,
@@ -197,6 +211,7 @@ mod tests {
                 batch_actions: 32,
                 poll_interval: Duration::from_micros(200),
                 seed_prefix_sums: true,
+                snapshot_on_idle: false,
             },
         );
         // Simulate a mostly idle stretch with the occasional query arriving
@@ -228,6 +243,7 @@ mod tests {
                 batch_actions: 8,
                 poll_interval: Duration::from_micros(100),
                 seed_prefix_sums: true,
+                snapshot_on_idle: false,
             },
         );
         // Keep the engine busy; the enormous idle threshold is never reached.
@@ -260,6 +276,7 @@ mod tests {
                 // Back-off would be 20 * 100ms = 2s if slept blindly.
                 poll_interval: Duration::from_millis(100),
                 seed_prefix_sums: true,
+                snapshot_on_idle: false,
             },
         );
         // Let the tuner reach the converged back-off.
@@ -298,6 +315,7 @@ mod tests {
                 batch_actions,
                 poll_interval: Duration::from_micros(200),
                 seed_prefix_sums: true,
+                snapshot_on_idle: false,
             },
         );
         // A threshold-gated tuner is capped at one batch (16 actions) per
@@ -340,6 +358,7 @@ mod tests {
                 // couple of batches fit into the observation window.
                 poll_interval: Duration::from_millis(20),
                 seed_prefix_sums: true,
+                snapshot_on_idle: false,
             },
         );
         std::thread::sleep(Duration::from_millis(300));

@@ -32,6 +32,21 @@ pub struct HolisticConfig {
     pub rng_seed: u64,
     /// Number of histogram buckets used to track hot value ranges.
     pub hot_range_buckets: usize,
+    /// Paranoia mode: after every execute/batch/idle action, run the full
+    /// cracker-column validation (piece order, cached sums, prefix arrays)
+    /// on the touched columns and turn any violation into a
+    /// [`HolisticError::Validation`](crate::HolisticError::Validation)
+    /// instead of answering from a broken structure. Defaults to the
+    /// `HOLISTIC_PARANOIA` environment variable (`1`/`true`); the test
+    /// profile ([`HolisticConfig::for_testing`]) always enables it.
+    pub paranoia: bool,
+}
+
+/// Reads the `HOLISTIC_PARANOIA` environment toggle.
+fn paranoia_from_env() -> bool {
+    std::env::var("HOLISTIC_PARANOIA")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
 }
 
 impl Default for HolisticConfig {
@@ -50,6 +65,7 @@ impl Default for HolisticConfig {
             crack_kernel: CrackKernel::default(),
             rng_seed: 0x5EED_CAFE,
             hot_range_buckets: 64,
+            paranoia: paranoia_from_env(),
         }
     }
 }
@@ -65,8 +81,17 @@ impl HolisticConfig {
             hot_range_query_threshold: 3,
             boost_cracks_per_query: 2,
             epoch_length: 10,
+            paranoia: true,
             ..Self::default()
         }
+    }
+
+    /// Enables or disables paranoia-mode validation explicitly (overriding
+    /// the `HOLISTIC_PARANOIA` environment default).
+    #[must_use]
+    pub fn with_paranoia(mut self, paranoia: bool) -> Self {
+        self.paranoia = paranoia;
+        self
     }
 
     /// Sets the cracking policy.
@@ -127,6 +152,13 @@ mod tests {
     #[test]
     fn default_kernel_policy_is_auto() {
         assert_eq!(HolisticConfig::default().crack_kernel, CrackKernel::auto());
+    }
+
+    #[test]
+    fn paranoia_is_on_in_the_test_profile_and_settable() {
+        assert!(HolisticConfig::for_testing().paranoia);
+        assert!(HolisticConfig::default().with_paranoia(true).paranoia);
+        assert!(!HolisticConfig::for_testing().with_paranoia(false).paranoia);
     }
 
     #[test]

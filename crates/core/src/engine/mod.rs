@@ -13,6 +13,7 @@
 //! needs an outer `RwLock` only for those, and query traffic goes through
 //! its read side.
 
+pub mod persist;
 pub mod query;
 pub mod timeline;
 
@@ -27,9 +28,10 @@ use rand::SeedableRng;
 use holistic_cracking::{ConcurrentCrackerColumn, CrackerColumn};
 use holistic_offline::{Advisor, CostModel, SortedIndex, WorkloadSummary};
 use holistic_online::OnlineTuner;
-use holistic_storage::{Catalog, Column, ColumnId, StorageError, Table, TableId, Value};
+use holistic_storage::{Catalog, Column, ColumnId, RowId, StorageError, Table, TableId, Value};
 
 use crate::config::HolisticConfig;
+use crate::error::HolisticError;
 use crate::idle::{IdleBudget, IdleReport};
 use crate::metrics::{EngineMetrics, QueryRecord};
 use crate::ranking::RankingModel;
@@ -41,7 +43,7 @@ use self::query::{AccessPath, Query, QueryResult};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Result type of engine operations.
-pub type EngineResult<T> = Result<T, StorageError>;
+pub type EngineResult<T> = Result<T, HolisticError>;
 
 /// Report of an offline preparation pass (index builds before the workload).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -91,6 +93,11 @@ pub struct Database {
     epoch: Instant,
     /// Microseconds since `epoch` of the last query (atomic `Instant`).
     last_activity_micros: AtomicU64,
+    /// Crash-safe persistence attachment (`None` = in-memory only). A
+    /// mutex rather than a field of `&mut self` paths so snapshots can be
+    /// taken through `&self` — e.g. by the background tuner holding the
+    /// shared engine's read lock.
+    persistence: Mutex<Option<persist::PersistenceState>>,
 }
 
 impl Database {
@@ -112,6 +119,7 @@ impl Database {
             pending_penalty: Mutex::new(Duration::ZERO),
             epoch: Instant::now(),
             last_activity_micros: AtomicU64::new(0),
+            persistence: Mutex::new(None),
             catalog: Catalog::new(),
             crackers: RwLock::new(BTreeMap::new()),
             full_indexes: BTreeMap::new(),
@@ -193,6 +201,9 @@ impl Database {
 
     /// Creates a table from `(column name, values)` pairs and registers all
     /// of its columns with the statistics store (catalog knowledge).
+    ///
+    /// With persistence enabled, the table is WAL-logged durably before it
+    /// becomes visible.
     pub fn create_table(
         &mut self,
         name: impl Into<String>,
@@ -202,7 +213,14 @@ impl Database {
         for (col_name, values) in columns {
             table.add_column_from_values(col_name, values)?;
         }
-        let id = self.catalog.register(table)?;
+        if self.catalog.tables().any(|(_, t)| t.name() == table.name()) {
+            return Err(StorageError::TableAlreadyExists(table.name().to_string()).into());
+        }
+        // Log under the id the catalog is about to assign, so replay
+        // reproduces the assignment exactly.
+        let id = self.catalog.next_table_id();
+        self.wal_append(&persist::WalRecord::create_table(id, &table))?;
+        self.catalog.register_with_id(id, table)?;
         for column_id in self.catalog.all_column_ids() {
             if column_id.table == id {
                 let len = self.catalog.column(column_id)?.len();
@@ -213,14 +231,24 @@ impl Database {
     }
 
     /// Drops a table together with its cracker columns, full indexes,
-    /// online-tuner state and statistics. Returns `false` if the table does
-    /// not exist.
+    /// online-tuner state and statistics. Returns `Ok(false)` if the table
+    /// does not exist; errors only when the WAL cannot log the drop.
     ///
     /// Statistics are deregistered eagerly here; [`Database::run_idle`]
     /// additionally deregisters defensively if it ever encounters a column
     /// that no longer resolves, so the ranking model can never get stuck on
     /// ghost columns either way.
-    pub fn drop_table(&mut self, table: TableId) -> bool {
+    pub fn drop_table(&mut self, table: TableId) -> EngineResult<bool> {
+        if self.catalog.table(table).is_none() {
+            return Ok(false);
+        }
+        self.wal_append(&persist::WalRecord::DropTable { id: table })?;
+        self.drop_table_internal(table);
+        Ok(true)
+    }
+
+    /// The in-memory part of a table drop (shared with WAL replay).
+    fn drop_table_internal(&mut self, table: TableId) -> bool {
         let dropped_columns = self.column_ids(table).unwrap_or_default();
         if self.catalog.drop_table(table).is_none() {
             return false;
@@ -235,6 +263,103 @@ impl Database {
         self.online_index_count
             .store(online.index_count(), Ordering::Relaxed);
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Appends one value to a single-column table, rippling it into the
+    /// column's cracker (if instantiated) so the learned piece table stays
+    /// exact. With persistence enabled the insert is WAL-logged durably
+    /// first; a crash inside the log append fails the call without
+    /// applying anything.
+    ///
+    /// A full sorted index or online-tuner index on the column would go
+    /// stale; both are dropped (they rebuild from subsequent traffic).
+    /// Multi-column tables would need whole-row updates, which the engine
+    /// does not model — those return [`HolisticError::Unsupported`].
+    pub fn insert(&mut self, column: ColumnId, value: Value) -> EngineResult<()> {
+        self.check_updatable(column)?;
+        self.wal_append(&persist::WalRecord::Insert { column, value })?;
+        self.apply_insert(column, value)
+    }
+
+    /// Deletes the first occurrence of `value` from a single-column table
+    /// (WAL-logged first, like [`Database::insert`]). Returns whether a
+    /// row was deleted.
+    pub fn delete(&mut self, column: ColumnId, value: Value) -> EngineResult<bool> {
+        self.check_updatable(column)?;
+        self.wal_append(&persist::WalRecord::Delete { column, value })?;
+        self.apply_delete(column, value)
+    }
+
+    fn check_updatable(&self, column: ColumnId) -> EngineResult<()> {
+        let table = self.catalog.try_table(column.table)?;
+        if table.column_count() != 1 || column.column != 0 {
+            return Err(HolisticError::Unsupported(
+                "single-value updates are only supported on single-column tables".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The in-memory part of an insert (shared with WAL replay).
+    fn apply_insert(&mut self, column: ColumnId, value: Value) -> EngineResult<()> {
+        let table = self.catalog.try_table_mut(column.table)?;
+        let base = table
+            .column_at_mut(column.column as usize)
+            .ok_or_else(|| StorageError::ColumnNotFound(format!("{column}")))?;
+        let rowid = base.len() as RowId;
+        base.append(value);
+        let len = base.len();
+        if let Some(cracker) = self.crackers.read().get(&column) {
+            cracker.insert(value, rowid);
+        }
+        self.invalidate_indexes(column);
+        self.stats.register_column(column, len);
+        self.touch_activity();
+        Ok(())
+    }
+
+    /// The in-memory part of a delete (shared with WAL replay).
+    fn apply_delete(&mut self, column: ColumnId, value: Value) -> EngineResult<bool> {
+        let table = self.catalog.try_table_mut(column.table)?;
+        let base = table
+            .column_at_mut(column.column as usize)
+            .ok_or_else(|| StorageError::ColumnNotFound(format!("{column}")))?;
+        if !base.remove_first(value) {
+            return Ok(false);
+        }
+        let len = base.len();
+        if let Some(cracker) = self.crackers.read().get(&column) {
+            let removed = cracker.delete(value);
+            debug_assert!(removed, "cracker out of sync with base column");
+        }
+        self.invalidate_indexes(column);
+        self.stats.register_column(column, len);
+        self.touch_activity();
+        Ok(true)
+    }
+
+    /// Drops the sorted auxiliary structures an update on `column` makes
+    /// stale: the full sorted index and the online tuner's index. Both
+    /// rebuild from subsequent traffic; answering from a stale one would
+    /// be wrong.
+    fn invalidate_indexes(&mut self, column: ColumnId) {
+        self.full_indexes.remove(&column);
+        let mut online = self.online.lock();
+        online.forget_column(column);
+        self.online_index_count
+            .store(online.index_count(), Ordering::Relaxed);
+    }
+
+    /// Resolves a table by name. The stable way to re-find tables after
+    /// [`Database::recover`], which preserves table ids but hands back a
+    /// fresh engine value.
+    #[must_use]
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.catalog.table_id(name)
     }
 
     /// Resolves a column by table id and column name.
@@ -261,7 +386,7 @@ impl Database {
 
     /// The base column addressed by `id`.
     pub fn base_column(&self, id: ColumnId) -> EngineResult<&Column> {
-        self.catalog.column(id)
+        Ok(self.catalog.column(id)?)
     }
 
     // ------------------------------------------------------------------
@@ -310,6 +435,24 @@ impl Database {
         crackers.iter().all(|c| c.validate())
     }
 
+    /// Paranoia mode ([`HolisticConfig::paranoia`], `HOLISTIC_PARANOIA`
+    /// env): after a query or refinement touched `column`, run the full
+    /// cracker validation (piece order, cached sums, prefix arrays) and
+    /// surface any violation as a typed error instead of letting a broken
+    /// structure keep answering.
+    fn paranoia_check(&self, column: ColumnId) -> EngineResult<()> {
+        if !self.config.paranoia {
+            return Ok(());
+        }
+        let cracker = self.crackers.read().get(&column).map(Arc::clone);
+        match cracker {
+            Some(c) if !c.validate() => Err(HolisticError::Validation(format!(
+                "paranoia: cracker column {column} failed validation"
+            ))),
+            _ => Ok(()),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Query execution
     // ------------------------------------------------------------------
@@ -327,6 +470,7 @@ impl Database {
             IndexingStrategy::Adaptive => self.exec_crack(q, false)?,
             IndexingStrategy::Holistic => self.exec_crack(q, true)?,
         };
+        self.paranoia_check(q.column)?;
         let penalty = std::mem::take(&mut *self.pending_penalty.lock());
         let mut latency = start.elapsed() + penalty;
 
@@ -469,10 +613,13 @@ impl Database {
     }
 
     fn exec_index(&self, q: &Query) -> EngineResult<(AccessPath, u64, i128, Option<Vec<Value>>)> {
+        // Callers check for existence, but a column recovered without its
+        // index (or dropped mid-flight) must surface as a typed error, not
+        // an abort.
         let idx = self
             .full_indexes
             .get(&q.column)
-            .expect("caller checked index existence");
+            .ok_or(HolisticError::FullIndexMissing(q.column))?;
         let (count, sum, values) = self.exec_with_index(q, idx);
         Ok((AccessPath::FullIndex, count, sum, values))
     }
@@ -638,6 +785,9 @@ impl Database {
                     Self::group_predicates(queries, indexes, column_len, results.as_slice());
                 self.stats.record_queries(*column, &predicates);
             }
+        }
+        for column in groups.keys() {
+            self.paranoia_check(*column)?;
         }
 
         let mut out = Vec::with_capacity(queries.len());
@@ -826,6 +976,16 @@ impl Database {
                 }
             }
         }
+        if self.config.paranoia {
+            // No caller to hand an error to: idle-time corruption must
+            // fail loudly, not refine a broken structure further.
+            for &column in &touched {
+                assert!(
+                    self.paranoia_check(column).is_ok(),
+                    "paranoia: idle refinement left cracker column {column} invalid"
+                );
+            }
+        }
         report.columns_touched = touched.into_iter().collect();
         report.elapsed = start.elapsed();
         self.metrics
@@ -870,6 +1030,14 @@ impl Database {
     /// the reported build time), so offline preparation hands queries an
     /// index whose aggregates are zero-read from the first probe.
     pub fn build_full_index(&mut self, column: ColumnId) -> EngineResult<Duration> {
+        self.catalog.column(column)?; // resolve before logging
+        self.wal_append(&persist::WalRecord::BuildFullIndex { column })?;
+        self.build_full_index_internal(column)
+    }
+
+    /// The in-memory part of a full-index build (shared with recovery's
+    /// index materialization, which must not re-log).
+    fn build_full_index_internal(&mut self, column: ColumnId) -> EngineResult<Duration> {
         let start = Instant::now();
         let base = self.catalog.column(column)?;
         let index = SortedIndex::build(base);
@@ -883,9 +1051,14 @@ impl Database {
         Ok(elapsed)
     }
 
-    /// Drops the full index on a column (if any).
-    pub fn drop_full_index(&mut self, column: ColumnId) -> bool {
-        self.full_indexes.remove(&column).is_some()
+    /// Drops the full index on a column (if any). Errors only when the
+    /// WAL cannot log the drop.
+    pub fn drop_full_index(&mut self, column: ColumnId) -> EngineResult<bool> {
+        if !self.full_indexes.contains_key(&column) {
+            return Ok(false);
+        }
+        self.wal_append(&persist::WalRecord::DropFullIndex { column })?;
+        Ok(self.full_indexes.remove(&column).is_some())
     }
 
     /// Offline preparation: asks the advisor which indexes the (known or
@@ -940,6 +1113,26 @@ impl Database {
     /// have to wait for indexing to finish").
     pub fn charge_pending_penalty(&self, penalty: Duration) {
         *self.pending_penalty.lock() += penalty;
+    }
+
+    /// Fully sorts one column's cracker (instantiating it from the base
+    /// data if the column was never queried): the piece table collapses to
+    /// a single sorted piece whose prefix-sum array is seeded eagerly, so
+    /// every subsequent range aggregate on the column is zero-read — two
+    /// binary searches and one subtraction, entirely under the shared
+    /// latch.
+    ///
+    /// This is an idle-time preparation action (the cracker-side state is
+    /// *learned* state: it is captured by [`Database::snapshot`] but not
+    /// WAL-logged, exactly like crack boundaries). A no-op on columns that
+    /// are already fully sorted.
+    pub fn sort_column(&self, column: ColumnId) -> EngineResult<()> {
+        let cracker = self.cracker_for(column)?;
+        cracker.sort_fully();
+        self.stats
+            .record_refinement(column, 1, self.config.cache_piece_target as f64 / 2.0);
+        self.touch_activity();
+        Ok(())
     }
 
     /// Seeds prefix-sum arrays across every auxiliary structure that lacks
@@ -1202,8 +1395,8 @@ mod tests {
                 .unwrap();
         }
         db.execute(&Query::range(keep_col, 0, 50)).unwrap();
-        assert!(db.drop_table(doomed));
-        assert!(!db.drop_table(doomed), "second drop is a no-op");
+        assert!(db.drop_table(doomed).unwrap());
+        assert!(!db.drop_table(doomed).unwrap(), "second drop is a no-op");
         // The dead column is gone from the statistics immediately — not
         // corrupted, not lingering in the workload summary, and its queries
         // no longer dilute live columns' frequencies.

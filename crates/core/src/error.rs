@@ -1,0 +1,124 @@
+//! The engine's typed error: every failure an engine operation can hit,
+//! including persistence and recovery failures, as one enum.
+//!
+//! Before persistence existed the engine returned raw
+//! [`StorageError`]s. Recovery adds failure modes the storage layer
+//! cannot express — corrupt snapshots, injected crashes, validation
+//! failures of recovered state — and the paranoia mode turns invariant
+//! violations into errors instead of aborts, so the engine now wraps
+//! everything in [`HolisticError`].
+
+use holistic_persist::PersistError;
+use holistic_storage::{ColumnId, StorageError};
+
+/// Any error an engine operation can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HolisticError {
+    /// A storage-layer failure (unknown table/column, arity mismatch, …).
+    Storage(StorageError),
+    /// A full sorted index was expected on the column but is missing —
+    /// e.g. it was dropped between the access-path decision and the probe,
+    /// or a recovered snapshot no longer carries it.
+    FullIndexMissing(ColumnId),
+    /// A persistence I/O or format failure (snapshot/WAL read or write).
+    Persist(String),
+    /// The fault injector killed the process at this I/O operation. Kept
+    /// distinct from [`HolisticError::Persist`] so the recovery harness can
+    /// tell an injected crash from a real failure.
+    Crashed {
+        /// The I/O operation that was killed (`write`, `fsync`, `rename`).
+        op: String,
+        /// The global operation index the injector was armed at.
+        index: u64,
+    },
+    /// A validation pass found an invariant violation (paranoia mode, or
+    /// recovered state that fails [`CrackerColumn::validate`]).
+    ///
+    /// [`CrackerColumn::validate`]: holistic_cracking::CrackerColumn::validate
+    Validation(String),
+    /// Recovery could not reconstruct a usable database from the
+    /// persistence directory (no valid snapshot and no WAL genesis).
+    Recovery(String),
+    /// The operation is not supported in the engine's current shape
+    /// (e.g. single-value updates on a multi-column table).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for HolisticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HolisticError::Storage(e) => write!(f, "storage error: {e}"),
+            HolisticError::FullIndexMissing(id) => {
+                write!(f, "full index missing on column {id:?}")
+            }
+            HolisticError::Persist(msg) => write!(f, "persistence error: {msg}"),
+            HolisticError::Crashed { op, index } => {
+                write!(f, "injected crash at {op} (operation #{index})")
+            }
+            HolisticError::Validation(msg) => write!(f, "validation failure: {msg}"),
+            HolisticError::Recovery(msg) => write!(f, "recovery failure: {msg}"),
+            HolisticError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HolisticError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HolisticError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for HolisticError {
+    fn from(e: StorageError) -> Self {
+        HolisticError::Storage(e)
+    }
+}
+
+impl From<PersistError> for HolisticError {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Crashed { op, index } => HolisticError::Crashed {
+                op: op.to_string(),
+                index,
+            },
+            other => HolisticError::Persist(other.to_string()),
+        }
+    }
+}
+
+impl HolisticError {
+    /// Whether this error is an injected crash (the fault injector fired).
+    #[must_use]
+    pub fn is_crash(&self) -> bool {
+        matches!(self, HolisticError::Crashed { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_persist::IoOp;
+
+    #[test]
+    fn storage_errors_convert_and_expose_source() {
+        let e: HolisticError = StorageError::ColumnNotFound("x".into()).into();
+        assert!(matches!(e, HolisticError::Storage(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn injected_crashes_stay_distinguishable() {
+        let crash: HolisticError = PersistError::Crashed {
+            op: IoOp::Fsync,
+            index: 7,
+        }
+        .into();
+        assert!(crash.is_crash());
+        let io: HolisticError = PersistError::Io("disk on fire".into()).into();
+        assert!(!io.is_crash());
+        assert!(matches!(io, HolisticError::Persist(_)));
+    }
+}

@@ -82,6 +82,7 @@
 pub mod background;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod idle;
 pub mod metrics;
 pub mod ranking;
@@ -90,9 +91,11 @@ pub mod strategy;
 
 pub use background::{BackgroundConfig, BackgroundTuner};
 pub use config::HolisticConfig;
+pub use engine::persist::RecoveryOutcome;
 pub use engine::query::{AccessPath, Query, QueryResult};
 pub use engine::timeline::{strategy_timeline, TimelinePhase};
 pub use engine::Database;
+pub use error::HolisticError;
 pub use idle::{IdleBudget, IdleReport};
 pub use metrics::{EngineMetrics, QueryRecord};
 pub use ranking::RankingModel;
@@ -103,4 +106,5 @@ pub use holistic_cracking::{
     AggregateCacheDelta, CrackKernel, CrackPolicy, KernelChoice, KernelDispatches,
 };
 pub use holistic_offline::CostModel;
-pub use holistic_storage::{ColumnId, TableId, Value};
+pub use holistic_persist::{flip_byte, FaultInjector, PersistError};
+pub use holistic_storage::{ColumnId, StorageError, TableId, Value};

@@ -124,10 +124,11 @@ impl PredicateHistogram {
         // domain stabilizes after the first handful of queries.
         self.predicate_min = Some(self.predicate_min.map_or(lo, |m| m.min(lo)));
         self.predicate_max = Some(self.predicate_max.map_or(hi, |m| m.max(hi)));
-        let (pmin, pmax) = (
-            self.predicate_min.expect("set above"),
-            self.predicate_max.expect("set above"),
-        );
+        let (Some(pmin), Some(pmax)) = (self.predicate_min, self.predicate_max) else {
+            // Unreachable (both were just set), but a histogram hiccup must
+            // never abort query execution — skip the bucket update instead.
+            return;
+        };
         if pmax <= pmin || hi <= lo {
             return;
         }

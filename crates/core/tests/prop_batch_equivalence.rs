@@ -180,6 +180,7 @@ fn batches_race_the_background_tuner() {
             batch_actions: 32,
             poll_interval: Duration::from_micros(100),
             seed_prefix_sums: true,
+            snapshot_on_idle: false,
         },
     );
 

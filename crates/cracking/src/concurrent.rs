@@ -666,6 +666,30 @@ impl ConcurrentCrackerColumn {
         self.inner.write().seed_prefix_sums()
     }
 
+    /// Fully sorts the column under the exclusive latch (see
+    /// [`CrackerColumn::sort_fully`]): the piece table collapses to one
+    /// sorted, prefix-seeded piece, after which every range aggregate is
+    /// answered read-only under the shared latch.
+    pub fn sort_fully(&self) {
+        if self.inner.read().is_fully_sorted() {
+            return;
+        }
+        self.inner.write().sort_fully();
+    }
+
+    /// Ripple-inserts `v` (carrying `rowid` when the column keeps row ids)
+    /// under the exclusive latch — the engine's durable-update path applies
+    /// WAL-logged inserts through this.
+    pub fn insert(&self, v: Value, rowid: holistic_storage::RowId) {
+        self.inner.write().ripple_insert(v, rowid);
+    }
+
+    /// Ripple-deletes one occurrence of `v` under the exclusive latch,
+    /// returning whether a value was removed.
+    pub fn delete(&self, v: Value) -> bool {
+        self.inner.write().ripple_delete(v)
+    }
+
     /// Runs a closure with shared access to the underlying cracker column.
     pub fn with_read<T>(&self, f: impl FnOnce(&CrackerColumn) -> T) -> T {
         f(&self.inner.read())

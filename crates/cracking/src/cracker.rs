@@ -135,6 +135,34 @@ impl CrackerColumn {
         }
     }
 
+    /// Reassembles a cracker column from recovered parts (the snapshot
+    /// decode path). Returns `None` unless the full set of invariants
+    /// holds — [`CrackerColumn::validate`] is run over the recovered
+    /// state, so every piece's bounds, sorted flag, cached sum and prefix
+    /// array are checked against the actual data before the column is
+    /// trusted.
+    #[must_use]
+    pub fn from_parts(
+        data: Vec<Value>,
+        rowids: Option<Vec<RowId>>,
+        index: PieceIndex,
+        kernel: CrackKernel,
+        cracks_performed: u64,
+    ) -> Option<Self> {
+        if index.len() != data.len() {
+            return None;
+        }
+        let col = CrackerColumn {
+            data,
+            rowids,
+            index,
+            cracks_performed,
+            kernel,
+            dispatches: KernelDispatches::default(),
+        };
+        col.validate().then_some(col)
+    }
+
     /// Number of values.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -762,6 +790,18 @@ impl CrackerColumn {
             p.sum = Some(prefix.total());
             p.prefix = Some(Arc::new(prefix));
         }
+    }
+
+    /// Whether the column is already in the state [`CrackerColumn::sort_fully`]
+    /// produces: a single sorted piece with a covering prefix-sum array (or
+    /// an empty column, which has nothing to sort). Lets callers skip the
+    /// sort — and, in the concurrent wrapper, the write latch — entirely.
+    #[must_use]
+    pub fn is_fully_sorted(&self) -> bool {
+        self.data.is_empty()
+            || (self.index.piece_count() == 1
+                && self.index.piece(0).sorted
+                && self.index.piece(0).covering_prefix().is_some())
     }
 
     /// Validates the cracker-column invariants (piece index consistent with

@@ -64,6 +64,30 @@ impl PieceIndex {
         PieceIndex { pieces, len }
     }
 
+    /// Reassembles an index from decoded pieces (the snapshot-recovery
+    /// path). Only the structural invariants that need no data are checked
+    /// here — contiguity, coverage of `[0, len)`, bound ordering; callers
+    /// must still run [`PieceIndex::validate`] against the recovered data
+    /// before trusting cached sums, sorted flags or prefix arrays.
+    #[must_use]
+    pub fn from_parts(len: usize, pieces: Vec<Piece>) -> Option<Self> {
+        if len == 0 {
+            return pieces.is_empty().then_some(PieceIndex { pieces, len });
+        }
+        if pieces.first()?.start != 0 || pieces.last()?.end != len {
+            return None;
+        }
+        for w in pieces.windows(2) {
+            if w[0].end != w[1].start {
+                return None;
+            }
+        }
+        if pieces.iter().any(|p| p.is_empty() || p.start > p.end) {
+            return None;
+        }
+        Some(PieceIndex { pieces, len })
+    }
+
     /// Number of positions covered.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -27,6 +27,8 @@
 //!   merged into the cracker column with ripple insertion/deletion.
 //! * [`concurrent`] — a latch-protected cracker column usable from multiple
 //!   threads (reads share, cracking takes the write latch).
+//! * [`persist`] — snapshot encode/decode of the learned cracking state,
+//!   with full validation of every recovered piece.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -36,6 +38,7 @@ pub mod cracker;
 pub mod index;
 pub mod kernels;
 pub mod merging;
+pub mod persist;
 pub mod piece;
 pub mod sideways;
 pub mod stochastic;
@@ -54,6 +57,7 @@ pub use kernels::{
     KernelChoice, KernelDispatches, ThreeWaySums, TwoWaySums, DEFAULT_PREDICATION_THRESHOLD,
 };
 pub use merging::AdaptiveMergingIndex;
+pub use persist::{decode_cracker_column, encode_cracker_column};
 pub use piece::Piece;
 pub use sideways::{CrackerMap, MapSet};
 pub use stochastic::CrackPolicy;

@@ -208,11 +208,30 @@ impl UpdatableCrackerColumn {
     fn ripple_insert(&mut self, v: Value) {
         let rowid = self.next_rowid;
         self.next_rowid = self.next_rowid.wrapping_add(1);
-        let (data, rowids, index) = self.cracker.parts_mut();
+        self.cracker.ripple_insert(v, rowid as RowId);
+    }
+
+    fn ripple_delete(&mut self, v: Value) -> bool {
+        self.cracker.ripple_delete(v)
+    }
+}
+
+/// Ripple updates on the cracked representation itself.
+///
+/// These live on [`CrackerColumn`] (not only on the update-buffer wrapper
+/// above) so the engine's concurrent update path and WAL replay during
+/// recovery can apply them directly under a column's write latch. The
+/// coherence rules are documented on the private delegators above.
+impl CrackerColumn {
+    /// Ripple insertion of `v`, carrying `rowid` when the column keeps row
+    /// ids. See [`UpdatableCrackerColumn`]'s `ripple_insert` docs for the
+    /// aggregate-cache and prefix-sum coherence argument.
+    pub fn ripple_insert(&mut self, v: Value, rowid: RowId) {
+        let (data, rowids, index) = self.parts_mut();
         if index.is_empty() {
             data.push(v);
             if let Some(rowids) = rowids {
-                rowids.push(rowid as RowId);
+                rowids.push(rowid);
             }
             index.grow(1);
             // The fresh single piece holds exactly the inserted value.
@@ -253,7 +272,7 @@ impl UpdatableCrackerColumn {
         data.push(v); // placeholder, overwritten below unless target is last
         let mut rowids = rowids;
         if let Some(r) = rowids.as_deref_mut() {
-            r.push(rowid as RowId);
+            r.push(rowid);
         }
         index.grow(1); // invalidates the last piece's cached sum and prefix
         let pieces = index.pieces_mut();
@@ -278,7 +297,7 @@ impl UpdatableCrackerColumn {
         }
         data[free_slot] = v;
         if let Some(r) = rowids.as_deref_mut() {
-            r[free_slot] = rowid as RowId;
+            r[free_slot] = rowid;
         }
         // Every rippled piece kept its value multiset, so their cached sums
         // are still exact: restore the last piece's (cleared by `grow`) and
@@ -341,8 +360,8 @@ impl UpdatableCrackerColumn {
     /// ([`holistic_storage::PrefixSums::patch_remove`]); any other target
     /// fills the hole from its own end in O(1) and gives up the sorted
     /// flag. Rippled-through pieces drop sortedness and prefix, keep sums.
-    fn ripple_delete(&mut self, v: Value) -> bool {
-        let (data, mut rowids, index) = self.cracker.parts_mut();
+    pub fn ripple_delete(&mut self, v: Value) -> bool {
+        let (data, mut rowids, index) = self.parts_mut();
         if index.is_empty() {
             return false;
         }

@@ -1,0 +1,392 @@
+//! Bounds-checked little-endian byte codec.
+//!
+//! Every on-disk structure in the persistence layer is serialized through
+//! [`Encoder`] and parsed back through [`Decoder`]. The decoder is written
+//! for *hostile* input — snapshots and WAL records are validated by CRC
+//! before decoding, but the recovery fuzz tests also feed deliberately
+//! corrupted bytes straight through here, so:
+//!
+//! * every read is bounds-checked and returns [`PersistError::Corrupt`]
+//!   instead of panicking, and
+//! * length prefixes are only trusted up to the number of bytes actually
+//!   remaining, so a flipped length byte cannot trigger a multi-gigabyte
+//!   allocation.
+
+use crate::{PersistError, Result};
+
+/// Append-only little-endian byte writer.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes an `i64` little-endian.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i128` little-endian.
+    pub fn put_i128(&mut self, v: i128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes raw bytes (no length prefix).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed `i64` slice.
+    pub fn put_i64_slice(&mut self, vs: &[i64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_i64(v);
+        }
+    }
+
+    /// Writes a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_u32(v);
+        }
+    }
+
+    /// Writes a length-prefixed `i128` slice.
+    pub fn put_i128_slice(&mut self, vs: &[i128]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_i128(v);
+        }
+    }
+
+    /// Writes `Some(v)` as `1` + the value, `None` as `0`.
+    pub fn put_opt_i64(&mut self, v: Option<i64>) {
+        match v {
+            Some(v) => {
+                self.put_u8(1);
+                self.put_i64(v);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Writes `Some(v)` as `1` + the value, `None` as `0`.
+    pub fn put_opt_i128(&mut self, v: Option<i128>) {
+        match v {
+            Some(v) => {
+                self.put_u8(1);
+                self.put_i128(v);
+            }
+            None => self.put_u8(0),
+        }
+    }
+}
+
+/// Bounds-checked little-endian byte reader.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a byte slice for decoding.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn corrupt(what: &str) -> PersistError {
+        PersistError::Corrupt(format!("truncated or invalid field: {what}"))
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Self::corrupt("raw bytes"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Takes one byte.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    /// Takes a bool (one byte, `0` or `1`).
+    pub fn take_bool(&mut self) -> Result<bool> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(PersistError::Corrupt(format!("invalid bool byte {b:#x}"))),
+        }
+    }
+
+    /// Takes a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32> {
+        let b = self.take_bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Takes a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64> {
+        let b = self.take_bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Takes a `u64` and converts it to `usize`.
+    pub fn take_usize(&mut self) -> Result<usize> {
+        usize::try_from(self.take_u64()?).map_err(|_| Self::corrupt("usize overflow"))
+    }
+
+    /// Takes a little-endian `i64`.
+    pub fn take_i64(&mut self) -> Result<i64> {
+        let b = self.take_bytes(8)?;
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Takes a little-endian `i128`.
+    pub fn take_i128(&mut self) -> Result<i128> {
+        let b = self.take_bytes(16)?;
+        let mut arr = [0u8; 16];
+        arr.copy_from_slice(b);
+        Ok(i128::from_le_bytes(arr))
+    }
+
+    /// Takes a length prefix for elements of `elem_size` bytes, verifying
+    /// that the announced payload actually fits in the remaining input.
+    pub fn take_len(&mut self, elem_size: usize) -> Result<usize> {
+        let n = self.take_usize()?;
+        let need = n
+            .checked_mul(elem_size)
+            .ok_or_else(|| Self::corrupt("length overflow"))?;
+        if need > self.remaining() {
+            return Err(Self::corrupt("length exceeds remaining input"));
+        }
+        Ok(n)
+    }
+
+    /// Takes a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String> {
+        let n = self.take_len(1)?;
+        let bytes = self.take_bytes(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Corrupt("invalid utf-8 in string".into()))
+    }
+
+    /// Takes a length-prefixed `i64` vector.
+    pub fn take_i64_vec(&mut self) -> Result<Vec<i64>> {
+        let n = self.take_len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.take_i64()?);
+        }
+        Ok(out)
+    }
+
+    /// Takes a length-prefixed `u32` vector.
+    pub fn take_u32_vec(&mut self) -> Result<Vec<u32>> {
+        let n = self.take_len(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.take_u32()?);
+        }
+        Ok(out)
+    }
+
+    /// Takes a length-prefixed `i128` vector.
+    pub fn take_i128_vec(&mut self) -> Result<Vec<i128>> {
+        let n = self.take_len(16)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.take_i128()?);
+        }
+        Ok(out)
+    }
+
+    /// Takes an optional `i64` (see [`Encoder::put_opt_i64`]).
+    pub fn take_opt_i64(&mut self) -> Result<Option<i64>> {
+        if self.take_bool()? {
+            Ok(Some(self.take_i64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Takes an optional `i128` (see [`Encoder::put_opt_i128`]).
+    pub fn take_opt_i128(&mut self) -> Result<Option<i128>> {
+        if self.take_bool()? {
+            Ok(Some(self.take_i128()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Asserts that every byte was consumed — trailing garbage is treated
+    /// as corruption, not ignored.
+    pub fn finish(self) -> Result<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(PersistError::Corrupt(format!(
+                "{} trailing bytes after decoded value",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_bool(true);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX);
+        e.put_usize(42);
+        e.put_i64(-5);
+        e.put_i128(i128::MIN);
+        e.put_str("piece");
+        e.put_i64_slice(&[1, -2, 3]);
+        e.put_u32_slice(&[9, 8]);
+        e.put_i128_slice(&[i128::MAX]);
+        e.put_opt_i64(Some(-9));
+        e.put_opt_i64(None);
+        e.put_opt_i128(Some(11));
+        let bytes = e.into_bytes();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.take_u8().unwrap(), 7);
+        assert!(d.take_bool().unwrap());
+        assert_eq!(d.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.take_u64().unwrap(), u64::MAX);
+        assert_eq!(d.take_usize().unwrap(), 42);
+        assert_eq!(d.take_i64().unwrap(), -5);
+        assert_eq!(d.take_i128().unwrap(), i128::MIN);
+        assert_eq!(d.take_str().unwrap(), "piece");
+        assert_eq!(d.take_i64_vec().unwrap(), vec![1, -2, 3]);
+        assert_eq!(d.take_u32_vec().unwrap(), vec![9, 8]);
+        assert_eq!(d.take_i128_vec().unwrap(), vec![i128::MAX]);
+        assert_eq!(d.take_opt_i64().unwrap(), Some(-9));
+        assert_eq!(d.take_opt_i64().unwrap(), None);
+        assert_eq!(d.take_opt_i128().unwrap(), Some(11));
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut e = Encoder::new();
+        e.put_i64_slice(&[1, 2, 3, 4]);
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut d = Decoder::new(&bytes[..cut]);
+            assert!(d.take_i64_vec().is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_before_allocation() {
+        let mut e = Encoder::new();
+        e.put_u64(u64::MAX); // claims ~2^64 elements
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.take_i64_vec().is_err());
+        let mut d = Decoder::new(&bytes);
+        assert!(d.take_str().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_corruption() {
+        let mut e = Encoder::new();
+        e.put_u8(1);
+        e.put_u8(2);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        d.take_u8().unwrap();
+        assert!(d.finish().is_err());
+    }
+
+    #[test]
+    fn invalid_bool_byte_is_corruption() {
+        let mut d = Decoder::new(&[7]);
+        assert!(d.take_bool().is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! Durable file IO with deterministic fault injection.
+//!
+//! Every disk mutation the persistence layer performs — writes, fsyncs,
+//! renames — goes through a shared [`FaultInjector`]. The injector counts
+//! operations globally and can be *armed* to "crash" at an exact operation
+//! index: the armed operation (and everything after it) fails with
+//! [`PersistError::Crashed`], and if the kill lands on a write, a
+//! deterministic torn prefix of the buffer is left on disk — exactly the
+//! situation a real power cut produces mid-write. Recovery tests sweep the
+//! kill index across a whole workload to prove that *no* crash point can
+//! corrupt the store.
+//!
+//! [`atomic_write`] is the durability protocol used for snapshots and WAL
+//! rewrites: write to a temporary file in the same directory, fsync it,
+//! rename over the target, fsync the directory. A crash before the rename
+//! leaves the old file intact; after the rename, the new one is complete.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::{PersistError, Result};
+
+/// The classes of IO operation the injector can kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// A buffer write to a file.
+    Write,
+    /// An fsync of a file or directory.
+    Fsync,
+    /// An atomic rename.
+    Rename,
+}
+
+impl std::fmt::Display for IoOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoOp::Write => "write",
+            IoOp::Fsync => "fsync",
+            IoOp::Rename => "rename",
+        })
+    }
+}
+
+/// Outcome of admitting one IO operation past the injector.
+enum Admit {
+    /// Proceed normally.
+    Proceed,
+    /// This exact operation is the kill point: perform its torn side
+    /// effect (writes only), then fail.
+    CrashNow(u64),
+    /// The process already "died" at an earlier operation; fail without
+    /// any side effect.
+    Dead(u64),
+}
+
+/// Deterministic crash-point injector shared by all persistence IO.
+///
+/// Disarmed (the default) it only counts operations; [`FaultInjector::arm`]
+/// schedules a crash at a specific global operation index. The count is
+/// what makes kill-point sweeps exhaustive: run a workload once disarmed to
+/// learn how many IO operations it performs, then re-run it once per index.
+#[derive(Debug)]
+pub struct FaultInjector {
+    ops: AtomicU64,
+    kill_at: AtomicU64,
+}
+
+const DISARMED: u64 = u64::MAX;
+
+impl FaultInjector {
+    /// Creates a disarmed injector.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(FaultInjector {
+            ops: AtomicU64::new(0),
+            kill_at: AtomicU64::new(DISARMED),
+        })
+    }
+
+    /// Schedules a crash at global operation index `index` (0-based,
+    /// counted from construction or the last [`FaultInjector::reset`]).
+    pub fn arm(&self, index: u64) {
+        self.kill_at.store(index, Ordering::SeqCst);
+    }
+
+    /// Cancels any scheduled crash; operations proceed normally again.
+    pub fn disarm(&self) {
+        self.kill_at.store(DISARMED, Ordering::SeqCst);
+    }
+
+    /// Resets the operation counter (and disarms).
+    pub fn reset(&self) {
+        self.disarm();
+        self.ops.store(0, Ordering::SeqCst);
+    }
+
+    /// IO operations admitted so far (including failed ones).
+    #[must_use]
+    pub fn ops_performed(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    fn admit(&self) -> Admit {
+        let idx = self.ops.fetch_add(1, Ordering::SeqCst);
+        let kill = self.kill_at.load(Ordering::SeqCst);
+        if idx < kill {
+            Admit::Proceed
+        } else if idx == kill {
+            Admit::CrashNow(idx)
+        } else {
+            Admit::Dead(idx)
+        }
+    }
+
+    /// Deterministic torn-prefix length for the killed write of `len`
+    /// bytes: some proper prefix (possibly empty, possibly all but the
+    /// very end) derived from the kill index so sweeps are reproducible.
+    fn torn_len(index: u64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (index.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (len as u64 + 1)) as usize
+    }
+}
+
+/// Writes the whole buffer to `file` through the injector. A kill at this
+/// operation leaves a deterministic torn prefix in the file.
+pub fn inj_write(file: &mut File, bytes: &[u8], inj: &FaultInjector) -> Result<()> {
+    match inj.admit() {
+        Admit::Proceed => {
+            file.write_all(bytes)?;
+            Ok(())
+        }
+        Admit::CrashNow(idx) => {
+            let torn = FaultInjector::torn_len(idx, bytes.len());
+            // Best effort, exactly like a real torn write: some prefix
+            // lands on disk, the rest never does.
+            let _ = file.write_all(&bytes[..torn]);
+            let _ = file.flush();
+            Err(PersistError::Crashed {
+                op: IoOp::Write,
+                index: idx,
+            })
+        }
+        Admit::Dead(idx) => Err(PersistError::Crashed {
+            op: IoOp::Write,
+            index: idx,
+        }),
+    }
+}
+
+/// Fsyncs `file` through the injector. In this simulation a kill at the
+/// fsync leaves previously written bytes in place (the interesting torn
+/// states come from killed writes); the caller still observes the crash.
+pub fn inj_fsync(file: &File, inj: &FaultInjector) -> Result<()> {
+    match inj.admit() {
+        Admit::Proceed => {
+            file.sync_all()?;
+            Ok(())
+        }
+        Admit::CrashNow(idx) | Admit::Dead(idx) => Err(PersistError::Crashed {
+            op: IoOp::Fsync,
+            index: idx,
+        }),
+    }
+}
+
+/// Renames `from` to `to` through the injector. A kill at the rename means
+/// the rename did not happen — `to` keeps its old contents.
+pub fn inj_rename(from: &Path, to: &Path, inj: &FaultInjector) -> Result<()> {
+    match inj.admit() {
+        Admit::Proceed => {
+            std::fs::rename(from, to)?;
+            Ok(())
+        }
+        Admit::CrashNow(idx) | Admit::Dead(idx) => Err(PersistError::Crashed {
+            op: IoOp::Rename,
+            index: idx,
+        }),
+    }
+}
+
+fn fsync_dir(dir: &Path, inj: &FaultInjector) -> Result<()> {
+    // Directory fsync makes the rename itself durable.
+    let d = File::open(dir)?;
+    inj_fsync(&d, inj)
+}
+
+fn tmp_path(target: &Path) -> PathBuf {
+    let mut name = target
+        .file_name()
+        .map_or_else(|| "file".into(), |n| n.to_os_string());
+    name.push(".tmp");
+    target.with_file_name(name)
+}
+
+/// Atomically replaces `path` with `bytes`: write to a temporary file in
+/// the same directory, fsync, rename over the target, fsync the directory.
+///
+/// Under any single crash point the target either keeps its previous
+/// contents or holds the complete new contents — never a torn mixture.
+pub fn atomic_write(path: &Path, bytes: &[u8], inj: &FaultInjector) -> Result<()> {
+    let tmp = tmp_path(path);
+    let mut file = File::create(&tmp)?;
+    inj_write(&mut file, bytes, inj)?;
+    inj_fsync(&file, inj)?;
+    drop(file);
+    inj_rename(&tmp, path, inj)?;
+    if let Some(dir) = path.parent() {
+        fsync_dir(dir, inj)?;
+    }
+    Ok(())
+}
+
+/// Opens `path` for appending through the injector-aware writer path.
+pub fn open_append(path: &Path) -> Result<File> {
+    Ok(OpenOptions::new().append(true).open(path)?)
+}
+
+/// Test helper: XOR one byte of the file at `offset % len` — the byte-flip
+/// corruption used by the recovery fuzz tests. No-op on empty files.
+pub fn flip_byte(path: &Path, offset: u64) -> Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let pos = (offset % bytes.len() as u64) as usize;
+    bytes[pos] ^= 0xA5;
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("holistic-persist-io-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let dir = tmpdir("replace");
+        let path = dir.join("state.bin");
+        let inj = FaultInjector::new();
+        atomic_write(&path, b"first", &inj).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second", &inj).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_kill_point_leaves_old_or_new_contents() {
+        let dir = tmpdir("killsweep");
+        let path = dir.join("state.bin");
+        let inj = FaultInjector::new();
+        atomic_write(&path, b"old-contents", &inj).unwrap();
+        let ops_per_write = inj.ops_performed();
+        assert!(ops_per_write >= 3, "write+fsync+rename at minimum");
+
+        for kill in 0..ops_per_write {
+            atomic_write(&path, b"old-contents", &inj).unwrap();
+            let base = inj.ops_performed();
+            inj.arm(base + kill);
+            let err = atomic_write(&path, b"NEW!", &inj).unwrap_err();
+            assert!(matches!(err, PersistError::Crashed { .. }));
+            inj.disarm();
+            let on_disk = std::fs::read(&path).unwrap();
+            assert!(
+                on_disk == b"old-contents" || on_disk == b"NEW!",
+                "kill at {kill} left torn target: {on_disk:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn killed_append_leaves_a_proper_prefix() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal.bin");
+        std::fs::write(&path, b"head").unwrap();
+        let inj = FaultInjector::new();
+        inj.arm(0);
+        let mut f = open_append(&path).unwrap();
+        let err = inj_write(&mut f, b"record-bytes", &inj).unwrap_err();
+        assert!(matches!(
+            err,
+            PersistError::Crashed {
+                op: IoOp::Write,
+                ..
+            }
+        ));
+        let on_disk = std::fs::read(&path).unwrap();
+        assert!(on_disk.starts_with(b"head"));
+        assert!(on_disk.len() <= b"head".len() + b"record-bytes".len());
+        assert!(b"head"
+            .iter()
+            .chain(b"record-bytes")
+            .copied()
+            .take(on_disk.len())
+            .eq(on_disk.iter().copied()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dead_injector_fails_everything_without_side_effects() {
+        let dir = tmpdir("dead");
+        let path = dir.join("state.bin");
+        let inj = FaultInjector::new();
+        atomic_write(&path, b"alive", &inj).unwrap();
+        inj.arm(0); // already past op 0: everything from here on is dead
+        assert!(atomic_write(&path, b"zombie", &inj).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"alive");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flip_byte_changes_exactly_one_byte() {
+        let dir = tmpdir("flip");
+        let path = dir.join("f.bin");
+        std::fs::write(&path, vec![0u8; 32]).unwrap();
+        flip_byte(&path, 70).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let changed = bytes.iter().filter(|&&b| b != 0).count();
+        assert_eq!(changed, 1);
+        assert_eq!(bytes[70 % 32], 0xA5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

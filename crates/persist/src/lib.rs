@@ -1,0 +1,86 @@
+//! # holistic-persist
+//!
+//! Crash-safe persistence primitives for the holistic indexing kernel:
+//! the on-disk building blocks that let a column's *earned* state — cracked
+//! piece tables, per-piece sums, prefix arrays — survive a restart.
+//!
+//! The crate provides four layers, each independently testable:
+//!
+//! * [`crc`] — CRC-32 (IEEE polynomial), the integrity check stamped on
+//!   every snapshot section and WAL record.
+//! * [`codec`] — a bounds-checked little-endian byte [`codec::Encoder`] /
+//!   [`codec::Decoder`] pair. Decoding never panics and never trusts a
+//!   length field it cannot back with remaining bytes, so corrupted input
+//!   surfaces as [`PersistError::Corrupt`] rather than an abort or an
+//!   absurd allocation.
+//! * [`io`] — durable file operations (write-temp-then-fsync-then-rename
+//!   plus directory fsync) routed through a deterministic
+//!   [`io::FaultInjector`]: every write/fsync/rename is an injection point
+//!   that can "crash" the process at an exact operation index, optionally
+//!   leaving a torn prefix on disk — the substrate of the recovery
+//!   proptests.
+//! * [`snapshot`] / [`wal`] — the two file formats: a versioned snapshot
+//!   container with a checksummed section directory and per-section CRCs,
+//!   and an append-only write-ahead log of length-prefixed, checksummed
+//!   records whose torn tail is detected and truncated, never misread.
+//!
+//! The crate is deliberately a leaf: it knows nothing about columns,
+//! pieces or engines. The storage and cracking crates serialize their own
+//! types through [`codec`]; the engine composes the files.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod codec;
+pub mod crc;
+pub mod io;
+pub mod snapshot;
+pub mod wal;
+
+pub use codec::{Decoder, Encoder};
+pub use crc::crc32;
+pub use io::{atomic_write, flip_byte, FaultInjector, IoOp};
+pub use snapshot::{LoadedSection, Snapshot, SnapshotBuilder};
+pub use wal::{decode_wal, encode_wal, WalContents, WalWriter, WAL_HEADER_LEN};
+
+/// Errors produced by the persistence layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// An operating-system level IO failure (stringified `io::Error`).
+    Io(String),
+    /// On-disk bytes failed validation: bad magic, unknown version,
+    /// truncated structure or checksum mismatch.
+    Corrupt(String),
+    /// The fault injector killed the process at this IO operation. Nothing
+    /// after the kill point reached disk (a torn prefix of the killed
+    /// write may have).
+    Crashed {
+        /// The operation the simulated crash landed on.
+        op: IoOp,
+        /// Global operation index at which the injector fired.
+        index: u64,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(msg) => write!(f, "io error: {msg}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt persistent state: {msg}"),
+            PersistError::Crashed { op, index } => {
+                write!(f, "simulated crash at io operation {index} ({op:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e.to_string())
+    }
+}
+
+/// Convenience result type for persistence operations.
+pub type Result<T> = std::result::Result<T, PersistError>;

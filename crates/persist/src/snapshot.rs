@@ -1,0 +1,260 @@
+//! The snapshot container format: a versioned, checksummed, sectioned
+//! binary image.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic            8  b"HOLISNAP"
+//! format version   u32
+//! generation       u64
+//! section count    u32
+//! per section:     tag u32 · offset u64 · len u64 · crc32 u32
+//! directory crc32  u32   (over every byte above)
+//! ...section payloads at their recorded offsets...
+//! ```
+//!
+//! The directory carries its own CRC so a flipped byte anywhere in the
+//! header makes the whole file unusable *detectably*; each payload carries
+//! its own CRC so one corrupted section (say, the learned cracker state)
+//! can be dropped while the others (the base data image) are still
+//! trusted — the hinge of the recovery degradation ladder.
+
+use crate::crc::crc32;
+use crate::{Decoder, Encoder, PersistError, Result};
+
+/// Magic bytes identifying a snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"HOLISNAP";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Builds a snapshot file from tagged sections.
+#[derive(Debug)]
+pub struct SnapshotBuilder {
+    generation: u64,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotBuilder {
+    /// Starts a snapshot for the given generation number.
+    #[must_use]
+    pub fn new(generation: u64) -> Self {
+        SnapshotBuilder {
+            generation,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a tagged section payload.
+    pub fn add_section(&mut self, tag: u32, payload: Vec<u8>) {
+        self.sections.push((tag, payload));
+    }
+
+    /// Serializes the complete snapshot file.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        // Header size: magic + version + generation + count
+        //              + per-section directory entry + directory crc.
+        let header_len = 8 + 4 + 8 + 4 + self.sections.len() * 24 + 4;
+        let mut e = Encoder::new();
+        e.put_bytes(SNAPSHOT_MAGIC);
+        e.put_u32(SNAPSHOT_VERSION);
+        e.put_u64(self.generation);
+        e.put_u32(self.sections.len() as u32);
+        let mut offset = header_len as u64;
+        for (tag, payload) in &self.sections {
+            e.put_u32(*tag);
+            e.put_u64(offset);
+            e.put_u64(payload.len() as u64);
+            e.put_u32(crc32(payload));
+            offset += payload.len() as u64;
+        }
+        let mut bytes = e.into_bytes();
+        let dir_crc = crc32(&bytes);
+        bytes.extend_from_slice(&dir_crc.to_le_bytes());
+        debug_assert_eq!(bytes.len(), header_len);
+        for (_, payload) in &self.sections {
+            bytes.extend_from_slice(payload);
+        }
+        bytes
+    }
+}
+
+/// One section recovered from a snapshot file.
+#[derive(Debug, Clone)]
+pub struct LoadedSection {
+    /// The section's tag.
+    pub tag: u32,
+    /// The payload — `None` if its CRC failed or its extent lay outside
+    /// the file (that section is corrupt; others may still be good).
+    pub payload: Option<Vec<u8>>,
+}
+
+/// A parsed snapshot file.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Generation number recorded in the header.
+    pub generation: u64,
+    /// The sections, in file order.
+    pub sections: Vec<LoadedSection>,
+}
+
+impl Snapshot {
+    /// Returns the payload of the first section with `tag`, if that
+    /// section exists and passed its checksum.
+    #[must_use]
+    pub fn section(&self, tag: u32) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|s| s.tag == tag)
+            .and_then(|s| s.payload.as_deref())
+    }
+
+    /// Parses a snapshot file. Fails with [`PersistError::Corrupt`] if the
+    /// header or section directory is damaged (nothing in the file can be
+    /// trusted); individual payload corruption is reported per section.
+    pub fn parse(bytes: &[u8]) -> Result<Snapshot> {
+        let mut d = Decoder::new(bytes);
+        let magic = d.take_bytes(8)?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(PersistError::Corrupt("bad snapshot magic".into()));
+        }
+        let version = d.take_u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(PersistError::Corrupt(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let generation = d.take_u64()?;
+        let count = d.take_u32()? as usize;
+        // Each directory entry is 24 bytes + 4 for the directory CRC.
+        if count
+            .checked_mul(24)
+            .and_then(|n| n.checked_add(4))
+            .is_none_or(|need| need > d.remaining())
+        {
+            return Err(PersistError::Corrupt("truncated section directory".into()));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tag = d.take_u32()?;
+            let offset = d.take_u64()?;
+            let len = d.take_u64()?;
+            let crc = d.take_u32()?;
+            entries.push((tag, offset, len, crc));
+        }
+        let dir_end = bytes.len() - d.remaining();
+        let stored_dir_crc = d.take_u32()?;
+        if crc32(&bytes[..dir_end]) != stored_dir_crc {
+            return Err(PersistError::Corrupt(
+                "section directory crc mismatch".into(),
+            ));
+        }
+        let sections = entries
+            .into_iter()
+            .map(|(tag, offset, len, crc)| {
+                let payload = usize::try_from(offset)
+                    .ok()
+                    .zip(usize::try_from(len).ok())
+                    .and_then(|(off, len)| {
+                        let end = off.checked_add(len)?;
+                        bytes.get(off..end)
+                    })
+                    .filter(|payload| crc32(payload) == crc)
+                    .map(<[u8]>::to_vec);
+                LoadedSection { tag, payload }
+            })
+            .collect();
+        Ok(Snapshot {
+            generation,
+            sections,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut b = SnapshotBuilder::new(7);
+        b.add_section(1, b"meta-bytes".to_vec());
+        b.add_section(2, b"data-image".to_vec());
+        b.add_section(3, vec![]);
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip() {
+        let snap = Snapshot::parse(&sample()).unwrap();
+        assert_eq!(snap.generation, 7);
+        assert_eq!(snap.sections.len(), 3);
+        assert_eq!(snap.section(1), Some(b"meta-bytes".as_slice()));
+        assert_eq!(snap.section(2), Some(b"data-image".as_slice()));
+        assert_eq!(snap.section(3), Some(b"".as_slice()));
+        assert_eq!(snap.section(9), None);
+    }
+
+    #[test]
+    fn payload_flip_corrupts_only_that_section() {
+        let mut bytes = sample();
+        // Flip a byte inside the second section's payload.
+        let len = bytes.len();
+        bytes[len - 1] ^= 0xFF; // last byte of the "data-image" payload
+        let snap = Snapshot::parse(&bytes).unwrap();
+        assert!(snap.section(1).is_some());
+        assert_eq!(snap.section(2), None, "corrupt payload must be dropped");
+    }
+
+    #[test]
+    fn header_flip_corrupts_the_whole_file() {
+        for pos in 0..20 {
+            let mut bytes = sample();
+            bytes[pos] ^= 0xA5;
+            assert!(
+                Snapshot::parse(&bytes).is_err(),
+                "header flip at {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected_or_isolated() {
+        let clean = sample();
+        for pos in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x5A;
+            match Snapshot::parse(&bytes) {
+                Err(PersistError::Corrupt(_)) => {}
+                Ok(snap) => {
+                    // Parse succeeded: at least one section must have been
+                    // flagged corrupt, and surviving sections must be exact.
+                    assert!(
+                        snap.sections.iter().any(|s| s.payload.is_none()),
+                        "flip at {pos} silently accepted"
+                    );
+                    if let Some(p) = snap.section(1) {
+                        assert_eq!(p, b"meta-bytes");
+                    }
+                    if let Some(p) = snap.section(2) {
+                        assert_eq!(p, b"data-image");
+                    }
+                }
+                Err(e) => panic!("unexpected error class: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let clean = sample();
+        for cut in 0..clean.len() {
+            match Snapshot::parse(&clean[..cut]) {
+                Err(_) => {}
+                Ok(snap) => assert!(
+                    snap.sections.iter().any(|s| s.payload.is_none()),
+                    "truncation to {cut} bytes went unnoticed"
+                ),
+            }
+        }
+    }
+}

@@ -65,6 +65,36 @@ impl Catalog {
         Ok(id)
     }
 
+    /// The id the next registered table will receive.
+    #[must_use]
+    pub fn next_table_id(&self) -> TableId {
+        TableId(self.next_id)
+    }
+
+    /// Registers a table under a specific id — the recovery path: a
+    /// snapshot decode or WAL replay must reproduce the original id
+    /// assignment so that every [`ColumnId`] recorded elsewhere stays
+    /// stable. Errors if the id or the name is already taken.
+    pub fn register_with_id(&mut self, id: TableId, table: Table) -> Result<()> {
+        if self.tables.contains_key(&id) {
+            return Err(StorageError::TableAlreadyExists(format!("id {}", id.0)));
+        }
+        if self.tables.values().any(|t| t.name() == table.name()) {
+            return Err(StorageError::TableAlreadyExists(table.name().to_string()));
+        }
+        self.next_id = self.next_id.max(id.0.saturating_add(1));
+        self.tables.insert(id, table);
+        Ok(())
+    }
+
+    /// Raises the id counter so the next registered table receives at
+    /// least `next`. Recovery calls this with the snapshotted counter so
+    /// that ids of tables dropped before the snapshot are never reused
+    /// (stale references elsewhere must keep dangling, not alias).
+    pub fn reserve_ids(&mut self, next: TableId) {
+        self.next_id = self.next_id.max(next.0);
+    }
+
     /// Creates and registers an empty table.
     pub fn create_table(&mut self, name: impl Into<String>) -> Result<TableId> {
         self.register(Table::new(name))

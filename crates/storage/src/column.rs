@@ -95,6 +95,21 @@ impl Column {
         self.stats_fresh = false;
     }
 
+    /// Removes the first occurrence of `v`, returning whether it was
+    /// found. This is the base-image side of the engine's delete path:
+    /// the cracking layer ripples the value out of its auxiliary copy
+    /// while this keeps the WAL-complete data image in sync. Statistics
+    /// are rebuilt from the surviving values.
+    pub fn remove_first(&mut self, v: Value) -> bool {
+        let Some(pos) = self.values.iter().position(|&x| x == v) else {
+            return false;
+        };
+        self.values.remove(pos);
+        self.stats = ColumnStats::from_values(&self.values);
+        self.stats_fresh = true;
+        true
+    }
+
     /// The column statistics (histogram may be stale after appends; call
     /// [`Column::refresh_stats`] to rebuild it).
     #[must_use]
@@ -206,6 +221,19 @@ mod tests {
         assert_eq!(c.gather(&sel).unwrap(), vec![40, 10]);
         let bad = SelectionVector::from_rows(vec![9]);
         assert!(c.gather(&bad).is_err());
+    }
+
+    #[test]
+    fn remove_first_removes_one_occurrence_and_rebuilds_stats() {
+        let mut c = Column::from_values("a", vec![5, 9, 5, 1]);
+        assert!(c.remove_first(5));
+        assert_eq!(c.values(), &[9, 5, 1]);
+        assert!(c.remove_first(9));
+        assert_eq!(c.stats().min, Some(1));
+        assert_eq!(c.stats().max, Some(5));
+        assert!(c.stats_fresh());
+        assert!(!c.remove_first(42));
+        assert_eq!(c.len(), 2);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod catalog;
 pub mod column;
 pub mod error;
 pub mod histogram;
+pub mod persist;
 pub mod prefix;
 pub mod scan;
 pub mod selection;

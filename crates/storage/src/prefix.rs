@@ -43,6 +43,25 @@ impl PrefixSums {
         }
     }
 
+    /// Reassembles a prefix-sum array from its serialized parts: the base
+    /// position and the raw exclusive-prefix entries. Returns `None` when
+    /// the entries cannot be a valid exclusive prefix array (empty, or not
+    /// starting at zero) — decoding corrupted state must fail, not panic.
+    #[must_use]
+    pub fn from_parts(base: usize, sums: Vec<i128>) -> Option<Self> {
+        if sums.first() != Some(&0) {
+            return None;
+        }
+        Some(PrefixSums { base, sums })
+    }
+
+    /// The raw exclusive-prefix entries (`value_len() + 1` of them), for
+    /// serialization.
+    #[must_use]
+    pub fn sums(&self) -> &[i128] {
+        &self.sums
+    }
+
     /// First absolute position covered.
     #[must_use]
     pub fn base(&self) -> usize {

@@ -92,6 +92,12 @@ impl Table {
         self.columns.get(idx)
     }
 
+    /// Mutable access to a column by positional index — the engine's
+    /// update path addresses columns by [`crate::ColumnId`] position.
+    pub fn column_at_mut(&mut self, idx: usize) -> Option<&mut Column> {
+        self.columns.get_mut(idx)
+    }
+
     /// Index of a column by name.
     #[must_use]
     pub fn column_index(&self, name: &str) -> Option<usize> {

@@ -99,6 +99,7 @@ fn main() {
             batch_actions: 128,
             poll_interval: Duration::from_millis(1),
             seed_prefix_sums: true,
+            snapshot_on_idle: false,
         },
     );
     std::thread::sleep(Duration::from_millis(200)); // think time

@@ -162,6 +162,7 @@ fn background_tuner_and_foreground_queries_coexist() {
             batch_actions: 16,
             poll_interval: Duration::from_micros(200),
             seed_prefix_sums: true,
+            snapshot_on_idle: false,
         },
     );
     // Interleave short bursts of queries with idle gaps.

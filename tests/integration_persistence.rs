@@ -1,0 +1,300 @@
+//! Crash-safe persistence end to end: snapshot/recover round trips, WAL
+//! replay of post-snapshot mutations, recovered sorted pieces answering
+//! zero-read aggregates, update streams rippling into recovered state, and
+//! the degradation ladder when a snapshot generation is corrupted.
+
+use std::path::PathBuf;
+
+use holistic_core::{Database, FaultInjector, HolisticConfig, IndexingStrategy, Query};
+
+const ROWS: usize = 20_000;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "holistic-integration-persistence-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn dataset(seed: u64) -> Vec<i64> {
+    // Deterministic pseudo-random values without pulling in a generator.
+    (0..ROWS as i64)
+        .map(|i| (i.wrapping_mul(7919).wrapping_add(seed as i64 * 131)) % (ROWS as i64))
+        .collect()
+}
+
+fn reference_count(values: &[i64], lo: i64, hi: i64) -> u64 {
+    values.iter().filter(|&&v| v >= lo && v < hi).count() as u64
+}
+
+fn reference_sum(values: &[i64], lo: i64, hi: i64) -> i128 {
+    values
+        .iter()
+        .filter(|&&v| v >= lo && v < hi)
+        .map(|&v| i128::from(v))
+        .sum()
+}
+
+fn recover(dir: &PathBuf) -> (Database, holistic_core::RecoveryOutcome) {
+    Database::recover(
+        HolisticConfig::for_testing(),
+        IndexingStrategy::Holistic,
+        dir,
+        FaultInjector::new(),
+    )
+    .expect("recovery")
+}
+
+#[test]
+fn snapshot_and_recover_round_trip_preserves_data_and_learned_state() {
+    let dir = tmpdir("roundtrip");
+    let values = dataset(1);
+    let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+    db.set_persistence(&dir, FaultInjector::new()).unwrap();
+    let t = db.create_table("r", vec![("a", values.clone())]).unwrap();
+    let col = db.column_id(t, "a").unwrap();
+    // Crack the column with a spread of queries so there is learned state
+    // (piece boundaries, cached sums) worth persisting.
+    for i in 0..40i64 {
+        let lo = 1 + (i * 431) % (ROWS as i64 - 600);
+        db.execute(&Query::range(col, lo, lo + 500)).unwrap();
+    }
+    let pieces_before = db.cracker_pieces(col);
+    assert!(pieces_before.len() > 1, "queries should have cracked");
+    let generation = db.snapshot().unwrap();
+    assert_eq!(generation, 1);
+    assert!(!db.persistence_dirty(), "snapshot cleared the dirty flag");
+    drop(db); // crash: no clean shutdown exists, dropping is it
+
+    let (recovered, outcome) = recover(&dir);
+    assert_eq!(outcome.snapshot_generation, Some(1));
+    assert_eq!(outcome.snapshots_skipped, 0);
+    assert_eq!(outcome.wal_records_replayed, 0);
+    assert!(!outcome.learned_state_dropped);
+    assert!(outcome.cold_columns.is_empty());
+    assert!(!outcome.wal_only_rebuild);
+    // The learned state came back exactly: same piece table, and the
+    // recovered pieces validate (paranoia is on in the test profile, so
+    // every query below re-validates too).
+    assert_eq!(recovered.cracker_pieces(col), pieces_before);
+    assert!(recovered.validate());
+    for i in 0..40i64 {
+        let lo = 1 + (i * 431) % (ROWS as i64 - 600);
+        let r = recovered.execute(&Query::range(col, lo, lo + 500)).unwrap();
+        assert_eq!(r.count, reference_count(&values, lo, lo + 500));
+        assert_eq!(r.sum, reference_sum(&values, lo, lo + 500));
+    }
+}
+
+#[test]
+fn recovered_sorted_pieces_answer_zero_read_aggregates() {
+    let dir = tmpdir("sorted-zero-read");
+    let values = dataset(2);
+    let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+    db.set_persistence(&dir, FaultInjector::new()).unwrap();
+    let t = db.create_table("r", vec![("a", values.clone())]).unwrap();
+    let col = db.column_id(t, "a").unwrap();
+    // Idle-time preparation: fully sort the column, seeding its prefix-sum
+    // array, then record the pre-crash answers and cache behaviour.
+    db.sort_column(col).unwrap();
+    let queries: Vec<(i64, i64)> = (0..30i64)
+        .map(|i| {
+            let lo = (i * 617) % (ROWS as i64 - 900);
+            (lo, lo + 700)
+        })
+        .collect();
+    let before = db.metrics().aggregate_cache();
+    let mut expected = Vec::new();
+    for &(lo, hi) in &queries {
+        let r = db.execute(&Query::range(col, lo, hi)).unwrap();
+        assert_eq!(r.count, reference_count(&values, lo, hi));
+        expected.push((r.count, r.sum));
+    }
+    let after = db.metrics().aggregate_cache();
+    assert_eq!(
+        after.scanned_values, before.scanned_values,
+        "sorted + prefix-seeded column must answer aggregates without reading data"
+    );
+    assert!(after.zero_read() >= before.zero_read() + queries.len() as u64);
+    db.snapshot().unwrap();
+    drop(db);
+
+    let (recovered, outcome) = recover(&dir);
+    assert!(outcome.cold_columns.is_empty());
+    assert!(!outcome.learned_state_dropped);
+    // The sorted flag and the prefix arrays themselves survived: every
+    // piece of the recovered column is sorted and covered by a prefix.
+    let pieces = recovered.cracker_pieces(col);
+    assert!(!pieces.is_empty());
+    assert!(
+        pieces.iter().all(|p| p.sorted && p.prefix.is_some()),
+        "recovered pieces lost sorted flags or prefix arrays"
+    );
+    // And the recovered prefix arrays answer the same aggregates zero-read:
+    // identical counts and sums, no values scanned, every query a
+    // zero-read cache hit — from the very first post-restart probe.
+    for (&(lo, hi), &(count, sum)) in queries.iter().zip(&expected) {
+        let r = recovered.execute(&Query::range(col, lo, hi)).unwrap();
+        assert_eq!(r.count, count);
+        assert_eq!(r.sum, sum);
+    }
+    let cache = recovered.metrics().aggregate_cache();
+    assert_eq!(
+        cache.scanned_values, 0,
+        "recovery lost the zero-read property"
+    );
+    assert!(cache.zero_read() >= queries.len() as u64);
+}
+
+#[test]
+fn update_streams_ripple_correctly_into_recovered_sorted_pieces() {
+    let dir = tmpdir("updates-after-recovery");
+    let mut values = dataset(3);
+    let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+    db.set_persistence(&dir, FaultInjector::new()).unwrap();
+    let t = db.create_table("r", vec![("a", values.clone())]).unwrap();
+    let col = db.column_id(t, "a").unwrap();
+    db.sort_column(col).unwrap();
+    db.snapshot().unwrap();
+    drop(db);
+
+    let (mut recovered, outcome) = recover(&dir);
+    assert_eq!(outcome.snapshot_generation, Some(1));
+    // A mixed insert/delete stream against the *recovered* sorted piece:
+    // ripple updates must keep answers exact (the touched pieces drop their
+    // sorted flag, which is correctness-neutral — just slower).
+    for i in 0..60i64 {
+        if i % 3 == 2 {
+            let victim = values[(i as usize * 37) % values.len()];
+            assert!(recovered.delete(col, victim).unwrap());
+            let pos = values.iter().position(|&v| v == victim).unwrap();
+            values.remove(pos);
+        } else {
+            let v = -100 - i; // outside the base domain, lands at the front
+            recovered.insert(col, v).unwrap();
+            values.push(v);
+        }
+    }
+    assert!(recovered.validate());
+    for lo in [-200i64, -50, 0, 500, ROWS as i64 / 2] {
+        let hi = lo + 800;
+        let r = recovered.execute(&Query::range(col, lo, hi)).unwrap();
+        assert_eq!(r.count, reference_count(&values, lo, hi));
+        assert_eq!(r.sum, reference_sum(&values, lo, hi));
+    }
+
+    // Second crash after the update stream: the updates were WAL-logged
+    // (no snapshot since), so they must replay on the next recovery.
+    drop(recovered);
+    let (again, outcome2) = recover(&dir);
+    assert_eq!(outcome2.snapshot_generation, Some(1));
+    assert_eq!(outcome2.wal_records_replayed, 60);
+    for lo in [-200i64, -50, 0, 500, ROWS as i64 / 2] {
+        let hi = lo + 800;
+        let r = again.execute(&Query::range(col, lo, hi)).unwrap();
+        assert_eq!(r.count, reference_count(&values, lo, hi));
+        assert_eq!(r.sum, reference_sum(&values, lo, hi));
+    }
+}
+
+#[test]
+fn wal_replay_restores_post_snapshot_catalog_changes() {
+    let dir = tmpdir("wal-replay");
+    let values = dataset(4);
+    let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+    db.set_persistence(&dir, FaultInjector::new()).unwrap();
+    let t1 = db
+        .create_table("first", vec![("a", values.clone())])
+        .unwrap();
+    let c1 = db.column_id(t1, "a").unwrap();
+    db.snapshot().unwrap();
+    // Everything below happens after the snapshot and lives only in the WAL.
+    let extra: Vec<i64> = (0..500).map(|i| i * 3).collect();
+    let t2 = db
+        .create_table("second", vec![("b", extra.clone())])
+        .unwrap();
+    let c2 = db.column_id(t2, "b").unwrap();
+    db.build_full_index(c1).unwrap();
+    drop(db);
+
+    let (recovered, outcome) = recover(&dir);
+    assert_eq!(outcome.snapshot_generation, Some(1));
+    assert!(outcome.wal_records_replayed >= 2, "create + index build");
+    let r1 = recovered.execute(&Query::range(c1, 100, 900)).unwrap();
+    assert_eq!(r1.count, reference_count(&values, 100, 900));
+    assert_eq!(
+        r1.path,
+        holistic_core::AccessPath::FullIndex,
+        "the WAL-logged full-index build must be rematerialized"
+    );
+    let r2 = recovered.execute(&Query::range(c2, 0, 600)).unwrap();
+    assert_eq!(r2.count, reference_count(&extra, 0, 600));
+}
+
+#[test]
+fn corrupt_newest_snapshot_degrades_to_previous_generation() {
+    let dir = tmpdir("degrade-generation");
+    let mut values = dataset(5);
+    let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+    db.set_persistence(&dir, FaultInjector::new()).unwrap();
+    let t = db.create_table("r", vec![("a", values.clone())]).unwrap();
+    let col = db.column_id(t, "a").unwrap();
+    db.snapshot().unwrap(); // generation 1
+    for i in 0..20i64 {
+        db.insert(col, 100_000 + i).unwrap();
+        values.push(100_000 + i);
+    }
+    db.snapshot().unwrap(); // generation 2
+    for i in 20..35i64 {
+        db.insert(col, 100_000 + i).unwrap();
+        values.push(100_000 + i);
+    }
+    drop(db);
+    // Corrupt the newest snapshot's header: the whole file is rejected.
+    holistic_core::flip_byte(&dir.join("snapshot.2"), 3).unwrap();
+
+    let (recovered, outcome) = recover(&dir);
+    assert_eq!(outcome.snapshots_skipped, 1);
+    assert_eq!(outcome.snapshot_generation, Some(1));
+    // The WAL kept every record past generation 1's watermark precisely so
+    // this fallback replays the full history: nothing is lost.
+    assert!(outcome.wal_records_replayed >= 35);
+    let r = recovered
+        .execute(&Query::range(col, 100_000, 100_100))
+        .unwrap();
+    assert_eq!(r.count, 35);
+    assert_eq!(r.sum, reference_sum(&values, 100_000, 100_100));
+    // The corrupt file was removed so later recoveries skip the dead weight.
+    assert!(!dir.join("snapshot.2").exists());
+}
+
+#[test]
+fn snapshot_generations_are_pruned_to_the_newest_two() {
+    let dir = tmpdir("prune-generations");
+    let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+    db.set_persistence(&dir, FaultInjector::new()).unwrap();
+    let t = db
+        .create_table("r", vec![("a", (0..100i64).collect())])
+        .unwrap();
+    let col = db.column_id(t, "a").unwrap();
+    for gen in 1..=4u64 {
+        db.insert(col, 1_000 + gen as i64).unwrap();
+        assert_eq!(db.snapshot().unwrap(), gen);
+    }
+    let mut snapshots: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("snapshot."))
+        .collect();
+    snapshots.sort();
+    assert_eq!(snapshots, vec!["snapshot.3", "snapshot.4"]);
+
+    let (recovered, outcome) = recover(&dir);
+    assert_eq!(outcome.snapshot_generation, Some(4));
+    let r = recovered.execute(&Query::range(col, 1_000, 1_010)).unwrap();
+    assert_eq!(r.count, 4);
+}

@@ -227,6 +227,7 @@ fn shared_engine_stress_with_background_tuner() {
             batch_actions: 32,
             poll_interval: Duration::from_micros(100),
             seed_prefix_sums: true,
+            snapshot_on_idle: false,
         },
     );
 
