@@ -1,0 +1,116 @@
+//! The workspace lint driver: `cargo run -p holistic-analysis --release`.
+//!
+//! Walks every `.rs` file under the workspace's `crates/`, `src/`,
+//! `tests/` and `examples/` directories (skipping `vendor/` and
+//! `target/`), applies the rules in `holistic-analysis`'s library, and
+//! prints rustc-style diagnostics plus a machine-readable JSON summary
+//! line. Exit code 0 means a clean tree; 1 means findings; 2 means the
+//! lint itself could not run.
+//!
+//! An optional argument overrides the workspace root (used by the
+//! self-tests): `cargo run -p holistic-analysis -- /path/to/tree`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use holistic_analysis::{scan_file, Allowlist, Finding, Rule};
+
+fn workspace_root() -> PathBuf {
+    // crates/analysis -> crates -> workspace root.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(manifest)
+        .to_path_buf()
+}
+
+/// Collect workspace-relative paths of every `.rs` file to scan.
+fn collect_sources(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(root, &dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "vendor" || name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("strip_prefix: {e}"))?;
+            out.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
+    let path = root.join("crates/analysis/allowlist.txt");
+    if !path.is_file() {
+        return Ok(Allowlist::default());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Allowlist::parse(&text)
+}
+
+fn run() -> Result<Vec<Finding>, String> {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => workspace_root(),
+    };
+    let allow = load_allowlist(&root)?;
+    let files = collect_sources(&root)?;
+    let mut findings = Vec::new();
+    let mut by_rule: BTreeMap<&'static str, usize> =
+        Rule::ALL.iter().map(|r| (r.name(), 0)).collect();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
+        for finding in scan_file(rel, &source, &allow) {
+            *by_rule.entry(finding.rule.name()).or_insert(0) += 1;
+            findings.push(finding);
+        }
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    // Machine-readable summary: one JSON object on the last line.
+    let rules_json: Vec<String> = by_rule
+        .iter()
+        .map(|(rule, count)| format!("\"{rule}\": {count}"))
+        .collect();
+    println!(
+        "{{\"files_scanned\": {}, \"findings\": {}, \"by_rule\": {{{}}}}}",
+        files.len(),
+        findings.len(),
+        rules_json.join(", ")
+    );
+    Ok(findings)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(findings) if findings.is_empty() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("holistic-analysis: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -17,7 +17,6 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -103,7 +102,7 @@ fn run_config(workload: Workload, threads: usize, with_tuner: bool, n: usize) ->
         .collect();
     let table = db.create_table("r", data).expect("create table");
     let cols = db.column_ids(table).expect("column ids");
-    let db = Arc::new(RwLock::new(db));
+    let db = db.into_shared();
 
     // Warm-up: crack the columns into shape single-threaded so the measured
     // phase reflects the steady state (mostly shared-latch selects).

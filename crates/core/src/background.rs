@@ -18,9 +18,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
-
-use crate::engine::Database;
+use crate::engine::SharedDatabase;
 use crate::idle::IdleBudget;
 
 /// Configuration of the background tuner.
@@ -88,7 +86,7 @@ fn sleep_stop_aware(stop: &AtomicBool, total: Duration) {
 impl BackgroundTuner {
     /// Spawns a background tuner operating on a shared engine.
     #[must_use]
-    pub fn spawn(db: Arc<RwLock<Database>>, config: BackgroundConfig) -> Self {
+    pub fn spawn(db: SharedDatabase, config: BackgroundConfig) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let actions = Arc::new(AtomicU64::new(0));
         let stop_flag = Arc::clone(&stop);
@@ -189,14 +187,15 @@ mod tests {
     use super::*;
     use crate::config::HolisticConfig;
     use crate::engine::query::Query;
+    use crate::engine::Database;
     use crate::strategy::IndexingStrategy;
 
-    fn shared_db(n: usize) -> (Arc<RwLock<Database>>, holistic_storage::ColumnId) {
+    fn shared_db(n: usize) -> (SharedDatabase, holistic_storage::ColumnId) {
         let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
         let values: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % (n as i64)).collect();
         let t = db.create_table("r", vec![("a", values)]).unwrap();
         let col = db.column_id(t, "a").unwrap();
-        (Arc::new(RwLock::new(db)), col)
+        (db.into_shared(), col)
     }
 
     #[test]
@@ -304,7 +303,7 @@ mod tests {
         let values: Vec<i64> = (0..20_000).map(|i| (i * 7919) % 20_000).collect();
         let t = raw.create_table("r", vec![("a", values)]).unwrap();
         let col = raw.column_id(t, "a").unwrap();
-        let db = Arc::new(RwLock::new(raw));
+        let db = raw.into_shared();
         db.read().execute(&Query::range(col, 100, 200)).unwrap();
         let idle_threshold = Duration::from_millis(30);
         let batch_actions = 16;
@@ -346,7 +345,7 @@ mod tests {
         let values: Vec<i64> = (0..10_000).map(|i| (i % 4) * 1000).collect();
         let t = db.create_table("r", vec![("a", values)]).unwrap();
         let col = db.column_id(t, "a").unwrap();
-        let db = Arc::new(RwLock::new(db));
+        let db = db.into_shared();
         db.read().execute(&Query::range(col, 0, 1500)).unwrap();
         let batch_actions = 8;
         let tuner = BackgroundTuner::spawn(

@@ -21,7 +21,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Mutex, RwLock};
+use holistic_sync::{LockLevel, OrderedMutex, OrderedRwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,6 +44,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Result type of engine operations.
 pub type EngineResult<T> = Result<T, HolisticError>;
+
+/// A shared engine: the level-0 (outermost) lock of the latch hierarchy.
+/// Query traffic and the background tuner go through its read side
+/// ([`Database::execute`] and [`Database::run_idle`] take `&self`); only
+/// structural operations need the write side.
+pub type SharedDatabase = Arc<OrderedRwLock<Database>>;
 
 /// Report of an offline preparation pass (index builds before the workload).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -72,11 +78,11 @@ pub struct Database {
     catalog: Catalog,
     /// Per-column latched cracker columns. The map lock is held only for
     /// lookup/insert; all cracking happens under the per-column latch.
-    crackers: RwLock<BTreeMap<ColumnId, Arc<ConcurrentCrackerColumn>>>,
+    crackers: OrderedRwLock<BTreeMap<ColumnId, Arc<ConcurrentCrackerColumn>>>,
     full_indexes: BTreeMap<ColumnId, SortedIndex>,
     stats: KernelStatistics,
     ranking: RankingModel,
-    online: Mutex<OnlineTuner>,
+    online: OrderedMutex<OnlineTuner>,
     /// Cached `online.index_count()`, so non-Online strategies can skip the
     /// tuner lock entirely when the tuner holds nothing (the common case)
     /// while still finding tuner-built indexes after a strategy switch.
@@ -88,7 +94,7 @@ pub struct Database {
     rng_stream: AtomicU64,
     rng_seed: u64,
     query_sequence: AtomicU64,
-    pending_penalty: Mutex<Duration>,
+    pending_penalty: OrderedMutex<Duration>,
     /// Construction instant; [`Database::idle_for`] is measured against it.
     epoch: Instant,
     /// Microseconds since `epoch` of the last query (atomic `Instant`).
@@ -97,35 +103,58 @@ pub struct Database {
     /// mutex rather than a field of `&mut self` paths so snapshots can be
     /// taken through `&self` — e.g. by the background tuner holding the
     /// shared engine's read lock.
-    persistence: Mutex<Option<persist::PersistenceState>>,
+    persistence: OrderedMutex<Option<persist::PersistenceState>>,
 }
 
 impl Database {
     /// Creates an empty database with the given configuration and strategy.
     #[must_use]
     pub fn new(config: HolisticConfig, strategy: IndexingStrategy) -> Self {
+        if config.paranoia {
+            // Paranoia turns on latch-hierarchy enforcement process-wide,
+            // so proptests and fault-injection sweeps (which all use
+            // `for_testing()`) run under lock-order checking for free.
+            // Debug builds enforce by default anyway; this makes
+            // `HOLISTIC_PARANOIA=1` extend it to release builds.
+            holistic_sync::set_enforcement(true);
+        }
         let ranking = RankingModel::new(config.cache_piece_target);
         let online = OnlineTuner::new(config.epoch_length.max(1));
         Database {
             stats: KernelStatistics::new(config.hot_range_buckets),
             ranking,
-            online: Mutex::new(online),
+            online: OrderedMutex::new(LockLevel::Online, "Database::online", online),
             online_index_count: std::sync::atomic::AtomicUsize::new(0),
             cost_model: CostModel::new(),
             metrics: EngineMetrics::new(),
             rng_stream: AtomicU64::new(0),
             rng_seed: config.rng_seed,
             query_sequence: AtomicU64::new(0),
-            pending_penalty: Mutex::new(Duration::ZERO),
+            pending_penalty: OrderedMutex::new(
+                LockLevel::Penalty,
+                "Database::pending_penalty",
+                Duration::ZERO,
+            ),
             epoch: Instant::now(),
             last_activity_micros: AtomicU64::new(0),
-            persistence: Mutex::new(None),
+            persistence: OrderedMutex::new(LockLevel::Persistence, "Database::persistence", None),
             catalog: Catalog::new(),
-            crackers: RwLock::new(BTreeMap::new()),
+            crackers: OrderedRwLock::new(
+                LockLevel::CrackerMap,
+                "Database::crackers",
+                BTreeMap::new(),
+            ),
             full_indexes: BTreeMap::new(),
             config,
             strategy,
         }
+    }
+
+    /// Wraps the engine in the shared (level-0) engine lock, ready to be
+    /// served to query threads and the [`crate::BackgroundTuner`].
+    #[must_use]
+    pub fn into_shared(self) -> SharedDatabase {
+        Arc::new(OrderedRwLock::new(LockLevel::Engine, "engine", self))
     }
 
     /// The active indexing strategy.
@@ -793,7 +822,11 @@ impl Database {
         let mut out = Vec::with_capacity(queries.len());
         let mut records = Vec::with_capacity(queries.len());
         for (i, result) in results.into_iter().enumerate() {
-            let mut result = result.expect("every group filled its queries");
+            let Some(mut result) = result else {
+                return Err(HolisticError::Validation(format!(
+                    "batch execution left query {i} unfilled"
+                )));
+            };
             if i == 0 {
                 // Same contract as the sequential path: the next executed
                 // query pays the pending penalty.
@@ -824,15 +857,15 @@ impl Database {
     ) -> Vec<(Value, Value, f64)> {
         indexes
             .iter()
-            .map(|&i| {
+            .filter_map(|&i| {
                 let q = &queries[i];
-                let count = results[i].as_ref().expect("group filled").count;
+                let count = results[i].as_ref()?.count;
                 let selectivity = if column_len == 0 {
                     0.0
                 } else {
                     count as f64 / column_len as f64
                 };
-                (q.lo, q.hi, selectivity)
+                Some((q.lo, q.hi, selectivity))
             })
             .collect()
     }

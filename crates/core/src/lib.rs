@@ -30,13 +30,15 @@
 //!
 //! The hot path is shared-reference: [`Database::execute`] and
 //! [`Database::run_idle`] take `&self` and synchronize through per-column
-//! reader/writer latches, so a shared engine
-//! (`Arc<parking_lot::RwLock<Database>>`) serves query traffic and the
+//! reader/writer latches, so a shared engine ([`SharedDatabase`], built
+//! with [`Database::into_shared`]) serves query traffic and the
 //! background tuner through `db.read()` while only structural operations
 //! (schema changes, full-index builds, strategy switches) take
-//! `db.write()`. The full design — latch hierarchy, kernel dispatch,
-//! aggregate-cache coherence — is documented in the repository's
-//! `ARCHITECTURE.md`.
+//! `db.write()`. Every lock in the engine is a `holistic-sync` ordered
+//! lock carrying its position in the latch hierarchy; debug and paranoia
+//! builds panic on out-of-order acquisition. The full design — latch
+//! hierarchy, kernel dispatch, aggregate-cache coherence — is documented
+//! in the repository's `ARCHITECTURE.md`.
 //!
 //! # Quickstart
 //!
@@ -94,7 +96,7 @@ pub use config::HolisticConfig;
 pub use engine::persist::RecoveryOutcome;
 pub use engine::query::{AccessPath, Query, QueryResult};
 pub use engine::timeline::{strategy_timeline, TimelinePhase};
-pub use engine::Database;
+pub use engine::{Database, SharedDatabase};
 pub use error::HolisticError;
 pub use idle::{IdleBudget, IdleReport};
 pub use metrics::{EngineMetrics, QueryRecord};
@@ -108,3 +110,4 @@ pub use holistic_cracking::{
 pub use holistic_offline::CostModel;
 pub use holistic_persist::{flip_byte, FaultInjector, PersistError};
 pub use holistic_storage::{ColumnId, StorageError, TableId, Value};
+pub use holistic_sync::{LockLevel, OrderedMutex, OrderedRwLock};

@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use holistic_sync::{LockLevel, OrderedMutex};
 
 use holistic_cracking::{AggregateCacheDelta, KernelDispatches};
 use holistic_storage::ColumnId;
@@ -36,9 +36,9 @@ pub struct QueryRecord {
 }
 
 /// Engine-wide metrics. Safe to record into from multiple threads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EngineMetrics {
-    queries: Mutex<Vec<QueryRecord>>,
+    queries: OrderedMutex<Vec<QueryRecord>>,
     tuning_nanos: AtomicU64,
     build_nanos: AtomicU64,
     auxiliary_actions: AtomicU64,
@@ -51,6 +51,26 @@ pub struct EngineMetrics {
     aggregate_partials: AtomicU64,
     aggregate_misses: AtomicU64,
     aggregate_scanned_values: AtomicU64,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        EngineMetrics {
+            queries: OrderedMutex::new(LockLevel::Metrics, "EngineMetrics::queries", Vec::new()),
+            tuning_nanos: AtomicU64::new(0),
+            build_nanos: AtomicU64::new(0),
+            auxiliary_actions: AtomicU64::new(0),
+            dispatches_branchy: AtomicU64::new(0),
+            dispatches_predicated: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+            aggregate_hits: AtomicU64::new(0),
+            aggregate_prefix: AtomicU64::new(0),
+            aggregate_partials: AtomicU64::new(0),
+            aggregate_misses: AtomicU64::new(0),
+            aggregate_scanned_values: AtomicU64::new(0),
+        }
+    }
 }
 
 impl EngineMetrics {

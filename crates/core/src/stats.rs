@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use holistic_sync::{LockLevel, OrderedMutex, OrderedRwLock};
 
 use holistic_offline::WorkloadSummary;
 use holistic_storage::{ColumnId, Value};
@@ -155,7 +155,7 @@ struct ColumnStats {
     /// `f64` bits of the average piece length.
     avg_piece_len: AtomicU64,
     column_len: AtomicUsize,
-    predicate: Mutex<PredicateHistogram>,
+    predicate: OrderedMutex<PredicateHistogram>,
 }
 
 impl ColumnStats {
@@ -166,7 +166,11 @@ impl ColumnStats {
             piece_count: AtomicUsize::new(1),
             avg_piece_len: AtomicU64::new(0.0_f64.to_bits()),
             column_len: AtomicUsize::new(0),
-            predicate: Mutex::new(PredicateHistogram::new(buckets)),
+            predicate: OrderedMutex::new(
+                LockLevel::Histogram,
+                "ColumnStats::predicate",
+                PredicateHistogram::new(buckets),
+            ),
         }
     }
 
@@ -191,8 +195,8 @@ impl ColumnStats {
 /// query threads and the background tuner.
 #[derive(Debug)]
 pub struct KernelStatistics {
-    columns: RwLock<BTreeMap<ColumnId, Arc<ColumnStats>>>,
-    summary: Mutex<WorkloadSummary>,
+    columns: OrderedRwLock<BTreeMap<ColumnId, Arc<ColumnStats>>>,
+    summary: OrderedMutex<WorkloadSummary>,
     total_queries: AtomicU64,
     hot_range_buckets: usize,
 }
@@ -203,8 +207,16 @@ impl KernelStatistics {
     #[must_use]
     pub fn new(hot_range_buckets: usize) -> Self {
         KernelStatistics {
-            columns: RwLock::new(BTreeMap::new()),
-            summary: Mutex::new(WorkloadSummary::new()),
+            columns: OrderedRwLock::new(
+                LockLevel::StatsMap,
+                "KernelStatistics::columns",
+                BTreeMap::new(),
+            ),
+            summary: OrderedMutex::new(
+                LockLevel::Summary,
+                "KernelStatistics::summary",
+                WorkloadSummary::new(),
+            ),
             total_queries: AtomicU64::new(0),
             hot_range_buckets: hot_range_buckets.max(1),
         }

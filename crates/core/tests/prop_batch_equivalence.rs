@@ -144,7 +144,6 @@ proptest! {
 #[test]
 fn batches_race_the_background_tuner() {
     use holistic_core::{BackgroundConfig, BackgroundTuner};
-    use parking_lot::RwLock;
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -171,7 +170,7 @@ fn batches_race_the_background_tuner() {
         )
         .expect("create table");
     let cols = db.column_ids(table).expect("column ids");
-    let db = Arc::new(RwLock::new(db));
+    let db = db.into_shared();
 
     let tuner = BackgroundTuner::spawn(
         Arc::clone(&db),

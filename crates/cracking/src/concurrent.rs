@@ -18,7 +18,7 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use holistic_sync::{LockLevel, OrderedRwLock};
 use rand::Rng;
 
 use holistic_storage::Column;
@@ -236,7 +236,7 @@ pub struct RefineOutcome {
 /// A cracker column protected by a reader/writer latch.
 #[derive(Debug)]
 pub struct ConcurrentCrackerColumn {
-    inner: RwLock<CrackerColumn>,
+    inner: OrderedRwLock<CrackerColumn>,
     stats: AtomicLatchStats,
 }
 
@@ -245,7 +245,7 @@ impl ConcurrentCrackerColumn {
     #[must_use]
     pub fn new(column: CrackerColumn) -> Self {
         ConcurrentCrackerColumn {
-            inner: RwLock::new(column),
+            inner: OrderedRwLock::new(LockLevel::Column, "ConcurrentCrackerColumn::inner", column),
             stats: AtomicLatchStats::default(),
         }
     }

@@ -419,9 +419,13 @@ impl CrackerColumn {
         // O(P) tail shift per affected piece).
         let mut groups: Vec<(usize, Range<usize>)> = Vec::new();
         for (i, &v) in pivots.iter().enumerate() {
-            let idx = self.index.find_piece_for_value(v).expect("non-empty");
+            // A pivot without a piece (empty index) simply isn't cracked;
+            // the contiguity check keeps runs valid if one is skipped.
+            let Some(idx) = self.index.find_piece_for_value(v) else {
+                continue;
+            };
             match groups.last_mut() {
-                Some((last, r)) if *last == idx => r.end = i + 1,
+                Some((last, r)) if *last == idx && r.end == i => r.end = i + 1,
                 _ => groups.push((idx, i..i + 1)),
             }
         }
@@ -650,22 +654,21 @@ impl CrackerColumn {
         while idx < pieces.len() && pieces[idx].start < range.end {
             let p = &pieces[idx];
             let overlap = p.start.max(range.start)..p.end.min(range.end);
-            match p.sum {
+            match (p.sum, p.covering_prefix()) {
                 // Whole piece covered and cached: pure metadata.
-                Some(sum) if overlap == (p.start..p.end) => {
+                (Some(sum), _) if overlap == (p.start..p.end) => {
                     agg.sum += sum;
                     agg.cached_pieces += 1;
                 }
                 // Partial overlap of (or missing sum on) a piece with a
                 // prefix-sum array: one subtraction, still no data reads.
-                _ if p.covering_prefix().is_some() => {
+                (_, Some(prefix)) => {
                     debug_assert!(
                         self.data[overlap.clone()]
                             .iter()
                             .all(|&v| v >= lo && v < hi),
                         "aggregate_range contract: every value in the range must satisfy [lo, hi)"
                     );
-                    let prefix = p.covering_prefix().expect("checked by the guard");
                     agg.sum += prefix.sum_range(overlap);
                     agg.prefix_pieces += 1;
                 }

@@ -511,7 +511,7 @@ impl PieceIndex {
         if self.pieces.is_empty() {
             return self.len == 0;
         }
-        if self.pieces[0].start != 0 || self.pieces.last().expect("non-empty").end != self.len {
+        if self.pieces[0].start != 0 || self.pieces.last().is_none_or(|p| p.end != self.len) {
             return false;
         }
         for w in self.pieces.windows(2) {

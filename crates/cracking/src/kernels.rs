@@ -770,6 +770,10 @@ fn crack_in_k_rec_sums(
     predicated: bool,
 ) {
     if pivots.is_empty() {
+        // Every recursive call passes `Some` for the leaf (the parent
+        // computes the child sums before recursing); a `None` here is a
+        // kernel bug no fallback could hide, so abort over a wrong sum.
+        // lint:allow(panic-path)
         segment_sums[0] = subrange_sum.expect("leaf segments always have a parent-computed sum");
         return;
     }

@@ -131,11 +131,12 @@ impl CrackerMap {
                 let abs_a = p.start + off_a;
                 let abs_b = p.start + off_b;
                 self.index.split(a, abs_a, lo);
-                let idx_for_hi = self
-                    .index
-                    .find_piece_for_value(hi)
-                    .expect("non-empty index");
-                self.index.split(idx_for_hi, abs_b, hi);
+                // The index is non-empty after the split above; if the hi
+                // lookup fails anyway, skipping the second boundary only
+                // loses refinement — the partition itself is already done.
+                if let Some(idx_for_hi) = self.index.find_piece_for_value(hi) {
+                    self.index.split(idx_for_hi, abs_b, hi);
+                }
                 self.cracks_performed += 1;
                 return abs_a..abs_b;
             }

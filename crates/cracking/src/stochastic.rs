@@ -176,10 +176,14 @@ fn piece_extent_for_value(column: &CrackerColumn, v: Value) -> Option<(Value, Va
         return None;
     }
     let slice = &data[p.start..p.end];
-    let lo =
-        p.lo.unwrap_or_else(|| slice.iter().copied().min().expect("non-empty piece"));
-    let hi =
-        p.hi.unwrap_or_else(|| slice.iter().copied().max().expect("non-empty piece") + 1);
+    let lo = match p.lo {
+        Some(lo) => lo,
+        None => slice.iter().copied().min()?,
+    };
+    let hi = match p.hi {
+        Some(hi) => hi,
+        None => slice.iter().copied().max()? + 1,
+    };
     (hi > lo).then_some((lo, hi))
 }
 

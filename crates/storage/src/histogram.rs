@@ -47,11 +47,10 @@ impl EquiWidthHistogram {
     ///
     /// An empty slice produces a single-bucket histogram over `[0, 0]`.
     pub fn from_values(values: &[Value], buckets: usize) -> Self {
-        if values.is_empty() {
+        let (Some(lo), Some(hi)) = (values.iter().copied().min(), values.iter().copied().max())
+        else {
             return EquiWidthHistogram::new(0, 0, buckets.max(1));
-        }
-        let lo = values.iter().copied().min().expect("non-empty");
-        let hi = values.iter().copied().max().expect("non-empty");
+        };
         let mut hist = EquiWidthHistogram::new(lo, hi, buckets.max(1));
         for &v in values {
             hist.insert(v);

@@ -1,0 +1,187 @@
+//! Cross-thread wait-for graph (the `wait-graph` cargo feature).
+//!
+//! The static hierarchy check in `lib.rs` is per-thread: it catches a
+//! thread acquiring out of order, which is sufficient to rule out cycles
+//! *when enforcement is on everywhere*. This module is the dynamic
+//! backstop for everything else — it tracks, globally, which thread
+//! holds which lock in which mode and which lock each thread is blocked
+//! on, and panics with the full cycle *before* a deadlock can latch.
+//!
+//! Conflict detection is mode-aware: shared holders do not conflict with
+//! a shared acquisition, so reader pile-ups on the engine lock never
+//! report a false cycle.
+//!
+//! Every blocking acquisition serializes through one registry mutex, so
+//! this is a stress-test diagnostic, not a production mode.
+
+use std::collections::HashMap;
+// The registry cannot itself be an ordered lock (it backs the ordered
+// locks), so it uses std directly. lint:allow(raw-lock)
+use std::sync::Mutex;
+use std::thread::ThreadId;
+
+/// How an acquisition (or holder) uses a lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Shared (RwLock read).
+    Shared,
+    /// Exclusive (RwLock write, Mutex lock).
+    Exclusive,
+}
+
+impl Mode {
+    fn conflicts_with(self, other: Mode) -> bool {
+        matches!(self, Mode::Exclusive) || matches!(other, Mode::Exclusive)
+    }
+}
+
+#[derive(Default)]
+struct Graph {
+    /// lock id -> current holders (a lock can have many shared holders).
+    holders: HashMap<usize, Vec<(ThreadId, Mode)>>,
+    /// thread -> the lock it is currently blocked acquiring.
+    waiting: HashMap<ThreadId, (usize, Mode)>,
+    /// lock id -> diagnostic name (last seen).
+    names: HashMap<usize, &'static str>,
+}
+
+static GRAPH: Mutex<Option<Graph>> = Mutex::new(None);
+
+fn with_graph<R>(f: impl FnOnce(&mut Graph) -> R) -> R {
+    let mut slot = match GRAPH.lock() {
+        Ok(g) => g,
+        // A panic while the registry was held (it never should be) must
+        // not cascade into every later acquisition.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(slot.get_or_insert_with(Graph::default))
+}
+
+/// Registration for one blocking acquisition: created before the block,
+/// consumed by [`WaitReg::acquired`] once the lock is held. Dropping it
+/// un-acquired (unwind while blocked) removes the waiting edge.
+pub(crate) struct WaitReg {
+    lock: usize,
+    mode: Mode,
+    armed: bool,
+}
+
+impl WaitReg {
+    /// Record that the current thread is about to block on `lock`.
+    ///
+    /// # Panics
+    /// If blocking would close a wait-for cycle with the current holders
+    /// and waiters — i.e. this acquisition would deadlock.
+    pub(crate) fn begin(lock: usize, name: &'static str, mode: Mode) -> Self {
+        let me = std::thread::current().id();
+        let cycle = with_graph(|g| {
+            g.names.insert(lock, name);
+            if let Some(desc) = find_cycle(g, me, lock, mode) {
+                return Some(desc);
+            }
+            g.waiting.insert(me, (lock, mode));
+            None
+        });
+        if let Some(desc) = cycle {
+            // lint:allow(panic-path) -- deadlock detection reports by panic
+            panic!("deadlock cycle detected: {desc}");
+        }
+        WaitReg {
+            lock,
+            mode,
+            armed: true,
+        }
+    }
+
+    /// The blocked acquisition succeeded: waiting edge becomes a holder.
+    pub(crate) fn acquired(mut self) {
+        let me = std::thread::current().id();
+        with_graph(|g| {
+            g.waiting.remove(&me);
+            g.holders
+                .entry(self.lock)
+                .or_default()
+                .push((me, self.mode));
+        });
+        self.armed = false;
+    }
+}
+
+impl Drop for WaitReg {
+    fn drop(&mut self) {
+        if self.armed {
+            let me = std::thread::current().id();
+            with_graph(|g| {
+                g.waiting.remove(&me);
+            });
+        }
+    }
+}
+
+/// A guard dropped: remove one matching holder entry.
+pub(crate) fn wait_release(lock: usize, mode: Mode) {
+    let me = std::thread::current().id();
+    with_graph(|g| {
+        if let Some(hs) = g.holders.get_mut(&lock) {
+            if let Some(i) = hs.iter().rposition(|&(t, m)| t == me && m == mode) {
+                hs.remove(i);
+            }
+            if hs.is_empty() {
+                g.holders.remove(&lock);
+            }
+        }
+    });
+}
+
+/// Would `me` blocking on `(lock, mode)` close a cycle? Walks
+/// conflicting holders of the target lock, then whatever *they* are
+/// blocked on, transitively, looking for a path back to `me`.
+fn find_cycle(g: &Graph, me: ThreadId, lock: usize, mode: Mode) -> Option<String> {
+    fn name(g: &Graph, lock: usize) -> &'static str {
+        g.names.get(&lock).copied().unwrap_or("<unknown>")
+    }
+    fn walk(
+        g: &Graph,
+        me: ThreadId,
+        lock: usize,
+        mode: Mode,
+        visited: &mut Vec<ThreadId>,
+        path: &mut Vec<String>,
+    ) -> bool {
+        let Some(holders) = g.holders.get(&lock) else {
+            return false;
+        };
+        for &(t, held_mode) in holders {
+            if !mode.conflicts_with(held_mode) {
+                continue;
+            }
+            if t == me {
+                return true;
+            }
+            if visited.contains(&t) {
+                continue;
+            }
+            visited.push(t);
+            if let Some(&(next_lock, next_mode)) = g.waiting.get(&t) {
+                path.push(format!(
+                    "{t:?} holds {:?} and waits for {:?}",
+                    name(g, lock),
+                    name(g, next_lock)
+                ));
+                if walk(g, me, next_lock, next_mode, visited, path) {
+                    return true;
+                }
+                path.pop();
+            }
+        }
+        false
+    }
+
+    let mut visited = Vec::new();
+    let mut path = vec![format!("{me:?} wants {:?} ({mode:?})", name(g, lock))];
+    if walk(g, me, lock, mode, &mut visited, &mut path) {
+        Some(path.join("; "))
+    } else {
+        None
+    }
+}

@@ -1,0 +1,78 @@
+//! Stress tests for the feature-gated wait-for graph:
+//! `cargo test -p holistic-sync --features wait-graph`.
+//!
+//! These run with hierarchy enforcement OFF — the static level check
+//! would reject the deadlocking shape before it ever blocked, and the
+//! wait-for graph exists precisely as the backstop for that mode.
+
+#![cfg(feature = "wait-graph")]
+
+use std::sync::{Arc, Barrier};
+
+use holistic_sync::{set_enforcement, LockLevel, OrderedMutex, OrderedRwLock};
+
+/// Two threads lock two mutexes in opposite orders. Without the graph
+/// this hangs forever; with it, exactly one thread panics with the cycle
+/// before blocking, the other completes.
+#[test]
+fn deadlock_cycle_is_detected_not_hung() {
+    set_enforcement(false);
+    let x = Arc::new(OrderedMutex::new(LockLevel::Column, "lock-x", ()));
+    let y = Arc::new(OrderedMutex::new(LockLevel::Column, "lock-y", ()));
+    let barrier = Arc::new(Barrier::new(2));
+
+    let spawn =
+        |first: Arc<OrderedMutex<()>>, second: Arc<OrderedMutex<()>>, gate: Arc<Barrier>| {
+            std::thread::spawn(move || {
+                let _g = first.lock();
+                gate.wait(); // both threads hold their first lock before either
+                let _h = second.lock(); // tries to take the other's
+            })
+        };
+    let a = spawn(Arc::clone(&x), Arc::clone(&y), Arc::clone(&barrier));
+    let b = spawn(y, x, barrier);
+
+    let results = [a.join(), b.join()];
+    let panics: Vec<String> = results
+        .into_iter()
+        .filter_map(|r| r.err())
+        .map(|e| {
+            e.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default()
+        })
+        .collect();
+    assert_eq!(panics.len(), 1, "exactly one thread must detect the cycle");
+    assert!(
+        panics[0].contains("deadlock cycle detected"),
+        "panic must name the cycle, got: {}",
+        panics[0]
+    );
+}
+
+/// Shared acquisitions do not conflict with shared holders: two threads
+/// read-locking two RwLocks in opposite orders is NOT a cycle and must
+/// complete without a report.
+#[test]
+fn read_read_opposite_order_is_not_a_cycle() {
+    set_enforcement(false);
+    let x = Arc::new(OrderedRwLock::new(LockLevel::Column, "rw-x", 1));
+    let y = Arc::new(OrderedRwLock::new(LockLevel::Column, "rw-y", 2));
+    let barrier = Arc::new(Barrier::new(2));
+
+    let spawn =
+        |first: Arc<OrderedRwLock<i32>>, second: Arc<OrderedRwLock<i32>>, gate: Arc<Barrier>| {
+            std::thread::spawn(move || {
+                let g = first.read();
+                gate.wait();
+                let h = second.read();
+                gate.wait(); // both threads hold both read guards here
+                *g + *h
+            })
+        };
+    let a = spawn(Arc::clone(&x), Arc::clone(&y), Arc::clone(&barrier));
+    let b = spawn(y, x, barrier);
+    assert_eq!(a.join().expect("no false deadlock report"), 3);
+    assert_eq!(b.join().expect("no false deadlock report"), 3);
+}

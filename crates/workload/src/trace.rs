@@ -117,7 +117,9 @@ impl QueryTrace {
                 continue;
             }
             let mut parts = line.split_whitespace();
-            let tag = parts.next().expect("non-empty line has a first token");
+            let Some(tag) = parts.next() else {
+                continue;
+            };
             let parse = |s: Option<&str>, what: &str| -> Result<i64, TraceParseError> {
                 s.ok_or_else(|| TraceParseError {
                     line: i + 1,

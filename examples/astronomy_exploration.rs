@@ -18,7 +18,6 @@ use std::time::Duration;
 
 use holistic_core::background::{BackgroundConfig, BackgroundTuner};
 use holistic_core::{Database, HolisticConfig, IdleBudget, IndexingStrategy, Query};
-use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -91,7 +90,7 @@ fn main() {
 
     // Phase 3 — the scientist reads plots for a while; the background tuner
     // notices the pause and keeps refining the hottest attributes.
-    let shared = Arc::new(RwLock::new(db));
+    let shared = db.into_shared();
     let tuner = BackgroundTuner::spawn(
         Arc::clone(&shared),
         BackgroundConfig {

@@ -8,7 +8,6 @@ use std::time::Duration;
 
 use holistic_core::background::{BackgroundConfig, BackgroundTuner};
 use holistic_core::{Database, HolisticConfig, IdleBudget, IndexingStrategy, Query};
-use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -154,7 +153,7 @@ fn hot_range_boost_refines_exactly_the_hot_region() {
 fn background_tuner_and_foreground_queries_coexist() {
     let (db, cols) = holistic_db(2);
     db.execute(&Query::range(cols[0], 1, 300)).unwrap();
-    let shared = Arc::new(RwLock::new(db));
+    let shared = db.into_shared();
     let tuner = BackgroundTuner::spawn(
         Arc::clone(&shared),
         BackgroundConfig {

@@ -182,7 +182,6 @@ fn shared_engine_stress_with_background_tuner() {
     use holistic_core::{
         BackgroundConfig, BackgroundTuner, Database, HolisticConfig, IndexingStrategy, Query,
     };
-    use parking_lot::RwLock;
     use std::time::Duration;
 
     let n = 40_000;
@@ -217,7 +216,7 @@ fn shared_engine_stress_with_background_tuner() {
         );
     }
 
-    let db = Arc::new(RwLock::new(db));
+    let db = db.into_shared();
     // Zero idle threshold: the tuner refines the whole time, racing the
     // query threads on every column.
     let tuner = BackgroundTuner::spawn(
