@@ -7,7 +7,7 @@
 //! and, once the threshold is exceeded, applies a small batch of
 //! ranking-driven refinement actions.
 //!
-//! Since [`Database::run_idle`] takes `&self` and refines through the
+//! Since [`Database::run_idle`](crate::Database::run_idle) takes `&self` and refines through the
 //! per-column latches, the tuner only ever takes the *read* side of the
 //! shared engine lock: queries on column A keep executing while the tuner
 //! cracks column B. The exclusive engine lock is reserved for structural
@@ -32,7 +32,7 @@ pub struct BackgroundConfig {
     /// Sleep between idleness checks.
     pub poll_interval: Duration,
     /// Whether idle batches also seed prefix-sum arrays
-    /// ([`Database::seed_prefix_sums`]): sorted pieces and full indexes
+    /// ([`Database::seed_prefix_sums`](crate::Database::seed_prefix_sums)): sorted pieces and full indexes
     /// whose arrays were never built (or were invalidated by updates) get
     /// them rebuilt during idle time, so resolved aggregates return to the
     /// zero-read path without any query paying the build. When everything
@@ -41,7 +41,7 @@ pub struct BackgroundConfig {
     /// [`BackgroundTuner::actions_applied`]. Enabled by default.
     pub seed_prefix_sums: bool,
     /// Whether idle batches also write a snapshot when WAL records have
-    /// accumulated since the last one ([`Database::snapshot_if_dirty`]):
+    /// accumulated since the last one ([`Database::snapshot_if_dirty`](crate::Database::snapshot_if_dirty)):
     /// checkpointing rides the same idle detection as refinement, so the
     /// recovery-relevant WAL tail stays short without any query paying for
     /// the snapshot. No-op while persistence is not enabled. Disabled by
@@ -65,6 +65,7 @@ impl Default for BackgroundConfig {
 #[derive(Debug)]
 pub struct BackgroundTuner {
     stop: Arc<AtomicBool>,
+    pause: Arc<AtomicBool>,
     actions: Arc<AtomicU64>,
     handle: Option<JoinHandle<()>>,
 }
@@ -88,11 +89,20 @@ impl BackgroundTuner {
     #[must_use]
     pub fn spawn(db: SharedDatabase, config: BackgroundConfig) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
+        let pause = Arc::new(AtomicBool::new(false));
         let actions = Arc::new(AtomicU64::new(0));
         let stop_flag = Arc::clone(&stop);
+        let pause_flag = Arc::clone(&pause);
         let action_counter = Arc::clone(&actions);
         let handle = std::thread::spawn(move || {
             while !stop_flag.load(Ordering::Relaxed) {
+                if pause_flag.load(Ordering::Relaxed) {
+                    // Saturation pause: a front-door service under overload
+                    // wants every cycle and every latch for query traffic,
+                    // so refinement stands down until load drains.
+                    sleep_stop_aware(&stop_flag, config.poll_interval);
+                    continue;
+                }
                 let is_idle = {
                     let guard = db.read();
                     guard.idle_for() >= config.idle_threshold
@@ -151,6 +161,7 @@ impl BackgroundTuner {
         });
         BackgroundTuner {
             stop,
+            pause,
             actions,
             handle: Some(handle),
         }
@@ -160,6 +171,27 @@ impl BackgroundTuner {
     #[must_use]
     pub fn actions_applied(&self) -> u64 {
         self.actions.load(Ordering::Relaxed)
+    }
+
+    /// A shared handle to the pause flag, for wiring into a service's
+    /// saturation mode: set = the tuner idles (applies no refinement),
+    /// cleared = normal operation. See [`BackgroundTuner::set_paused`].
+    #[must_use]
+    pub fn pause_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.pause)
+    }
+
+    /// Pauses or resumes idle-time refinement. Pausing does not interrupt
+    /// a batch already in flight (batches are short by construction); it
+    /// prevents new batches from starting.
+    pub fn set_paused(&self, paused: bool) {
+        self.pause.store(paused, Ordering::Relaxed);
+    }
+
+    /// Whether the tuner is currently paused.
+    #[must_use]
+    pub fn is_paused(&self) -> bool {
+        self.pause.load(Ordering::Relaxed)
     }
 
     /// Stops the tuner thread and waits for it to exit.
@@ -366,6 +398,43 @@ mod tests {
             applied <= 10 * batch_actions,
             "{applied} actions on a futile column; tuner is busy-spinning"
         );
+    }
+
+    #[test]
+    fn paused_tuner_applies_nothing_and_resumes() {
+        let (db, col) = shared_db(50_000);
+        db.read().execute(&Query::range(col, 100, 200)).unwrap();
+        let tuner = BackgroundTuner::spawn(
+            Arc::clone(&db),
+            BackgroundConfig {
+                idle_threshold: Duration::from_micros(1),
+                batch_actions: 32,
+                poll_interval: Duration::from_micros(200),
+                seed_prefix_sums: true,
+                snapshot_on_idle: false,
+            },
+        );
+        tuner.set_paused(true);
+        assert!(tuner.is_paused());
+        // Give any in-flight batch time to finish, then measure.
+        std::thread::sleep(Duration::from_millis(30));
+        let at_pause = tuner.actions_applied();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(
+            tuner.actions_applied(),
+            at_pause,
+            "paused tuner must not refine"
+        );
+        // The pause handle is the same flag a service's saturation mode
+        // flips; clearing it resumes refinement.
+        let handle = tuner.pause_handle();
+        handle.store(false, Ordering::Relaxed);
+        let deadline = Instant::now() + Duration::from_millis(600);
+        while tuner.actions_applied() == at_pause && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let resumed = tuner.stop();
+        assert!(resumed > at_pause, "tuner should resume after unpause");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! needs an outer `RwLock` only for those, and query traffic goes through
 //! its read side.
 
+pub mod guarded;
 pub mod persist;
 pub mod query;
 pub mod timeline;
@@ -50,6 +51,36 @@ pub type EngineResult<T> = Result<T, HolisticError>;
 /// ([`Database::execute`] and [`Database::run_idle`] take `&self`); only
 /// structural operations need the write side.
 pub type SharedDatabase = Arc<OrderedRwLock<Database>>;
+
+/// One element of a grouped update ([`Database::update_batch`]): the
+/// batch's WAL records are group-committed with a single fsync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Append `value` to the (single-column) table owning `column`.
+    Insert {
+        /// The targeted column.
+        column: ColumnId,
+        /// The value to append.
+        value: Value,
+    },
+    /// Delete the first occurrence of `value` from `column`.
+    Delete {
+        /// The targeted column.
+        column: ColumnId,
+        /// The value to remove.
+        value: Value,
+    },
+}
+
+impl UpdateOp {
+    /// The column this update targets.
+    #[must_use]
+    pub fn column(&self) -> ColumnId {
+        match *self {
+            UpdateOp::Insert { column, .. } | UpdateOp::Delete { column, .. } => column,
+        }
+    }
+}
 
 /// Report of an offline preparation pass (index builds before the workload).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -321,6 +352,46 @@ impl Database {
         self.check_updatable(column)?;
         self.wal_append(&persist::WalRecord::Delete { column, value })?;
         self.apply_delete(column, value)
+    }
+
+    /// Applies a batch of updates with group-committed durability: every
+    /// WAL record is appended and fsynced **once** for the whole batch,
+    /// then the updates apply in order. Per-element results mirror
+    /// [`Database::insert`] (always `true`) and [`Database::delete`]
+    /// (whether a row was removed).
+    ///
+    /// Crash semantics are per-operation, not all-or-nothing: a torn
+    /// append makes a durable *prefix* of the batch (records land in
+    /// order and recovery truncates the torn tail), the caller sees the
+    /// error before anything was applied, and recovery replays exactly
+    /// that prefix — the same contract as issuing the operations
+    /// individually, minus all but one fsync.
+    ///
+    /// Validation happens up front: if any element targets a
+    /// non-updatable table the whole batch fails before any IO.
+    pub fn update_batch(&mut self, ops: &[UpdateOp]) -> EngineResult<Vec<bool>> {
+        for op in ops {
+            self.check_updatable(op.column())?;
+        }
+        let records: Vec<persist::WalRecord> = ops
+            .iter()
+            .map(|op| match *op {
+                UpdateOp::Insert { column, value } => persist::WalRecord::Insert { column, value },
+                UpdateOp::Delete { column, value } => persist::WalRecord::Delete { column, value },
+            })
+            .collect();
+        self.wal_append_batch(&records)?;
+        let mut applied = Vec::with_capacity(ops.len());
+        for op in ops {
+            applied.push(match *op {
+                UpdateOp::Insert { column, value } => {
+                    self.apply_insert(column, value)?;
+                    true
+                }
+                UpdateOp::Delete { column, value } => self.apply_delete(column, value)?,
+            });
+        }
+        Ok(applied)
     }
 
     fn check_updatable(&self, column: ColumnId) -> EngineResult<()> {
@@ -654,9 +725,24 @@ impl Database {
     }
 
     /// The latched cracker column for `column`, created from the base data
-    /// on first use. The base copy happens outside the map lock; if two
-    /// threads race on the first touch, one copy is dropped.
+    /// on first use. With persistence enabled the birth is WAL-logged
+    /// first (`CrackerBorn`), so recovery re-instantiates the cracker at
+    /// the same log position and post-birth updates ripple into it exactly
+    /// as they did forward. The base copy happens outside the map lock; if
+    /// two threads race on the first touch, one copy is dropped (and the
+    /// duplicate birth record is idempotent at replay).
     fn cracker_for(&self, column: ColumnId) -> EngineResult<Arc<ConcurrentCrackerColumn>> {
+        if let Some(c) = self.crackers.read().get(&column) {
+            return Ok(Arc::clone(c));
+        }
+        // Persistence (level 10) strictly before the map latch (level 20).
+        self.wal_append(&persist::WalRecord::CrackerBorn { column })?;
+        self.instantiate_cracker(column)
+    }
+
+    /// Instantiates (or returns) the cracker for `column` without logging
+    /// a birth — the caller has already made the birth durable.
+    fn instantiate_cracker(&self, column: ColumnId) -> EngineResult<Arc<ConcurrentCrackerColumn>> {
         if let Some(c) = self.crackers.read().get(&column) {
             return Ok(Arc::clone(c));
         }
@@ -761,6 +847,32 @@ impl Database {
                 e.insert(self.catalog.column(q.column)?.len());
             }
             groups.entry(q.column).or_default().push(i);
+        }
+        // Group commit: every cracker this batch is about to instantiate
+        // gets its birth record in one WAL append — at most one fsync per
+        // admitted batch, and none at all once the columns are warm.
+        if matches!(
+            self.strategy,
+            IndexingStrategy::Adaptive | IndexingStrategy::Holistic
+        ) {
+            let births: Vec<ColumnId> = {
+                let crackers = self.crackers.read();
+                groups
+                    .keys()
+                    .filter(|column| {
+                        !crackers.contains_key(column) && !self.full_indexes.contains_key(column)
+                    })
+                    .copied()
+                    .collect()
+            };
+            let records: Vec<persist::WalRecord> = births
+                .iter()
+                .map(|&column| persist::WalRecord::CrackerBorn { column })
+                .collect();
+            self.wal_append_batch(&records)?;
+            for column in births {
+                self.instantiate_cracker(column)?;
+            }
         }
         let penalty = std::mem::take(&mut *self.pending_penalty.lock());
         let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
@@ -1156,9 +1268,10 @@ impl Database {
     /// latch.
     ///
     /// This is an idle-time preparation action (the cracker-side state is
-    /// *learned* state: it is captured by [`Database::snapshot`] but not
-    /// WAL-logged, exactly like crack boundaries). A no-op on columns that
-    /// are already fully sorted.
+    /// *learned* state: the cracker's birth is WAL-logged but its sort
+    /// order, like crack boundaries, is only captured by
+    /// [`Database::snapshot`]). A no-op on columns that are already fully
+    /// sorted.
     pub fn sort_column(&self, column: ColumnId) -> EngineResult<()> {
         let cracker = self.cracker_for(column)?;
         cracker.sort_fully();

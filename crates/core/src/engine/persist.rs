@@ -17,9 +17,13 @@
 //!   [`holistic_cracking::encode_cracker_column`].
 //!
 //! Post-snapshot mutations (schema changes, inserts/deletes, full-index
-//! builds/drops) append `WalRecord`s to `wal.log` — durably, *before*
-//! the in-memory state changes — so any crash loses at most the operation
-//! whose caller never saw success.
+//! builds/drops, cracker births) append `WalRecord`s to `wal.log` —
+//! durably, *before* the in-memory state changes — so any crash loses at
+//! most the operation whose caller never saw success. Multi-record events
+//! (genesis, update batches, the cracker births of one query batch) are
+//! *group-committed*: all records in one write and one fsync, where a
+//! torn append truncates to a durable prefix of the batch so every record
+//! individually keeps WAL-before-apply semantics.
 //!
 //! # Recovery: the degradation ladder
 //!
@@ -47,7 +51,9 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use holistic_cracking::{decode_cracker_column, encode_cracker_column, ConcurrentCrackerColumn};
+use holistic_cracking::{
+    decode_cracker_column, encode_cracker_column, ConcurrentCrackerColumn, CrackerColumn,
+};
 use holistic_persist::{
     atomic_write, decode_wal, encode_wal, Decoder, Encoder, FaultInjector, PersistError, Snapshot,
     SnapshotBuilder, WalWriter, WAL_HEADER_LEN,
@@ -126,6 +132,23 @@ pub(crate) enum WalRecord {
         /// The column whose index was dropped.
         column: ColumnId,
     },
+    /// A cracker column was instantiated (the birth of learned state).
+    ///
+    /// Closes the LEARNED coverage gap (ROADMAP 5d): a cracker born
+    /// *after* the last snapshot is invisible to its LEARNED section, so
+    /// without this record a crash silently dropped the column back to
+    /// nothing and post-snapshot updates replayed into the base only.
+    /// Replaying the birth at its log position re-instantiates the
+    /// cracker, so later `Insert`/`Delete` records ripple into it exactly
+    /// as the forward execution did. Piece boundaries earned since the
+    /// snapshot still degrade (queries are not logged — reads must not
+    /// write), but the learned copy itself survives, update-complete, and
+    /// the loss is reported via [`RecoveryOutcome::crackers_reborn`]
+    /// instead of being silent.
+    CrackerBorn {
+        /// The column whose cracker was instantiated.
+        column: ColumnId,
+    },
 }
 
 const TAG_CREATE_TABLE: u8 = 1;
@@ -134,6 +157,7 @@ const TAG_INSERT: u8 = 3;
 const TAG_DELETE: u8 = 4;
 const TAG_BUILD_FULL_INDEX: u8 = 5;
 const TAG_DROP_FULL_INDEX: u8 = 6;
+const TAG_CRACKER_BORN: u8 = 7;
 
 fn put_column_id(e: &mut Encoder, id: ColumnId) {
     e.put_u32(id.table.0);
@@ -195,6 +219,10 @@ impl WalRecord {
                 e.put_u8(TAG_DROP_FULL_INDEX);
                 put_column_id(&mut e, *column);
             }
+            WalRecord::CrackerBorn { column } => {
+                e.put_u8(TAG_CRACKER_BORN);
+                put_column_id(&mut e, *column);
+            }
         }
         e.into_bytes()
     }
@@ -230,6 +258,9 @@ impl WalRecord {
                 column: take_column_id(&mut d)?,
             },
             TAG_DROP_FULL_INDEX => WalRecord::DropFullIndex {
+                column: take_column_id(&mut d)?,
+            },
+            TAG_CRACKER_BORN => WalRecord::CrackerBorn {
                 column: take_column_id(&mut d)?,
             },
             tag => {
@@ -286,6 +317,11 @@ pub struct RecoveryOutcome {
     /// Columns whose individual cracker state failed validation and was
     /// dropped (those columns come up cold; answers stay correct).
     pub cold_columns: Vec<ColumnId>,
+    /// Columns whose cracker was re-instantiated from a replayed
+    /// `CrackerBorn` WAL record: the cracker was born after the
+    /// loaded snapshot, so its learned copy was rebuilt (update-complete)
+    /// but its piece boundaries degraded to a single piece.
+    pub crackers_reborn: Vec<ColumnId>,
     /// WAL records replayed on top of the snapshot.
     pub wal_records_replayed: u64,
     /// Bytes dropped from the WAL's torn/corrupt tail.
@@ -319,14 +355,25 @@ impl Database {
         let mut wal = WalWriter::create(&wal_path(&dir), Arc::clone(&injector))
             .map_err(HolisticError::from)?;
         let mut next_lsn = 1u64;
+        let mut genesis: Vec<Vec<u8>> = Vec::new();
         for (id, table) in self.catalog.tables() {
-            wal.append(&WalRecord::create_table(id, table).encode(next_lsn))?;
+            genesis.push(WalRecord::create_table(id, table).encode(next_lsn));
             next_lsn += 1;
         }
         for &column in self.full_indexes.keys() {
-            wal.append(&WalRecord::BuildFullIndex { column }.encode(next_lsn))?;
+            genesis.push(WalRecord::BuildFullIndex { column }.encode(next_lsn));
             next_lsn += 1;
         }
+        // Crackers instantiated before persistence was attached: log their
+        // births so they are WAL-covered from the first moment (their
+        // boundaries become durable with the first snapshot).
+        let born: Vec<ColumnId> = self.crackers.read().keys().copied().collect();
+        for column in born {
+            genesis.push(WalRecord::CrackerBorn { column }.encode(next_lsn));
+            next_lsn += 1;
+        }
+        // Genesis is one logical event: group-commit it with a single fsync.
+        wal.append_batch(genesis.iter().map(Vec::as_slice))?;
         let records = next_lsn - 1;
         *self.persistence.lock() = Some(PersistenceState {
             dir,
@@ -368,6 +415,38 @@ impl Database {
         state.wal.append(&record.encode(lsn))?;
         state.next_lsn = lsn + 1;
         state.records_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Group commit: appends a batch of records with a single fsync (no-op
+    /// without persistence, no IO for an empty batch).
+    ///
+    /// Called *before* any of the corresponding in-memory mutations, like
+    /// [`Database::wal_append`]. A crash mid-append makes a *prefix* of
+    /// the batch durable (records are written in order and the torn tail
+    /// is truncated at recovery), while the caller applies nothing — so
+    /// each record individually keeps the WAL-before-apply contract:
+    /// recovery lands on the state after some prefix of the batch.
+    pub(super) fn wal_append_batch(&self, records: &[WalRecord]) -> EngineResult<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut guard = self.persistence.lock();
+        let Some(state) = guard.as_mut() else {
+            return Ok(());
+        };
+        let mut lsn = state.next_lsn;
+        let payloads: Vec<Vec<u8>> = records
+            .iter()
+            .map(|record| {
+                let bytes = record.encode(lsn);
+                lsn += 1;
+                bytes
+            })
+            .collect();
+        state.wal.append_batch(payloads.iter().map(Vec::as_slice))?;
+        state.next_lsn = lsn;
+        state.records_since_snapshot += records.len() as u64;
         Ok(())
     }
 
@@ -582,7 +661,7 @@ impl Database {
             if lsn <= watermark {
                 continue;
             }
-            db.replay_wal_record(&record, &mut want_full_index)
+            db.replay_wal_record(&record, &mut want_full_index, &mut outcome)
                 .map_err(|e| {
                     HolisticError::Recovery(format!("WAL replay failed at lsn {lsn}: {e}"))
                 })?;
@@ -737,6 +816,7 @@ impl Database {
         &mut self,
         record: &WalRecord,
         want_full_index: &mut BTreeSet<ColumnId>,
+        outcome: &mut RecoveryOutcome,
     ) -> EngineResult<()> {
         match record {
             WalRecord::CreateTable { id, name, columns } => {
@@ -770,6 +850,25 @@ impl Database {
             WalRecord::DropFullIndex { column } => {
                 want_full_index.remove(column);
             }
+            WalRecord::CrackerBorn { column } => {
+                // Idempotent: racing queries may have logged the birth
+                // twice, and a cracker already restored from LEARNED (born
+                // before the snapshot, re-logged at genesis) must keep its
+                // warm boundaries. A birth for a column the catalog no
+                // longer knows is stale noise (the table was dropped later
+                // in the same log) and is skipped like stale LEARNED state.
+                if self.catalog.column(*column).is_ok()
+                    && !self.crackers.read().contains_key(column)
+                {
+                    let base = self.catalog.column(*column)?;
+                    let fresh = CrackerColumn::from_column(base, self.config.keep_rowids)
+                        .with_kernel(self.config.crack_kernel);
+                    self.crackers
+                        .write()
+                        .insert(*column, Arc::new(ConcurrentCrackerColumn::new(fresh)));
+                    outcome.crackers_reborn.push(*column);
+                }
+            }
         }
         Ok(())
     }
@@ -801,6 +900,9 @@ mod tests {
             },
             WalRecord::DropFullIndex {
                 column: ColumnId::new(TableId(2), 1),
+            },
+            WalRecord::CrackerBorn {
+                column: ColumnId::new(TableId(4), 0),
             },
         ];
         for (i, record) in records.iter().enumerate() {

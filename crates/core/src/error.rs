@@ -42,6 +42,18 @@ pub enum HolisticError {
     /// The operation is not supported in the engine's current shape
     /// (e.g. single-value updates on a multi-column table).
     Unsupported(String),
+    /// The service refused admission because a bounded queue was full.
+    ///
+    /// The string names the queue that rejected (`"global"`, or the
+    /// client id for a per-client bound) so load generators can tell
+    /// global saturation from a single noisy tenant.
+    Overloaded(String),
+    /// The query's deadline expired before results were produced: shed at
+    /// admission or dispatch, never half-executed.
+    DeadlineExceeded,
+    /// The query was abandoned cooperatively (e.g. its client connection
+    /// dropped while it was still queued).
+    Cancelled,
 }
 
 impl std::fmt::Display for HolisticError {
@@ -58,6 +70,11 @@ impl std::fmt::Display for HolisticError {
             HolisticError::Validation(msg) => write!(f, "validation failure: {msg}"),
             HolisticError::Recovery(msg) => write!(f, "recovery failure: {msg}"),
             HolisticError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            HolisticError::Overloaded(queue) => {
+                write!(f, "overloaded: admission queue {queue:?} is full")
+            }
+            HolisticError::DeadlineExceeded => write!(f, "deadline exceeded: query shed"),
+            HolisticError::Cancelled => write!(f, "cancelled: query abandoned by its client"),
         }
     }
 }
@@ -94,6 +111,19 @@ impl HolisticError {
     #[must_use]
     pub fn is_crash(&self) -> bool {
         matches!(self, HolisticError::Crashed { .. })
+    }
+
+    /// Whether this error is a typed load shed (`Overloaded`,
+    /// `DeadlineExceeded`, or `Cancelled`): the query was never executed
+    /// — not even partially — and is safe to retry.
+    #[must_use]
+    pub fn is_shed(&self) -> bool {
+        matches!(
+            self,
+            HolisticError::Overloaded(_)
+                | HolisticError::DeadlineExceeded
+                | HolisticError::Cancelled
+        )
     }
 }
 

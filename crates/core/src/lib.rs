@@ -93,13 +93,14 @@ pub mod strategy;
 
 pub use background::{BackgroundConfig, BackgroundTuner};
 pub use config::HolisticConfig;
+pub use engine::guarded::GuardedQuery;
 pub use engine::persist::RecoveryOutcome;
 pub use engine::query::{AccessPath, Query, QueryResult};
 pub use engine::timeline::{strategy_timeline, TimelinePhase};
-pub use engine::{Database, SharedDatabase};
+pub use engine::{Database, SharedDatabase, UpdateOp};
 pub use error::HolisticError;
 pub use idle::{IdleBudget, IdleReport};
-pub use metrics::{EngineMetrics, QueryRecord};
+pub use metrics::{EngineMetrics, QueryRecord, ServiceCounters};
 pub use ranking::RankingModel;
 pub use stats::{ColumnActivity, KernelStatistics};
 pub use strategy::{IndexingStrategy, StrategyFeatures};

@@ -35,6 +35,31 @@ pub struct QueryRecord {
     pub result_count: u64,
 }
 
+/// Snapshot of the service-layer overload counters: how admission
+/// control, deadline shedding and saturation degradation treated the
+/// traffic a front-door service pushed at the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Queries accepted into an admission queue.
+    pub admitted: u64,
+    /// Queries rejected because the global queue bound was hit.
+    pub rejected_global: u64,
+    /// Queries rejected because a per-client queue bound was hit.
+    pub rejected_client: u64,
+    /// Queries shed (at admission or dispatch) because their deadline
+    /// expired before execution.
+    pub shed_deadline: u64,
+    /// Queries abandoned cooperatively (client disconnected while queued).
+    pub cancelled: u64,
+    /// Queries answered on the degraded read-only (zero-reorganization)
+    /// path while the service was saturated.
+    pub degraded_answers: u64,
+    /// Times the service flipped from normal into saturation mode.
+    pub saturation_entries: u64,
+    /// High-water mark of the global admission queue depth.
+    pub peak_queue_depth: u64,
+}
+
 /// Engine-wide metrics. Safe to record into from multiple threads.
 #[derive(Debug)]
 pub struct EngineMetrics {
@@ -51,6 +76,14 @@ pub struct EngineMetrics {
     aggregate_partials: AtomicU64,
     aggregate_misses: AtomicU64,
     aggregate_scanned_values: AtomicU64,
+    svc_admitted: AtomicU64,
+    svc_rejected_global: AtomicU64,
+    svc_rejected_client: AtomicU64,
+    svc_shed_deadline: AtomicU64,
+    svc_cancelled: AtomicU64,
+    svc_degraded_answers: AtomicU64,
+    svc_saturation_entries: AtomicU64,
+    svc_peak_queue_depth: AtomicU64,
 }
 
 impl Default for EngineMetrics {
@@ -69,6 +102,14 @@ impl Default for EngineMetrics {
             aggregate_partials: AtomicU64::new(0),
             aggregate_misses: AtomicU64::new(0),
             aggregate_scanned_values: AtomicU64::new(0),
+            svc_admitted: AtomicU64::new(0),
+            svc_rejected_global: AtomicU64::new(0),
+            svc_rejected_client: AtomicU64::new(0),
+            svc_shed_deadline: AtomicU64::new(0),
+            svc_cancelled: AtomicU64::new(0),
+            svc_degraded_answers: AtomicU64::new(0),
+            svc_saturation_entries: AtomicU64::new(0),
+            svc_peak_queue_depth: AtomicU64::new(0),
         }
     }
 }
@@ -247,6 +288,62 @@ impl EngineMetrics {
         (scan, index, crack)
     }
 
+    /// Records queries accepted into a service admission queue.
+    pub fn service_admitted(&self, n: u64) {
+        self.svc_admitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records queries rejected with `Overloaded`; `global` distinguishes
+    /// the global queue bound from a per-client bound.
+    pub fn service_rejected(&self, n: u64, global: bool) {
+        if global {
+            self.svc_rejected_global.fetch_add(n, Ordering::Relaxed);
+        } else {
+            self.svc_rejected_client.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records queries shed with `DeadlineExceeded`.
+    pub fn service_shed_deadline(&self, n: u64) {
+        self.svc_shed_deadline.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records queries abandoned with `Cancelled`.
+    pub fn service_cancelled(&self, n: u64) {
+        self.svc_cancelled.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records queries served on the saturated read-only path.
+    pub fn service_degraded_answers(&self, n: u64) {
+        self.svc_degraded_answers.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one normal→saturated mode transition.
+    pub fn service_saturation_entered(&self) {
+        self.svc_saturation_entries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the global-queue-depth high-water mark to at least `depth`.
+    pub fn service_queue_depth(&self, depth: u64) {
+        self.svc_peak_queue_depth
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the service-layer overload counters.
+    #[must_use]
+    pub fn service(&self) -> ServiceCounters {
+        ServiceCounters {
+            admitted: self.svc_admitted.load(Ordering::Relaxed),
+            rejected_global: self.svc_rejected_global.load(Ordering::Relaxed),
+            rejected_client: self.svc_rejected_client.load(Ordering::Relaxed),
+            shed_deadline: self.svc_shed_deadline.load(Ordering::Relaxed),
+            cancelled: self.svc_cancelled.load(Ordering::Relaxed),
+            degraded_answers: self.svc_degraded_answers.load(Ordering::Relaxed),
+            saturation_entries: self.svc_saturation_entries.load(Ordering::Relaxed),
+            peak_queue_depth: self.svc_peak_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
     /// Clears all recorded metrics (e.g. between benchmark phases).
     pub fn reset(&self) {
         self.queries.lock().clear();
@@ -262,6 +359,14 @@ impl EngineMetrics {
         self.aggregate_partials.store(0, Ordering::Relaxed);
         self.aggregate_misses.store(0, Ordering::Relaxed);
         self.aggregate_scanned_values.store(0, Ordering::Relaxed);
+        self.svc_admitted.store(0, Ordering::Relaxed);
+        self.svc_rejected_global.store(0, Ordering::Relaxed);
+        self.svc_rejected_client.store(0, Ordering::Relaxed);
+        self.svc_shed_deadline.store(0, Ordering::Relaxed);
+        self.svc_cancelled.store(0, Ordering::Relaxed);
+        self.svc_degraded_answers.store(0, Ordering::Relaxed);
+        self.svc_saturation_entries.store(0, Ordering::Relaxed);
+        self.svc_peak_queue_depth.store(0, Ordering::Relaxed);
     }
 }
 
@@ -400,6 +505,31 @@ mod tests {
         let d = m.kernel_dispatches();
         assert_eq!((d.branchy, d.predicated), (1, 4));
         assert_eq!(d.total(), 5);
+    }
+
+    #[test]
+    fn service_counters_accumulate_and_reset() {
+        let m = EngineMetrics::new();
+        m.service_admitted(3);
+        m.service_rejected(2, true);
+        m.service_rejected(1, false);
+        m.service_shed_deadline(4);
+        m.service_cancelled(1);
+        m.service_degraded_answers(5);
+        m.service_saturation_entered();
+        m.service_queue_depth(9);
+        m.service_queue_depth(4); // high-water mark keeps the max
+        let s = m.service();
+        assert_eq!(s.admitted, 3);
+        assert_eq!(s.rejected_global, 2);
+        assert_eq!(s.rejected_client, 1);
+        assert_eq!(s.shed_deadline, 4);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.degraded_answers, 5);
+        assert_eq!(s.saturation_entries, 1);
+        assert_eq!(s.peak_queue_depth, 9);
+        m.reset();
+        assert_eq!(m.service(), ServiceCounters::default());
     }
 
     #[test]

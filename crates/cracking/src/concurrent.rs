@@ -398,6 +398,36 @@ impl ConcurrentCrackerColumn {
         self.outcome_for(&guard, range, lo, hi, materialize, delta)
     }
 
+    /// Degraded-mode answer: serves `[lo, hi)` entirely under the shared
+    /// latch if the bounds are already answerable read-only (resolved
+    /// crack boundaries, or binary search inside prefix-seeded sorted
+    /// pieces — [`CrackerColumn::select_if_answerable`]), and returns
+    /// `None` when answering would require cracking.
+    ///
+    /// Unlike [`ConcurrentCrackerColumn::select_with_policy`] this never
+    /// takes the exclusive latch and never reorganizes: it is the answer
+    /// path a saturated service prefers, where index refinement work is
+    /// deferred until load drains.
+    #[must_use]
+    pub fn try_select_readonly(
+        &self,
+        lo: Value,
+        hi: Value,
+        materialize: bool,
+    ) -> Option<SelectOutcome> {
+        let guard = self.inner.read();
+        let range = guard.select_if_answerable(lo, hi)?;
+        self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
+        Some(self.outcome_for(
+            &guard,
+            range,
+            lo,
+            hi,
+            materialize,
+            KernelDispatches::default(),
+        ))
+    }
+
     /// Answers a whole batch of range selects `(lo, hi, materialize)` in a
     /// **single latch acquisition**, cracking every target piece around all
     /// of the batch's predicate bounds that land in it with one multi-pivot

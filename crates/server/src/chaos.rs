@@ -1,0 +1,231 @@
+//! Deterministic connection chaos: the wire-level sibling of the disk
+//! `FaultInjector`.
+//!
+//! [`ConnectionChaos`] wraps any `Read`/`Write` stream and misbehaves at
+//! exactly the *k*-th wire operation — drop the connection, truncate a
+//! write mid-frame, or delay — where operations are counted across both
+//! directions through a shared [`ChaosState`]. Wrapping the two halves of
+//! a duplexed `TcpStream` (via `try_clone`) with the same state keeps the
+//! count global per connection, so a sweep over `k` visits every
+//! interleaving point of a session deterministically: after the hello,
+//! between two pipelined queries, halfway through a response frame, …
+//!
+//! The chaos sweep tests use this to prove the service's
+//! exactly-one-response contract survives arbitrary connection failure:
+//! no admitted query is ever lost, duplicated, or answered with a torn
+//! frame, and a killed session leaves no latch residue behind.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to do at the chosen operation index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Fail the k-th operation with `ConnectionReset` and every operation
+    /// after it: the peer vanished between two wire ops.
+    DropAt(u64),
+    /// At the k-th operation, deliver only *half*: a write pushes half the
+    /// buffer to the wire then fails, a read reports end-of-stream. The
+    /// peer observes a torn frame.
+    TruncateAt(u64),
+    /// Stall the k-th operation for the given duration, then proceed — a
+    /// network hiccup, not a failure.
+    DelayAt(u64, Duration),
+}
+
+/// Operation counter and liveness flag shared between the read and write
+/// halves of one chaotic connection.
+#[derive(Debug, Default)]
+pub struct ChaosState {
+    ops: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl ChaosState {
+    /// A fresh counter starting at operation 0.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(ChaosState::default())
+    }
+
+    /// Wire operations performed so far across every wrapper sharing this
+    /// state. Run a session once un-killed to learn its op count, then
+    /// sweep `k` over `0..ops()`.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+}
+
+/// A `Read`/`Write` adapter that injects [`ChaosMode`] faults at a
+/// deterministic operation index.
+#[derive(Debug)]
+pub struct ConnectionChaos<S> {
+    inner: S,
+    mode: ChaosMode,
+    state: Arc<ChaosState>,
+}
+
+impl<S> ConnectionChaos<S> {
+    /// Wraps `inner`, counting operations in the shared `state`.
+    pub fn new(inner: S, mode: ChaosMode, state: Arc<ChaosState>) -> Self {
+        ConnectionChaos { inner, mode, state }
+    }
+
+    /// Whether a fault already fired on this connection.
+    pub fn is_dead(&self) -> bool {
+        self.state.dead.load(Ordering::Acquire)
+    }
+
+    /// Checks the fault schedule for the next operation. Returns the
+    /// action to take: `Proceed`, `Truncate` (this op only), or an error.
+    fn admit(&mut self) -> io::Result<Admit> {
+        if self.is_dead() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: connection already dead",
+            ));
+        }
+        let k = self.state.ops.fetch_add(1, Ordering::Relaxed);
+        match self.mode {
+            ChaosMode::DropAt(at) if k >= at => {
+                self.state.dead.store(true, Ordering::Release);
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "chaos: connection dropped",
+                ))
+            }
+            ChaosMode::TruncateAt(at) if k >= at => {
+                self.state.dead.store(true, Ordering::Release);
+                Ok(Admit::Truncate)
+            }
+            ChaosMode::DelayAt(at, pause) if k == at => {
+                std::thread::sleep(pause);
+                Ok(Admit::Proceed)
+            }
+            _ => Ok(Admit::Proceed),
+        }
+    }
+}
+
+enum Admit {
+    Proceed,
+    Truncate,
+}
+
+impl<S: Read> Read for ConnectionChaos<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.admit()? {
+            // A truncated read is a premature end-of-stream: the bytes the
+            // peer sent after this point never arrive.
+            Admit::Truncate => Ok(0),
+            Admit::Proceed => self.inner.read(buf),
+        }
+    }
+}
+
+impl<S: Write> Write for ConnectionChaos<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.admit()? {
+            Admit::Truncate => {
+                // Half the buffer reaches the wire, then the connection
+                // dies — the peer sees a torn frame. Reporting the error
+                // (not a short write) stops `write_all` from retrying.
+                let half = buf.len() / 2;
+                self.inner.write_all(&buf[..half])?;
+                let _ = self.inner.flush();
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "chaos: write truncated",
+                ))
+            }
+            Admit::Proceed => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // Flushes are not scheduled operations; they only observe death.
+        if self.is_dead() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: connection already dead",
+            ));
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn drop_kills_the_kth_op_and_everything_after() {
+        let state = ChaosState::new();
+        let mut w = ConnectionChaos::new(Vec::new(), ChaosMode::DropAt(2), Arc::clone(&state));
+        assert!(w.write(b"a").is_ok());
+        assert!(w.write(b"b").is_ok());
+        let err = w.write(b"c").expect_err("third op dies");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert!(w.write(b"d").is_err(), "dead stays dead");
+        assert_eq!(w.inner, b"ab");
+    }
+
+    #[test]
+    fn counter_is_shared_across_directions() {
+        let state = ChaosState::new();
+        let mut w = ConnectionChaos::new(Vec::new(), ChaosMode::DropAt(1), Arc::clone(&state));
+        let mut r = ConnectionChaos::new(
+            Cursor::new(b"xyz".to_vec()),
+            ChaosMode::DropAt(1),
+            Arc::clone(&state),
+        );
+        let mut buf = [0u8; 1];
+        assert!(r.read(&mut buf).is_ok(), "op 0 proceeds");
+        assert!(w.write(b"a").is_err(), "op 1 on the other half dies");
+        assert!(r.read(&mut buf).is_err(), "death is shared");
+        assert_eq!(state.ops(), 2);
+    }
+
+    #[test]
+    fn truncate_delivers_half_a_write_then_dies() {
+        let state = ChaosState::new();
+        let mut w = ConnectionChaos::new(Vec::new(), ChaosMode::TruncateAt(0), state);
+        let err = w.write(b"12345678").expect_err("truncated");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(w.inner, b"1234", "exactly half reached the wire");
+    }
+
+    #[test]
+    fn truncated_read_is_premature_eof() {
+        let state = ChaosState::new();
+        let mut r = ConnectionChaos::new(
+            Cursor::new(b"abcdef".to_vec()),
+            ChaosMode::TruncateAt(1),
+            state,
+        );
+        let mut buf = [0u8; 3];
+        assert_eq!(r.read(&mut buf).expect("op 0"), 3);
+        assert_eq!(r.read(&mut buf).expect("op 1 truncates"), 0);
+    }
+
+    #[test]
+    fn delay_stalls_exactly_once_and_proceeds() {
+        let state = ChaosState::new();
+        let mut w = ConnectionChaos::new(
+            Vec::new(),
+            ChaosMode::DelayAt(1, Duration::from_millis(5)),
+            state,
+        );
+        let t0 = std::time::Instant::now();
+        assert!(w.write(b"a").is_ok());
+        assert!(t0.elapsed() < Duration::from_millis(5));
+        let t1 = std::time::Instant::now();
+        assert!(w.write(b"b").is_ok());
+        assert!(t1.elapsed() >= Duration::from_millis(5));
+        assert!(w.write(b"c").is_ok(), "delay is not a failure");
+        assert_eq!(w.inner, b"abc");
+    }
+}

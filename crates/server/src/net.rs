@@ -1,0 +1,320 @@
+//! The TCP shell around [`ServiceCore`]: accept loop, per-connection
+//! reader, per-connection writer, and the dispatcher thread.
+//!
+//! Thread model (all plain `std::thread`, no runtime dependency):
+//!
+//! * **accept** — non-blocking accept loop; spawns one reader per
+//!   connection and joins them on shutdown.
+//! * **reader** (per connection) — expects a `Hello` frame, registers the
+//!   session, then decodes `Query` frames and calls
+//!   [`ServiceCore::admit`]; admission rejections are routed back through
+//!   the session's response channel so the writer stays the connection's
+//!   only socket writer (no interleaved frames, ever). Reader exit —
+//!   clean EOF, torn frame, chaos — deregisters the session, which
+//!   cooperatively cancels its queued queries.
+//! * **writer** (per connection) — drains the session's response channel
+//!   and writes one frame per response. Exits when every sender is gone:
+//!   the registry entry (dropped at disconnect) and the queued queries
+//!   (drained by the dispatcher within the formation deadline).
+//! * **dispatcher** — calls [`ServiceCore::pump`] in a loop; on shutdown
+//!   it keeps running until every connection has drained, then flushes.
+//!
+//! A connection that dies mid-frame is indistinguishable from hostile
+//! input; both paths end at "close the connection, cancel its queue" and
+//! never panic a thread or leak a latch.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use holistic_core::Query;
+
+use crate::core::{ServiceCore, ServiceResponse};
+use crate::protocol::{read_frame, write_frame, Request, ResponseFrame};
+
+/// How often blocked reads wake up to check for shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// A peer that stalls mid-frame longer than this is torn down.
+const MID_FRAME_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A running TCP service; dropping it without [`Server::shutdown`] leaks
+/// the threads, so tests and binaries should always shut down.
+pub struct Server {
+    core: Arc<ServiceCore>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stop_dispatch: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    dispatch_thread: Option<JoinHandle<()>>,
+}
+
+/// Binds `bind` (e.g. `"127.0.0.1:0"`) and serves `core` on it.
+pub fn serve(core: Arc<ServiceCore>, bind: &str) -> io::Result<Server> {
+    let listener = TcpListener::bind(bind)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_dispatch = Arc::new(AtomicBool::new(false));
+
+    let dispatch_thread = {
+        let core = Arc::clone(&core);
+        let stop = Arc::clone(&stop_dispatch);
+        let idle = core
+            .config()
+            .batch_deadline
+            .div_f64(4.0)
+            .max(Duration::from_micros(200));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                if core.pump() == 0 {
+                    std::thread::sleep(idle);
+                }
+            }
+            core.flush();
+        })
+    };
+
+    let accept_thread = {
+        let core = Arc::clone(&core);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut connections: Vec<JoinHandle<()>> = Vec::new();
+            while !stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let core = Arc::clone(&core);
+                        let stop = Arc::clone(&stop);
+                        connections.push(std::thread::spawn(move || {
+                            let _ = run_connection(&core, stream, &stop);
+                        }));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for conn in connections {
+                let _ = conn.join();
+            }
+        })
+    };
+
+    Ok(Server {
+        core,
+        addr,
+        stop,
+        stop_dispatch,
+        accept_thread: Some(accept_thread),
+        dispatch_thread: Some(dispatch_thread),
+    })
+}
+
+impl Server {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service core behind this server.
+    #[must_use]
+    pub fn core(&self) -> &Arc<ServiceCore> {
+        &self.core
+    }
+
+    /// Stops accepting, drains every connection, flushes the queue, and
+    /// joins all threads. Order matters: the dispatcher must outlive the
+    /// connections so their writers can drain queued responses.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.stop_dispatch.store(true, Ordering::Release);
+        if let Some(t) = self.dispatch_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Reads one frame with shutdown polling: the socket wakes every
+/// [`POLL_INTERVAL`] while idle, but once a frame header starts the read
+/// switches to a generous blocking timeout so a slow-but-live peer never
+/// has its frame torn by the poll.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        stream.set_read_timeout(Some(POLL_INTERVAL))?;
+        let mut first = [0u8; 1];
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {
+                stream.set_read_timeout(Some(MID_FRAME_TIMEOUT))?;
+                let mut rest = [0u8; 3];
+                stream.read_exact(&mut rest)?;
+                let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
+                if len > crate::protocol::MAX_FRAME {
+                    return Err(io::Error::new(
+                        ErrorKind::InvalidData,
+                        "frame length exceeds MAX_FRAME",
+                    ));
+                }
+                let mut payload = vec![0u8; len];
+                stream.read_exact(&mut payload)?;
+                return Ok(Some(payload));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn run_connection(
+    core: &Arc<ServiceCore>,
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    // The first frame must be a Hello; anything else is a protocol
+    // violation and closes the connection before any state exists.
+    let Some(frame) = read_frame_interruptible(&mut stream, stop)? else {
+        return Ok(());
+    };
+    let Ok(Request::Hello { client }) = Request::decode(&frame) else {
+        return Ok(());
+    };
+    let (session, responses) = core.connect_session(client);
+    let writer = {
+        let stream = stream.try_clone()?;
+        std::thread::spawn(move || writer_loop(stream, responses))
+    };
+    let result = reader_loop(core, client, &mut stream, stop);
+    // Deregister *this* session: drops the registry's channel sender and
+    // cancels queued queries; the writer exits once the dispatcher drains
+    // them. Identity-aware so a same-id reconnect racing our teardown is
+    // never cancelled by mistake.
+    core.disconnect_session(&session);
+    // The session holds a response Sender; drop it BEFORE joining the
+    // writer, which only exits once every sender is gone.
+    drop(session);
+    let _ = writer.join();
+    result
+}
+
+fn reader_loop(
+    core: &Arc<ServiceCore>,
+    client: u64,
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    loop {
+        let Some(frame) = read_frame_interruptible(stream, stop)? else {
+            return Ok(());
+        };
+        let Ok(Request::Query(req)) = Request::decode(&frame) else {
+            // Garbage or an out-of-place Hello: close, don't guess.
+            return Ok(());
+        };
+        let deadline =
+            (req.deadline_ms > 0).then(|| Duration::from_millis(u64::from(req.deadline_ms)));
+        let query = if req.materialize {
+            Query::range_materialized(req.column, req.lo, req.hi)
+        } else {
+            Query::range(req.column, req.lo, req.hi)
+        };
+        if let Err(error) = core.admit(client, req.request_id, query, deadline) {
+            core.respond_error(client, req.request_id, error);
+        }
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, responses: Receiver<ServiceResponse>) {
+    let _ = stream.set_write_timeout(Some(MID_FRAME_TIMEOUT));
+    // Keep draining until every sender is dropped even if the socket
+    // dies, so queued responses never back up behind a dead wire.
+    let mut wire_alive = true;
+    while let Ok(response) = responses.recv() {
+        if !wire_alive {
+            continue;
+        }
+        let frame = ResponseFrame::from_result(response.request_id, &response.result);
+        if write_frame(&mut stream, &frame.encode()).is_err() {
+            wire_alive = false;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// A minimal blocking client for tests, benches and examples: `Hello` on
+/// connect, pipelined queries, frame-at-a-time responses.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and introduces itself as `client`.
+    pub fn connect(addr: SocketAddr, client: u64) -> io::Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        write_frame(&mut stream, &Request::Hello { client }.encode())?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one query; the response arrives via [`Client::recv`].
+    pub fn send(&mut self, req: &crate::protocol::QueryReq) -> io::Result<()> {
+        write_frame(&mut self.stream, &Request::Query(*req).encode())
+    }
+
+    /// Receives the next response frame (`Ok(None)` = server closed).
+    pub fn recv(&mut self) -> io::Result<Option<ResponseFrame>> {
+        let Some(frame) = read_frame(&mut self.stream)? else {
+            return Ok(None);
+        };
+        ResponseFrame::decode(&frame)
+            .map(Some)
+            .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Bounds how long [`Client::recv`] blocks.
+    pub fn set_recv_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// A duplicate handle onto the same connection (reader/writer split).
+    pub fn try_clone(&self) -> io::Result<Client> {
+        Ok(Client {
+            stream: self.stream.try_clone()?,
+        })
+    }
+}
+
+// Writer access for wrapping the raw stream (chaos tests).
+impl Read for Client {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stream.read(buf)
+    }
+}
+
+impl Write for Client {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}

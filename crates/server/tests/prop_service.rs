@@ -1,0 +1,216 @@
+//! Property: the batched service is *answer-equivalent* to a sequential
+//! reference, and its admission ledger balances exactly.
+//!
+//! Arbitrary interleavings of admissions, manual-clock advances, pumps,
+//! disconnects and reconnects are driven against an in-process
+//! [`ServiceCore`]. For every operation stream:
+//!
+//! * every admitted query (admit returned `Ok`) produces **exactly one**
+//!   response across all response channels — current and abandoned alike —
+//!   and every rejected query produces none;
+//! * every `Ok` response carries the same count/sum a fresh sequential
+//!   engine produces for that range (batching, reordering, saturation and
+//!   cancellation never change an answer that is delivered);
+//! * every error response is a *typed* shed (`Overloaded`,
+//!   `DeadlineExceeded`, `Cancelled`) — never an untyped failure;
+//! * the queue depth never exceeds the configured global cap;
+//! * the driving thread ends with zero latch residue under enforcement.
+
+use std::collections::HashMap;
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use holistic_core::{Database, HolisticConfig, HolisticError, IndexingStrategy, Query};
+use holistic_server::{ServiceClock, ServiceConfig, ServiceCore, ServiceResponse};
+
+const CLIENTS: u64 = 3;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Op {
+    /// Admit a range query for a client; `deadline_ms == 0` uses the
+    /// service default.
+    Admit {
+        client: u64,
+        lo: i64,
+        width: i64,
+        deadline_ms: u32,
+    },
+    AdvanceClock(u64),
+    Pump,
+    Disconnect(u64),
+    Reconnect(u64),
+}
+
+prop_compose! {
+    /// Raw `(tag, client, lo, width, ms)` tuples decoded into ops (the
+    /// vendored proptest has no `prop_oneof`). Admissions dominate so the
+    /// queue actually fills.
+    fn arb_ops()(raw in prop::collection::vec(
+        ((0u8..10, 0u64..CLIENTS), (-200i64..600, 0i64..250, 0u64..30)),
+        10..60,
+    )) -> Vec<Op> {
+        raw.into_iter()
+            .map(|((tag, client), (lo, width, ms))| match tag {
+                0..=5 => Op::Admit { client, lo, width, deadline_ms: (ms as u32) * 3 },
+                6 => Op::AdvanceClock(ms),
+                7 => Op::Pump,
+                8 => Op::Disconnect(client),
+                _ => Op::Reconnect(client),
+            })
+            .collect()
+    }
+}
+
+fn table_values() -> Vec<i64> {
+    (0..800).map(|i| (i * 37) % 700 - 150).collect()
+}
+
+fn reference(lo: i64, hi: i64) -> (u64, i128) {
+    let mut count = 0u64;
+    let mut sum = 0i128;
+    for v in table_values() {
+        if v >= lo && v < hi {
+            count += 1;
+            sum += i128::from(v);
+        }
+    }
+    (count, sum)
+}
+
+fn drain(channels: &mut Vec<Receiver<ServiceResponse>>) -> Vec<ServiceResponse> {
+    let mut all = Vec::new();
+    for rx in channels.drain(..) {
+        while let Ok(resp) = rx.try_recv() {
+            all.push(resp);
+        }
+    }
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_service_is_answer_equivalent_to_sequential(ops in arb_ops()) {
+        holistic_sync::set_enforcement(true);
+
+        let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+        let table = db.create_table("t", vec![("v", table_values())]).unwrap();
+        let column = db.column_id(table, "v").unwrap();
+
+        let clock = ServiceClock::manual();
+        let mut config = ServiceConfig::for_testing();
+        config.default_deadline = Duration::from_millis(40);
+        let core = ServiceCore::with_clock(db.into_shared(), config, clock);
+
+        // All response channels ever handed out — replaced receivers keep
+        // collecting the sheds of their abandoned sessions.
+        let mut channels: Vec<Receiver<ServiceResponse>> = Vec::new();
+        for client in 0..CLIENTS {
+            channels.push(core.connect(client));
+        }
+
+        // request_id -> (lo, hi) for every *admitted* query.
+        let mut admitted: HashMap<u64, (i64, i64)> = HashMap::new();
+        let mut rejected: Vec<u64> = Vec::new();
+        let mut next_request = 0u64;
+
+        for op in &ops {
+            match op {
+                Op::Admit { client, lo, width, deadline_ms } => {
+                    let request_id = next_request;
+                    next_request += 1;
+                    let hi = lo + width;
+                    let deadline = if *deadline_ms == 0 {
+                        None
+                    } else {
+                        Some(Duration::from_millis(u64::from(*deadline_ms)))
+                    };
+                    match core.admit(*client, request_id, Query::range(column, *lo, hi), deadline) {
+                        Ok(()) => {
+                            admitted.insert(request_id, (*lo, hi));
+                        }
+                        Err(e) => {
+                            // Rejections are typed: backpressure, a hopeless
+                            // deadline, or a client that is gone.
+                            prop_assert!(
+                                e.is_shed() || matches!(e, HolisticError::Unsupported(_)),
+                                "untyped rejection: {e}"
+                            );
+                            rejected.push(request_id);
+                        }
+                    }
+                }
+                Op::AdvanceClock(ms) => core.clock().advance(Duration::from_millis(*ms)),
+                Op::Pump => {
+                    core.pump();
+                }
+                Op::Disconnect(client) => core.disconnect(*client),
+                Op::Reconnect(client) => {
+                    channels.push(core.connect(*client));
+                }
+            }
+            prop_assert!(
+                core.queue_depth() <= core.config().global_queue_cap,
+                "queue depth {} exceeded the global cap {}",
+                core.queue_depth(),
+                core.config().global_queue_cap,
+            );
+        }
+
+        core.flush();
+        prop_assert_eq!(core.queue_depth(), 0, "flush left queries behind");
+
+        let responses = drain(&mut channels);
+
+        // The ledger: every admitted query answered exactly once, every
+        // rejected query never answered.
+        let mut seen: HashMap<u64, u32> = HashMap::new();
+        for resp in &responses {
+            *seen.entry(resp.request_id).or_insert(0) += 1;
+        }
+        for (request_id, count) in &seen {
+            prop_assert_eq!(
+                *count, 1,
+                "request {} answered {} times", request_id, count
+            );
+            prop_assert!(
+                admitted.contains_key(request_id),
+                "request {} answered but never admitted", request_id
+            );
+        }
+        for request_id in admitted.keys() {
+            prop_assert!(
+                seen.contains_key(request_id),
+                "admitted request {} was lost", request_id
+            );
+        }
+        for request_id in &rejected {
+            prop_assert!(
+                !seen.contains_key(request_id),
+                "rejected request {} was answered anyway", request_id
+            );
+        }
+
+        // Answer equivalence: a delivered Ok equals the sequential
+        // reference; a delivered error is a typed shed.
+        for resp in &responses {
+            let (lo, hi) = admitted[&resp.request_id];
+            match &resp.result {
+                Ok(result) => {
+                    let (count, sum) = reference(lo, hi);
+                    prop_assert_eq!(result.count, count, "wrong count for [{}, {})", lo, hi);
+                    prop_assert_eq!(result.sum, sum, "wrong sum for [{}, {})", lo, hi);
+                }
+                Err(e) => prop_assert!(e.is_shed(), "untyped error response: {e}"),
+            }
+        }
+
+        prop_assert!(
+            holistic_sync::held_locks().is_empty(),
+            "latch residue after the op stream"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! End-to-end smoke: a real loopback server under an open-loop Poisson
+//! load, driven by the workload crate's generator. This is the CI smoke
+//! job's target — it runs under `HOLISTIC_PARANOIA=1` and keeps its
+//! runtime to well under a second of offered load.
+//!
+//! Checked end to end:
+//!
+//! * every request sent on an intact connection receives exactly one
+//!   response frame (admission rejections arrive as typed frames too);
+//! * every `Ok` answer equals a brute-force scan of the column;
+//! * every non-`Ok` status is a typed shed, never `Error`;
+//! * the service ledger balances: `admitted = delivered Ok + engine sheds`
+//!   and `rejected` equals the typed rejection frames the clients saw;
+//! * no latch residue on the driving thread.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use holistic_core::{Database, HolisticConfig, IndexingStrategy};
+use holistic_server::{serve, Client, QueryReq, RespStatus, ServiceConfig, ServiceCore};
+use holistic_workload::{OpenLoopBuilder, UniformRangeGenerator};
+
+const ROWS: i64 = 5_000;
+const ARRIVALS: usize = 240;
+const RATE_QPS: f64 = 600.0;
+const LOAD_CLIENTS: usize = 3;
+
+fn values() -> Vec<i64> {
+    (0..ROWS).map(|i| (i * 7919) % ROWS).collect()
+}
+
+fn reference(lo: i64, hi: i64) -> (u64, i128) {
+    let mut count = 0u64;
+    let mut sum = 0i128;
+    for v in values() {
+        if v >= lo && v < hi {
+            count += 1;
+            sum += i128::from(v);
+        }
+    }
+    (count, sum)
+}
+
+#[test]
+fn poisson_load_over_loopback_answers_everything_exactly_once() {
+    holistic_sync::set_enforcement(true);
+
+    let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+    let table = db.create_table("t", vec![("v", values())]).unwrap();
+    let column = db.column_id(table, "v").unwrap();
+    let engine = db.into_shared();
+
+    let config = ServiceConfig {
+        max_batch: 16,
+        batch_deadline: Duration::from_millis(1),
+        default_deadline: Duration::from_secs(5),
+        ..ServiceConfig::default()
+    };
+    let core = ServiceCore::new(Arc::clone(&engine), config);
+    let server = serve(core, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+
+    // An open-loop Poisson schedule over the load clients: arrival times
+    // are fixed up front; senders pace against the wall clock regardless
+    // of response progress.
+    let schedule = OpenLoopBuilder::new(RATE_QPS)
+        .with_clients(LOAD_CLIENTS)
+        .build(
+            &mut UniformRangeGenerator::new(0, 0, ROWS, 0.01),
+            ARRIVALS,
+            &mut StdRng::seed_from_u64(42),
+        );
+
+    let mut handles = Vec::new();
+    for client in 0..LOAD_CLIENTS {
+        let mine: Vec<_> = schedule
+            .iter()
+            .filter(|a| a.client == client)
+            .copied()
+            .collect();
+        handles.push(thread::spawn(move || {
+            let sender = Client::connect(addr, client as u64).expect("connect");
+            let mut receiver = sender.try_clone().expect("clone");
+            receiver
+                .set_recv_timeout(Some(Duration::from_secs(10)))
+                .expect("timeout");
+
+            // The sender tells the collector what it sent (and when) over
+            // a channel; the collector correlates response frames by id.
+            let (meta_tx, meta_rx) = mpsc::channel::<(u64, i64, i64, Instant)>();
+            let expected = mine.len();
+            let collector = thread::spawn(move || {
+                let mut pending = std::collections::HashMap::new();
+                let mut seen = std::collections::HashSet::new();
+                let mut ok = 0usize;
+                let mut shed = 0usize;
+                let mut latencies = Vec::new();
+                for _ in 0..expected {
+                    let resp = receiver
+                        .recv()
+                        .expect("recv failed")
+                        .expect("server closed early");
+                    while let Ok((id, lo, hi, at)) = meta_rx.try_recv() {
+                        pending.insert(id, (lo, hi, at));
+                    }
+                    let (lo, hi, sent_at) = pending
+                        .get(&resp.request_id)
+                        .copied()
+                        .expect("response for a request never sent");
+                    assert!(
+                        seen.insert(resp.request_id),
+                        "request {} answered twice",
+                        resp.request_id
+                    );
+                    match resp.status {
+                        RespStatus::Ok => {
+                            let (count, sum) = reference(lo, hi);
+                            assert_eq!(resp.count, count, "wrong count for [{lo}, {hi})");
+                            assert_eq!(resp.sum, sum, "wrong sum for [{lo}, {hi})");
+                            latencies.push(sent_at.elapsed());
+                            ok += 1;
+                        }
+                        RespStatus::Error => panic!("untyped error: {}", resp.detail),
+                        _ => shed += 1,
+                    }
+                }
+                (ok, shed, latencies)
+            });
+
+            let mut sender = sender;
+            let start = Instant::now();
+            for (i, arrival) in mine.iter().enumerate() {
+                if let Some(wait) = arrival.at.checked_sub(start.elapsed()) {
+                    thread::sleep(wait);
+                }
+                let req = QueryReq {
+                    request_id: i as u64,
+                    column,
+                    lo: arrival.query.lo,
+                    hi: arrival.query.hi,
+                    materialize: false,
+                    deadline_ms: 0,
+                };
+                meta_tx
+                    .send((req.request_id, req.lo, req.hi, Instant::now()))
+                    .expect("collector alive");
+                sender.send(&req).expect("send");
+            }
+            drop(meta_tx);
+            collector.join().expect("collector panicked")
+        }));
+    }
+
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    let mut latencies: Vec<Duration> = Vec::new();
+    for handle in handles {
+        let (o, s, l) = handle.join().expect("load client panicked");
+        ok += o;
+        shed += s;
+        latencies.extend(l);
+    }
+
+    // Exactly one response per send, across all clients.
+    assert_eq!(ok + shed, ARRIVALS, "lost or duplicated responses");
+    // This load is far below capacity: the vast majority must succeed.
+    assert!(
+        ok * 10 >= ARRIVALS * 9,
+        "excessive shedding: {ok}/{ARRIVALS} ok"
+    );
+
+    // Latency sanity: an Ok answer implies dispatch before its deadline;
+    // wire latency stays within the same order of magnitude.
+    latencies.sort();
+    let p99 = latencies[latencies.len() * 99 / 100];
+    assert!(p99 < Duration::from_secs(6), "p99 {p99:?} out of bounds");
+
+    server.shutdown();
+
+    // The service ledger balances against what the clients observed.
+    let svc = engine.read().metrics().service();
+    assert_eq!(
+        svc.admitted as usize,
+        ok + shed - (svc.rejected_global + svc.rejected_client) as usize,
+        "admitted = responses - typed rejections"
+    );
+    assert!(
+        holistic_sync::held_locks().is_empty(),
+        "latch residue on the driving thread"
+    );
+}

@@ -15,6 +15,9 @@
 //! | Level | Name        | Lock                                          |
 //! |------:|-------------|-----------------------------------------------|
 //! |     0 | Engine      | caller-owned `Arc<OrderedRwLock<Database>>`   |
+//! |     2 | ServiceRegistry | `holistic-server` client/session map      |
+//! |     4 | ServiceSession  | per-session state + response writer       |
+//! |     6 | ServiceQueue    | `holistic-server` global admission queue  |
 //! |    10 | Persistence | `Database::persistence` (serializes IO)       |
 //! |    20 | CrackerMap  | `Database::crackers` map lock                 |
 //! |    30 | Column      | per-column `ConcurrentCrackerColumn` latch    |
@@ -65,6 +68,20 @@ use parking_lot::{Mutex, RwLock};
 pub enum LockLevel {
     /// The caller-owned engine lock (`Arc<OrderedRwLock<Database>>`).
     Engine = 0,
+    /// `holistic-server` client/session registry map.
+    ///
+    /// The service layer sits *above* the engine in call order but its
+    /// locks are never held across an `Engine` acquisition: the
+    /// dispatcher drains queues, drops every service guard, and only
+    /// then takes the engine read lock. Placing the service levels
+    /// between `Engine` and `Persistence` additionally allows sending
+    /// responses while an engine guard is still held (0 → 2/4/6 is
+    /// strictly increasing).
+    ServiceRegistry = 2,
+    /// Per-session service state (queued-query count, response writer).
+    ServiceSession = 4,
+    /// The global admission queue in `holistic-server`.
+    ServiceQueue = 6,
     /// `Database::persistence`: serializes snapshot/WAL IO.
     Persistence = 10,
     /// `Database::crackers`: the column-id → cracker map.

@@ -1,5 +1,7 @@
 //! Arrival models: how queries and idle windows interleave over a session.
 
+use std::time::Duration;
+
 use rand::Rng;
 
 use crate::generators::QueryGenerator;
@@ -177,6 +179,100 @@ impl BatchSessionBuilder {
     }
 }
 
+/// One arrival of an open-loop workload: *when* the query is offered,
+/// *who* offers it, and the query itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenLoopArrival {
+    /// Offset from the start of the run at which the query is submitted.
+    pub at: Duration,
+    /// Index of the submitting client (`0..clients`).
+    pub client: usize,
+    /// The query.
+    pub query: RangeQuery,
+}
+
+/// Open-loop Poisson arrivals: queries are offered at exponentially
+/// distributed inter-arrival times at a configured rate, *independent of
+/// service times*. Unlike the closed-loop [`BatchSessionBuilder`] — where
+/// `clients` bounds the in-flight work by construction — an open-loop
+/// source keeps offering when the service lags, so queues grow without
+/// bound unless the service sheds. This is the regime admission control
+/// exists for, and the load shape the `micro_service_latency` bench
+/// sweeps (p50/p99 vs offered rate).
+#[derive(Debug, Clone)]
+pub struct OpenLoopBuilder {
+    rate_qps: f64,
+    clients: usize,
+}
+
+impl OpenLoopBuilder {
+    /// Arrivals at `rate_qps` queries per second (clamped to a small
+    /// positive rate), offered by a single client.
+    #[must_use]
+    pub fn new(rate_qps: f64) -> Self {
+        OpenLoopBuilder {
+            rate_qps: rate_qps.max(1e-6),
+            clients: 1,
+        }
+    }
+
+    /// Spreads the arrival stream uniformly over `clients` simulated
+    /// clients (clamped to at least 1). Splitting a Poisson process
+    /// uniformly yields independent Poisson processes per client, so this
+    /// models `clients` tenants each offering `rate / clients` qps.
+    #[must_use]
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients.max(1);
+        self
+    }
+
+    /// The configured offered rate in queries per second.
+    #[must_use]
+    pub fn rate_qps(&self) -> f64 {
+        self.rate_qps
+    }
+
+    /// The number of simulated clients.
+    #[must_use]
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Builds a schedule of `queries` arrivals with queries drawn from
+    /// `generator`. Timestamps are strictly non-decreasing.
+    pub fn build<G: QueryGenerator, R: Rng + ?Sized>(
+        &self,
+        generator: &mut G,
+        queries: usize,
+        rng: &mut R,
+    ) -> Vec<OpenLoopArrival> {
+        let mut at_secs = 0.0f64;
+        (0..queries)
+            .map(|_| {
+                // Inverse-CDF exponential sample; 1 - u ∈ (0, 1] keeps the
+                // logarithm finite.
+                let u: f64 = rng.gen();
+                at_secs += -(1.0 - u).ln() / self.rate_qps;
+                OpenLoopArrival {
+                    at: Duration::from_secs_f64(at_secs),
+                    client: rng.gen_range(0..self.clients),
+                    query: generator.next_query(rng),
+                }
+            })
+            .collect()
+    }
+}
+
+impl BatchSessionBuilder {
+    /// The open-loop companion of this closed-loop builder: the same
+    /// client population, but offering queries at `rate_qps` regardless
+    /// of how fast the service answers.
+    #[must_use]
+    pub fn open_loop(&self, rate_qps: f64) -> OpenLoopBuilder {
+        OpenLoopBuilder::new(rate_qps).with_clients(self.clients)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +396,45 @@ mod tests {
         assert!(BatchSessionBuilder::new(8)
             .build(&mut gen(), 0, &mut rng)
             .is_empty());
+    }
+
+    #[test]
+    fn open_loop_arrivals_match_the_offered_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let rate = 500.0;
+        let n = 4000;
+        let schedule = OpenLoopBuilder::new(rate)
+            .with_clients(4)
+            .build(&mut gen(), n, &mut rng);
+        assert_eq!(schedule.len(), n);
+        // Timestamps are non-decreasing.
+        assert!(schedule.windows(2).all(|w| w[0].at <= w[1].at));
+        // Every client participates and ids stay in range.
+        assert!(schedule.iter().all(|a| a.client < 4));
+        for c in 0..4 {
+            assert!(schedule.iter().any(|a| a.client == c));
+        }
+        // The empirical rate is within 10% of the offered rate (the
+        // relative error of a Poisson count at n = 4000 is ~1.6%).
+        let span = schedule[n - 1].at.as_secs_f64();
+        let empirical = (n as f64) / span;
+        assert!(
+            (empirical / rate - 1.0).abs() < 0.1,
+            "empirical rate {empirical:.1} vs offered {rate}"
+        );
+    }
+
+    #[test]
+    fn open_loop_extends_the_closed_loop_builder() {
+        let open = BatchSessionBuilder::new(16).open_loop(100.0);
+        assert_eq!(open.clients(), 16);
+        assert!((open.rate_qps() - 100.0).abs() < f64::EPSILON);
+        // Degenerate parameters are clamped, not panicked on.
+        let degenerate = OpenLoopBuilder::new(-3.0).with_clients(0);
+        assert_eq!(degenerate.clients(), 1);
+        assert!(degenerate.rate_qps() > 0.0);
+        let mut rng = StdRng::seed_from_u64(12);
+        assert!(degenerate.build(&mut gen(), 0, &mut rng).is_empty());
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod query;
 pub mod trace;
 pub mod zipf;
 
-pub use arrival::{ArrivalModel, BatchEvent, BatchSessionBuilder, SessionBuilder};
+pub use arrival::{
+    ArrivalModel, BatchEvent, BatchSessionBuilder, OpenLoopArrival, OpenLoopBuilder, SessionBuilder,
+};
 pub use generators::{
     QueryGenerator, RoundRobinColumns, SequentialRangeGenerator, UniformRangeGenerator,
     ZipfRangeGenerator,

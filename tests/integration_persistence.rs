@@ -271,6 +271,208 @@ fn corrupt_newest_snapshot_degrades_to_previous_generation() {
     assert!(!dir.join("snapshot.2").exists());
 }
 
+/// Regression (ROADMAP 5d): a cracker *born after* the last snapshot is
+/// invisible to that snapshot's LEARNED section, and queries are not
+/// WAL-logged — so recovery used to drop the column's learned state
+/// entirely (piece count 0, post-snapshot updates replayed into the base
+/// only) without reporting anything. The `CrackerBorn` WAL record closes
+/// the gap: replay re-instantiates the cracker at its birth position, the
+/// logged updates ripple into it exactly as they did forward, and the
+/// rebirth is reported in `RecoveryOutcome::crackers_reborn`.
+#[test]
+fn crackers_born_after_snapshot_survive_recovery_update_complete() {
+    let dir = tmpdir("cracker-born-after-snapshot");
+    let hot_values = dataset(6);
+    let mut cold_values = dataset(7);
+    let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+    db.set_persistence(&dir, FaultInjector::new()).unwrap();
+    let th = db
+        .create_table("hot", vec![("a", hot_values.clone())])
+        .unwrap();
+    let hot = db.column_id(th, "a").unwrap();
+    let tc = db
+        .create_table("cold", vec![("a", cold_values.clone())])
+        .unwrap();
+    let cold = db.column_id(tc, "a").unwrap();
+    // Crack only the hot column, then snapshot: LEARNED covers hot alone.
+    for i in 0..30i64 {
+        let lo = 1 + (i * 431) % (ROWS as i64 - 600);
+        db.execute(&Query::range(hot, lo, lo + 500)).unwrap();
+    }
+    db.snapshot().unwrap();
+    let hot_pieces = db.cracker_pieces(hot);
+
+    // The cold column's cracker is born *after* the snapshot — queries
+    // crack it, then a heavy update stream ripples into it.
+    for i in 0..30i64 {
+        let lo = 1 + (i * 617) % (ROWS as i64 - 900);
+        db.execute(&Query::range(cold, lo, lo + 700)).unwrap();
+    }
+    assert!(db.piece_count(cold) > 1, "cold column should have cracked");
+    for i in 0..100i64 {
+        if i % 4 == 3 {
+            let victim = cold_values[(i as usize * 53) % cold_values.len()];
+            assert!(db.delete(cold, victim).unwrap());
+            let pos = cold_values.iter().position(|&v| v == victim).unwrap();
+            cold_values.remove(pos);
+        } else {
+            db.insert(cold, -1_000 - i).unwrap();
+            cold_values.push(-1_000 - i);
+        }
+    }
+    drop(db); // crash
+
+    let (recovered, outcome) = recover(&dir);
+    assert_eq!(outcome.snapshot_generation, Some(1));
+    assert_eq!(
+        outcome.crackers_reborn,
+        vec![cold],
+        "the post-snapshot birth must be replayed and reported"
+    );
+    // The regression: before the fix the cold cracker was silently gone
+    // (piece count 0) and only the hot column came back warm.
+    assert!(
+        recovered.piece_count(cold) >= 1,
+        "cold column's cracker must be re-instantiated from its WAL birth"
+    );
+    assert_eq!(
+        recovered.cracker_pieces(hot),
+        hot_pieces,
+        "snapshot-covered columns still recover their full piece tables"
+    );
+    assert!(recovered.validate());
+    // The reborn cracker is update-complete: the 100 replayed updates
+    // rippled into it, so answers over the updated domain are exact.
+    for lo in [-1_200i64, -1_050, 0, 500, ROWS as i64 / 2] {
+        let hi = lo + 800;
+        let r = recovered.execute(&Query::range(cold, lo, hi)).unwrap();
+        assert_eq!(r.count, reference_count(&cold_values, lo, hi));
+        assert_eq!(r.sum, reference_sum(&cold_values, lo, hi));
+    }
+}
+
+/// Group commit: a whole update batch is WAL-logged with one write and one
+/// fsync (instead of one fsync per operation), and replays exactly.
+#[test]
+fn update_batch_group_commits_with_a_single_fsync() {
+    use holistic_core::UpdateOp;
+    let dir = tmpdir("group-commit");
+    let mut values = dataset(8);
+    let inj = FaultInjector::new();
+    let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+    db.set_persistence(&dir, std::sync::Arc::clone(&inj))
+        .unwrap();
+    let t = db.create_table("r", vec![("a", values.clone())]).unwrap();
+    let col = db.column_id(t, "a").unwrap();
+
+    // Two singleton updates: one write + one fsync each.
+    let before_singles = inj.ops_performed();
+    db.insert(col, 50_000).unwrap();
+    db.insert(col, 50_001).unwrap();
+    values.push(50_000);
+    values.push(50_001);
+    assert_eq!(inj.ops_performed() - before_singles, 4);
+
+    // One batch of eight: still one write + one fsync.
+    let batch: Vec<UpdateOp> = (0..8i64)
+        .map(|i| {
+            if i % 2 == 0 {
+                UpdateOp::Insert {
+                    column: col,
+                    value: 60_000 + i,
+                }
+            } else {
+                UpdateOp::Delete {
+                    column: col,
+                    value: values[i as usize * 11],
+                }
+            }
+        })
+        .collect();
+    for op in &batch {
+        match *op {
+            UpdateOp::Insert { value, .. } => values.push(value),
+            UpdateOp::Delete { value, .. } => {
+                let pos = values.iter().position(|&v| v == value).unwrap();
+                values.remove(pos);
+            }
+        }
+    }
+    let before_batch = inj.ops_performed();
+    let applied = db.update_batch(&batch).unwrap();
+    assert_eq!(
+        inj.ops_performed() - before_batch,
+        2,
+        "a grouped update batch must cost exactly one write + one fsync"
+    );
+    assert_eq!(applied, vec![true; 8]);
+    drop(db); // crash
+
+    // Every record of the batch replays individually on recovery.
+    let (recovered, outcome) = recover(&dir);
+    assert!(outcome.wal_only_rebuild);
+    assert_eq!(
+        outcome.wal_records_replayed,
+        1 + 2 + 8,
+        "create table + two singles + the eight batched updates"
+    );
+    for lo in [0i64, 500, 49_900, 59_900] {
+        let hi = lo + 800;
+        let r = recovered.execute(&Query::range(col, lo, hi)).unwrap();
+        assert_eq!(r.count, reference_count(&values, lo, hi));
+        assert_eq!(r.sum, reference_sum(&values, lo, hi));
+    }
+}
+
+/// A crash inside a group-committed batch append leaves a durable *prefix*
+/// of the batch: recovery replays the first `k` operations for some `k`,
+/// never a hole and never a reordering.
+#[test]
+fn killed_update_batch_recovers_an_exact_prefix() {
+    use holistic_core::UpdateOp;
+    let base: Vec<i64> = (0..200i64).collect();
+    let sentinels: Vec<i64> = (0..8i64).map(|i| 10_001 + i).collect();
+    // A batch append is one write + one fsync: sweep both kill points.
+    for kill in 0..2u64 {
+        let dir = tmpdir(&format!("killed-batch-{kill}"));
+        let inj = FaultInjector::new();
+        let mut db = Database::new(HolisticConfig::for_testing(), IndexingStrategy::Holistic);
+        db.set_persistence(&dir, std::sync::Arc::clone(&inj))
+            .unwrap();
+        let t = db.create_table("r", vec![("a", base.clone())]).unwrap();
+        let col = db.column_id(t, "a").unwrap();
+        let batch: Vec<UpdateOp> = sentinels
+            .iter()
+            .map(|&value| UpdateOp::Insert { column: col, value })
+            .collect();
+        inj.arm(inj.ops_performed() + kill);
+        assert!(db.update_batch(&batch).is_err(), "armed batch must crash");
+        drop(db);
+
+        let (recovered, _) = recover(&dir);
+        assert!(recovered.validate());
+        // Present sentinels must form a prefix of the batch, in order.
+        let present: Vec<bool> = sentinels
+            .iter()
+            .map(|&v| {
+                recovered
+                    .execute(&Query::range(col, v, v + 1))
+                    .unwrap()
+                    .count
+                    == 1
+            })
+            .collect();
+        let durable = present.iter().filter(|&&p| p).count();
+        assert!(
+            present.iter().take(durable).all(|&p| p) && present.iter().skip(durable).all(|&p| !p),
+            "kill at {kill}: durable sentinels are not a prefix: {present:?}"
+        );
+        // And the base data is untouched either way.
+        let r = recovered.execute(&Query::range(col, 0, 200)).unwrap();
+        assert_eq!(r.count, 200);
+    }
+}
+
 #[test]
 fn snapshot_generations_are_pruned_to_the_newest_two() {
     let dir = tmpdir("prune-generations");
