@@ -2,7 +2,7 @@
 //!
 //! A self-contained, repo-specific lint for the holistic-indexing
 //! workspace: a hand-rolled lexical scanner (no `syn` — the build
-//! environment has no registry access) plus four rules that make the
+//! environment has no registry access) plus five rules that make the
 //! concurrency and reliability protocols of this codebase *build
 //! failures* instead of code-review conventions:
 //!
@@ -12,6 +12,7 @@
 //! | `panic-path` | `unwrap()`/`expect(`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test production code — the engine returns `HolisticError`, it does not abort query threads |
 //! | `io-under-lock` | filesystem/IO calls lexically inside a lock-guard scope in persistence-touching code — IO under a latch stalls every waiter for a disk's worth of time |
 //! | `unsafe-no-safety` | an `unsafe` token without a nearby `// SAFETY:` comment |
+//! | `catch-unwind-outside-boundary` | `catch_unwind` in production code outside the engine's single containment module — panic containment is only sound where everything the closure touched is discarded (quarantine), so exactly one audited boundary exists |
 //!
 //! The scanner strips comments and string literals with a real state
 //! machine (nested block comments, raw strings, char-vs-lifetime), skips
@@ -40,15 +41,18 @@ pub enum Rule {
     IoUnderLock,
     /// `unsafe` without a `// SAFETY:` comment.
     UnsafeNoSafety,
+    /// `catch_unwind` outside the engine's single containment module.
+    CatchUnwindOutsideBoundary,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 5] = [
         Rule::RawLock,
         Rule::PanicPath,
         Rule::IoUnderLock,
         Rule::UnsafeNoSafety,
+        Rule::CatchUnwindOutsideBoundary,
     ];
 
     /// The rule's stable identifier (used in diagnostics, the allowlist
@@ -60,6 +64,7 @@ impl Rule {
             Rule::PanicPath => "panic-path",
             Rule::IoUnderLock => "io-under-lock",
             Rule::UnsafeNoSafety => "unsafe-no-safety",
+            Rule::CatchUnwindOutsideBoundary => "catch-unwind-outside-boundary",
         }
     }
 }
@@ -397,6 +402,7 @@ pub fn scan_file(path: &str, source: &str, allow: &Allowlist) -> Vec<Finding> {
         || path_has_component(path, "benches")
         || path_has_component(path, "examples");
     let io_applies = path.contains("persist");
+    let catch_unwind_applies = !path.starts_with("vendor/") && !path.contains("/vendor/");
 
     let mut findings = Vec::new();
     let mut push =
@@ -503,6 +509,22 @@ pub fn scan_file(path: &str, source: &str, allow: &Allowlist) -> Vec<Finding> {
                     );
                 }
             }
+        }
+
+        // --- catch-unwind-outside-boundary: exactly one audited
+        // containment module may swallow panics (its entry lives in the
+        // allowlist); anywhere else a caught unwind hides a latch left in
+        // an inconsistent (non-poisoning) state ---
+        if catch_unwind_applies && !in_test && has_token(line, "catch_unwind") {
+            push(
+                &stripped,
+                Rule::CatchUnwindOutsideBoundary,
+                idx,
+                "`catch_unwind` outside the engine's containment boundary — \
+                 route panic containment through `engine::containment`"
+                    .to_string(),
+                &[],
+            );
         }
 
         // --- io-under-lock: guard scopes and IO tokens ---
@@ -742,6 +764,40 @@ mod tests {
         assert!(scan("crates/core/src/z.rs", src).is_empty());
         // `deny(unsafe_code)` is not an unsafe token.
         assert!(scan("crates/core/src/z.rs", "#![deny(unsafe_code)]\n").is_empty());
+    }
+
+    // --- catch-unwind-outside-boundary ---
+
+    #[test]
+    fn catch_unwind_outside_the_boundary_is_flagged() {
+        let src = "fn f() { let r = std::panic::catch_unwind(|| work()); }\n";
+        let f = scan("crates/core/src/engine/mod.rs", src);
+        assert_eq!(rules(&f), vec![Rule::CatchUnwindOutsideBoundary]);
+    }
+
+    #[test]
+    fn catch_unwind_is_exempt_in_tests_and_vendor() {
+        let src = "fn f() { let r = std::panic::catch_unwind(|| work()); }\n";
+        assert!(scan("crates/core/tests/prop_x.rs", src).is_empty());
+        assert!(scan("vendor/proptest/src/lib.rs", src).is_empty());
+        let in_test_mod =
+            "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::panic::catch_unwind(|| x()); }\n}\n";
+        assert!(scan("crates/core/src/engine/mod.rs", in_test_mod).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_boundary_module_is_allowlistable() {
+        let allow = Allowlist::parse(
+            "catch-unwind-outside-boundary\tengine/containment.rs\tcatch_unwind\n",
+        )
+        .expect("parses");
+        let src = "pub fn contain<T>(f: impl FnOnce() -> T) -> Result<T, String> {\n    match catch_unwind(AssertUnwindSafe(f)) {\n        Ok(v) => Ok(v),\n        Err(_) => Err(String::new()),\n    }\n}\n";
+        assert!(scan_file("crates/core/src/engine/containment.rs", src, &allow).is_empty());
+        // The same code anywhere else stays a finding.
+        assert_eq!(
+            scan_file("crates/core/src/engine/mod.rs", src, &allow).len(),
+            1
+        );
     }
 
     // --- escapes ---

@@ -119,6 +119,7 @@ fn run_config(workload: Workload, threads: usize, with_tuner: bool, n: usize) ->
                 poll_interval: std::time::Duration::from_micros(200),
                 seed_prefix_sums: true,
                 snapshot_on_idle: false,
+                scrub_pieces: 64,
             },
         )
     });

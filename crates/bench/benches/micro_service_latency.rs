@@ -15,6 +15,13 @@
 //! shed column — an unprotected server would instead show unbounded
 //! latency and zero sheds.
 //!
+//! The whole sweep runs twice, against a fresh server each time: once
+//! with FIFO dispatch (`edf_dispatch: false`, the pre-EDF baseline) and
+//! once with earliest-deadline-first ordering within admission buckets,
+//! with sheds reported *by cause* (admission rejections vs. deadline
+//! sheds vs. cancellations) so the effect of dispatch order — fewer
+//! `shed_deadline` at overload — is separable from load shaping.
+//!
 //! Each load point emits one machine-readable line:
 //!
 //! ```text
@@ -44,7 +51,7 @@ const LOAD_MULTIPLIERS: [f64; 4] = [0.25, 0.5, 1.0, 2.0];
 const QUERY_DEADLINE: Duration = Duration::from_millis(100);
 const CALIBRATION_WINDOW: usize = 64;
 
-fn service_config() -> ServiceConfig {
+fn service_config(edf_dispatch: bool) -> ServiceConfig {
     let base = ServiceConfig::default();
     ServiceConfig {
         max_batch: 64,
@@ -54,18 +61,19 @@ fn service_config() -> ServiceConfig {
         // the saturation high watermark, or the degradation ladder never
         // shows.
         per_client_cap: base.global_queue_cap,
+        edf_dispatch,
         ..base
     }
 }
 
-fn start_server(rows: usize) -> (Server, SharedDatabase, ColumnId) {
+fn start_server(rows: usize, edf_dispatch: bool) -> (Server, SharedDatabase, ColumnId) {
     let mut db = Database::new(HolisticConfig::default(), IndexingStrategy::Holistic);
     let table = db
         .create_table("t", vec![("v", uniform_column(rows, 7))])
         .expect("create table");
     let column = db.column_id(table, "v").expect("column");
     let engine = db.into_shared();
-    let core = ServiceCore::new(Arc::clone(&engine), service_config());
+    let core = ServiceCore::new(Arc::clone(&engine), service_config(edf_dispatch));
     let server = serve(core, "127.0.0.1:0").expect("bind loopback");
     (server, engine, column)
 }
@@ -235,18 +243,19 @@ fn run_load(
     }
 }
 
-fn main() {
-    let rows = scale();
-    let arrivals = query_count();
-    let (server, engine, column) = start_server(rows);
+/// One full calibrate-and-sweep pass against a fresh server, so the two
+/// dispatch modes see identical starting state and their shed counters
+/// never mix.
+fn run_mode(rows: usize, arrivals: usize, edf_dispatch: bool) {
+    let mode = if edf_dispatch { "edf" } else { "fifo" };
+    let (server, engine, column) = start_server(rows, edf_dispatch);
     let addr = server.addr();
 
-    println!("# micro_service_latency: rows={rows} arrivals/load={arrivals}");
     let capacity = calibrate(addr, column, rows, (arrivals * 2).max(2_000));
-    println!("# calibrated capacity: {capacity:.0} q/s (closed-loop pipeline)");
+    println!("# [{mode}] calibrated capacity: {capacity:.0} q/s (closed-loop pipeline)");
     println!(
-        "{:>12} {:>14} {:>10} {:>10} {:>8} {:>8}",
-        "offered q/s", "achieved q/s", "p50 µs", "p99 µs", "ok", "shed"
+        "{:>6} {:>12} {:>14} {:>10} {:>10} {:>8} {:>8}",
+        "mode", "offered q/s", "achieved q/s", "p50 µs", "p99 µs", "ok", "shed"
     );
 
     for (i, mult) in LOAD_MULTIPLIERS.iter().enumerate() {
@@ -257,12 +266,19 @@ fn main() {
         let point_arrivals = arrivals.max((rate * 0.5) as usize).min(50_000);
         let point = run_load(addr, column, rows, rate, point_arrivals, 100 + i as u64);
         println!(
-            "{:>12.0} {:>14.0} {:>10} {:>10} {:>8} {:>8}",
-            point.offered_qps, point.achieved_qps, point.p50_us, point.p99_us, point.ok, point.shed
+            "{:>6} {:>12.0} {:>14.0} {:>10} {:>10} {:>8} {:>8}",
+            mode,
+            point.offered_qps,
+            point.achieved_qps,
+            point.p50_us,
+            point.p99_us,
+            point.ok,
+            point.shed
         );
         let svc = engine.read().metrics().service();
         println!(
-            "BENCH_JSON {{\"bench\":\"micro_service_latency\",\"offered_qps\":{:.1},\"achieved_qps\":{:.1},\"p50_us\":{},\"p99_us\":{},\"ok\":{},\"shed\":{},\"duration_s\":{:.3},\"load_multiplier\":{},\"deadline_ms\":{},\"admitted_total\":{},\"rejected_total\":{},\"peak_queue_depth\":{}}}",
+            "BENCH_JSON {{\"bench\":\"micro_service_latency\",\"dispatch\":\"{}\",\"offered_qps\":{:.1},\"achieved_qps\":{:.1},\"p50_us\":{},\"p99_us\":{},\"ok\":{},\"shed\":{},\"duration_s\":{:.3},\"load_multiplier\":{},\"deadline_ms\":{},\"admitted_total\":{},\"rejected_global\":{},\"rejected_client\":{},\"shed_deadline\":{},\"cancelled\":{},\"peak_queue_depth\":{}}}",
+            mode,
             point.offered_qps,
             point.achieved_qps,
             point.p50_us,
@@ -273,14 +289,20 @@ fn main() {
             mult,
             QUERY_DEADLINE.as_millis(),
             svc.admitted,
-            svc.rejected_global + svc.rejected_client,
+            svc.rejected_global,
+            svc.rejected_client,
+            svc.shed_deadline,
+            svc.cancelled,
             svc.peak_queue_depth,
         );
     }
 
+    // Sheds by cause: admission rejections (global/per-client caps) are
+    // load-shaping and should not move with dispatch order; deadline sheds
+    // are the column EDF exists to cut.
     let svc = engine.read().metrics().service();
     println!(
-        "# totals: admitted={} rejected_global={} rejected_client={} shed_deadline={} cancelled={} degraded={} saturation_entries={} peak_queue_depth={}",
+        "# [{mode}] totals: admitted={} rejected_global={} rejected_client={} shed_deadline={} cancelled={} degraded={} saturation_entries={} peak_queue_depth={}",
         svc.admitted,
         svc.rejected_global,
         svc.rejected_client,
@@ -291,4 +313,14 @@ fn main() {
         svc.peak_queue_depth,
     );
     server.shutdown();
+}
+
+fn main() {
+    let rows = scale();
+    let arrivals = query_count();
+    println!("# micro_service_latency: rows={rows} arrivals/load={arrivals}");
+    // FIFO first (the pre-EDF baseline), then EDF, so the shed-by-cause
+    // totals line up as a before/after pair.
+    run_mode(rows, arrivals, false);
+    run_mode(rows, arrivals, true);
 }

@@ -47,6 +47,13 @@ pub struct BackgroundConfig {
     /// the snapshot. No-op while persistence is not enabled. Disabled by
     /// default (snapshot cadence is workload policy, not tuning).
     pub snapshot_on_idle: bool,
+    /// Pieces the background integrity scrubber re-validates per idle
+    /// batch ([`Database::scrub_step`](crate::Database::scrub_step)): learned state is incrementally
+    /// re-checked against the base data during idle time — columns
+    /// recovered under sampled validation first, then round-robin — and a
+    /// failing piece quarantines its column for rebuild. `0` disables
+    /// scrubbing.
+    pub scrub_pieces: usize,
 }
 
 impl Default for BackgroundConfig {
@@ -57,6 +64,7 @@ impl Default for BackgroundConfig {
             poll_interval: Duration::from_micros(500),
             seed_prefix_sums: true,
             snapshot_on_idle: false,
+            scrub_pieces: 256,
         }
     }
 }
@@ -133,6 +141,14 @@ impl BackgroundTuner {
                             // a full disk) must not kill the tuning loop,
                             // and the next idle batch simply retries.
                             let _ = guard.snapshot_if_dirty();
+                        }
+                        if config.scrub_pieces > 0 {
+                            // One budgeted integrity window per idle batch:
+                            // re-validate a slice of learned state against
+                            // the base data. A detected fault quarantines
+                            // the column; the `run_idle` call right below
+                            // picks the rebuild up as its first action.
+                            let _ = guard.scrub_step(config.scrub_pieces);
                         }
                         (
                             guard.run_idle(IdleBudget::Actions(config.batch_actions)),
@@ -243,6 +259,7 @@ mod tests {
                 poll_interval: Duration::from_micros(200),
                 seed_prefix_sums: true,
                 snapshot_on_idle: false,
+                scrub_pieces: 64,
             },
         );
         // Simulate a mostly idle stretch with the occasional query arriving
@@ -275,6 +292,7 @@ mod tests {
                 poll_interval: Duration::from_micros(100),
                 seed_prefix_sums: true,
                 snapshot_on_idle: false,
+                scrub_pieces: 64,
             },
         );
         // Keep the engine busy; the enormous idle threshold is never reached.
@@ -308,6 +326,7 @@ mod tests {
                 poll_interval: Duration::from_millis(100),
                 seed_prefix_sums: true,
                 snapshot_on_idle: false,
+                scrub_pieces: 64,
             },
         );
         // Let the tuner reach the converged back-off.
@@ -347,6 +366,7 @@ mod tests {
                 poll_interval: Duration::from_micros(200),
                 seed_prefix_sums: true,
                 snapshot_on_idle: false,
+                scrub_pieces: 64,
             },
         );
         // A threshold-gated tuner is capped at one batch (16 actions) per
@@ -390,6 +410,7 @@ mod tests {
                 poll_interval: Duration::from_millis(20),
                 seed_prefix_sums: true,
                 snapshot_on_idle: false,
+                scrub_pieces: 64,
             },
         );
         std::thread::sleep(Duration::from_millis(300));
@@ -412,6 +433,7 @@ mod tests {
                 poll_interval: Duration::from_micros(200),
                 seed_prefix_sums: true,
                 snapshot_on_idle: false,
+                scrub_pieces: 64,
             },
         );
         tuner.set_paused(true);

@@ -34,11 +34,12 @@ pub struct HolisticConfig {
     pub hot_range_buckets: usize,
     /// Paranoia mode: after every execute/batch/idle action, run the full
     /// cracker-column validation (piece order, cached sums, prefix arrays)
-    /// on the touched columns and turn any violation into a
-    /// [`HolisticError::Validation`](crate::HolisticError::Validation)
-    /// instead of answering from a broken structure. Defaults to the
-    /// `HOLISTIC_PARANOIA` environment variable (`1`/`true`); the test
-    /// profile ([`HolisticConfig::for_testing`]) always enables it.
+    /// on the touched columns. A violation quarantines the column
+    /// ([`HolisticError::Integrity`](crate::HolisticError::Integrity)) and
+    /// the query is re-answered from base storage instead of a broken
+    /// structure. Defaults to the `HOLISTIC_PARANOIA` environment variable
+    /// (`1`/`true`); the test profile ([`HolisticConfig::for_testing`])
+    /// always enables it.
     pub paranoia: bool,
 }
 

@@ -1,0 +1,65 @@
+//! The workspace's single panic-containment boundary.
+//!
+//! A kernel bug that panics mid-crack must not take the whole process (and
+//! every healthy column) down with it: the engine wraps kernel execution in
+//! [`contain`], converts the panic payload into a reason string, and
+//! quarantines the affected column — the same path a detected validation
+//! failure takes. This is deliberately the *only* `catch_unwind` in the
+//! workspace (the `catch-unwind-outside-boundary` lint enforces it):
+//! swallowing panics anywhere else would hide bugs instead of containing
+//! them, and containment is only sound here because the state the closure
+//! may have half-mutated — the column's learned cracker state — is exactly
+//! what quarantine throws away and rebuilds from base data.
+//!
+//! The vendored `parking_lot` latches do not poison, so a panic inside a
+//! latched section leaves a usable (but possibly corrupt) structure behind;
+//! latch guards release on unwind, so no latch residue survives the catch.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f`, converting a panic into `Err(reason)`.
+///
+/// `AssertUnwindSafe` is justified by the quarantine contract: on `Err`,
+/// the caller must treat every structure the closure could have touched as
+/// corrupt and drop it (quarantine + rebuild), never read through it.
+pub fn contain<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    // lint:allow(catch-unwind-outside-boundary) -- this IS the boundary.
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_values_pass_through() {
+        assert_eq!(contain(|| 42), Ok(42));
+    }
+
+    #[test]
+    fn str_panics_become_reasons() {
+        let err = contain(|| -> u32 { panic!("kernel bug") }).unwrap_err();
+        assert_eq!(err, "kernel bug");
+    }
+
+    #[test]
+    fn formatted_panics_become_reasons() {
+        let idx = 7;
+        let err = contain(|| -> u32 { panic!("bad piece {idx}") }).unwrap_err();
+        assert_eq!(err, "bad piece 7");
+    }
+
+    #[test]
+    fn non_string_payloads_do_not_crash_the_boundary() {
+        let err = contain(|| -> u32 { std::panic::panic_any(1234usize) }).unwrap_err();
+        assert_eq!(err, "panic with non-string payload");
+    }
+}

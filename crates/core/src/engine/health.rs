@@ -1,0 +1,319 @@
+//! Per-column health tracking: the state machine behind quarantine and
+//! self-healing of learned cracking state.
+//!
+//! Every column the engine serves is `Healthy` until a containment event
+//! — a kernel panic caught at the boundary or a paranoia/scrub validation
+//! failure — moves it to `Quarantined`. A quarantined column's cracker is
+//! dropped from the map; queries keep getting *correct* answers via the
+//! base-storage scan path (the base data is never touched by learned-state
+//! corruption) while the background tuner claims the column (`Rebuilding`)
+//! and recracks it from base data, after which it is `Healthy` again.
+//!
+//! The health map also carries the background scrubber's per-column piece
+//! cursors, so incremental re-validation survives across idle windows.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use holistic_storage::ColumnId;
+
+/// The health of one column's learned (cracker) state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnHealth {
+    /// The cracker (if any) is trusted; queries use the normal paths.
+    Healthy,
+    /// The learned state was found corrupt (or a kernel panicked while
+    /// operating on it) and has been dropped. Queries answer via the
+    /// base-storage scan until a rebuild completes.
+    Quarantined {
+        /// What tripped the containment boundary: the panic payload or
+        /// the validation/scrub message.
+        reason: String,
+    },
+    /// The background tuner has claimed the column and is recracking it
+    /// from base data. Queries still answer via the scan path.
+    Rebuilding,
+}
+
+impl ColumnHealth {
+    /// Whether queries on this column must take the degraded scan path.
+    #[must_use]
+    pub fn is_unhealthy(&self) -> bool {
+        !matches!(self, ColumnHealth::Healthy)
+    }
+}
+
+/// Report of one engine scrub window ([`Database::scrub_step`]).
+///
+/// [`Database::scrub_step`]: super::Database::scrub_step
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// The column the window worked on (`None` = nothing to scrub).
+    pub column: Option<ColumnId>,
+    /// Pieces re-validated in this window.
+    pub pieces_checked: usize,
+    /// Whether a piece failed validation (the column was quarantined).
+    pub fault_found: bool,
+    /// Whether this window finished a full pass over the column.
+    pub completed_pass: bool,
+}
+
+/// The engine's health map: per-column state plus scrub bookkeeping.
+/// Guarded by `Database::health` at `LockLevel::HealthMap` — above the
+/// cracker map in the hierarchy, and never held across a column latch.
+#[derive(Debug, Default)]
+pub struct HealthState {
+    /// Columns in a non-`Healthy` state (absence means `Healthy`).
+    status: BTreeMap<ColumnId, ColumnHealth>,
+    /// The background scrubber's resume position per column (piece index
+    /// the next scrub window starts from).
+    cursors: BTreeMap<ColumnId, usize>,
+    /// Columns whose recovered state was only sample-validated and must
+    /// be scrubbed with priority before the cursor rotation reaches them.
+    needs_scrub: BTreeSet<ColumnId>,
+    /// The column the previous scrub window worked on — the round-robin
+    /// rotation point for [`HealthState::pick_scrub_target`].
+    last_scrubbed: Option<ColumnId>,
+}
+
+impl HealthState {
+    /// The health of `column` (`Healthy` when untracked).
+    #[must_use]
+    pub fn health(&self, column: ColumnId) -> ColumnHealth {
+        self.status
+            .get(&column)
+            .cloned()
+            .unwrap_or(ColumnHealth::Healthy)
+    }
+
+    /// Whether `column` is quarantined or rebuilding.
+    #[must_use]
+    pub fn is_unhealthy(&self, column: ColumnId) -> bool {
+        self.status.contains_key(&column)
+    }
+
+    /// Every column currently not `Healthy`, with its state.
+    #[must_use]
+    pub fn unhealthy(&self) -> Vec<(ColumnId, ColumnHealth)> {
+        self.status.iter().map(|(&c, h)| (c, h.clone())).collect()
+    }
+
+    /// Marks `column` quarantined. Returns `false` (and keeps the existing
+    /// state) when the column is already quarantined or rebuilding, so
+    /// racing detectors quarantine exactly once.
+    pub fn quarantine(&mut self, column: ColumnId, reason: String) -> bool {
+        if self.status.contains_key(&column) {
+            return false;
+        }
+        self.status
+            .insert(column, ColumnHealth::Quarantined { reason });
+        true
+    }
+
+    /// Claims a quarantined column for rebuilding. Returns `false` when
+    /// the column is not currently `Quarantined` (someone else claimed it,
+    /// or it healed already) — the claim is the rebuild's mutual exclusion.
+    pub fn claim_rebuild(&mut self, column: ColumnId) -> bool {
+        match self.status.get(&column) {
+            Some(ColumnHealth::Quarantined { .. }) => {
+                self.status.insert(column, ColumnHealth::Rebuilding);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks a column healthy again (rebuild complete) and clears its
+    /// scrub bookkeeping so the fresh structure is scrubbed from piece 0.
+    pub fn heal(&mut self, column: ColumnId) {
+        self.status.remove(&column);
+        self.cursors.remove(&column);
+        self.needs_scrub.remove(&column);
+    }
+
+    /// The first quarantined (not yet claimed) column, if any.
+    #[must_use]
+    pub fn next_quarantined(&self) -> Option<ColumnId> {
+        self.status
+            .iter()
+            .find(|(_, h)| matches!(h, ColumnHealth::Quarantined { .. }))
+            .map(|(&c, _)| c)
+    }
+
+    /// Marks a column's recovered state as sample-validated only: the
+    /// scrubber prioritizes it until a full pass completes.
+    pub fn mark_needs_scrub(&mut self, column: ColumnId) {
+        self.needs_scrub.insert(column);
+    }
+
+    /// The scrubber's resume cursor for `column` (piece index).
+    #[must_use]
+    pub fn cursor(&self, column: ColumnId) -> usize {
+        self.cursors.get(&column).copied().unwrap_or(0)
+    }
+
+    /// Stores the scrubber's resume position; `None` means the pass over
+    /// the column completed (cursor resets and any priority mark clears).
+    pub fn set_cursor(&mut self, column: ColumnId, next: Option<usize>) {
+        match next {
+            Some(pos) => {
+                self.cursors.insert(column, pos);
+            }
+            None => {
+                self.cursors.remove(&column);
+                self.needs_scrub.remove(&column);
+            }
+        }
+    }
+
+    /// Picks the column the next scrub window should work on: priority
+    /// (sample-validated) columns first, then round-robin over `known`
+    /// starting after `last` — skipping unhealthy columns, whose structures
+    /// are gone or being rebuilt.
+    #[must_use]
+    pub fn pick_scrub_target(
+        &self,
+        known: &[ColumnId],
+        last: Option<ColumnId>,
+    ) -> Option<ColumnId> {
+        if let Some(&c) = self
+            .needs_scrub
+            .iter()
+            .find(|c| !self.is_unhealthy(**c) && known.contains(c))
+        {
+            return Some(c);
+        }
+        if known.is_empty() {
+            return None;
+        }
+        let start = match last {
+            Some(l) => known.iter().position(|&c| c == l).map_or(0, |i| i + 1),
+            None => 0,
+        };
+        (0..known.len())
+            .map(|i| known[(start + i) % known.len()])
+            .find(|&c| !self.is_unhealthy(c))
+    }
+
+    /// The column the previous scrub window worked on.
+    #[must_use]
+    pub fn last_scrubbed(&self) -> Option<ColumnId> {
+        self.last_scrubbed
+    }
+
+    /// Records the column a scrub window just worked on (rotation point).
+    pub fn note_scrubbed(&mut self, column: ColumnId) {
+        self.last_scrubbed = Some(column);
+    }
+
+    /// Forgets a column entirely (dropped table).
+    pub fn forget(&mut self, column: ColumnId) {
+        self.status.remove(&column);
+        self.cursors.remove(&column);
+        self.needs_scrub.remove(&column);
+        if self.last_scrubbed == Some(column) {
+            self.last_scrubbed = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(n: u32) -> ColumnId {
+        ColumnId {
+            table: holistic_storage::TableId(0),
+            column: n,
+        }
+    }
+
+    #[test]
+    fn untracked_columns_are_healthy() {
+        let h = HealthState::default();
+        assert_eq!(h.health(col(1)), ColumnHealth::Healthy);
+        assert!(!h.is_unhealthy(col(1)));
+        assert!(h.unhealthy().is_empty());
+    }
+
+    #[test]
+    fn quarantine_is_one_shot_until_heal() {
+        let mut h = HealthState::default();
+        assert!(h.quarantine(col(1), "bad sum".into()));
+        assert!(!h.quarantine(col(1), "second detector".into()));
+        assert_eq!(
+            h.health(col(1)),
+            ColumnHealth::Quarantined {
+                reason: "bad sum".into()
+            }
+        );
+        h.heal(col(1));
+        assert!(h.quarantine(col(1), "again".into()));
+    }
+
+    #[test]
+    fn rebuild_claim_is_exclusive() {
+        let mut h = HealthState::default();
+        h.quarantine(col(1), "x".into());
+        assert!(h.claim_rebuild(col(1)));
+        assert!(!h.claim_rebuild(col(1)), "second claim must lose");
+        assert_eq!(h.health(col(1)), ColumnHealth::Rebuilding);
+        assert_eq!(h.next_quarantined(), None, "claimed column is not offered");
+        h.heal(col(1));
+        assert_eq!(h.health(col(1)), ColumnHealth::Healthy);
+    }
+
+    #[test]
+    fn claim_on_healthy_column_fails() {
+        let mut h = HealthState::default();
+        assert!(!h.claim_rebuild(col(1)));
+    }
+
+    #[test]
+    fn cursor_roundtrip_and_completion() {
+        let mut h = HealthState::default();
+        assert_eq!(h.cursor(col(1)), 0);
+        h.set_cursor(col(1), Some(40));
+        assert_eq!(h.cursor(col(1)), 40);
+        h.mark_needs_scrub(col(1));
+        h.set_cursor(col(1), None);
+        assert_eq!(h.cursor(col(1)), 0);
+        // Completion clears the priority mark.
+        assert_eq!(
+            h.pick_scrub_target(&[col(1), col(2)], Some(col(1))),
+            Some(col(2))
+        );
+    }
+
+    #[test]
+    fn scrub_target_prefers_marked_then_rotates() {
+        let mut h = HealthState::default();
+        let known = [col(1), col(2), col(3)];
+        h.mark_needs_scrub(col(2));
+        assert_eq!(h.pick_scrub_target(&known, None), Some(col(2)));
+        h.set_cursor(col(2), None); // full pass done
+        assert_eq!(h.pick_scrub_target(&known, None), Some(col(1)));
+        assert_eq!(h.pick_scrub_target(&known, Some(col(1))), Some(col(2)));
+        assert_eq!(h.pick_scrub_target(&known, Some(col(3))), Some(col(1)));
+    }
+
+    #[test]
+    fn scrub_target_skips_unhealthy_columns() {
+        let mut h = HealthState::default();
+        let known = [col(1), col(2)];
+        h.quarantine(col(1), "x".into());
+        assert_eq!(h.pick_scrub_target(&known, None), Some(col(2)));
+        h.quarantine(col(2), "y".into());
+        assert_eq!(h.pick_scrub_target(&known, None), None);
+    }
+
+    #[test]
+    fn forget_clears_everything() {
+        let mut h = HealthState::default();
+        h.quarantine(col(1), "x".into());
+        h.set_cursor(col(1), Some(3));
+        h.mark_needs_scrub(col(1));
+        h.forget(col(1));
+        assert!(!h.is_unhealthy(col(1)));
+        assert_eq!(h.cursor(col(1)), 0);
+    }
+}

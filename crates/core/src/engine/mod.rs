@@ -13,7 +13,9 @@
 //! needs an outer `RwLock` only for those, and query traffic goes through
 //! its read side.
 
+pub mod containment;
 pub mod guarded;
+pub mod health;
 pub mod persist;
 pub mod query;
 pub mod timeline;
@@ -26,7 +28,7 @@ use holistic_sync::{LockLevel, OrderedMutex, OrderedRwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use holistic_cracking::{ConcurrentCrackerColumn, CrackerColumn};
+use holistic_cracking::{ConcurrentCrackerColumn, CorruptionInjector, CrackerColumn};
 use holistic_offline::{Advisor, CostModel, SortedIndex, WorkloadSummary};
 use holistic_online::OnlineTuner;
 use holistic_storage::{Catalog, Column, ColumnId, RowId, StorageError, Table, TableId, Value};
@@ -39,9 +41,10 @@ use crate::ranking::RankingModel;
 use crate::stats::KernelStatistics;
 use crate::strategy::IndexingStrategy;
 
+use self::health::{ColumnHealth, HealthState, ScrubReport};
 use self::query::{AccessPath, Query, QueryResult};
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Result type of engine operations.
 pub type EngineResult<T> = Result<T, HolisticError>;
@@ -135,6 +138,17 @@ pub struct Database {
     /// taken through `&self` — e.g. by the background tuner holding the
     /// shared engine's read lock.
     persistence: OrderedMutex<Option<persist::PersistenceState>>,
+    /// Per-column health state machine plus scrub cursors (see
+    /// [`health`]). Sits at `LockLevel::HealthMap`, above the cracker map;
+    /// never held across a column latch.
+    health: OrderedMutex<HealthState>,
+    /// Number of columns currently not `Healthy` — the hot path's fast
+    /// check: while this reads 0 (the overwhelmingly common case), queries
+    /// skip the health lock entirely.
+    unhealthy_count: AtomicUsize,
+    /// Deterministic live corruption injector (tests/sweeps only; `None`
+    /// in production). Set through `&mut self`, read lock-free.
+    corruption: Option<Arc<CorruptionInjector>>,
 }
 
 impl Database {
@@ -169,6 +183,13 @@ impl Database {
             epoch: Instant::now(),
             last_activity_micros: AtomicU64::new(0),
             persistence: OrderedMutex::new(LockLevel::Persistence, "Database::persistence", None),
+            health: OrderedMutex::new(
+                LockLevel::HealthMap,
+                "Database::health",
+                HealthState::default(),
+            ),
+            unhealthy_count: AtomicUsize::new(0),
+            corruption: None,
             catalog: Catalog::new(),
             crackers: OrderedRwLock::new(
                 LockLevel::CrackerMap,
@@ -313,6 +334,18 @@ impl Database {
         if self.catalog.drop_table(table).is_none() {
             return false;
         }
+        {
+            // Health (level 15) strictly before the cracker map (level 20):
+            // a quarantined column of a dropped table must stop counting as
+            // unhealthy, or the tuner would retry its rebuild forever.
+            let mut health = self.health.lock();
+            for column in &dropped_columns {
+                if health.is_unhealthy(*column) {
+                    self.unhealthy_count.fetch_sub(1, Ordering::AcqRel);
+                }
+                health.forget(*column);
+            }
+        }
         self.crackers.write().retain(|id, _| id.table != table);
         self.full_indexes.retain(|id, _| id.table != table);
         let mut online = self.online.lock();
@@ -415,6 +448,32 @@ impl Database {
         let len = base.len();
         if let Some(cracker) = self.crackers.read().get(&column) {
             cracker.insert(value, rowid);
+        }
+        self.invalidate_indexes(column);
+        self.stats.register_column(column, len);
+        self.touch_activity();
+        Ok(())
+    }
+
+    /// The in-memory part of a run of inserts into one column: the batch
+    /// analogue of [`Database::apply_insert`], used by WAL replay to turn
+    /// K insert records into one base-column append and one batched
+    /// cracker ripple instead of K full piece-table sweeps.
+    fn apply_insert_batch(&mut self, column: ColumnId, values: &[Value]) -> EngineResult<()> {
+        let table = self.catalog.try_table_mut(column.table)?;
+        let base = table
+            .column_at_mut(column.column as usize)
+            .ok_or_else(|| StorageError::ColumnNotFound(format!("{column}")))?;
+        let first_rowid = base.len() as RowId;
+        base.append_many(values);
+        let len = base.len();
+        if let Some(cracker) = self.crackers.read().get(&column) {
+            let batch: Vec<(Value, RowId)> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, first_rowid + i as RowId))
+                .collect();
+            cracker.insert_batch(&batch);
         }
         self.invalidate_indexes(column);
         self.stats.register_column(column, len);
@@ -538,19 +597,163 @@ impl Database {
     /// Paranoia mode ([`HolisticConfig::paranoia`], `HOLISTIC_PARANOIA`
     /// env): after a query or refinement touched `column`, run the full
     /// cracker validation (piece order, cached sums, prefix arrays) and
-    /// surface any violation as a typed error instead of letting a broken
-    /// structure keep answering.
+    /// surface any violation as a typed [`HolisticError::Integrity`] — the
+    /// signal the caller turns into a quarantine — instead of letting a
+    /// broken structure keep answering.
     fn paranoia_check(&self, column: ColumnId) -> EngineResult<()> {
         if !self.config.paranoia {
             return Ok(());
         }
         let cracker = self.crackers.read().get(&column).map(Arc::clone);
         match cracker {
-            Some(c) if !c.validate() => Err(HolisticError::Validation(format!(
-                "paranoia: cracker column {column} failed validation"
-            ))),
+            Some(c) if !c.validate() => Err(HolisticError::Integrity {
+                column,
+                reason: "paranoia: cracker column failed validation".into(),
+            }),
             _ => Ok(()),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Integrity: health, quarantine, rebuild, scrub
+    // ------------------------------------------------------------------
+
+    /// Whether queries on `column` must take the degraded scan path. The
+    /// atomic fast path keeps the health lock off the hot path entirely
+    /// while every column is healthy (the overwhelmingly common case).
+    fn is_unhealthy(&self, column: ColumnId) -> bool {
+        self.unhealthy_count.load(Ordering::Acquire) > 0 && self.health.lock().is_unhealthy(column)
+    }
+
+    /// The health of one column's learned state.
+    #[must_use]
+    pub fn column_health(&self, column: ColumnId) -> ColumnHealth {
+        self.health.lock().health(column)
+    }
+
+    /// Every column currently quarantined or rebuilding, with its state.
+    #[must_use]
+    pub fn quarantined_columns(&self) -> Vec<(ColumnId, ColumnHealth)> {
+        self.health.lock().unhealthy()
+    }
+
+    /// Attaches a deterministic live corruption injector (integrity
+    /// sweeps): each query execution ticks it once, and when it fires the
+    /// queried column's learned metadata is damaged (or a kernel panic is
+    /// injected) mid-operation.
+    pub fn set_corruption_injector(&mut self, injector: Arc<CorruptionInjector>) {
+        self.corruption = Some(injector);
+    }
+
+    /// Ticks the corruption injector (if any) and applies the fault to
+    /// `column`'s cracker when it fires. Runs *inside* the containment
+    /// boundary: an injected panic unwinds into the catch.
+    fn corruption_tick(&self, column: ColumnId) {
+        let Some(inj) = &self.corruption else { return };
+        let Some(kind) = inj.tick() else { return };
+        let cracker = self.crackers.read().get(&column).map(Arc::clone);
+        match cracker {
+            Some(c) => {
+                let _ = c.corrupt(kind);
+            }
+            None if matches!(kind, holistic_cracking::CorruptionKind::Panic) => {
+                // This panic IS the injected kernel fault the containment
+                // boundary must catch. lint:allow(panic-path)
+                panic!("injected kernel panic (corruption injector)");
+            }
+            None => {}
+        }
+    }
+
+    /// Quarantines a column: its (presumed corrupt) cracker is dropped,
+    /// queries switch to the degraded scan path, and the background tuner
+    /// will rebuild it. Idempotent — racing detectors quarantine once.
+    fn quarantine_column(&self, column: ColumnId, reason: &str) {
+        let newly = self.health.lock().quarantine(column, reason.to_string());
+        if !newly {
+            return;
+        }
+        self.unhealthy_count.fetch_add(1, Ordering::AcqRel);
+        self.crackers.write().remove(&column);
+        self.metrics.record_quarantine();
+    }
+
+    /// Rebuilds a quarantined column's cracker from base data (the base is
+    /// never touched by learned-state corruption, so the rebuild is always
+    /// possible). Returns `Ok(false)` when the column was not quarantined
+    /// (or another thread claimed it first). The birth is WAL-logged like
+    /// a first touch; the record is idempotent at replay.
+    pub fn rebuild_column(&self, column: ColumnId) -> EngineResult<bool> {
+        if !self.health.lock().claim_rebuild(column) {
+            return Ok(false);
+        }
+        match self.rebuild_claimed(column) {
+            Ok(()) => {
+                self.health.lock().heal(column);
+                self.unhealthy_count.fetch_sub(1, Ordering::AcqRel);
+                self.metrics.record_rebuild();
+                Ok(true)
+            }
+            Err(e) => {
+                // Put the claim back so a later idle window retries (the
+                // count is unchanged: the column never left quarantine).
+                let mut health = self.health.lock();
+                health.heal(column);
+                health.quarantine(column, format!("rebuild failed: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    fn rebuild_claimed(&self, column: ColumnId) -> EngineResult<()> {
+        let base = self.catalog.column(column)?;
+        self.wal_append(&persist::WalRecord::CrackerBorn { column })?;
+        let fresh = CrackerColumn::from_column(base, self.config.keep_rowids)
+            .with_kernel(self.config.crack_kernel);
+        self.crackers
+            .write()
+            .insert(column, Arc::new(ConcurrentCrackerColumn::new(fresh)));
+        Ok(())
+    }
+
+    /// One budgeted scrub window: re-validates up to `budget` pieces of
+    /// one cracker column (priority to columns recovered under sampled
+    /// validation, then round-robin), quarantining the column when a piece
+    /// fails. The per-column cursor persists across windows, so full
+    /// coverage accumulates incrementally over idle time.
+    pub fn scrub_step(&self, budget: usize) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        if budget == 0 {
+            return report;
+        }
+        let known: Vec<ColumnId> = self.crackers.read().keys().copied().collect();
+        let (target, from) = {
+            let health = self.health.lock();
+            let Some(t) = health.pick_scrub_target(&known, health.last_scrubbed()) else {
+                return report;
+            };
+            (t, health.cursor(t))
+        };
+        let Some(cracker) = self.crackers.read().get(&target).map(Arc::clone) else {
+            return report;
+        };
+        let outcome = cracker.scrub_pieces(from, budget);
+        report.column = Some(target);
+        report.pieces_checked = outcome.checked;
+        if !outcome.valid {
+            report.fault_found = true;
+            self.quarantine_column(target, "scrub: piece failed validation");
+            self.metrics.record_scrub(outcome.checked as u64, true);
+            return report;
+        }
+        report.completed_pass = outcome.next.is_none();
+        {
+            let mut health = self.health.lock();
+            health.set_cursor(target, outcome.next);
+            health.note_scrubbed(target);
+        }
+        self.metrics.record_scrub(outcome.checked as u64, false);
+        report
     }
 
     // ------------------------------------------------------------------
@@ -561,16 +764,43 @@ impl Database {
     ///
     /// Takes `&self`: concurrent callers only contend on the latch of the
     /// column they query (and briefly on the statistics/metrics counters).
+    ///
+    /// Kernel execution runs inside the engine's panic-containment
+    /// boundary: a panic mid-crack, or a paranoia validation failure,
+    /// quarantines the column's learned state and re-answers the query
+    /// through the (always correct) base-storage scan path instead of
+    /// surfacing an error or killing the process.
     pub fn execute(&self, q: &Query) -> EngineResult<QueryResult> {
         let start = Instant::now();
         let column_len = self.catalog.column(q.column)?.len();
-        let (path, count, sum, values) = match self.strategy {
-            IndexingStrategy::ScanOnly => self.exec_scan(q)?,
-            IndexingStrategy::Offline | IndexingStrategy::Online => self.exec_indexed_or_scan(q)?,
-            IndexingStrategy::Adaptive => self.exec_crack(q, false)?,
-            IndexingStrategy::Holistic => self.exec_crack(q, true)?,
+        if self.is_unhealthy(q.column) {
+            return self.execute_degraded(q, column_len, start);
+        }
+        let contained = containment::contain(|| {
+            self.corruption_tick(q.column);
+            let dispatched = match self.strategy {
+                IndexingStrategy::ScanOnly => self.exec_scan(q),
+                IndexingStrategy::Offline | IndexingStrategy::Online => {
+                    self.exec_indexed_or_scan(q)
+                }
+                IndexingStrategy::Adaptive => self.exec_crack(q, false),
+                IndexingStrategy::Holistic => self.exec_crack(q, true),
+            }?;
+            self.paranoia_check(q.column)?;
+            Ok(dispatched)
+        });
+        let (path, count, sum, values) = match contained {
+            Ok(Ok(dispatched)) => dispatched,
+            Ok(Err(HolisticError::Integrity { column, reason })) => {
+                self.quarantine_column(column, &reason);
+                return self.execute_degraded(q, column_len, start);
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(panic_reason) => {
+                self.quarantine_column(q.column, &panic_reason);
+                return self.execute_degraded(q, column_len, start);
+            }
         };
-        self.paranoia_check(q.column)?;
         let penalty = std::mem::take(&mut *self.pending_penalty.lock());
         let mut latency = start.elapsed() + penalty;
 
@@ -588,6 +818,44 @@ impl Database {
             latency += self.online_record_and_tune(q, column_len, selectivity, path);
         }
 
+        let result = QueryResult {
+            count,
+            sum,
+            values,
+            path,
+            latency,
+        };
+        self.metrics.record_query(QueryRecord {
+            sequence: self.query_sequence.fetch_add(1, Ordering::Relaxed),
+            column: q.column,
+            path,
+            latency,
+            result_count: count,
+        });
+        self.touch_activity();
+        Ok(result)
+    }
+
+    /// Answers a query on a quarantined (or rebuilding) column through the
+    /// base-storage scan path. Corruption only ever touches *learned*
+    /// state, so the scan answer is always correct; the query is recorded
+    /// as a degraded scan in the metrics.
+    fn execute_degraded(
+        &self,
+        q: &Query,
+        column_len: usize,
+        start: Instant,
+    ) -> EngineResult<QueryResult> {
+        let (path, count, sum, values) = self.exec_scan(q)?;
+        self.metrics.record_degraded_scan();
+        let penalty = std::mem::take(&mut *self.pending_penalty.lock());
+        let latency = start.elapsed() + penalty;
+        let selectivity = if column_len == 0 {
+            0.0
+        } else {
+            count as f64 / column_len as f64
+        };
+        self.stats.record_query(q.column, q.lo, q.hi, selectivity);
         let result = QueryResult {
             count,
             sum,
@@ -732,6 +1000,14 @@ impl Database {
     /// two threads race on the first touch, one copy is dropped (and the
     /// duplicate birth record is idempotent at replay).
     fn cracker_for(&self, column: ColumnId) -> EngineResult<Arc<ConcurrentCrackerColumn>> {
+        if self.is_unhealthy(column) {
+            // A quarantined column must not resurrect a cracker behind the
+            // health map's back; healing goes through `rebuild_column`.
+            return Err(HolisticError::Integrity {
+                column,
+                reason: "column is quarantined; learned state unavailable until rebuild".into(),
+            });
+        }
         if let Some(c) = self.crackers.read().get(&column) {
             return Ok(Arc::clone(c));
         }
@@ -848,6 +1124,19 @@ impl Database {
             }
             groups.entry(q.column).or_default().push(i);
         }
+        // Quarantined/rebuilding columns answer via the degraded scan
+        // path; the set is almost always empty and the atomic fast check
+        // keeps the health lock off the batch hot path.
+        let unhealthy: BTreeSet<ColumnId> = if self.unhealthy_count.load(Ordering::Acquire) > 0 {
+            let health = self.health.lock();
+            groups
+                .keys()
+                .filter(|column| health.is_unhealthy(**column))
+                .copied()
+                .collect()
+        } else {
+            BTreeSet::new()
+        };
         // Group commit: every cracker this batch is about to instantiate
         // gets its birth record in one WAL append — at most one fsync per
         // admitted batch, and none at all once the columns are warm.
@@ -860,7 +1149,9 @@ impl Database {
                 groups
                     .keys()
                     .filter(|column| {
-                        !crackers.contains_key(column) && !self.full_indexes.contains_key(column)
+                        !crackers.contains_key(column)
+                            && !self.full_indexes.contains_key(column)
+                            && !unhealthy.contains(column)
                     })
                     .copied()
                     .collect()
@@ -879,56 +1170,79 @@ impl Database {
 
         for (column, indexes) in &groups {
             let column_len = column_lens[column];
+            if unhealthy.contains(column) {
+                self.exec_scan_group(queries, indexes, *column, column_len, &mut results)?;
+                continue;
+            }
             let batched_crack = matches!(
                 self.strategy,
                 IndexingStrategy::Adaptive | IndexingStrategy::Holistic
             ) && !self.full_indexes.contains_key(column);
-            if batched_crack {
-                // Records the group's statistics itself (they must precede
-                // the hot-range boost checks).
-                self.exec_crack_batch(queries, indexes, *column, column_len, &mut results)?;
-            } else {
-                // Scan and index probes have no partitioning work to
-                // amortize; they run per query (including the online
-                // tuner's per-query epoch accounting) and only share the
-                // batch's bulk statistics recording below.
-                for &i in indexes {
-                    let q = &queries[i];
-                    let q_start = Instant::now();
-                    let (path, count, sum, values) = match self.strategy {
-                        IndexingStrategy::ScanOnly => self.exec_scan(q)?,
-                        IndexingStrategy::Offline | IndexingStrategy::Online => {
-                            self.exec_indexed_or_scan(q)?
-                        }
-                        IndexingStrategy::Adaptive | IndexingStrategy::Holistic => {
-                            self.exec_index(q)?
-                        }
-                    };
-                    let mut latency = q_start.elapsed();
-                    if self.strategy == IndexingStrategy::Online {
-                        let selectivity = if column_len == 0 {
-                            0.0
-                        } else {
-                            count as f64 / column_len as f64
+            // Each healthy group runs inside the containment boundary: a
+            // kernel panic or paranoia failure quarantines this column and
+            // re-answers the whole group through the scan path, leaving
+            // the other groups untouched.
+            let contained = containment::contain(|| -> EngineResult<()> {
+                self.corruption_tick(*column);
+                if batched_crack {
+                    // Records the group's statistics itself (they must
+                    // precede the hot-range boost checks).
+                    self.exec_crack_batch(queries, indexes, *column, column_len, &mut results)?;
+                } else {
+                    // Scan and index probes have no partitioning work to
+                    // amortize; they run per query (including the online
+                    // tuner's per-query epoch accounting) and only share the
+                    // batch's bulk statistics recording below.
+                    for &i in indexes {
+                        let q = &queries[i];
+                        let q_start = Instant::now();
+                        let (path, count, sum, values) = match self.strategy {
+                            IndexingStrategy::ScanOnly => self.exec_scan(q)?,
+                            IndexingStrategy::Offline | IndexingStrategy::Online => {
+                                self.exec_indexed_or_scan(q)?
+                            }
+                            IndexingStrategy::Adaptive | IndexingStrategy::Holistic => {
+                                self.exec_index(q)?
+                            }
                         };
-                        latency += self.online_record_and_tune(q, column_len, selectivity, path);
+                        let mut latency = q_start.elapsed();
+                        if self.strategy == IndexingStrategy::Online {
+                            let selectivity = if column_len == 0 {
+                                0.0
+                            } else {
+                                count as f64 / column_len as f64
+                            };
+                            latency +=
+                                self.online_record_and_tune(q, column_len, selectivity, path);
+                        }
+                        results[i] = Some(QueryResult {
+                            count,
+                            sum,
+                            values,
+                            path,
+                            latency,
+                        });
                     }
-                    results[i] = Some(QueryResult {
-                        count,
-                        sum,
-                        values,
-                        path,
-                        latency,
-                    });
+                    // Bulk statistics: one lock round for the whole column
+                    // group.
+                    let predicates =
+                        Self::group_predicates(queries, indexes, column_len, results.as_slice());
+                    self.stats.record_queries(*column, &predicates);
                 }
-                // Bulk statistics: one lock round for the whole column group.
-                let predicates =
-                    Self::group_predicates(queries, indexes, column_len, results.as_slice());
-                self.stats.record_queries(*column, &predicates);
+                self.paranoia_check(*column)
+            });
+            match contained {
+                Ok(Ok(())) => {}
+                Ok(Err(HolisticError::Integrity { reason, .. })) => {
+                    self.quarantine_column(*column, &reason);
+                    self.exec_scan_group(queries, indexes, *column, column_len, &mut results)?;
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(panic_reason) => {
+                    self.quarantine_column(*column, &panic_reason);
+                    self.exec_scan_group(queries, indexes, *column, column_len, &mut results)?;
+                }
             }
-        }
-        for column in groups.keys() {
-            self.paranoia_check(*column)?;
         }
 
         let mut out = Vec::with_capacity(queries.len());
@@ -980,6 +1294,36 @@ impl Database {
                 Some((q.lo, q.hi, selectivity))
             })
             .collect()
+    }
+
+    /// Answers one column group of a batch through the base-storage scan
+    /// path: the column is quarantined (or was quarantined mid-group by a
+    /// containment event, in which case any partial results are simply
+    /// overwritten). Always correct — corruption never touches base data.
+    fn exec_scan_group(
+        &self,
+        queries: &[Query],
+        indexes: &[usize],
+        column: ColumnId,
+        column_len: usize,
+        results: &mut [Option<QueryResult>],
+    ) -> EngineResult<()> {
+        for &i in indexes {
+            let q = &queries[i];
+            let q_start = Instant::now();
+            let (path, count, sum, values) = self.exec_scan(q)?;
+            results[i] = Some(QueryResult {
+                count,
+                sum,
+                values,
+                path,
+                latency: q_start.elapsed(),
+            });
+            self.metrics.record_degraded_scan();
+        }
+        let predicates = Self::group_predicates(queries, indexes, column_len, results);
+        self.stats.record_queries(column, &predicates);
+        Ok(())
     }
 
     /// Executes one column group of a batch through the batched cracking
@@ -1099,6 +1443,31 @@ impl Database {
                     }
                 }
             }
+            // Self-healing takes priority over refinement: a quarantined
+            // column answers every query through the degraded scan path
+            // until its cracker is rebuilt, so rebuilding buys more than
+            // any crack ever could. Rebuilds are budgeted actions.
+            if self.unhealthy_count.load(Ordering::Acquire) > 0 {
+                let pending = self.health.lock().next_quarantined();
+                if let Some(column) = pending {
+                    match self.rebuild_column(column) {
+                        Ok(true) => {
+                            report.actions_applied += 1;
+                            report.effective_actions += 1;
+                            touched.insert(column);
+                            continue;
+                        }
+                        Ok(false) => {} // lost the claim race; fall through
+                        Err(_) => {
+                            // Rebuild failed (re-quarantined inside
+                            // rebuild_column); count the attempt so a
+                            // Duration budget cannot spin on it.
+                            report.actions_applied += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
             let Some(column) = self.ranking.choose_next(&self.stats) else {
                 report.converged = true;
                 break;
@@ -1122,13 +1491,14 @@ impl Database {
             }
         }
         if self.config.paranoia {
-            // No caller to hand an error to: idle-time corruption must
-            // fail loudly, not refine a broken structure further.
+            // Idle-time corruption has no caller to hand an error to: it
+            // takes the same containment path as query-time detection —
+            // quarantine now, rebuild in a later idle window — instead of
+            // aborting the process.
             for &column in &touched {
-                assert!(
-                    self.paranoia_check(column).is_ok(),
-                    "paranoia: idle refinement left cracker column {column} invalid"
-                );
+                if let Err(HolisticError::Integrity { reason, .. }) = self.paranoia_check(column) {
+                    self.quarantine_column(column, &reason);
+                }
             }
         }
         report.columns_touched = touched.into_iter().collect();
@@ -1142,6 +1512,12 @@ impl Database {
     /// (creating the latched cracker column first if necessary). Returns
     /// whether the action introduced a new piece.
     fn apply_refinement_action(&self, column: ColumnId) -> EngineResult<bool> {
+        if self.is_unhealthy(column) {
+            // Healing is the only refinement a quarantined column accepts:
+            // ad-hoc cracking must not resurrect a dropped structure
+            // behind the health map's back.
+            return self.rebuild_column(column);
+        }
         let cracker = self.cracker_for(column)?;
         let mut rng = self.fork_rng();
         let outcome = cracker.refine(&mut rng);

@@ -40,10 +40,14 @@
 //!    the log still begins at genesis (compaction trims it only after a
 //!    snapshot succeeded).
 //!
-//! Every decoded cracker column passes through the full validation in
-//! [`holistic_cracking::decode_cracker_column`]; corruption that slips
-//! past the checksums still cannot produce wrong answers — the column is
-//! dropped and rebuilt cold instead.
+//! Every decoded cracker column passes through
+//! [`holistic_cracking::decode_cracker_column_with`] under *sampled*
+//! validation: structural invariants and a deterministic piece sample are
+//! checked at decode time, and the full O(data) content pass is deferred
+//! to the background scrubber and the first-touch paranoia check (which
+//! quarantine and rebuild instead of answering wrong). Corruption that
+//! slips past the checksums still cannot produce wrong answers — it is
+//! either rejected here (column rebuilt cold) or healed after restart.
 //!
 //! [`CrackerColumn::validate`]: holistic_cracking::CrackerColumn::validate
 
@@ -52,7 +56,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use holistic_cracking::{
-    decode_cracker_column, encode_cracker_column, ConcurrentCrackerColumn, CrackerColumn,
+    decode_cracker_column_with, encode_cracker_column, ConcurrentCrackerColumn, CrackerColumn,
+    DecodeValidation,
 };
 use holistic_persist::{
     atomic_write, decode_wal, encode_wal, Decoder, Encoder, FaultInjector, PersistError, Snapshot,
@@ -329,6 +334,12 @@ pub struct RecoveryOutcome {
     /// `true` if no snapshot was usable and the engine was rebuilt from
     /// the WAL's genesis records.
     pub wal_only_rebuild: bool,
+    /// Columns whose recovered cracker passed only *sampled* validation:
+    /// structural invariants and a deterministic piece sample were checked
+    /// at decode time, and the full O(data) pass is deferred to the
+    /// background scrubber (the columns are marked scrub-priority) and
+    /// the first-touch paranoia check.
+    pub sampled_columns: Vec<ColumnId>,
 }
 
 impl Database {
@@ -651,6 +662,24 @@ impl Database {
             }
         }
         let mut max_lsn = watermark;
+        // Runs of consecutive inserts into the same column — the shape of
+        // a typical WAL tail — are coalesced and applied through the
+        // batched ripple: one piece-table sweep for the run instead of one
+        // per record. Any other record flushes the run first, so replay
+        // order is preserved exactly.
+        let mut pending_inserts: Option<(ColumnId, Vec<Value>)> = None;
+        fn flush_inserts(
+            db: &mut Database,
+            pending: &mut Option<(ColumnId, Vec<Value>)>,
+            want_full_index: &mut BTreeSet<ColumnId>,
+        ) -> EngineResult<()> {
+            if let Some((column, values)) = pending.take() {
+                db.apply_insert_batch(column, &values)
+                    .map_err(|e| HolisticError::Recovery(format!("WAL replay failed: {e}")))?;
+                want_full_index.remove(&column);
+            }
+            Ok(())
+        }
         for payload in &contents.records {
             // The payload passed its CRC; a decode failure here means a
             // foreign format, not bit rot — stop replaying, like a torn
@@ -661,13 +690,26 @@ impl Database {
             if lsn <= watermark {
                 continue;
             }
-            db.replay_wal_record(&record, &mut want_full_index, &mut outcome)
-                .map_err(|e| {
-                    HolisticError::Recovery(format!("WAL replay failed at lsn {lsn}: {e}"))
-                })?;
+            if let WalRecord::Insert { column, value } = &record {
+                match &mut pending_inserts {
+                    Some((c, values)) if c == column => values.push(*value),
+                    Some(_) => {
+                        flush_inserts(&mut db, &mut pending_inserts, &mut want_full_index)?;
+                        pending_inserts = Some((*column, vec![*value]));
+                    }
+                    None => pending_inserts = Some((*column, vec![*value])),
+                }
+            } else {
+                flush_inserts(&mut db, &mut pending_inserts, &mut want_full_index)?;
+                db.replay_wal_record(&record, &mut want_full_index, &mut outcome)
+                    .map_err(|e| {
+                        HolisticError::Recovery(format!("WAL replay failed at lsn {lsn}: {e}"))
+                    })?;
+            }
             max_lsn = max_lsn.max(lsn);
             outcome.wal_records_replayed += 1;
         }
+        flush_inserts(&mut db, &mut pending_inserts, &mut want_full_index)?;
 
         // Materialize the full indexes the recovered state calls for.
         for column in want_full_index {
@@ -694,6 +736,10 @@ impl Database {
             records_since_snapshot: outcome.wal_records_replayed
                 + u64::from(outcome.wal_only_rebuild),
         });
+        // Fold the outcome into the metrics so operators (e.g. the query
+        // service's startup log) can read how the engine came up without
+        // threading the outcome through by hand.
+        db.metrics.record_recovery(outcome.clone());
         Ok((db, outcome))
     }
 
@@ -797,11 +843,24 @@ impl Database {
                 outcome.cold_columns.push(id);
                 continue;
             }
-            match decode_cracker_column(bytes, kernel) {
+            // Sampled validation: structural invariants and a deterministic
+            // ~1-in-32 piece sample are checked here; the full O(data) pass
+            // is deferred to the background scrubber (the column is marked
+            // scrub-priority below) and the first-touch paranoia check.
+            // This cuts restart cost below a cold rebuild while keeping the
+            // no-wrong-answers contract — deferred damage heals through
+            // quarantine + rebuild instead of answering queries.
+            let validation = DecodeValidation::Sampled {
+                seed: self.config.rng_seed,
+                rate: 32,
+            };
+            match decode_cracker_column_with(bytes, kernel, validation) {
                 Ok(col) => {
                     self.crackers
                         .write()
                         .insert(id, Arc::new(ConcurrentCrackerColumn::new(col)));
+                    self.health.lock().mark_needs_scrub(id);
+                    outcome.sampled_columns.push(id);
                 }
                 Err(_) => outcome.cold_columns.push(id),
             }

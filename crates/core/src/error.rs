@@ -39,6 +39,18 @@ pub enum HolisticError {
     /// Recovery could not reconstruct a usable database from the
     /// persistence directory (no valid snapshot and no WAL genesis).
     Recovery(String),
+    /// A runtime integrity failure was contained: a kernel panic or a
+    /// paranoia validation failure quarantined the column's learned
+    /// state. The base data is untouched — queries keep getting correct
+    /// answers via the scan path while the background tuner rebuilds the
+    /// cracker — so this error reports containment, not data loss.
+    Integrity {
+        /// The column whose learned state was quarantined.
+        column: ColumnId,
+        /// What tripped the containment boundary (panic payload or
+        /// validation message).
+        reason: String,
+    },
     /// The operation is not supported in the engine's current shape
     /// (e.g. single-value updates on a multi-column table).
     Unsupported(String),
@@ -69,6 +81,12 @@ impl std::fmt::Display for HolisticError {
             }
             HolisticError::Validation(msg) => write!(f, "validation failure: {msg}"),
             HolisticError::Recovery(msg) => write!(f, "recovery failure: {msg}"),
+            HolisticError::Integrity { column, reason } => {
+                write!(
+                    f,
+                    "integrity failure on column {column:?} (quarantined): {reason}"
+                )
+            }
             HolisticError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             HolisticError::Overloaded(queue) => {
                 write!(f, "overloaded: admission queue {queue:?} is full")

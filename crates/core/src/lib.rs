@@ -94,19 +94,21 @@ pub mod strategy;
 pub use background::{BackgroundConfig, BackgroundTuner};
 pub use config::HolisticConfig;
 pub use engine::guarded::GuardedQuery;
+pub use engine::health::{ColumnHealth, ScrubReport};
 pub use engine::persist::RecoveryOutcome;
 pub use engine::query::{AccessPath, Query, QueryResult};
 pub use engine::timeline::{strategy_timeline, TimelinePhase};
 pub use engine::{Database, SharedDatabase, UpdateOp};
 pub use error::HolisticError;
 pub use idle::{IdleBudget, IdleReport};
-pub use metrics::{EngineMetrics, QueryRecord, ServiceCounters};
+pub use metrics::{EngineMetrics, IntegrityCounters, QueryRecord, ServiceCounters};
 pub use ranking::RankingModel;
 pub use stats::{ColumnActivity, KernelStatistics};
 pub use strategy::{IndexingStrategy, StrategyFeatures};
 
 pub use holistic_cracking::{
-    AggregateCacheDelta, CrackKernel, CrackPolicy, KernelChoice, KernelDispatches,
+    AggregateCacheDelta, CorruptionInjector, CorruptionKind, CrackKernel, CrackPolicy,
+    KernelChoice, KernelDispatches,
 };
 pub use holistic_offline::CostModel;
 pub use holistic_persist::{flip_byte, FaultInjector, PersistError};

@@ -60,10 +60,36 @@ pub struct ServiceCounters {
     pub peak_queue_depth: u64,
 }
 
+/// Snapshot of the runtime-integrity counters: how containment,
+/// quarantine and the background scrubber treated learned state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityCounters {
+    /// Columns quarantined (panic containment, paranoia, or scrub).
+    pub quarantined: u64,
+    /// Quarantined columns rebuilt from base data by the tuner.
+    pub rebuilt: u64,
+    /// Queries answered through the degraded base-storage scan path
+    /// while their column was quarantined or rebuilding.
+    pub degraded_scans: u64,
+    /// Pieces the background scrubber has re-validated.
+    pub scrubbed_pieces: u64,
+    /// Faults the scrubber detected (each one quarantined a column).
+    pub scrub_faults: u64,
+}
+
 /// Engine-wide metrics. Safe to record into from multiple threads.
 #[derive(Debug)]
 pub struct EngineMetrics {
     queries: OrderedMutex<Vec<QueryRecord>>,
+    /// The recovery outcome of the engine's birth, if it was recovered
+    /// from a persistence directory. Behind its own (Metrics-level) lock;
+    /// never nested with the query log's.
+    recovery: OrderedMutex<Option<crate::engine::persist::RecoveryOutcome>>,
+    integ_quarantined: AtomicU64,
+    integ_rebuilt: AtomicU64,
+    integ_degraded_scans: AtomicU64,
+    integ_scrubbed_pieces: AtomicU64,
+    integ_scrub_faults: AtomicU64,
     tuning_nanos: AtomicU64,
     build_nanos: AtomicU64,
     auxiliary_actions: AtomicU64,
@@ -90,6 +116,12 @@ impl Default for EngineMetrics {
     fn default() -> Self {
         EngineMetrics {
             queries: OrderedMutex::new(LockLevel::Metrics, "EngineMetrics::queries", Vec::new()),
+            recovery: OrderedMutex::new(LockLevel::Metrics, "EngineMetrics::recovery", None),
+            integ_quarantined: AtomicU64::new(0),
+            integ_rebuilt: AtomicU64::new(0),
+            integ_degraded_scans: AtomicU64::new(0),
+            integ_scrubbed_pieces: AtomicU64::new(0),
+            integ_scrub_faults: AtomicU64::new(0),
             tuning_nanos: AtomicU64::new(0),
             build_nanos: AtomicU64::new(0),
             auxiliary_actions: AtomicU64::new(0),
@@ -329,6 +361,57 @@ impl EngineMetrics {
             .fetch_max(depth, Ordering::Relaxed);
     }
 
+    /// Records one column quarantine (containment event).
+    pub fn record_quarantine(&self) {
+        self.integ_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed quarantine→rebuild heal.
+    pub fn record_rebuild(&self) {
+        self.integ_rebuilt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one query answered through the degraded scan path.
+    pub fn record_degraded_scan(&self) {
+        self.integ_degraded_scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one scrub window: `pieces` re-validated, and whether the
+    /// window found a fault (which quarantined the column).
+    pub fn record_scrub(&self, pieces: u64, fault: bool) {
+        self.integ_scrubbed_pieces
+            .fetch_add(pieces, Ordering::Relaxed);
+        if fault {
+            self.integ_scrub_faults.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the runtime-integrity counters.
+    #[must_use]
+    pub fn integrity(&self) -> IntegrityCounters {
+        IntegrityCounters {
+            quarantined: self.integ_quarantined.load(Ordering::Relaxed),
+            rebuilt: self.integ_rebuilt.load(Ordering::Relaxed),
+            degraded_scans: self.integ_degraded_scans.load(Ordering::Relaxed),
+            scrubbed_pieces: self.integ_scrubbed_pieces.load(Ordering::Relaxed),
+            scrub_faults: self.integ_scrub_faults.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stores the recovery outcome of the engine's birth (called by
+    /// `Database::recover` so operators can read *how* the engine came up
+    /// — generations skipped, learned state dropped — from the metrics
+    /// instead of having to thread the outcome through by hand).
+    pub fn record_recovery(&self, outcome: crate::engine::persist::RecoveryOutcome) {
+        *self.recovery.lock() = Some(outcome);
+    }
+
+    /// The recovery outcome of the engine's birth, if it was recovered.
+    #[must_use]
+    pub fn recovery(&self) -> Option<crate::engine::persist::RecoveryOutcome> {
+        self.recovery.lock().clone()
+    }
+
     /// Snapshot of the service-layer overload counters.
     #[must_use]
     pub fn service(&self) -> ServiceCounters {
@@ -347,6 +430,12 @@ impl EngineMetrics {
     /// Clears all recorded metrics (e.g. between benchmark phases).
     pub fn reset(&self) {
         self.queries.lock().clear();
+        *self.recovery.lock() = None;
+        self.integ_quarantined.store(0, Ordering::Relaxed);
+        self.integ_rebuilt.store(0, Ordering::Relaxed);
+        self.integ_degraded_scans.store(0, Ordering::Relaxed);
+        self.integ_scrubbed_pieces.store(0, Ordering::Relaxed);
+        self.integ_scrub_faults.store(0, Ordering::Relaxed);
         self.tuning_nanos.store(0, Ordering::Relaxed);
         self.build_nanos.store(0, Ordering::Relaxed);
         self.auxiliary_actions.store(0, Ordering::Relaxed);
@@ -530,6 +619,27 @@ mod tests {
         assert_eq!(s.peak_queue_depth, 9);
         m.reset();
         assert_eq!(m.service(), ServiceCounters::default());
+    }
+
+    #[test]
+    fn integrity_counters_accumulate_and_reset() {
+        let m = EngineMetrics::new();
+        assert_eq!(m.integrity(), IntegrityCounters::default());
+        m.record_quarantine();
+        m.record_rebuild();
+        m.record_degraded_scan();
+        m.record_degraded_scan();
+        m.record_scrub(64, false);
+        m.record_scrub(3, true);
+        let i = m.integrity();
+        assert_eq!(i.quarantined, 1);
+        assert_eq!(i.rebuilt, 1);
+        assert_eq!(i.degraded_scans, 2);
+        assert_eq!(i.scrubbed_pieces, 67);
+        assert_eq!(i.scrub_faults, 1);
+        m.reset();
+        assert_eq!(m.integrity(), IntegrityCounters::default());
+        assert_eq!(m.recovery(), None);
     }
 
     #[test]

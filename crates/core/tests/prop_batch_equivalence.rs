@@ -180,6 +180,7 @@ fn batches_race_the_background_tuner() {
             poll_interval: Duration::from_micros(100),
             seed_prefix_sums: true,
             snapshot_on_idle: false,
+            scrub_pieces: 64,
         },
     );
 

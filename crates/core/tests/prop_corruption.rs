@@ -1,0 +1,308 @@
+//! Live-corruption and quarantine properties.
+//!
+//! The corruption sweep mirrors PR 6's crash kill-point sweep, but for
+//! *runtime* integrity instead of persistence: a deterministic
+//! [`CorruptionInjector`] is armed to damage the queried column's learned
+//! metadata (or inject a kernel panic) at every operation index of a fixed
+//! query workload, once per [`CorruptionKind`]. Under paranoia mode the
+//! engine must
+//!
+//! * never return a wrong answer — the query that trips over the fault is
+//!   re-answered through the base-storage scan path;
+//! * never hold a broken structure in the cracker map — after every query
+//!   either everything validates or the damaged column is quarantined
+//!   (its cracker dropped);
+//! * heal — idle-time rebuild returns every quarantined column to
+//!   `Healthy`, the rebuilt state passes full validation and answers
+//!   exactly like the reference model;
+//! * leak no latches across any of it.
+//!
+//! The scrubber property drops paranoia (nothing checks integrity on the
+//! query path) and corrupts a column that is never queried afterwards:
+//! only the budgeted background scrubber can find the fault, and must.
+//!
+//! The concurrency property injects a panic while reader threads, a
+//! writer thread and a tuner thread race: quarantine, degraded scans and
+//! rebuild interleave with updates, and the final healed state must
+//! account for every insert.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use holistic_core::{
+    ColumnHealth, CorruptionInjector, CorruptionKind, Database, HolisticConfig, IdleBudget,
+    IndexingStrategy, Query,
+};
+use holistic_storage::ColumnId;
+
+const ROWS: i64 = 1200;
+const QUERIES: u64 = 12;
+
+const ALL_KINDS: [CorruptionKind; 4] = [
+    CorruptionKind::SumFlip,
+    CorruptionKind::PrefixFlip,
+    CorruptionKind::BoundaryFlip,
+    CorruptionKind::Panic,
+];
+
+/// The reference model: the column's exact contents.
+fn reference(salt: i64) -> Vec<i64> {
+    (0..ROWS)
+        .map(|i| (i * 7919 + salt).rem_euclid(ROWS))
+        .collect()
+}
+
+fn fresh_db(salt: i64, paranoia: bool) -> (Database, ColumnId) {
+    let mut config = HolisticConfig::for_testing();
+    config.paranoia = paranoia;
+    let mut db = Database::new(config, IndexingStrategy::Holistic);
+    let table = db
+        .create_table("t", vec![("v", reference(salt))])
+        .expect("create table");
+    let column = db.column_id(table, "v").expect("column id");
+    (db, column)
+}
+
+/// The workload's i-th query range, deterministic from the salt.
+fn query_range(salt: i64, i: u64) -> (i64, i64) {
+    let lo = (i as i64 * 173 + salt * 7).rem_euclid(ROWS - 100);
+    let width = 40 + (i as i64 * 61).rem_euclid(ROWS / 3);
+    (lo, lo + width)
+}
+
+fn expected(model: &[i64], lo: i64, hi: i64) -> (u64, i128) {
+    let mut count = 0u64;
+    let mut sum = 0i128;
+    for &v in model {
+        if v >= lo && v < hi {
+            count += 1;
+            sum += i128::from(v);
+        }
+    }
+    (count, sum)
+}
+
+/// Runs idle batches until every quarantined column is rebuilt (bounded,
+/// so a stuck rebuild fails the test instead of hanging it).
+fn heal(db: &Database) -> bool {
+    for _ in 0..64 {
+        if db.quarantined_columns().is_empty() {
+            return true;
+        }
+        let _ = db.run_idle(IdleBudget::Actions(8));
+    }
+    db.quarantined_columns().is_empty()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The tentpole sweep: arm every corruption kind at every operation
+    /// index of the workload. Answers stay correct throughout, structures
+    /// are valid-or-quarantined after every query, and idle rebuild heals
+    /// back to a fully validated state.
+    #[test]
+    fn corruption_at_every_op_is_contained_and_healed(salt in -400i64..400) {
+        let model = reference(salt);
+        for kind in ALL_KINDS {
+            for fire_at in 0..QUERIES {
+                let (mut db, column) = fresh_db(salt, true);
+                let injector = CorruptionInjector::new();
+                injector.arm(fire_at, kind);
+                db.set_corruption_injector(Arc::clone(&injector));
+                for i in 0..QUERIES {
+                    let (lo, hi) = query_range(salt, i);
+                    let (want_count, want_sum) = expected(&model, lo, hi);
+                    let r = db.execute(&Query::range(column, lo, hi)).expect(
+                        "corruption must be contained, not surfaced",
+                    );
+                    prop_assert_eq!(
+                        (r.count, r.sum),
+                        (want_count, want_sum),
+                        "{kind} armed at {fire_at}: wrong answer at query {i}"
+                    );
+                    // Paranoia invariant: after every query the engine
+                    // holds no broken structure — the damaged column is
+                    // either still valid or already out of the map.
+                    prop_assert!(
+                        db.validate(),
+                        "{kind} armed at {fire_at}: broken structure survived query {i}"
+                    );
+                }
+                // A panic always applies (metadata flips may find no
+                // flippable target on a barely-cracked column): for the
+                // panic kind, containment must have quarantined.
+                if matches!(kind, CorruptionKind::Panic) {
+                    prop_assert!(
+                        db.metrics().integrity().quarantined >= 1,
+                        "panic armed at {fire_at} was never contained"
+                    );
+                }
+                // Heal: the idle loop rebuilds every quarantined column.
+                prop_assert!(heal(&db), "{kind} armed at {fire_at}: rebuild never completed");
+                prop_assert!(db.validate());
+                prop_assert_eq!(db.column_health(column), ColumnHealth::Healthy);
+                let integ = db.metrics().integrity();
+                prop_assert_eq!(integ.rebuilt, integ.quarantined, "every quarantine healed");
+                // Post-heal: the rebuilt learned state answers exactly.
+                for i in 0..QUERIES {
+                    let (lo, hi) = query_range(salt, i);
+                    let (want_count, want_sum) = expected(&model, lo, hi);
+                    let r = db.execute(&Query::range(column, lo, hi)).expect("healed query");
+                    prop_assert_eq!((r.count, r.sum), (want_count, want_sum));
+                }
+                prop_assert!(holistic_sync::held_locks().is_empty(), "latch residue");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Scrubber property: with paranoia off and the damaged column never
+    /// queried again, the budgeted background scrubber is the only
+    /// detector left — and it must find the fault, quarantine the column,
+    /// and leave the rebuilt state exact.
+    #[test]
+    fn scrubber_detects_faults_no_query_ever_touches(
+        salt in -400i64..400,
+        budget in 1usize..64,
+    ) {
+        let model = reference(salt);
+        let (mut db, column) = fresh_db(salt, false);
+        // Crack the column so its learned metadata has flippable targets.
+        for i in 0..6 {
+            let (lo, hi) = query_range(salt, i);
+            db.execute(&Query::range(column, lo, hi)).expect("warmup");
+        }
+        prop_assert!(db.piece_count(column) > 1, "warmup must crack");
+        // Fire a boundary flip on the next (last) query. Its own answer is
+        // served from base ranges, but the learned metadata is now wrong
+        // and nothing on the query path checks it (paranoia off).
+        let injector = CorruptionInjector::new();
+        injector.arm(0, CorruptionKind::BoundaryFlip);
+        db.set_corruption_injector(Arc::clone(&injector));
+        let (lo, hi) = query_range(salt, 6);
+        let _ = db.execute(&Query::range(column, lo, hi));
+        prop_assert!(!db.validate(), "boundary flip must damage a cracked column");
+
+        // Only the scrubber looks now. Budgeted windows must converge on
+        // the fault within a bounded number of passes.
+        let mut detected = false;
+        for _ in 0..512 {
+            let report = db.scrub_step(budget);
+            if report.fault_found {
+                detected = true;
+                break;
+            }
+        }
+        prop_assert!(detected, "scrubber (budget {budget}) never found the fault");
+        prop_assert!(matches!(
+            db.column_health(column),
+            ColumnHealth::Quarantined { .. }
+        ));
+        let integ = db.metrics().integrity();
+        prop_assert!(integ.scrub_faults >= 1);
+        prop_assert!(integ.scrubbed_pieces >= 1);
+
+        // Heal and verify exactness.
+        prop_assert!(heal(&db), "rebuild never completed");
+        prop_assert!(db.validate());
+        for i in 0..QUERIES {
+            let (lo, hi) = query_range(salt, i);
+            let (want_count, want_sum) = expected(&model, lo, hi);
+            let r = db.execute(&Query::range(column, lo, hi)).expect("healed query");
+            prop_assert_eq!((r.count, r.sum), (want_count, want_sum));
+        }
+        prop_assert!(holistic_sync::held_locks().is_empty(), "latch residue");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Quarantine under fire: a panic is injected while reader threads,
+    /// a writer thread and a tuner thread race. Queries must stay correct
+    /// through quarantine → degraded scans → rebuild, updates applied
+    /// during quarantine must survive into the rebuilt state, and no
+    /// thread may leak a latch.
+    #[test]
+    fn quarantine_heals_under_concurrent_updates_and_tuner_races(
+        salt in -400i64..400,
+        fire_at in 0u64..8,
+        inserts in 1usize..24,
+    ) {
+        let model = reference(salt);
+        let (mut db, column) = fresh_db(salt, true);
+        let injector = CorruptionInjector::new();
+        injector.arm(fire_at, CorruptionKind::Panic);
+        db.set_corruption_injector(Arc::clone(&injector));
+        let engine = db.into_shared();
+
+        // Writers insert values >= ROWS only: sub-range queries on
+        // [0, ROWS) keep their exact reference answers while the column
+        // grows underneath them.
+        let mut threads = Vec::new();
+        for t in 0..2u64 {
+            let engine = Arc::clone(&engine);
+            let model = model.clone();
+            threads.push(std::thread::spawn(move || {
+                for i in 0..QUERIES {
+                    let (lo, hi) = query_range(salt, (i + t * 5) % QUERIES);
+                    // Clamp below ROWS: the writer inserts values >= ROWS,
+                    // which must stay invisible to these reference checks.
+                    let hi = hi.min(ROWS);
+                    let (want_count, want_sum) = expected(&model, lo, hi);
+                    let r = engine
+                        .read()
+                        .execute(&Query::range(column, lo, hi))
+                        .expect("contained execution");
+                    assert_eq!(
+                        (r.count, r.sum),
+                        (want_count, want_sum),
+                        "reader {t}: wrong answer at query {i}"
+                    );
+                }
+                assert!(holistic_sync::held_locks().is_empty());
+            }));
+        }
+        {
+            let engine = Arc::clone(&engine);
+            threads.push(std::thread::spawn(move || {
+                for j in 0..inserts {
+                    engine
+                        .write()
+                        .insert(column, ROWS + j as i64)
+                        .expect("insert");
+                }
+                assert!(holistic_sync::held_locks().is_empty());
+            }));
+        }
+        {
+            let engine = Arc::clone(&engine);
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..6 {
+                    let _ = engine.read().run_idle(IdleBudget::Actions(4));
+                }
+                assert!(holistic_sync::held_locks().is_empty());
+            }));
+        }
+        for t in threads {
+            t.join().expect("no thread may die: panics are contained");
+        }
+
+        let guard = engine.read();
+        prop_assert!(heal(&guard), "rebuild never completed");
+        prop_assert!(guard.validate());
+        prop_assert_eq!(guard.column_health(column), ColumnHealth::Healthy);
+        // The healed state holds the base data plus every insert.
+        let r = guard
+            .execute(&Query::range(column, 0, ROWS + inserts as i64))
+            .expect("full-range query");
+        prop_assert_eq!(r.count, ROWS as u64 + inserts as u64);
+        drop(guard);
+        prop_assert!(holistic_sync::held_locks().is_empty(), "latch residue");
+    }
+}

@@ -714,6 +714,14 @@ impl ConcurrentCrackerColumn {
         self.inner.write().ripple_insert(v, rowid);
     }
 
+    /// Batched ripple insert under a single acquisition of the exclusive
+    /// latch: one sweep over the piece table for the whole batch (see
+    /// [`CrackerColumn::ripple_insert_batch`]). The engine's WAL replay
+    /// applies runs of insert records through this.
+    pub fn insert_batch(&self, batch: &[(Value, holistic_storage::RowId)]) {
+        self.inner.write().ripple_insert_batch(batch);
+    }
+
     /// Ripple-deletes one occurrence of `v` under the exclusive latch,
     /// returning whether a value was removed.
     pub fn delete(&self, v: Value) -> bool {
@@ -730,6 +738,48 @@ impl ConcurrentCrackerColumn {
     pub fn validate(&self) -> bool {
         self.inner.read().validate()
     }
+
+    /// One budgeted scrub step: validates up to `budget` pieces starting
+    /// at piece index `from`, entirely under the shared latch (a scrub is
+    /// a read; it must not make queries queue). Returns how far it got so
+    /// the scrubber can resume where it left off next idle window.
+    #[must_use]
+    pub fn scrub_pieces(&self, from: usize, budget: usize) -> ScrubOutcome {
+        let guard = self.inner.read();
+        let total = guard.piece_count();
+        let start = from.min(total);
+        let end = start.saturating_add(budget.max(1)).min(total);
+        let valid = guard.validate_piece_range(start..end);
+        ScrubOutcome {
+            checked: end - start,
+            next: (end < total).then_some(end),
+            valid,
+        }
+    }
+
+    /// Applies one injected corruption to the learned state under the
+    /// exclusive latch (see [`crate::corrupt`]). Returns whether a field
+    /// was actually flipped.
+    ///
+    /// # Panics
+    /// [`crate::corrupt::CorruptionKind::Panic`] propagates its panic out
+    /// of the latch (the guard unwinds cleanly); the caller's containment
+    /// boundary is expected to catch it.
+    pub fn corrupt(&self, kind: crate::corrupt::CorruptionKind) -> bool {
+        crate::corrupt::corrupt_column(&mut self.inner.write(), kind)
+    }
+}
+
+/// Outcome of one [`ConcurrentCrackerColumn::scrub_pieces`] step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubOutcome {
+    /// Pieces validated by this step.
+    pub checked: usize,
+    /// Piece index to resume from, or `None` when the step reached the
+    /// end of the piece table (the scrub cycle for this column is done).
+    pub next: Option<usize>,
+    /// Whether every checked piece passed validation.
+    pub valid: bool,
 }
 
 #[cfg(test)]

@@ -819,6 +819,77 @@ impl CrackerColumn {
         self.index.validate(&self.data)
     }
 
+    /// Validates the pieces whose indexes fall in `range` (clamped to the
+    /// piece table) against the data, including row-id alignment. This is
+    /// the incremental unit of the background scrubber: full
+    /// [`CrackerColumn::validate`] is O(column), while one scrub step is
+    /// O(the pieces it covers).
+    #[must_use]
+    pub fn validate_piece_range(&self, range: Range<usize>) -> bool {
+        if let Some(rowids) = &self.rowids {
+            if rowids.len() != self.data.len() {
+                return false;
+            }
+        }
+        let end = range.end.min(self.index.piece_count());
+        self.index.pieces()[range.start.min(end)..end]
+            .iter()
+            .all(|p| p.validate(&self.data))
+    }
+
+    /// Reassembles a cracker column from recovered parts with **sampled**
+    /// validation: structural invariants (extent match, row-id alignment,
+    /// piece-table contiguity — already enforced by `PieceIndex`) are
+    /// always checked, but the per-piece content pass of
+    /// [`CrackerColumn::validate`] runs only on a deterministic sample of
+    /// roughly one in `sample_rate` pieces (always including the first
+    /// and last). The caller must arrange for the skipped pieces to be
+    /// validated later — the background scrubber / first-touch paranoia
+    /// path — which is safe only in an engine where a deferred validation
+    /// failure heals (quarantine + rebuild) instead of crashing.
+    #[must_use]
+    pub fn from_parts_sampled(
+        data: Vec<Value>,
+        rowids: Option<Vec<RowId>>,
+        index: PieceIndex,
+        kernel: CrackKernel,
+        cracks_performed: u64,
+        sample_seed: u64,
+        sample_rate: usize,
+    ) -> Option<Self> {
+        if index.len() != data.len() {
+            return None;
+        }
+        if let Some(rowids) = &rowids {
+            if rowids.len() != data.len() {
+                return None;
+            }
+        }
+        let rate = sample_rate.max(1) as u64;
+        let n = index.piece_count();
+        let sampled = |i: usize| {
+            i == 0
+                || i + 1 == n
+                || (i as u64)
+                    .wrapping_add(sample_seed)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .is_multiple_of(rate)
+        };
+        for (i, piece) in index.pieces().iter().enumerate() {
+            if sampled(i) && !piece.validate(&data) {
+                return None;
+            }
+        }
+        Some(CrackerColumn {
+            data,
+            rowids,
+            index,
+            cracks_performed,
+            kernel,
+            dispatches: KernelDispatches::default(),
+        })
+    }
+
     /// (Internal) mutable access for the updates module.
     pub(crate) fn parts_mut(
         &mut self,

@@ -34,6 +34,7 @@
 #![deny(unsafe_code)]
 
 pub mod concurrent;
+pub mod corrupt;
 pub mod cracker;
 pub mod index;
 pub mod kernels;
@@ -46,8 +47,9 @@ pub mod updates;
 
 pub use concurrent::{
     AggregateCacheDelta, BatchRefineOutcome, BatchSelectOutcome, ConcurrentCrackerColumn,
-    LatchStats, QueryAnswer, RefineOutcome, SelectOutcome,
+    LatchStats, QueryAnswer, RefineOutcome, ScrubOutcome, SelectOutcome,
 };
+pub use corrupt::{corrupt_column, CorruptionInjector, CorruptionKind};
 pub use cracker::{CrackerColumn, RangeAggregate};
 pub use index::{PieceIndex, SplitGroup};
 pub use kernels::{
@@ -57,7 +59,9 @@ pub use kernels::{
     KernelChoice, KernelDispatches, ThreeWaySums, TwoWaySums, DEFAULT_PREDICATION_THRESHOLD,
 };
 pub use merging::AdaptiveMergingIndex;
-pub use persist::{decode_cracker_column, encode_cracker_column};
+pub use persist::{
+    decode_cracker_column, decode_cracker_column_with, encode_cracker_column, DecodeValidation,
+};
 pub use piece::Piece;
 pub use sideways::{CrackerMap, MapSet};
 pub use stochastic::CrackPolicy;

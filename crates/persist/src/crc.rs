@@ -2,15 +2,18 @@
 //! every snapshot section and WAL record.
 //!
 //! Hand-rolled because the build environment vendors its dependencies: the
-//! algorithm is the ubiquitous table-driven byte-at-a-time CRC-32 used by
-//! zip/gzip/ethernet, so checksums written here are verifiable with any
-//! standard tool.
+//! algorithm is the ubiquitous CRC-32 used by zip/gzip/ethernet, so
+//! checksums written here are verifiable with any standard tool. The inner
+//! loop uses the slicing-by-8 table variant (eight bytes per step through
+//! eight derived tables) instead of the classic byte-at-a-time loop: the
+//! restart path checksums every snapshot byte, and at 1M-row scale the
+//! byte-wise CRC alone cost more than a third of recovery wall time.
 
 /// Reflected IEEE polynomial.
 const POLY: u32 = 0xEDB8_8320;
 
-const fn make_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn make_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -23,13 +26,25 @@ const fn make_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    // tables[t][b] = CRC of byte b followed by t zero bytes, so eight
+    // lookups combine to advance the state by eight input bytes at once.
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
-static TABLE: [u32; 256] = make_table();
+static TABLES: [[u32; 256]; 8] = make_tables();
 
 /// Streaming CRC-32 state.
 #[derive(Debug, Clone)]
@@ -53,9 +68,21 @@ impl Crc32 {
     /// Feeds bytes into the checksum.
     pub fn update(&mut self, bytes: &[u8]) {
         let mut crc = self.state;
-        for &b in bytes {
-            let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
-            crc = (crc >> 8) ^ TABLE[idx];
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+            let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+            crc = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
         }
         self.state = crc;
     }

@@ -79,6 +79,14 @@ pub struct ServiceConfig {
     pub saturation_high: usize,
     /// Queue depth at which it leaves saturation mode (must be lower).
     pub saturation_low: usize,
+    /// Earliest-deadline-first dispatch: order each admission bucket by
+    /// deadline (ties and deadline-less queries fall back to arrival
+    /// order) before draining a batch, so under backlog the queries
+    /// closest to expiry execute first instead of shedding at dispatch.
+    /// With uniform deadlines (every query on the configured default)
+    /// EDF degenerates to FIFO, so enabling it never hurts; disable to
+    /// measure strict arrival-order dispatch.
+    pub edf_dispatch: bool,
 }
 
 impl Default for ServiceConfig {
@@ -93,6 +101,7 @@ impl Default for ServiceConfig {
             token_burst: 1024.0,
             saturation_high: 3072,
             saturation_low: 1024,
+            edf_dispatch: true,
         }
     }
 }
@@ -111,6 +120,7 @@ impl ServiceConfig {
             token_burst: 32.0,
             saturation_high: 12,
             saturation_low: 4,
+            edf_dispatch: true,
         }
     }
 
@@ -308,6 +318,12 @@ impl ServiceCore {
     #[must_use]
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// The shared engine the service dispatches into.
+    #[must_use]
+    pub fn engine(&self) -> &SharedDatabase {
+        &self.engine
     }
 
     /// Registers client `client` and returns the receiving end of its
@@ -529,10 +545,13 @@ impl ServiceCore {
                 full.or_else(|| {
                     // The bucket holding the globally oldest entry, once
                     // that entry has aged past the formation deadline.
+                    // (Scan the whole bucket, not just the front: EDF
+                    // dispatch reorders buckets, so the oldest arrival is
+                    // not necessarily at the head.)
                     queue
                         .buckets
                         .iter()
-                        .filter_map(|(c, b)| b.front().map(|p| (*c, p.enqueued_at)))
+                        .filter_map(|(c, b)| b.iter().map(|p| p.enqueued_at).min().map(|t| (*c, t)))
                         .min_by_key(|&(_, t)| t)
                         .filter(|&(_, t)| t + self.config.batch_deadline <= now)
                         .map(|(c, _)| c)
@@ -544,6 +563,18 @@ impl ServiceCore {
             let Some(bucket) = queue.buckets.get_mut(&column) else {
                 return 0;
             };
+            if self.config.edf_dispatch {
+                // Earliest deadline first within the bucket; stable sort
+                // keeps arrival order for ties, and deadline-less queries
+                // (key starts with `true`) sort after every dated one.
+                bucket.make_contiguous().sort_by_key(|p| {
+                    (
+                        p.deadline.is_none(),
+                        p.deadline.unwrap_or(p.enqueued_at),
+                        p.enqueued_at,
+                    )
+                });
+            }
             let take = bucket.len().min(self.config.max_batch);
             let drained: Vec<Pending> = bucket.drain(..take).collect();
             if bucket.is_empty() {
@@ -699,6 +730,56 @@ mod tests {
         core.clock().advance(Duration::from_millis(6));
         assert_eq!(core.pump(), 1, "formation deadline fired");
         assert_eq!(rx.recv().expect("response").request_id, 7);
+    }
+
+    #[test]
+    fn edf_dispatch_prefers_earliest_deadlines_under_backlog() {
+        let mut config = ServiceConfig::for_testing();
+        config.max_batch = 2;
+        let (core, _engine, column) = service(config);
+        let rx = core.connect(1);
+        let q = Query::range(column, 0, 10);
+        // Arrival order: relaxed, urgent, middling.
+        core.admit(1, 0, q, Some(Duration::from_millis(90)))
+            .expect("admit");
+        core.admit(1, 1, q, Some(Duration::from_millis(10)))
+            .expect("admit");
+        core.admit(1, 2, q, Some(Duration::from_millis(50)))
+            .expect("admit");
+        // The bucket exceeds max_batch: the first dispatch takes the two
+        // queries closest to expiry, not the two oldest arrivals.
+        assert_eq!(core.pump(), 2);
+        let first: Vec<u64> = (0..2)
+            .map(|_| rx.recv().expect("response").request_id)
+            .collect();
+        assert_eq!(first, vec![1, 2], "earliest deadlines dispatch first");
+        // The relaxed query is not starved: the formation deadline still
+        // fires on its (oldest remaining) arrival time.
+        core.clock().advance(Duration::from_millis(6));
+        assert_eq!(core.pump(), 1);
+        assert_eq!(rx.recv().expect("response").request_id, 0);
+        assert!(holistic_sync::held_locks().is_empty());
+    }
+
+    #[test]
+    fn fifo_dispatch_preserves_arrival_order_when_edf_is_off() {
+        let mut config = ServiceConfig::for_testing();
+        config.max_batch = 2;
+        config.edf_dispatch = false;
+        let (core, _engine, column) = service(config);
+        let rx = core.connect(1);
+        let q = Query::range(column, 0, 10);
+        core.admit(1, 0, q, Some(Duration::from_millis(90)))
+            .expect("admit");
+        core.admit(1, 1, q, Some(Duration::from_millis(10)))
+            .expect("admit");
+        core.admit(1, 2, q, Some(Duration::from_millis(50)))
+            .expect("admit");
+        assert_eq!(core.pump(), 2);
+        let first: Vec<u64> = (0..2)
+            .map(|_| rx.recv().expect("response").request_id)
+            .collect();
+        assert_eq!(first, vec![0, 1], "strict arrival order without EDF");
     }
 
     #[test]

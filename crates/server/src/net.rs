@@ -60,6 +60,25 @@ pub fn serve(core: Arc<ServiceCore>, bind: &str) -> io::Result<Server> {
     let stop = Arc::new(AtomicBool::new(false));
     let stop_dispatch = Arc::new(AtomicBool::new(false));
 
+    // If the engine came up through `Database::recover`, say what the
+    // degradation ladder actually delivered — the operator's only
+    // chance to notice cold/sampled columns before the workload does.
+    if let Some(outcome) = core.engine().read().metrics().recovery() {
+        eprintln!(
+            "holistic-server {addr}: recovered engine \
+             (snapshot={:?}, wal_records={}, wal_bytes_dropped={}, \
+             cold_columns={}, crackers_reborn={}, sampled_columns={}, \
+             learned_dropped={})",
+            outcome.snapshot_generation,
+            outcome.wal_records_replayed,
+            outcome.wal_bytes_dropped,
+            outcome.cold_columns.len(),
+            outcome.crackers_reborn.len(),
+            outcome.sampled_columns.len(),
+            outcome.learned_state_dropped,
+        );
+    }
+
     let dispatch_thread = {
         let core = Arc::clone(&core);
         let stop = Arc::clone(&stop_dispatch);

@@ -19,6 +19,7 @@
 //! |     4 | ServiceSession  | per-session state + response writer       |
 //! |     6 | ServiceQueue    | `holistic-server` global admission queue  |
 //! |    10 | Persistence | `Database::persistence` (serializes IO)       |
+//! |    15 | HealthMap   | `Database::health` column-health map          |
 //! |    20 | CrackerMap  | `Database::crackers` map lock                 |
 //! |    30 | Column      | per-column `ConcurrentCrackerColumn` latch    |
 //! |    40 | Online      | `Database::online` tuner state                |
@@ -84,6 +85,12 @@ pub enum LockLevel {
     ServiceQueue = 6,
     /// `Database::persistence`: serializes snapshot/WAL IO.
     Persistence = 10,
+    /// `Database::health`: the per-column health / scrub-cursor map.
+    ///
+    /// Sits above `CrackerMap` so quarantine decisions (made while no
+    /// cracker handle is held) can still consult health before touching
+    /// the cracker map, and is never held across a `Column` latch.
+    HealthMap = 15,
     /// `Database::crackers`: the column-id → cracker map.
     CrackerMap = 20,
     /// The per-column reader/writer latch (`ConcurrentCrackerColumn`).

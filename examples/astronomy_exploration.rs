@@ -99,6 +99,7 @@ fn main() {
             poll_interval: Duration::from_millis(1),
             seed_prefix_sums: true,
             snapshot_on_idle: false,
+            scrub_pieces: 64,
         },
     );
     std::thread::sleep(Duration::from_millis(200)); // think time

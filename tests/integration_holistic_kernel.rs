@@ -162,6 +162,7 @@ fn background_tuner_and_foreground_queries_coexist() {
             poll_interval: Duration::from_micros(200),
             seed_prefix_sums: true,
             snapshot_on_idle: false,
+            scrub_pieces: 64,
         },
     );
     // Interleave short bursts of queries with idle gaps.

@@ -227,6 +227,7 @@ fn shared_engine_stress_with_background_tuner() {
             poll_interval: Duration::from_micros(100),
             seed_prefix_sums: true,
             snapshot_on_idle: false,
+            scrub_pieces: 64,
         },
     );
 
