@@ -10,9 +10,24 @@
 //! The total workload is fixed (`HOLISTIC_QUERIES` queries, default 16,000)
 //! and divided evenly among the threads, so every configuration does the
 //! same work and the ratio to the 1-thread run is a true scaling factor.
-//! Scale knob: `HOLISTIC_SCALE` (values per column, default 100,000).
-//! Note that scaling beyond the machine's core count is impossible; run on
-//! a multi-core box for meaningful numbers.
+//!
+//! Each configuration also emits one machine-readable line:
+//!
+//! ```text
+//! BENCH_JSON {"bench":"micro_concurrent_throughput","workload":…,…}
+//! ```
+//!
+//! including `hw_threads` (`std::thread::available_parallelism`) and an
+//! `oversubscribed` flag, because scaling beyond the machine's core count
+//! is impossible: a 4-thread run on a 1-core container measures context
+//! switching, not parallelism, and the bench says so loudly instead of
+//! letting the flat curve pass as a regression (or the lucky one as a
+//! result).
+//!
+//! Scale knobs: `HOLISTIC_SCALE` (values per column, default 100,000) and
+//! `HOLISTIC_SHARD_EXTENT` (cracker shard extent; default `scale / 8`,
+//! i.e. 8 shards per column; `0` benches the unsharded single-latch
+//! layout).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -43,6 +58,19 @@ fn total_queries() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(16_000)
+}
+
+/// Cracker shard extent for the benched engine (`HOLISTIC_SHARD_EXTENT`,
+/// default `scale / 8` = 8 shards per column, `0` = unsharded).
+fn shard_extent(n: usize) -> usize {
+    std::env::var("HOLISTIC_SHARD_EXTENT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(n / 8)
+}
+
+fn hw_threads() -> usize {
+    std::thread::available_parallelism().map_or(0, |p| p.get())
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -93,7 +121,8 @@ fn generate_queries(
 /// One measured configuration: build a fresh engine, warm it, then hammer
 /// it from `threads` threads. Returns aggregate queries/second.
 fn run_config(workload: Workload, threads: usize, with_tuner: bool, n: usize) -> f64 {
-    let mut db = Database::new(HolisticConfig::default(), IndexingStrategy::Holistic);
+    let config = HolisticConfig::default().with_shard_extent(shard_extent(n));
+    let mut db = Database::new(config, IndexingStrategy::Holistic);
     let names: Vec<String> = (0..COLUMNS).map(|i| format!("a{i}")).collect();
     let data: Vec<(&str, Vec<i64>)> = names
         .iter()
@@ -157,13 +186,21 @@ fn run_config(workload: Workload, threads: usize, with_tuner: bool, n: usize) ->
 fn main() {
     let n = scale();
     let threads = [1usize, 2, 4, 8];
+    let hw = hw_threads();
+    let extent = shard_extent(n);
     println!(
         "micro_concurrent_throughput: {COLUMNS} columns x {n} values, {} total queries, \
-         {:.1}% selectivity, {} hardware threads",
+         {:.1}% selectivity, shard extent {extent}, {hw} hardware threads",
         total_queries(),
         SELECTIVITY * 100.0,
-        std::thread::available_parallelism().map_or(0, |p| p.get()),
     );
+    if hw < *threads.iter().max().unwrap_or(&1) {
+        println!(
+            "WARNING: only {hw} hardware thread(s) available; configurations above that \
+             measure time slicing, not parallelism — scaling factors from this box are \
+             not meaningful"
+        );
+    }
     println!(
         "{:<12} {:>8} {:>8} {:>16} {:>16}",
         "workload", "threads", "tuner", "queries/s", "vs 1 thread"
@@ -172,6 +209,12 @@ fn main() {
         for with_tuner in [false, true] {
             let mut base = 0.0;
             for &t in &threads {
+                if t > hw && hw > 0 {
+                    println!(
+                        "WARNING: requesting {t} threads on {hw} hardware thread(s) — \
+                         oversubscribed"
+                    );
+                }
                 let qps = run_config(workload, t, with_tuner, n);
                 if t == 1 {
                     base = qps;
@@ -183,6 +226,22 @@ fn main() {
                     if with_tuner { "on" } else { "off" },
                     qps,
                     qps / base.max(1e-9),
+                );
+                println!(
+                    "BENCH_JSON {{\"bench\":\"micro_concurrent_throughput\",\"workload\":\"{}\",\
+                     \"threads\":{},\"tuner\":{},\"qps\":{:.0},\"vs_1_thread\":{:.3},\
+                     \"hw_threads\":{},\"oversubscribed\":{},\"shard_extent\":{},\
+                     \"scale\":{},\"total_queries\":{}}}",
+                    workload.name(),
+                    t,
+                    with_tuner,
+                    qps,
+                    qps / base.max(1e-9),
+                    hw,
+                    t > hw,
+                    extent,
+                    n,
+                    total_queries(),
                 );
             }
         }

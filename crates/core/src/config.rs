@@ -41,6 +41,12 @@ pub struct HolisticConfig {
     /// (`1`/`true`); the test profile ([`HolisticConfig::for_testing`])
     /// always enables it.
     pub paranoia: bool,
+    /// Fixed shard extent (in values) for cracker columns: a column longer
+    /// than this is split into row-id-contiguous shards of this size, each
+    /// behind its own latch, so concurrent writers crack disjoint shards in
+    /// parallel and one large cold crack parallelizes across shards.
+    /// `0` disables sharding (one shard per column, the classic layout).
+    pub shard_extent: usize,
 }
 
 /// Reads the `HOLISTIC_PARANOIA` environment toggle.
@@ -67,6 +73,7 @@ impl Default for HolisticConfig {
             rng_seed: 0x5EED_CAFE,
             hot_range_buckets: 64,
             paranoia: paranoia_from_env(),
+            shard_extent: 0,
         }
     }
 }
@@ -122,6 +129,13 @@ impl HolisticConfig {
         self.keep_rowids = keep;
         self
     }
+
+    /// Sets the fixed shard extent for cracker columns (`0` = unsharded).
+    #[must_use]
+    pub fn with_shard_extent(mut self, extent: usize) -> Self {
+        self.shard_extent = extent;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +174,13 @@ mod tests {
         assert!(HolisticConfig::for_testing().paranoia);
         assert!(HolisticConfig::default().with_paranoia(true).paranoia);
         assert!(!HolisticConfig::for_testing().with_paranoia(false).paranoia);
+    }
+
+    #[test]
+    fn shard_extent_defaults_off_and_is_settable() {
+        assert_eq!(HolisticConfig::default().shard_extent, 0);
+        let c = HolisticConfig::default().with_shard_extent(4096);
+        assert_eq!(c.shard_extent, 4096);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! cursors, so incremental re-validation survives across idle windows.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
+use holistic_cracking::ConcurrentCrackerColumn;
 use holistic_storage::ColumnId;
 
 /// The health of one column's learned (cracker) state.
@@ -73,6 +75,15 @@ pub struct HealthState {
     /// The column the previous scrub window worked on — the round-robin
     /// rotation point for [`HealthState::pick_scrub_target`].
     last_scrubbed: Option<ColumnId>,
+    /// For quarantined columns where detection pinpointed one damaged
+    /// shard: that shard's index. Absence means the fault could not be
+    /// localized (e.g. a contained panic) and a rebuild starts from base.
+    faulty_shard: BTreeMap<ColumnId, usize>,
+    /// The quarantined cracker, stashed at quarantine time so a rebuild
+    /// can reuse the *healthy* shards' learned state instead of recracking
+    /// the whole column. Queries never see the stash — it leaves the
+    /// cracker map the moment the column is quarantined.
+    stashed: BTreeMap<ColumnId, Arc<ConcurrentCrackerColumn>>,
 }
 
 impl HealthState {
@@ -128,6 +139,41 @@ impl HealthState {
         self.status.remove(&column);
         self.cursors.remove(&column);
         self.needs_scrub.remove(&column);
+        self.faulty_shard.remove(&column);
+        self.stashed.remove(&column);
+    }
+
+    /// Stashes a quarantined column's cracker (and, when detection could
+    /// localize it, the index of the damaged shard) for the rebuild path.
+    pub fn stash_for_rebuild(
+        &mut self,
+        column: ColumnId,
+        faulty_shard: Option<usize>,
+        cracker: Arc<ConcurrentCrackerColumn>,
+    ) {
+        if let Some(shard) = faulty_shard {
+            self.faulty_shard.insert(column, shard);
+        }
+        self.stashed.insert(column, cracker);
+    }
+
+    /// Takes the stashed cracker and localized shard for a rebuild (the
+    /// stash is consumed — a failed rebuild falls back to base data).
+    pub fn take_stash(
+        &mut self,
+        column: ColumnId,
+    ) -> (Option<usize>, Option<Arc<ConcurrentCrackerColumn>>) {
+        (
+            self.faulty_shard.remove(&column),
+            self.stashed.remove(&column),
+        )
+    }
+
+    /// The localized damaged shard of a quarantined column, if detection
+    /// pinpointed one (introspection for tests and tooling).
+    #[must_use]
+    pub fn faulty_shard(&self, column: ColumnId) -> Option<usize> {
+        self.faulty_shard.get(&column).copied()
     }
 
     /// The first quarantined (not yet claimed) column, if any.
@@ -210,6 +256,8 @@ impl HealthState {
         self.status.remove(&column);
         self.cursors.remove(&column);
         self.needs_scrub.remove(&column);
+        self.faulty_shard.remove(&column);
+        self.stashed.remove(&column);
         if self.last_scrubbed == Some(column) {
             self.last_scrubbed = None;
         }

@@ -573,7 +573,7 @@ impl Database {
         self.crackers
             .read()
             .get(&id)
-            .map_or_else(Vec::new, |c| c.with_read(|col| col.pieces().to_vec()))
+            .map_or_else(Vec::new, |c| c.pieces_snapshot())
     }
 
     /// Total crack actions (query-driven plus auxiliary) applied to a column.
@@ -605,12 +605,15 @@ impl Database {
             return Ok(());
         }
         let cracker = self.crackers.read().get(&column).map(Arc::clone);
-        match cracker {
-            Some(c) if !c.validate() => Err(HolisticError::Integrity {
+        match cracker
+            .as_deref()
+            .and_then(ConcurrentCrackerColumn::find_invalid_shard)
+        {
+            Some(shard) => Err(HolisticError::Integrity {
                 column,
-                reason: "paranoia: cracker column failed validation".into(),
+                reason: format!("paranoia: cracker shard {shard} failed validation"),
             }),
-            _ => Ok(()),
+            None => Ok(()),
         }
     }
 
@@ -674,7 +677,14 @@ impl Database {
             return;
         }
         self.unhealthy_count.fetch_add(1, Ordering::AcqRel);
-        self.crackers.write().remove(&column);
+        // Stash the removed cracker instead of dropping it: when the damage
+        // is localized to one shard, the rebuild path salvages the healthy
+        // shards' learned piece tables instead of starting fully cold.
+        let removed = self.crackers.write().remove(&column);
+        if let Some(old) = removed {
+            let faulty = old.find_invalid_shard();
+            self.health.lock().stash_for_rebuild(column, faulty, old);
+        }
         self.metrics.record_quarantine();
     }
 
@@ -708,12 +718,73 @@ impl Database {
     fn rebuild_claimed(&self, column: ColumnId) -> EngineResult<()> {
         let base = self.catalog.column(column)?;
         self.wal_append(&persist::WalRecord::CrackerBorn { column })?;
-        let fresh = CrackerColumn::from_column(base, self.config.keep_rowids)
-            .with_kernel(self.config.crack_kernel);
-        self.crackers
-            .write()
-            .insert(column, Arc::new(ConcurrentCrackerColumn::new(fresh)));
+        let (faulty, stashed) = self.health.lock().take_stash(column);
+        let salvaged = match (faulty, stashed) {
+            // Row-id payloads tie values to positions; multiset salvage
+            // cannot restore that association, so rebuild cold instead.
+            (Some(shard), Some(old)) if !self.config.keep_rowids => {
+                Self::salvage_rebuild(base, &old, shard, self.config.crack_kernel)
+            }
+            _ => None,
+        };
+        let fresh = salvaged.unwrap_or_else(|| self.build_cracker(base));
+        self.crackers.write().insert(column, Arc::new(fresh));
         Ok(())
+    }
+
+    /// Partial rebuild of a quarantined sharded cracker: keeps the learned
+    /// piece tables of every *healthy* shard and rebuilds only the damaged
+    /// shard. The damaged shard's contents are recovered by multiset
+    /// subtraction — base values minus the healthy shards' values — which
+    /// is sound because the union of the shard multisets always equals the
+    /// base multiset. Any mismatch (a count going negative, or a leftover
+    /// after subtraction of the wrong size) means the damage was not
+    /// confined to the pinpointed shard, and the salvage reports `None` so
+    /// the caller falls back to a full cold rebuild.
+    fn salvage_rebuild(
+        base: &Column,
+        old: &ConcurrentCrackerColumn,
+        faulty: usize,
+        kernel: holistic_cracking::CrackKernel,
+    ) -> Option<ConcurrentCrackerColumn> {
+        let extent = old.shard_extent().unwrap_or(0);
+        let mut shards = old.clone_shards();
+        if faulty >= shards.len() {
+            return None;
+        }
+        let mut remainder: BTreeMap<Value, i64> = BTreeMap::new();
+        for v in base.values() {
+            *remainder.entry(*v).or_insert(0) += 1;
+        }
+        let mut faulty_len = 0usize;
+        for (i, shard) in shards.iter().enumerate() {
+            if i == faulty {
+                faulty_len = shard.len();
+                continue;
+            }
+            // A second damaged shard disqualifies the whole salvage.
+            if !shard.validate() {
+                return None;
+            }
+            for v in shard.data() {
+                let n = remainder.entry(*v).or_insert(0);
+                *n -= 1;
+                if *n < 0 {
+                    return None;
+                }
+            }
+        }
+        let mut values = Vec::with_capacity(faulty_len);
+        for (v, n) in remainder {
+            for _ in 0..n {
+                values.push(v);
+            }
+        }
+        if values.len() != faulty_len {
+            return None;
+        }
+        shards[faulty] = CrackerColumn::from_values(values).with_kernel(kernel);
+        Some(ConcurrentCrackerColumn::from_shards(shards, extent))
     }
 
     /// One budgeted scrub window: re-validates up to `budget` pieces of
@@ -742,7 +813,11 @@ impl Database {
         report.pieces_checked = outcome.checked;
         if !outcome.valid {
             report.fault_found = true;
-            self.quarantine_column(target, "scrub: piece failed validation");
+            let reason = match outcome.failed_shard {
+                Some(shard) => format!("scrub: piece failed validation (shard {shard})"),
+                None => "scrub: piece failed validation".to_string(),
+            };
+            self.quarantine_column(target, &reason);
             self.metrics.record_scrub(outcome.checked as u64, true);
             return report;
         }
@@ -1023,12 +1098,25 @@ impl Database {
             return Ok(Arc::clone(c));
         }
         let base = self.catalog.column(column)?;
-        let fresh = CrackerColumn::from_column(base, self.config.keep_rowids)
-            .with_kernel(self.config.crack_kernel);
+        let fresh = self.build_cracker(base);
         let mut map = self.crackers.write();
-        Ok(Arc::clone(map.entry(column).or_insert_with(|| {
-            Arc::new(ConcurrentCrackerColumn::new(fresh))
-        })))
+        Ok(Arc::clone(
+            map.entry(column).or_insert_with(|| Arc::new(fresh)),
+        ))
+    }
+
+    /// Builds a fresh (possibly sharded, per [`HolisticConfig::shard_extent`])
+    /// cracker column over `base` with the configured kernel and row-id
+    /// policy. Every code path that births a cracker — first touch, WAL
+    /// replay, quarantine rebuild — goes through here so the physical shard
+    /// layout is identical no matter which path created the structure.
+    fn build_cracker(&self, base: &Column) -> ConcurrentCrackerColumn {
+        ConcurrentCrackerColumn::from_column_sharded(
+            base,
+            self.config.keep_rowids,
+            self.config.crack_kernel,
+            self.config.shard_extent,
+        )
     }
 
     fn exec_crack(

@@ -56,8 +56,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use holistic_cracking::{
-    decode_cracker_column_with, encode_cracker_column, ConcurrentCrackerColumn, CrackerColumn,
-    DecodeValidation,
+    decode_cracker_column_with, encode_cracker_column, ConcurrentCrackerColumn, DecodeValidation,
 };
 use holistic_persist::{
     atomic_write, decode_wal, encode_wal, Decoder, Encoder, FaultInjector, PersistError, Snapshot,
@@ -570,9 +569,23 @@ impl Database {
         e.put_usize(crackers.len());
         for (id, cracker) in crackers {
             put_column_id(&mut e, id);
-            let bytes = cracker.with_read(encode_cracker_column);
-            e.put_usize(bytes.len());
-            e.put_bytes(&bytes);
+            // Per-shard encoding: extent, shard count, then each shard's
+            // piece table length-prefixed. An unsharded column is the
+            // one-shard special case (extent 0), so the format is uniform.
+            // Each shard is encoded under its own read latch — concurrent
+            // queries on other shards proceed during the snapshot.
+            e.put_usize(cracker.shard_extent().unwrap_or(0));
+            let shard_count = cracker.shard_count();
+            e.put_usize(shard_count);
+            for shard in 0..shard_count {
+                // The shard list is append-only, so every index below the
+                // count observed above stays valid.
+                let bytes = cracker
+                    .with_shard_read(shard, encode_cracker_column)
+                    .unwrap_or_default();
+                e.put_usize(bytes.len());
+                e.put_bytes(&bytes);
+            }
         }
         e.into_bytes()
     }
@@ -835,14 +848,8 @@ impl Database {
         let count = d.take_len(1)?;
         for _ in 0..count {
             let id = take_column_id(&mut d)?;
-            let len = d.take_len(1)?;
-            let bytes = d.take_bytes(len)?;
-            // A cracker for a column the catalog does not know is stale
-            // noise; a cracker that fails validation is dropped alone.
-            if self.catalog.column(id).is_err() {
-                outcome.cold_columns.push(id);
-                continue;
-            }
+            let extent = d.take_len(1)?;
+            let shard_count = d.take_len(1)?;
             // Sampled validation: structural invariants and a deterministic
             // ~1-in-32 piece sample are checked here; the full O(data) pass
             // is deferred to the background scrubber (the column is marked
@@ -854,16 +861,34 @@ impl Database {
                 seed: self.config.rng_seed,
                 rate: 32,
             };
-            match decode_cracker_column_with(bytes, kernel, validation) {
-                Ok(col) => {
-                    self.crackers
-                        .write()
-                        .insert(id, Arc::new(ConcurrentCrackerColumn::new(col)));
-                    self.health.lock().mark_needs_scrub(id);
-                    outcome.sampled_columns.push(id);
+            // Every shard's bytes are consumed even after a failure so the
+            // decoder stays aligned for the next column; one bad shard
+            // drops this column alone (it comes up cold), never the rest.
+            let mut shards = Vec::with_capacity(shard_count.min(1024));
+            let mut decodable = true;
+            for _ in 0..shard_count {
+                let len = d.take_len(1)?;
+                let bytes = d.take_bytes(len)?;
+                if !decodable {
+                    continue;
                 }
-                Err(_) => outcome.cold_columns.push(id),
+                match decode_cracker_column_with(bytes, kernel, validation) {
+                    Ok(col) => shards.push(col),
+                    Err(_) => decodable = false,
+                }
             }
+            // A cracker for a column the catalog does not know is stale
+            // noise; a cracker with a bad shard is dropped alone.
+            if self.catalog.column(id).is_err() || !decodable || shards.is_empty() {
+                outcome.cold_columns.push(id);
+                continue;
+            }
+            self.crackers.write().insert(
+                id,
+                Arc::new(ConcurrentCrackerColumn::from_shards(shards, extent)),
+            );
+            self.health.lock().mark_needs_scrub(id);
+            outcome.sampled_columns.push(id);
         }
         d.finish()?;
         Ok(())
@@ -920,11 +945,8 @@ impl Database {
                     && !self.crackers.read().contains_key(column)
                 {
                     let base = self.catalog.column(*column)?;
-                    let fresh = CrackerColumn::from_column(base, self.config.keep_rowids)
-                        .with_kernel(self.config.crack_kernel);
-                    self.crackers
-                        .write()
-                        .insert(*column, Arc::new(ConcurrentCrackerColumn::new(fresh)));
+                    let fresh = self.build_cracker(base);
+                    self.crackers.write().insert(*column, Arc::new(fresh));
                     outcome.crackers_reborn.push(*column);
                 }
             }

@@ -34,7 +34,11 @@
 //! with [`Database::into_shared`]) serves query traffic and the
 //! background tuner through `db.read()` while only structural operations
 //! (schema changes, full-index builds, strategy switches) take
-//! `db.write()`. Every lock in the engine is a `holistic-sync` ordered
+//! `db.write()`. With [`HolisticConfig::shard_extent`] set, each cracker
+//! column is further split into fixed-extent shards behind their own
+//! latches: queries fan out and compose per-shard aggregates, and
+//! concurrent writers crack disjoint shards of the same column in
+//! parallel. Every lock in the engine is a `holistic-sync` ordered
 //! lock carrying its position in the latch hierarchy; debug and paranoia
 //! builds panic on out-of-order acquisition. The full design — latch
 //! hierarchy, kernel dispatch, aggregate-cache coherence — is documented

@@ -306,3 +306,87 @@ proptest! {
         prop_assert!(holistic_sync::held_locks().is_empty(), "latch residue");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Per-shard quarantine granularity: on a *sharded* column the
+    /// scrubber's global piece cursor walks every shard's piece table,
+    /// pinpoints the damaged shard in the quarantine reason, and the
+    /// rebuild salvages the healthy shards' learned piece tables instead
+    /// of recracking the whole column from scratch. A full cold rebuild
+    /// would leave exactly one piece per shard; the salvaged column must
+    /// keep strictly more.
+    #[test]
+    fn sharded_scrub_pinpoints_the_shard_and_salvage_keeps_learned_state(
+        salt in -400i64..400,
+        extent in 150usize..400,
+        budget in 1usize..64,
+    ) {
+        let model = reference(salt);
+        let mut config = HolisticConfig::for_testing().with_shard_extent(extent);
+        config.paranoia = false;
+        let mut db = Database::new(config, IndexingStrategy::Holistic);
+        let table = db
+            .create_table("t", vec![("v", model.clone())])
+            .expect("create table");
+        let column = db.column_id(table, "v").expect("column id");
+        let shards = (ROWS as usize).div_ceil(extent);
+        prop_assert!(shards >= 3, "extent must yield several shards");
+
+        // Crack widely so many shards hold real learned state.
+        for i in 0..10 {
+            let (lo, hi) = query_range(salt, i % QUERIES);
+            db.execute(&Query::range(column, lo, hi)).expect("warmup");
+        }
+        let warm_pieces = db.piece_count(column);
+        prop_assert!(warm_pieces > shards, "warmup must crack beyond one piece per shard");
+
+        // Damage one shard's metadata; nothing on the query path checks it
+        // (paranoia off), so only the scrubber can find it.
+        let injector = CorruptionInjector::new();
+        injector.arm(0, CorruptionKind::BoundaryFlip);
+        db.set_corruption_injector(Arc::clone(&injector));
+        let (lo, hi) = query_range(salt, 3);
+        let _ = db.execute(&Query::range(column, lo, hi));
+        prop_assert!(!db.validate(), "boundary flip must damage the column");
+
+        let mut detected = false;
+        for _ in 0..512 {
+            if db.scrub_step(budget).fault_found {
+                detected = true;
+                break;
+            }
+        }
+        prop_assert!(detected, "scrubber (budget {budget}) never found the shard fault");
+        // The quarantine reason names the damaged shard.
+        match db.column_health(column) {
+            ColumnHealth::Quarantined { reason } => prop_assert!(
+                reason.contains("shard"),
+                "quarantine reason does not pinpoint a shard: {reason}"
+            ),
+            other => prop_assert!(false, "expected quarantine, got {other:?}"),
+        }
+
+        prop_assert!(heal(&db), "rebuild never completed");
+        prop_assert!(db.validate());
+        prop_assert_eq!(db.column_health(column), ColumnHealth::Healthy);
+        // Salvage, not cold rebuild: healthy shards kept their pieces, so
+        // the piece count stays above the one-piece-per-shard floor a cold
+        // rebuild would reset to.
+        prop_assert!(
+            db.piece_count(column) > shards,
+            "salvage lost the healthy shards' learned state ({} pieces for {} shards)",
+            db.piece_count(column),
+            shards
+        );
+        // And the salvaged column answers exactly.
+        for i in 0..QUERIES {
+            let (lo, hi) = query_range(salt, i);
+            let (want_count, want_sum) = expected(&model, lo, hi);
+            let r = db.execute(&Query::range(column, lo, hi)).expect("healed query");
+            prop_assert_eq!((r.count, r.sum), (want_count, want_sum));
+        }
+        prop_assert!(holistic_sync::held_locks().is_empty(), "latch residue");
+    }
+}

@@ -11,22 +11,55 @@
 //! takes the exclusive latch for the duration of the pass. Because cracking
 //! touches exactly one column, queries on different columns never contend.
 //!
+//! A single latch per column still serializes all cracking *writers* on a
+//! hot column, so the column can also be split into fixed-extent **shards**
+//! (the bundlebase `RowId = {block, offset}` layout: shard `rowid / extent`,
+//! offset `rowid % extent`). Each shard owns its own piece table, cached
+//! sums, prefix arrays and ordered latch; a range query fans out across the
+//! shards, composes the per-shard [`RangeAggregate`]s, and classifies the
+//! composed answer against the aggregate cache exactly once — so a sorted,
+//! prefix-seeded column reports the same zero-read hit whether it is one
+//! shard or many. Writers cracking disjoint shards proceed in parallel, and
+//! a large cold crack parallelizes *within* one query by handing each
+//! pending shard to its own worker thread.
+//!
+//! Lock order is machine-checked: the shard-*list* lock sits at
+//! [`LockLevel::Shard`], each shard's piece-table latch at
+//! [`LockLevel::Column`], and a thread never holds two shard latches at
+//! once — the fan-out visits shards one at a time, and intra-query
+//! parallelism uses one thread per shard (each with its own empty lock
+//! stack), which is exactly what same-level enforcement requires.
+//!
 //! The latch-usage counters are plain atomics: the shared select path is
 //! exactly the path the latch exists to parallelize, so it must not
 //! serialize on a statistics lock.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use holistic_sync::{LockLevel, OrderedRwLock};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use holistic_storage::Column;
 
-use crate::cracker::CrackerColumn;
-use crate::kernels::KernelDispatches;
+use crate::corrupt::CorruptionKind;
+use crate::cracker::{CrackerColumn, RangeAggregate};
+use crate::kernels::{CrackKernel, KernelDispatches};
+use crate::piece::Piece;
 use crate::stochastic::{crack_select_batch_with_policy, crack_select_with_policy, CrackPolicy};
 use crate::Value;
+
+/// Extent sentinel for a column that was never sharded: one shard holds the
+/// whole column and inserts never spill. Distinct from a finite extent that
+/// happens to exceed the current length, where growth *does* spill.
+const UNSHARDED: usize = usize::MAX;
+
+/// Minimum total number of values across the shards a query still has to
+/// crack before the fan-out pays for worker threads. Below this, a cold
+/// crack runs the pending shards sequentially on the calling thread.
+const PARALLEL_FANOUT_MIN: usize = 1 << 16;
 
 /// Counters describing how often the fast (shared) path could be used.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -233,21 +266,73 @@ pub struct RefineOutcome {
     pub dispatches: KernelDispatches,
 }
 
-/// A cracker column protected by a reader/writer latch.
+/// One fixed-extent shard: a cracker column (its own piece table, cached
+/// sums and prefix arrays) behind its own ordered piece-table latch.
+#[derive(Debug)]
+struct Shard {
+    inner: OrderedRwLock<CrackerColumn>,
+}
+
+impl Shard {
+    fn new(column: CrackerColumn) -> Self {
+        Shard {
+            inner: OrderedRwLock::new(LockLevel::Column, "ConcurrentCrackerColumn::shard", column),
+        }
+    }
+}
+
+/// One shard's contribution to a fanned-out select, composed by the caller.
+struct ShardPart {
+    agg: RangeAggregate,
+    values: Option<Vec<Value>>,
+    piece_count: usize,
+    len: usize,
+    dispatches: KernelDispatches,
+    cracked: bool,
+}
+
+/// One shard's contribution to a fanned-out batch select.
+struct ShardBatchPart {
+    answers: Vec<(RangeAggregate, Option<Vec<Value>>)>,
+    piece_count: usize,
+    len: usize,
+    dispatches: KernelDispatches,
+    cracked: bool,
+}
+
+/// A cracker column protected by reader/writer latches, optionally split
+/// into fixed-extent shards (see the module docs). An unsharded column is
+/// exactly one shard; every path then collapses to the single-latch scheme.
 #[derive(Debug)]
 pub struct ConcurrentCrackerColumn {
-    inner: OrderedRwLock<CrackerColumn>,
+    /// Append-only shard list behind the [`LockLevel::Shard`] lock: read to
+    /// fan a query out, written only when an insert spills a new shard.
+    shards: OrderedRwLock<Vec<Arc<Shard>>>,
+    extent: usize,
     stats: AtomicLatchStats,
 }
 
 impl ConcurrentCrackerColumn {
-    /// Wraps an existing cracker column.
-    #[must_use]
-    pub fn new(column: CrackerColumn) -> Self {
+    fn with_extent(cols: Vec<CrackerColumn>, extent: usize) -> Self {
+        let mut cols = cols;
+        if cols.is_empty() {
+            cols.push(CrackerColumn::from_values(vec![]));
+        }
         ConcurrentCrackerColumn {
-            inner: OrderedRwLock::new(LockLevel::Column, "ConcurrentCrackerColumn::inner", column),
+            shards: OrderedRwLock::new(
+                LockLevel::Shard,
+                "ConcurrentCrackerColumn::shards",
+                cols.into_iter().map(|c| Arc::new(Shard::new(c))).collect(),
+            ),
+            extent,
             stats: AtomicLatchStats::default(),
         }
+    }
+
+    /// Wraps an existing cracker column (unsharded: one shard, no spill).
+    #[must_use]
+    pub fn new(column: CrackerColumn) -> Self {
+        Self::with_extent(vec![column], UNSHARDED)
     }
 
     /// Creates a latch-protected cracker column from raw values.
@@ -262,34 +347,143 @@ impl ConcurrentCrackerColumn {
         Self::new(CrackerColumn::from_column(column, with_rowids))
     }
 
-    /// Number of values in the column.
+    /// Creates a sharded column from raw values: consecutive chunks of
+    /// `extent` values per shard (`extent == 0` means unsharded).
+    #[must_use]
+    pub fn from_values_sharded(values: Vec<Value>, extent: usize) -> Self {
+        if extent == 0 {
+            return Self::from_values(values);
+        }
+        let cols = values
+            .chunks(extent)
+            .map(|c| CrackerColumn::from_values(c.to_vec()))
+            .collect();
+        Self::with_extent(cols, extent)
+    }
+
+    /// Creates a sharded column by copying a base column: shard `k` holds
+    /// rows `[k * extent, (k + 1) * extent)`, carrying the matching global
+    /// row ids when `with_rowids` (the `{block, offset}` layout — the row-id
+    /// arrays are identical to the unsharded column's, just partitioned).
+    /// `extent == 0` means unsharded.
+    #[must_use]
+    pub fn from_column_sharded(
+        column: &Column,
+        with_rowids: bool,
+        kernel: CrackKernel,
+        extent: usize,
+    ) -> Self {
+        if extent == 0 || extent >= column.len() {
+            let col = CrackerColumn::from_column(column, with_rowids).with_kernel(kernel);
+            let extent = if extent == 0 { UNSHARDED } else { extent };
+            return Self::with_extent(vec![col], extent);
+        }
+        let cols = column
+            .values()
+            .chunks(extent)
+            .enumerate()
+            .map(|(k, chunk)| {
+                let col = if with_rowids {
+                    CrackerColumn::from_values_with_rowid_offset(
+                        chunk.to_vec(),
+                        (k * extent) as holistic_storage::RowId,
+                    )
+                } else {
+                    CrackerColumn::from_values(chunk.to_vec())
+                };
+                col.with_kernel(kernel)
+            })
+            .collect();
+        Self::with_extent(cols, extent)
+    }
+
+    /// Reassembles a sharded column from already-validated per-shard
+    /// cracker columns (the recovery path: each shard's learned state is
+    /// decoded and validated independently). `extent == 0` means unsharded.
+    #[must_use]
+    pub fn from_shards(shards: Vec<CrackerColumn>, extent: usize) -> Self {
+        let extent = if extent == 0 { UNSHARDED } else { extent };
+        Self::with_extent(shards, extent)
+    }
+
+    /// Snapshot of the shard handles; the list lock is released before any
+    /// shard latch is taken, so the lock order is always `Shard` →
+    /// (one) `Column`.
+    fn shard_handles(&self) -> Vec<Arc<Shard>> {
+        self.shards.read().iter().map(Arc::clone).collect()
+    }
+
+    /// The only shard, when the column currently has exactly one — the
+    /// single-latch fast paths key off this.
+    fn sole_shard(&self) -> Option<Arc<Shard>> {
+        let list = self.shards.read();
+        (list.len() == 1).then(|| Arc::clone(&list[0]))
+    }
+
+    /// Number of shards (1 for an unsharded column).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.read().len()
+    }
+
+    /// The fixed shard extent, or `None` for an unsharded column.
+    #[must_use]
+    pub fn shard_extent(&self) -> Option<usize> {
+        (self.extent != UNSHARDED).then_some(self.extent)
+    }
+
+    /// Number of values in the column (summed over shards).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.shard_handles()
+            .iter()
+            .map(|s| s.inner.read().len())
+            .sum()
     }
 
     /// Whether the column is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.len() == 0
     }
 
-    /// Current number of pieces.
+    /// Current number of pieces (summed over shards).
     #[must_use]
     pub fn piece_count(&self) -> usize {
-        self.inner.read().piece_count()
+        self.shard_handles()
+            .iter()
+            .map(|s| s.inner.read().piece_count())
+            .sum()
     }
 
-    /// Current average piece length.
+    /// Current average piece length (over all shards' pieces).
     #[must_use]
     pub fn avg_piece_len(&self) -> f64 {
-        self.inner.read().avg_piece_len()
+        let shards = self.shard_handles();
+        if shards.len() == 1 {
+            return shards[0].inner.read().avg_piece_len();
+        }
+        let (mut len, mut pieces) = (0usize, 0usize);
+        for s in &shards {
+            let g = s.inner.read();
+            len += g.len();
+            pieces += g.piece_count();
+        }
+        if pieces == 0 {
+            0.0
+        } else {
+            len as f64 / pieces as f64
+        }
     }
 
-    /// Total crack actions applied so far (query-driven plus auxiliary).
+    /// Total crack actions applied so far (query-driven plus auxiliary,
+    /// summed over shards).
     #[must_use]
     pub fn cracks_performed(&self) -> u64 {
-        self.inner.read().cracks_performed()
+        self.shard_handles()
+            .iter()
+            .map(|s| s.inner.read().cracks_performed())
+            .sum()
     }
 
     /// Latch-usage statistics.
@@ -298,26 +492,97 @@ impl ConcurrentCrackerColumn {
         self.stats.snapshot()
     }
 
-    /// Counts the values in `[lo, hi)`, cracking if necessary.
-    pub fn count(&self, lo: Value, hi: Value) -> u64 {
-        let r = self.select_range(lo, hi);
-        (r.end - r.start) as u64
+    /// One shared/exclusive bump for a whole (possibly fanned-out) select.
+    fn bump_select(&self, cracked: bool, queries: u64) {
+        if cracked {
+            self.stats
+                .exclusive_selects
+                .fetch_add(queries, Ordering::Relaxed);
+        } else {
+            self.stats
+                .shared_selects
+                .fetch_add(queries, Ordering::Relaxed);
+        }
     }
 
-    /// Materializes the values in `[lo, hi)`, cracking if necessary.
+    /// Resolves `[lo, hi)` on every shard (cracking where needed, one shard
+    /// latch at a time) and returns the total qualifying count plus whether
+    /// any shard had to crack.
+    fn resolve_count(&self, lo: Value, hi: Value) -> (u64, bool) {
+        let mut total = 0u64;
+        let mut cracked = false;
+        for sh in self.shard_handles() {
+            let resolved = { sh.inner.read().select_if_resolved(lo, hi) };
+            let range = match resolved {
+                Some(r) => r,
+                None => {
+                    cracked = true;
+                    sh.inner.write().crack_select(lo, hi)
+                }
+            };
+            total += (range.end - range.start) as u64;
+        }
+        (total, cracked)
+    }
+
+    /// Counts the values in `[lo, hi)`, cracking if necessary.
+    pub fn count(&self, lo: Value, hi: Value) -> u64 {
+        if let Some(shard) = self.sole_shard() {
+            {
+                let guard = shard.inner.read();
+                if let Some(range) = guard.select_if_resolved(lo, hi) {
+                    self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
+                    return (range.end - range.start) as u64;
+                }
+            }
+            let mut guard = shard.inner.write();
+            let range = guard.crack_select(lo, hi);
+            self.stats.exclusive_selects.fetch_add(1, Ordering::Relaxed);
+            return (range.end - range.start) as u64;
+        }
+        let (total, cracked) = self.resolve_count(lo, hi);
+        self.bump_select(cracked, 1);
+        total
+    }
+
+    /// Materializes the values in `[lo, hi)`, cracking if necessary. Values
+    /// are returned in shard order (row-id order of the original blocks).
     pub fn materialize(&self, lo: Value, hi: Value) -> Vec<Value> {
-        // Fast path under the shared latch.
-        {
-            let guard = self.inner.read();
-            if let Some(range) = guard.select_if_resolved(lo, hi) {
-                self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
-                return guard.view(range).to_vec();
+        if let Some(shard) = self.sole_shard() {
+            // Fast path under the shared latch.
+            {
+                let guard = shard.inner.read();
+                if let Some(range) = guard.select_if_resolved(lo, hi) {
+                    self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
+                    return guard.view(range).to_vec();
+                }
+            }
+            let mut guard = shard.inner.write();
+            let range = guard.crack_select(lo, hi);
+            self.stats.exclusive_selects.fetch_add(1, Ordering::Relaxed);
+            return guard.view(range).to_vec();
+        }
+        let mut out = Vec::new();
+        let mut cracked = false;
+        for sh in self.shard_handles() {
+            let resolved = {
+                let guard = sh.inner.read();
+                guard
+                    .select_if_resolved(lo, hi)
+                    .map(|r| guard.view(r).to_vec())
+            };
+            match resolved {
+                Some(mut v) => out.append(&mut v),
+                None => {
+                    cracked = true;
+                    let mut guard = sh.inner.write();
+                    let range = guard.crack_select(lo, hi);
+                    out.extend_from_slice(guard.view(range));
+                }
             }
         }
-        let mut guard = self.inner.write();
-        let range = guard.crack_select(lo, hi);
-        self.stats.exclusive_selects.fetch_add(1, Ordering::Relaxed);
-        guard.view(range).to_vec()
+        self.bump_select(cracked, 1);
+        out
     }
 
     /// Resolves the position range for `[lo, hi)`, cracking if necessary.
@@ -326,18 +591,25 @@ impl ConcurrentCrackerColumn {
     /// state at the time of the call; concurrent refinements do not move
     /// values across resolved boundaries, so counts stay stable, but callers
     /// that need the values should use [`ConcurrentCrackerColumn::materialize`].
+    /// On a sharded column positions are per-shard, so the returned range is
+    /// count-only: `0..count`.
     pub fn select_range(&self, lo: Value, hi: Value) -> Range<usize> {
-        {
-            let guard = self.inner.read();
-            if let Some(range) = guard.select_if_resolved(lo, hi) {
-                self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
-                return range;
+        if let Some(shard) = self.sole_shard() {
+            {
+                let guard = shard.inner.read();
+                if let Some(range) = guard.select_if_resolved(lo, hi) {
+                    self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
+                    return range;
+                }
             }
+            let mut guard = shard.inner.write();
+            let range = guard.crack_select(lo, hi);
+            self.stats.exclusive_selects.fetch_add(1, Ordering::Relaxed);
+            return range;
         }
-        let mut guard = self.inner.write();
-        let range = guard.crack_select(lo, hi);
-        self.stats.exclusive_selects.fetch_add(1, Ordering::Relaxed);
-        range
+        let (total, cracked) = self.resolve_count(lo, hi);
+        self.bump_select(cracked, 1);
+        0..total as usize
     }
 
     /// Answers the range select `[lo, hi)` under the given cracking policy,
@@ -360,9 +632,27 @@ impl ConcurrentCrackerColumn {
         policy: CrackPolicy,
         rng: &mut R,
     ) -> SelectOutcome {
-        // Fast path: both bounds answerable, answer under the shared latch.
-        {
-            let guard = self.inner.read();
+        if let Some(shard) = self.sole_shard() {
+            // Fast path: both bounds answerable, answer under the shared latch.
+            {
+                let guard = shard.inner.read();
+                if let Some(range) = guard.select_if_answerable(lo, hi) {
+                    self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
+                    return self.outcome_for(
+                        &guard,
+                        range,
+                        lo,
+                        hi,
+                        materialize,
+                        KernelDispatches::default(),
+                    );
+                }
+            }
+            let mut guard = shard.inner.write();
+            // Re-check under the exclusive latch: a contender that queued on
+            // the same bounds may have resolved them already — re-running the
+            // policy then would inject redundant auxiliary splits (Mdd1r/DDx)
+            // and over-fragment the index.
             if let Some(range) = guard.select_if_answerable(lo, hi) {
                 self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
                 return self.outcome_for(
@@ -374,28 +664,126 @@ impl ConcurrentCrackerColumn {
                     KernelDispatches::default(),
                 );
             }
+            let before = guard.kernel_dispatches();
+            let range = crack_select_with_policy(&mut guard, lo, hi, policy, rng);
+            self.stats.exclusive_selects.fetch_add(1, Ordering::Relaxed);
+            let delta = guard.kernel_dispatches().since(before);
+            return self.outcome_for(&guard, range, lo, hi, materialize, delta);
         }
-        let mut guard = self.inner.write();
-        // Re-check under the exclusive latch: a contender that queued on
-        // the same bounds may have resolved them already — re-running the
-        // policy then would inject redundant auxiliary splits (Mdd1r/DDx)
-        // and over-fragment the index.
-        if let Some(range) = guard.select_if_answerable(lo, hi) {
-            self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
-            return self.outcome_for(
-                &guard,
-                range,
-                lo,
-                hi,
-                materialize,
-                KernelDispatches::default(),
-            );
+        self.select_with_policy_fanout(lo, hi, materialize, policy, rng)
+    }
+
+    /// The multi-shard select: probe every shard read-only, crack the
+    /// pending shards (in parallel for a large cold crack), compose the
+    /// per-shard aggregates and classify the composed answer once.
+    fn select_with_policy_fanout<R: Rng + ?Sized>(
+        &self,
+        lo: Value,
+        hi: Value,
+        materialize: bool,
+        policy: CrackPolicy,
+        rng: &mut R,
+    ) -> SelectOutcome {
+        let shards = self.shard_handles();
+        let mut parts: Vec<Option<ShardPart>> = Vec::new();
+        parts.resize_with(shards.len(), || None);
+        let mut pending: Vec<(usize, Arc<Shard>, u64)> = Vec::new();
+        let mut pending_len = 0usize;
+        for (i, sh) in shards.iter().enumerate() {
+            let guard = sh.inner.read();
+            match guard.select_if_answerable(lo, hi) {
+                Some(range) => parts[i] = Some(Self::part_for(&guard, range, lo, hi, materialize)),
+                None => {
+                    pending_len += guard.len();
+                    drop(guard);
+                    pending.push((i, Arc::clone(sh), 0));
+                }
+            }
         }
-        let before = guard.kernel_dispatches();
-        let range = crack_select_with_policy(&mut guard, lo, hi, policy, rng);
-        self.stats.exclusive_selects.fetch_add(1, Ordering::Relaxed);
-        let delta = guard.kernel_dispatches().since(before);
-        self.outcome_for(&guard, range, lo, hi, materialize, delta)
+        // Fork one deterministic seed per pending shard, in shard order, so
+        // the sequential and parallel crack paths consume the caller's rng
+        // identically.
+        for p in &mut pending {
+            p.2 = rng.next_u64();
+        }
+        let parallel = pending.len() > 1 && pending_len >= PARALLEL_FANOUT_MIN;
+        let results = crack_pending(pending, parallel, |sh, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut guard = sh.inner.write();
+            // Re-check under the exclusive latch (see the single-shard path).
+            if let Some(range) = guard.select_if_answerable(lo, hi) {
+                return Self::part_for(&guard, range, lo, hi, materialize);
+            }
+            let before = guard.kernel_dispatches();
+            let range = crack_select_with_policy(&mut guard, lo, hi, policy, &mut rng);
+            let delta = guard.kernel_dispatches().since(before);
+            let mut part = Self::part_for(&guard, range, lo, hi, materialize);
+            part.dispatches = delta;
+            part.cracked = true;
+            part
+        });
+        for (i, part) in results {
+            parts[i] = Some(part);
+        }
+        self.compose_select(parts, materialize)
+    }
+
+    /// One shard's answer over its resolved position range (no cache
+    /// classification — that happens once, on the composed aggregate).
+    fn part_for(
+        column: &CrackerColumn,
+        range: Range<usize>,
+        lo: Value,
+        hi: Value,
+        materialize: bool,
+    ) -> ShardPart {
+        let agg = column.aggregate_range(range.clone(), lo, hi);
+        ShardPart {
+            agg,
+            values: materialize.then(|| column.view(range).to_vec()),
+            piece_count: column.piece_count(),
+            len: column.len(),
+            dispatches: KernelDispatches::default(),
+            cracked: false,
+        }
+    }
+
+    /// Composes per-shard parts into one outcome: aggregates sum
+    /// component-wise, the composed aggregate is classified against the
+    /// cache exactly once, and one shared/exclusive select is recorded.
+    fn compose_select(&self, parts: Vec<Option<ShardPart>>, materialize: bool) -> SelectOutcome {
+        let mut agg = RangeAggregate::default();
+        let mut dispatches = KernelDispatches::default();
+        let (mut piece_count, mut total_len) = (0usize, 0usize);
+        let mut values = materialize.then(Vec::new);
+        let mut cracked = false;
+        for part in parts.into_iter().flatten() {
+            add_aggregate(&mut agg, &part.agg);
+            dispatches.add(part.dispatches);
+            piece_count += part.piece_count;
+            total_len += part.len;
+            cracked |= part.cracked;
+            if let (Some(out), Some(mut vs)) = (values.as_mut(), part.values) {
+                out.append(&mut vs);
+            }
+        }
+        let mut cache = AggregateCacheDelta::default();
+        cache.record(&agg);
+        self.stats.record_cache(cache);
+        self.bump_select(cracked, 1);
+        SelectOutcome {
+            count: agg.count,
+            sum: agg.sum,
+            values,
+            piece_count,
+            avg_piece_len: if piece_count == 0 {
+                0.0
+            } else {
+                total_len as f64 / piece_count as f64
+            },
+            dispatches,
+            cache,
+        }
     }
 
     /// Degraded-mode answer: serves `[lo, hi)` entirely under the shared
@@ -415,17 +803,29 @@ impl ConcurrentCrackerColumn {
         hi: Value,
         materialize: bool,
     ) -> Option<SelectOutcome> {
-        let guard = self.inner.read();
-        let range = guard.select_if_answerable(lo, hi)?;
-        self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
-        Some(self.outcome_for(
-            &guard,
-            range,
-            lo,
-            hi,
-            materialize,
-            KernelDispatches::default(),
-        ))
+        if let Some(shard) = self.sole_shard() {
+            let guard = shard.inner.read();
+            let range = guard.select_if_answerable(lo, hi)?;
+            self.stats.shared_selects.fetch_add(1, Ordering::Relaxed);
+            return Some(self.outcome_for(
+                &guard,
+                range,
+                lo,
+                hi,
+                materialize,
+                KernelDispatches::default(),
+            ));
+        }
+        // Every shard must be answerable read-only, or the whole select
+        // defers (no partial cracking on the degraded path).
+        let shards = self.shard_handles();
+        let mut parts: Vec<Option<ShardPart>> = Vec::with_capacity(shards.len());
+        for sh in &shards {
+            let guard = sh.inner.read();
+            let range = guard.select_if_answerable(lo, hi)?;
+            parts.push(Some(Self::part_for(&guard, range, lo, hi, materialize)));
+        }
+        Some(self.compose_select(parts, materialize))
     }
 
     /// Answers a whole batch of range selects `(lo, hi, materialize)` in a
@@ -448,11 +848,25 @@ impl ConcurrentCrackerColumn {
         policy: CrackPolicy,
         rng: &mut R,
     ) -> BatchSelectOutcome {
+        if let Some(shard) = self.sole_shard() {
+            return self.select_batch_single(&shard, queries, policy, rng);
+        }
+        self.select_batch_fanout(queries, policy, rng)
+    }
+
+    /// The single-shard (unsharded) batch path: one latch for the batch.
+    fn select_batch_single<R: Rng + ?Sized>(
+        &self,
+        shard: &Shard,
+        queries: &[(Value, Value, bool)],
+        policy: CrackPolicy,
+        rng: &mut R,
+    ) -> BatchSelectOutcome {
         // Fast path: the entire batch is answerable under the shared latch
         // (bounds resolved, or binary-searchable in prefix-seeded sorted
         // pieces).
         {
-            let guard = self.inner.read();
+            let guard = shard.inner.read();
             if let Some(outcome) = self.batch_outcome_if_resolved(&guard, queries) {
                 self.stats
                     .shared_selects
@@ -460,7 +874,7 @@ impl ConcurrentCrackerColumn {
                 return outcome;
             }
         }
-        let mut guard = self.inner.write();
+        let mut guard = shard.inner.write();
         // Re-check under the exclusive latch: a queued contender may have
         // resolved the same bounds already (see `select_with_policy`).
         if let Some(outcome) = self.batch_outcome_if_resolved(&guard, queries) {
@@ -487,7 +901,7 @@ impl ConcurrentCrackerColumn {
         // values across the resolved boundaries these ranges end on, so
         // every range's count, sum and value multiset stay stable.
         drop(guard);
-        let guard = self.inner.read();
+        let guard = shard.inner.read();
         let mut cache = AggregateCacheDelta::default();
         let answers = ranges
             .into_iter()
@@ -504,6 +918,140 @@ impl ConcurrentCrackerColumn {
             dispatches,
             cache,
         }
+    }
+
+    /// The multi-shard batch path: probe every shard for the whole batch,
+    /// crack the pending shards around all of the batch's bounds (in
+    /// parallel for a large cold batch), then compose each query's answer
+    /// across shards and classify it against the cache exactly once.
+    fn select_batch_fanout<R: Rng + ?Sized>(
+        &self,
+        queries: &[(Value, Value, bool)],
+        policy: CrackPolicy,
+        rng: &mut R,
+    ) -> BatchSelectOutcome {
+        let shards = self.shard_handles();
+        let mut parts: Vec<Option<ShardBatchPart>> = Vec::new();
+        parts.resize_with(shards.len(), || None);
+        let mut pending: Vec<(usize, Arc<Shard>, u64)> = Vec::new();
+        let mut pending_len = 0usize;
+        for (i, sh) in shards.iter().enumerate() {
+            let guard = sh.inner.read();
+            match Self::batch_part_if_resolved(&guard, queries) {
+                Some(part) => parts[i] = Some(part),
+                None => {
+                    pending_len += guard.len();
+                    drop(guard);
+                    pending.push((i, Arc::clone(sh), 0));
+                }
+            }
+        }
+        for p in &mut pending {
+            p.2 = rng.next_u64();
+        }
+        let parallel = pending.len() > 1 && pending_len >= PARALLEL_FANOUT_MIN;
+        let results = crack_pending(pending, parallel, |sh, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut guard = sh.inner.write();
+            if let Some(part) = Self::batch_part_if_resolved(&guard, queries) {
+                return part;
+            }
+            let before = guard.kernel_dispatches();
+            let bounds: Vec<(Value, Value)> = queries.iter().map(|&(lo, hi, _)| (lo, hi)).collect();
+            let ranges = crack_select_batch_with_policy(&mut guard, &bounds, policy, &mut rng);
+            let dispatches = guard.kernel_dispatches().since(before);
+            let answers = ranges
+                .into_iter()
+                .zip(queries)
+                .map(|(range, &(lo, hi, materialize))| {
+                    let agg = guard.aggregate_range(range.clone(), lo, hi);
+                    (agg, materialize.then(|| guard.view(range).to_vec()))
+                })
+                .collect();
+            ShardBatchPart {
+                answers,
+                piece_count: guard.piece_count(),
+                len: guard.len(),
+                dispatches,
+                cracked: true,
+            }
+        });
+        for (i, part) in results {
+            parts[i] = Some(part);
+        }
+        // Compose each query across shards.
+        let mut cache = AggregateCacheDelta::default();
+        let mut dispatches = KernelDispatches::default();
+        let (mut piece_count, mut total_len) = (0usize, 0usize);
+        let mut cracked = false;
+        let mut per_query: Vec<(RangeAggregate, Option<Vec<Value>>)> = queries
+            .iter()
+            .map(|&(_, _, m)| (RangeAggregate::default(), m.then(Vec::new)))
+            .collect();
+        for part in parts.into_iter().flatten() {
+            dispatches.add(part.dispatches);
+            piece_count += part.piece_count;
+            total_len += part.len;
+            cracked |= part.cracked;
+            for (q, (agg, vs)) in part.answers.into_iter().enumerate() {
+                add_aggregate(&mut per_query[q].0, &agg);
+                if let (Some(out), Some(mut v)) = (per_query[q].1.as_mut(), vs) {
+                    out.append(&mut v);
+                }
+            }
+        }
+        let answers = per_query
+            .into_iter()
+            .map(|(agg, values)| {
+                cache.record(&agg);
+                QueryAnswer {
+                    count: agg.count,
+                    sum: agg.sum,
+                    values,
+                }
+            })
+            .collect();
+        self.stats.record_cache(cache);
+        self.bump_select(cracked, queries.len() as u64);
+        BatchSelectOutcome {
+            answers,
+            piece_count,
+            avg_piece_len: if piece_count == 0 {
+                0.0
+            } else {
+                total_len as f64 / piece_count as f64
+            },
+            dispatches,
+            cache,
+        }
+    }
+
+    /// One shard's whole-batch answers, if every query is answerable
+    /// read-only on this shard (no cache classification — that happens on
+    /// the composed per-query aggregates).
+    fn batch_part_if_resolved(
+        column: &CrackerColumn,
+        queries: &[(Value, Value, bool)],
+    ) -> Option<ShardBatchPart> {
+        let ranges = queries
+            .iter()
+            .map(|&(lo, hi, _)| column.select_if_answerable(lo, hi))
+            .collect::<Option<Vec<Range<usize>>>>()?;
+        let answers = ranges
+            .into_iter()
+            .zip(queries)
+            .map(|(range, &(lo, hi, materialize))| {
+                let agg = column.aggregate_range(range.clone(), lo, hi);
+                (agg, materialize.then(|| column.view(range).to_vec()))
+            })
+            .collect();
+        Some(ShardBatchPart {
+            answers,
+            piece_count: column.piece_count(),
+            len: column.len(),
+            dispatches: KernelDispatches::default(),
+            cracked: false,
+        })
     }
 
     /// The batch outcome if every query is already answerable read-only
@@ -589,19 +1137,39 @@ impl ConcurrentCrackerColumn {
     }
 
     /// Applies one auxiliary random refinement action under the exclusive
-    /// latch, reporting the action's effect and dispatch delta.
+    /// latch of one (randomly chosen) shard, reporting the action's effect
+    /// and dispatch delta.
     pub fn refine<R: Rng + ?Sized>(&self, rng: &mut R) -> RefineOutcome {
-        let mut guard = self.inner.write();
-        let before = guard.kernel_dispatches();
-        let split = guard.random_crack(rng);
+        if let Some(shard) = self.sole_shard() {
+            let mut guard = shard.inner.write();
+            let before = guard.kernel_dispatches();
+            let split = guard.random_crack(rng);
+            if split {
+                self.stats.refinements.fetch_add(1, Ordering::Relaxed);
+            }
+            return RefineOutcome {
+                split,
+                piece_count: guard.piece_count(),
+                avg_piece_len: guard.avg_piece_len(),
+                dispatches: guard.kernel_dispatches().since(before),
+            };
+        }
+        let shards = self.shard_handles();
+        let idx = rng.gen_range(0..shards.len());
+        let (split, dispatches) = {
+            let mut guard = shards[idx].inner.write();
+            let before = guard.kernel_dispatches();
+            let split = guard.random_crack(rng);
+            (split, guard.kernel_dispatches().since(before))
+        };
         if split {
             self.stats.refinements.fetch_add(1, Ordering::Relaxed);
         }
         RefineOutcome {
             split,
-            piece_count: guard.piece_count(),
-            avg_piece_len: guard.avg_piece_len(),
-            dispatches: guard.kernel_dispatches().since(before),
+            piece_count: self.piece_count(),
+            avg_piece_len: self.avg_piece_len(),
+            dispatches,
         }
     }
 
@@ -621,17 +1189,38 @@ impl ConcurrentCrackerColumn {
         hi: Value,
         rng: &mut R,
     ) -> RefineOutcome {
-        let mut guard = self.inner.write();
-        let before = guard.kernel_dispatches();
-        let split = guard.random_crack_in_range(lo, hi, rng);
+        if let Some(shard) = self.sole_shard() {
+            let mut guard = shard.inner.write();
+            let before = guard.kernel_dispatches();
+            let split = guard.random_crack_in_range(lo, hi, rng);
+            if split {
+                self.stats.refinements.fetch_add(1, Ordering::Relaxed);
+            }
+            return RefineOutcome {
+                split,
+                piece_count: guard.piece_count(),
+                avg_piece_len: guard.avg_piece_len(),
+                dispatches: guard.kernel_dispatches().since(before),
+            };
+        }
+        // Every shard covers the full value domain (sharding is by row id),
+        // so a hot value range is refined on a randomly chosen shard.
+        let shards = self.shard_handles();
+        let idx = rng.gen_range(0..shards.len());
+        let (split, dispatches) = {
+            let mut guard = shards[idx].inner.write();
+            let before = guard.kernel_dispatches();
+            let split = guard.random_crack_in_range(lo, hi, rng);
+            (split, guard.kernel_dispatches().since(before))
+        };
         if split {
             self.stats.refinements.fetch_add(1, Ordering::Relaxed);
         }
         RefineOutcome {
             split,
-            piece_count: guard.piece_count(),
-            avg_piece_len: guard.avg_piece_len(),
-            dispatches: guard.kernel_dispatches().since(before),
+            piece_count: self.piece_count(),
+            avg_piece_len: self.avg_piece_len(),
+            dispatches,
         }
     }
 
@@ -646,24 +1235,60 @@ impl ConcurrentCrackerColumn {
         per_range: u64,
         rng: &mut R,
     ) -> BatchRefineOutcome {
-        let mut guard = self.inner.write();
-        let before = guard.kernel_dispatches();
-        let mut splits = 0u64;
+        if let Some(shard) = self.sole_shard() {
+            let mut guard = shard.inner.write();
+            let before = guard.kernel_dispatches();
+            let mut splits = 0u64;
+            for &(lo, hi) in ranges {
+                for _ in 0..per_range {
+                    if guard.random_crack_in_range(lo, hi, rng) {
+                        splits += 1;
+                    }
+                }
+            }
+            if splits > 0 {
+                self.stats.refinements.fetch_add(splits, Ordering::Relaxed);
+            }
+            return BatchRefineOutcome {
+                splits,
+                piece_count: guard.piece_count(),
+                avg_piece_len: guard.avg_piece_len(),
+                dispatches: guard.kernel_dispatches().since(before),
+            };
+        }
+        // Draw each action's shard assignment up front (deterministic rng
+        // order), then take each shard's latch once for its share of the
+        // batch — one latch round trip per *shard*, not per action.
+        let shards = self.shard_handles();
+        let mut per_shard: Vec<Vec<(Value, Value)>> = vec![Vec::new(); shards.len()];
         for &(lo, hi) in ranges {
             for _ in 0..per_range {
+                per_shard[rng.gen_range(0..shards.len())].push((lo, hi));
+            }
+        }
+        let mut splits = 0u64;
+        let mut dispatches = KernelDispatches::default();
+        for (sh, actions) in shards.iter().zip(per_shard) {
+            if actions.is_empty() {
+                continue;
+            }
+            let mut guard = sh.inner.write();
+            let before = guard.kernel_dispatches();
+            for (lo, hi) in actions {
                 if guard.random_crack_in_range(lo, hi, rng) {
                     splits += 1;
                 }
             }
+            dispatches.add(guard.kernel_dispatches().since(before));
         }
         if splits > 0 {
             self.stats.refinements.fetch_add(splits, Ordering::Relaxed);
         }
         BatchRefineOutcome {
             splits,
-            piece_count: guard.piece_count(),
-            avg_piece_len: guard.avg_piece_len(),
-            dispatches: guard.kernel_dispatches().since(before),
+            piece_count: self.piece_count(),
+            avg_piece_len: self.avg_piece_len(),
+            dispatches,
         }
     }
 
@@ -690,10 +1315,14 @@ impl ConcurrentCrackerColumn {
     /// steady state, and the only state purely cracked columns ever have —
     /// must not acquire (or make queries queue behind) the exclusive latch.
     pub fn seed_prefix_sums(&self) -> usize {
-        if !self.inner.read().needs_prefix_seeding() {
-            return 0;
+        let mut seeded = 0;
+        for sh in self.shard_handles() {
+            let needs = sh.inner.read().needs_prefix_seeding();
+            if needs {
+                seeded += sh.inner.write().seed_prefix_sums();
+            }
         }
-        self.inner.write().seed_prefix_sums()
+        seeded
     }
 
     /// Fully sorts the column under the exclusive latch (see
@@ -701,42 +1330,174 @@ impl ConcurrentCrackerColumn {
     /// sorted, prefix-seeded piece, after which every range aggregate is
     /// answered read-only under the shared latch.
     pub fn sort_fully(&self) {
-        if self.inner.read().is_fully_sorted() {
-            return;
+        for sh in self.shard_handles() {
+            let sorted = sh.inner.read().is_fully_sorted();
+            if !sorted {
+                sh.inner.write().sort_fully();
+            }
         }
-        self.inner.write().sort_fully();
     }
 
     /// Ripple-inserts `v` (carrying `rowid` when the column keeps row ids)
     /// under the exclusive latch — the engine's durable-update path applies
     /// WAL-logged inserts through this.
     pub fn insert(&self, v: Value, rowid: holistic_storage::RowId) {
-        self.inner.write().ripple_insert(v, rowid);
+        if self.extent == UNSHARDED {
+            if let Some(shard) = self.shards.read().first().map(Arc::clone) {
+                shard.inner.write().ripple_insert(v, rowid);
+            }
+            return;
+        }
+        // Sharded: inserts land in the last shard; when it reaches the
+        // extent a fresh empty shard is spilled (the only shard-list write).
+        let mut list = self.shards.write();
+        Self::spill_if_full(&mut list, self.extent);
+        if let Some(target) = list.last().map(Arc::clone) {
+            target.inner.write().ripple_insert(v, rowid);
+        }
     }
 
-    /// Batched ripple insert under a single acquisition of the exclusive
-    /// latch: one sweep over the piece table for the whole batch (see
-    /// [`CrackerColumn::ripple_insert_batch`]). The engine's WAL replay
-    /// applies runs of insert records through this.
+    /// Spills a fresh empty shard (matching the last shard's kernel and
+    /// row-id keeping) when the last shard has reached the extent.
+    fn spill_if_full(list: &mut Vec<Arc<Shard>>, extent: usize) {
+        let Some(last) = list.last().map(Arc::clone) else {
+            return;
+        };
+        let (len, keeps_rowids, kernel) = {
+            let g = last.inner.read();
+            (g.len(), g.rowids().is_some(), g.kernel())
+        };
+        if len >= extent {
+            let col = if keeps_rowids {
+                CrackerColumn::from_values_with_rowid_offset(vec![], 0)
+            } else {
+                CrackerColumn::from_values(vec![])
+            };
+            list.push(Arc::new(Shard::new(col.with_kernel(kernel))));
+        }
+    }
+
+    /// Batched ripple insert: on an unsharded column a single acquisition
+    /// of the exclusive latch and one sweep over the piece table for the
+    /// whole batch (see [`CrackerColumn::ripple_insert_batch`]); on a
+    /// sharded column the batch is split into sub-batches honoring the last
+    /// shard's remaining extent, spilling fresh shards as needed. The
+    /// engine's WAL replay applies runs of insert records through this.
     pub fn insert_batch(&self, batch: &[(Value, holistic_storage::RowId)]) {
-        self.inner.write().ripple_insert_batch(batch);
+        if self.extent == UNSHARDED {
+            if let Some(shard) = self.shards.read().first().map(Arc::clone) {
+                shard.inner.write().ripple_insert_batch(batch);
+            }
+            return;
+        }
+        let mut list = self.shards.write();
+        let mut rest = batch;
+        while !rest.is_empty() {
+            Self::spill_if_full(&mut list, self.extent);
+            let Some(target) = list.last().map(Arc::clone) else {
+                return;
+            };
+            let mut guard = target.inner.write();
+            let room = self.extent.saturating_sub(guard.len()).max(1);
+            let take = room.min(rest.len());
+            guard.ripple_insert_batch(&rest[..take]);
+            rest = &rest[take..];
+        }
     }
 
-    /// Ripple-deletes one occurrence of `v` under the exclusive latch,
-    /// returning whether a value was removed.
+    /// Ripple-deletes one occurrence of `v` under the exclusive latch of
+    /// the first shard holding one, returning whether a value was removed.
+    /// (Which copy of a duplicated value is removed is unspecified either
+    /// way — the multiset answer is what matters.)
     pub fn delete(&self, v: Value) -> bool {
-        self.inner.write().ripple_delete(v)
+        for sh in self.shard_handles() {
+            if sh.inner.write().ripple_delete(v) {
+                return true;
+            }
+        }
+        false
     }
 
-    /// Runs a closure with shared access to the underlying cracker column.
+    /// Runs a closure with shared access to the *first* shard's cracker
+    /// column. On an unsharded column that is the whole column; sharded
+    /// callers should use [`ConcurrentCrackerColumn::with_shard_read`] or
+    /// [`ConcurrentCrackerColumn::pieces_snapshot`] instead.
     pub fn with_read<T>(&self, f: impl FnOnce(&CrackerColumn) -> T) -> T {
-        f(&self.inner.read())
+        let shard = Arc::clone(&self.shards.read()[0]);
+        let guard = shard.inner.read();
+        f(&guard)
     }
 
-    /// Validates the underlying cracker-column invariants.
+    /// Runs a closure with shared access to shard `shard`'s cracker column,
+    /// or `None` when the index is out of range.
+    pub fn with_shard_read<T>(
+        &self,
+        shard: usize,
+        f: impl FnOnce(&CrackerColumn) -> T,
+    ) -> Option<T> {
+        let sh = { self.shards.read().get(shard).map(Arc::clone) };
+        sh.map(|sh| {
+            let guard = sh.inner.read();
+            f(&guard)
+        })
+    }
+
+    /// Shard `shard`'s piece table (shard-local offsets), or `None` when
+    /// the index is out of range.
+    #[must_use]
+    pub fn shard_pieces(&self, shard: usize) -> Option<Vec<Piece>> {
+        self.with_shard_read(shard, |c| c.pieces().to_vec())
+    }
+
+    /// Clones every shard's cracker column (one shard latch at a time) —
+    /// the partial-rebuild path reuses the healthy shards' learned state.
+    #[must_use]
+    pub fn clone_shards(&self) -> Vec<CrackerColumn> {
+        self.shard_handles()
+            .iter()
+            .map(|sh| sh.inner.read().clone())
+            .collect()
+    }
+
+    /// A column-wide piece-table snapshot: every shard's pieces with their
+    /// `start`/`end` rebased to column-global offsets (shard base = sum of
+    /// preceding shard lengths), in shard order. On an unsharded column
+    /// this is exactly the piece table.
+    #[must_use]
+    pub fn pieces_snapshot(&self) -> Vec<Piece> {
+        let shards = self.shard_handles();
+        if shards.len() == 1 {
+            return shards[0].inner.read().pieces().to_vec();
+        }
+        let mut out = Vec::new();
+        let mut base = 0usize;
+        for sh in &shards {
+            let guard = sh.inner.read();
+            for p in guard.pieces() {
+                let mut p = p.clone();
+                p.start += base;
+                p.end += base;
+                out.push(p);
+            }
+            base += guard.len();
+        }
+        out
+    }
+
+    /// Validates every shard's cracker-column invariants.
     #[must_use]
     pub fn validate(&self) -> bool {
-        self.inner.read().validate()
+        self.find_invalid_shard().is_none()
+    }
+
+    /// Index of the first shard failing validation, or `None` when every
+    /// shard is valid — the quarantine path uses this to pinpoint (and
+    /// later rebuild) only the damaged shard.
+    #[must_use]
+    pub fn find_invalid_shard(&self) -> Option<usize> {
+        self.shard_handles()
+            .iter()
+            .position(|sh| !sh.inner.read().validate())
     }
 
     /// One budgeted scrub step: validates up to `budget` pieces starting
@@ -745,29 +1506,142 @@ impl ConcurrentCrackerColumn {
     /// the scrubber can resume where it left off next idle window.
     #[must_use]
     pub fn scrub_pieces(&self, from: usize, budget: usize) -> ScrubOutcome {
-        let guard = self.inner.read();
-        let total = guard.piece_count();
-        let start = from.min(total);
-        let end = start.saturating_add(budget.max(1)).min(total);
-        let valid = guard.validate_piece_range(start..end);
+        // The scrub cursor walks a *global* piece index: the concatenation
+        // of the shards' piece tables in shard order. Piece counts shift as
+        // queries crack concurrently — the cursor is a progress heuristic,
+        // not an exact bookmark, exactly as on the unsharded column.
+        let shards = self.shard_handles();
+        let want = budget.max(1);
+        let (ws, we) = (from, from.saturating_add(want));
+        let mut base = 0usize;
+        let mut checked = 0usize;
+        let mut valid = true;
+        let mut failed_shard = None;
+        for (i, sh) in shards.iter().enumerate() {
+            let guard = sh.inner.read();
+            let pc = guard.piece_count();
+            let lo = ws.clamp(base, base + pc) - base;
+            let hi = we.clamp(base, base + pc) - base;
+            if lo < hi {
+                if !guard.validate_piece_range(lo..hi) {
+                    valid = false;
+                    if failed_shard.is_none() {
+                        failed_shard = Some(i);
+                    }
+                }
+                checked += hi - lo;
+            }
+            base += pc;
+        }
+        let total = base;
+        let end = we.min(total);
         ScrubOutcome {
-            checked: end - start,
+            checked,
             next: (end < total).then_some(end),
             valid,
+            failed_shard,
         }
     }
 
-    /// Applies one injected corruption to the learned state under the
-    /// exclusive latch (see [`crate::corrupt`]). Returns whether a field
-    /// was actually flipped.
+    /// Applies one injected corruption to the learned state, trying shards
+    /// in order until one has a field to flip (see [`crate::corrupt`]).
+    /// Returns whether a field was actually flipped.
     ///
     /// # Panics
-    /// [`crate::corrupt::CorruptionKind::Panic`] propagates its panic out
-    /// of the latch (the guard unwinds cleanly); the caller's containment
-    /// boundary is expected to catch it.
-    pub fn corrupt(&self, kind: crate::corrupt::CorruptionKind) -> bool {
-        crate::corrupt::corrupt_column(&mut self.inner.write(), kind)
+    /// [`CorruptionKind::Panic`] propagates its panic out of the latch (the
+    /// guard unwinds cleanly); the caller's containment boundary is
+    /// expected to catch it.
+    pub fn corrupt(&self, kind: CorruptionKind) -> bool {
+        for sh in self.shard_handles() {
+            if crate::corrupt::corrupt_column(&mut sh.inner.write(), kind) {
+                return true;
+            }
+        }
+        false
     }
+
+    /// Applies one injected corruption to shard `shard` specifically,
+    /// returning whether a field was flipped (`false` when the index is out
+    /// of range or the shard has nothing to flip).
+    ///
+    /// # Panics
+    /// [`CorruptionKind::Panic`] propagates, as with
+    /// [`ConcurrentCrackerColumn::corrupt`].
+    pub fn corrupt_shard(&self, shard: usize, kind: CorruptionKind) -> bool {
+        let sh = { self.shards.read().get(shard).map(Arc::clone) };
+        match sh {
+            Some(sh) => crate::corrupt::corrupt_column(&mut sh.inner.write(), kind),
+            None => false,
+        }
+    }
+}
+
+/// Runs the pending-shard crack closure over every pending shard: on the
+/// calling thread when the work is small, or fanned out one-shard-per-worker
+/// for a large cold crack. Worker threads start with an empty held-lock
+/// stack, so each acquisition of a shard's `Column`-level latch is the
+/// thread's deepest lock — the machine-checked order holds by construction,
+/// and no thread ever holds two shard latches.
+fn crack_pending<T, F>(
+    pending: Vec<(usize, Arc<Shard>, u64)>,
+    parallel: bool,
+    f: F,
+) -> Vec<(usize, T)>
+where
+    T: Send,
+    F: Fn(&Shard, u64) -> T + Sync,
+{
+    let workers = if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(pending.len())
+    } else {
+        1
+    };
+    if workers < 2 {
+        return pending
+            .into_iter()
+            .map(|(i, sh, seed)| (i, f(&sh, seed)))
+            .collect();
+    }
+    let chunk = pending.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = pending
+            .chunks(chunk)
+            .map(|slice| {
+                s.spawn(move || {
+                    slice
+                        .iter()
+                        .map(|(i, sh, seed)| (*i, f(sh, *seed)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| {
+                // A worker panic (e.g. injected kernel-bug corruption) must
+                // propagate to the caller's containment boundary, exactly
+                // like the same panic on the sequential path would.
+                h.join().expect("shard crack worker panicked") // lint:allow(panic-path)
+            })
+            .collect()
+    })
+}
+
+/// Component-wise accumulation of per-shard range aggregates. Summing the
+/// piece-class counters (cached/prefix/scanned) before classifying the
+/// composed aggregate once is exactly what makes the sharded cache
+/// classification match the unsharded column's.
+fn add_aggregate(into: &mut RangeAggregate, from: &RangeAggregate) {
+    into.count += from.count;
+    into.sum += from.sum;
+    into.cached_pieces += from.cached_pieces;
+    into.prefix_pieces += from.prefix_pieces;
+    into.scanned_pieces += from.scanned_pieces;
+    into.scanned_values += from.scanned_values;
 }
 
 /// Outcome of one [`ConcurrentCrackerColumn::scrub_pieces`] step.
@@ -776,10 +1650,14 @@ pub struct ScrubOutcome {
     /// Pieces validated by this step.
     pub checked: usize,
     /// Piece index to resume from, or `None` when the step reached the
-    /// end of the piece table (the scrub cycle for this column is done).
+    /// end of the (global) piece table (the scrub cycle for this column is
+    /// done).
     pub next: Option<usize>,
     /// Whether every checked piece passed validation.
     pub valid: bool,
+    /// The first shard whose checked pieces failed validation, when
+    /// `!valid` — quarantine uses this to pinpoint the damaged shard.
+    pub failed_shard: Option<usize>,
 }
 
 #[cfg(test)]
@@ -1179,5 +2057,246 @@ mod tests {
         let _ = c.count(10, 20);
         let pieces = c.with_read(|col| col.piece_count());
         assert!(pieces >= 2);
+    }
+
+    fn scan_sum(values: &[Value], lo: Value, hi: Value) -> i128 {
+        values
+            .iter()
+            .filter(|&&v| v >= lo && v < hi)
+            .map(|&v| i128::from(v))
+            .sum()
+    }
+
+    #[test]
+    fn sharded_answers_match_the_unsharded_reference() {
+        let values = data(4000);
+        for extent in [1, 7, 512, 1000, 4000, 9999] {
+            let sharded = ConcurrentCrackerColumn::from_values_sharded(values.clone(), extent);
+            let reference = ConcurrentCrackerColumn::from_values(values.clone());
+            let mut rs = StdRng::seed_from_u64(41);
+            let mut ru = StdRng::seed_from_u64(41);
+            for &(lo, hi) in &[(0, 100), (100, 350), (3900, 4000), (500, 400), (0, 4000)] {
+                let a = sharded.select_with_policy(lo, hi, true, CrackPolicy::Standard, &mut rs);
+                let b = reference.select_with_policy(lo, hi, true, CrackPolicy::Standard, &mut ru);
+                assert_eq!(a.count, b.count, "extent {extent} [{lo},{hi})");
+                assert_eq!(a.sum, b.sum, "extent {extent} [{lo},{hi})");
+                let mut av = a.values.clone().unwrap();
+                let mut bv = b.values.clone().unwrap();
+                av.sort_unstable();
+                bv.sort_unstable();
+                assert_eq!(av, bv, "extent {extent} [{lo},{hi})");
+            }
+            assert!(sharded.validate(), "extent {extent}");
+            assert_eq!(sharded.len(), values.len());
+            assert_eq!(sharded.shard_count(), values.len().div_ceil(extent).max(1));
+        }
+    }
+
+    #[test]
+    fn sharded_sorted_prefix_classification_matches_unsharded() {
+        // Sorted + prefix-seeded shards: composed aggregates must classify
+        // exactly like the unsharded column (zero-read prefix hits), and
+        // never take a write latch.
+        let values = data(4000);
+        let c = ConcurrentCrackerColumn::from_values_sharded(values.clone(), 600);
+        c.sort_fully();
+        assert_eq!(c.seed_prefix_sums(), 0, "sort_fully seeds the prefixes");
+        let mut rng = StdRng::seed_from_u64(23);
+        for &(lo, hi) in &[(100, 900), (0, 4000), (250, 251), (3999, 4001)] {
+            let out = c.select_with_policy(lo, hi, false, CrackPolicy::Standard, &mut rng);
+            assert_eq!(out.count, scan_count(&values, lo, hi), "[{lo},{hi})");
+            assert_eq!(out.sum, scan_sum(&values, lo, hi), "[{lo},{hi})");
+            assert_eq!(out.cache.scanned_values, 0, "[{lo},{hi})");
+            assert_eq!(out.cache.zero_read(), 1, "[{lo},{hi})");
+            assert_eq!(out.dispatches.total(), 0);
+        }
+        let stats = c.latch_stats();
+        assert_eq!(stats.exclusive_selects, 0, "never took a write latch");
+        assert_eq!(stats.shared_selects, 4);
+        assert_eq!(stats.aggregate_partials + stats.aggregate_misses, 0);
+    }
+
+    #[test]
+    fn sharded_batch_matches_scan_and_composes_the_cache() {
+        let values = data(4000);
+        let c = ConcurrentCrackerColumn::from_values_sharded(values.clone(), 700);
+        let queries: Vec<(Value, Value, bool)> = vec![
+            (100, 400, false),
+            (1000, 1200, true),
+            (3500, 3900, false),
+            (500, 400, false),
+        ];
+        let mut rng = StdRng::seed_from_u64(21);
+        let outcome = c.select_batch_with_policy(&queries, CrackPolicy::Standard, &mut rng);
+        for (a, &(lo, hi, materialize)) in outcome.answers.iter().zip(&queries) {
+            assert_eq!(a.count, scan_count(&values, lo, hi), "[{lo},{hi})");
+            assert_eq!(a.sum, scan_sum(&values, lo, hi), "[{lo},{hi})");
+            assert_eq!(a.values.is_some(), materialize);
+        }
+        assert_eq!(c.latch_stats().exclusive_selects, queries.len() as u64);
+        assert!(c.validate());
+        // The resolved replay is zero-read per query, like the unsharded path.
+        let again = c.select_batch_with_policy(&queries, CrackPolicy::Standard, &mut rng);
+        assert_eq!(again.dispatches.total(), 0);
+        assert_eq!(again.cache.scanned_values, 0);
+        assert_eq!(again.cache.zero_read(), queries.len() as u64);
+        assert_eq!(c.latch_stats().shared_selects, queries.len() as u64);
+    }
+
+    #[test]
+    fn sharded_inserts_spill_and_deletes_find_their_shard() {
+        let c = ConcurrentCrackerColumn::from_values_sharded((0..10).collect(), 4);
+        assert_eq!(c.shard_count(), 3);
+        assert_eq!(c.shard_extent(), Some(4));
+        // Last shard holds 2 values; two inserts fill it, the third spills.
+        c.insert(100, 0);
+        c.insert(101, 0);
+        assert_eq!(c.shard_count(), 3);
+        c.insert(102, 0);
+        assert_eq!(c.shard_count(), 4);
+        assert_eq!(c.len(), 13);
+        assert_eq!(c.count(100, 103), 3);
+        // Batch insert spills as many shards as it needs.
+        let batch: Vec<(Value, holistic_storage::RowId)> = (200..212).map(|v| (v, 0)).collect();
+        c.insert_batch(&batch);
+        assert_eq!(c.len(), 25);
+        assert_eq!(c.count(200, 212), 12);
+        assert!(c.shard_count() >= 6);
+        // Deletes remove exactly one occurrence, wherever it lives.
+        assert!(c.delete(5));
+        assert!(!c.delete(5));
+        assert!(c.delete(207));
+        assert_eq!(c.len(), 23);
+        assert!(c.validate());
+    }
+
+    #[test]
+    fn sharded_scrub_walks_every_shard_and_pinpoints_damage() {
+        let values = data(3000);
+        let c = ConcurrentCrackerColumn::from_values_sharded(values, 500);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let _ = c.refine(&mut rng);
+        }
+        let total = c.piece_count();
+        // Walk the global cursor to the end; every piece gets checked once.
+        let mut checked = 0;
+        let mut cursor = Some(0usize);
+        while let Some(from) = cursor {
+            let out = c.scrub_pieces(from, 3);
+            assert!(out.valid);
+            assert_eq!(out.failed_shard, None);
+            checked += out.checked;
+            cursor = out.next;
+        }
+        assert_eq!(checked, total);
+        // Damage one specific shard: the scrub names it.
+        assert!(c.corrupt_shard(3, CorruptionKind::BoundaryFlip));
+        let out = c.scrub_pieces(0, usize::MAX - 1);
+        assert!(!out.valid);
+        assert_eq!(out.failed_shard, Some(3));
+        assert_eq!(c.find_invalid_shard(), Some(3));
+        // Every other shard still validates.
+        for s in 0..c.shard_count() {
+            let ok = c.with_shard_read(s, |col| col.validate()).unwrap();
+            assert_eq!(ok, s != 3, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn pieces_snapshot_rebases_shard_offsets() {
+        let values = data(1000);
+        let c = ConcurrentCrackerColumn::from_values_sharded(values, 300);
+        let _ = c.count(100, 500);
+        let snapshot = c.pieces_snapshot();
+        assert_eq!(snapshot.len(), c.piece_count());
+        // Global contiguity: pieces tile [0, len) in order.
+        let mut expect_start = 0usize;
+        for p in &snapshot {
+            assert_eq!(p.start, expect_start);
+            expect_start = p.end;
+        }
+        assert_eq!(expect_start, c.len());
+    }
+
+    #[test]
+    fn sharded_try_select_readonly_defers_until_answerable() {
+        let values = data(2000);
+        let c = ConcurrentCrackerColumn::from_values_sharded(values.clone(), 450);
+        assert!(c.try_select_readonly(100, 200, false).is_none());
+        assert_eq!(c.latch_stats().shared_selects, 0);
+        let _ = c.count(100, 200);
+        let out = c.try_select_readonly(100, 200, true).expect("resolved");
+        assert_eq!(out.count, scan_count(&values, 100, 200));
+        assert_eq!(out.sum, scan_sum(&values, 100, 200));
+        assert!(c.validate());
+    }
+
+    #[test]
+    fn parallel_cold_crack_matches_scan() {
+        // Large enough that the fan-out takes the threaded path on a
+        // multi-core box (and the sequential fallback elsewhere) — the
+        // answers must be identical either way.
+        let n = 200_000;
+        let values = data(n);
+        let c = ConcurrentCrackerColumn::from_values_sharded(values.clone(), 25_000);
+        assert_eq!(c.shard_count(), 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = c.select_with_policy(1000, 150_000, false, CrackPolicy::Standard, &mut rng);
+        assert_eq!(out.count, scan_count(&values, 1000, 150_000));
+        assert_eq!(out.sum, scan_sum(&values, 1000, 150_000));
+        assert!(c.validate());
+        assert_eq!(c.latch_stats().exclusive_selects, 1);
+    }
+
+    #[test]
+    fn clone_shards_and_from_shards_round_trip() {
+        let values = data(1200);
+        let c = ConcurrentCrackerColumn::from_values_sharded(values.clone(), 400);
+        let _ = c.count(100, 700);
+        let rebuilt = ConcurrentCrackerColumn::from_shards(c.clone_shards(), 400);
+        assert_eq!(rebuilt.shard_count(), c.shard_count());
+        assert_eq!(rebuilt.len(), c.len());
+        assert_eq!(rebuilt.pieces_snapshot(), c.pieces_snapshot());
+        assert_eq!(rebuilt.count(100, 700), scan_count(&values, 100, 700));
+        assert!(rebuilt.validate());
+    }
+
+    #[test]
+    fn concurrent_writers_crack_disjoint_shards() {
+        // N writer threads, each refining its own shard through the public
+        // API while readers fan out across all shards: answers stay exact.
+        let n = 40_000;
+        let values = data(n);
+        let c = Arc::new(ConcurrentCrackerColumn::from_values_sharded(
+            values.clone(),
+            10_000,
+        ));
+        let expected: Vec<(Value, Value, u64)> = (0..8)
+            .map(|i| {
+                let lo = (i * 4000) % (n as Value);
+                let hi = lo + 1500;
+                (lo, hi, scan_count(&values, lo, hi))
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = Arc::clone(&c);
+                let expected = expected.clone();
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t);
+                    for _ in 0..6 {
+                        for &(lo, hi, want) in &expected {
+                            assert_eq!(c.count(lo, hi), want);
+                        }
+                        for _ in 0..4 {
+                            let _ = c.refine(&mut rng);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.validate());
+        assert_eq!(c.shard_count(), 4);
     }
 }

@@ -101,6 +101,24 @@ impl CrackerColumn {
         }
     }
 
+    /// Creates a cracker column from raw values, carrying row ids
+    /// `offset..offset + values.len()`. This is the shard constructor:
+    /// shard `k` of a column with fixed extent `E` holds the base rows
+    /// `k·E..` and must label them with their *global* row ids so tuple
+    /// reconstruction composes across shards.
+    #[must_use]
+    pub fn from_values_with_rowid_offset(values: Vec<Value>, offset: RowId) -> Self {
+        let len = values.len();
+        CrackerColumn {
+            rowids: Some((offset..offset + len as u32).collect()),
+            data: values,
+            index: PieceIndex::new(len),
+            cracks_performed: 0,
+            kernel: CrackKernel::default(),
+            dispatches: KernelDispatches::default(),
+        }
+    }
+
     /// Sets the kernel dispatch policy (builder style).
     #[must_use]
     pub fn with_kernel(mut self, kernel: CrackKernel) -> Self {

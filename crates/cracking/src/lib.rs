@@ -26,7 +26,11 @@
 //! * [`updates`] — cracking under updates: pending insert/delete buffers
 //!   merged into the cracker column with ripple insertion/deletion.
 //! * [`concurrent`] — a latch-protected cracker column usable from multiple
-//!   threads (reads share, cracking takes the write latch).
+//!   threads: the column is split into fixed-extent **shards**, each its
+//!   own piece table behind its own reader/writer latch, so queries fan
+//!   out and compose per-shard aggregates while writers crack disjoint
+//!   shards in parallel (a one-shard column keeps the classic
+//!   single-latch behavior).
 //! * [`persist`] — snapshot encode/decode of the learned cracking state,
 //!   with full validation of every recovered piece.
 

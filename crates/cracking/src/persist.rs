@@ -17,6 +17,14 @@
 //!   cached sum and prefix entries are checked against the recovered data,
 //!   so corruption that slips past the checksums still cannot produce a
 //!   column that answers queries incorrectly.
+//!
+//! This codec intentionally serializes ONE [`CrackerColumn`] — which is
+//! also exactly one *shard* of a sharded
+//! [`ConcurrentCrackerColumn`](crate::concurrent::ConcurrentCrackerColumn).
+//! The engine's LEARNED snapshot section length-prefixes one such encoding
+//! per shard, so a sharded column round-trips shard by shard through this
+//! same code path, and a decode failure in one shard degrades only that
+//! shard's column to a cold rebuild.
 
 use std::sync::Arc;
 

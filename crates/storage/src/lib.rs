@@ -66,7 +66,38 @@ pub use update::UpdateBuffer;
 pub type Value = i64;
 
 /// Row identifier within a table.
+///
+/// Logically a `{shard, offset}` pair in the bundlebase block layout, but
+/// stored as a single dense `u32`: with a fixed shard extent `E` the shard
+/// id is `rowid / E` and the offset within the shard is `rowid % E`
+/// ([`shard_of_row`] / [`row_offset_in_shard`]). Keeping the scalar
+/// representation means selection vectors, row-id payload arrays and the
+/// persistence format are identical whether a column is sharded or not —
+/// only the cracking layer's fan-out interprets the two components.
 pub type RowId = u32;
+
+/// The shard a row falls into under fixed shard extent `extent`
+/// (the block id of the `{block, offset}` interpretation of [`RowId`]).
+#[must_use]
+pub fn shard_of_row(rowid: RowId, extent: usize) -> usize {
+    (rowid as usize).checked_div(extent).unwrap_or(0)
+}
+
+/// The offset of a row within its shard under fixed shard extent `extent`.
+#[must_use]
+pub fn row_offset_in_shard(rowid: RowId, extent: usize) -> usize {
+    if extent == 0 {
+        rowid as usize
+    } else {
+        rowid as usize % extent
+    }
+}
+
+/// The first row id of shard `shard` under fixed shard extent `extent`.
+#[must_use]
+pub fn first_row_of_shard(shard: usize, extent: usize) -> RowId {
+    (shard * extent) as RowId
+}
 
 /// Convenience result type for storage operations.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -21,7 +21,8 @@
 //! |    10 | Persistence | `Database::persistence` (serializes IO)       |
 //! |    15 | HealthMap   | `Database::health` column-health map          |
 //! |    20 | CrackerMap  | `Database::crackers` map lock                 |
-//! |    30 | Column      | per-column `ConcurrentCrackerColumn` latch    |
+//! |    25 | Shard       | per-column shard-list lock (`ConcurrentCrackerColumn::shards`) |
+//! |    30 | Column      | per-shard `ConcurrentCrackerColumn` piece-table latch |
 //! |    40 | Online      | `Database::online` tuner state                |
 //! |    50 | StatsMap    | `KernelStatistics::columns` map lock          |
 //! |    60 | Histogram   | per-column `ColumnStats::predicate`           |
@@ -62,8 +63,8 @@ use parking_lot::{Mutex, RwLock};
 /// Position of a lock in the global latch hierarchy.
 ///
 /// Levels must be acquired in strictly increasing order within a thread;
-/// the numeric gaps leave room for future locks (e.g. per-shard latches
-/// between `CrackerMap` and `Column`) without renumbering.
+/// the numeric gaps leave room for future locks without renumbering
+/// (`Shard = 25` was slotted into exactly such a gap).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum LockLevel {
@@ -93,7 +94,18 @@ pub enum LockLevel {
     HealthMap = 15,
     /// `Database::crackers`: the column-id → cracker map.
     CrackerMap = 20,
-    /// The per-column reader/writer latch (`ConcurrentCrackerColumn`).
+    /// The shard-*list* lock of a sharded `ConcurrentCrackerColumn`: read
+    /// to fan a query out over the shard slots, written only when an
+    /// insert spills past the last shard's extent and appends a slot.
+    ///
+    /// Sits between `CrackerMap` and `Column` (the gap reserved for it):
+    /// a fan-out holds the list lock while visiting shard latches one at
+    /// a time. Two `Column`-level shard latches are never held together —
+    /// same-level enforcement turns that into a panic — so intra-query
+    /// parallel cracking hands each shard to its own worker thread.
+    Shard = 25,
+    /// The per-shard reader/writer piece-table latch (each shard of a
+    /// `ConcurrentCrackerColumn`; an unsharded column is one shard).
     Column = 30,
     /// `Database::online`: the online tuner state.
     Online = 40,

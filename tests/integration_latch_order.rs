@@ -130,3 +130,81 @@ fn engine_surface_runs_clean_under_latch_order_enforcement() {
     assert!(holistic_sync::held_locks().is_empty());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The same surface with `shard_extent` set, so every path runs through
+/// the sharded layout: the `Shard`-level shard-list latch slots between
+/// `CrackerMap` and the per-shard `Column` latches, fan-outs visit shards
+/// one at a time, and insert spill appends shards — all under enforcement.
+#[test]
+fn sharded_engine_surface_runs_clean_under_latch_order_enforcement() {
+    holistic_sync::set_enforcement(true);
+
+    let config = HolisticConfig::for_testing().with_shard_extent(ROWS as usize / 8);
+    let mut db = Database::new(config.clone(), IndexingStrategy::Holistic);
+    let table = db.create_table("t", vec![("a", dataset(4))]).unwrap();
+    let a = db.column_id(table, "a").unwrap();
+
+    let dir = tmpdir("sharded-surface");
+    db.set_persistence(&dir, FaultInjector::new()).unwrap();
+
+    // Queries and a batch fan out across shards; the cache classification
+    // composes per-shard aggregates under the Shard -> Column order.
+    for i in 0..48 {
+        let lo = (i * 389) % ROWS;
+        db.execute(&Query::range(a, lo, lo + 200)).unwrap();
+    }
+    let batch: Vec<Query> = (0..16)
+        .map(|i| Query::range(a, i * 700, i * 700 + 300))
+        .collect();
+    db.execute_batch(&batch).unwrap();
+
+    // Inserts past the last shard's extent spill fresh shards (Shard-level
+    // write latch) while the WAL logs under Persistence.
+    for v in 0..32 {
+        db.insert(a, ROWS + v).unwrap();
+    }
+    for v in 0..8 {
+        db.delete(a, ROWS + v).unwrap();
+    }
+
+    // Idle refinement and prefix seeding walk the per-shard latches.
+    db.run_idle(IdleBudget::Actions(64));
+    db.seed_prefix_sums();
+    db.snapshot().unwrap();
+    assert!(db.validate());
+
+    // Concurrent phase: readers fan out across shards while the tuner
+    // refines individual shards, all under enforcement.
+    let shared = db.into_shared();
+    let tuner = BackgroundTuner::spawn(Arc::clone(&shared), BackgroundConfig::default());
+    let workers: Vec<_> = (0..2)
+        .map(|w| {
+            let db = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for i in 0..64 {
+                    let lo = ((w * 37 + i) * 211) % ROWS;
+                    db.read().execute(&Query::range(a, lo, lo + 400)).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    tuner.stop();
+
+    // Recovery rebuilds the sharded layout from the per-shard sections.
+    let lock = Arc::try_unwrap(shared).expect("all clones dropped");
+    drop(lock.into_inner());
+    let (recovered, _outcome) = Database::recover(
+        config,
+        IndexingStrategy::Holistic,
+        &dir,
+        FaultInjector::new(),
+    )
+    .unwrap();
+    assert!(recovered.validate());
+
+    assert!(holistic_sync::held_locks().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}

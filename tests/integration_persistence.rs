@@ -500,3 +500,91 @@ fn snapshot_generations_are_pruned_to_the_newest_two() {
     let r = recovered.execute(&Query::range(col, 1_000, 1_010)).unwrap();
     assert_eq!(r.count, 4);
 }
+
+/// Sharded columns round-trip through persistence bit for bit: the LEARNED
+/// section stores every shard's piece table separately, and recovery
+/// reassembles the same shard layout — identical piece boundaries, cached
+/// sums, sorted flags and prefix arrays, whether the state comes from the
+/// snapshot alone or from snapshot + WAL-tail replay after a crash.
+#[test]
+fn sharded_snapshot_and_wal_recover_per_shard_piece_tables_bit_for_bit() {
+    let dir = tmpdir("sharded-roundtrip");
+    let extent = 4_096; // ~5 shards at 20k rows
+    let mut values = dataset(9);
+    let config = HolisticConfig::for_testing().with_shard_extent(extent);
+    let mut db = Database::new(config.clone(), IndexingStrategy::Holistic);
+    db.set_persistence(&dir, FaultInjector::new()).unwrap();
+    let t = db.create_table("r", vec![("a", values.clone())]).unwrap();
+    let col = db.column_id(t, "a").unwrap();
+    // Crack across the whole domain so several shards carry learned state,
+    // and sort part of it so prefix arrays and sorted flags exist too.
+    for i in 0..40i64 {
+        let lo = 1 + (i * 431) % (ROWS as i64 - 600);
+        db.execute(&Query::range(col, lo, lo + 500)).unwrap();
+    }
+    db.run_idle(holistic_core::IdleBudget::Actions(64));
+    let shards = ROWS.div_ceil(extent);
+    let pieces_at_snapshot = db.cracker_pieces(col);
+    assert!(
+        pieces_at_snapshot.len() > shards,
+        "warmup must crack beyond one piece per shard"
+    );
+    db.snapshot().unwrap();
+
+    // Crash 1: recovery from the snapshot alone must be bit-identical.
+    drop(db);
+    let (mut db, outcome) = Database::recover(
+        config.clone(),
+        IndexingStrategy::Holistic,
+        &dir,
+        FaultInjector::new(),
+    )
+    .expect("sharded recovery");
+    assert!(outcome.cold_columns.is_empty(), "no shard may come up cold");
+    assert!(!outcome.learned_state_dropped);
+    assert_eq!(
+        db.cracker_pieces(col),
+        pieces_at_snapshot,
+        "per-shard piece tables must survive the snapshot bit for bit"
+    );
+    assert!(db.validate());
+
+    // WAL tail: post-snapshot updates ripple into the recovered shards
+    // (inserts spill into the last shard) and live only in the log.
+    for i in 0..80i64 {
+        if i % 5 == 4 {
+            let victim = values[(i as usize * 29) % values.len()];
+            assert!(db.delete(col, victim).unwrap());
+            let pos = values.iter().position(|&v| v == victim).unwrap();
+            values.remove(pos);
+        } else {
+            db.insert(col, 200_000 + i).unwrap();
+            values.push(200_000 + i);
+        }
+    }
+    let pieces_after_updates = db.cracker_pieces(col);
+
+    // Crash 2: snapshot + WAL replay must rebuild the same sharded state —
+    // replay mirrors the forward ripple exactly, shard spills included.
+    drop(db);
+    let (db, outcome2) = Database::recover(
+        config,
+        IndexingStrategy::Holistic,
+        &dir,
+        FaultInjector::new(),
+    )
+    .expect("sharded recovery with WAL tail");
+    assert_eq!(outcome2.wal_records_replayed, 80);
+    assert_eq!(
+        db.cracker_pieces(col),
+        pieces_after_updates,
+        "WAL replay must reproduce the sharded piece tables bit for bit"
+    );
+    assert!(db.validate());
+    for lo in [0i64, 500, ROWS as i64 / 2, 199_990] {
+        let hi = lo + 800;
+        let r = db.execute(&Query::range(col, lo, hi)).unwrap();
+        assert_eq!(r.count, reference_count(&values, lo, hi));
+        assert_eq!(r.sum, reference_sum(&values, lo, hi));
+    }
+}
